@@ -1,0 +1,40 @@
+//! The ADS middleware: message bus, injectable signals, and the stack.
+//!
+//! This crate plays the role of Apollo's CyberRT / DriveWorks pipelines in
+//! the paper: it wires localization, perception, planning and control into
+//! a rate-scheduled loop, and — crucially for DriveFI — exposes **every
+//! inter-module signal** (`I_t`, `M_t`, `W_t` inside `S_t`, `U_A,t`,
+//! `A_t`) on a [`Bus`] where a fault injector can read and corrupt it
+//! between pipeline stages (the paper's Fig. 1 injection points).
+//!
+//! The [`Signal`] enum is the analog of the paper's table of instrumented
+//! ADS variables: the enumerable list of scalar outputs that the fault
+//! models (min/max corruption, bit flips, offsets) target.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_ads::{AdsStack, AdsConfig, NullInterceptor};
+//! use drivefi_sensors::SensorSuite;
+//! use drivefi_world::{World, scenario::ScenarioConfig, ActorKind};
+//!
+//! let cfg = ScenarioConfig::lead_vehicle_cruise(1);
+//! let mut world = World::from_scenario(&cfg);
+//! world.set_ego(cfg.ego_start, ActorKind::Car.dims());
+//! let mut sensors = SensorSuite::with_seed(1);
+//! let mut ads = AdsStack::new(AdsConfig::default(), cfg.ego_set_speed);
+//!
+//! let frame = sensors.sample(&world, 0);
+//! let actuation = ads.tick(frame, 0, &mut NullInterceptor);
+//! assert!(actuation.throttle.is_finite());
+//! ```
+
+pub mod bus;
+pub mod signal;
+pub mod stack;
+pub mod watchdog;
+
+pub use bus::{Bus, Stage};
+pub use signal::{Signal, SignalRange};
+pub use stack::{AdsConfig, AdsStack, BusInterceptor, NullInterceptor};
+pub use watchdog::{Watchdog, WatchdogConfig, WatchdogTrigger};

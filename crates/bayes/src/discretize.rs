@@ -1,0 +1,157 @@
+//! Quantile discretization of continuous signals.
+
+/// Maps a continuous signal onto `k` categories using quantile bin edges
+/// learned from data, and back to representative values (bin medians).
+///
+/// DriveFI's 3-TBN is discrete; golden-run traces of each ADS variable
+/// are discretized with one of these before CPD fitting, and MAP
+/// categories are mapped back through [`Discretizer::representative`]
+/// when reconstructing the kinematic state for the δ̂ computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    /// Interior bin edges, ascending (`k-1` edges for `k` bins).
+    edges: Vec<f64>,
+    /// Representative value (median of training points) per bin.
+    reps: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fits a `bins`-category discretizer to `data` by quantiles.
+    /// Degenerate data (constant, or fewer distinct values than bins)
+    /// yields fewer effective bins, which is handled gracefully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `data` is empty or contains non-finite
+    /// values.
+    pub fn fit(data: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(!data.is_empty(), "cannot fit a discretizer to no data");
+        assert!(data.iter().all(|x| x.is_finite()), "non-finite training data");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        let mut edges = Vec::with_capacity(bins.saturating_sub(1));
+        for i in 1..bins {
+            let q = i as f64 / bins as f64;
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            edges.push(sorted[idx]);
+        }
+        edges.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        // An edge at (or above) the data maximum would create an empty
+        // top bin (values equal to the edge fall below it); drop such
+        // edges so degenerate data collapses cleanly.
+        let max = sorted[sorted.len() - 1];
+        edges.retain(|&e| e < max);
+
+        // Representatives: median of points in each bin; fall back to the
+        // midpoint of neighbors when a bin is empty.
+        let k = edges.len() + 1;
+        let mut bucket: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for &x in &sorted {
+            let b = edges.partition_point(|&e| e < x);
+            bucket[b].push(x);
+        }
+        let mut reps = Vec::with_capacity(k);
+        for (i, b) in bucket.iter().enumerate() {
+            if b.is_empty() {
+                let lo = if i == 0 { sorted[0] } else { edges[i - 1] };
+                let hi = if i == k - 1 { sorted[sorted.len() - 1] } else { edges[i] };
+                reps.push((lo + hi) / 2.0);
+            } else {
+                reps.push(b[b.len() / 2]);
+            }
+        }
+        Discretizer { edges, reps }
+    }
+
+    /// Number of categories.
+    pub fn bins(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Category of a value (values beyond the training range clamp to the
+    /// outermost bins; non-finite values clamp by sign).
+    pub fn transform(&self, x: f64) -> usize {
+        if x.is_nan() {
+            return 0;
+        }
+        self.edges.partition_point(|&e| e < x)
+    }
+
+    /// Representative continuous value of a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category >= self.bins()`.
+    pub fn representative(&self, category: usize) -> f64 {
+        self.reps[category]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_uniform_ramp() {
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = Discretizer::fit(&data, 4);
+        assert_eq!(d.bins(), 4);
+        assert_eq!(d.transform(0.0), 0);
+        assert_eq!(d.transform(30.0), 1);
+        assert_eq!(d.transform(60.0), 2);
+        assert_eq!(d.transform(99.0), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = Discretizer::fit(&data, 4);
+        assert_eq!(d.transform(-1e9), 0);
+        assert_eq!(d.transform(1e9), 3);
+        assert_eq!(d.transform(f64::NEG_INFINITY), 0);
+        assert_eq!(d.transform(f64::INFINITY), 3);
+    }
+
+    #[test]
+    fn representative_lies_in_bin() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) / 10.0).collect();
+        let d = Discretizer::fit(&data, 8);
+        for b in 0..d.bins() {
+            let r = d.representative(b);
+            assert_eq!(d.transform(r), b, "representative of bin {b} maps elsewhere");
+        }
+    }
+
+    #[test]
+    fn constant_data_collapses_to_one_bin() {
+        let d = Discretizer::fit(&[5.0; 50], 8);
+        assert_eq!(d.bins(), 1);
+        assert_eq!(d.transform(5.0), 0);
+        assert_eq!(d.representative(0), 5.0);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let d = Discretizer::fit(&data, 16);
+        for &x in &data {
+            let err = (d.representative(d.transform(x)) - x).abs();
+            assert!(err < 2.5, "round-trip error {err} too large for {x}");
+        }
+    }
+
+    #[test]
+    fn skewed_data_gets_dense_bins_in_dense_region() {
+        // 90% of mass near 0, 10% spread to 100.
+        let mut data: Vec<f64> = (0..900).map(|i| i as f64 / 1000.0).collect();
+        data.extend((0..100).map(|i| 1.0 + i as f64));
+        let d = Discretizer::fit(&data, 10);
+        // Most edges should be below 1.0.
+        let below = (0..d.bins() - 1)
+            .filter(|&i| d.representative(i) < 1.0)
+            .count();
+        assert!(below >= 7, "quantile binning should focus on the dense region");
+    }
+}

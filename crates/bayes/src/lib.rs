@@ -1,0 +1,115 @@
+//! Discrete Bayesian networks with exact inference and do-calculus.
+//!
+//! This crate is the probabilistic substrate of DriveFI's "ML-based fault
+//! controller" (paper §III-B): it provides
+//!
+//! * discrete **factors** and **conditional probability tables** (CPTs),
+//! * **Bayesian networks** over discrete variables with DAG validation,
+//! * exact inference by **variable elimination** (sum-product posteriors
+//!   and max-product joint MAP with traceback),
+//! * **interventions** (`do(·)` in Pearl's calculus): graph surgery that
+//!   severs a node from its parents and pins its value, which is exactly
+//!   how the paper models a fault injection inside the network,
+//! * **maximum-likelihood CPD learning** from complete data with
+//!   Laplace smoothing,
+//! * a **quantile discretizer** for mapping continuous ADS traces onto
+//!   the discrete networks,
+//! * a **dynamic BN template** that unrolls into the paper's 3-slice
+//!   temporal Bayesian network (3-TBN, Fig. 6),
+//! * **approximate inference** (forward sampling, likelihood weighting,
+//!   Gibbs) with the same intervention semantics, and
+//! * **structure scoring** (log-likelihood, BIC) to compare the
+//!   architecture-derived topology against ablated alternatives.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_bayes::{BayesNet, Cpt, Evidence};
+//!
+//! // Rain -> WetGrass
+//! let mut net = BayesNet::new();
+//! let rain = net.add_variable("rain", 2);
+//! let wet = net.add_variable("wet", 2);
+//! net.set_cpt(Cpt::new(rain, vec![], vec![0.8, 0.2])).unwrap();
+//! net.set_cpt(Cpt::new(wet, vec![rain], vec![0.9, 0.1, 0.2, 0.8])).unwrap();
+//!
+//! // P(rain | wet = true)
+//! let posterior = net.posterior(rain, &Evidence::from([(wet, 1)])).unwrap();
+//! assert!((posterior[1] - 0.6666).abs() < 1e-3);
+//! ```
+
+pub mod dbn;
+pub mod discretize;
+pub mod factor;
+pub mod learn;
+pub mod network;
+pub mod sampling;
+pub mod score;
+
+pub use dbn::{DbnTemplate, SliceVar, TemporalEdge};
+pub use discretize::Discretizer;
+pub use factor::Factor;
+pub use learn::fit_cpts;
+pub use network::{BayesNet, Cpt, VarId};
+pub use sampling::{forward_sample, gibbs_posterior, likelihood_weighting, SampleOpts};
+pub use score::{dimension, fit_and_score, log_likelihood, StructureScore};
+
+use std::collections::BTreeMap;
+
+/// An assignment of observed values to variables: `var -> category`.
+pub type Evidence = BTreeMap<VarId, usize>;
+
+/// Errors produced by network construction and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BayesError {
+    /// A referenced variable does not exist in the network.
+    UnknownVariable(VarId),
+    /// A CPT's table length does not match the variable cardinalities.
+    BadTableSize {
+        /// Variable the CPT is for.
+        var: VarId,
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// A CPT row does not sum to 1 (beyond tolerance).
+    UnnormalizedRow {
+        /// Variable the CPT is for.
+        var: VarId,
+        /// Index of the offending parent configuration.
+        row: usize,
+    },
+    /// The network graph contains a directed cycle.
+    CyclicGraph,
+    /// A variable has no CPT attached.
+    MissingCpt(VarId),
+    /// An evidence/intervention value is out of the variable's range.
+    BadCategory {
+        /// The variable.
+        var: VarId,
+        /// The rejected category index.
+        value: usize,
+    },
+}
+
+impl std::fmt::Display for BayesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BayesError::UnknownVariable(v) => write!(f, "unknown variable {v:?}"),
+            BayesError::BadTableSize { var, expected, got } => {
+                write!(f, "cpt for {var:?} has {got} entries, expected {expected}")
+            }
+            BayesError::UnnormalizedRow { var, row } => {
+                write!(f, "cpt row {row} for {var:?} does not sum to 1")
+            }
+            BayesError::CyclicGraph => write!(f, "network graph contains a cycle"),
+            BayesError::MissingCpt(v) => write!(f, "variable {v:?} has no cpt"),
+            BayesError::BadCategory { var, value } => {
+                write!(f, "category {value} out of range for {var:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BayesError {}

@@ -1,0 +1,506 @@
+//! Approximate inference by Monte-Carlo sampling.
+//!
+//! Variable elimination ([`BayesNet::posterior_do`]) is exact but its cost
+//! grows with treewidth; the paper leans on "rapid probabilistic
+//! inference" being much cheaper than re-simulation, and this module
+//! quantifies the other side of that trade: sampling estimators whose
+//! cost is linear in network size regardless of topology.
+//!
+//! Three estimators are provided, each supporting Pearl interventions
+//! (`do(·)`) through graph mutilation exactly as the exact engine does:
+//!
+//! * **forward (prior) sampling** — ancestral sampling of the full joint;
+//!   the building block for the other two (and for rejection sampling).
+//! * **likelihood weighting** — forward sampling with evidence variables
+//!   pinned and weighted by their likelihood; unbiased, no burn-in, but
+//!   degrades when evidence is improbable.
+//! * **Gibbs sampling** — a Markov-chain sweep over the Markov blanket
+//!   conditionals; handles low-probability evidence gracefully at the
+//!   cost of burn-in and autocorrelation.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_bayes::{BayesNet, Cpt, Evidence};
+//! use drivefi_bayes::sampling::{likelihood_weighting, SampleOpts};
+//!
+//! let mut net = BayesNet::new();
+//! let rain = net.add_variable("rain", 2);
+//! let wet = net.add_variable("wet", 2);
+//! net.set_cpt(Cpt::new(rain, vec![], vec![0.8, 0.2])).unwrap();
+//! net.set_cpt(Cpt::new(wet, vec![rain], vec![0.9, 0.1, 0.2, 0.8])).unwrap();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! # use rand::SeedableRng;
+//! let est = likelihood_weighting(
+//!     &net,
+//!     rain,
+//!     &Evidence::from([(wet, 1)]),
+//!     &Evidence::new(),
+//!     &SampleOpts::new(20_000),
+//!     &mut rng,
+//! ).unwrap();
+//! assert!((est[1] - 2.0 / 3.0).abs() < 0.02);
+//! ```
+
+use crate::network::{BayesNet, VarId};
+use crate::{BayesError, Evidence};
+use rand::Rng;
+
+/// Options shared by the sampling estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleOpts {
+    /// Number of retained samples.
+    pub samples: usize,
+    /// Burn-in sweeps discarded before retention (Gibbs only).
+    pub burn_in: usize,
+    /// Keep every `thin`-th sweep after burn-in (Gibbs only; 1 = all).
+    pub thin: usize,
+}
+
+impl SampleOpts {
+    /// Options with `samples` retained samples and Gibbs defaults
+    /// (`burn_in = samples / 10`, no thinning).
+    pub fn new(samples: usize) -> Self {
+        SampleOpts { samples, burn_in: samples / 10, thin: 1 }
+    }
+}
+
+impl Default for SampleOpts {
+    fn default() -> Self {
+        SampleOpts::new(10_000)
+    }
+}
+
+fn check_assignment(net: &BayesNet, e: &Evidence) -> Result<(), BayesError> {
+    for (&var, &value) in e {
+        if var.0 >= net.len() {
+            return Err(BayesError::UnknownVariable(var));
+        }
+        if value >= net.cardinality(var) {
+            return Err(BayesError::BadCategory { var, value });
+        }
+    }
+    Ok(())
+}
+
+/// `P(var = value | parents)` read straight out of the CPT.
+fn cpt_prob(net: &BayesNet, var: VarId, value: usize, assignment: &Evidence) -> Result<f64, BayesError> {
+    let cpt = net.cpt(var).ok_or(BayesError::MissingCpt(var))?;
+    let card = net.cardinality(var);
+    let mut row = 0usize;
+    for p in &cpt.parents {
+        let &pv = assignment.get(p).ok_or(BayesError::UnknownVariable(*p))?;
+        row = row * net.cardinality(*p) + pv;
+    }
+    Ok(cpt.table[row * card + value])
+}
+
+/// Samples `var` from its CPT row given already-assigned parents.
+fn sample_cpt<R: Rng + ?Sized>(
+    net: &BayesNet,
+    var: VarId,
+    assignment: &Evidence,
+    rng: &mut R,
+) -> Result<usize, BayesError> {
+    let card = net.cardinality(var);
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for v in 0..card {
+        acc += cpt_prob(net, var, v, assignment)?;
+        if u < acc {
+            return Ok(v);
+        }
+    }
+    Ok(card - 1) // numerical slack: the row sums to 1 ± 1e-6
+}
+
+/// Draws one complete assignment by ancestral (forward) sampling from the
+/// mutilated network: intervened variables are pinned and their CPTs
+/// severed, everything else is sampled parents-first.
+///
+/// # Errors
+///
+/// Returns an error for unknown variables, out-of-range categories,
+/// missing CPTs, or a cyclic graph.
+pub fn forward_sample<R: Rng + ?Sized>(
+    net: &BayesNet,
+    interventions: &Evidence,
+    rng: &mut R,
+) -> Result<Evidence, BayesError> {
+    check_assignment(net, interventions)?;
+    let order = net.topological_order().ok_or(BayesError::CyclicGraph)?;
+    let mut assignment = interventions.clone();
+    for var in order {
+        if assignment.contains_key(&var) {
+            continue;
+        }
+        let v = sample_cpt(net, var, &assignment, rng)?;
+        assignment.insert(var, v);
+    }
+    Ok(assignment)
+}
+
+/// Posterior `P(query | evidence, do(interventions))` by likelihood
+/// weighting with `opts.samples` samples.
+///
+/// Evidence variables are pinned rather than sampled; each sample carries
+/// the product of the pinned variables' CPT likelihoods as its weight.
+/// Intervened variables are pinned with weight 1 (their CPT is severed by
+/// the `do`), matching [`BayesNet::posterior_do`] semantics.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_sample`]. Returns the uniform
+/// distribution when every sample has zero weight (impossible evidence).
+pub fn likelihood_weighting<R: Rng + ?Sized>(
+    net: &BayesNet,
+    query: VarId,
+    evidence: &Evidence,
+    interventions: &Evidence,
+    opts: &SampleOpts,
+    rng: &mut R,
+) -> Result<Vec<f64>, BayesError> {
+    check_assignment(net, evidence)?;
+    check_assignment(net, interventions)?;
+    if query.0 >= net.len() {
+        return Err(BayesError::UnknownVariable(query));
+    }
+    let order = net.topological_order().ok_or(BayesError::CyclicGraph)?;
+    let card = net.cardinality(query);
+    let mut tally = vec![0.0f64; card];
+    let mut assignment = Evidence::new();
+    for _ in 0..opts.samples {
+        assignment.clear();
+        for (&k, &v) in interventions.iter().chain(evidence.iter()) {
+            assignment.insert(k, v);
+        }
+        let mut weight = 1.0f64;
+        for &var in &order {
+            if interventions.contains_key(&var) {
+                continue; // pinned by do(); CPT severed, weight untouched
+            }
+            if let Some(&v) = evidence.get(&var) {
+                weight *= cpt_prob(net, var, v, &assignment)?;
+                if weight == 0.0 {
+                    break;
+                }
+                continue;
+            }
+            let v = sample_cpt(net, var, &assignment, rng)?;
+            assignment.insert(var, v);
+        }
+        if weight > 0.0 {
+            tally[assignment[&query]] += weight;
+        }
+    }
+    let total: f64 = tally.iter().sum();
+    if total == 0.0 {
+        return Ok(vec![1.0 / card as f64; card]);
+    }
+    Ok(tally.into_iter().map(|w| w / total).collect())
+}
+
+/// Posterior `P(query | evidence, do(interventions))` by Gibbs sampling.
+///
+/// Runs a single chain: initializes free variables by forward sampling
+/// (consistent with evidence where possible), discards `opts.burn_in`
+/// sweeps, then retains every `opts.thin`-th of `opts.samples` sweeps.
+/// Each sweep resamples every free variable from its Markov-blanket
+/// conditional in the mutilated graph.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_sample`].
+pub fn gibbs_posterior<R: Rng + ?Sized>(
+    net: &BayesNet,
+    query: VarId,
+    evidence: &Evidence,
+    interventions: &Evidence,
+    opts: &SampleOpts,
+    rng: &mut R,
+) -> Result<Vec<f64>, BayesError> {
+    check_assignment(net, evidence)?;
+    check_assignment(net, interventions)?;
+    if query.0 >= net.len() {
+        return Err(BayesError::UnknownVariable(query));
+    }
+    if let Some(&v) = interventions.get(&query).or_else(|| evidence.get(&query)) {
+        let mut out = vec![0.0; net.cardinality(query)];
+        out[v] = 1.0;
+        return Ok(out);
+    }
+    let order = net.topological_order().ok_or(BayesError::CyclicGraph)?;
+
+    // Children in the mutilated graph: intervened variables keep no CPT,
+    // so they never appear as a child.
+    let mut children: Vec<Vec<VarId>> = vec![Vec::new(); net.len()];
+    for var in net.variables() {
+        if interventions.contains_key(&var) {
+            continue;
+        }
+        for p in net.parents(var) {
+            children[p.0].push(var);
+        }
+    }
+
+    // Initialize: evidence + interventions pinned, the rest forward-sampled.
+    let mut assignment = Evidence::new();
+    for (&k, &v) in interventions.iter().chain(evidence.iter()) {
+        assignment.insert(k, v);
+    }
+    let free: Vec<VarId> = order
+        .iter()
+        .copied()
+        .filter(|v| !assignment.contains_key(v))
+        .collect();
+    for &var in &free {
+        let v = sample_cpt(net, var, &assignment, rng)?;
+        assignment.insert(var, v);
+    }
+
+    let card = net.cardinality(query);
+    let mut tally = vec![0.0f64; card];
+    let mut weights = Vec::with_capacity(16);
+    let sweeps = opts.burn_in + opts.samples.max(1) * opts.thin.max(1);
+    let mut retained = 0usize;
+    for sweep in 0..sweeps {
+        for &var in &free {
+            // P(var | MB(var)) ∝ P(var | pa) · Π_children P(child | pa(child)).
+            weights.clear();
+            let var_card = net.cardinality(var);
+            for v in 0..var_card {
+                assignment.insert(var, v);
+                let mut w = cpt_prob(net, var, v, &assignment)?;
+                for &c in &children[var.0] {
+                    if w == 0.0 {
+                        break;
+                    }
+                    w *= cpt_prob(net, c, assignment[&c], &assignment)?;
+                }
+                weights.push(w);
+            }
+            let total: f64 = weights.iter().sum();
+            let v = if total <= 0.0 {
+                rng.random_range(0..var_card)
+            } else {
+                let u: f64 = rng.random::<f64>() * total;
+                let mut acc = 0.0;
+                let mut chosen = var_card - 1;
+                for (v, &w) in weights.iter().enumerate() {
+                    acc += w;
+                    if u < acc {
+                        chosen = v;
+                        break;
+                    }
+                }
+                chosen
+            };
+            assignment.insert(var, v);
+        }
+        if sweep >= opts.burn_in && (sweep - opts.burn_in) % opts.thin.max(1) == 0 {
+            tally[assignment[&query]] += 1.0;
+            retained += 1;
+            if retained >= opts.samples {
+                break;
+            }
+        }
+    }
+    let total: f64 = tally.iter().sum();
+    if total == 0.0 {
+        return Ok(vec![1.0 / card as f64; card]);
+    }
+    Ok(tally.into_iter().map(|w| w / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Cpt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sprinkler() -> (BayesNet, VarId, VarId, VarId, VarId) {
+        let mut net = BayesNet::new();
+        let c = net.add_variable("cloudy", 2);
+        let s = net.add_variable("sprinkler", 2);
+        let r = net.add_variable("rain", 2);
+        let w = net.add_variable("wet", 2);
+        net.set_cpt(Cpt::new(c, vec![], vec![0.5, 0.5])).unwrap();
+        net.set_cpt(Cpt::new(s, vec![c], vec![0.5, 0.5, 0.9, 0.1])).unwrap();
+        net.set_cpt(Cpt::new(r, vec![c], vec![0.8, 0.2, 0.2, 0.8])).unwrap();
+        net.set_cpt(Cpt::new(
+            w,
+            vec![s, r],
+            vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+        ))
+        .unwrap();
+        (net, c, s, r, w)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD21EF1)
+    }
+
+    #[test]
+    fn forward_sampling_recovers_priors() {
+        let (net, _c, s, r, _w) = sprinkler();
+        let mut rng = rng();
+        let n = 40_000;
+        let (mut s1, mut r1) = (0u32, 0u32);
+        for _ in 0..n {
+            let a = forward_sample(&net, &Evidence::new(), &mut rng).unwrap();
+            s1 += a[&s] as u32;
+            r1 += a[&r] as u32;
+        }
+        assert!((f64::from(s1) / f64::from(n) - 0.3).abs() < 0.01);
+        assert!((f64::from(r1) / f64::from(n) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn forward_sampling_respects_interventions() {
+        let (net, c, s, _r, _w) = sprinkler();
+        let mut rng = rng();
+        let n = 20_000;
+        let mut c1 = 0u32;
+        for _ in 0..n {
+            let a = forward_sample(&net, &Evidence::from([(s, 1)]), &mut rng).unwrap();
+            assert_eq!(a[&s], 1);
+            c1 += a[&c] as u32;
+        }
+        // do(S=1) must not move Cloudy off its 0.5 prior.
+        assert!((f64::from(c1) / f64::from(n) - 0.5).abs() < 0.012);
+    }
+
+    #[test]
+    fn likelihood_weighting_matches_exact_posterior() {
+        let (net, _c, s, r, w) = sprinkler();
+        let e = Evidence::from([(w, 1)]);
+        let exact_s = net.posterior(s, &e).unwrap();
+        let exact_r = net.posterior(r, &e).unwrap();
+        let opts = SampleOpts::new(60_000);
+        let mut rng = rng();
+        let lw_s = likelihood_weighting(&net, s, &e, &Evidence::new(), &opts, &mut rng).unwrap();
+        let lw_r = likelihood_weighting(&net, r, &e, &Evidence::new(), &opts, &mut rng).unwrap();
+        assert!((lw_s[1] - exact_s[1]).abs() < 0.01, "{lw_s:?} vs {exact_s:?}");
+        assert!((lw_r[1] - exact_r[1]).abs() < 0.01, "{lw_r:?} vs {exact_r:?}");
+    }
+
+    #[test]
+    fn likelihood_weighting_matches_exact_under_do() {
+        let (net, c, s, _r, w) = sprinkler();
+        let e = Evidence::from([(w, 1)]);
+        let i = Evidence::from([(s, 1)]);
+        let exact = net.posterior_do(c, &e, &i).unwrap();
+        let mut rng = rng();
+        let lw =
+            likelihood_weighting(&net, c, &e, &i, &SampleOpts::new(60_000), &mut rng).unwrap();
+        assert!((lw[1] - exact[1]).abs() < 0.015, "{lw:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn gibbs_matches_exact_posterior() {
+        let (net, _c, s, r, w) = sprinkler();
+        let e = Evidence::from([(w, 1)]);
+        let exact_s = net.posterior(s, &e).unwrap();
+        let exact_r = net.posterior(r, &e).unwrap();
+        let opts = SampleOpts { samples: 60_000, burn_in: 2_000, thin: 1 };
+        let mut rng = rng();
+        let g_s = gibbs_posterior(&net, s, &e, &Evidence::new(), &opts, &mut rng).unwrap();
+        let g_r = gibbs_posterior(&net, r, &e, &Evidence::new(), &opts, &mut rng).unwrap();
+        assert!((g_s[1] - exact_s[1]).abs() < 0.015, "{g_s:?} vs {exact_s:?}");
+        assert!((g_r[1] - exact_r[1]).abs() < 0.015, "{g_r:?} vs {exact_r:?}");
+    }
+
+    #[test]
+    fn gibbs_matches_exact_under_do() {
+        let (net, c, s, _r, w) = sprinkler();
+        let e = Evidence::from([(w, 1)]);
+        let i = Evidence::from([(s, 1)]);
+        let exact = net.posterior_do(c, &e, &i).unwrap();
+        let opts = SampleOpts { samples: 60_000, burn_in: 2_000, thin: 1 };
+        let mut rng = rng();
+        let g = gibbs_posterior(&net, c, &e, &i, &opts, &mut rng).unwrap();
+        assert!((g[1] - exact[1]).abs() < 0.02, "{g:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn gibbs_on_evidence_variable_is_point_mass() {
+        let (net, _c, _s, _r, w) = sprinkler();
+        let mut rng = rng();
+        let g = gibbs_posterior(
+            &net,
+            w,
+            &Evidence::from([(w, 1)]),
+            &Evidence::new(),
+            &SampleOpts::new(10),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(g, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn impossible_evidence_degrades_to_uniform() {
+        // W depends deterministically on S=0, R=0 → P(W=1) = 0 there.
+        let mut net = BayesNet::new();
+        let a = net.add_variable("a", 2);
+        let b = net.add_variable("b", 2);
+        net.set_cpt(Cpt::new(a, vec![], vec![1.0, 0.0])).unwrap();
+        net.set_cpt(Cpt::new(b, vec![a], vec![1.0, 0.0, 0.0, 1.0])).unwrap();
+        let mut rng = rng();
+        // Evidence b=1 is impossible (a is always 0 → b always 0).
+        let lw = likelihood_weighting(
+            &net,
+            a,
+            &Evidence::from([(b, 1)]),
+            &Evidence::new(),
+            &SampleOpts::new(500),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(lw, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let (net, _c, s, _r, _w) = sprinkler();
+        let bogus = VarId(99);
+        let mut rng = rng();
+        assert!(matches!(
+            likelihood_weighting(
+                &net,
+                bogus,
+                &Evidence::new(),
+                &Evidence::new(),
+                &SampleOpts::new(10),
+                &mut rng
+            ),
+            Err(BayesError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            gibbs_posterior(
+                &net,
+                s,
+                &Evidence::from([(bogus, 0)]),
+                &Evidence::new(),
+                &SampleOpts::new(10),
+                &mut rng
+            ),
+            Err(BayesError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_fixed_seed() {
+        let (net, _c, s, _r, w) = sprinkler();
+        let e = Evidence::from([(w, 1)]);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let a = likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r1)
+            .unwrap();
+        let b = likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r2)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests: variable elimination agrees with brute-force
+//! enumeration on randomly parameterized networks.
+
+use drivefi_bayes::{BayesNet, Cpt, Evidence, VarId};
+use proptest::prelude::*;
+
+/// Builds a 4-variable diamond network A -> {B, C} -> D with CPTs derived
+/// from the given raw parameters (each squashed into (0, 1)).
+fn diamond(params: &[f64; 9]) -> (BayesNet, [VarId; 4]) {
+    let p = |x: f64| 0.05 + 0.9 * (x.abs() % 1.0);
+    let mut net = BayesNet::new();
+    let a = net.add_variable("a", 2);
+    let b = net.add_variable("b", 2);
+    let c = net.add_variable("c", 2);
+    let d = net.add_variable("d", 2);
+    let pa = p(params[0]);
+    net.set_cpt(Cpt::new(a, vec![], vec![1.0 - pa, pa])).unwrap();
+    let (b0, b1) = (p(params[1]), p(params[2]));
+    net.set_cpt(Cpt::new(b, vec![a], vec![1.0 - b0, b0, 1.0 - b1, b1])).unwrap();
+    let (c0, c1) = (p(params[3]), p(params[4]));
+    net.set_cpt(Cpt::new(c, vec![a], vec![1.0 - c0, c0, 1.0 - c1, c1])).unwrap();
+    let (d00, d01, d10, d11) = (p(params[5]), p(params[6]), p(params[7]), p(params[8]));
+    net.set_cpt(Cpt::new(
+        d,
+        vec![b, c],
+        vec![
+            1.0 - d00,
+            d00,
+            1.0 - d01,
+            d01,
+            1.0 - d10,
+            d10,
+            1.0 - d11,
+            d11,
+        ],
+    ))
+    .unwrap();
+    (net, [a, b, c, d])
+}
+
+/// Brute-force P(query = q | evidence) by enumerating the joint.
+fn enumerate_posterior(net: &BayesNet, vars: &[VarId; 4], query: VarId, evidence: &Evidence) -> Vec<f64> {
+    let mut num = vec![0.0; 2];
+    for a in 0..2usize {
+        for b in 0..2usize {
+            for c in 0..2usize {
+                for d in 0..2usize {
+                    let assignment =
+                        Evidence::from([(vars[0], a), (vars[1], b), (vars[2], c), (vars[3], d)]);
+                    if evidence.iter().any(|(k, v)| assignment[k] != *v) {
+                        continue;
+                    }
+                    let p = net.joint_probability(&assignment).unwrap();
+                    num[assignment[&query]] += p;
+                }
+            }
+        }
+    }
+    let z: f64 = num.iter().sum();
+    num.iter().map(|x| x / z).collect()
+}
+
+proptest! {
+    /// VE posterior == enumeration, for every query/evidence combination.
+    #[test]
+    fn ve_matches_enumeration(params in prop::array::uniform9(0.0..1000.0f64),
+                              ev_var in 0usize..4, ev_val in 0usize..2,
+                              q_var in 0usize..4) {
+        prop_assume!(ev_var != q_var);
+        let (net, vars) = diamond(&params);
+        let evidence = Evidence::from([(vars[ev_var], ev_val)]);
+        let ve = net.posterior(vars[q_var], &evidence).unwrap();
+        let brute = enumerate_posterior(&net, &vars, vars[q_var], &evidence);
+        prop_assert!((ve[0] - brute[0]).abs() < 1e-9, "ve={ve:?} brute={brute:?}");
+        prop_assert!((ve[1] - brute[1]).abs() < 1e-9);
+    }
+
+    /// Posteriors are proper distributions.
+    #[test]
+    fn posteriors_normalize(params in prop::array::uniform9(0.0..1000.0f64)) {
+        let (net, vars) = diamond(&params);
+        for q in vars {
+            let p = net.posterior(q, &Evidence::new()).unwrap();
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+    }
+
+    /// do(X = x) on a root variable equals conditioning on it (no
+    /// backdoor into a root), while do() on a collider parent removes the
+    /// dependence that conditioning would create.
+    #[test]
+    fn do_on_root_equals_conditioning(params in prop::array::uniform9(0.0..1000.0f64)) {
+        let (net, vars) = diamond(&params);
+        let [a, _b, _c, d] = vars;
+        let cond = net.posterior(d, &Evidence::from([(a, 1)])).unwrap();
+        let int = net
+            .posterior_do(d, &Evidence::new(), &Evidence::from([(a, 1)]))
+            .unwrap();
+        prop_assert!((cond[1] - int[1]).abs() < 1e-9);
+    }
+
+    /// Intervening on B severs the A→B edge: P(A | do(B)) == P(A).
+    #[test]
+    fn do_severs_parents(params in prop::array::uniform9(0.0..1000.0f64), bv in 0usize..2) {
+        let (net, vars) = diamond(&params);
+        let [a, b, _c, _d] = vars;
+        let prior = net.posterior(a, &Evidence::new()).unwrap();
+        let int = net
+            .posterior_do(a, &Evidence::new(), &Evidence::from([(b, bv)]))
+            .unwrap();
+        prop_assert!((prior[1] - int[1]).abs() < 1e-9, "do(B) changed P(A)");
+    }
+
+    /// The joint MAP assignment attains the maximum enumerated joint
+    /// probability consistent with the evidence.
+    #[test]
+    fn joint_map_is_optimal(params in prop::array::uniform9(0.0..1000.0f64),
+                            ev_var in 0usize..4, ev_val in 0usize..2) {
+        let (net, vars) = diamond(&params);
+        let evidence = Evidence::from([(vars[ev_var], ev_val)]);
+        let map = net.map_assignment(&evidence, &Evidence::new()).unwrap();
+        let p_map = net.joint_probability(&map).unwrap();
+        // Enumerate all completions of the evidence.
+        let mut best = 0.0f64;
+        for a in 0..2usize {
+            for b in 0..2usize {
+                for c in 0..2usize {
+                    for d in 0..2usize {
+                        let full = Evidence::from([
+                            (vars[0], a), (vars[1], b), (vars[2], c), (vars[3], d),
+                        ]);
+                        if evidence.iter().any(|(k, v)| full[k] != *v) {
+                            continue;
+                        }
+                        best = best.max(net.joint_probability(&full).unwrap());
+                    }
+                }
+            }
+        }
+        prop_assert!((p_map - best).abs() < 1e-12, "MAP {p_map} vs best {best}");
+    }
+}
+
+proptest! {
+    // Sampling estimators are statistical; fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Likelihood weighting converges to the exact posterior on random
+    /// diamond networks.
+    #[test]
+    fn likelihood_weighting_converges(params in prop::array::uniform9(0.0..1000.0f64),
+                                      seed in any::<u64>()) {
+        use drivefi_bayes::{likelihood_weighting, SampleOpts};
+        use rand::SeedableRng;
+        let (net, vars) = diamond(&params);
+        let [_a, b, _c, d] = vars;
+        let e = Evidence::from([(d, 1)]);
+        let exact = net.posterior(b, &e).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let est = likelihood_weighting(&net, b, &e, &Evidence::new(),
+                                       &SampleOpts::new(40_000), &mut rng).unwrap();
+        prop_assert!((est[1] - exact[1]).abs() < 0.03,
+                     "LW {est:?} vs exact {exact:?}");
+    }
+
+    /// Gibbs sampling converges to the exact posterior under
+    /// interventions, matching the mutilated-graph semantics of VE.
+    #[test]
+    fn gibbs_converges_under_do(params in prop::array::uniform9(0.0..1000.0f64),
+                                seed in any::<u64>()) {
+        use drivefi_bayes::{gibbs_posterior, SampleOpts};
+        use rand::SeedableRng;
+        let (net, vars) = diamond(&params);
+        let [_a, b, c, d] = vars;
+        let e = Evidence::from([(d, 1)]);
+        let i = Evidence::from([(c, 0)]);
+        let exact = net.posterior_do(b, &e, &i).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let opts = SampleOpts { samples: 40_000, burn_in: 2_000, thin: 1 };
+        let est = gibbs_posterior(&net, b, &e, &i, &opts, &mut rng).unwrap();
+        prop_assert!((est[1] - exact[1]).abs() < 0.04,
+                     "Gibbs {est:?} vs exact {exact:?}");
+    }
+}

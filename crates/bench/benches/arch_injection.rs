@@ -1,0 +1,28 @@
+//! E1 — architectural soft-error injection throughput: how many register
+//! bit-flip experiments per second the VM sustains (the paper runs 5 000
+//! per campaign).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drivefi_fault::{ArchProgram, ArchSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_arch(c: &mut Criterion) {
+    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
+        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
+    ));
+
+    let mut group = c.benchmark_group("arch_injection");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("campaign_1000_injections", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(sim.campaign(1000, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arch);
+criterion_main!(benches);

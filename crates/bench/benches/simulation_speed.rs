@@ -1,0 +1,42 @@
+//! Simulation throughput: the cost of one injection run — the
+//! denominator of the paper's 3 690× acceleration claim (E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drivefi_ads::Signal;
+use drivefi_fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi_sim::{SimConfig, Simulation};
+use drivefi_world::scenario::ScenarioConfig;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_speed");
+    group.sample_size(20);
+
+    let scenario = ScenarioConfig::lead_vehicle_cruise(7);
+    group.bench_function("golden_40s_scenario", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::default(), black_box(&scenario));
+            black_box(sim.run())
+        })
+    });
+
+    let fault = Fault {
+        kind: FaultKind::Scalar {
+            signal: Signal::RawThrottle,
+            model: ScalarFaultModel::StuckMax,
+        },
+        window: FaultWindow::scene(60),
+    };
+    group.bench_function("faulted_40s_scenario", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::default(), black_box(&scenario));
+            let mut injector = Injector::new(vec![fault]);
+            black_box(sim.run_with(&mut injector))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! **E1 — Random architectural fault injection** (paper fault model *a*;
+//! §I results paragraph).
+//!
+//! Paper: 5 000 random injections into non-ECC processor structures →
+//! 0 safety hazards; 1.93 % SDC (all recovered by the ADS); 7.35 %
+//! kernel panics + hangs; the rest masked.
+//!
+//! Here: 5 000 single-bit flips into the soft-error VM running the ADS
+//! control kernel. SDC survivors are then replayed through the closed
+//! loop as one-scene actuation corruptions with the corrupted kernel
+//! outputs, counting any safety hazards.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_e1
+//! ```
+
+use drivefi_fault::{ArchProgram, ArchSimulator, Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi_ads::Signal;
+use drivefi_sim::{SimConfig, Simulation};
+use drivefi_world::scenario::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const N: usize = 5000;
+    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
+        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
+    ));
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let (masked, sdc, crash, hang, sdc_sites) = sim.campaign(N, &mut rng);
+
+    let pct = |x: usize| 100.0 * x as f64 / N as f64;
+    println!("E1: random architectural FI, {N} single-bit register flips");
+    println!();
+    println!("| outcome       | count | ours   | paper  |");
+    println!("|---------------|-------|--------|--------|");
+    println!("| masked/benign | {masked:5} | {:5.2}% | ~90.7% |", pct(masked));
+    println!("| SDC           | {sdc:5} | {:5.2}% |  1.93% |", pct(sdc));
+    println!("| crash (panic) | {crash:5} | {:5.2}% |  \\     |", pct(crash));
+    println!("| hang          | {hang:5} | {:5.2}% |  7.35% (panic+hang) |", pct(hang));
+
+    // Replay up to 200 SDC survivors through the closed loop: corrupt the
+    // planner outputs for one scene with the corrupted kernel outputs.
+    let scenario = ScenarioConfig::lead_vehicle_cruise(17);
+    let mut hazards = 0usize;
+    let mut replays = 0usize;
+    for (site, _) in sdc_sites.iter().take(200) {
+        // Re-derive the corrupted outputs deterministically.
+        let outcome = sim.inject(*site);
+        let drivefi_fault::ArchOutcome::Sdc { relative_error } = outcome else {
+            continue;
+        };
+        let scene = 40 + (replays as u64 % 200);
+        // Map the corrupted-accel magnitude onto a throttle or brake
+        // stuck-at for one scene.
+        let corrupted = (sim.golden_outputs()[0] * (1.0 + relative_error)).clamp(-8.0, 3.5);
+        let fault = if corrupted >= 0.0 {
+            Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::RawThrottle,
+                    model: ScalarFaultModel::StuckAt((corrupted / 3.5).min(1.0)),
+                },
+                window: FaultWindow::scene(scene),
+            }
+        } else {
+            Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::RawBrake,
+                    model: ScalarFaultModel::StuckAt((-corrupted / 8.0).min(1.0)),
+                },
+                window: FaultWindow::scene(scene),
+            }
+        };
+        let mut s = Simulation::new(SimConfig::default(), &scenario);
+        let mut injector = Injector::new(vec![fault]);
+        let report = s.run_with(&mut injector);
+        if report.outcome.is_hazardous() {
+            hazards += 1;
+        }
+        replays += 1;
+    }
+    println!();
+    println!(
+        "SDC survivors replayed through the closed loop: {replays}, safety hazards: {hazards} \
+         (paper: ADS recovered from all SDC actuation errors — 0 hazards)"
+    );
+}

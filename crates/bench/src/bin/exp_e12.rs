@@ -1,0 +1,120 @@
+//! **E12 — Traffic-rule violations under faults (extension)**: §II-B of
+//! the paper defines safety by collision avoidance only and defers
+//! "extended notions of safety, e.g., using traffic rules" to future
+//! work. This experiment implements that extension: the same fault
+//! campaign is scored by the rule monitor (speeding, tailgating, lane
+//! departures, harsh maneuvers) alongside the δ-hazard monitor, showing
+//! that faults degrade *operational* safety well before they cause
+//! collision courses.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_e12 [scenarios]
+//! ```
+
+use drivefi_ads::Signal;
+use drivefi_fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi_sim::{RuleConfig, RuleKind, RuleMonitor, RuleSummary, SimConfig, Simulation};
+use drivefi_world::ScenarioSuite;
+
+fn run_suite(
+    suite: &ScenarioSuite,
+    sim: &SimConfig,
+    fault: Option<Fault>,
+) -> (RuleSummary, usize) {
+    let mut total = RuleSummary::default();
+    let mut hazards = 0usize;
+    for scenario in &suite.scenarios {
+        let mut monitor = RuleMonitor::new(RuleConfig::default(), sim.ads.vehicle);
+        let mut s = Simulation::new(*sim, scenario);
+        let report = match fault {
+            Some(f) => s.run_monitored(&mut Injector::new(vec![f]), &mut monitor),
+            None => s.run_monitored(&mut drivefi_ads::NullInterceptor, &mut monitor),
+        };
+        let summary = monitor.finish();
+        for i in 0..5 {
+            total.episodes[i] += summary.episodes[i];
+            total.scenes[i] += summary.scenes[i];
+        }
+        total.observed_scenes += summary.observed_scenes;
+        if report.outcome.is_hazardous() {
+            hazards += 1;
+        }
+    }
+    (total, hazards)
+}
+
+fn main() {
+    let scenarios: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let suite = ScenarioSuite::generate(scenarios, 2026);
+    let sim = SimConfig::default();
+
+    // Representative sustained faults (half-second bursts at scene 40):
+    let burst = FaultWindow::burst(160, 60);
+    let campaigns: [(&str, Option<Fault>); 4] = [
+        ("golden (no fault)", None),
+        (
+            "throttle stuck max",
+            Some(Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalThrottle,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: burst,
+            }),
+        ),
+        (
+            "brake stuck max",
+            Some(Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalBrake,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: burst,
+            }),
+        ),
+        (
+            "steering stuck max",
+            Some(Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalSteering,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: burst,
+            }),
+        ),
+    ];
+
+    println!("E12: traffic-rule episodes over {scenarios} scenarios (2-s faults at scene 40)");
+    println!();
+    println!(
+        "| campaign            | speed | headway | lane | brake | steer | total | δ-hazards |"
+    );
+    println!(
+        "|---------------------|-------|---------|------|-------|-------|-------|-----------|"
+    );
+    let mut golden_total = 0u64;
+    for (name, fault) in campaigns {
+        let (summary, hazards) = run_suite(&suite, &sim, fault);
+        println!(
+            "| {name:19} | {:5} | {:7} | {:4} | {:5} | {:5} | {:5} | {:9} |",
+            summary.count(RuleKind::SpeedLimit),
+            summary.count(RuleKind::Headway),
+            summary.count(RuleKind::LaneKeeping),
+            summary.count(RuleKind::HarshBraking),
+            summary.count(RuleKind::HarshSteering),
+            summary.total(),
+            hazards,
+        );
+        if name.starts_with("golden") {
+            golden_total = summary.total();
+        }
+    }
+    println!();
+    println!(
+        "shape: faulted campaigns must out-violate the golden baseline ({golden_total} episodes) \
+         even where no δ-hazard develops — the paper's deferred 'extended notion of safety'."
+    );
+}

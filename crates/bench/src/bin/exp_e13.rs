@@ -1,0 +1,157 @@
+//! **E13 — BN topology ablation (extension)**: the paper *derives* the
+//! 3-TBN topology from the ADS architecture (Fig. 1 → Fig. 6) and never
+//! compares it against alternatives. This experiment scores the
+//! architecture-derived structure against ablated ones (no temporal
+//! edges, fully disconnected, reversed dataflow) by BIC on the golden
+//! traces — quantifying how much of the data the architectural prior
+//! actually explains.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_e13 [scenarios] [bins]
+//! ```
+
+use drivefi_bayes::{fit_and_score, BayesNet, Discretizer, VarId};
+use drivefi_core::collect_golden_traces;
+use drivefi_sim::SimConfig;
+use drivefi_world::ScenarioSuite;
+
+/// Variables modeled per slice: a compact subset of the TBN's template
+/// (speed, lead distance, raw throttle/brake, final throttle/brake).
+const VARS: [&str; 6] = ["v", "w_dist", "u_thr", "u_brk", "a_thr", "a_brk"];
+const V: usize = 0;
+const WD: usize = 1;
+const UT: usize = 2;
+const UB: usize = 3;
+const AT: usize = 4;
+const AB: usize = 5;
+
+/// Intra-slice edges per structure, as (parent, child) template pairs.
+fn intra(structure: &str) -> Vec<(usize, usize)> {
+    match structure {
+        // Paper Fig. 6: W → U_A, M → U_A, U_A → A.
+        "architecture (Fig. 6)" => vec![(WD, UT), (WD, UB), (V, UT), (V, UB), (UT, AT), (UB, AB)],
+        "no temporal edges" => vec![(WD, UT), (WD, UB), (V, UT), (V, UB), (UT, AT), (UB, AB)],
+        "fully disconnected" => vec![],
+        // Causality reversed: actuation "causes" the world.
+        "reversed dataflow" => vec![(AT, UT), (AB, UB), (UT, WD), (UT, V), (UB, WD), (UB, V)],
+        other => panic!("unknown structure {other}"),
+    }
+}
+
+/// Temporal edges per structure.
+fn inter(structure: &str) -> Vec<(usize, usize)> {
+    match structure {
+        "architecture (Fig. 6)" | "reversed dataflow" => {
+            vec![(V, V), (AT, V), (AB, V), (WD, WD)]
+        }
+        "no temporal edges" | "fully disconnected" => vec![],
+        other => panic!("unknown structure {other}"),
+    }
+}
+
+fn main() {
+    let scenarios: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let bins: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+
+    let suite = ScenarioSuite::generate(scenarios, 2026);
+    let traces = collect_golden_traces(&SimConfig::default(), &suite, workers);
+
+    // Continuous per-scene matrix → discretized two-slice rows.
+    let frame_vals = |f: &drivefi_sim::FrameRecord| {
+        [
+            f.ego.v,
+            f.lead_distance.unwrap_or(250.0),
+            f.raw_cmd.throttle,
+            f.raw_cmd.brake,
+            f.final_cmd.throttle,
+            f.final_cmd.brake,
+        ]
+    };
+    let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); VARS.len()];
+    for t in &traces {
+        for f in &t.frames {
+            for (i, v) in frame_vals(f).into_iter().enumerate() {
+                pooled[i].push(v);
+            }
+        }
+    }
+    let discretizers: Vec<Discretizer> =
+        pooled.iter().map(|d| Discretizer::fit(d, bins)).collect();
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    for t in &traces {
+        for w in t.frames.windows(2) {
+            let mut row = Vec::with_capacity(2 * VARS.len());
+            for f in w {
+                for (i, v) in frame_vals(f).into_iter().enumerate() {
+                    row.push(discretizers[i].transform(v));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    println!(
+        "E13: BIC of candidate BN structures over {} golden two-slice rows ({bins} bins)",
+        rows.len()
+    );
+    println!();
+    println!("| structure               | dim  | log-likelihood | BIC            |");
+    println!("|-------------------------|------|----------------|----------------|");
+
+    let mut best: Option<(String, f64)> = None;
+    for name in [
+        "architecture (Fig. 6)",
+        "no temporal edges",
+        "fully disconnected",
+        "reversed dataflow",
+    ] {
+        // Unrolled 2-slice network: slice-0 vars then slice-1 vars.
+        let mut net = BayesNet::new();
+        let cards = |d: &Discretizer| d.bins();
+        let mut ids = Vec::new();
+        for s in 0..2 {
+            for (i, v) in VARS.iter().enumerate() {
+                ids.push(net.add_variable(&format!("{v}@{s}"), cards(&discretizers[i])));
+            }
+        }
+        let n = VARS.len();
+        let mut structure: Vec<(VarId, Vec<VarId>)> = Vec::new();
+        for s in 0..2 {
+            for i in 0..n {
+                let mut parents: Vec<VarId> = intra(name)
+                    .iter()
+                    .filter(|(_, c)| *c == i)
+                    .map(|(p, _)| ids[s * n + p])
+                    .collect();
+                if s == 1 {
+                    parents.extend(
+                        inter(name).iter().filter(|(_, c)| *c == i).map(|(p, _)| ids[*p]),
+                    );
+                }
+                structure.push((ids[s * n + i], parents));
+            }
+        }
+        let score = fit_and_score(&mut net, &structure, &rows, 1.0).expect("score");
+        println!(
+            "| {name:23} | {:4} | {:14.0} | {:14.0} |",
+            score.dimension, score.log_likelihood, score.bic
+        );
+        if best.as_ref().is_none_or(|(_, b)| score.bic > *b) {
+            best = Some((name.to_owned(), score.bic));
+        }
+    }
+    println!();
+    let (best_name, _) = best.unwrap();
+    println!(
+        "best structure by BIC: {best_name} \
+         (shape: the architecture-derived topology should win — the paper's \
+         domain-knowledge claim, quantified)"
+    );
+}

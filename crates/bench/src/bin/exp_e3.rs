@@ -1,0 +1,122 @@
+//! **E3 + E4 — Bayesian fault mining and acceleration** (the paper's
+//! headline result, §I):
+//!
+//! * candidate corpus ≈ 98 400 faults → exhaustive simulation ≈ 615 days,
+//! * Bayesian FI found 561 critical faults in < 4 h (3 690×),
+//! * 460 of 561 manifested as safety hazards when actually injected,
+//! * the hazards concentrated in 68 of 7 200 scenes.
+//!
+//! This binary runs the full pipeline at paper scale (24 scenarios,
+//! 7 200 scenes) and prints the same accounting.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_e3 [scene_stride]
+//! ```
+
+use drivefi_core::{
+    collect_golden_traces, validate_candidates, AccelerationReport, BayesianMiner, MinerConfig,
+};
+use drivefi_sim::SimConfig;
+use drivefi_world::ScenarioSuite;
+use std::time::Instant;
+
+fn main() {
+    let stride: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let suite = ScenarioSuite::paper_suite(2026);
+    let sim = SimConfig::default();
+
+    println!(
+        "E3/E4: Bayesian FI over {} scenarios / {} scenes (stride {stride})",
+        suite.scenarios.len(),
+        suite.scene_count()
+    );
+
+    // --- Mining phase (golden runs + model fit + counterfactuals) ---
+    let mine_t0 = Instant::now();
+    let golden = collect_golden_traces(&sim, &suite, workers);
+    let golden_time = mine_t0.elapsed();
+    let config = MinerConfig { scene_stride: stride, ..MinerConfig::default() };
+    let fit_t0 = Instant::now();
+    let miner = BayesianMiner::fit(&golden, config).expect("model fit");
+    let fit_time = fit_t0.elapsed();
+    let mine_t1 = Instant::now();
+    let critical = miner.mine_parallel(&golden, workers);
+    let mine_time = mine_t1.elapsed();
+    let total_mining = mine_t0.elapsed();
+    let pool = miner.candidate_count(&golden);
+
+    println!();
+    println!("mining: golden {golden_time:.1?} + fit {fit_time:.1?} + counterfactuals {mine_time:.1?}");
+    println!("candidate pool |F| = {pool} (paper: 98 400)");
+    println!("critical set |F_crit| = {} (paper: 561)", critical.len());
+
+    // --- Validation phase ---
+    let validation = validate_candidates(&sim, &suite, &critical, workers);
+    println!();
+    println!("| metric                       | ours       | paper      |");
+    println!("|------------------------------|------------|------------|");
+    println!("| mined critical faults        | {:10} | 561        |", critical.len());
+    println!("| manifested as hazards        | {:10} | 460        |", validation.manifested);
+    println!("|   of which collisions        | {:10} | n/r        |", validation.collisions);
+    println!(
+        "| miner precision              | {:9.1}% | 82.0%      |",
+        100.0 * validation.precision()
+    );
+    println!(
+        "| safety-critical scenes       | {:10} | 68 of 7200 |",
+        validation.critical_scenes.len()
+    );
+
+    // Per-signal breakdown of the validated set (E9 feeds on this too).
+    let mut by_signal: std::collections::BTreeMap<String, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for m in &validation.mined {
+        let slot = by_signal.entry(m.candidate.signal.name().to_owned()).or_default();
+        slot.0 += 1;
+        if m.outcome.is_hazardous() {
+            slot.1 += 1;
+        }
+    }
+    println!();
+    println!("| signal               | mined | manifested |");
+    println!("|----------------------|-------|------------|");
+    for (signal, (mined, manifested)) in &by_signal {
+        println!("| {signal:20} | {mined:5} | {manifested:10} |");
+    }
+
+    // --- Acceleration accounting ---
+    let avg_sim = validation
+        .wall_clock
+        .div_f64(validation.mined.len().max(1) as f64);
+    let report = AccelerationReport {
+        candidate_pool: pool,
+        avg_sim_time: avg_sim,
+        mining_time: total_mining,
+        validation_time: validation.wall_clock,
+        mined_faults: critical.len(),
+    };
+    println!();
+    println!("E4 acceleration accounting (paper: 615 days vs < 4 h = 3690x):");
+    println!("  avg simulated injection run : {avg_sim:.1?}");
+    println!("  exhaustive estimate         : {:.1?}", report.exhaustive_time());
+    println!("  Bayesian (mine + validate)  : {:.1?}", report.bayesian_time());
+    println!("  acceleration                : {:.0}x", report.acceleration());
+    // Our simulator runs a 40 s scenario in milliseconds; the paper's
+    // testbed ran DriveSim/LGSVL in real time (~540 s per injection run,
+    // 98 400 runs = 615 days). The algorithmic speedup at the paper's
+    // per-run cost — mining replaces `pool` runs with |F_crit|
+    // validation runs plus the (simulator-independent) BN work:
+    let paper_run = std::time::Duration::from_secs(540);
+    let exhaustive_paper = paper_run.mul_f64(pool as f64);
+    let bayesian_paper = total_mining + paper_run.mul_f64(critical.len() as f64);
+    println!(
+        "  at the paper's 540 s per run: exhaustive {:.1} days vs Bayesian {:.1} h = {:.0}x",
+        exhaustive_paper.as_secs_f64() / 86_400.0,
+        bayesian_paper.as_secs_f64() / 3_600.0,
+        exhaustive_paper.as_secs_f64() / bayesian_paper.as_secs_f64().max(1e-9)
+    );
+}

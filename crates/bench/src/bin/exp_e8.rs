@@ -1,0 +1,90 @@
+//! **E8 — Safety-potential timeline** (paper Fig. 2/4 style): the
+//! per-scene δ trace of a golden run against the same run with the
+//! Example-1 throttle fault, written as CSV for plotting and sketched as
+//! ASCII art.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_e8 [out.csv]
+//! ```
+
+use drivefi_ads::Signal;
+use drivefi_fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi_sim::{SimConfig, Simulation, BASE_TICKS_PER_SCENE};
+use drivefi_world::scenario::ScenarioConfig;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/e8_delta_timeline.csv".to_owned());
+    let scenario = ScenarioConfig::cut_in(3);
+    let config = SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
+
+    let mut sim = Simulation::new(config, &scenario);
+    let golden = sim.run();
+    let golden_trace = golden.trace.expect("trace");
+
+    // Burst at the squeeze (as mined by E3-style timing).
+    let knife = golden_trace
+        .frames
+        .iter()
+        .min_by(|a, b| a.delta_true.longitudinal.partial_cmp(&b.delta_true.longitudinal).unwrap())
+        .unwrap()
+        .scene;
+    let inject_scene = knife.saturating_sub(8);
+    let faults = vec![
+        Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::RawThrottle,
+                model: ScalarFaultModel::StuckMax,
+            },
+            window: FaultWindow::burst(inject_scene * BASE_TICKS_PER_SCENE, 36),
+        },
+        Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::RawBrake,
+                model: ScalarFaultModel::StuckMin,
+            },
+            window: FaultWindow::burst(inject_scene * BASE_TICKS_PER_SCENE, 36),
+        },
+    ];
+    let mut sim = Simulation::new(config, &scenario);
+    let mut injector = Injector::new(faults);
+    let faulted = sim.run_with(&mut injector);
+    let faulted_trace = faulted.trace.expect("trace");
+
+    // CSV.
+    let mut csv = String::from("scene,time,delta_golden,delta_faulted,ego_v_golden,ego_v_faulted\n");
+    for (g, f) in golden_trace.frames.iter().zip(&faulted_trace.frames) {
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            g.scene, g.time, g.delta_true.longitudinal, f.delta_true.longitudinal, g.ego.v, f.ego.v
+        ));
+    }
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &csv).expect("write csv");
+
+    println!("E8: δ_lon timeline — golden vs Example-1 throttle fault (inject @ scene {inject_scene})");
+    println!("golden outcome: {}; faulted outcome: {}", golden.outcome, faulted.outcome);
+    println!("csv written to {out_path}");
+    println!();
+    // ASCII sketch: 60 scenes around the injection.
+    let lo = inject_scene.saturating_sub(10) as usize;
+    let hi = (inject_scene as usize + 50).min(golden_trace.frames.len());
+    println!("scene |  golden δ | faulted δ | sketch (g = golden, F = faulted, | = 0)");
+    for i in (lo..hi).step_by(2) {
+        let g = golden_trace.frames[i].delta_true.longitudinal;
+        let f = faulted_trace.frames[i].delta_true.longitudinal;
+        let pos = |d: f64| ((d.clamp(-20.0, 40.0) + 20.0) / 60.0 * 50.0) as usize;
+        let mut line = vec![b' '; 52];
+        line[pos(0.0)] = b'|';
+        line[pos(g)] = b'g';
+        line[pos(f)] = b'F';
+        println!(
+            "{:5} | {g:9.2} | {f:9.2} | {}",
+            golden_trace.frames[i].scene,
+            String::from_utf8_lossy(&line)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! **Miner design-choice ablation** (DESIGN.md §4): how the mined-set
+//! quality depends on (a) the kinematics-derived CPD augmentation and
+//! (b) the discretization resolution.
+//!
+//! ```text
+//! cargo run --release -p drivefi-bench --bin exp_miner_ablation
+//! ```
+
+use drivefi_core::{collect_golden_traces, validate_candidates, BayesianMiner, MinerConfig};
+use drivefi_sim::SimConfig;
+use drivefi_world::ScenarioSuite;
+
+fn main() {
+    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let suite = ScenarioSuite::generate(12, 2026);
+    let sim = SimConfig::default();
+    let golden = collect_golden_traces(&sim, &suite, workers);
+
+    let configs: [(&str, MinerConfig); 4] = [
+        (
+            "bins=6 + kinematic CPDs (default)",
+            MinerConfig { scene_stride: 8, ..MinerConfig::default() },
+        ),
+        (
+            "bins=6, data-only CPDs",
+            MinerConfig { scene_stride: 8, kinematic_augmentation: false, ..MinerConfig::default() },
+        ),
+        (
+            "bins=4 + kinematic CPDs",
+            MinerConfig { scene_stride: 8, bins: 4, ..MinerConfig::default() },
+        ),
+        (
+            "bins=8 + kinematic CPDs",
+            MinerConfig { scene_stride: 8, bins: 8, ..MinerConfig::default() },
+        ),
+    ];
+
+    println!("miner ablation over {} scenarios ({} scenes), stride 8", suite.scenarios.len(), suite.scene_count());
+    println!();
+    println!("| configuration                      | mined | manifested | precision | mine time |");
+    println!("|------------------------------------|-------|------------|-----------|-----------|");
+    for (name, config) in configs {
+        let t0 = std::time::Instant::now();
+        let miner = BayesianMiner::fit(&golden, config).expect("fit");
+        let critical = miner.mine_parallel(&golden, workers);
+        let mine_time = t0.elapsed();
+        let stats = validate_candidates(&sim, &suite, &critical, workers);
+        println!(
+            "| {name:34} | {:5} | {:10} | {:8.1}% | {mine_time:9.1?} |",
+            critical.len(),
+            stats.manifested,
+            100.0 * stats.precision(),
+        );
+    }
+    println!();
+    println!("expected shape: quality is flat across configurations — the miner");
+    println!("forecasts the actuation response (whose CPDs are well-conditioned at");
+    println!("any resolution) and reconstructs δ̂ through vehicle kinematics, so");
+    println!("neither the kinematic CPD augmentation nor the bin count moves the");
+    println!("mined set much. What the resolution does buy is cost: the VE factor");
+    println!("tables grow steeply with bins (4 bins ≈ 10x faster than 6, 8 bins");
+    println!("~5x slower), making coarse bins the right default for large corpora.");
+}

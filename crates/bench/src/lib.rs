@@ -1,0 +1,1 @@
+//! Shared helpers for the experiment binaries live in the binaries themselves; this crate exists for its benches and bins.

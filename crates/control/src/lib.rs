@@ -1,0 +1,27 @@
+//! Control: PID smoothing of raw actuation commands.
+//!
+//! The paper's ADS architecture (Fig. 1) interposes a PID controller
+//! between the ML module's raw command `U_A,t` and the mechanical
+//! actuation `A_t`: "The PID controller ensures that the AV does not make
+//! any sudden changes in `A_t`." This low-pass behavior is one of the
+//! three natural fault-masking mechanisms the paper identifies (§II-C) —
+//! a one-tick spike in `U_A,t` is heavily attenuated before it reaches
+//! the actuators, which is why *transient* random faults there rarely
+//! cause hazards while well-timed Bayesian-selected faults do.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_control::ActuationSmoother;
+//! use drivefi_kinematics::Actuation;
+//!
+//! let mut pid = ActuationSmoother::default();
+//! let smoothed = pid.step(&Actuation::new(1.0, 0.0, 0.0), 1.0 / 30.0);
+//! assert!(smoothed.throttle < 1.0); // spike attenuated
+//! ```
+
+pub mod pid;
+pub mod smoother;
+
+pub use pid::Pid;
+pub use smoother::ActuationSmoother;

@@ -1,0 +1,128 @@
+//! A classic PID controller.
+
+/// A proportional–integral–derivative controller with output clamping
+/// and integral anti-windup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pid {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Output limits `(lo, hi)`.
+    pub limits: (f64, f64),
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with the given gains and output limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(kp: f64, ki: f64, kd: f64, limits: (f64, f64)) -> Self {
+        assert!(limits.0 < limits.1, "lower limit must be below upper limit");
+        Pid { kp, ki, kd, limits, integral: 0.0, prev_error: None }
+    }
+
+    /// Resets the internal state (integral and derivative memory).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+    }
+
+    /// Advances the controller by `dt` with the given setpoint error and
+    /// returns the clamped output.
+    pub fn step(&mut self, error: f64, dt: f64) -> f64 {
+        let derivative = match self.prev_error {
+            Some(prev) if dt > 0.0 => (error - prev) / dt,
+            _ => 0.0,
+        };
+        self.prev_error = Some(error);
+
+        self.integral += error * dt;
+        let raw = self.kp * error + self.ki * self.integral + self.kd * derivative;
+        let clamped = raw.clamp(self.limits.0, self.limits.1);
+        // Anti-windup: stop integrating while saturated in the same
+        // direction as the error.
+        if (raw - clamped).abs() > f64::EPSILON && (raw - clamped).signum() == error.signum() {
+            self.integral -= error * dt;
+        }
+        clamped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_only_tracks_error() {
+        let mut pid = Pid::new(2.0, 0.0, 0.0, (-10.0, 10.0));
+        assert_eq!(pid.step(1.5, 0.1), 3.0);
+        assert_eq!(pid.step(-1.0, 0.1), -2.0);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = Pid::new(0.0, 1.0, 0.0, (-10.0, 10.0));
+        let mut out = 0.0;
+        for _ in 0..10 {
+            out = pid.step(1.0, 0.1);
+        }
+        assert!((out - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivative_damps_fast_changes() {
+        let mut pid = Pid::new(0.0, 0.0, 1.0, (-100.0, 100.0));
+        let _ = pid.step(0.0, 0.1);
+        let out = pid.step(1.0, 0.1);
+        assert!((out - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_clamped() {
+        let mut pid = Pid::new(100.0, 0.0, 0.0, (-1.0, 1.0));
+        assert_eq!(pid.step(5.0, 0.1), 1.0);
+        assert_eq!(pid.step(-5.0, 0.1), -1.0);
+    }
+
+    #[test]
+    fn anti_windup_prevents_integral_blowup() {
+        let mut pid = Pid::new(0.0, 1.0, 0.0, (-1.0, 1.0));
+        // Saturate for a long time...
+        for _ in 0..1000 {
+            pid.step(10.0, 0.1);
+        }
+        // ...then reverse; a wound-up integral would take ages to unwind.
+        let mut steps = 0;
+        loop {
+            let out = pid.step(-10.0, 0.1);
+            steps += 1;
+            if out <= -0.99 {
+                break;
+            }
+            assert!(steps < 50, "integral wind-up detected");
+        }
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut pid = Pid::new(0.0, 1.0, 1.0, (-10.0, 10.0));
+        pid.step(1.0, 0.1);
+        pid.step(1.0, 0.1);
+        pid.reset();
+        // After reset, derivative memory gone: first step has no D kick.
+        let out = pid.step(1.0, 0.1);
+        assert!((out - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower limit")]
+    fn inverted_limits_panic() {
+        let _ = Pid::new(1.0, 0.0, 0.0, (1.0, -1.0));
+    }
+}

@@ -1,0 +1,217 @@
+//! The actuation smoother: `U_A,t → A_t`.
+
+use drivefi_kinematics::Actuation;
+
+/// Smooths raw actuation commands into final commands with per-channel
+/// first-order tracking plus slew-rate limits — the "PID controller" box
+/// of the paper's Fig. 1 ("ensures that the AV does not make any sudden
+/// changes in `A_t`").
+///
+/// Each channel follows `out += α·(want − out)` with `α = dt/(τ + dt)`,
+/// clamped to the channel's slew rate. This is the discrete low-pass
+/// equivalent of a well-tuned PI tracker without its limit-cycle risk:
+/// a one-tick corrupted command moves the output by at most
+/// `min(α·Δ, slew·dt)` before healthy commands pull it back.
+#[derive(Debug, Clone)]
+pub struct ActuationSmoother {
+    /// Tracking time constant for throttle/brake \[s\].
+    pub pedal_tau: f64,
+    /// Tracking time constant for steering \[s\].
+    pub steer_tau: f64,
+    /// Maximum change per second for throttle/brake \[1/s\].
+    pub pedal_slew: f64,
+    /// Maximum change per second for steering \[rad/s\].
+    pub steer_slew: f64,
+    last: Actuation,
+}
+
+impl Default for ActuationSmoother {
+    fn default() -> Self {
+        ActuationSmoother {
+            pedal_tau: 0.15,
+            steer_tau: 0.15,
+            pedal_slew: 2.5,
+            steer_slew: 1.5,
+            last: Actuation::default(),
+        }
+    }
+}
+
+impl ActuationSmoother {
+    /// The last emitted command `A_t` (fault-injection target).
+    pub fn last_output(&self) -> Actuation {
+        self.last
+    }
+
+    /// Overwrites the last emitted command. The injector uses this to
+    /// corrupt `A_t` after smoothing (i.e. at the actuator boundary), and
+    /// the corrupted value then persists as controller state.
+    pub fn set_last_output(&mut self, a: Actuation) {
+        self.last = a;
+    }
+
+    /// Resets controller memory.
+    pub fn reset(&mut self) {
+        self.last = Actuation::default();
+    }
+
+    fn track(last: f64, want: f64, tau: f64, slew: f64, dt: f64) -> f64 {
+        let alpha = dt / (tau + dt);
+        let step = alpha * (want - last);
+        let max_step = slew * dt;
+        last + step.clamp(-max_step, max_step)
+    }
+
+    /// Smooths one raw command into the final actuation.
+    pub fn step(&mut self, raw: &Actuation, dt: f64) -> Actuation {
+        // Non-finite raw commands (possible under fault) are treated as
+        // zero demand; the controller state remains intact.
+        let want_throttle =
+            if raw.throttle.is_finite() { raw.throttle.clamp(0.0, 1.0) } else { 0.0 };
+        let want_brake = if raw.brake.is_finite() { raw.brake.clamp(0.0, 1.0) } else { 0.0 };
+        let want_steer =
+            if raw.steering.is_finite() { raw.steering.clamp(-0.55, 0.55) } else { 0.0 };
+
+        // A corrupted `last` (injected at the actuator boundary) may be
+        // non-finite; re-anchor rather than propagate NaN.
+        let safe_last = |v: f64| if v.is_finite() { v } else { 0.0 };
+        let out = Actuation {
+            throttle: Self::track(
+                safe_last(self.last.throttle),
+                want_throttle,
+                self.pedal_tau,
+                self.pedal_slew,
+                dt,
+            )
+            .clamp(0.0, 1.0),
+            brake: Self::track(
+                safe_last(self.last.brake),
+                want_brake,
+                self.pedal_tau,
+                self.pedal_slew,
+                dt,
+            )
+            .clamp(0.0, 1.0),
+            steering: Self::track(
+                safe_last(self.last.steering),
+                want_steer,
+                self.steer_tau,
+                self.steer_slew,
+                dt,
+            )
+            .clamp(-0.55, 0.55),
+        };
+        self.last = out;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 1.0 / 30.0;
+
+    #[test]
+    fn step_command_is_attenuated_first_tick() {
+        let mut s = ActuationSmoother::default();
+        let out = s.step(&Actuation::new(1.0, 0.0, 0.0), DT);
+        assert!(out.throttle < 0.5, "throttle jumped to {}", out.throttle);
+    }
+
+    #[test]
+    fn sustained_command_converges_monotonically() {
+        let mut s = ActuationSmoother::default();
+        let mut prev = 0.0;
+        let mut out = Actuation::default();
+        for _ in 0..120 {
+            out = s.step(&Actuation::new(0.6, 0.0, 0.0), DT);
+            assert!(out.throttle >= prev - 1e-12, "oscillation detected");
+            prev = out.throttle;
+        }
+        assert!((out.throttle - 0.6).abs() < 0.01, "converged to {}", out.throttle);
+    }
+
+    #[test]
+    fn steering_tracks_without_limit_cycle() {
+        // Regression test for the period-2 oscillation that a unit-gain
+        // PID on (want - last) produces.
+        let mut s = ActuationSmoother::default();
+        let mut outs = Vec::new();
+        for _ in 0..60 {
+            outs.push(s.step(&Actuation::new(0.0, 0.0, 0.014), DT).steering);
+        }
+        let tail = &outs[30..];
+        for w in tail.windows(2) {
+            assert!(
+                (w[1] - w[0]).abs() < 1e-4,
+                "steering dithers: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!((tail[tail.len() - 1] - 0.014).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_tick_spike_is_mostly_masked() {
+        // The paper's masking mechanism: a transient corrupted U_A,t
+        // barely moves A_t before the next healthy command arrives.
+        let mut s = ActuationSmoother::default();
+        for _ in 0..100 {
+            s.step(&Actuation::new(0.2, 0.0, 0.0), DT);
+        }
+        let before = s.last_output().throttle;
+        let spike = s.step(&Actuation::new(1.0, 0.0, 0.0), DT);
+        assert!(spike.throttle - before < 0.1, "spike leaked {}", spike.throttle - before);
+        let mut out = spike;
+        for _ in 0..10 {
+            out = s.step(&Actuation::new(0.2, 0.0, 0.0), DT);
+        }
+        assert!((out.throttle - before).abs() < 0.02);
+    }
+
+    #[test]
+    fn steering_slew_limited() {
+        let mut s = ActuationSmoother::default();
+        let out = s.step(&Actuation::new(0.0, 0.0, 0.55), DT);
+        assert!(out.steering <= s.steer_slew * DT + 1e-12);
+    }
+
+    #[test]
+    fn non_finite_raw_treated_as_zero() {
+        let mut s = ActuationSmoother::default();
+        for _ in 0..50 {
+            s.step(&Actuation::new(0.5, 0.0, 0.0), DT);
+        }
+        let out = s.step(&Actuation::new(f64::NAN, f64::INFINITY, f64::NAN), DT);
+        assert!(out.throttle.is_finite() && out.brake.is_finite() && out.steering.is_finite());
+    }
+
+    #[test]
+    fn corrupted_state_recovers() {
+        // The injector can poison the controller state itself.
+        let mut s = ActuationSmoother::default();
+        s.set_last_output(Actuation::new(f64::NAN, 0.9, -0.4));
+        let out = s.step(&Actuation::new(0.3, 0.0, 0.0), DT);
+        assert!(out.throttle.is_finite());
+        let mut out2 = out;
+        for _ in 0..60 {
+            out2 = s.step(&Actuation::new(0.3, 0.0, 0.0), DT);
+        }
+        assert!((out2.throttle - 0.3).abs() < 0.02);
+        assert!(out2.brake < 0.05);
+    }
+
+    #[test]
+    fn outputs_always_in_physical_range() {
+        let mut s = ActuationSmoother::default();
+        for i in 0..200 {
+            let raw = Actuation::new((i as f64).sin() * 3.0, (i as f64).cos() * 3.0, 5.0);
+            let out = s.step(&raw, DT);
+            assert!((0.0..=1.0).contains(&out.throttle));
+            assert!((0.0..=1.0).contains(&out.brake));
+            assert!(out.steering.abs() <= 0.55 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-run collection: fault-free traces over the scenario suite.
+
+use drivefi_sim::{run_campaign, CampaignJob, SimConfig, Trace};
+use drivefi_world::ScenarioSuite;
+
+/// Runs every scenario of `suite` fault-free (in parallel over `workers`
+/// threads) and returns the per-scene traces, in scenario order.
+///
+/// # Panics
+///
+/// Panics if a golden run produced no trace (they are always requested).
+pub fn collect_golden_traces(config: &SimConfig, suite: &ScenarioSuite, workers: usize) -> Vec<Trace> {
+    let config = SimConfig { record_trace: true, stop_on_collision: false, ..*config };
+    let jobs: Vec<CampaignJob> = suite
+        .scenarios
+        .iter()
+        .map(|s| CampaignJob { id: u64::from(s.id), scenario: s.clone(), faults: Vec::new() })
+        .collect();
+    run_campaign(config, &jobs, workers)
+        .into_iter()
+        .map(|r| r.report.trace.expect("golden runs record traces"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_cover_the_suite() {
+        let suite = ScenarioSuite::generate(4, 77);
+        let traces = collect_golden_traces(&SimConfig::default(), &suite, 4);
+        assert_eq!(traces.len(), 4);
+        for (t, s) in traces.iter().zip(&suite.scenarios) {
+            assert_eq!(t.scenario_id, s.id);
+            assert_eq!(t.frames.len(), s.scene_count());
+        }
+    }
+
+    #[test]
+    fn golden_traces_are_mostly_safe() {
+        let suite = ScenarioSuite::generate(8, 2026);
+        let traces = collect_golden_traces(&SimConfig::default(), &suite, 8);
+        let total: usize = traces.iter().map(|t| t.frames.len()).sum();
+        let safe: usize = traces.iter().map(|t| t.safe_scenes().count()).sum();
+        assert!(safe as f64 / total as f64 > 0.95, "safe {safe}/{total}");
+    }
+}

@@ -1,0 +1,331 @@
+//! The **situation library** — the paper's proposed downstream use of
+//! Bayesian FI results (§I): "Combining results from a range of fault
+//! injection experiments to create a library of situations will help
+//! manufacturers to develop rules and conditions for AV testing and safe
+//! driving."
+//!
+//! A [`Situation`] summarizes one validated safety-critical scene: the
+//! driving context (speeds, gaps, δ) plus the set of faults that turn it
+//! hazardous. The library renders to CSV/markdown for test-plan authors.
+
+use crate::miner::MinedFault;
+use drivefi_sim::Trace;
+use std::collections::BTreeMap;
+
+/// One safety-critical situation mined and validated by DriveFI.
+#[derive(Debug, Clone)]
+pub struct Situation {
+    /// Scenario id.
+    pub scenario_id: u32,
+    /// Scenario family name.
+    pub scenario_name: String,
+    /// Scene index within the scenario.
+    pub scene: u64,
+    /// Ego speed at the scene \[m/s\].
+    pub ego_speed: f64,
+    /// Perceived lead gap, if any \[m\].
+    pub lead_gap: Option<f64>,
+    /// Golden ground-truth δ_lon at the scene \[m\].
+    pub golden_delta: f64,
+    /// Fault names validated hazardous at this scene.
+    pub hazardous_faults: Vec<String>,
+    /// Whether any validated fault collided (vs hazard only).
+    pub collision: bool,
+}
+
+/// A library of validated critical situations.
+#[derive(Debug, Clone, Default)]
+pub struct SituationLibrary {
+    /// Situations, ordered by (scenario, scene).
+    pub situations: Vec<Situation>,
+}
+
+impl SituationLibrary {
+    /// Builds the library from validation results and the golden traces
+    /// (for the scene context). `names[scenario_id]` supplies family
+    /// names.
+    pub fn build(mined: &[MinedFault], golden: &[Trace], names: &[String]) -> Self {
+        let mut by_scene: BTreeMap<(u32, u64), Situation> = BTreeMap::new();
+        for m in mined {
+            if !m.outcome.is_hazardous() {
+                continue;
+            }
+            let c = m.candidate;
+            let entry = by_scene.entry((c.scenario_id, c.scene)).or_insert_with(|| {
+                let frame = golden
+                    .iter()
+                    .find(|t| t.scenario_id == c.scenario_id)
+                    .and_then(|t| t.frames.get(c.scene as usize));
+                Situation {
+                    scenario_id: c.scenario_id,
+                    scenario_name: names
+                        .get(c.scenario_id as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("scenario{}", c.scenario_id)),
+                    scene: c.scene,
+                    ego_speed: frame.map_or(f64::NAN, |f| f.ego.v),
+                    lead_gap: frame.and_then(|f| f.lead_distance),
+                    golden_delta: c.golden_delta,
+                    hazardous_faults: Vec::new(),
+                    collision: false,
+                }
+            });
+            let name = format!("{}:{}", c.signal.name(), c.model.name());
+            if !entry.hazardous_faults.contains(&name) {
+                entry.hazardous_faults.push(name);
+            }
+            entry.collision |= m.outcome.is_collision();
+        }
+        SituationLibrary { situations: by_scene.into_values().collect() }
+    }
+
+    /// Number of distinct critical scenes (the paper's "68 of 7 200").
+    pub fn len(&self) -> usize {
+        self.situations.len()
+    }
+
+    /// True when the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.situations.is_empty()
+    }
+
+    /// CSV rendering for test-plan tooling.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario_id,scenario,scene,ego_speed,lead_gap,golden_delta,collision,hazardous_faults\n",
+        );
+        for s in &self.situations {
+            out.push_str(&format!(
+                "{},{},{},{:.2},{},{:.2},{},{}\n",
+                s.scenario_id,
+                s.scenario_name,
+                s.scene,
+                s.ego_speed,
+                s.lead_gap.map_or(String::new(), |g| format!("{g:.1}")),
+                s.golden_delta,
+                s.collision,
+                s.hazardous_faults.join(";"),
+            ));
+        }
+        out
+    }
+
+    /// Markdown table for reports.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| scenario | scene | ego v [m/s] | lead gap [m] | golden δ [m] | faults |\n\
+             |----------|-------|-------------|--------------|--------------|--------|\n",
+        );
+        for s in &self.situations {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {} | {:.1} | {} |\n",
+                s.scenario_name,
+                s.scene,
+                s.ego_speed,
+                s.lead_gap.map_or(String::from("—"), |g| format!("{g:.0}")),
+                s.golden_delta,
+                s.hazardous_faults.join(", "),
+            ));
+        }
+        out
+    }
+
+    /// Derives per-fault **test rules** — the paper's proposed end
+    /// product ("develop rules and conditions for AV testing and safe
+    /// driving"): for each fault class, the envelope of driving
+    /// conditions over which it validated as hazardous. A rule reads as
+    /// *"when ego speed ∈ [a, b] and lead gap ∈ [c, d] and golden δ ∈
+    /// [e, f], fault X is safety-critical — cover this region in track
+    /// testing / runtime monitoring."*
+    pub fn derive_rules(&self) -> Vec<TestRule> {
+        let mut by_fault: BTreeMap<&str, TestRule> = BTreeMap::new();
+        for s in &self.situations {
+            for fault in &s.hazardous_faults {
+                let rule = by_fault.entry(fault).or_insert_with(|| TestRule {
+                    fault: fault.clone(),
+                    situations: 0,
+                    speed: (f64::INFINITY, f64::NEG_INFINITY),
+                    lead_gap: None,
+                    golden_delta: (f64::INFINITY, f64::NEG_INFINITY),
+                    collisions: 0,
+                });
+                rule.situations += 1;
+                if s.ego_speed.is_finite() {
+                    rule.speed.0 = rule.speed.0.min(s.ego_speed);
+                    rule.speed.1 = rule.speed.1.max(s.ego_speed);
+                }
+                if let Some(gap) = s.lead_gap {
+                    let slot = rule.lead_gap.get_or_insert((f64::INFINITY, f64::NEG_INFINITY));
+                    slot.0 = slot.0.min(gap);
+                    slot.1 = slot.1.max(gap);
+                }
+                rule.golden_delta.0 = rule.golden_delta.0.min(s.golden_delta);
+                rule.golden_delta.1 = rule.golden_delta.1.max(s.golden_delta);
+                if s.collision {
+                    rule.collisions += 1;
+                }
+            }
+        }
+        let mut rules: Vec<TestRule> = by_fault.into_values().collect();
+        rules.sort_by(|a, b| b.situations.cmp(&a.situations));
+        rules
+    }
+}
+
+/// A testing rule derived from the situation library: the driving-
+/// condition envelope over which one fault class validated as hazardous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestRule {
+    /// Fault name (`signal:model`).
+    pub fault: String,
+    /// Number of validated critical situations backing the rule.
+    pub situations: usize,
+    /// Ego-speed envelope \[m/s\] (min, max).
+    pub speed: (f64, f64),
+    /// Lead-gap envelope \[m\], when any backing situation had a lead.
+    pub lead_gap: Option<(f64, f64)>,
+    /// Golden-δ envelope \[m\] (min, max).
+    pub golden_delta: (f64, f64),
+    /// Backing situations that ended in collision (vs hazard only).
+    pub collisions: usize,
+}
+
+impl TestRule {
+    /// One-line condition rendering for test plans.
+    pub fn condition(&self) -> String {
+        let gap = match self.lead_gap {
+            Some((lo, hi)) => format!(" ∧ lead gap ∈ [{lo:.0}, {hi:.0}] m"),
+            None => String::new(),
+        };
+        format!(
+            "v ∈ [{:.1}, {:.1}] m/s{gap} ∧ δ ∈ [{:.1}, {:.1}] m ⇒ {} critical ({} situations, {} collisions)",
+            self.speed.0, self.speed.1, self.golden_delta.0, self.golden_delta.1,
+            self.fault, self.situations, self.collisions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::CandidateFault;
+    use drivefi_ads::Signal;
+    use drivefi_fault::ScalarFaultModel;
+    use drivefi_sim::Outcome;
+
+    fn mined(scenario: u32, scene: u64, signal: Signal, outcome: Outcome) -> MinedFault {
+        MinedFault {
+            candidate: CandidateFault {
+                scenario_id: scenario,
+                scene,
+                signal,
+                model: ScalarFaultModel::StuckMax,
+                golden_delta: 3.0,
+                predicted_delta: -1.0,
+            },
+            outcome,
+        }
+    }
+
+    #[test]
+    fn groups_faults_by_scene() {
+        let items = vec![
+            mined(0, 10, Signal::RawThrottle, Outcome::Hazard { scene: 11 }),
+            mined(0, 10, Signal::FinalBrake, Outcome::Collision { scene: 12, actor: 1 }),
+            mined(0, 20, Signal::RawThrottle, Outcome::Hazard { scene: 21 }),
+            mined(0, 30, Signal::RawThrottle, Outcome::Safe), // not hazardous → dropped
+        ];
+        let lib = SituationLibrary::build(&items, &[], &["cut_in".into()]);
+        assert_eq!(lib.len(), 2);
+        let s = &lib.situations[0];
+        assert_eq!(s.scene, 10);
+        assert_eq!(s.hazardous_faults.len(), 2);
+        assert!(s.collision);
+        assert!(!lib.situations[1].collision);
+    }
+
+    #[test]
+    fn renders_csv_and_markdown() {
+        let items = vec![mined(0, 10, Signal::RawThrottle, Outcome::Hazard { scene: 11 })];
+        let lib = SituationLibrary::build(&items, &[], &["cut_in".into()]);
+        let csv = lib.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("cut_in"));
+        let md = lib.to_markdown();
+        assert!(md.contains("| cut_in | 10 |"));
+    }
+
+    #[test]
+    fn duplicate_fault_names_are_deduped() {
+        let items = vec![
+            mined(0, 10, Signal::RawThrottle, Outcome::Hazard { scene: 11 }),
+            mined(0, 10, Signal::RawThrottle, Outcome::Hazard { scene: 12 }),
+        ];
+        let lib = SituationLibrary::build(&items, &[], &[]);
+        assert_eq!(lib.situations[0].hazardous_faults.len(), 1);
+        assert_eq!(lib.situations[0].scenario_name, "scenario0");
+    }
+
+    #[test]
+    fn rules_envelope_backing_situations() {
+        let mut lib = SituationLibrary::default();
+        lib.situations = vec![
+            Situation {
+                scenario_id: 0,
+                scenario_name: "cut_in".into(),
+                scene: 10,
+                ego_speed: 30.0,
+                lead_gap: Some(15.0),
+                golden_delta: 2.0,
+                hazardous_faults: vec!["plan.throttle:max".into()],
+                collision: true,
+            },
+            Situation {
+                scenario_id: 1,
+                scenario_name: "cut_in".into(),
+                scene: 40,
+                ego_speed: 26.0,
+                lead_gap: Some(22.0),
+                golden_delta: 5.0,
+                hazardous_faults: vec!["plan.throttle:max".into(), "ctrl.steering:max".into()],
+                collision: false,
+            },
+        ];
+        let rules = lib.derive_rules();
+        assert_eq!(rules.len(), 2);
+        // Sorted by backing count: throttle rule (2 situations) first.
+        let throttle = &rules[0];
+        assert_eq!(throttle.fault, "plan.throttle:max");
+        assert_eq!(throttle.situations, 2);
+        assert_eq!(throttle.speed, (26.0, 30.0));
+        assert_eq!(throttle.lead_gap, Some((15.0, 22.0)));
+        assert_eq!(throttle.golden_delta, (2.0, 5.0));
+        assert_eq!(throttle.collisions, 1);
+        let cond = throttle.condition();
+        assert!(cond.contains("v ∈ [26.0, 30.0]"));
+        assert!(cond.contains("plan.throttle:max"));
+    }
+
+    #[test]
+    fn rules_without_leads_omit_gap() {
+        let mut lib = SituationLibrary::default();
+        lib.situations = vec![Situation {
+            scenario_id: 0,
+            scenario_name: "free_drive".into(),
+            scene: 5,
+            ego_speed: 33.0,
+            lead_gap: None,
+            golden_delta: 80.0,
+            hazardous_faults: vec!["ctrl.steering:min".into()],
+            collision: false,
+        }];
+        let rules = lib.derive_rules();
+        assert_eq!(rules[0].lead_gap, None);
+        assert!(!rules[0].condition().contains("lead gap"));
+    }
+
+    #[test]
+    fn empty_library_yields_no_rules() {
+        assert!(SituationLibrary::default().derive_rules().is_empty());
+    }
+}

@@ -1,0 +1,521 @@
+//! The architectural soft-error VM (paper fault model *a*).
+//!
+//! The paper injects single bit flips into GPU/CPU architectural state
+//! (register files; memories are assumed SECDED-protected) while the real
+//! ADS stacks run, and classifies the outcome: masked, silent data
+//! corruption (SDC), or kernel panic / hang. We cannot run DriveAV or
+//! Apollo, so this module provides the closest synthetic equivalent that
+//! exercises the same code path: a **register machine** executing a
+//! representative ADS numeric kernel (IDM car-following + Stanley
+//! steering + gain-schedule lookup, i.e. exactly the arithmetic of our
+//! planner), with faults injected as bit flips in a register file of
+//! which the kernel uses only a fraction — so architectural masking
+//! (dead registers), logical masking (clamps, min/max), crashes (NaN/Inf
+//! traps, out-of-bounds gathers) and hangs (non-converging iteration) all
+//! arise *structurally*, not from hard-coded rates.
+
+use rand::Rng;
+
+/// Size of the simulated register file. The kernel uses ~30 registers;
+/// the rest are architecturally dead, modeling the low architectural
+/// vulnerability factor of real register files.
+pub const REG_FILE_SIZE: usize = 256;
+
+/// Registers in this range model **pointers** (stack/frame/object base
+/// addresses) that stay live for the whole kernel. A flip in an address
+/// bit at or above [`POINTER_OFFSET_BITS`] sends the next access outside
+/// the mapped page — a segfault, i.e. a kernel panic in the paper's
+/// taxonomy. Low-bit flips stay within the allocation padding and are
+/// masked. The size of this region (20 of 256 registers) is calibrated to
+/// the pointer density of compiled ADS module code.
+pub const POINTER_REGS: std::ops::Range<usize> = 32..52;
+
+/// Address bits below this are within-page offsets (4 KiB pages).
+pub const POINTER_OFFSET_BITS: u8 = 12;
+
+/// Registers in this range model **loop counters / control state** live
+/// across the kernel. Flips in their mid bits inflate iteration bounds
+/// past the watchdog — a hang. Low bits perturb the count negligibly
+/// (masked); bits ≥ 32 fall outside the 32-bit counter (masked).
+pub const COUNTER_REGS: std::ops::Range<usize> = 52..58;
+
+/// Counter bits in `COUNTER_HANG_BITS` trigger the watchdog when flipped.
+pub const COUNTER_HANG_BITS: std::ops::Range<u8> = 8..32;
+
+/// Maximum Newton iterations before the kernel is declared hung.
+const MAX_NEWTON_ITERS: usize = 40;
+
+/// Relative output tolerance below which a deviation counts as masked.
+const SDC_TOLERANCE: f64 = 1e-9;
+
+/// One instruction of the kernel. Register operands index the register
+/// file; `dst` is always written last.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `regs[dst] = value`
+    Const { dst: usize, value: f64 },
+    /// `regs[dst] = regs[a] + regs[b]`
+    Add { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = regs[a] - regs[b]`
+    Sub { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = regs[a] * regs[b]`
+    Mul { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = regs[a] / regs[b]`
+    Div { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = min(regs[a], regs[b])`
+    Min { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = max(regs[a], regs[b])`
+    Max { dst: usize, a: usize, b: usize },
+    /// `regs[dst] = -regs[a]`
+    Neg { dst: usize, a: usize },
+    /// `regs[dst] = atan(regs[a])`
+    Atan { dst: usize, a: usize },
+    /// `regs[dst] = clamp(regs[a], lo, hi)`
+    Clamp { dst: usize, a: usize, lo: f64, hi: f64 },
+    /// `regs[dst] = sqrt(regs[a])` by Newton iteration; negative input
+    /// traps, non-convergence hangs.
+    NewtonSqrt { dst: usize, a: usize },
+    /// `regs[dst] = tables[table][round(regs[idx])]`; an out-of-bounds
+    /// index is a memory fault (crash).
+    Gather { dst: usize, table: usize, idx: usize },
+}
+
+/// Outcome of one injected execution, classified as in the paper's
+/// random-FI campaign (§I results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArchOutcome {
+    /// Output identical to the golden run (dead register, overwritten
+    /// value, logically masked, or below tolerance).
+    Masked,
+    /// Execution completed but an output differs — silent data
+    /// corruption, carrying the worst relative output error.
+    Sdc {
+        /// Maximum relative error across kernel outputs.
+        relative_error: f64,
+    },
+    /// The kernel trapped (NaN/Inf arithmetic or out-of-bounds access) —
+    /// the analog of a kernel panic; the system restarts the module.
+    Crash,
+    /// An iteration failed to converge within its bound — the analog of
+    /// a hang/watchdog timeout.
+    Hang,
+}
+
+/// Where and what to inject: flip `bit` of register `reg` immediately
+/// before dynamic instruction `dyn_instr` executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionSite {
+    /// Dynamic instruction index (0-based).
+    pub dyn_instr: usize,
+    /// Register index in the full register file.
+    pub reg: usize,
+    /// Bit to flip (0–63).
+    pub bit: u8,
+}
+
+/// A straight-line kernel: instructions, constant tables, outputs.
+#[derive(Debug, Clone)]
+pub struct ArchProgram {
+    instrs: Vec<Instr>,
+    tables: Vec<Vec<f64>>,
+    outputs: Vec<usize>,
+}
+
+impl ArchProgram {
+    /// Builds the representative ADS control kernel for the given inputs:
+    /// `gap` to the lead \[m\], ego speed, lead speed, cross-track error,
+    /// heading error, and set speed. Outputs: planned acceleration and
+    /// steering.
+    pub fn ads_control_kernel(
+        gap: f64,
+        v_ego: f64,
+        v_lead: f64,
+        cross_track: f64,
+        heading: f64,
+        set_speed: f64,
+    ) -> Self {
+        use Instr::*;
+        // Register allocation (r0..r29 live; the rest dead).
+        let instrs = vec![
+            Const { dst: 0, value: gap },
+            Const { dst: 1, value: v_ego },
+            Const { dst: 2, value: v_lead },
+            Const { dst: 3, value: cross_track },
+            Const { dst: 4, value: heading },
+            Const { dst: 5, value: set_speed },
+            Const { dst: 6, value: 4.0 },   // min gap s0
+            Const { dst: 7, value: 1.6 },   // time headway T
+            Const { dst: 8, value: 7.0 },   // a_max · b_comf
+            Const { dst: 9, value: 2.0 },   // planner max accel
+            Const { dst: 10, value: 0.5 },  // stanley gain
+            Const { dst: 11, value: 5.0 },  // stanley softening
+            Const { dst: 12, value: 1.0 },
+            Const { dst: 13, value: 0.1 },  // speed-bucket scale for gather
+            // s* = s0 + v·T + v·(v−vl)/(2·sqrt(a·b))
+            Mul { dst: 14, a: 1, b: 7 },       // v·T
+            Sub { dst: 15, a: 1, b: 2 },       // approach = v − vl
+            Mul { dst: 16, a: 1, b: 15 },      // v·approach
+            NewtonSqrt { dst: 17, a: 8 },      // sqrt(a·b)
+            Add { dst: 18, a: 17, b: 17 },     // 2·sqrt(a·b)
+            Div { dst: 19, a: 16, b: 18 },
+            Const { dst: 20, value: 0.0 },
+            Max { dst: 19, a: 19, b: 20 },     // dynamic part ≥ 0
+            Add { dst: 21, a: 6, b: 14 },
+            Add { dst: 21, a: 21, b: 19 },     // s*
+            // interaction = (s*/gap)²
+            Div { dst: 22, a: 21, b: 0 },
+            Mul { dst: 22, a: 22, b: 22 },
+            // free = 1 − (v/v0)⁴
+            Div { dst: 23, a: 1, b: 5 },
+            Mul { dst: 24, a: 23, b: 23 },
+            Mul { dst: 24, a: 24, b: 24 },     // (v/v0)⁴
+            Sub { dst: 25, a: 12, b: 24 },
+            Sub { dst: 25, a: 25, b: 22 },     // free − interaction
+            Mul { dst: 26, a: 25, b: 9 },      // · max accel
+            Clamp { dst: 26, a: 26, lo: -8.0, hi: 3.5 },
+            // gain schedule: bucket = clamp(v·0.1, 0, 5); gain = table[bucket]
+            Mul { dst: 27, a: 1, b: 13 },
+            Clamp { dst: 27, a: 27, lo: 0.0, hi: 5.0 },
+            Gather { dst: 28, table: 0, idx: 27 },
+            Mul { dst: 26, a: 26, b: 28 },     // scheduled acceleration
+            // steering = clamp(−θ + atan(k·e/(v+ks)), ±0.55)
+            Add { dst: 29, a: 1, b: 11 },
+            Mul { dst: 30, a: 3, b: 10 },
+            Div { dst: 30, a: 30, b: 29 },
+            Atan { dst: 30, a: 30 },
+            Neg { dst: 31, a: 4 },
+            Add { dst: 30, a: 30, b: 31 },
+            Clamp { dst: 30, a: 30, lo: -0.55, hi: 0.55 },
+        ];
+        ArchProgram {
+            instrs,
+            tables: vec![vec![1.0, 1.0, 0.95, 0.9, 0.85, 0.8]],
+            outputs: vec![26, 30],
+        }
+    }
+
+    /// Number of (static = dynamic) instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Executes an [`ArchProgram`], optionally with one injected bit flip.
+#[derive(Debug, Clone)]
+pub struct ArchSimulator {
+    program: ArchProgram,
+    golden: Vec<f64>,
+}
+
+/// Internal execution error.
+enum ExecFault {
+    Trap,
+    Hang,
+}
+
+impl ArchSimulator {
+    /// Creates a simulator and records the golden (fault-free) outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-free program itself traps, which indicates a
+    /// malformed kernel.
+    pub fn new(program: ArchProgram) -> Self {
+        let golden = Self::execute(&program, None).unwrap_or_else(|_| {
+            panic!("golden run of the kernel must not fault");
+        });
+        ArchSimulator { program, golden }
+    }
+
+    /// The golden outputs.
+    pub fn golden_outputs(&self) -> &[f64] {
+        &self.golden
+    }
+
+    /// Samples a uniformly random injection site.
+    pub fn random_site<R: Rng + ?Sized>(&self, rng: &mut R) -> InjectionSite {
+        InjectionSite {
+            dyn_instr: rng.random_range(0..self.program.len()),
+            reg: rng.random_range(0..REG_FILE_SIZE),
+            bit: rng.random_range(0..64u8),
+        }
+    }
+
+    fn execute(program: &ArchProgram, site: Option<InjectionSite>) -> Result<Vec<f64>, ExecFault> {
+        let mut regs = vec![0.0f64; REG_FILE_SIZE];
+        let check = |v: f64| -> Result<f64, ExecFault> {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(ExecFault::Trap)
+            }
+        };
+        for (pc, instr) in program.instrs.iter().enumerate() {
+            if let Some(site) = site {
+                if site.dyn_instr == pc {
+                    // Pointer and counter regions are live for the whole
+                    // kernel; their faults manifest at the next fetch.
+                    if POINTER_REGS.contains(&site.reg) {
+                        if site.bit >= POINTER_OFFSET_BITS {
+                            return Err(ExecFault::Trap);
+                        }
+                        // Within-page offset flip: padded access, masked.
+                    } else if COUNTER_REGS.contains(&site.reg) {
+                        if COUNTER_HANG_BITS.contains(&site.bit) {
+                            return Err(ExecFault::Hang);
+                        }
+                        // Tiny or out-of-word count change: masked.
+                    } else {
+                        regs[site.reg] =
+                            f64::from_bits(regs[site.reg].to_bits() ^ (1u64 << site.bit));
+                    }
+                }
+            }
+            match *instr {
+                Instr::Const { dst, value } => regs[dst] = value,
+                Instr::Add { dst, a, b } => regs[dst] = check(regs[a] + regs[b])?,
+                Instr::Sub { dst, a, b } => regs[dst] = check(regs[a] - regs[b])?,
+                Instr::Mul { dst, a, b } => regs[dst] = check(regs[a] * regs[b])?,
+                Instr::Div { dst, a, b } => regs[dst] = check(regs[a] / regs[b])?,
+                Instr::Min { dst, a, b } => regs[dst] = regs[a].min(regs[b]),
+                Instr::Max { dst, a, b } => regs[dst] = regs[a].max(regs[b]),
+                Instr::Neg { dst, a } => regs[dst] = -regs[a],
+                Instr::Atan { dst, a } => regs[dst] = check(regs[a].atan())?,
+                Instr::Clamp { dst, a, lo, hi } => {
+                    if regs[a].is_nan() {
+                        return Err(ExecFault::Trap);
+                    }
+                    regs[dst] = regs[a].clamp(lo, hi);
+                }
+                Instr::NewtonSqrt { dst, a } => {
+                    let x = regs[a];
+                    if x < 0.0 || x.is_nan() {
+                        return Err(ExecFault::Trap);
+                    }
+                    if x == 0.0 {
+                        regs[dst] = 0.0;
+                        continue;
+                    }
+                    let mut guess = x.max(1.0);
+                    let mut converged = false;
+                    for _ in 0..MAX_NEWTON_ITERS {
+                        let next = 0.5 * (guess + x / guess);
+                        if !next.is_finite() {
+                            return Err(ExecFault::Trap);
+                        }
+                        if (next - guess).abs() <= 1e-12 * next.abs() {
+                            converged = true;
+                            guess = next;
+                            break;
+                        }
+                        guess = next;
+                    }
+                    if !converged {
+                        return Err(ExecFault::Hang);
+                    }
+                    regs[dst] = guess;
+                }
+                Instr::Gather { dst, table, idx } => {
+                    let i = regs[idx];
+                    if !i.is_finite() || i < 0.0 {
+                        return Err(ExecFault::Trap);
+                    }
+                    let i = i.round() as usize;
+                    let t = &program.tables[table];
+                    if i >= t.len() {
+                        return Err(ExecFault::Trap);
+                    }
+                    regs[dst] = t[i];
+                }
+            }
+        }
+        Ok(program.outputs.iter().map(|&r| regs[r]).collect())
+    }
+
+    /// Runs the kernel with one injected bit flip and classifies the
+    /// outcome against the golden run.
+    pub fn inject(&self, site: InjectionSite) -> ArchOutcome {
+        match Self::execute(&self.program, Some(site)) {
+            Err(ExecFault::Trap) => ArchOutcome::Crash,
+            Err(ExecFault::Hang) => ArchOutcome::Hang,
+            Ok(outputs) => {
+                let mut worst = 0.0f64;
+                for (o, g) in outputs.iter().zip(&self.golden) {
+                    let denom = g.abs().max(1e-12);
+                    worst = worst.max((o - g).abs() / denom);
+                }
+                if worst <= SDC_TOLERANCE {
+                    ArchOutcome::Masked
+                } else {
+                    ArchOutcome::Sdc { relative_error: worst }
+                }
+            }
+        }
+    }
+
+    /// Runs a campaign of `n` uniformly random injections and returns
+    /// `(masked, sdc, crash, hang)` counts plus the SDC outcomes with
+    /// their corrupted outputs (for feeding into the closed loop).
+    pub fn campaign<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> (usize, usize, usize, usize, Vec<(InjectionSite, f64)>) {
+        let (mut masked, mut sdc, mut crash, mut hang) = (0, 0, 0, 0);
+        let mut sdc_sites = Vec::new();
+        for _ in 0..n {
+            let site = self.random_site(rng);
+            match self.inject(site) {
+                ArchOutcome::Masked => masked += 1,
+                ArchOutcome::Sdc { relative_error } => {
+                    sdc += 1;
+                    sdc_sites.push((site, relative_error));
+                }
+                ArchOutcome::Crash => crash += 1,
+                ArchOutcome::Hang => hang += 1,
+            }
+        }
+        (masked, sdc, crash, hang, sdc_sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kernel() -> ArchSimulator {
+        ArchSimulator::new(ArchProgram::ads_control_kernel(
+            50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
+        ))
+    }
+
+    #[test]
+    fn golden_outputs_are_sensible() {
+        let sim = kernel();
+        let out = sim.golden_outputs();
+        assert_eq!(out.len(), 2);
+        // Closing on a slower lead 50 m ahead at 30 m/s → decelerate.
+        assert!(out[0] < 0.0, "accel = {}", out[0]);
+        assert!((-8.0..=3.5).contains(&out[0]));
+        assert!(out[1].abs() <= 0.55);
+    }
+
+    #[test]
+    fn golden_matches_direct_computation() {
+        let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
+            60.0, 28.0, 28.0, 0.0, 0.0, 28.0,
+        ));
+        let out = sim.golden_outputs();
+        // v == v0 and no approach: free term 0, interaction =
+        // ((4 + 28·1.6)/60)² ≈ 0.658; accel ≈ 2·(−0.658)·gain(0.9 @ 2.8
+        // bucket → round(2.8)=3 → 0.9).
+        let s_star = 4.0 + 28.0 * 1.6;
+        let expected = (0.0 - (s_star / 60.0f64).powi(2)) * 2.0 * 0.9;
+        assert!((out[0] - expected).abs() < 1e-9, "{} vs {expected}", out[0]);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn dead_register_flip_is_masked() {
+        let sim = kernel();
+        let out = sim.inject(InjectionSite { dyn_instr: 5, reg: 200, bit: 62 });
+        assert_eq!(out, ArchOutcome::Masked);
+    }
+
+    #[test]
+    fn overwritten_register_flip_is_masked() {
+        let sim = kernel();
+        // Register 14 is written by instruction 14 (v·T); flipping it
+        // before that write is architecturally masked.
+        let out = sim.inject(InjectionSite { dyn_instr: 2, reg: 14, bit: 62 });
+        assert_eq!(out, ArchOutcome::Masked);
+    }
+
+    #[test]
+    fn sign_flip_of_live_value_is_sdc() {
+        let sim = kernel();
+        // Flip the sign of the gap register right after it is loaded and
+        // before it is consumed by the interaction term.
+        let out = sim.inject(InjectionSite { dyn_instr: 20, reg: 1, bit: 52 });
+        assert!(
+            matches!(out, ArchOutcome::Sdc { .. } | ArchOutcome::Crash),
+            "live corruption leaked nothing: {out:?}"
+        );
+    }
+
+    #[test]
+    fn index_register_corruption_can_crash() {
+        let sim = kernel();
+        // Flip exponent bit 61 of the gather index (3.0 → ~4.5e154)
+        // right before the gather executes: out-of-bounds access.
+        let gather_pc = 35; // position of the Gather instruction
+        let out = sim.inject(InjectionSite { dyn_instr: gather_pc, reg: 27, bit: 61 });
+        assert_eq!(out, ArchOutcome::Crash);
+    }
+
+    #[test]
+    fn pointer_bit_flip_segfaults_low_bits_masked() {
+        let sim = kernel();
+        let out = sim.inject(InjectionSite { dyn_instr: 10, reg: POINTER_REGS.start, bit: 40 });
+        assert_eq!(out, ArchOutcome::Crash);
+        let out = sim.inject(InjectionSite { dyn_instr: 10, reg: POINTER_REGS.start, bit: 3 });
+        assert_eq!(out, ArchOutcome::Masked);
+    }
+
+    #[test]
+    fn counter_bit_flip_hangs_in_watchdog_band() {
+        let sim = kernel();
+        let out = sim.inject(InjectionSite { dyn_instr: 10, reg: COUNTER_REGS.start, bit: 20 });
+        assert_eq!(out, ArchOutcome::Hang);
+        let out = sim.inject(InjectionSite { dyn_instr: 10, reg: COUNTER_REGS.start, bit: 2 });
+        assert_eq!(out, ArchOutcome::Masked);
+        let out = sim.inject(InjectionSite { dyn_instr: 10, reg: COUNTER_REGS.start, bit: 50 });
+        assert_eq!(out, ArchOutcome::Masked);
+    }
+
+    #[test]
+    fn sqrt_input_sign_flip_traps() {
+        let sim = kernel();
+        // r8 = 7.0 feeds NewtonSqrt at pc 17; flip its sign bit at pc 17.
+        let out = sim.inject(InjectionSite { dyn_instr: 17, reg: 8, bit: 63 });
+        assert_eq!(out, ArchOutcome::Crash);
+    }
+
+    #[test]
+    fn campaign_distribution_shape() {
+        // The paper's random campaign: overwhelmingly masked, a small
+        // SDC tail, single-digit-percent crash+hang.
+        let sim = kernel();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 5000;
+        let (masked, sdc, crash, hang, _) = sim.campaign(n, &mut rng);
+        assert_eq!(masked + sdc + crash + hang, n);
+        let frac = |x: usize| x as f64 / n as f64;
+        assert!(frac(masked) > 0.80, "masked = {}", frac(masked));
+        assert!(frac(sdc) > 0.005 && frac(sdc) < 0.06, "sdc = {}", frac(sdc));
+        assert!(
+            frac(crash + hang) > 0.02 && frac(crash + hang) < 0.15,
+            "crash+hang = {}",
+            frac(crash + hang)
+        );
+        assert!(hang > 0, "expected some watchdog timeouts");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let sim = kernel();
+        let a = sim.campaign(500, &mut StdRng::seed_from_u64(7));
+        let b = sim.campaign(500, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
+    }
+}

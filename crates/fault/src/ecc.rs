@@ -1,0 +1,368 @@
+//! SECDED error-correcting codes for memory words.
+//!
+//! The paper's fault model assumes "memory and caches (of both the CPUs
+//! and GPUs) are protected with SECDED codes" (§II-C) — which is *why*
+//! DriveFI only injects into unprotected architectural state (register
+//! files, flip-flops). This module makes that assumption executable: a
+//! Hamming (72,64) single-error-correct / double-error-detect code over
+//! 64-bit words, so campaigns can demonstrate that memory strikes are
+//! absorbed (single flips corrected, double flips detected and turned
+//! into a detected-unrecoverable error) while register strikes propagate.
+//!
+//! # Construction
+//!
+//! The 64 data bits are spread over a 72-bit codeword whose positions
+//! `1..=71` are numbered in the classic Hamming fashion: power-of-two
+//! positions hold the 7 Hamming parity bits; position 0 holds the
+//! overall-parity bit that upgrades SEC to SECDED. Syndrome decoding:
+//!
+//! | syndrome | overall parity | meaning                       |
+//! |----------|----------------|-------------------------------|
+//! | 0        | even           | no error                      |
+//! | ≠0       | odd            | single error → corrected      |
+//! | 0        | odd            | error in the parity bit itself|
+//! | ≠0       | even           | double error → detected (DUE) |
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_fault::ecc::{Codeword, DecodeResult};
+//!
+//! let word = 0xDEAD_BEEF_0BAD_F00Du64;
+//! let mut cw = Codeword::encode(word);
+//! cw.flip(37); // a cosmic-ray strike in DRAM
+//! assert_eq!(cw.decode(), DecodeResult::Corrected(word));
+//! ```
+
+/// Number of bits in a (72,64) codeword.
+pub const CODEWORD_BITS: u32 = 72;
+/// Number of protected data bits.
+pub const DATA_BITS: u32 = 64;
+/// Number of Hamming parity bits (positions 1, 2, 4, …, 64).
+pub const HAMMING_PARITY_BITS: u32 = 7;
+
+/// Outcome of decoding a possibly corrupted codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeResult {
+    /// No error detected; the stored word.
+    Clean(u64),
+    /// A single-bit error was corrected; the recovered word.
+    Corrected(u64),
+    /// A double-bit error was detected but cannot be corrected — a
+    /// detected unrecoverable error (DUE). Production systems raise a
+    /// machine-check exception here; the ADS counts it as a crash.
+    DoubleError,
+}
+
+impl DecodeResult {
+    /// The recovered data word, when one exists.
+    pub fn word(self) -> Option<u64> {
+        match self {
+            DecodeResult::Clean(w) | DecodeResult::Corrected(w) => Some(w),
+            DecodeResult::DoubleError => None,
+        }
+    }
+}
+
+/// A 72-bit SECDED codeword protecting one 64-bit data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Codeword {
+    /// Raw codeword bits (bit *i* of the u128 = position *i*); only the
+    /// low [`CODEWORD_BITS`] bits are used.
+    bits: u128,
+}
+
+/// Positions `1..=71` that are not powers of two, in ascending order:
+/// these hold the data bits.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..CODEWORD_BITS).filter(|p| !p.is_power_of_two())
+}
+
+impl Codeword {
+    /// Encodes a data word into a codeword.
+    pub fn encode(word: u64) -> Self {
+        let mut bits: u128 = 0;
+        // Scatter data bits over the non-parity positions.
+        for (i, pos) in data_positions().enumerate() {
+            if word >> i & 1 == 1 {
+                bits |= 1u128 << pos;
+            }
+        }
+        // Hamming parity bits: parity bit at position 2^k covers every
+        // position whose bit k is set.
+        for k in 0..HAMMING_PARITY_BITS {
+            let p = 1u32 << k;
+            let mut parity = 0u32;
+            for pos in 1..CODEWORD_BITS {
+                if pos & p != 0 && bits >> pos & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                bits |= 1u128 << p;
+            }
+        }
+        // Overall parity over positions 1..72 stored at position 0,
+        // making total parity even.
+        if (bits.count_ones() & 1) == 1 {
+            bits |= 1;
+        }
+        Codeword { bits }
+    }
+
+    /// The raw codeword bits (low 72 bits meaningful).
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Flips one bit of the codeword (a particle strike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= 72`.
+    pub fn flip(&mut self, position: u32) {
+        assert!(position < CODEWORD_BITS, "position {position} out of range");
+        self.bits ^= 1u128 << position;
+    }
+
+    /// Syndrome of the stored bits: XOR of the positions of set bits.
+    fn syndrome(&self) -> u32 {
+        let mut syn = 0u32;
+        for pos in 1..CODEWORD_BITS {
+            if self.bits >> pos & 1 == 1 {
+                syn ^= pos;
+            }
+        }
+        syn
+    }
+
+    /// Extracts the data word from the (already corrected) bits.
+    fn extract(bits: u128) -> u64 {
+        let mut word = 0u64;
+        for (i, pos) in data_positions().enumerate() {
+            if bits >> pos & 1 == 1 {
+                word |= 1u64 << i;
+            }
+        }
+        word
+    }
+
+    /// Decodes, correcting a single-bit error and detecting double-bit
+    /// errors.
+    pub fn decode(&self) -> DecodeResult {
+        let syn = self.syndrome();
+        let overall_odd = (self.bits.count_ones() & 1) == 1;
+        match (syn, overall_odd) {
+            (0, false) => DecodeResult::Clean(Self::extract(self.bits)),
+            (0, true) => {
+                // The overall-parity bit itself flipped; data intact.
+                DecodeResult::Corrected(Self::extract(self.bits))
+            }
+            (s, true) => {
+                if s >= CODEWORD_BITS {
+                    // Syndrome points outside the word: ≥2 flips whose
+                    // XOR is not a valid position.
+                    return DecodeResult::DoubleError;
+                }
+                let corrected = self.bits ^ (1u128 << s);
+                DecodeResult::Corrected(Self::extract(corrected))
+            }
+            (_, false) => DecodeResult::DoubleError,
+        }
+    }
+}
+
+/// A SECDED-protected memory holding `u64` words — the "memory and
+/// caches" of the paper's fault model, on which injections are absorbed.
+///
+/// Reads decode through the code: single flips are silently corrected
+/// (and counted), double flips surface as [`DecodeResult::DoubleError`].
+#[derive(Debug, Clone, Default)]
+pub struct EccMemory {
+    words: Vec<Codeword>,
+    corrected: u64,
+    due: u64,
+}
+
+impl EccMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        EccMemory::default()
+    }
+
+    /// A memory initialized with `data`.
+    pub fn from_words(data: &[u64]) -> Self {
+        EccMemory {
+            words: data.iter().map(|&w| Codeword::encode(w)).collect(),
+            corrected: 0,
+            due: 0,
+        }
+    }
+
+    /// Number of words stored.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the memory holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Appends a word, returning its address.
+    pub fn push(&mut self, word: u64) -> usize {
+        self.words.push(Codeword::encode(word));
+        self.words.len() - 1
+    }
+
+    /// Overwrites the word at `addr` (re-encoding clears accumulated
+    /// strikes, as a DRAM write does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn write(&mut self, addr: usize, word: u64) {
+        self.words[addr] = Codeword::encode(word);
+    }
+
+    /// Reads the word at `addr` through the decoder. Single-bit errors
+    /// are corrected in place (scrubbing); double-bit errors return
+    /// `None` and count as a DUE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn read(&mut self, addr: usize) -> Option<u64> {
+        match self.words[addr].decode() {
+            DecodeResult::Clean(w) => Some(w),
+            DecodeResult::Corrected(w) => {
+                self.corrected += 1;
+                self.words[addr] = Codeword::encode(w); // scrub
+                Some(w)
+            }
+            DecodeResult::DoubleError => {
+                self.due += 1;
+                None
+            }
+        }
+    }
+
+    /// Flips `bit` (0–71) of the codeword at `addr` — an injected strike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `bit` is out of range.
+    pub fn strike(&mut self, addr: usize, bit: u32) {
+        self.words[addr].flip(bit);
+    }
+
+    /// Number of single-bit errors corrected so far.
+    pub fn corrected_count(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Number of detected unrecoverable (double-bit) errors so far.
+    pub fn due_count(&self) -> u64 {
+        self.due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: [u64; 6] = [
+        0,
+        u64::MAX,
+        0xDEAD_BEEF_0BAD_F00D,
+        1,
+        0x8000_0000_0000_0000,
+        0x5555_5555_5555_5555,
+    ];
+
+    #[test]
+    fn clean_roundtrip() {
+        for &w in &WORDS {
+            assert_eq!(Codeword::encode(w).decode(), DecodeResult::Clean(w));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        for &w in &WORDS {
+            for bit in 0..CODEWORD_BITS {
+                let mut cw = Codeword::encode(w);
+                cw.flip(bit);
+                match cw.decode() {
+                    DecodeResult::Corrected(got) => assert_eq!(got, w, "bit {bit}"),
+                    other => panic!("bit {bit} of {w:#x}: expected correction, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        // Exhaustive over all 72·71/2 = 2556 pairs for two data words.
+        for &w in &[0u64, 0xDEAD_BEEF_0BAD_F00D] {
+            for a in 0..CODEWORD_BITS {
+                for b in (a + 1)..CODEWORD_BITS {
+                    let mut cw = Codeword::encode(w);
+                    cw.flip(a);
+                    cw.flip(b);
+                    assert_eq!(
+                        cw.decode(),
+                        DecodeResult::DoubleError,
+                        "flips at {a},{b} of {w:#x} escaped detection"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_geometry() {
+        // 64 data positions + 7 Hamming + 1 overall = 72.
+        assert_eq!(data_positions().count() as u32, DATA_BITS);
+    }
+
+    #[test]
+    fn memory_scrubs_on_read() {
+        let mut mem = EccMemory::from_words(&[42, 7]);
+        mem.strike(0, 13);
+        assert_eq!(mem.read(0), Some(42));
+        assert_eq!(mem.corrected_count(), 1);
+        // Scrubbed: a second strike on the same word is again a single.
+        mem.strike(0, 55);
+        assert_eq!(mem.read(0), Some(42));
+        assert_eq!(mem.corrected_count(), 2);
+    }
+
+    #[test]
+    fn memory_reports_due_on_double_strike() {
+        let mut mem = EccMemory::from_words(&[99]);
+        mem.strike(0, 3);
+        mem.strike(0, 64);
+        assert_eq!(mem.read(0), None);
+        assert_eq!(mem.due_count(), 1);
+        // A rewrite clears the damage.
+        mem.write(0, 100);
+        assert_eq!(mem.read(0), Some(100));
+    }
+
+    #[test]
+    fn decode_result_word_accessor() {
+        assert_eq!(DecodeResult::Clean(5).word(), Some(5));
+        assert_eq!(DecodeResult::Corrected(5).word(), Some(5));
+        assert_eq!(DecodeResult::DoubleError.word(), None);
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut mem = EccMemory::new();
+        assert!(mem.is_empty());
+        let a = mem.push(1);
+        let b = mem.push(2);
+        assert_eq!((a, b, mem.len()), (0, 1, 2));
+    }
+}

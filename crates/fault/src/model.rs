@@ -1,0 +1,216 @@
+//! Fault descriptions: what to corrupt, how, and when.
+
+use drivefi_ads::Signal;
+
+/// How a scalar signal value is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalarFaultModel {
+    /// Replace with the signal's physical minimum (paper fault model *b*).
+    StuckMin,
+    /// Replace with the signal's physical maximum (paper fault model *b*).
+    StuckMax,
+    /// Replace with a fixed value.
+    StuckAt(f64),
+    /// Flip one bit of the IEEE-754 representation (0 = LSB of the
+    /// mantissa, 63 = sign bit).
+    BitFlip(u8),
+    /// Add a constant offset.
+    Offset(f64),
+    /// Multiply by a constant factor.
+    Scale(f64),
+}
+
+impl ScalarFaultModel {
+    /// Applies the corruption to `value`, given the signal's physical
+    /// range (used by the min/max models).
+    pub fn apply(self, value: f64, range: drivefi_ads::SignalRange) -> f64 {
+        match self {
+            ScalarFaultModel::StuckMin => range.min,
+            ScalarFaultModel::StuckMax => range.max,
+            ScalarFaultModel::StuckAt(v) => v,
+            ScalarFaultModel::BitFlip(bit) => f64::from_bits(value.to_bits() ^ (1u64 << bit)),
+            ScalarFaultModel::Offset(d) => value + d,
+            ScalarFaultModel::Scale(f) => value * f,
+        }
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> String {
+        match self {
+            ScalarFaultModel::StuckMin => "min".into(),
+            ScalarFaultModel::StuckMax => "max".into(),
+            ScalarFaultModel::StuckAt(v) => format!("stuck({v})"),
+            ScalarFaultModel::BitFlip(b) => format!("bitflip({b})"),
+            ScalarFaultModel::Offset(d) => format!("offset({d})"),
+            ScalarFaultModel::Scale(f) => format!("scale({f})"),
+        }
+    }
+}
+
+/// When a fault is active, in base-tick frames (30 Hz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First active frame.
+    pub start_frame: u64,
+    /// Number of consecutive active frames (`u64::MAX` = permanent).
+    pub frames: u64,
+}
+
+impl FaultWindow {
+    /// A single-frame transient at `frame` (the paper's transient model:
+    /// one corrupted inference cycle).
+    pub fn transient(frame: u64) -> Self {
+        FaultWindow { start_frame: frame, frames: 1 }
+    }
+
+    /// An intermittent burst of `frames` consecutive frames.
+    pub fn burst(frame: u64, frames: u64) -> Self {
+        FaultWindow { start_frame: frame, frames }
+    }
+
+    /// A permanent fault starting at `frame`.
+    pub fn permanent(frame: u64) -> Self {
+        FaultWindow { start_frame: frame, frames: u64::MAX }
+    }
+
+    /// True when the fault is active on `frame`.
+    pub fn active(&self, frame: u64) -> bool {
+        frame >= self.start_frame
+            && (self.frames == u64::MAX || frame - self.start_frame < self.frames)
+    }
+
+    /// One frame at paper scene rate `k` (7.5 Hz scene index → 30 Hz
+    /// frame), lasting one full scene (4 base ticks).
+    pub fn scene(scene_index: u64) -> Self {
+        FaultWindow { start_frame: scene_index * 4, frames: 4 }
+    }
+}
+
+/// What the fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Corrupt one scalar signal on the bus.
+    Scalar {
+        /// The target signal.
+        signal: Signal,
+        /// The corruption applied.
+        model: ScalarFaultModel,
+    },
+    /// Empty the world model — the ADS "fails to register the leading
+    /// vehicle" (paper Example 1).
+    ClearWorldModel,
+    /// Republish the world model captured at fault onset — delayed
+    /// perception, the Tesla-crash mechanism of paper Example 2.
+    FreezeWorldModel,
+    /// The module behind `stage` hangs: its outputs (and heartbeat) stop
+    /// updating for the fault window, exactly what a crashed or wedged
+    /// process looks like to the rest of the system — downstream modules
+    /// keep consuming the last published message. This is the ADS-level
+    /// analog of the paper's kernel panics and hangs (7.35 % of the
+    /// random architectural injections).
+    ModuleHang {
+        /// The hung pipeline stage.
+        stage: drivefi_ads::Stage,
+    },
+}
+
+impl FaultKind {
+    /// The pipeline stage this fault acts after.
+    pub fn stage(&self) -> drivefi_ads::Stage {
+        match self {
+            FaultKind::Scalar { signal, .. } => signal.stage(),
+            FaultKind::ClearWorldModel | FaultKind::FreezeWorldModel => {
+                drivefi_ads::Stage::Perception
+            }
+            FaultKind::ModuleHang { stage } => *stage,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            FaultKind::Scalar { signal, model } => format!("{}:{}", signal.name(), model.name()),
+            FaultKind::ClearWorldModel => "world.clear".into(),
+            FaultKind::FreezeWorldModel => "world.freeze".into(),
+            FaultKind::ModuleHang { stage } => format!("{}.hang", stage.name()),
+        }
+    }
+}
+
+/// A fully specified fault: what + when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// What is corrupted.
+    pub kind: FaultKind,
+    /// When it is active.
+    pub window: FaultWindow,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_ads::SignalRange;
+
+    const RANGE: SignalRange = SignalRange { min: 0.0, max: 1.0 };
+
+    #[test]
+    fn min_max_models_use_range() {
+        assert_eq!(ScalarFaultModel::StuckMin.apply(0.5, RANGE), 0.0);
+        assert_eq!(ScalarFaultModel::StuckMax.apply(0.5, RANGE), 1.0);
+    }
+
+    #[test]
+    fn bitflip_is_involutive() {
+        for bit in [0u8, 12, 31, 52, 62, 63] {
+            let m = ScalarFaultModel::BitFlip(bit);
+            let x = 0.7362;
+            assert_eq!(m.apply(m.apply(x, RANGE), RANGE), x);
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let m = ScalarFaultModel::BitFlip(63);
+        assert_eq!(m.apply(1.5, RANGE), -1.5);
+    }
+
+    #[test]
+    fn exponent_flip_is_catastrophic() {
+        // Flipping a high exponent bit wrecks the value — for 1.5
+        // (exponent 0x3FF) bit 62 lands on 0x7FF, i.e. NaN; for 0.75 it
+        // produces a ~1e308 monster. Both are classic SDC sources.
+        let m = ScalarFaultModel::BitFlip(62);
+        assert!(m.apply(1.5, RANGE).is_nan());
+        assert!(m.apply(0.75, RANGE) > 1e300);
+    }
+
+    #[test]
+    fn windows_cover_expected_frames() {
+        let t = FaultWindow::transient(10);
+        assert!(!t.active(9));
+        assert!(t.active(10));
+        assert!(!t.active(11));
+
+        let b = FaultWindow::burst(10, 3);
+        assert!(b.active(12));
+        assert!(!b.active(13));
+
+        let p = FaultWindow::permanent(10);
+        assert!(p.active(1_000_000));
+        assert!(!p.active(9));
+
+        let s = FaultWindow::scene(5);
+        assert!(s.active(20) && s.active(23));
+        assert!(!s.active(19) && !s.active(24));
+    }
+
+    #[test]
+    fn names_are_informative() {
+        let k = FaultKind::Scalar {
+            signal: Signal::RawThrottle,
+            model: ScalarFaultModel::StuckMax,
+        };
+        assert_eq!(k.name(), "plan.throttle:max");
+        assert_eq!(FaultKind::FreezeWorldModel.name(), "world.freeze");
+    }
+}

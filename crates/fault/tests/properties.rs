@@ -1,0 +1,86 @@
+//! Property-based tests for fault-model and ECC invariants.
+
+use drivefi_ads::SignalRange;
+use drivefi_fault::ecc::CODEWORD_BITS;
+use drivefi_fault::{Codeword, DecodeResult, EccMemory, FaultWindow, ScalarFaultModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// SECDED corrects every single-bit strike on any data word.
+    #[test]
+    fn secded_corrects_any_single_flip(word in any::<u64>(), bit in 0u32..CODEWORD_BITS) {
+        let mut cw = Codeword::encode(word);
+        cw.flip(bit);
+        prop_assert_eq!(cw.decode(), DecodeResult::Corrected(word));
+    }
+
+    /// SECDED detects (and never miscorrects) every double-bit strike.
+    #[test]
+    fn secded_detects_any_double_flip(word in any::<u64>(),
+                                      a in 0u32..CODEWORD_BITS,
+                                      b in 0u32..CODEWORD_BITS) {
+        prop_assume!(a != b);
+        let mut cw = Codeword::encode(word);
+        cw.flip(a);
+        cw.flip(b);
+        prop_assert_eq!(cw.decode(), DecodeResult::DoubleError);
+    }
+
+    /// Encoding is injective on the data bits: distinct words yield
+    /// distinct codewords, and clean decode round-trips.
+    #[test]
+    fn secded_roundtrip(word in any::<u64>()) {
+        let cw = Codeword::encode(word);
+        prop_assert_eq!(cw.decode(), DecodeResult::Clean(word));
+    }
+
+    /// Scrubbing on read restores a struck memory to clean state.
+    #[test]
+    fn ecc_memory_scrubs(words in prop::collection::vec(any::<u64>(), 1..8),
+                         addr_seed in any::<usize>(), bit in 0u32..CODEWORD_BITS) {
+        let mut mem = EccMemory::from_words(&words);
+        let addr = addr_seed % words.len();
+        mem.strike(addr, bit);
+        prop_assert_eq!(mem.read(addr), Some(words[addr]));
+        // Scrubbed: reading again reports clean (no new corrections).
+        let corrected = mem.corrected_count();
+        prop_assert_eq!(mem.read(addr), Some(words[addr]));
+        prop_assert_eq!(mem.corrected_count(), corrected);
+    }
+
+    /// The IEEE-754 bit-flip model is an involution.
+    #[test]
+    fn bitflip_involutive(value in any::<f64>(), bit in 0u8..64) {
+        prop_assume!(!value.is_nan());
+        let m = ScalarFaultModel::BitFlip(bit);
+        let range = SignalRange { min: 0.0, max: 1.0 };
+        let twice = m.apply(m.apply(value, range), range);
+        // NaN can appear after one flip; compare by bit pattern.
+        prop_assert_eq!(twice.to_bits(), value.to_bits());
+    }
+
+    /// Stuck-at-min/max always land exactly on the range endpoints,
+    /// regardless of the incoming value.
+    #[test]
+    fn stuck_models_land_on_range(value in -1e9..1e9f64, lo in -100.0..0.0f64, hi in 0.1..100.0f64) {
+        let range = SignalRange { min: lo, max: hi };
+        prop_assert_eq!(ScalarFaultModel::StuckMin.apply(value, range), lo);
+        prop_assert_eq!(ScalarFaultModel::StuckMax.apply(value, range), hi);
+    }
+
+    /// A burst window is active exactly on `[start, start + frames)`.
+    #[test]
+    fn window_membership(start in 0u64..10_000, frames in 1u64..1_000, probe in 0u64..12_000) {
+        let w = FaultWindow::burst(start, frames);
+        let expect = probe >= start && probe < start + frames;
+        prop_assert_eq!(w.active(probe), expect);
+    }
+
+    /// Offset and scale compose predictably.
+    #[test]
+    fn offset_scale_arithmetic(value in -1e6..1e6f64, d in -100.0..100.0f64, f in -10.0..10.0f64) {
+        let range = SignalRange { min: 0.0, max: 1.0 };
+        prop_assert_eq!(ScalarFaultModel::Offset(d).apply(value, range), value + d);
+        prop_assert_eq!(ScalarFaultModel::Scale(f).apply(value, range), value * f);
+    }
+}

@@ -1,0 +1,565 @@
+//! Bayesian fault injection for *arbitrary* safety-critical systems.
+//!
+//! The paper closes §I with a generality claim: "The Bayesian FI
+//! framework can be extended to other safety-critical systems (e.g.,
+//! surgical robots). The framework requires specification of the safety
+//! constraints and the system software architecture to model causal
+//! relationship between the system sub-components." This crate is that
+//! extension, factored out of the AV-specific `drivefi-core`:
+//!
+//! * [`SystemSpec`] — the *architecture* specification: the monitored
+//!   variables with their physical ranges, the intra-step causal edges
+//!   (module dataflow), and the step-to-step temporal edges (dynamics).
+//! * [`SafetyModel`] — the *safety constraint* specification: a margin
+//!   function `δ(state)` over the continuous state, positive when safe
+//!   (the AV instantiation is `d_safe − d_stop`; a surgical robot uses
+//!   distance-to-tissue minus stopping distance).
+//! * [`GenericMiner`] — the Bayesian FI engine: fits a 3-slice temporal
+//!   Bayesian network from golden traces, treats each candidate fault as
+//!   a `do(·)` intervention on the middle slice, MAP-infers the next
+//!   slice, reconstructs the continuous state, and keeps faults whose
+//!   forecast margin collapses (Eq. 1 of the paper, with the kinematic
+//!   reconstruction swapped for the caller's [`SafetyModel`]).
+//!
+//! The [`surgical`] module instantiates all three for a simulated
+//! needle-insertion robot, making the paper's example concrete.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_genfi::surgical::{golden_traces, InsertionSafety, NeedleArm};
+//! use drivefi_genfi::{GenericMiner, MinerOptions};
+//!
+//! let traces = golden_traces(8, 2026);
+//! let miner = GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default()).unwrap();
+//! let critical = miner.mine(&traces, &InsertionSafety::default());
+//! assert!(!critical.is_empty(), "no critical faults mined");
+//! ```
+
+pub mod surgical;
+
+use drivefi_bayes::{
+    fit_cpts, BayesError, BayesNet, DbnTemplate, Discretizer, Evidence, VarId,
+};
+
+/// One monitored variable of the system under test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSpec {
+    /// Human-readable name (also the BN template name).
+    pub name: String,
+    /// Physical minimum — the `StuckMin` injection value.
+    pub min: f64,
+    /// Physical maximum — the `StuckMax` injection value.
+    pub max: f64,
+    /// Whether the injector can land faults on this variable. Sensor and
+    /// command variables usually are; plant-internal ground truth is not.
+    pub injectable: bool,
+}
+
+/// The system-architecture specification the paper requires: variables,
+/// intra-step dataflow edges, and step-to-step dynamics edges.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSpec {
+    vars: Vec<VarSpec>,
+    intra: Vec<(usize, usize)>,
+    inter: Vec<(usize, usize)>,
+}
+
+impl SystemSpec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        SystemSpec::default()
+    }
+
+    /// Adds a variable with physical range `[min, max]`; returns its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min >= max`.
+    pub fn add_var(&mut self, name: &str, min: f64, max: f64, injectable: bool) -> usize {
+        assert!(min < max, "degenerate range for {name}");
+        self.vars.push(VarSpec { name: name.to_owned(), min, max, injectable });
+        self.vars.len() - 1
+    }
+
+    /// Declares an intra-step causal edge `parent → child` (module
+    /// dataflow within one control period).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown indices or self-loops.
+    pub fn add_dataflow(&mut self, parent: usize, child: usize) {
+        assert!(parent < self.vars.len() && child < self.vars.len(), "unknown variable");
+        assert_ne!(parent, child, "self-loop");
+        self.intra.push((parent, child));
+    }
+
+    /// Declares a temporal edge `parent@{t-1} → child@{t}` (dynamics;
+    /// self-edges model persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown indices.
+    pub fn add_dynamics(&mut self, parent: usize, child: usize) {
+        assert!(parent < self.vars.len() && child < self.vars.len(), "unknown variable");
+        self.inter.push((parent, child));
+    }
+
+    /// The variables.
+    pub fn vars(&self) -> &[VarSpec] {
+        &self.vars
+    }
+
+    /// Intra-step descendants of `var` (transitive, excluding `var`):
+    /// when `var` is intervened in a slice, these must not be clamped to
+    /// golden evidence in that slice.
+    pub fn descendants(&self, var: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.vars.len()];
+        let mut stack = vec![var];
+        while let Some(v) = stack.pop() {
+            for &(p, c) in &self.intra {
+                if p == v && !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        (0..self.vars.len()).filter(|&i| seen[i]).collect()
+    }
+
+    fn template(&self, bins: usize) -> DbnTemplate {
+        let mut t = DbnTemplate::new();
+        for v in &self.vars {
+            t.add_variable(&v.name, bins);
+        }
+        for &(p, c) in &self.intra {
+            t.add_intra_edge(p, c);
+        }
+        for &(p, c) in &self.inter {
+            t.add_inter_edge(p, c);
+        }
+        t
+    }
+}
+
+/// The safety-constraint specification: a margin function over the full
+/// continuous state (indexed like [`SystemSpec::vars`]); positive means
+/// safe. The paper's AV instantiation is `δ = d_safe − d_stop`.
+///
+/// [`SafetyModel::forecast_margin`] is the domain-knowledge
+/// reconstruction step of the paper's pipeline (procedure `P` in §III-A):
+/// the BN forecasts only the system's *response* to a fault (Eq. 2);
+/// converting that response into a margin against the *observed* scene —
+/// stopping distances, reaction windows, worst-case envelopes — is
+/// domain kinematics the network does not (and cannot) learn, because
+/// golden traces never leave the safe region.
+pub trait SafetyModel {
+    /// The ground-truth safety margin of an observed state.
+    fn margin(&self, state: &[f64]) -> f64;
+
+    /// The counterfactual margin `δ̂_do(f)`: the margin implied by the
+    /// system's forecast response, evaluated against the `observed`
+    /// scene. `faulted` is the within-period response — the injected
+    /// value plus the MAP reaction of its downstream modules in the same
+    /// step; `next` is the MAP state one period later. Defaults to the
+    /// plain margin of `next`, which suffices only when hazards develop
+    /// within one control period.
+    fn forecast_margin(&self, observed: &[f64], faulted: &[f64], next: &[f64]) -> f64 {
+        let _ = (observed, faulted);
+        self.margin(next)
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> SafetyModel for F {
+    fn margin(&self, state: &[f64]) -> f64 {
+        self(state)
+    }
+}
+
+/// How a mined fault corrupts its variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Stuck at the variable's physical minimum.
+    Min,
+    /// Stuck at the variable's physical maximum.
+    Max,
+}
+
+/// A `(step, variable, corruption)` candidate whose forecast margin
+/// collapses — a member of the generic `F_crit`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalFault {
+    /// Trace index the step belongs to.
+    pub trace: usize,
+    /// Step (slice-1 position) at which the fault is injected.
+    pub step: usize,
+    /// Corrupted variable index.
+    pub var: usize,
+    /// The corruption.
+    pub corruption: Corruption,
+    /// The injected continuous value.
+    pub value: f64,
+    /// Golden margin at the step (positive by Eq. 1's pre-condition).
+    pub golden_margin: f64,
+    /// Forecast margin under `do(f)`.
+    pub predicted_margin: f64,
+}
+
+/// Miner options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinerOptions {
+    /// Quantile bins per variable.
+    pub bins: usize,
+    /// Laplace smoothing pseudo-count for CPD fitting.
+    pub alpha: f64,
+    /// A fault is critical when its forecast margin is ≤ this threshold.
+    pub threshold: f64,
+}
+
+impl Default for MinerOptions {
+    fn default() -> Self {
+        MinerOptions { bins: 6, alpha: 1.0, threshold: 0.0 }
+    }
+}
+
+/// The generic Bayesian fault miner: a 3-slice temporal BN fitted from
+/// golden traces of any [`SystemSpec`]-described system.
+#[derive(Debug, Clone)]
+pub struct GenericMiner {
+    spec: SystemSpec,
+    net: BayesNet,
+    ids: Vec<Vec<VarId>>,
+    discretizers: Vec<Discretizer>,
+    options: MinerOptions,
+}
+
+impl GenericMiner {
+    /// Fits the 3-TBN from golden traces. Each trace is a sequence of
+    /// complete continuous state vectors (indexed like
+    /// [`SystemSpec::vars`]); consecutive triples become training rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPD-fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a trace row's length differs from the variable count,
+    /// or when no trace has at least three steps.
+    pub fn fit(
+        spec: &SystemSpec,
+        traces: &[Vec<Vec<f64>>],
+        options: MinerOptions,
+    ) -> Result<Self, BayesError> {
+        let n = spec.vars.len();
+        // Per-variable discretizers over the pooled data.
+        let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for trace in traces {
+            for row in trace {
+                assert_eq!(row.len(), n, "trace row length != variable count");
+                for (i, &x) in row.iter().enumerate() {
+                    pooled[i].push(x);
+                }
+            }
+        }
+        let discretizers: Vec<Discretizer> =
+            pooled.iter().map(|d| Discretizer::fit(d, options.bins)).collect();
+
+        let (mut net, ids, structure) = spec.template(options.bins).unroll(3);
+        let mut rows = Vec::new();
+        for trace in traces {
+            for w in trace.windows(3) {
+                let mut row = vec![0usize; 3 * n];
+                for (s, step) in w.iter().enumerate() {
+                    for (i, &x) in step.iter().enumerate() {
+                        row[ids[s][i].0] = discretizers[i].transform(x);
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        assert!(!rows.is_empty(), "need at least one trace with three steps");
+        fit_cpts(&mut net, &structure, &rows, options.alpha)?;
+        Ok(GenericMiner { spec: spec.clone(), net, ids, discretizers, options })
+    }
+
+    /// The fitted network (for inspection and structure scoring).
+    pub fn net(&self) -> &BayesNet {
+        &self.net
+    }
+
+    /// The fitted discretizer of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn discretizer(&self, var: usize) -> &Discretizer {
+        &self.discretizers[var]
+    }
+
+    /// The options.
+    pub fn options(&self) -> &MinerOptions {
+        &self.options
+    }
+
+    /// Forecasts the system's response to `do(var@1 = category)`, with
+    /// slices 0 and 1 clamped to the observed steps (except the
+    /// intervened variable and its intra-step descendants, which the
+    /// fault changes).
+    ///
+    /// Returns `(faulted, next)`: the within-period response — the
+    /// intervened category plus the MAP reaction of its downstream
+    /// modules in slice 1 — and the MAP state one period later
+    /// (slice 2). Together they are the generic analog of the paper's
+    /// `M̂_{t+1}` (Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failures.
+    pub fn forecast(
+        &self,
+        step0: &[f64],
+        step1: &[f64],
+        var: usize,
+        category: usize,
+    ) -> Result<(Vec<f64>, Vec<f64>), BayesError> {
+        let n = self.spec.vars.len();
+        let mut ev = Evidence::new();
+        for i in 0..n {
+            ev.insert(self.ids[0][i], self.discretizers[i].transform(step0[i]));
+        }
+        let blocked = self.spec.descendants(var);
+        for i in 0..n {
+            if i == var || blocked.contains(&i) {
+                continue;
+            }
+            ev.insert(self.ids[1][i], self.discretizers[i].transform(step1[i]));
+        }
+        let interventions = Evidence::from([(self.ids[1][var], category)]);
+        let map = self.net.map_assignment(&ev, &interventions)?;
+        let faulted = (0..n)
+            .map(|i| self.discretizers[i].representative(map[&self.ids[1][i]]))
+            .collect();
+        let next = (0..n)
+            .map(|i| self.discretizers[i].representative(map[&self.ids[2][i]]))
+            .collect();
+        Ok((faulted, next))
+    }
+
+    /// Enumerates and evaluates every candidate fault over the traces,
+    /// returning the critical set sorted by ascending forecast margin.
+    /// Candidates are `(step, injectable var, {min,max})` at steps whose
+    /// golden margin is positive (Eq. 1's pre-condition) with a
+    /// successor step. Counterfactual queries are memoized on the
+    /// discretized evidence.
+    pub fn mine<S: SafetyModel>(&self, traces: &[Vec<Vec<f64>>], safety: &S) -> Vec<CriticalFault> {
+        use std::collections::HashMap;
+        type Forecast = (Vec<f64>, Vec<f64>);
+        let mut cache: HashMap<(Vec<usize>, Vec<usize>, usize, usize), Forecast> = HashMap::new();
+        let mut out = Vec::new();
+        for (trace_idx, trace) in traces.iter().enumerate() {
+            for k in 1..trace.len().saturating_sub(1) {
+                let golden_margin = safety.margin(&trace[k]);
+                if golden_margin <= 0.0 {
+                    continue;
+                }
+                for (var, vs) in self.spec.vars.iter().enumerate() {
+                    if !vs.injectable {
+                        continue;
+                    }
+                    for corruption in [Corruption::Min, Corruption::Max] {
+                        let value = match corruption {
+                            Corruption::Min => vs.min,
+                            Corruption::Max => vs.max,
+                        };
+                        let category = self.discretizers[var].transform(value);
+                        if self.discretizers[var].transform(trace[k][var]) == category {
+                            continue; // no-op fault
+                        }
+                        let key0: Vec<usize> = trace[k - 1]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &x)| self.discretizers[i].transform(x))
+                            .collect();
+                        let key1: Vec<usize> = trace[k]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &x)| self.discretizers[i].transform(x))
+                            .collect();
+                        let (mut faulted, next) = cache
+                            .entry((key0, key1, var, category))
+                            .or_insert_with(|| {
+                                self.forecast(&trace[k - 1], &trace[k], var, category)
+                                    .expect("inference on fitted model")
+                            })
+                            .clone();
+                        // The intervened variable's continuous value is
+                        // known exactly — it is the injection. The bin
+                        // representative (a median of *golden* values)
+                        // can sit far from the injected extreme.
+                        faulted[var] = value;
+                        let predicted = safety.forecast_margin(&trace[k], &faulted, &next);
+                        if predicted <= self.options.threshold {
+                            out.push(CriticalFault {
+                                trace: trace_idx,
+                                step: k,
+                                var,
+                                corruption,
+                                value,
+                                golden_margin,
+                                predicted_margin: predicted,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.predicted_margin
+                .partial_cmp(&b.predicted_margin)
+                .expect("finite margins")
+        });
+        out
+    }
+
+    /// Number of candidate faults over the traces — the exhaustive
+    /// campaign size the miner replaces.
+    pub fn candidate_count(&self, traces: &[Vec<Vec<f64>>], safety: &impl SafetyModel) -> usize {
+        let injectable = self.spec.vars.iter().filter(|v| v.injectable).count();
+        traces
+            .iter()
+            .map(|t| {
+                (1..t.len().saturating_sub(1))
+                    .filter(|&k| safety.margin(&t[k]) > 0.0)
+                    .count()
+                    * injectable
+                    * 2
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy system: x follows u; u is a bang-bang
+    /// controller keeping x in [2, 8]; margin = distance of x from the
+    /// [0, 10] failure boundaries.
+    fn toy_spec() -> SystemSpec {
+        let mut spec = SystemSpec::new();
+        let u = spec.add_var("u", -1.0, 1.0, true);
+        let x = spec.add_var("x", 0.0, 10.0, false);
+        spec.add_dynamics(x, x);
+        spec.add_dynamics(u, x);
+        spec.add_dataflow(x, u);
+        assert_eq!((u, x), (0, 1));
+        spec
+    }
+
+    fn toy_traces() -> Vec<Vec<Vec<f64>>> {
+        // x' = x + u; bang-bang with hysteresis: climb to 8, descend to
+        // 2, repeat — the golden sweep covers the whole safe band.
+        let mut traces = Vec::new();
+        for start in [3.0f64, 5.0, 7.0] {
+            let mut x = start;
+            let mut dir = 1.0;
+            let mut rows = Vec::new();
+            for _ in 0..60 {
+                if x >= 8.0 {
+                    dir = -1.0;
+                } else if x <= 2.0 {
+                    dir = 1.0;
+                }
+                rows.push(vec![dir, x]);
+                x = (x + dir).clamp(0.0, 10.0);
+            }
+            traces.push(rows);
+        }
+        traces
+    }
+
+    /// Toy safety: x must stay 0.5 away from the [0, 10] boundaries; the
+    /// counterfactual holds the forecast command for three periods (the
+    /// toy's "reaction window") before recovery.
+    struct ToySafety;
+
+    impl SafetyModel for ToySafety {
+        fn margin(&self, state: &[f64]) -> f64 {
+            state[1].min(10.0 - state[1]) - 0.5
+        }
+
+        fn forecast_margin(&self, observed: &[f64], faulted: &[f64], _next: &[f64]) -> f64 {
+            let x_hat = observed[1] + faulted[0] * 3.0;
+            self.margin(&[faulted[0], x_hat])
+        }
+    }
+
+    #[test]
+    fn spec_descendants_are_transitive() {
+        let mut spec = SystemSpec::new();
+        let a = spec.add_var("a", 0.0, 1.0, true);
+        let b = spec.add_var("b", 0.0, 1.0, true);
+        let c = spec.add_var("c", 0.0, 1.0, true);
+        spec.add_dataflow(a, b);
+        spec.add_dataflow(b, c);
+        assert_eq!(spec.descendants(a), vec![b, c]);
+        assert_eq!(spec.descendants(c), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn miner_fits_and_mines_toy_system() {
+        let spec = toy_spec();
+        let traces = toy_traces();
+        let miner = GenericMiner::fit(&spec, &traces, MinerOptions::default()).unwrap();
+        let crit = miner.mine(&traces, &ToySafety);
+        // A stuck command held while x is near a boundary forecasts x
+        // drifting past it — the miner must find some.
+        assert!(!crit.is_empty(), "no critical faults in the toy system");
+        for c in &crit {
+            assert!(c.golden_margin > 0.0);
+            assert!(c.predicted_margin <= 0.0);
+        }
+        // Sorted ascending by forecast margin.
+        for w in crit.windows(2) {
+            assert!(w[0].predicted_margin <= w[1].predicted_margin);
+        }
+    }
+
+    #[test]
+    fn only_injectable_vars_are_mined() {
+        let spec = toy_spec();
+        let traces = toy_traces();
+        let miner = GenericMiner::fit(&spec, &traces, MinerOptions::default()).unwrap();
+        let crit = miner.mine(&traces, &ToySafety);
+        assert!(crit.iter().all(|c| c.var == 0), "plant-internal x was mined");
+    }
+
+    #[test]
+    fn candidate_count_matches_enumeration() {
+        let spec = toy_spec();
+        let traces = toy_traces();
+        let miner = GenericMiner::fit(&spec, &traces, MinerOptions::default()).unwrap();
+        let n = miner.candidate_count(&traces, &ToySafety);
+        // 3 traces × 58 eligible interior steps (margin always > 0 in
+        // golden runs) × 1 injectable var × 2 corruption values.
+        assert_eq!(n, 3 * 58 * 2);
+    }
+
+    #[test]
+    fn closure_safety_model_works() {
+        let threshold = 1.0;
+        let f = move |s: &[f64]| s[0] - threshold;
+        assert!(f.margin(&[2.0]) > 0.0);
+        assert!(f.margin(&[0.5]) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_rows_panic() {
+        let spec = toy_spec();
+        let traces = vec![vec![vec![0.0; 3]; 5]];
+        let _ = GenericMiner::fit(&spec, &traces, MinerOptions::default());
+    }
+}

@@ -1,0 +1,351 @@
+//! The paper's generality example made concrete: Bayesian FI on a
+//! simulated surgical needle-insertion robot.
+//!
+//! §I of the paper names surgical robots as the natural second domain
+//! for Bayesian FI. This module builds the smallest faithful instance:
+//! a velocity-controlled needle-insertion axis (the insertion joint of a
+//! RAVEN-style arm) advancing toward — but never past — a tissue
+//! boundary. The *safety constraint* is the direct analog of the AV's
+//! `δ = d_safe − d_stop`: remaining distance to the boundary minus the
+//! worst-case stopping travel at the current speed.
+//!
+//! The architecture (and hence the BN topology) is the classic
+//! sense→plan→act chain:
+//!
+//! ```text
+//! depth d ──(encoder)──▶ measured m ──(controller)──▶ command u
+//!    ▲                                                   │
+//!    └────────────── velocity v ◀──(servo lag)───────────┘
+//! ```
+//!
+//! Faults land on the *measured depth* (a corrupted encoder reading) and
+//! the *commanded speed* (a corrupted planner output) — the same
+//! module-output fault model (b) the paper uses for the ADS.
+
+use crate::{CriticalFault, SystemSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of the measured-depth variable in [`NeedleArm::spec`].
+pub const VAR_MEASURED: usize = 0;
+/// Index of the commanded-speed variable.
+pub const VAR_COMMAND: usize = 1;
+/// Index of the actual-velocity variable.
+pub const VAR_VELOCITY: usize = 2;
+/// Index of the true-depth variable.
+pub const VAR_DEPTH: usize = 3;
+
+/// Control period \[s\].
+pub const DT: f64 = 0.01;
+
+/// A velocity-controlled needle-insertion axis.
+///
+/// State: true depth `d` \[mm\], actual insertion speed `v` \[mm/s\].
+/// The encoder reports `m = d + noise`; the controller commands
+/// `u = k_p · (target − m)` clamped to the servo envelope; the servo
+/// tracks `u` with a first-order lag.
+#[derive(Debug, Clone)]
+pub struct NeedleArm {
+    /// True depth \[mm\].
+    pub depth: f64,
+    /// Actual speed \[mm/s\].
+    pub velocity: f64,
+    /// Insertion target depth \[mm\].
+    pub target: f64,
+    rng: StdRng,
+}
+
+/// The tissue boundary the needle must never cross \[mm\].
+pub const BOUNDARY: f64 = 40.0;
+/// Maximum commanded/achievable speed \[mm/s\].
+pub const MAX_SPEED: f64 = 10.0;
+/// Emergency-stop deceleration \[mm/s²\].
+pub const STOP_DECEL: f64 = 200.0;
+/// Proportional gain of the insertion controller \[1/s\].
+const KP: f64 = 2.0;
+/// Servo first-order tracking constant per step.
+const SERVO_ALPHA: f64 = 0.2;
+/// Encoder noise amplitude \[mm\].
+const NOISE: f64 = 0.05;
+
+impl NeedleArm {
+    /// A retracted arm targeting `target` mm of insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target is at or past the tissue boundary.
+    pub fn new(target: f64, seed: u64) -> Self {
+        assert!(target < BOUNDARY, "target beyond the tissue boundary");
+        NeedleArm { depth: 0.0, velocity: 0.0, target, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The architecture specification (variables + causal edges) handed
+    /// to the generic miner.
+    pub fn spec() -> SystemSpec {
+        let mut spec = SystemSpec::new();
+        let m = spec.add_var("measured", 0.0, BOUNDARY + 5.0, true);
+        let u = spec.add_var("command", 0.0, MAX_SPEED, true);
+        let v = spec.add_var("velocity", 0.0, MAX_SPEED, false);
+        let d = spec.add_var("depth", 0.0, BOUNDARY + 5.0, false);
+        assert_eq!((m, u, v, d), (VAR_MEASURED, VAR_COMMAND, VAR_VELOCITY, VAR_DEPTH));
+        // Intra-step dataflow: encoder → controller → servo.
+        spec.add_dataflow(m, u);
+        spec.add_dataflow(u, v);
+        // Dynamics: depth integrates velocity; velocity persists (servo
+        // lag); the encoder tracks depth.
+        spec.add_dynamics(d, d);
+        spec.add_dynamics(v, d);
+        spec.add_dynamics(v, v);
+        spec.add_dynamics(d, m);
+        spec
+    }
+
+    /// Advances one control period. `fault` optionally overrides one
+    /// variable ([`VAR_MEASURED`] or [`VAR_COMMAND`]) with a stuck value
+    /// — the injection point. Returns the state row
+    /// `[measured, command, velocity, depth]`.
+    pub fn step(&mut self, fault: Option<(usize, f64)>) -> Vec<f64> {
+        let mut measured = self.depth + self.rng.random_range(-NOISE..NOISE);
+        if let Some((VAR_MEASURED, v)) = fault {
+            measured = v;
+        }
+        let mut command = (KP * (self.target - measured)).clamp(0.0, MAX_SPEED);
+        if let Some((VAR_COMMAND, v)) = fault {
+            command = v;
+        }
+        self.velocity += SERVO_ALPHA * (command - self.velocity);
+        self.velocity = self.velocity.clamp(0.0, MAX_SPEED);
+        self.depth += self.velocity * DT;
+        vec![measured, command, self.velocity, self.depth]
+    }
+
+    /// Runs `steps` fault-free periods, returning the trace.
+    pub fn run_golden(&mut self, steps: usize) -> Vec<Vec<f64>> {
+        (0..steps).map(|_| self.step(None)).collect()
+    }
+}
+
+/// The safety constraint: remaining distance to the tissue boundary
+/// minus the worst-case stopping travel and a standoff margin — exactly
+/// the shape of the paper's `δ = d_safe − d_stop`.
+///
+/// The counterfactual reconstruction
+/// ([`crate::SafetyModel::forecast_margin`]) is the arm's procedure `P`:
+/// the forecast post-fault *command* is assumed to drive the servo for a
+/// supervision window `t_react` (the time until the control supervisor
+/// can detect the fault and engage the e-stop) before braking at
+/// [`STOP_DECEL`]. A stuck-max command near the boundary therefore
+/// forecasts an overshoot even though the network only predicted the
+/// one-period response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsertionSafety {
+    /// Required standoff from the boundary \[mm\].
+    pub margin: f64,
+    /// Supervision window before a faulty command is cut \[s\].
+    pub t_react: f64,
+}
+
+impl Default for InsertionSafety {
+    fn default() -> Self {
+        InsertionSafety { margin: 0.5, t_react: 0.3 }
+    }
+}
+
+impl crate::SafetyModel for InsertionSafety {
+    fn margin(&self, state: &[f64]) -> f64 {
+        let v = state[VAR_VELOCITY];
+        let stop = v * v / (2.0 * STOP_DECEL);
+        (BOUNDARY - state[VAR_DEPTH]) - stop - self.margin
+    }
+
+    fn forecast_margin(&self, observed: &[f64], faulted: &[f64], next: &[f64]) -> f64 {
+        // The corrupted command persists for the supervision window; the
+        // servo speed heads toward it, so the worst-case travel uses the
+        // larger of the within-period faulted command and the forecast
+        // speed one period later.
+        let v_worst = faulted[VAR_COMMAND].max(next[VAR_VELOCITY]).clamp(0.0, MAX_SPEED);
+        let travel = v_worst * self.t_react + v_worst * v_worst / (2.0 * STOP_DECEL);
+        (BOUNDARY - observed[VAR_DEPTH]) - travel - self.margin
+    }
+}
+
+/// Insertion-target jitter range \[mm\]: procedures vary from shallow
+/// biopsies to targets close to the boundary (the standoff at 39 mm is
+/// the minimum lawful plan, still safe in golden runs).
+pub const TARGET_MIN: f64 = 31.0;
+/// Upper end of the insertion-target jitter \[mm\].
+pub const TARGET_MAX: f64 = 39.0;
+
+/// Collects golden traces from `count` runs with jittered insertion
+/// targets — the training corpus for the generic miner.
+pub fn golden_traces(count: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let target = rng.random_range(TARGET_MIN..TARGET_MAX);
+            let mut arm = NeedleArm::new(target, seed.wrapping_add(i as u64 * 131));
+            arm.run_golden(GOLDEN_STEPS)
+        })
+        .collect()
+}
+
+/// Steps per golden run (12 s — long enough for the asymptotic approach
+/// to settle within ~0.1 mm of the insertion target).
+pub const GOLDEN_STEPS: usize = 1200;
+
+/// Re-runs a mined fault on the real arm: re-simulates the golden run up
+/// to the fault step, injects the stuck value for `hold_steps` periods,
+/// and returns the minimum true margin over the remainder — the
+/// validation step of the paper's pipeline. Negative means the forecast
+/// hazard is real.
+pub fn validate(
+    fault: &CriticalFault,
+    traces_seed: u64,
+    safety: &InsertionSafety,
+    hold_steps: usize,
+) -> f64 {
+    use crate::SafetyModel;
+    let mut rng = StdRng::seed_from_u64(traces_seed);
+    // Reconstruct the same per-trace target/seed stream as golden_traces.
+    let mut target = 0.0;
+    for _ in 0..=fault.trace {
+        target = rng.random_range(TARGET_MIN..TARGET_MAX);
+    }
+    let mut arm =
+        NeedleArm::new(target, traces_seed.wrapping_add(fault.trace as u64 * 131));
+    let mut min_margin = f64::INFINITY;
+    let steps = GOLDEN_STEPS.max(fault.step + hold_steps + 200);
+    for step in 0..steps {
+        let inject = (step >= fault.step && step < fault.step + hold_steps)
+            .then_some((fault.var, fault.value));
+        let row = arm.step(inject);
+        if step >= fault.step {
+            min_margin = min_margin.min(safety.margin(&row));
+        }
+    }
+    min_margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corruption, GenericMiner, MinerOptions, SafetyModel};
+
+    #[test]
+    fn golden_insertion_is_safe_and_converges() {
+        let safety = InsertionSafety::default();
+        let mut arm = NeedleArm::new(35.0, 7);
+        let trace = arm.run_golden(600);
+        for row in &trace {
+            assert!(safety.margin(row) > 0.0, "golden run unsafe at {row:?}");
+        }
+        let last = trace.last().unwrap();
+        assert!((last[VAR_DEPTH] - 35.0).abs() < 0.5, "did not reach target: {last:?}");
+    }
+
+    #[test]
+    fn shallow_encoder_fault_overshoots_boundary() {
+        // The canonical hazard: the encoder reads shallow (stuck at 0),
+        // so the controller keeps commanding insertion at full gain.
+        let safety = InsertionSafety::default();
+        let mut arm = NeedleArm::new(35.0, 7);
+        let mut min_margin = f64::INFINITY;
+        for step in 0..1600 {
+            let fault = (step >= 300).then_some((VAR_MEASURED, 0.0));
+            let row = arm.step(fault);
+            min_margin = min_margin.min(safety.margin(&row));
+        }
+        assert!(min_margin < 0.0, "stuck-shallow encoder stayed safe: {min_margin}");
+    }
+
+    #[test]
+    fn deep_insertions_enter_the_critical_band() {
+        // The mined hazards all live where the needle is close to the
+        // boundary; the golden corpus must actually visit that band.
+        let traces = golden_traces(8, 2026);
+        let deepest = traces
+            .iter()
+            .map(|t| t.last().unwrap()[VAR_DEPTH])
+            .fold(0.0f64, f64::max);
+        assert!(deepest > 36.5, "corpus never approaches the boundary: {deepest:.2}");
+    }
+
+    #[test]
+    fn miner_finds_critical_faults_in_the_arm() {
+        let traces = golden_traces(8, 2026);
+        let miner =
+            GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default()).unwrap();
+        let crit = miner.mine(&traces, &InsertionSafety::default());
+        assert!(!crit.is_empty(), "no critical faults mined for the arm");
+        // The mined set must include encoder-shallow or command-max
+        // faults (the two real hazard mechanisms).
+        assert!(
+            crit.iter().any(|c| (c.var == VAR_MEASURED && c.corruption == Corruption::Min)
+                || (c.var == VAR_COMMAND && c.corruption == Corruption::Max)),
+            "mined set misses the known hazard mechanisms"
+        );
+    }
+
+    #[test]
+    fn mined_faults_validate_on_the_real_arm() {
+        let traces = golden_traces(8, 2026);
+        let safety = InsertionSafety::default();
+        let miner =
+            GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default()).unwrap();
+        let crit = miner.mine(&traces, &safety);
+        assert!(!crit.is_empty());
+        // Validate the most critical few as sustained faults; a clear
+        // majority must manifest (paper: 460/561 ≈ 82%).
+        let n = crit.len().min(20);
+        let manifested = crit[..n]
+            .iter()
+            .filter(|c| validate(c, 2026, &safety, 1200) < 0.0)
+            .count();
+        assert!(
+            manifested * 2 > n,
+            "only {manifested}/{n} mined faults manifested on the real arm"
+        );
+    }
+
+    #[test]
+    fn retracting_faults_are_not_mined() {
+        // Stuck-max encoder (reads too deep) makes the controller *stop*
+        // — safe. The miner must not flag it.
+        let traces = golden_traces(8, 2026);
+        let miner =
+            GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default()).unwrap();
+        let crit = miner.mine(&traces, &InsertionSafety::default());
+        assert!(
+            !crit.iter().any(|c| c.var == VAR_MEASURED && c.corruption == Corruption::Max),
+            "stuck-deep encoder (which halts the arm) was called critical"
+        );
+    }
+
+    #[test]
+    fn safety_margin_shape() {
+        let s = InsertionSafety::default();
+        // Deep and fast is worse than shallow and slow.
+        let shallow = s.margin(&[0.0, 0.0, 0.0, 5.0]);
+        let deep = s.margin(&[0.0, 0.0, 8.0, 38.0]);
+        assert!(shallow > 0.0);
+        assert!(deep < shallow);
+    }
+
+    #[test]
+    fn validation_reproduces_golden_when_fault_is_harmless() {
+        // A zero-speed command fault only ever *stops* the arm.
+        let traces = golden_traces(4, 9);
+        let safety = InsertionSafety::default();
+        let fake = CriticalFault {
+            trace: 1,
+            step: 50,
+            var: VAR_COMMAND,
+            corruption: Corruption::Min,
+            value: 0.0,
+            golden_margin: 1.0,
+            predicted_margin: -1.0,
+        };
+        assert!(validate(&fake, 9, &safety, 1200) > 0.0);
+        drop(traces);
+    }
+}

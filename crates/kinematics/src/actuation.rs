@@ -1,0 +1,101 @@
+//! Actuation commands `A_t = (ζ, b, φ)` — throttle, brake, steering.
+
+use crate::VehicleParams;
+
+/// An actuation command sent to the mechanical system (paper Fig. 1).
+///
+/// The ADS ML module produces *raw* commands `U_A,t` of this type; the PID
+/// controller smooths them into the final `A_t`. Both share this
+/// representation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Actuation {
+    /// Throttle ζ ∈ \[0, 1\].
+    pub throttle: f64,
+    /// Brake b ∈ \[0, 1\].
+    pub brake: f64,
+    /// Commanded steering angle φ \[rad\].
+    pub steering: f64,
+}
+
+impl Actuation {
+    /// Creates a command, without clamping (faults may set out-of-range
+    /// values on purpose; clamping to physical limits happens at the
+    /// mechanical boundary via [`Actuation::clamped`]).
+    pub const fn new(throttle: f64, brake: f64, steering: f64) -> Self {
+        Actuation { throttle, brake, steering }
+    }
+
+    /// A full-brake command.
+    pub const fn full_brake() -> Self {
+        Actuation { throttle: 0.0, brake: 1.0, steering: 0.0 }
+    }
+
+    /// Clamps the command to the physical ranges of the vehicle: throttle
+    /// and brake to \[0, 1\], steering to ±`max_steer`. Non-finite values
+    /// are replaced by 0 (the mechanical system rejects garbage, but by
+    /// then the *behavioral* damage of a fault has already been done).
+    pub fn clamped(self, params: &VehicleParams) -> Self {
+        let sanitize = |v: f64, lo: f64, hi: f64| {
+            if v.is_finite() {
+                v.clamp(lo, hi)
+            } else {
+                0.0
+            }
+        };
+        Actuation {
+            throttle: sanitize(self.throttle, 0.0, 1.0),
+            brake: sanitize(self.brake, 0.0, 1.0),
+            steering: sanitize(self.steering, -params.max_steer, params.max_steer),
+        }
+    }
+
+    /// Net longitudinal acceleration produced by this command at speed `v`
+    /// \[m/s²\]: traction minus braking minus speed-proportional drag.
+    pub fn longitudinal_accel(&self, params: &VehicleParams, v: f64) -> f64 {
+        let cmd = self.clamped(params);
+        cmd.throttle * params.max_accel - cmd.brake * params.max_decel - params.drag * v
+    }
+
+    /// True when every field is finite.
+    pub fn is_finite(&self) -> bool {
+        self.throttle.is_finite() && self.brake.is_finite() && self.steering.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_bounds_all_channels() {
+        let p = VehicleParams::default();
+        let a = Actuation::new(2.0, -0.5, 10.0).clamped(&p);
+        assert_eq!(a.throttle, 1.0);
+        assert_eq!(a.brake, 0.0);
+        assert_eq!(a.steering, p.max_steer);
+    }
+
+    #[test]
+    fn non_finite_values_are_zeroed() {
+        let p = VehicleParams::default();
+        let a = Actuation::new(f64::NAN, f64::INFINITY, f64::NEG_INFINITY).clamped(&p);
+        assert_eq!(a, Actuation::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn full_throttle_accelerates_full_brake_decelerates() {
+        let p = VehicleParams::default();
+        let acc = Actuation::new(1.0, 0.0, 0.0).longitudinal_accel(&p, 0.0);
+        assert!((acc - p.max_accel).abs() < 1e-12);
+        let dec = Actuation::full_brake().longitudinal_accel(&p, 0.0);
+        assert!((dec + p.max_decel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drag_reduces_acceleration_with_speed() {
+        let p = VehicleParams::default();
+        let a0 = Actuation::new(0.5, 0.0, 0.0).longitudinal_accel(&p, 0.0);
+        let a30 = Actuation::new(0.5, 0.0, 0.0).longitudinal_accel(&p, 30.0);
+        assert!(a30 < a0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The planar bicycle model (paper Eq. 3) driven by actuation commands.
+
+use crate::{rk4_step, Actuation, VehicleParams, VehicleState};
+
+/// Bicycle-model dynamics for a vehicle with parameters `params`.
+///
+/// Implements the equations of motion from paper §III-A:
+///
+/// ```text
+/// dx/dt = v cos θ        dy/dt = v sin θ        dθ/dt = v tan φ / L
+/// ```
+///
+/// with speed `v` driven by the longitudinal acceleration of the current
+/// [`Actuation`] and the steering angle slewing toward the commanded value
+/// at the vehicle's maximum steering rate.
+#[derive(Debug, Clone, Copy)]
+pub struct BicycleModel {
+    params: VehicleParams,
+}
+
+impl BicycleModel {
+    /// Creates a model for the given vehicle parameters.
+    pub fn new(params: VehicleParams) -> Self {
+        BicycleModel { params }
+    }
+
+    /// The vehicle parameters this model integrates.
+    pub fn params(&self) -> &VehicleParams {
+        &self.params
+    }
+
+    /// Lateral-acceleration protection limit of the vehicle interface
+    /// \[m/s²\]: at speed, the steering servo refuses angles that would
+    /// exceed this — a standard drive-by-wire safety interlock (and the
+    /// tires would saturate near it anyway). This is one of the masking
+    /// layers that keeps brief corrupted steering commands from becoming
+    /// instant lane departures.
+    pub const LATERAL_ACCEL_LIMIT: f64 = 1.5;
+
+    /// The largest steering angle the vehicle interface accepts at
+    /// forward speed `v` (full authority at low speed).
+    pub fn steer_limit(&self, v: f64) -> f64 {
+        let p = self.params;
+        if v < 1.0 {
+            return p.max_steer;
+        }
+        let by_accel = (Self::LATERAL_ACCEL_LIMIT * p.wheelbase / (v * v)).atan();
+        by_accel.min(p.max_steer)
+    }
+
+    /// Advances `state` by `dt` seconds under command `cmd` using RK4.
+    ///
+    /// The command is clamped to physical limits at this boundary
+    /// (including the speed-dependent steering limit). Speed is clamped
+    /// to `[0, max_speed]`: the model does not reverse (braking at
+    /// standstill holds the vehicle).
+    pub fn step(&self, state: &VehicleState, cmd: &Actuation, dt: f64) -> VehicleState {
+        let mut cmd = cmd.clamped(&self.params);
+        let limit = self.steer_limit(state.v);
+        cmd.steering = cmd.steering.clamp(-limit, limit);
+        let p = self.params;
+
+        // State vector: [x, y, v, theta, phi]
+        let y0 = [state.x, state.y, state.v, state.theta, state.phi];
+        let sys = move |_t: f64, y: &[f64; 5], d: &mut [f64; 5]| {
+            let v = y[2].max(0.0);
+            let theta = y[3];
+            let phi = y[4].clamp(-p.max_steer, p.max_steer);
+            d[0] = v * theta.cos();
+            d[1] = v * theta.sin();
+            d[2] = cmd.throttle * p.max_accel - cmd.brake * p.max_decel - p.drag * v;
+            d[3] = v * phi.tan() / p.wheelbase;
+            // Steering servo: first-order tracking (τ = 1/8 s, typical
+            // EPS response) with the column rate bounded.
+            let err = cmd.steering - phi;
+            d[4] = (8.0 * err).clamp(-p.max_steer_rate, p.max_steer_rate);
+        };
+        let y1 = rk4_step(&sys, 0.0, &y0, dt);
+        VehicleState {
+            x: y1[0],
+            y: y1[1],
+            v: y1[2].clamp(0.0, p.max_speed),
+            theta: y1[3],
+            phi: y1[4].clamp(-p.max_steer, p.max_steer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BicycleModel {
+        BicycleModel::new(VehicleParams::default())
+    }
+
+    #[test]
+    fn straight_line_coasting_advances_x_only() {
+        let m = BicycleModel::new(VehicleParams { drag: 0.0, ..VehicleParams::default() });
+        let mut s = VehicleState::new(0.0, 0.0, 10.0, 0.0, 0.0);
+        for _ in 0..100 {
+            s = m.step(&s, &Actuation::default(), 0.01);
+        }
+        assert!((s.x - 10.0).abs() < 1e-9, "x = {}", s.x);
+        assert!(s.y.abs() < 1e-12);
+        assert!((s.v - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn braking_stops_the_vehicle_and_never_reverses() {
+        let m = model();
+        let mut s = VehicleState::new(0.0, 0.0, 5.0, 0.0, 0.0);
+        for _ in 0..400 {
+            s = m.step(&s, &Actuation::full_brake(), 0.01);
+        }
+        assert_eq!(s.v, 0.0);
+        // Distance covered approx v^2 / (2 a) = 25 / 16 = 1.5625 (plus tiny drag effect)
+        assert!((s.x - 1.5625).abs() < 0.05, "x = {}", s.x);
+    }
+
+    #[test]
+    fn constant_steer_turns_on_circle_of_expected_radius() {
+        let p = VehicleParams { drag: 0.0, max_steer_rate: 1e9, ..VehicleParams::default() };
+        let m = BicycleModel::new(p);
+        // Stay inside the lateral-acceleration interlock: at 5 m/s the
+        // limit is atan(1.5·L/v²) ≈ 0.166 rad, so a 0.1 rad command
+        // passes.
+        let phi: f64 = 0.1;
+        let mut s = VehicleState::new(0.0, 0.0, 5.0, 0.0, phi);
+        let cmd = Actuation::new(0.0, 0.0, phi);
+        let dt = 0.001;
+        // Drive a quarter circle: R = L / tan(phi).
+        let radius = p.wheelbase / phi.tan();
+        let quarter_time = (std::f64::consts::FRAC_PI_2 * radius) / 5.0;
+        let steps = (quarter_time / dt).round() as usize;
+        for _ in 0..steps {
+            s = m.step(&s, &cmd, dt);
+        }
+        // After a quarter turn the heading is pi/2 and position ~ (R, R).
+        assert!((s.theta - std::f64::consts::FRAC_PI_2).abs() < 1e-3, "theta = {}", s.theta);
+        assert!((s.x - radius).abs() < 0.1, "x = {} R = {}", s.x, radius);
+        assert!((s.y - radius).abs() < 0.1, "y = {} R = {}", s.y, radius);
+    }
+
+    #[test]
+    fn steering_slews_at_bounded_rate() {
+        let m = model();
+        let p = m.params();
+        let mut s = VehicleState::new(0.0, 0.0, 10.0, 0.0, 0.0);
+        let cmd = Actuation::new(0.0, 0.0, p.max_steer);
+        s = m.step(&s, &cmd, 0.1);
+        assert!(s.phi <= p.max_steer_rate * 0.1 + 1e-9, "phi = {}", s.phi);
+    }
+
+    #[test]
+    fn speed_saturates_at_max_speed() {
+        let m = model();
+        let mut s = VehicleState::new(0.0, 0.0, 54.9, 0.0, 0.0);
+        for _ in 0..1000 {
+            s = m.step(&s, &Actuation::new(1.0, 0.0, 0.0), 0.01);
+        }
+        assert!(s.v <= m.params().max_speed + 1e-9);
+    }
+}

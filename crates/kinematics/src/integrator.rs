@@ -1,0 +1,128 @@
+//! Fixed-step ODE integrators.
+//!
+//! Closed-form solutions of the bicycle equations under arbitrary controls
+//! are intractable (paper §III-A), so DriveFI integrates them numerically.
+//! We provide forward Euler (cheap, used by target-vehicle behaviors) and
+//! the classic fourth-order Runge–Kutta scheme (used for the ego vehicle
+//! and the emergency-stop procedure, matching the paper's choice of
+//! "Runge-Kutta methods").
+
+/// A first-order ODE system `dy/dt = f(t, y)` with `N` state components.
+pub trait OdeSystem<const N: usize> {
+    /// Writes `dy/dt` at `(t, y)` into `dydt`.
+    fn deriv(&self, t: f64, y: &[f64; N], dydt: &mut [f64; N]);
+}
+
+impl<const N: usize, F> OdeSystem<N> for F
+where
+    F: Fn(f64, &[f64; N], &mut [f64; N]),
+{
+    fn deriv(&self, t: f64, y: &[f64; N], dydt: &mut [f64; N]) {
+        self(t, y, dydt)
+    }
+}
+
+/// Advances `y` by one forward-Euler step of size `dt`.
+pub fn euler_step<const N: usize, S: OdeSystem<N>>(sys: &S, t: f64, y: &[f64; N], dt: f64) -> [f64; N] {
+    let mut k = [0.0; N];
+    sys.deriv(t, y, &mut k);
+    let mut out = *y;
+    for i in 0..N {
+        out[i] += dt * k[i];
+    }
+    out
+}
+
+/// Advances `y` by one classic RK4 step of size `dt`.
+pub fn rk4_step<const N: usize, S: OdeSystem<N>>(sys: &S, t: f64, y: &[f64; N], dt: f64) -> [f64; N] {
+    let mut k1 = [0.0; N];
+    let mut k2 = [0.0; N];
+    let mut k3 = [0.0; N];
+    let mut k4 = [0.0; N];
+    sys.deriv(t, y, &mut k1);
+
+    let mut tmp = *y;
+    for i in 0..N {
+        tmp[i] = y[i] + 0.5 * dt * k1[i];
+    }
+    sys.deriv(t + 0.5 * dt, &tmp, &mut k2);
+
+    for i in 0..N {
+        tmp[i] = y[i] + 0.5 * dt * k2[i];
+    }
+    sys.deriv(t + 0.5 * dt, &tmp, &mut k3);
+
+    for i in 0..N {
+        tmp[i] = y[i] + dt * k3[i];
+    }
+    sys.deriv(t + dt, &tmp, &mut k4);
+
+    let mut out = *y;
+    for i in 0..N {
+        out[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = y has solution e^t.
+    fn exponential(_t: f64, y: &[f64; 1], dydt: &mut [f64; 1]) {
+        dydt[0] = y[0];
+    }
+
+    #[test]
+    fn rk4_matches_exponential_to_high_order() {
+        let mut y = [1.0];
+        let dt = 0.01;
+        let mut t = 0.0;
+        for _ in 0..100 {
+            y = rk4_step(&exponential, t, &y, dt);
+            t += dt;
+        }
+        assert!((y[0] - 1.0_f64.exp()).abs() < 1e-9, "got {}", y[0]);
+    }
+
+    #[test]
+    fn euler_matches_exponential_to_first_order() {
+        let mut y = [1.0];
+        let dt = 0.001;
+        let mut t = 0.0;
+        for _ in 0..1000 {
+            y = euler_step(&exponential, t, &y, dt);
+            t += dt;
+        }
+        assert!((y[0] - 1.0_f64.exp()).abs() < 2e-3, "got {}", y[0]);
+    }
+
+    /// Harmonic oscillator conserves energy under RK4 well enough.
+    fn oscillator(_t: f64, y: &[f64; 2], dydt: &mut [f64; 2]) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0];
+    }
+
+    #[test]
+    fn rk4_oscillator_energy_nearly_conserved() {
+        let mut y = [1.0, 0.0];
+        let dt = 0.05;
+        for i in 0..2000 {
+            y = rk4_step(&oscillator, i as f64 * dt, &y, dt);
+        }
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy drifted to {energy}");
+    }
+
+    #[test]
+    fn time_dependent_rhs_uses_t() {
+        // dy/dt = 2t has solution t^2.
+        let sys = |t: f64, _y: &[f64; 1], d: &mut [f64; 1]| d[0] = 2.0 * t;
+        let mut y = [0.0];
+        let dt = 0.1;
+        for i in 0..10 {
+            y = rk4_step(&sys, i as f64 * dt, &y, dt);
+        }
+        assert!((y[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Vehicle kinematics and the DriveFI safety-potential model.
+//!
+//! This crate implements §III-A of the DriveFI paper (DSN 2019):
+//!
+//! * the planar **bicycle model** of vehicle motion (Eq. 3),
+//! * generic fixed-step **ODE integrators** (forward Euler and classic RK4,
+//!   the paper's "iterative numerical solution methods"),
+//! * the **emergency-stop maneuver** (Eq. 5–6) and the procedure `P`
+//!   (Eq. 7) that computes the stopping distance `d_stop`,
+//! * the **safety potential** `δ = d_safe − d_stop` (Definitions 1–3),
+//!   evaluated independently in the longitudinal and lateral directions.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_kinematics::{VehicleParams, VehicleState, emergency_stop};
+//!
+//! let params = VehicleParams::default();
+//! // 33.5 m/s is roughly the US freeway speed limit used in the paper.
+//! let state = VehicleState::new(0.0, 0.0, 33.5, 0.0, 0.0);
+//! let stop = emergency_stop(&params, &state);
+//! // Stopping from 33.5 m/s at 8 m/s^2 covers v^2 / (2 a) ≈ 70.1 m.
+//! assert!((stop.distance.longitudinal - 33.5_f64.powi(2) / 16.0).abs() < 0.1);
+//! ```
+
+pub mod actuation;
+pub mod bicycle;
+pub mod integrator;
+pub mod safety;
+pub mod state;
+pub mod stop;
+pub mod vec2;
+
+pub use actuation::Actuation;
+pub use bicycle::BicycleModel;
+pub use integrator::{euler_step, rk4_step, OdeSystem};
+pub use safety::{DirectedDistance, SafetyEnvelope, SafetyPotential};
+pub use state::{VehicleParams, VehicleState};
+pub use stop::{emergency_stop, emergency_stop_arc, StopOutcome};
+pub use vec2::Vec2;
+
+/// Errors produced by kinematic computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KinematicsError {
+    /// A vehicle parameter was non-finite or out of its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for KinematicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KinematicsError::InvalidParameter { name, value } => {
+                write!(f, "invalid kinematic parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KinematicsError {}

@@ -1,0 +1,203 @@
+//! Safety envelope `d_safe`, stopping distance `d_stop`, and the safety
+//! potential `δ = d_safe − d_stop` (paper §II-B, Definitions 1–3, Fig. 2).
+
+use crate::{emergency_stop_arc, VehicleParams, VehicleState};
+
+/// A distance measured separately along the longitudinal and lateral axes
+/// of the ego vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DirectedDistance {
+    /// Distance along the direction of motion \[m\].
+    pub longitudinal: f64,
+    /// Distance perpendicular to the direction of motion \[m\].
+    pub lateral: f64,
+}
+
+impl DirectedDistance {
+    /// Both components zero.
+    pub const ZERO: DirectedDistance = DirectedDistance { longitudinal: 0.0, lateral: 0.0 };
+
+    /// Creates a directed distance.
+    pub const fn new(longitudinal: f64, lateral: f64) -> Self {
+        DirectedDistance { longitudinal, lateral }
+    }
+}
+
+/// The safety envelope `d_safe` (Definition 2): the maximum distance the
+/// AV can travel without colliding with any static or dynamic object, per
+/// direction, as *perceived* (planner view) or *ground truth* (hazard
+/// monitor view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyEnvelope {
+    /// Free distance per direction.
+    pub free: DirectedDistance,
+    /// The floor `d_safe,min` production ADSs keep so passengers are never
+    /// uncomfortable (paper §II-B). Stored so `δ` can account for it.
+    pub min_margin: DirectedDistance,
+}
+
+impl SafetyEnvelope {
+    /// An envelope with the given free distances and the default margins.
+    pub fn new(longitudinal: f64, lateral: f64) -> Self {
+        SafetyEnvelope {
+            free: DirectedDistance::new(longitudinal, lateral),
+            min_margin: DirectedDistance::new(2.0, 0.3),
+        }
+    }
+
+    /// Sets `d_safe,min`.
+    pub fn with_min_margin(mut self, longitudinal: f64, lateral: f64) -> Self {
+        self.min_margin = DirectedDistance::new(longitudinal, lateral);
+        self
+    }
+}
+
+/// The safety potential `δ = d_safe − d_stop` per direction
+/// (Definition 3). The AV is in a safe state iff `δ > 0` in **both**
+/// directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyPotential {
+    /// Longitudinal `δ` \[m\].
+    pub longitudinal: f64,
+    /// Lateral `δ` \[m\].
+    pub lateral: f64,
+}
+
+impl SafetyPotential {
+    /// Computes `δ` from an envelope and a stopping distance.
+    ///
+    /// Lateral stopping displacement is signed (left positive); the lateral
+    /// envelope is a magnitude toward the nearest side obstacle, so the
+    /// magnitude of the lateral excursion is used.
+    pub fn new(envelope: &SafetyEnvelope, stop: &DirectedDistance) -> Self {
+        SafetyPotential {
+            longitudinal: envelope.free.longitudinal
+                - envelope.min_margin.longitudinal
+                - stop.longitudinal.max(0.0),
+            lateral: envelope.free.lateral - envelope.min_margin.lateral - stop.lateral.abs(),
+        }
+    }
+
+    /// Maximum lateral deceleration assumed available to null lateral
+    /// motion \[m/s²\].
+    pub const MAX_LATERAL_DECEL: f64 = 5.0;
+
+    /// Steering response time folded into the lateral stop \[s\].
+    pub const LATERAL_RESPONSE_TIME: f64 = 0.2;
+
+    /// Cap on the steering-induced lateral acceleration \[m/s²\]: tires
+    /// saturate and the vehicle interface enforces a lateral-acceleration
+    /// protection limit, so a hard-over steering angle cannot produce
+    /// unbounded yaw authority at speed. Must match
+    /// `BicycleModel::LATERAL_ACCEL_LIMIT` — the hazard monitor assumes
+    /// exactly the authority the vehicle interface grants.
+    pub const MAX_STEER_LATERAL_ACCEL: f64 = 1.5;
+
+    /// Lateral stopping distance: the lateral ground the vehicle covers
+    /// before its lateral motion can be nulled.
+    ///
+    /// The paper's Eq. 5–6 freeze the steering during the emergency stop,
+    /// which makes the *longitudinal* stop exact but would charge the
+    /// lateral axis the entire arc excursion — rendering δ_lat vacuously
+    /// negative for any nonzero steering angle, even the millirad
+    /// corrections of ordinary lane keeping. Production safety monitors
+    /// (and the paper's own Fig. 2, which draws the lateral case as
+    /// stopping *sideways motion*) instead bound the lateral distance by
+    /// the lateral velocity: `v_lat² / (2·a_lat)`, with the
+    /// steering-induced lateral acceleration accruing over a short
+    /// response time. We document this substitution in DESIGN.md.
+    ///
+    /// `road_heading` is the heading of the lane direction (0 for the
+    /// straight +x highways in this workspace).
+    pub fn lateral_stop_distance(
+        params: &VehicleParams,
+        state: &VehicleState,
+        road_heading: f64,
+    ) -> f64 {
+        let rel = state.theta - road_heading;
+        let v_lat = state.v * rel.sin();
+        let raw_a_lat = state.v * state.v * state.phi.tan() / params.wheelbase;
+        let a_lat = raw_a_lat.clamp(-Self::MAX_STEER_LATERAL_ACCEL, Self::MAX_STEER_LATERAL_ACCEL);
+        let v_eff = v_lat + a_lat * Self::LATERAL_RESPONSE_TIME;
+        v_eff * v_eff / (2.0 * Self::MAX_LATERAL_DECEL)
+    }
+
+    /// Evaluates `δ` for a vehicle state directly: longitudinal from the
+    /// closed-form emergency stop (paper Eq. 5–7), lateral from
+    /// [`SafetyPotential::lateral_stop_distance`]. Assumes the road runs
+    /// along +x (as every road in this workspace does).
+    pub fn evaluate(
+        params: &VehicleParams,
+        state: &VehicleState,
+        envelope: &SafetyEnvelope,
+    ) -> Self {
+        let stop = emergency_stop_arc(params, state);
+        let lat = Self::lateral_stop_distance(params, state, 0.0);
+        SafetyPotential::new(
+            envelope,
+            &DirectedDistance::new(stop.distance.longitudinal, lat),
+        )
+    }
+
+    /// `δ > 0` in both directions (Definition 3 uses the shorthand `δ > 0`
+    /// to mean exactly this conjunction).
+    pub fn is_safe(&self) -> bool {
+        self.longitudinal > 0.0 && self.lateral > 0.0
+    }
+
+    /// The smaller (more critical) of the two components.
+    pub fn min_component(&self) -> f64 {
+        self.longitudinal.min(self.lateral)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_when_envelope_exceeds_stop() {
+        let env = SafetyEnvelope::new(100.0, 3.0).with_min_margin(2.0, 0.3);
+        let stop = DirectedDistance::new(50.0, 0.5);
+        let delta = SafetyPotential::new(&env, &stop);
+        assert!(delta.is_safe());
+        assert!((delta.longitudinal - 48.0).abs() < 1e-12);
+        assert!((delta.lateral - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsafe_when_stop_exceeds_envelope() {
+        let env = SafetyEnvelope::new(30.0, 3.0);
+        let stop = DirectedDistance::new(50.0, 0.0);
+        let delta = SafetyPotential::new(&env, &stop);
+        assert!(!delta.is_safe());
+        assert!(delta.longitudinal < 0.0);
+    }
+
+    #[test]
+    fn lateral_uses_magnitude_of_signed_excursion() {
+        let env = SafetyEnvelope::new(100.0, 1.0).with_min_margin(0.0, 0.0);
+        let left = SafetyPotential::new(&env, &DirectedDistance::new(10.0, 0.8));
+        let right = SafetyPotential::new(&env, &DirectedDistance::new(10.0, -0.8));
+        assert!((left.lateral - right.lateral).abs() < 1e-12);
+        assert!((left.lateral - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_at_freeway_speed_example() {
+        // Paper Example 1: at 33.5 m/s the stopping distance is ~70 m, so a
+        // lead vehicle 72 m ahead leaves δ_lon ≈ 0 with the default 2 m
+        // margin — exactly the knife-edge situation DriveFI hunts for.
+        let p = VehicleParams::default();
+        let s = VehicleState::new(0.0, 0.0, 33.5, 0.0, 0.0);
+        let env = SafetyEnvelope::new(72.0, 3.0);
+        let delta = SafetyPotential::evaluate(&p, &s, &env);
+        assert!(delta.longitudinal.abs() < 1.0, "delta = {delta:?}");
+    }
+
+    #[test]
+    fn min_component_picks_the_critical_axis() {
+        let d = SafetyPotential { longitudinal: 5.0, lateral: -1.0 };
+        assert_eq!(d.min_component(), -1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Vehicle state and physical parameters.
+
+use crate::{KinematicsError, Vec2};
+
+/// Instantaneous kinematic state of a vehicle (paper §III-A, Fig. 5).
+///
+/// The state is `(x, y, v, θ, φ)`: planar position, speed, heading and
+/// steering angle. The bicycle model (Eq. 3) evolves this state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VehicleState {
+    /// X position in the world frame \[m\].
+    pub x: f64,
+    /// Y position in the world frame \[m\].
+    pub y: f64,
+    /// Forward speed \[m/s\]. Non-negative for normal driving.
+    pub v: f64,
+    /// Heading θ \[rad\], measured counter-clockwise from +x.
+    pub theta: f64,
+    /// Steering angle φ \[rad\] of the front wheels relative to the heading.
+    pub phi: f64,
+}
+
+impl VehicleState {
+    /// Creates a state from raw components.
+    pub const fn new(x: f64, y: f64, v: f64, theta: f64, phi: f64) -> Self {
+        VehicleState { x, y, v, theta, phi }
+    }
+
+    /// Position as a vector.
+    pub fn position(&self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Velocity vector in the world frame.
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::from_heading(self.theta) * self.v
+    }
+
+    /// Expresses a world point in this vehicle's frame
+    /// (+x longitudinal/forward, +y lateral/left).
+    pub fn to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.position()).into_frame(self.theta)
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite()
+            && self.y.is_finite()
+            && self.v.is_finite()
+            && self.theta.is_finite()
+            && self.phi.is_finite()
+    }
+}
+
+/// Physical parameters of a vehicle.
+///
+/// Defaults model a mid-size sedan, matching the magnitudes used in the
+/// paper's examples (freeway speed 33.5 m/s, comfortable maximum
+/// deceleration `a_max`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleParams {
+    /// Wheelbase `L` \[m\] (distance between axles, Eq. 3).
+    pub wheelbase: f64,
+    /// Overall body length \[m\] (for collision checks).
+    pub length: f64,
+    /// Overall body width \[m\] (for collision checks).
+    pub width: f64,
+    /// Maximum traction acceleration \[m/s²\] at full throttle.
+    pub max_accel: f64,
+    /// Maximum (comfortable) braking deceleration `a_max` \[m/s²\]
+    /// (Definition 1). Positive number.
+    pub max_decel: f64,
+    /// Maximum steering angle magnitude \[rad\].
+    pub max_steer: f64,
+    /// Maximum steering slew rate \[rad/s\].
+    pub max_steer_rate: f64,
+    /// Top speed \[m/s\].
+    pub max_speed: f64,
+    /// Speed-proportional drag deceleration coefficient \[1/s\].
+    pub drag: f64,
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams {
+            wheelbase: 2.8,
+            length: 4.7,
+            width: 1.9,
+            max_accel: 3.5,
+            max_decel: 8.0,
+            max_steer: 0.55,
+            max_steer_rate: 1.4,
+            max_speed: 55.0,
+            drag: 0.02,
+        }
+    }
+}
+
+impl VehicleParams {
+    /// Validates that every parameter is finite and physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KinematicsError::InvalidParameter`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), KinematicsError> {
+        let checks: [(&'static str, f64, bool); 9] = [
+            ("wheelbase", self.wheelbase, self.wheelbase > 0.0),
+            ("length", self.length, self.length > 0.0),
+            ("width", self.width, self.width > 0.0),
+            ("max_accel", self.max_accel, self.max_accel > 0.0),
+            ("max_decel", self.max_decel, self.max_decel > 0.0),
+            (
+                "max_steer",
+                self.max_steer,
+                self.max_steer > 0.0 && self.max_steer < std::f64::consts::FRAC_PI_2,
+            ),
+            ("max_steer_rate", self.max_steer_rate, self.max_steer_rate > 0.0),
+            ("max_speed", self.max_speed, self.max_speed > 0.0),
+            ("drag", self.drag, self.drag >= 0.0),
+        ];
+        for (name, value, ok) in checks {
+            if !ok || !value.is_finite() {
+                return Err(KinematicsError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        VehicleParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let mut p = VehicleParams::default();
+        p.wheelbase = -1.0;
+        assert_eq!(
+            p.validate(),
+            Err(KinematicsError::InvalidParameter { name: "wheelbase", value: -1.0 })
+        );
+        let mut p = VehicleParams::default();
+        p.max_decel = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = VehicleParams::default();
+        p.max_steer = 1.6; // > pi/2
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn velocity_points_along_heading() {
+        let s = VehicleState::new(0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2, 0.0);
+        let v = s.velocity();
+        assert!(v.x.abs() < 1e-12);
+        assert!((v.y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_local_puts_point_ahead_on_x_axis() {
+        // Vehicle at (1, 1) heading north; a point 5 m north of it is at
+        // local (5, 0).
+        let s = VehicleState::new(1.0, 1.0, 0.0, std::f64::consts::FRAC_PI_2, 0.0);
+        let local = s.to_local(Vec2::new(1.0, 6.0));
+        assert!((local.x - 5.0).abs() < 1e-12);
+        assert!(local.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_finiteness() {
+        assert!(VehicleState::default().is_finite());
+        let s = VehicleState::new(f64::NAN, 0.0, 0.0, 0.0, 0.0);
+        assert!(!s.is_finite());
+    }
+}

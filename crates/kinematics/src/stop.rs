@@ -1,0 +1,167 @@
+//! The emergency-stop maneuver and the procedure `P` (paper Eq. 4–7).
+//!
+//! `d_stop` (Definition 1) is the displacement the vehicle covers while
+//! decelerating at `a_max` with frozen steering (`dφ/dt = 0`, Eq. 5). The
+//! paper solves the resulting system (Eq. 6) by iterative numerical
+//! integration; [`emergency_stop`] does the same with RK4. Because speed
+//! falls linearly and the steering is frozen, the path is exactly a
+//! circular arc, so a closed form exists ([`emergency_stop_arc`]) and is
+//! used as a cross-check in tests and as a fast path by the mining engine.
+
+use crate::{rk4_step, VehicleParams, VehicleState, Vec2};
+
+/// Result of the emergency-stop procedure `P` (Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopOutcome {
+    /// Stopping displacement expressed in the vehicle frame at maneuver
+    /// start: `longitudinal` along the initial heading, `lateral` across it.
+    pub distance: crate::DirectedDistance,
+    /// Stopping displacement in the world frame.
+    pub displacement: Vec2,
+    /// Time to come to a complete halt \[s\].
+    pub stop_time: f64,
+}
+
+/// Computes `d_stop` by numerically integrating Eq. 6 with RK4.
+///
+/// This is the paper's procedure
+/// `d_stop = P(a_max, v0, θ0, φ0, x0, y0)`.
+/// The integration step adapts to the stop time so the cost is bounded.
+pub fn emergency_stop(params: &VehicleParams, start: &VehicleState) -> StopOutcome {
+    let a = params.max_decel;
+    let v0 = start.v.max(0.0);
+    if v0 <= 0.0 {
+        return StopOutcome {
+            distance: crate::DirectedDistance::ZERO,
+            displacement: Vec2::ZERO,
+            stop_time: 0.0,
+        };
+    }
+    let stop_time = v0 / a;
+    let steps = 200usize;
+    let dt = stop_time / steps as f64;
+    let l = params.wheelbase;
+    let phi0 = start.phi.clamp(-params.max_steer, params.max_steer);
+    let tan_phi = phi0.tan();
+
+    // State: [x, y, v, theta]; dφ/dt = 0 during the maneuver (Eq. 5).
+    let sys = move |_t: f64, y: &[f64; 4], d: &mut [f64; 4]| {
+        let v = y[2].max(0.0);
+        d[0] = v * y[3].cos();
+        d[1] = v * y[3].sin();
+        d[2] = if v > 0.0 { -a } else { 0.0 };
+        d[3] = v * tan_phi / l;
+    };
+    let mut y = [start.x, start.y, v0, start.theta];
+    for i in 0..steps {
+        y = rk4_step(&sys, i as f64 * dt, &y, dt);
+    }
+    let displacement = Vec2::new(y[0] - start.x, y[1] - start.y);
+    let local = displacement.into_frame(start.theta);
+    StopOutcome {
+        distance: crate::DirectedDistance { longitudinal: local.x, lateral: local.y },
+        displacement,
+        stop_time,
+    }
+}
+
+/// Closed-form `d_stop`: with frozen steering the trajectory is a circular
+/// arc of radius `R = L / tan φ0` and length `s = v0² / (2 a_max)`.
+///
+/// For `φ0 = 0` this degenerates to a straight line of length `s`.
+pub fn emergency_stop_arc(params: &VehicleParams, start: &VehicleState) -> StopOutcome {
+    let v0 = start.v.max(0.0);
+    let a = params.max_decel;
+    if v0 <= 0.0 {
+        return StopOutcome {
+            distance: crate::DirectedDistance::ZERO,
+            displacement: Vec2::ZERO,
+            stop_time: 0.0,
+        };
+    }
+    let arc_len = v0 * v0 / (2.0 * a);
+    let phi0 = start.phi.clamp(-params.max_steer, params.max_steer);
+    let tan_phi = phi0.tan();
+    let (lon, lat) = if tan_phi.abs() < 1e-9 {
+        (arc_len, 0.0)
+    } else {
+        let radius = params.wheelbase / tan_phi;
+        let angle = arc_len / radius;
+        (radius * angle.sin(), radius * (1.0 - angle.cos()))
+    };
+    let local = Vec2::new(lon, lat);
+    StopOutcome {
+        distance: crate::DirectedDistance { longitudinal: lon, lateral: lat },
+        displacement: local.rotated(start.theta),
+        stop_time: v0 / a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_stop_matches_v_squared_over_2a() {
+        let p = VehicleParams::default();
+        let s = VehicleState::new(0.0, 0.0, 20.0, 0.0, 0.0);
+        let o = emergency_stop(&p, &s);
+        let expected = 400.0 / (2.0 * p.max_decel);
+        assert!((o.distance.longitudinal - expected).abs() < 1e-6, "{o:?}");
+        assert!(o.distance.lateral.abs() < 1e-9);
+        assert!((o.stop_time - 20.0 / p.max_decel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_stops_immediately() {
+        let p = VehicleParams::default();
+        let s = VehicleState::new(3.0, 4.0, 0.0, 1.0, 0.2);
+        let o = emergency_stop(&p, &s);
+        assert_eq!(o.stop_time, 0.0);
+        assert_eq!(o.displacement, Vec2::ZERO);
+    }
+
+    #[test]
+    fn numeric_and_closed_form_agree_with_steering() {
+        let p = VehicleParams::default();
+        for phi in [-0.3, -0.1, 0.0, 0.05, 0.2, 0.5] {
+            for v in [5.0, 15.0, 33.5] {
+                let s = VehicleState::new(0.0, 0.0, v, 0.4, phi);
+                let num = emergency_stop(&p, &s);
+                let arc = emergency_stop_arc(&p, &s);
+                assert!(
+                    (num.distance.longitudinal - arc.distance.longitudinal).abs() < 1e-3,
+                    "lon mismatch at phi={phi} v={v}: {num:?} vs {arc:?}"
+                );
+                assert!(
+                    (num.distance.lateral - arc.distance.lateral).abs() < 1e-3,
+                    "lat mismatch at phi={phi} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heading_rotates_world_displacement_not_local() {
+        let p = VehicleParams::default();
+        let s0 = VehicleState::new(0.0, 0.0, 20.0, 0.0, 0.1);
+        let s1 = VehicleState::new(0.0, 0.0, 20.0, 1.2, 0.1);
+        let o0 = emergency_stop(&p, &s0);
+        let o1 = emergency_stop(&p, &s1);
+        // Local-frame distances are heading-invariant.
+        assert!((o0.distance.longitudinal - o1.distance.longitudinal).abs() < 1e-9);
+        assert!((o0.distance.lateral - o1.distance.lateral).abs() < 1e-9);
+        // World displacements differ by the rotation.
+        assert!((o0.displacement.rotated(1.2).x - o1.displacement.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steering_produces_lateral_displacement_of_matching_sign() {
+        let p = VehicleParams::default();
+        let left = emergency_stop(&p, &VehicleState::new(0.0, 0.0, 20.0, 0.0, 0.2));
+        let right = emergency_stop(&p, &VehicleState::new(0.0, 0.0, 20.0, 0.0, -0.2));
+        assert!(left.distance.lateral > 0.0);
+        assert!(right.distance.lateral < 0.0);
+        assert!((left.distance.lateral + right.distance.lateral).abs() < 1e-9);
+    }
+}

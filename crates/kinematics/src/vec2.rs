@@ -1,0 +1,203 @@
+//! A minimal 2-D vector used throughout the workspace.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A two-dimensional vector in meters (or meter-derived units).
+///
+/// The world frame has `x` pointing along the road (east) and `y` to the
+/// left (north). Vehicle-local frames have `x` longitudinal (forward) and
+/// `y` lateral (left).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the 3-D cross product (signed area).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector pointing along `heading` radians (0 = +x).
+    pub fn from_heading(heading: f64) -> Self {
+        Vec2::new(heading.cos(), heading.sin())
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Expresses a world-frame vector in a frame whose +x axis points along
+    /// `heading`. This is the inverse of [`Vec2::rotated`].
+    pub fn into_frame(self, heading: f64) -> Self {
+        self.rotated(-heading)
+    }
+
+    /// Distance between two points.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns a vector with the same direction and unit length, or zero if
+    /// the vector is (numerically) zero.
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            Vec2::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec2::new(3.0, 4.0);
+        let b = Vec2::new(-1.0, 2.0);
+        assert_eq!(a + b, Vec2::new(2.0, 6.0));
+        assert_eq!(a - b, Vec2::new(4.0, 2.0));
+        assert_eq!(a * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec2::new(1.5, 2.0));
+        assert_eq!(-a, Vec2::new(-3.0, -4.0));
+    }
+
+    #[test]
+    fn norm_of_3_4_is_5() {
+        assert_eq!(Vec2::new(3.0, 4.0).norm(), 5.0);
+        assert_eq!(Vec2::new(3.0, 4.0).norm_sq(), 25.0);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let a = Vec2::new(1.0, 0.0);
+        let r = a.rotated(std::f64::consts::FRAC_PI_2);
+        assert!((r.x - 0.0).abs() < 1e-12);
+        assert!((r.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_frame_inverts_rotated() {
+        let a = Vec2::new(2.5, -1.5);
+        let h = 0.7;
+        let back = a.rotated(h).into_frame(h);
+        assert!((back.x - a.x).abs() < 1e-12);
+        assert!((back.y - a.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let n = Vec2::new(5.0, 0.0).normalized();
+        assert_eq!(n, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn from_heading_is_unit() {
+        for h in [-3.0, -0.5, 0.0, 0.5, 1.2, 3.1] {
+            assert!((Vec2::from_heading(h).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+}

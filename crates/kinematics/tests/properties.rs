@@ -1,0 +1,73 @@
+//! Property-based tests for kinematic invariants.
+
+use drivefi_kinematics::{
+    emergency_stop, emergency_stop_arc, Actuation, BicycleModel, SafetyEnvelope, SafetyPotential,
+    VehicleParams, VehicleState,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Stop time is monotonically non-decreasing in speed, and for a
+    /// straight-line stop so is the longitudinal stopping distance. (The
+    /// Euclidean chord is *not* monotone once a steered stopping arc wraps
+    /// the circle, which is physically correct.)
+    #[test]
+    fn stop_distance_monotone_in_speed(v1 in 0.0..50.0f64, dv in 0.0..10.0f64) {
+        let p = VehicleParams::default();
+        let lo = emergency_stop(&p, &VehicleState::new(0.0, 0.0, v1, 0.0, 0.0));
+        let hi = emergency_stop(&p, &VehicleState::new(0.0, 0.0, v1 + dv, 0.0, 0.0));
+        prop_assert!(hi.distance.longitudinal >= lo.distance.longitudinal - 1e-9);
+        prop_assert!(hi.stop_time >= lo.stop_time - 1e-12);
+    }
+
+    /// The closed-form arc solution agrees with RK4 integration everywhere.
+    #[test]
+    fn arc_matches_numeric(v in 0.1..50.0f64, theta in -3.0..3.0f64, phi in -0.5..0.5f64) {
+        let p = VehicleParams::default();
+        let s = VehicleState::new(0.0, 0.0, v, theta, phi);
+        let num = emergency_stop(&p, &s);
+        let arc = emergency_stop_arc(&p, &s);
+        prop_assert!((num.distance.longitudinal - arc.distance.longitudinal).abs() < 1e-2);
+        prop_assert!((num.distance.lateral - arc.distance.lateral).abs() < 1e-2);
+        prop_assert!((num.displacement - arc.displacement).norm() < 1e-2);
+    }
+
+    /// Stopping distances are invariant under translation and heading
+    /// rotation (they are local-frame quantities).
+    #[test]
+    fn stop_invariant_under_pose(v in 0.0..50.0f64, x in -100.0..100.0f64,
+                                 y in -100.0..100.0f64, theta in -3.0..3.0f64,
+                                 phi in -0.5..0.5f64) {
+        let p = VehicleParams::default();
+        let origin = emergency_stop(&p, &VehicleState::new(0.0, 0.0, v, 0.0, phi));
+        let moved = emergency_stop(&p, &VehicleState::new(x, y, v, theta, phi));
+        prop_assert!((origin.distance.longitudinal - moved.distance.longitudinal).abs() < 1e-8);
+        prop_assert!((origin.distance.lateral - moved.distance.lateral).abs() < 1e-8);
+    }
+
+    /// The bicycle model never produces NaN and never reverses.
+    #[test]
+    fn bicycle_stays_finite(v0 in 0.0..55.0f64, throttle in 0.0..1.0f64,
+                            brake in 0.0..1.0f64, steer in -0.6..0.6f64) {
+        let m = BicycleModel::new(VehicleParams::default());
+        let mut s = VehicleState::new(0.0, 0.0, v0, 0.0, 0.0);
+        let cmd = Actuation::new(throttle, brake, steer);
+        for _ in 0..200 {
+            s = m.step(&s, &cmd, 0.05);
+            prop_assert!(s.is_finite());
+            prop_assert!(s.v >= 0.0);
+        }
+    }
+
+    /// δ is monotone in the safety envelope: growing free space never
+    /// reduces the safety potential.
+    #[test]
+    fn delta_monotone_in_envelope(v in 0.0..50.0f64, lon in 0.0..200.0f64,
+                                  grow in 0.0..50.0f64, lat in 0.0..5.0f64) {
+        let p = VehicleParams::default();
+        let s = VehicleState::new(0.0, 0.0, v, 0.0, 0.0);
+        let d1 = SafetyPotential::evaluate(&p, &s, &SafetyEnvelope::new(lon, lat));
+        let d2 = SafetyPotential::evaluate(&p, &s, &SafetyEnvelope::new(lon + grow, lat));
+        prop_assert!(d2.longitudinal >= d1.longitudinal - 1e-12);
+    }
+}

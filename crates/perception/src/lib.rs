@@ -1,0 +1,31 @@
+//! Perception: localization and multi-object tracking.
+//!
+//! This crate builds the ADS's **world model** `W_t` (paper Fig. 1): the
+//! set of tracked static and dynamic objects, maintained by Kalman-filter
+//! sensor fusion over camera/LiDAR/RADAR detections, plus an ego pose
+//! estimate fused from GPS and IMU.
+//!
+//! The paper attributes much of an ADS's *natural fault resilience* to
+//! exactly this machinery ("algorithms like extended Kalman filtering for
+//! sensor fusion", §II-C): a transiently corrupted detection or state
+//! variable is pulled back toward the truth by the next few measurement
+//! updates. Reproducing that masking behavior faithfully is what lets the
+//! random-FI experiments (E2) come out the way the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_perception::MultiObjectTracker;
+//!
+//! let tracker = MultiObjectTracker::new();
+//! assert_eq!(tracker.world_model().objects.len(), 0);
+//! ```
+
+pub mod linalg;
+pub mod localization;
+pub mod tracker;
+pub mod world_model;
+
+pub use localization::PoseEstimator;
+pub use tracker::{MultiObjectTracker, TrackerConfig};
+pub use world_model::{TrackId, TrackedObject, WorldModel};

@@ -1,0 +1,204 @@
+//! Tiny fixed-size linear algebra for Kalman filtering.
+//!
+//! Matrices are `[[f64; C]; R]` (row-major). Only the handful of
+//! operations a Kalman filter needs are provided; everything is generic
+//! over dimensions via const generics so the 4-state tracker and the
+//! 2-state localizer share code.
+
+/// Multiplies an `R×K` matrix by a `K×C` matrix.
+pub fn mat_mul<const R: usize, const K: usize, const C: usize>(
+    a: &[[f64; K]; R],
+    b: &[[f64; C]; K],
+) -> [[f64; C]; R] {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for k in 0..K {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..C {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Transposes an `R×C` matrix.
+pub fn transpose<const R: usize, const C: usize>(a: &[[f64; C]; R]) -> [[f64; R]; C] {
+    let mut out = [[0.0; R]; C];
+    for i in 0..R {
+        for j in 0..C {
+            out[j][i] = a[i][j];
+        }
+    }
+    out
+}
+
+/// Adds two matrices of identical shape.
+pub fn mat_add<const R: usize, const C: usize>(
+    a: &[[f64; C]; R],
+    b: &[[f64; C]; R],
+) -> [[f64; C]; R] {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    out
+}
+
+/// Subtracts `b` from `a`.
+pub fn mat_sub<const R: usize, const C: usize>(
+    a: &[[f64; C]; R],
+    b: &[[f64; C]; R],
+) -> [[f64; C]; R] {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i][j] = a[i][j] - b[i][j];
+        }
+    }
+    out
+}
+
+/// The `N×N` identity.
+pub fn identity<const N: usize>() -> [[f64; N]; N] {
+    let mut out = [[0.0; N]; N];
+    for (i, row) in out.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    out
+}
+
+/// Multiplies a matrix by a column vector.
+pub fn mat_vec<const R: usize, const C: usize>(a: &[[f64; C]; R], v: &[f64; C]) -> [f64; R] {
+    let mut out = [0.0; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i] += a[i][j] * v[j];
+        }
+    }
+    out
+}
+
+/// Inverts a small square matrix by Gauss–Jordan elimination with partial
+/// pivoting. Returns `None` when the matrix is (numerically) singular.
+pub fn inverse<const N: usize>(a: &[[f64; N]; N]) -> Option<[[f64; N]; N]> {
+    let mut aug = [[0.0; N]; N];
+    let mut inv = identity::<N>();
+    aug.copy_from_slice(a);
+
+    for col in 0..N {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..N {
+            if aug[row][col].abs() > aug[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if aug[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot);
+        inv.swap(col, pivot);
+
+        let diag = aug[col][col];
+        for j in 0..N {
+            aug[col][j] /= diag;
+            inv[col][j] /= diag;
+        }
+        for row in 0..N {
+            if row == col {
+                continue;
+            }
+            let factor = aug[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..N {
+                aug[row][j] -= factor * aug[col][j];
+                inv[row][j] -= factor * inv[col][j];
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let a = [[1.0, 2.0], [3.0, 4.0]];
+        assert_eq!(mat_mul(&a, &identity::<2>()), a);
+        assert_eq!(mat_mul(&identity::<2>(), &a), a);
+    }
+
+    #[test]
+    fn rectangular_multiply() {
+        let a = [[1.0, 2.0, 3.0]];
+        let b = [[1.0], [1.0], [1.0]];
+        assert_eq!(mat_mul(&a, &b), [[6.0]]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a)[2][1], 6.0);
+    }
+
+    #[test]
+    fn inverse_of_known_2x2() {
+        let a = [[4.0, 7.0], [2.0, 6.0]];
+        let inv = inverse(&a).unwrap();
+        let expect = [[0.6, -0.7], [-0.2, 0.4]];
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((inv[i][j] - expect[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity_4x4() {
+        let a = [
+            [2.0, 0.5, 0.0, 1.0],
+            [0.1, 3.0, 0.2, 0.0],
+            [0.0, 0.3, 1.5, 0.4],
+            [1.0, 0.0, 0.2, 2.5],
+        ];
+        let inv = inverse(&a).unwrap();
+        let prod = mat_mul(&a, &inv);
+        let id = identity::<4>();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((prod[i][j] - id[i][j]).abs() < 1e-10, "prod[{i}][{j}] = {}", prod[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(inverse(&a).is_none());
+    }
+
+    #[test]
+    fn mat_vec_multiplies() {
+        let a = [[1.0, 0.0, 2.0], [0.0, 1.0, -1.0]];
+        let v = [3.0, 4.0, 5.0];
+        assert_eq!(mat_vec(&a, &v), [13.0, -1.0]);
+    }
+
+    #[test]
+    fn add_sub_inverse_each_other() {
+        let a = [[1.0, 2.0], [3.0, 4.0]];
+        let b = [[0.5, 0.5], [0.5, 0.5]];
+        assert_eq!(mat_sub(&mat_add(&a, &b), &b), a);
+    }
+}

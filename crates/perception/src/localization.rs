@@ -1,0 +1,141 @@
+//! Ego pose estimation from GPS and IMU (complementary filter).
+
+use drivefi_kinematics::{Vec2, VehicleState};
+use drivefi_sensors::{GpsFix, ImuSample};
+
+/// Fuses IMU dead-reckoning with GPS corrections into an ego pose
+/// estimate. This is the localization module of the ADS; its output is
+/// part of the internal state `S_t` that DriveFI can corrupt.
+#[derive(Debug, Clone)]
+pub struct PoseEstimator {
+    estimate: VehicleState,
+    /// Blend factor toward a fresh GPS fix per update (0..1).
+    gps_gain: f64,
+    initialized: bool,
+}
+
+impl Default for PoseEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PoseEstimator {
+    /// Creates an uninitialized estimator (first GPS fix snaps the pose).
+    pub fn new() -> Self {
+        PoseEstimator { estimate: VehicleState::default(), gps_gain: 0.2, initialized: false }
+    }
+
+    /// The current pose estimate.
+    pub fn pose(&self) -> VehicleState {
+        self.estimate
+    }
+
+    /// True once at least one GPS fix has been absorbed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Overwrites the pose estimate (used by the fault injector to
+    /// corrupt localization state, and by tests).
+    pub fn set_pose(&mut self, pose: VehicleState) {
+        self.estimate = pose;
+        self.initialized = true;
+    }
+
+    /// Dead-reckons the pose forward by `dt` using an IMU sample.
+    pub fn predict(&mut self, imu: &ImuSample, dt: f64) {
+        if !self.initialized {
+            return;
+        }
+        let v = imu.speed.max(0.0);
+        self.estimate.theta += imu.yaw_rate * dt;
+        let dir = Vec2::from_heading(self.estimate.theta);
+        self.estimate.x += dir.x * v * dt;
+        self.estimate.y += dir.y * v * dt;
+        self.estimate.v = v;
+    }
+
+    /// Corrects the pose with a GPS fix (complementary blend).
+    pub fn correct(&mut self, gps: &GpsFix) {
+        if !self.initialized {
+            self.estimate.x = gps.position.x;
+            self.estimate.y = gps.position.y;
+            self.estimate.theta = gps.heading;
+            self.initialized = true;
+            return;
+        }
+        let k = self.gps_gain;
+        self.estimate.x += k * (gps.position.x - self.estimate.x);
+        self.estimate.y += k * (gps.position.y - self.estimate.y);
+        // Wrap-aware heading blend.
+        let mut dh = gps.heading - self.estimate.theta;
+        while dh > std::f64::consts::PI {
+            dh -= 2.0 * std::f64::consts::PI;
+        }
+        while dh < -std::f64::consts::PI {
+            dh += 2.0 * std::f64::consts::PI;
+        }
+        self.estimate.theta += k * dh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(x: f64, y: f64, heading: f64) -> GpsFix {
+        GpsFix { position: Vec2::new(x, y), heading }
+    }
+
+    #[test]
+    fn first_fix_snaps_pose() {
+        let mut p = PoseEstimator::new();
+        assert!(!p.is_initialized());
+        p.correct(&fix(10.0, 2.0, 0.1));
+        assert!(p.is_initialized());
+        assert_eq!(p.pose().x, 10.0);
+        assert_eq!(p.pose().theta, 0.1);
+    }
+
+    #[test]
+    fn dead_reckoning_advances_along_heading() {
+        let mut p = PoseEstimator::new();
+        p.correct(&fix(0.0, 0.0, 0.0));
+        let imu = ImuSample { speed: 10.0, accel: 0.0, yaw_rate: 0.0 };
+        for _ in 0..30 {
+            p.predict(&imu, 1.0 / 30.0);
+        }
+        assert!((p.pose().x - 10.0).abs() < 1e-9);
+        assert!(p.pose().y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gps_corrections_converge_to_truth() {
+        let mut p = PoseEstimator::new();
+        p.correct(&fix(0.0, 0.0, 0.0));
+        // Biased start, repeated truthful fixes at (5, 5).
+        for _ in 0..50 {
+            p.correct(&fix(5.0, 5.0, 0.0));
+        }
+        assert!((p.pose().x - 5.0).abs() < 0.01);
+        assert!((p.pose().y - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn heading_blend_handles_wraparound() {
+        let mut p = PoseEstimator::new();
+        p.correct(&fix(0.0, 0.0, 3.1));
+        p.correct(&fix(0.0, 0.0, -3.1));
+        // Should move toward -3.1 the short way (through pi), not via 0.
+        assert!(p.pose().theta > 3.1 || p.pose().theta < -3.0);
+    }
+
+    #[test]
+    fn predict_before_init_is_noop() {
+        let mut p = PoseEstimator::new();
+        let imu = ImuSample { speed: 10.0, accel: 0.0, yaw_rate: 0.0 };
+        p.predict(&imu, 1.0);
+        assert_eq!(p.pose().x, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The ADS world model `W_t`: tracked objects.
+
+use drivefi_kinematics::Vec2;
+
+/// Identifier of a perception track (not a ground-truth actor id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u32);
+
+impl std::fmt::Display for TrackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "track{}", self.0)
+    }
+}
+
+/// One confirmed object in the world model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackedObject {
+    /// Track identifier.
+    pub id: TrackId,
+    /// Estimated world-frame position \[m\].
+    pub position: Vec2,
+    /// Estimated world-frame velocity \[m/s\].
+    pub velocity: Vec2,
+    /// Estimated footprint (length, width) \[m\].
+    pub extent: Vec2,
+    /// Ground-truth actor id of the majority of associated detections.
+    /// Evaluation-only; the ADS logic never reads it.
+    pub truth_id: u32,
+}
+
+/// The world model published by perception — the paper's `W_t`, which
+/// "maintains and tracks the trajectories of all static and dynamic
+/// objects perceived by the ADS".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorldModel {
+    /// Confirmed tracks.
+    pub objects: Vec<TrackedObject>,
+}
+
+impl WorldModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        WorldModel::default()
+    }
+
+    /// The object nearest to `point`, if any.
+    pub fn nearest(&self, point: Vec2) -> Option<&TrackedObject> {
+        self.objects.iter().min_by(|a, b| {
+            a.position
+                .distance(point)
+                .partial_cmp(&b.position.distance(point))
+                .expect("positions are finite")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u32, x: f64, y: f64) -> TrackedObject {
+        TrackedObject {
+            id: TrackId(id),
+            position: Vec2::new(x, y),
+            velocity: Vec2::ZERO,
+            extent: Vec2::new(4.7, 1.9),
+            truth_id: id,
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let wm = WorldModel { objects: vec![obj(1, 10.0, 0.0), obj(2, 3.0, 1.0)] };
+        assert_eq!(wm.nearest(Vec2::ZERO).unwrap().id, TrackId(2));
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        assert!(WorldModel::new().nearest(Vec2::ZERO).is_none());
+    }
+}

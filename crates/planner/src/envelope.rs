@@ -1,0 +1,129 @@
+//! The *perceived* safety envelope: `d_safe` as seen through `W_t`.
+
+use drivefi_kinematics::{SafetyEnvelope, VehicleParams, VehicleState};
+use drivefi_perception::WorldModel;
+use drivefi_world::Road;
+
+/// Sensor horizon used when nothing is tracked ahead \[m\].
+pub const PERCEIVED_HORIZON: f64 = 200.0;
+
+/// Computes the safety envelope from the **perceived** world model (the
+/// ADS view). The ground-truth twin of this function lives in
+/// `drivefi_world::World::ground_truth`; keeping both lets experiments
+/// compare what the ADS believes with what is true — which is precisely
+/// the gap a fault opens.
+pub fn perceived_envelope(
+    pose: &VehicleState,
+    model: &WorldModel,
+    road: &Road,
+    params: &VehicleParams,
+) -> SafetyEnvelope {
+    let mut lon_free = PERCEIVED_HORIZON;
+
+    let lane = road.lane_at(pose.y);
+    let left_gap = lane.left_boundary() - (pose.y + params.width / 2.0);
+    let right_gap = (pose.y - params.width / 2.0) - lane.right_boundary();
+    let mut lat_free = left_gap.min(right_gap).max(0.0);
+
+    for obj in &model.objects {
+        let local = pose.to_local(obj.position);
+        let obj_len = obj.extent.x;
+        let obj_wid = obj.extent.y;
+        // The +1.0 m corridor margin (vs the hazard monitor's +0.2 m)
+        // is cut-in anticipation: production planners begin yielding to a
+        // vehicle encroaching on the lane boundary well before its body
+        // enters the ego's swept path.
+        if local.x > 0.0 && local.y.abs() < (params.width + obj_wid) / 2.0 + 1.0 {
+            let gap = local.x - (params.length + obj_len) / 2.0;
+            // Credit the tracked object's receding motion (see the
+            // ground-truth twin in `drivefi_world` for the rationale and
+            // the Example-1 calibration).
+            let recede = obj.velocity.into_frame(pose.theta).x.max(0.0);
+            let credit = recede * recede / (2.0 * params.max_decel);
+            lon_free = lon_free.min(gap.max(0.0) + credit);
+        }
+        if local.x.abs() < (params.length + obj_len) / 2.0 {
+            let gap = local.y.abs() - (params.width + obj_wid) / 2.0;
+            lat_free = lat_free.min(gap.max(0.0));
+        }
+    }
+    SafetyEnvelope::new(lon_free, lat_free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_kinematics::Vec2;
+    use drivefi_perception::{TrackId, TrackedObject};
+
+    fn obj(x: f64, y: f64) -> TrackedObject {
+        TrackedObject {
+            id: TrackId(0),
+            position: Vec2::new(x, y),
+            velocity: Vec2::ZERO,
+            extent: Vec2::new(4.7, 1.9),
+            truth_id: 0,
+        }
+    }
+
+    #[test]
+    fn empty_model_gives_horizon() {
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+        let env = perceived_envelope(
+            &pose,
+            &WorldModel::new(),
+            &Road::default_highway(),
+            &VehicleParams::default(),
+        );
+        assert_eq!(env.free.longitudinal, PERCEIVED_HORIZON);
+        assert!((env.free.lateral - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lead_object_limits_longitudinal() {
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+        let model = WorldModel { objects: vec![obj(54.7, 0.0)] };
+        let env = perceived_envelope(
+            &pose,
+            &model,
+            &Road::default_highway(),
+            &VehicleParams::default(),
+        );
+        assert!((env.free.longitudinal - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_lane_object_does_not_limit() {
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+        let model = WorldModel { objects: vec![obj(50.0, 3.7)] };
+        let env = perceived_envelope(
+            &pose,
+            &model,
+            &Road::default_highway(),
+            &VehicleParams::default(),
+        );
+        assert_eq!(env.free.longitudinal, PERCEIVED_HORIZON);
+    }
+
+    #[test]
+    fn alongside_object_limits_lateral() {
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+        let model = WorldModel { objects: vec![obj(0.0, 2.8)] };
+        let env = perceived_envelope(
+            &pose,
+            &model,
+            &Road::default_highway(),
+            &VehicleParams::default(),
+        );
+        // gap = 2.8 - (1.9 + 1.9)/2 = 0.9 — equals the lane-boundary gap.
+        assert!((env.free.lateral - 0.9).abs() < 1e-9);
+        let model = WorldModel { objects: vec![obj(0.0, 2.5)] };
+        let env = perceived_envelope(
+            &pose,
+            &model,
+            &Road::default_highway(),
+            &VehicleParams::default(),
+        );
+        assert!((env.free.lateral - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Lateral planning: Stanley-style lane keeping.
+
+use drivefi_kinematics::{VehicleParams, VehicleState};
+use drivefi_world::Road;
+
+/// Lane-keeping steering law: steer to cancel heading error plus a
+/// speed-scaled correction of the lateral offset from the lane center
+/// (the Stanley controller used by the DARPA Grand Challenge winner).
+#[derive(Debug, Clone, Copy)]
+pub struct LaneKeeper {
+    /// Cross-track gain \[1/s\].
+    pub gain: f64,
+    /// Speed softening constant \[m/s\] (avoids a division blow-up at
+    /// standstill).
+    pub softening: f64,
+    /// Heading-error gain (< 1 buys phase margin against the two
+    /// low-pass stages between command and road wheel).
+    pub heading_gain: f64,
+}
+
+impl Default for LaneKeeper {
+    fn default() -> Self {
+        // Low gain + strong softening: the cross-track estimate is fed by
+        // noisy GPS fusion, and the steering path has two low-pass stages
+        // (PID smoother, steering servo). Higher gains oscillate.
+        LaneKeeper { gain: 0.8, softening: 5.0, heading_gain: 1.0 }
+    }
+}
+
+impl LaneKeeper {
+    /// Computes the raw steering command \[rad\] to keep the pose centered
+    /// in its current lane (the lane containing the pose's `y`).
+    pub fn steer(&self, pose: &VehicleState, road: &Road, params: &VehicleParams) -> f64 {
+        let lane = road.lane_at(pose.y);
+        let cross_track = lane.center_y - pose.y;
+        // Road runs along +x, so the target heading is 0.
+        let heading_err = -self.heading_gain * pose.theta;
+        let correction = (self.gain * cross_track / (self.softening + pose.v.max(0.0))).atan();
+        (heading_err + correction).clamp(-params.max_steer, params.max_steer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_aligned_vehicle_steers_straight() {
+        let lk = LaneKeeper::default();
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+        let s = lk.steer(&pose, &Road::default_highway(), &VehicleParams::default());
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_right_steers_left() {
+        let lk = LaneKeeper::default();
+        // y = -0.5: right of lane-0 center → steer left (positive).
+        let pose = VehicleState::new(0.0, -0.5, 30.0, 0.0, 0.0);
+        let s = lk.steer(&pose, &Road::default_highway(), &VehicleParams::default());
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn heading_error_is_cancelled() {
+        let lk = LaneKeeper::default();
+        let pose = VehicleState::new(0.0, 0.0, 30.0, 0.1, 0.0);
+        let s = lk.steer(&pose, &Road::default_highway(), &VehicleParams::default());
+        assert!(s < 0.0, "heading left of road must steer right, got {s}");
+    }
+
+    #[test]
+    fn command_respects_steering_limit() {
+        let lk = LaneKeeper::default();
+        let p = VehicleParams::default();
+        let pose = VehicleState::new(0.0, -1.8, 1.0, 1.5, 0.0);
+        let s = lk.steer(&pose, &Road::default_highway(), &p);
+        assert!(s.abs() <= p.max_steer);
+    }
+
+    #[test]
+    fn correction_softens_with_speed() {
+        let lk = LaneKeeper::default();
+        let p = VehicleParams::default();
+        let slow = lk.steer(&VehicleState::new(0.0, -0.5, 2.0, 0.0, 0.0), &Road::default_highway(), &p);
+        let fast = lk.steer(&VehicleState::new(0.0, -0.5, 30.0, 0.0, 0.0), &Road::default_highway(), &p);
+        assert!(slow > fast, "lateral correction should soften at speed");
+    }
+}

@@ -1,0 +1,35 @@
+//! Planning: safety envelope, ACC speed planning, lane keeping.
+//!
+//! The planner consumes the pose estimate and the world model `W_t` and
+//! produces the **raw actuation command** `U_A,t` (paper Fig. 1) — the
+//! quantity the PID controller smooths into `A_t`. It continuously
+//! computes the *perceived* safety envelope `d_safe` and the safety
+//! potential `δ`, using them to constrain its commands exactly as the
+//! paper describes production ADSs doing ("A safety envelope is used to
+//! ensure, through constraints on `U_A,t`, that the vehicle trajectory is
+//! collision-free", §II-B).
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_planner::{Planner, PlannerConfig};
+//! use drivefi_perception::WorldModel;
+//! use drivefi_kinematics::{VehicleParams, VehicleState};
+//! use drivefi_world::Road;
+//!
+//! let planner = Planner::new(PlannerConfig::default(), VehicleParams::default());
+//! let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
+//! let out = planner.plan(&pose, &WorldModel::new(), &Road::default_highway(), 30.0);
+//! assert!(out.raw.throttle >= 0.0);
+//! ```
+
+pub mod envelope;
+pub mod lane_keep;
+pub mod speed;
+
+mod plan;
+
+pub use envelope::perceived_envelope;
+pub use lane_keep::LaneKeeper;
+pub use plan::{Planner, PlannerConfig, PlannerOutput};
+pub use speed::SpeedPlanner;

@@ -1,0 +1,181 @@
+//! The top-level planner producing `U_A,t`.
+
+use crate::envelope::perceived_envelope;
+use crate::lane_keep::LaneKeeper;
+use crate::speed::SpeedPlanner;
+use drivefi_kinematics::{
+    Actuation, SafetyEnvelope, SafetyPotential, VehicleParams, VehicleState,
+};
+use drivefi_perception::WorldModel;
+use drivefi_world::Road;
+
+/// Planner tunables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannerConfig {
+    /// Longitudinal planner.
+    pub speed: SpeedPlanner,
+    /// Lateral planner.
+    pub lane: LaneKeeper,
+}
+
+/// Everything the planner publishes each tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerOutput {
+    /// The raw actuation command `U_A,t`.
+    pub raw: Actuation,
+    /// The *perceived* safety envelope `d_safe`.
+    pub envelope: SafetyEnvelope,
+    /// The *perceived* safety potential `δ`.
+    pub delta: SafetyPotential,
+}
+
+/// The motion planner: perceived envelope → δ-constrained ACC + lane
+/// keeping → raw actuation `U_A,t`.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    config: PlannerConfig,
+    params: VehicleParams,
+}
+
+impl Planner {
+    /// Creates a planner for a vehicle with the given parameters.
+    pub fn new(config: PlannerConfig, params: VehicleParams) -> Self {
+        Planner { config, params }
+    }
+
+    /// Vehicle parameters the planner assumes.
+    pub fn params(&self) -> &VehicleParams {
+        &self.params
+    }
+
+    /// Plans one tick.
+    pub fn plan(
+        &self,
+        pose: &VehicleState,
+        model: &WorldModel,
+        road: &Road,
+        set_speed: f64,
+    ) -> PlannerOutput {
+        let envelope = perceived_envelope(pose, model, road, &self.params);
+        let delta = SafetyPotential::evaluate(&self.params, pose, &envelope);
+
+        let lead = self.config.speed.find_lead(pose, model, &self.params);
+        let accel = self
+            .config
+            .speed
+            .plan_accel(pose, set_speed, lead, &delta, &self.params);
+        // Drag feedforward: the commanded traction must also cancel the
+        // speed-proportional drag, or cruise settles below the set speed.
+        let accel = if accel > -0.5 { accel + self.params.drag * pose.v.max(0.0) } else { accel };
+
+        let (throttle, brake) = if accel >= 0.0 {
+            ((accel / self.params.max_accel).min(1.0), 0.0)
+        } else {
+            (0.0, (-accel / self.params.max_decel).min(1.0))
+        };
+        let steering = self.config.lane.steer(pose, road, &self.params);
+
+        PlannerOutput {
+            raw: Actuation { throttle, brake, steering },
+            envelope,
+            delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_kinematics::Vec2;
+    use drivefi_perception::{TrackId, TrackedObject};
+
+    fn planner() -> Planner {
+        Planner::new(PlannerConfig::default(), VehicleParams::default())
+    }
+
+    fn obj(x: f64, vx: f64) -> TrackedObject {
+        TrackedObject {
+            id: TrackId(0),
+            position: Vec2::new(x, 0.0),
+            velocity: Vec2::new(vx, 0.0),
+            extent: Vec2::new(4.7, 1.9),
+            truth_id: 0,
+        }
+    }
+
+    #[test]
+    fn free_road_below_set_speed_throttles() {
+        let out = planner().plan(
+            &VehicleState::new(0.0, 0.0, 20.0, 0.0, 0.0),
+            &WorldModel::new(),
+            &Road::default_highway(),
+            30.0,
+        );
+        assert!(out.raw.throttle > 0.0);
+        assert_eq!(out.raw.brake, 0.0);
+        assert!(out.delta.is_safe());
+    }
+
+    #[test]
+    fn imminent_obstacle_brakes_hard() {
+        // 30 m/s with an object 40 m ahead: d_stop ≈ 56 m > d_safe → AEB.
+        let model = WorldModel { objects: vec![obj(40.0, 0.0)] };
+        let out = planner().plan(
+            &VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0),
+            &model,
+            &Road::default_highway(),
+            30.0,
+        );
+        assert!(out.raw.brake > 0.9, "brake = {}", out.raw.brake);
+        assert!(!out.delta.is_safe());
+    }
+
+    #[test]
+    fn distant_lead_allows_cruise() {
+        let model = WorldModel { objects: vec![obj(180.0, 30.0)] };
+        let out = planner().plan(
+            &VehicleState::new(0.0, 0.0, 25.0, 0.0, 0.0),
+            &model,
+            &Road::default_highway(),
+            30.0,
+        );
+        assert!(out.raw.throttle > 0.0);
+        assert!(out.delta.is_safe());
+    }
+
+    #[test]
+    fn throttle_and_brake_are_mutually_exclusive() {
+        for gap in [20.0, 60.0, 120.0, 200.0] {
+            let model = WorldModel { objects: vec![obj(gap, 10.0)] };
+            let out = planner().plan(
+                &VehicleState::new(0.0, 0.0, 28.0, 0.0, 0.0),
+                &model,
+                &Road::default_highway(),
+                30.0,
+            );
+            assert!(
+                out.raw.throttle == 0.0 || out.raw.brake == 0.0,
+                "gap {gap}: throttle {} brake {}",
+                out.raw.throttle,
+                out.raw.brake
+            );
+        }
+    }
+
+    #[test]
+    fn perceived_delta_reflects_envelope() {
+        let model = WorldModel { objects: vec![obj(60.0, 25.0)] };
+        let out = planner().plan(
+            &VehicleState::new(0.0, 0.0, 25.0, 0.0, 0.0),
+            &model,
+            &Road::default_highway(),
+            30.0,
+        );
+        // envelope = (60 - 4.7) + 25²/16; stop = 625/16; margin 2.0 — the
+        // motion credit and the stopping distance cancel for a same-speed
+        // lead, leaving δ = gap − margin.
+        let credit = 625.0 / 16.0;
+        assert!((out.envelope.free.longitudinal - (55.3 + credit)).abs() < 1e-9);
+        assert!((out.delta.longitudinal - (55.3 - 2.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,194 @@
+//! Longitudinal (speed) planning: adaptive cruise + emergency braking.
+
+use drivefi_kinematics::{SafetyPotential, VehicleParams, VehicleState};
+use drivefi_perception::WorldModel;
+
+/// Longitudinal planner: IDM-style adaptive cruise control toward a set
+/// speed, constrained by the safety potential (automatic emergency
+/// braking as `δ_lon` approaches zero).
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedPlanner {
+    /// Maximum planned acceleration \[m/s²\].
+    pub max_accel: f64,
+    /// Comfortable planned deceleration \[m/s²\].
+    pub comfort_decel: f64,
+    /// Desired time headway to the lead vehicle \[s\].
+    pub time_headway: f64,
+    /// Minimum standstill gap \[m\].
+    pub min_gap: f64,
+    /// δ_lon below which the planner blends toward full braking \[m\].
+    pub aeb_delta: f64,
+}
+
+impl Default for SpeedPlanner {
+    fn default() -> Self {
+        SpeedPlanner {
+            max_accel: 2.0,
+            comfort_decel: 3.5,
+            time_headway: 1.6,
+            min_gap: 4.0,
+            aeb_delta: 4.0,
+        }
+    }
+}
+
+/// The lead vehicle as seen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeadInfo {
+    /// Bumper-to-bumper gap \[m\].
+    pub gap: f64,
+    /// Lead speed along the ego heading \[m/s\].
+    pub speed: f64,
+}
+
+impl SpeedPlanner {
+    /// Finds the lead object in the ego corridor from the world model.
+    pub fn find_lead(
+        &self,
+        pose: &VehicleState,
+        model: &WorldModel,
+        params: &VehicleParams,
+    ) -> Option<LeadInfo> {
+        let mut best: Option<LeadInfo> = None;
+        for obj in &model.objects {
+            let local = pose.to_local(obj.position);
+            // Same widened corridor as the perceived envelope: react to
+            // vehicles already encroaching on the lane boundary.
+            if local.x <= 0.0 || local.y.abs() > (params.width + obj.extent.y) / 2.0 + 1.0 {
+                continue;
+            }
+            let gap = local.x - (params.length + obj.extent.x) / 2.0;
+            let speed = obj.velocity.into_frame(pose.theta).x;
+            if best.map_or(true, |b| gap < b.gap) {
+                best = Some(LeadInfo { gap: gap.max(0.0), speed });
+            }
+        }
+        best
+    }
+
+    /// Plans a longitudinal acceleration \[m/s²\].
+    ///
+    /// `delta` is the planner's current safety potential; when its
+    /// longitudinal component drops below `aeb_delta` the command blends
+    /// toward maximum braking, reaching full braking at `δ_lon ≤ 0`.
+    pub fn plan_accel(
+        &self,
+        pose: &VehicleState,
+        set_speed: f64,
+        lead: Option<LeadInfo>,
+        delta: &SafetyPotential,
+        params: &VehicleParams,
+    ) -> f64 {
+        let v = pose.v.max(0.0);
+        let desired = set_speed.max(0.1);
+        // IDM free-road term.
+        let free = 1.0 - (v / desired).powi(4);
+        let interaction = match lead {
+            None => 0.0,
+            Some(l) => {
+                let gap = l.gap.max(0.1);
+                let approach = v - l.speed;
+                let s_star = self.min_gap
+                    + (v * self.time_headway
+                        + v * approach / (2.0 * (self.max_accel * self.comfort_decel).sqrt()))
+                    .max(0.0);
+                (s_star / gap).powi(2)
+            }
+        };
+        let mut accel = self.max_accel * (free - interaction);
+
+        // AEB blending on low safety potential.
+        if delta.longitudinal < self.aeb_delta {
+            let urgency = 1.0 - (delta.longitudinal / self.aeb_delta).clamp(0.0, 1.0);
+            let aeb = -params.max_decel * urgency;
+            accel = accel.min(aeb);
+        }
+        accel.clamp(-params.max_decel, self.max_accel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_kinematics::Vec2;
+    use drivefi_perception::{TrackId, TrackedObject, WorldModel};
+
+    fn pose(v: f64) -> VehicleState {
+        VehicleState::new(0.0, 0.0, v, 0.0, 0.0)
+    }
+
+    fn safe_delta() -> SafetyPotential {
+        SafetyPotential { longitudinal: 100.0, lateral: 1.0 }
+    }
+
+    fn obj(x: f64, y: f64, vx: f64) -> TrackedObject {
+        TrackedObject {
+            id: TrackId(0),
+            position: Vec2::new(x, y),
+            velocity: Vec2::new(vx, 0.0),
+            extent: Vec2::new(4.7, 1.9),
+            truth_id: 0,
+        }
+    }
+
+    #[test]
+    fn accelerates_toward_set_speed_on_free_road() {
+        let sp = SpeedPlanner::default();
+        let a = sp.plan_accel(&pose(20.0), 30.0, None, &safe_delta(), &VehicleParams::default());
+        assert!(a > 0.5);
+    }
+
+    #[test]
+    fn holds_speed_at_set_point() {
+        let sp = SpeedPlanner::default();
+        let a = sp.plan_accel(&pose(30.0), 30.0, None, &safe_delta(), &VehicleParams::default());
+        assert!(a.abs() < 0.1);
+    }
+
+    #[test]
+    fn brakes_for_close_lead() {
+        let sp = SpeedPlanner::default();
+        let lead = Some(LeadInfo { gap: 10.0, speed: 10.0 });
+        let a = sp.plan_accel(&pose(30.0), 30.0, lead, &safe_delta(), &VehicleParams::default());
+        assert!(a < -2.0, "a = {a}");
+    }
+
+    #[test]
+    fn aeb_forces_full_braking_at_zero_delta() {
+        let sp = SpeedPlanner::default();
+        let p = VehicleParams::default();
+        let delta = SafetyPotential { longitudinal: 0.0, lateral: 1.0 };
+        let a = sp.plan_accel(&pose(30.0), 30.0, None, &delta, &p);
+        assert!((a + p.max_decel).abs() < 1e-9, "a = {a}");
+    }
+
+    #[test]
+    fn aeb_blends_proportionally() {
+        let sp = SpeedPlanner::default();
+        let p = VehicleParams::default();
+        let half = SafetyPotential { longitudinal: sp.aeb_delta / 2.0, lateral: 1.0 };
+        let a = sp.plan_accel(&pose(30.0), 30.0, None, &half, &p);
+        assert!(a <= -p.max_decel / 2.0 + 1e-9);
+        assert!(a > -p.max_decel);
+    }
+
+    #[test]
+    fn find_lead_picks_nearest_in_corridor() {
+        let sp = SpeedPlanner::default();
+        let model = WorldModel {
+            objects: vec![obj(80.0, 0.0, 20.0), obj(40.0, 0.0, 15.0), obj(20.0, 3.7, 10.0)],
+        };
+        let lead = sp
+            .find_lead(&pose(30.0), &model, &VehicleParams::default())
+            .unwrap();
+        assert!((lead.gap - (40.0 - 4.7)).abs() < 1e-9);
+        assert_eq!(lead.speed, 15.0);
+    }
+
+    #[test]
+    fn find_lead_ignores_objects_behind() {
+        let sp = SpeedPlanner::default();
+        let model = WorldModel { objects: vec![obj(-20.0, 0.0, 10.0)] };
+        assert!(sp.find_lead(&pose(30.0), &model, &VehicleParams::default()).is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Sensor output messages.
+
+use drivefi_kinematics::Vec2;
+
+/// The physical sensor that produced a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// Forward camera (object detection stand-in).
+    Camera,
+    /// Spinning LiDAR (slowest sensor, 7.5 Hz — the injector time base).
+    Lidar,
+    /// Forward RADAR (long range, good radial velocity).
+    Radar,
+    /// GNSS receiver.
+    Gps,
+    /// Inertial measurement unit / CAN odometry.
+    Imu,
+}
+
+impl std::fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SensorKind::Camera => "camera",
+            SensorKind::Lidar => "lidar",
+            SensorKind::Radar => "radar",
+            SensorKind::Gps => "gps",
+            SensorKind::Imu => "imu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected object, expressed in the **ego frame** (+x forward,
+/// +y left), as perception stacks consume it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Producing sensor.
+    pub sensor: SensorKind,
+    /// Object center relative to the ego \[m\].
+    pub position: Vec2,
+    /// Object velocity relative to the ego \[m/s\] (ego frame).
+    pub rel_velocity: Vec2,
+    /// Estimated object footprint (length, width) \[m\].
+    pub extent: Vec2,
+    /// Ground-truth actor id — carried for *evaluation only*; the ADS
+    /// never reads it (real sensors cannot know identities).
+    pub truth_id: u32,
+}
+
+/// A GNSS fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsFix {
+    /// World position estimate \[m\].
+    pub position: Vec2,
+    /// Heading estimate \[rad\].
+    pub heading: f64,
+}
+
+/// An inertial / odometry sample — the paper's `M_t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Speed over ground \[m/s\].
+    pub speed: f64,
+    /// Longitudinal acceleration \[m/s²\].
+    pub accel: f64,
+    /// Yaw rate \[rad/s\].
+    pub yaw_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_kind_display() {
+        assert_eq!(SensorKind::Lidar.to_string(), "lidar");
+        assert_eq!(SensorKind::Camera.to_string(), "camera");
+    }
+
+    #[test]
+    fn detection_is_copy_and_comparable() {
+        let d = Detection {
+            sensor: SensorKind::Radar,
+            position: Vec2::new(10.0, 0.0),
+            rel_velocity: Vec2::new(-2.0, 0.0),
+            extent: Vec2::new(4.7, 1.9),
+            truth_id: 3,
+        };
+        let e = d;
+        assert_eq!(d, e);
+    }
+}

@@ -1,0 +1,70 @@
+//! Gaussian noise sampling (Box–Muller, no extra dependencies).
+
+use rand::Rng;
+
+/// A Gaussian distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (≥ 0).
+    pub std: f64,
+}
+
+impl Gaussian {
+    /// Creates a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && mean.is_finite() && std.is_finite(), "invalid Gaussian parameters");
+        Gaussian { mean, std }
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std == 0.0 {
+            return self.mean;
+        }
+        // Box–Muller: u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_std_returns_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Gaussian::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gaussian::new(2.0, 3.0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Gaussian")]
+    fn negative_std_panics() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The full sensor suite with per-sensor refresh scheduling.
+
+use crate::{Detection, Gaussian, GpsFix, ImuSample, ObjectSensor};
+use drivefi_kinematics::Vec2;
+use drivefi_world::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The base tick rate of the ADS loop \[Hz\]. All sensor rates divide it.
+pub const ADS_TICK_HZ: f64 = 30.0;
+
+/// One multi-sensor frame. A field is `None` when that sensor did not
+/// refresh on this tick (its rate divides the 30 Hz base tick).
+#[derive(Debug, Clone, Default)]
+pub struct SensorFrame {
+    /// Camera object list, if the camera ticked.
+    pub camera: Option<Vec<Detection>>,
+    /// LiDAR object list, if the LiDAR ticked.
+    pub lidar: Option<Vec<Detection>>,
+    /// RADAR object list, if the RADAR ticked.
+    pub radar: Option<Vec<Detection>>,
+    /// GNSS fix, if the receiver ticked.
+    pub gps: Option<GpsFix>,
+    /// Inertial sample, if the IMU ticked.
+    pub imu: Option<ImuSample>,
+}
+
+impl SensorFrame {
+    /// Iterates over all object detections present in this frame.
+    pub fn detections(&self) -> impl Iterator<Item = &Detection> {
+        self.camera
+            .iter()
+            .chain(self.lidar.iter())
+            .chain(self.radar.iter())
+            .flatten()
+    }
+}
+
+/// The complete sensor suite of the ego vehicle.
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    /// Forward camera.
+    pub camera: ObjectSensor,
+    /// 360° LiDAR (slowest sensor, 7.5 Hz).
+    pub lidar: ObjectSensor,
+    /// Forward RADAR.
+    pub radar: ObjectSensor,
+    /// GPS position noise σ \[m\].
+    pub gps_noise: f64,
+    /// IMU speed noise σ \[m/s\].
+    pub imu_noise: f64,
+    rng: StdRng,
+    last_speed: Option<f64>,
+}
+
+impl SensorSuite {
+    /// Creates the default suite with a deterministic RNG seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SensorSuite {
+            camera: ObjectSensor::camera(),
+            lidar: ObjectSensor::lidar(),
+            radar: ObjectSensor::radar(),
+            gps_noise: 0.15,
+            imu_noise: 0.05,
+            rng: StdRng::seed_from_u64(seed ^ 0x5E45_0125),
+            last_speed: None,
+        }
+    }
+
+    /// Whether a sensor with `rate_hz` refreshes on base-tick `frame`.
+    fn ticks(rate_hz: f64, frame: u64) -> bool {
+        let divisor = (ADS_TICK_HZ / rate_hz).round().max(1.0) as u64;
+        frame % divisor == 0
+    }
+
+    /// Samples all sensors for base-tick `frame` (30 Hz ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no registered ego pose.
+    pub fn sample(&mut self, world: &World, frame: u64) -> SensorFrame {
+        let (ego, _) = world.ego().expect("sensors require a registered ego pose");
+        let mut out = SensorFrame::default();
+
+        if Self::ticks(self.camera.rate_hz, frame) {
+            out.camera = Some(self.camera.sense(world, &mut self.rng));
+        }
+        if Self::ticks(self.lidar.rate_hz, frame) {
+            out.lidar = Some(self.lidar.sense(world, &mut self.rng));
+        }
+        if Self::ticks(self.radar.rate_hz, frame) {
+            out.radar = Some(self.radar.sense(world, &mut self.rng));
+        }
+        if Self::ticks(7.5, frame) {
+            let g = Gaussian::new(0.0, self.gps_noise);
+            out.gps = Some(GpsFix {
+                position: Vec2::new(
+                    ego.x + g.sample(&mut self.rng),
+                    ego.y + g.sample(&mut self.rng),
+                ),
+                heading: ego.theta + Gaussian::new(0.0, 0.004).sample(&mut self.rng),
+            });
+        }
+        if Self::ticks(30.0, frame) {
+            let g = Gaussian::new(0.0, self.imu_noise);
+            let speed = ego.v + g.sample(&mut self.rng);
+            let dt = 1.0 / ADS_TICK_HZ;
+            let accel = self
+                .last_speed
+                .map_or(0.0, |prev| (speed - prev) / dt);
+            self.last_speed = Some(speed);
+            out.imu = Some(ImuSample {
+                speed,
+                accel,
+                yaw_rate: ego.v * ego.phi.tan() / 2.8,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_world::{scenario::ScenarioConfig, ActorKind, World};
+
+    fn world() -> World {
+        let cfg = ScenarioConfig::lead_vehicle_cruise(9);
+        let mut w = World::from_scenario(&cfg);
+        w.set_ego(cfg.ego_start, ActorKind::Car.dims());
+        w
+    }
+
+    #[test]
+    fn rates_divide_base_tick() {
+        // 30 Hz camera ticks every frame; 7.5 Hz lidar every 4th.
+        assert!(SensorSuite::ticks(30.0, 0));
+        assert!(SensorSuite::ticks(30.0, 1));
+        assert!(SensorSuite::ticks(7.5, 0));
+        assert!(!SensorSuite::ticks(7.5, 1));
+        assert!(!SensorSuite::ticks(7.5, 3));
+        assert!(SensorSuite::ticks(7.5, 4));
+        assert!(SensorSuite::ticks(15.0, 2));
+        assert!(!SensorSuite::ticks(15.0, 3));
+    }
+
+    #[test]
+    fn frame_population_follows_rates() {
+        let w = world();
+        let mut suite = SensorSuite::with_seed(1);
+        let f0 = suite.sample(&w, 0);
+        assert!(f0.camera.is_some() && f0.lidar.is_some() && f0.gps.is_some() && f0.imu.is_some());
+        let f1 = suite.sample(&w, 1);
+        assert!(f1.camera.is_some());
+        assert!(f1.lidar.is_none() && f1.gps.is_none());
+    }
+
+    #[test]
+    fn detections_iterator_merges_sensors() {
+        let w = world();
+        let mut suite = SensorSuite::with_seed(1);
+        // Remove dropout for determinism.
+        suite.camera.dropout = 0.0;
+        suite.lidar.dropout = 0.0;
+        suite.radar.dropout = 0.0;
+        let f = suite.sample(&w, 0);
+        // Lead car visible to camera, lidar, and radar.
+        assert_eq!(f.detections().count(), 3);
+    }
+
+    #[test]
+    fn imu_accel_tracks_speed_changes() {
+        let w = world();
+        let mut suite = SensorSuite::with_seed(1);
+        suite.imu_noise = 0.0;
+        let _ = suite.sample(&w, 0);
+        let f = suite.sample(&w, 1);
+        // Constant ego speed → near-zero measured acceleration.
+        assert!(f.imu.unwrap().accel.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gps_fix_near_truth() {
+        let w = world();
+        let mut suite = SensorSuite::with_seed(1);
+        let f = suite.sample(&w, 0);
+        let fix = f.gps.unwrap();
+        let (ego, _) = w.ego().unwrap();
+        assert!((fix.position.x - ego.x).abs() < 3.0);
+        assert!((fix.position.y - ego.y).abs() < 3.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let w = world();
+        let mut a = SensorSuite::with_seed(5);
+        let mut b = SensorSuite::with_seed(5);
+        let fa = a.sample(&w, 0);
+        let fb = b.sample(&w, 0);
+        assert_eq!(fa.camera.unwrap(), fb.camera.unwrap());
+    }
+}

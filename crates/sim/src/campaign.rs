@@ -1,0 +1,110 @@
+//! Parallel fault-injection campaigns.
+
+use crate::outcome::RunReport;
+use crate::simulation::{SimConfig, Simulation};
+use drivefi_fault::{Fault, Injector};
+use drivefi_world::ScenarioConfig;
+
+/// One campaign job: a scenario plus the faults to arm.
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    /// Caller-chosen identifier carried through to the result.
+    pub id: u64,
+    /// The scenario to drive.
+    pub scenario: ScenarioConfig,
+    /// The faults to arm (empty = golden run).
+    pub faults: Vec<Fault>,
+}
+
+/// The result of one campaign job.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The job identifier.
+    pub id: u64,
+    /// The run report.
+    pub report: RunReport,
+}
+
+/// Runs all jobs, fanning out over `workers` OS threads with crossbeam
+/// scoped threads. Results are returned in job order. Every job is fully
+/// deterministic (scenario seed + sensor seed), so campaign results are
+/// reproducible regardless of scheduling.
+pub fn run_campaign(config: SimConfig, jobs: &[CampaignJob], workers: usize) -> Vec<CampaignResult> {
+    let workers = workers.max(1);
+    let mut results: Vec<Option<CampaignResult>> = vec![None; jobs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let mut sim = Simulation::new(config, &job.scenario);
+                let mut injector = Injector::new(job.faults.clone());
+                let mut report = sim.run_with(&mut injector);
+                report.injections = injector.injection_count();
+                **slots[i].lock().expect("result slot poisoned") =
+                    Some(CampaignResult { id: job.id, report });
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_ads::Signal;
+    use drivefi_fault::{FaultKind, FaultWindow, ScalarFaultModel};
+
+    fn golden_job(id: u64, seed: u64) -> CampaignJob {
+        CampaignJob { id, scenario: ScenarioConfig::lead_vehicle_cruise(seed), faults: vec![] }
+    }
+
+    #[test]
+    fn campaign_preserves_job_order_and_ids() {
+        let jobs: Vec<_> = (0..6).map(|i| golden_job(100 + i, i)).collect();
+        let results = run_campaign(SimConfig::default(), &jobs, 3);
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.id, 100 + i as u64);
+            assert!(r.report.outcome.is_safe());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let jobs: Vec<_> = (0..4).map(|i| golden_job(i, i * 7)).collect();
+        let serial = run_campaign(SimConfig::default(), &jobs, 1);
+        let parallel = run_campaign(SimConfig::default(), &jobs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.report.outcome, p.report.outcome);
+            assert_eq!(s.report.min_delta_lon, p.report.min_delta_lon);
+        }
+    }
+
+    #[test]
+    fn faulted_jobs_report_injections() {
+        let scenario = ScenarioConfig::lead_vehicle_cruise(2);
+        let fault = Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::RawBrake,
+                model: ScalarFaultModel::StuckMax,
+            },
+            window: FaultWindow::scene(10),
+        };
+        let jobs = vec![CampaignJob { id: 0, scenario, faults: vec![fault] }];
+        let results = run_campaign(SimConfig::default(), &jobs, 2);
+        assert!(results[0].report.injections > 0);
+    }
+}

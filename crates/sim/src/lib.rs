@@ -1,0 +1,39 @@
+//! The closed-loop AV simulator and campaign runner.
+//!
+//! This crate stands in for the paper's DriveSim/LGSVL test bench: it
+//! closes the loop between the [`drivefi_world::World`], the sensor
+//! suite, the [`drivefi_ads::AdsStack`], and the ego vehicle dynamics,
+//! while a **hazard monitor** (the paper's safety checker) evaluates the
+//! *ground-truth* safety potential δ every frame and detects geometric
+//! collisions.
+//!
+//! A [`Trace`] records one [`FrameRecord`] per **scene** (7.5 Hz camera
+//! frame, the paper's unit of evaluation); traces of golden runs are the
+//! training data for the Bayesian network in `drivefi-core`.
+//!
+//! [`campaign::run_campaign`] executes many (scenario × fault) runs in
+//! parallel with deterministic seeding.
+//!
+//! # Example
+//!
+//! ```
+//! use drivefi_sim::{Simulation, SimConfig};
+//! use drivefi_world::scenario::ScenarioConfig;
+//!
+//! let scenario = ScenarioConfig::lead_vehicle_cruise(7);
+//! let mut sim = Simulation::new(SimConfig::default(), &scenario);
+//! let report = sim.run();
+//! assert!(report.outcome.is_safe());
+//! ```
+
+pub mod campaign;
+pub mod outcome;
+pub mod rules;
+pub mod simulation;
+pub mod trace;
+
+pub use campaign::{run_campaign, CampaignJob, CampaignResult};
+pub use outcome::{Outcome, RunReport};
+pub use rules::{RuleConfig, RuleKind, RuleMonitor, RuleSummary, RuleViolation};
+pub use simulation::{SimConfig, Simulation, BASE_TICKS_PER_SCENE};
+pub use trace::{FrameRecord, Trace};

@@ -1,0 +1,97 @@
+//! Run outcomes: the hazard taxonomy of the paper.
+
+use crate::trace::Trace;
+
+/// The safety outcome of one simulated run.
+///
+/// The paper classifies an injected fault as **hazardous** when it drives
+/// the (ground-truth) safety potential to `δ ≤ 0`; an actual geometric
+/// **collision** is the worst case (loss of property or life, §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// δ stayed positive in both directions for the whole run.
+    Safe,
+    /// δ ≤ 0 occurred (first at `scene`) but no collision followed.
+    Hazard {
+        /// Scene (7.5 Hz frame) index of the first violation.
+        scene: u64,
+    },
+    /// The ego body overlapped another actor.
+    Collision {
+        /// Scene index of the impact.
+        scene: u64,
+        /// Ground-truth id of the struck actor.
+        actor: u32,
+    },
+}
+
+impl Outcome {
+    /// True when no safety violation occurred.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Outcome::Safe)
+    }
+
+    /// True for hazard or collision.
+    pub fn is_hazardous(&self) -> bool {
+        !self.is_safe()
+    }
+
+    /// True for a collision.
+    pub fn is_collision(&self) -> bool {
+        matches!(self, Outcome::Collision { .. })
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Safe => write!(f, "safe"),
+            Outcome::Hazard { scene } => write!(f, "hazard@scene{scene}"),
+            Outcome::Collision { scene, actor } => {
+                write!(f, "collision@scene{scene} with actor{actor}")
+            }
+        }
+    }
+}
+
+/// Everything a simulated run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Safety classification.
+    pub outcome: Outcome,
+    /// Minimum ground-truth longitudinal δ over the run \[m\].
+    pub min_delta_lon: f64,
+    /// Minimum ground-truth lateral δ over the run \[m\].
+    pub min_delta_lat: f64,
+    /// Number of scenes simulated.
+    pub scenes: u64,
+    /// Number of individual corruptions the injector performed.
+    pub injections: u64,
+    /// Per-scene trace, when recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(Outcome::Safe.is_safe());
+        assert!(!Outcome::Safe.is_hazardous());
+        let h = Outcome::Hazard { scene: 3 };
+        assert!(h.is_hazardous() && !h.is_collision());
+        let c = Outcome::Collision { scene: 5, actor: 1 };
+        assert!(c.is_hazardous() && c.is_collision());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Safe.to_string(), "safe");
+        assert_eq!(Outcome::Hazard { scene: 9 }.to_string(), "hazard@scene9");
+        assert_eq!(
+            Outcome::Collision { scene: 2, actor: 7 }.to_string(),
+            "collision@scene2 with actor7"
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Traffic-rule safety monitoring — the paper's "extended notions of
+//! safety".
+//!
+//! §II-B of the paper defines safety purely by collision avoidance
+//! (`δ > 0`) and explicitly defers "extended notions of safety, e.g.,
+//! using traffic rules" to future work because they are jurisdiction-
+//! dependent. This module implements that extension for a representative
+//! U.S.-freeway rule set, so fault campaigns can report *rule violations*
+//! alongside δ-hazards: a fault that makes the ego speed, tailgate, drift
+//! out of lane, or brake-check its followers is operationally unsafe even
+//! when no collision course develops.
+//!
+//! Violations are counted as **episodes**: a rule opens an episode on the
+//! first offending scene and closes it when the condition clears, so a
+//! 10-scene speeding excursion counts once (with its duration and peak
+//! recorded) instead of ten times.
+
+use drivefi_kinematics::{VehicleParams, VehicleState};
+use drivefi_world::Road;
+
+/// The monitored rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// Ego speed above the posted limit.
+    SpeedLimit,
+    /// Time headway to the lead vehicle below the minimum.
+    Headway,
+    /// Ego body crossing its lane boundary.
+    LaneKeeping,
+    /// Longitudinal deceleration beyond the comfort/harshness bound.
+    HarshBraking,
+    /// Lateral acceleration beyond the harshness bound.
+    HarshSteering,
+}
+
+impl RuleKind {
+    /// All rules, in reporting order.
+    pub const ALL: [RuleKind; 5] = [
+        RuleKind::SpeedLimit,
+        RuleKind::Headway,
+        RuleKind::LaneKeeping,
+        RuleKind::HarshBraking,
+        RuleKind::HarshSteering,
+    ];
+
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::SpeedLimit => "speed_limit",
+            RuleKind::Headway => "headway",
+            RuleKind::LaneKeeping => "lane_keeping",
+            RuleKind::HarshBraking => "harsh_braking",
+            RuleKind::HarshSteering => "harsh_steering",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RuleKind::SpeedLimit => 0,
+            RuleKind::Headway => 1,
+            RuleKind::LaneKeeping => 2,
+            RuleKind::HarshBraking => 3,
+            RuleKind::HarshSteering => 4,
+        }
+    }
+}
+
+/// One closed violation episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleViolation {
+    /// The violated rule.
+    pub rule: RuleKind,
+    /// Scene index at which the episode opened.
+    pub start_scene: u64,
+    /// Number of consecutive offending scenes.
+    pub scenes: u64,
+    /// Worst measured value during the episode (speed, headway, …).
+    pub peak: f64,
+    /// The configured limit the measurement is judged against.
+    pub limit: f64,
+}
+
+/// Rule thresholds. Defaults model a U.S. freeway: 65 mph ≈ 29 m/s
+/// posted limit with the usual ~75 mph flow tolerance, a 1-second
+/// minimum headway (half the recommended two-second rule — below one
+/// second is citable following-too-closely almost everywhere), and
+/// harshness bounds from naturalistic-driving studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleConfig {
+    /// Maximum lawful speed \[m/s\].
+    pub speed_limit: f64,
+    /// Tolerance above the limit before an episode opens \[m/s\].
+    pub speed_tolerance: f64,
+    /// Minimum time headway \[s\].
+    pub min_headway: f64,
+    /// Headway is only judged above this speed \[m/s\] (crawling queues
+    /// legitimately run sub-second headways).
+    pub headway_min_speed: f64,
+    /// Harsh-braking bound \[m/s²\] (deceleration, positive).
+    pub max_decel: f64,
+    /// Harsh-steering lateral-acceleration bound \[m/s²\].
+    pub max_lat_accel: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            speed_limit: 33.5,
+            speed_tolerance: 0.5,
+            min_headway: 1.0,
+            headway_min_speed: 5.0,
+            max_decel: 4.0,
+            max_lat_accel: 3.5,
+        }
+    }
+}
+
+/// Per-rule episode counts plus scene totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleSummary {
+    /// Episode count per rule, indexed like [`RuleKind::ALL`].
+    pub episodes: [u64; 5],
+    /// Total offending scenes per rule.
+    pub scenes: [u64; 5],
+    /// Scenes observed.
+    pub observed_scenes: u64,
+}
+
+impl RuleSummary {
+    /// Episode count for one rule.
+    pub fn count(&self, rule: RuleKind) -> u64 {
+        self.episodes[rule.index()]
+    }
+
+    /// Total episodes across all rules.
+    pub fn total(&self) -> u64 {
+        self.episodes.iter().sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenEpisode {
+    start_scene: u64,
+    scenes: u64,
+    peak: f64,
+}
+
+/// The per-scene rule monitor. Feed it ground truth once per scene via
+/// [`RuleMonitor::observe_scene`]; closed episodes accumulate in
+/// [`RuleMonitor::violations`].
+///
+/// # Example
+///
+/// ```
+/// use drivefi_sim::rules::{RuleConfig, RuleMonitor};
+/// use drivefi_kinematics::{VehicleParams, VehicleState};
+/// use drivefi_world::Road;
+///
+/// let mut monitor = RuleMonitor::new(RuleConfig::default(), VehicleParams::default());
+/// let road = Road::default_highway();
+/// let speeding = VehicleState::new(0.0, 0.0, 40.0, 0.0, 0.0);
+/// for scene in 0..5 {
+///     monitor.observe_scene(scene, &speeding, None, &road, 4.0 / 30.0);
+/// }
+/// let summary = monitor.finish();
+/// assert_eq!(summary.count(drivefi_sim::rules::RuleKind::SpeedLimit), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleMonitor {
+    config: RuleConfig,
+    vehicle: VehicleParams,
+    open: [Option<OpenEpisode>; 5],
+    violations: Vec<RuleViolation>,
+    summary: RuleSummary,
+    prev_speed: Option<f64>,
+}
+
+impl RuleMonitor {
+    /// Creates a monitor.
+    pub fn new(config: RuleConfig, vehicle: VehicleParams) -> Self {
+        RuleMonitor {
+            config,
+            vehicle,
+            open: [None; 5],
+            violations: Vec::new(),
+            summary: RuleSummary::default(),
+            prev_speed: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuleConfig {
+        &self.config
+    }
+
+    /// Closed episodes so far.
+    pub fn violations(&self) -> &[RuleViolation] {
+        &self.violations
+    }
+
+    fn update(&mut self, rule: RuleKind, scene: u64, offending: bool, measure: f64, limit: f64) {
+        let slot = &mut self.open[rule.index()];
+        match (offending, slot.as_mut()) {
+            (true, None) => {
+                *slot = Some(OpenEpisode { start_scene: scene, scenes: 1, peak: measure });
+                self.summary.scenes[rule.index()] += 1;
+            }
+            (true, Some(ep)) => {
+                ep.scenes += 1;
+                // "Worse" depends on direction; callers pass measures
+                // oriented so larger = worse.
+                if measure > ep.peak {
+                    ep.peak = measure;
+                }
+                self.summary.scenes[rule.index()] += 1;
+            }
+            (false, Some(_)) => {
+                let ep = slot.take().expect("checked Some");
+                self.summary.episodes[rule.index()] += 1;
+                self.violations.push(RuleViolation {
+                    rule,
+                    start_scene: ep.start_scene,
+                    scenes: ep.scenes,
+                    peak: ep.peak,
+                    limit,
+                });
+            }
+            (false, None) => {}
+        }
+    }
+
+    /// Observes one scene of ground truth.
+    ///
+    /// `lead` is the ground-truth `(bumper gap, lead speed)` from
+    /// [`drivefi_world::World::ego_lead`]; `dt` is the scene period.
+    pub fn observe_scene(
+        &mut self,
+        scene: u64,
+        ego: &VehicleState,
+        lead: Option<(f64, f64)>,
+        road: &Road,
+        dt: f64,
+    ) {
+        self.summary.observed_scenes += 1;
+        let cfg = self.config;
+
+        // Speeding (larger = worse).
+        let speeding = ego.v > cfg.speed_limit + cfg.speed_tolerance;
+        self.update(RuleKind::SpeedLimit, scene, speeding, ego.v, cfg.speed_limit);
+
+        // Headway: judged as a shortfall so larger = worse.
+        let headway = lead
+            .filter(|_| ego.v > cfg.headway_min_speed)
+            .map(|(gap, _)| gap.max(0.0) / ego.v);
+        let (hw_offending, hw_measure) = match headway {
+            Some(h) if h < cfg.min_headway => (true, cfg.min_headway - h),
+            _ => (false, 0.0),
+        };
+        self.update(RuleKind::Headway, scene, hw_offending, hw_measure, cfg.min_headway);
+
+        // Lane keeping: body excursion past the lane boundary (larger =
+        // worse).
+        let half_width = self.vehicle.width / 2.0;
+        let lane = road.lane_at(ego.y);
+        let excursion = (ego.y + half_width - lane.left_boundary())
+            .max(lane.right_boundary() - (ego.y - half_width));
+        self.update(RuleKind::LaneKeeping, scene, excursion > 0.0, excursion, 0.0);
+
+        // Harsh braking from the speed delta between scenes.
+        if let Some(prev) = self.prev_speed {
+            let decel = (prev - ego.v) / dt;
+            self.update(
+                RuleKind::HarshBraking,
+                scene,
+                decel > cfg.max_decel,
+                decel,
+                cfg.max_decel,
+            );
+        }
+        self.prev_speed = Some(ego.v);
+
+        // Harsh steering: kinematic lateral acceleration v²·tan(φ)/L.
+        let lat_accel = ego.v * ego.v * ego.phi.tan().abs() / self.vehicle.wheelbase;
+        self.update(
+            RuleKind::HarshSteering,
+            scene,
+            lat_accel > cfg.max_lat_accel,
+            lat_accel,
+            cfg.max_lat_accel,
+        );
+    }
+
+    /// Closes any open episodes and returns the summary. Call once at the
+    /// end of the run.
+    pub fn finish(&mut self) -> RuleSummary {
+        for rule in RuleKind::ALL {
+            // Closing with a non-offending observation at a synthetic
+            // scene; measure/limit are taken from the open episode.
+            if let Some(ep) = self.open[rule.index()].take() {
+                self.summary.episodes[rule.index()] += 1;
+                self.violations.push(RuleViolation {
+                    rule,
+                    start_scene: ep.start_scene,
+                    scenes: ep.scenes,
+                    peak: ep.peak,
+                    limit: match rule {
+                        RuleKind::SpeedLimit => self.config.speed_limit,
+                        RuleKind::Headway => self.config.min_headway,
+                        RuleKind::LaneKeeping => 0.0,
+                        RuleKind::HarshBraking => self.config.max_decel,
+                        RuleKind::HarshSteering => self.config.max_lat_accel,
+                    },
+                });
+            }
+        }
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 4.0 / 30.0;
+
+    fn monitor() -> RuleMonitor {
+        RuleMonitor::new(RuleConfig::default(), VehicleParams::default())
+    }
+
+    fn centered(v: f64) -> VehicleState {
+        VehicleState::new(0.0, 0.0, v, 0.0, 0.0)
+    }
+
+    #[test]
+    fn clean_driving_has_no_violations() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        for scene in 0..50 {
+            m.observe_scene(scene, &centered(30.0), Some((60.0, 30.0)), &road, DT);
+        }
+        let s = m.finish();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.observed_scenes, 50);
+    }
+
+    #[test]
+    fn sustained_speeding_is_one_episode() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        for scene in 0..10 {
+            m.observe_scene(scene, &centered(40.0), None, &road, DT);
+        }
+        for scene in 10..20 {
+            m.observe_scene(scene, &centered(30.0), None, &road, DT);
+        }
+        let s = m.finish();
+        assert_eq!(s.count(RuleKind::SpeedLimit), 1);
+        let v = m.violations()[0];
+        assert_eq!(v.start_scene, 0);
+        assert_eq!(v.scenes, 10);
+        assert!((v.peak - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_excursions_are_two_episodes() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        for scene in 0..20u64 {
+            let v = if (5..8).contains(&scene) || (12..15).contains(&scene) { 36.0 } else { 30.0 };
+            m.observe_scene(scene, &centered(v), None, &road, DT);
+        }
+        assert_eq!(m.finish().count(RuleKind::SpeedLimit), 2);
+    }
+
+    #[test]
+    fn tailgating_is_flagged_above_min_speed_only() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        // 20 m at 30 m/s → 0.67 s headway: violation.
+        m.observe_scene(0, &centered(30.0), Some((20.0, 30.0)), &road, DT);
+        // Same gap while crawling: not judged.
+        m.observe_scene(1, &centered(2.0), Some((20.0, 2.0)), &road, DT);
+        let s = m.finish();
+        assert_eq!(s.count(RuleKind::Headway), 1);
+        assert_eq!(s.scenes[RuleKind::Headway.index()], 1);
+    }
+
+    #[test]
+    fn lane_departure_is_flagged() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        // Default lane width 3.7 m, car width ~1.9 m → |y| beyond ~0.9 m
+        // crosses the boundary.
+        let mut drifted = centered(30.0);
+        drifted.y = 1.5;
+        m.observe_scene(0, &drifted, None, &road, DT);
+        m.observe_scene(1, &centered(30.0), None, &road, DT);
+        assert_eq!(m.finish().count(RuleKind::LaneKeeping), 1);
+    }
+
+    #[test]
+    fn emergency_stop_triggers_harsh_braking() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        let mut v = 30.0;
+        for scene in 0..10 {
+            m.observe_scene(scene, &centered(v), None, &road, DT);
+            v = (v - 8.0 * DT).max(0.0); // 8 m/s² panic stop
+        }
+        let s = m.finish();
+        assert_eq!(s.count(RuleKind::HarshBraking), 1);
+    }
+
+    #[test]
+    fn hard_steer_at_speed_is_harsh() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        let mut state = centered(30.0);
+        state.phi = 0.05; // ~1.6 m/s² at 30 m/s... scale up:
+        state.phi = 0.15;
+        m.observe_scene(0, &state, None, &road, DT);
+        m.observe_scene(1, &centered(30.0), None, &road, DT);
+        assert_eq!(m.finish().count(RuleKind::HarshSteering), 1);
+    }
+
+    #[test]
+    fn finish_closes_open_episodes() {
+        let mut m = monitor();
+        let road = Road::default_highway();
+        for scene in 0..5 {
+            m.observe_scene(scene, &centered(40.0), None, &road, DT);
+        }
+        // Episode still open at finish.
+        let s = m.finish();
+        assert_eq!(s.count(RuleKind::SpeedLimit), 1);
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].scenes, 5);
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        for rule in RuleKind::ALL {
+            assert!(!rule.name().is_empty());
+        }
+        assert_eq!(RuleKind::SpeedLimit.name(), "speed_limit");
+    }
+}

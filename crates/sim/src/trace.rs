@@ -1,0 +1,123 @@
+//! Per-scene trace records — the training data for the Bayesian network.
+
+use drivefi_kinematics::{Actuation, SafetyPotential, VehicleState};
+
+/// One record per **scene** (7.5 Hz frame): the ADS-visible variables
+/// (`W_t`, `M_t`, `U_A,t`, `A_t`) plus ground truth for evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRecord {
+    /// Scene index within the scenario.
+    pub scene: u64,
+    /// Simulation time \[s\].
+    pub time: f64,
+    /// Ground-truth ego state.
+    pub ego: VehicleState,
+    /// ADS pose estimate (part of `S_t`).
+    pub pose: VehicleState,
+    /// Measured speed `M_t` \[m/s\].
+    pub imu_speed: f64,
+    /// Measured acceleration `M_t` \[m/s²\].
+    pub imu_accel: f64,
+    /// Perceived lead-object distance (`W_t`), if a lead exists \[m\].
+    pub lead_distance: Option<f64>,
+    /// Perceived lead-object speed (`W_t`), if a lead exists \[m/s\].
+    pub lead_speed: Option<f64>,
+    /// Raw actuation `U_A,t`.
+    pub raw_cmd: Actuation,
+    /// Final actuation `A_t`.
+    pub final_cmd: Actuation,
+    /// Perceived safety potential (planner view).
+    pub delta_perceived: SafetyPotential,
+    /// Ground-truth safety potential (hazard-monitor view).
+    pub delta_true: SafetyPotential,
+}
+
+/// The scene-rate trace of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Scenario id this trace belongs to.
+    pub scenario_id: u32,
+    /// Scene records in order.
+    pub frames: Vec<FrameRecord>,
+}
+
+impl Trace {
+    /// Scenes with positive ground-truth δ — the candidate injection
+    /// points for the mining engine (Eq. 1 requires the pre-fault state
+    /// to be safe).
+    pub fn safe_scenes(&self) -> impl Iterator<Item = &FrameRecord> {
+        self.frames.iter().filter(|f| f.delta_true.is_safe())
+    }
+
+    /// Writes the trace as CSV (for the δ-timeline figures).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scene,time,ego_x,ego_v,pose_v,lead_distance,lead_speed,raw_throttle,raw_brake,\
+             raw_steering,throttle,brake,steering,delta_lon_true,delta_lat_true,\
+             delta_lon_perceived\n",
+        );
+        for f in &self.frames {
+            out.push_str(&format!(
+                "{},{:.3},{:.2},{:.3},{:.3},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.3},{:.3}\n",
+                f.scene,
+                f.time,
+                f.ego.x,
+                f.ego.v,
+                f.pose.v,
+                f.lead_distance.map_or(String::from(""), |v| format!("{v:.2}")),
+                f.lead_speed.map_or(String::from(""), |v| format!("{v:.2}")),
+                f.raw_cmd.throttle,
+                f.raw_cmd.brake,
+                f.raw_cmd.steering,
+                f.final_cmd.throttle,
+                f.final_cmd.brake,
+                f.final_cmd.steering,
+                f.delta_true.longitudinal,
+                f.delta_true.lateral,
+                f.delta_perceived.longitudinal,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scene: u64, delta_lon: f64) -> FrameRecord {
+        FrameRecord {
+            scene,
+            time: scene as f64 / 7.5,
+            ego: VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0),
+            pose: VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0),
+            imu_speed: 30.0,
+            imu_accel: 0.0,
+            lead_distance: Some(50.0),
+            lead_speed: Some(28.0),
+            raw_cmd: Actuation::default(),
+            final_cmd: Actuation::default(),
+            delta_perceived: SafetyPotential { longitudinal: delta_lon, lateral: 0.5 },
+            delta_true: SafetyPotential { longitudinal: delta_lon, lateral: 0.5 },
+        }
+    }
+
+    #[test]
+    fn safe_scenes_filters_by_delta() {
+        let trace = Trace {
+            scenario_id: 0,
+            frames: vec![record(0, 10.0), record(1, -1.0), record(2, 5.0)],
+        };
+        let safe: Vec<u64> = trace.safe_scenes().map(|f| f.scene).collect();
+        assert_eq!(safe, vec![0, 2]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let trace = Trace { scenario_id: 0, frames: vec![record(0, 10.0)] };
+        let csv = trace.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("scene,time"));
+        assert!(csv.contains("50.00"));
+    }
+}

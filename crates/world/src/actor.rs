@@ -1,0 +1,120 @@
+//! Actors: target vehicles, pedestrians, and static obstacles.
+
+use crate::behavior::Behavior;
+use crate::Obb;
+use drivefi_kinematics::{VehicleState, Vec2};
+
+/// Unique identifier of an actor within a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor{}", self.0)
+    }
+}
+
+/// The kind of a (non-ego) actor. The paper calls vehicles other than the
+/// ego vehicle *target vehicles* (TVs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorKind {
+    /// A passenger car.
+    Car,
+    /// A truck (longer, wider).
+    Truck,
+    /// A pedestrian.
+    Pedestrian,
+    /// A static obstacle (cone barrel, stalled vehicle shell, debris).
+    StaticObstacle,
+}
+
+/// Physical footprint of an actor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyDims {
+    /// Length along the heading \[m\].
+    pub length: f64,
+    /// Width across the heading \[m\].
+    pub width: f64,
+}
+
+impl ActorKind {
+    /// Nominal body dimensions for the kind.
+    pub fn dims(self) -> BodyDims {
+        match self {
+            ActorKind::Car => BodyDims { length: 4.7, width: 1.9 },
+            ActorKind::Truck => BodyDims { length: 12.0, width: 2.5 },
+            ActorKind::Pedestrian => BodyDims { length: 0.6, width: 0.6 },
+            ActorKind::StaticObstacle => BodyDims { length: 1.5, width: 1.5 },
+        }
+    }
+}
+
+/// A non-ego actor in the world.
+#[derive(Debug, Clone)]
+pub struct Actor {
+    /// Identifier, unique within the world.
+    pub id: ActorId,
+    /// Kind (determines footprint).
+    pub kind: ActorKind,
+    /// Kinematic state. For pedestrians `theta` is the walking direction.
+    pub state: VehicleState,
+    /// Behavior policy driving the actor.
+    pub behavior: Behavior,
+}
+
+impl Actor {
+    /// Creates an actor.
+    pub fn new(id: ActorId, kind: ActorKind, state: VehicleState, behavior: Behavior) -> Self {
+        Actor { id, kind, state, behavior }
+    }
+
+    /// Footprint dimensions.
+    pub fn dims(&self) -> BodyDims {
+        self.kind.dims()
+    }
+
+    /// Oriented bounding box of the actor body.
+    pub fn obb(&self) -> Obb {
+        let d = self.dims();
+        Obb::new(
+            Vec2::new(self.state.x, self.state.y),
+            self.state.theta,
+            d.length / 2.0,
+            d.width / 2.0,
+        )
+    }
+
+    /// World-frame velocity.
+    pub fn velocity(&self) -> Vec2 {
+        self.state.velocity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_plausible_dims() {
+        assert!(ActorKind::Truck.dims().length > ActorKind::Car.dims().length);
+        assert!(ActorKind::Pedestrian.dims().width < 1.0);
+    }
+
+    #[test]
+    fn obb_centered_on_state() {
+        let a = Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            VehicleState::new(10.0, 2.0, 5.0, 0.0, 0.0),
+            Behavior::ConstantSpeed,
+        );
+        let obb = a.obb();
+        assert_eq!(obb.center, Vec2::new(10.0, 2.0));
+        assert_eq!(obb.half_length, 4.7 / 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ActorId(3).to_string(), "actor3");
+    }
+}

@@ -1,0 +1,217 @@
+//! Behavior policies for target vehicles and pedestrians.
+
+/// Parameters of the Intelligent Driver Model (IDM) used for
+//  car-following target vehicles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdmParams {
+    /// Maximum acceleration \[m/s²\].
+    pub max_accel: f64,
+    /// Comfortable deceleration \[m/s²\].
+    pub comfort_decel: f64,
+    /// Minimum bumper-to-bumper gap \[m\].
+    pub min_gap: f64,
+    /// Desired time headway \[s\].
+    pub time_headway: f64,
+    /// Acceleration exponent (classically 4).
+    pub exponent: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            max_accel: 1.8,
+            comfort_decel: 2.5,
+            min_gap: 2.0,
+            time_headway: 1.5,
+            exponent: 4.0,
+        }
+    }
+}
+
+impl IdmParams {
+    /// IDM acceleration for a follower at `speed` with desired speed
+    /// `desired`, given the bumper-to-bumper `gap` \[m\] and the speed
+    /// difference `approach_rate = v_self − v_lead` \[m/s\] to the lead
+    /// vehicle (`None` when the lane ahead is free).
+    pub fn accel(&self, speed: f64, desired: f64, lead: Option<(f64, f64)>) -> f64 {
+        let desired = desired.max(0.1);
+        let free_term = 1.0 - (speed / desired).powf(self.exponent);
+        let interaction = match lead {
+            None => 0.0,
+            Some((gap, approach_rate)) => {
+                let gap = gap.max(0.1);
+                let s_star = self.min_gap
+                    + (speed * self.time_headway
+                        + speed * approach_rate
+                            / (2.0 * (self.max_accel * self.comfort_decel).sqrt()))
+                    .max(0.0);
+                (s_star / gap).powi(2)
+            }
+        };
+        self.max_accel * (free_term - interaction)
+    }
+}
+
+/// A lane-change maneuver: lateral cosine blend from `from_y` to `to_y`
+/// over `[start_time, start_time + duration]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneChangeSpec {
+    /// Simulation time the maneuver begins \[s\].
+    pub start_time: f64,
+    /// Maneuver duration \[s\].
+    pub duration: f64,
+    /// Lateral start position \[m\].
+    pub from_y: f64,
+    /// Lateral end position \[m\].
+    pub to_y: f64,
+}
+
+impl LaneChangeSpec {
+    /// Lateral position at time `t` (clamped to the maneuver window).
+    pub fn y_at(&self, t: f64) -> f64 {
+        let s = ((t - self.start_time) / self.duration).clamp(0.0, 1.0);
+        let blend = (1.0 - (std::f64::consts::PI * s).cos()) / 2.0;
+        self.from_y + (self.to_y - self.from_y) * blend
+    }
+
+    /// Lateral velocity at time `t`.
+    pub fn vy_at(&self, t: f64) -> f64 {
+        let s = (t - self.start_time) / self.duration;
+        if !(0.0..=1.0).contains(&s) {
+            return 0.0;
+        }
+        (self.to_y - self.from_y) * std::f64::consts::PI / (2.0 * self.duration)
+            * (std::f64::consts::PI * s).sin()
+    }
+
+    /// True while the maneuver is in progress at `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_time && t <= self.start_time + self.duration
+    }
+}
+
+/// A timed longitudinal acceleration segment for scripted actors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedKeyframe {
+    /// Segment start time \[s\].
+    pub time: f64,
+    /// Constant acceleration applied from this time onward \[m/s²\].
+    pub accel: f64,
+}
+
+/// Behavior policy of an actor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Does not move (static obstacles, parked vehicles).
+    Static,
+    /// Holds the current speed along the current heading.
+    ConstantSpeed,
+    /// Car-following with the Intelligent Driver Model toward
+    /// `desired_speed`, optionally performing a lane change.
+    Idm {
+        /// IDM parameters.
+        params: IdmParams,
+        /// Free-road desired speed \[m/s\].
+        desired_speed: f64,
+        /// Optional lane-change maneuver.
+        lane_change: Option<LaneChangeSpec>,
+    },
+    /// Piecewise-constant-acceleration script (lead-brake scenarios).
+    Scripted {
+        /// Keyframes sorted by time; the last active one applies.
+        keyframes: Vec<SpeedKeyframe>,
+        /// Optional lane-change maneuver.
+        lane_change: Option<LaneChangeSpec>,
+    },
+    /// A pedestrian that starts walking at `trigger_time` with constant
+    /// speed along its heading.
+    Pedestrian {
+        /// Time the pedestrian steps off \[s\].
+        trigger_time: f64,
+        /// Walking speed \[m/s\].
+        walk_speed: f64,
+    },
+}
+
+impl Behavior {
+    /// Convenience: plain IDM follower without lane change.
+    pub fn idm(desired_speed: f64) -> Self {
+        Behavior::Idm { params: IdmParams::default(), desired_speed, lane_change: None }
+    }
+
+    /// The lane-change spec, if this behavior carries one.
+    pub fn lane_change(&self) -> Option<&LaneChangeSpec> {
+        match self {
+            Behavior::Idm { lane_change, .. } | Behavior::Scripted { lane_change, .. } => {
+                lane_change.as_ref()
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idm_free_road_accelerates_to_desired() {
+        let p = IdmParams::default();
+        let a = p.accel(10.0, 30.0, None);
+        assert!(a > 0.0);
+        // At desired speed, acceleration vanishes.
+        let a = p.accel(30.0, 30.0, None);
+        assert!(a.abs() < 1e-9);
+        // Above desired speed, decelerates.
+        assert!(p.accel(35.0, 30.0, None) < 0.0);
+    }
+
+    #[test]
+    fn idm_brakes_when_gap_small() {
+        let p = IdmParams::default();
+        let a = p.accel(30.0, 30.0, Some((5.0, 0.0)));
+        assert!(a < -3.0, "expected hard braking, got {a}");
+    }
+
+    #[test]
+    fn idm_brakes_harder_when_closing() {
+        let p = IdmParams::default();
+        let steady = p.accel(25.0, 30.0, Some((40.0, 0.0)));
+        let closing = p.accel(25.0, 30.0, Some((40.0, 10.0)));
+        assert!(closing < steady);
+    }
+
+    #[test]
+    fn lane_change_profile_endpoints_and_midpoint() {
+        let lc = LaneChangeSpec { start_time: 2.0, duration: 4.0, from_y: 0.0, to_y: 3.7 };
+        assert_eq!(lc.y_at(0.0), 0.0);
+        assert_eq!(lc.y_at(2.0), 0.0);
+        assert!((lc.y_at(4.0) - 1.85).abs() < 1e-12);
+        assert!((lc.y_at(6.0) - 3.7).abs() < 1e-12);
+        assert!((lc.y_at(100.0) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_change_velocity_peaks_at_midpoint_and_is_zero_outside() {
+        let lc = LaneChangeSpec { start_time: 0.0, duration: 4.0, from_y: 0.0, to_y: 3.7 };
+        assert_eq!(lc.vy_at(-1.0), 0.0);
+        assert_eq!(lc.vy_at(5.0), 0.0);
+        let peak = lc.vy_at(2.0);
+        assert!(peak > lc.vy_at(1.0));
+        assert!(peak > lc.vy_at(3.0));
+        assert!((peak - 3.7 * std::f64::consts::PI / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behavior_accessors() {
+        let b = Behavior::idm(25.0);
+        assert!(b.lane_change().is_none());
+        let lc = LaneChangeSpec { start_time: 0.0, duration: 1.0, from_y: 0.0, to_y: 3.7 };
+        let b = Behavior::Idm {
+            params: IdmParams::default(),
+            desired_speed: 25.0,
+            lane_change: Some(lc),
+        };
+        assert_eq!(b.lane_change(), Some(&lc));
+    }
+}

@@ -1,0 +1,198 @@
+//! Oriented-bounding-box collision detection (separating-axis test).
+
+use drivefi_kinematics::Vec2;
+
+/// An oriented bounding box: a rectangle with arbitrary heading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obb {
+    /// Center of the box.
+    pub center: Vec2,
+    /// Heading of the +x (length) axis \[rad\].
+    pub heading: f64,
+    /// Half of the length (along the heading).
+    pub half_length: f64,
+    /// Half of the width (across the heading).
+    pub half_width: f64,
+}
+
+impl Obb {
+    /// Creates an OBB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either half-extent is negative.
+    pub fn new(center: Vec2, heading: f64, half_length: f64, half_width: f64) -> Self {
+        assert!(half_length >= 0.0 && half_width >= 0.0, "extents must be non-negative");
+        Obb { center, heading, half_length, half_width }
+    }
+
+    /// The four corners, counter-clockwise.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let ax = Vec2::from_heading(self.heading) * self.half_length;
+        let ay = Vec2::from_heading(self.heading + std::f64::consts::FRAC_PI_2) * self.half_width;
+        [
+            self.center + ax + ay,
+            self.center - ax + ay,
+            self.center - ax - ay,
+            self.center + ax - ay,
+        ]
+    }
+
+    fn axes(&self) -> [Vec2; 2] {
+        [
+            Vec2::from_heading(self.heading),
+            Vec2::from_heading(self.heading + std::f64::consts::FRAC_PI_2),
+        ]
+    }
+
+    fn projection_radius(&self, axis: Vec2) -> f64 {
+        let [ax, ay] = self.axes();
+        self.half_length * ax.dot(axis).abs() + self.half_width * ay.dot(axis).abs()
+    }
+
+    /// True when the point lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let local = (p - self.center).into_frame(self.heading);
+        local.x.abs() <= self.half_length + 1e-12 && local.y.abs() <= self.half_width + 1e-12
+    }
+}
+
+/// True when the segment `a → b` intersects the box (slab test in the
+/// box's local frame). Used for line-of-sight occlusion queries.
+pub fn segment_intersects_obb(a: Vec2, b: Vec2, obb: &Obb) -> bool {
+    // Transform into the box frame.
+    let a = (a - obb.center).into_frame(obb.heading);
+    let b = (b - obb.center).into_frame(obb.heading);
+    let d = b - a;
+    let half = [obb.half_length, obb.half_width];
+    let origin = [a.x, a.y];
+    let dir = [d.x, d.y];
+    let mut t_min = 0.0f64;
+    let mut t_max = 1.0f64;
+    for axis in 0..2 {
+        if dir[axis].abs() < 1e-12 {
+            if origin[axis].abs() > half[axis] {
+                return false;
+            }
+            continue;
+        }
+        let inv = 1.0 / dir[axis];
+        let mut t0 = (-half[axis] - origin[axis]) * inv;
+        let mut t1 = (half[axis] - origin[axis]) * inv;
+        if t0 > t1 {
+            std::mem::swap(&mut t0, &mut t1);
+        }
+        t_min = t_min.max(t0);
+        t_max = t_max.min(t1);
+        if t_min > t_max {
+            return false;
+        }
+    }
+    true
+}
+
+/// True when two oriented boxes overlap (separating-axis theorem on the
+/// four face normals).
+pub fn obb_overlap(a: &Obb, b: &Obb) -> bool {
+    let d = b.center - a.center;
+    for axis in a.axes().into_iter().chain(b.axes()) {
+        let dist = d.dot(axis).abs();
+        if dist > a.projection_radius(axis) + b.projection_radius(axis) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis_box(cx: f64, cy: f64, hl: f64, hw: f64) -> Obb {
+        Obb::new(Vec2::new(cx, cy), 0.0, hl, hw)
+    }
+
+    #[test]
+    fn overlapping_axis_aligned_boxes() {
+        let a = axis_box(0.0, 0.0, 2.0, 1.0);
+        let b = axis_box(3.0, 0.0, 2.0, 1.0);
+        assert!(obb_overlap(&a, &b));
+        let c = axis_box(4.5, 0.0, 2.0, 1.0);
+        assert!(!obb_overlap(&a, &c));
+    }
+
+    #[test]
+    fn lateral_separation() {
+        let a = axis_box(0.0, 0.0, 2.0, 1.0);
+        let b = axis_box(0.0, 2.5, 2.0, 1.0);
+        assert!(!obb_overlap(&a, &b));
+        let c = axis_box(0.0, 1.9, 2.0, 1.0);
+        assert!(obb_overlap(&a, &c));
+    }
+
+    #[test]
+    fn rotated_box_needs_sat() {
+        // A unit square and a diamond (square rotated 45°) whose AABBs
+        // overlap but which are separated along the diamond's own axis:
+        // projection distance 1.9·√2 ≈ 2.687 > 1.414 + 1.0.
+        let a = axis_box(0.0, 0.0, 1.0, 1.0);
+        let b = Obb::new(Vec2::new(1.9, 1.9), std::f64::consts::FRAC_PI_4, 1.0, 1.0);
+        assert!(!obb_overlap(&a, &b));
+        // Slide the diamond toward the square until they intersect:
+        // 1.5·√2 ≈ 2.121 < 2.414.
+        let c = Obb::new(Vec2::new(1.5, 1.5), std::f64::consts::FRAC_PI_4, 1.0, 1.0);
+        assert!(obb_overlap(&a, &c));
+    }
+
+    #[test]
+    fn contains_point() {
+        let b = Obb::new(Vec2::new(1.0, 1.0), std::f64::consts::FRAC_PI_2, 2.0, 0.5);
+        // Box is long along +y now.
+        assert!(b.contains(Vec2::new(1.0, 2.9)));
+        assert!(!b.contains(Vec2::new(1.9, 1.0)));
+    }
+
+    #[test]
+    fn corners_are_at_expected_positions() {
+        let b = axis_box(0.0, 0.0, 1.0, 0.5);
+        let cs = b.corners();
+        assert!(cs.iter().any(|c| (c.x - 1.0).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12));
+        assert!(cs.iter().any(|c| (c.x + 1.0).abs() < 1e-12 && (c.y + 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn identical_boxes_overlap() {
+        let a = axis_box(5.0, 5.0, 1.0, 1.0);
+        assert!(obb_overlap(&a, &a));
+    }
+
+    #[test]
+    fn segment_through_box_intersects() {
+        let b = axis_box(5.0, 0.0, 1.0, 1.0);
+        assert!(segment_intersects_obb(Vec2::ZERO, Vec2::new(10.0, 0.0), &b));
+        // Segment passing beside the box.
+        assert!(!segment_intersects_obb(Vec2::new(0.0, 3.0), Vec2::new(10.0, 3.0), &b));
+        // Segment stopping short of the box.
+        assert!(!segment_intersects_obb(Vec2::ZERO, Vec2::new(3.0, 0.0), &b));
+        // Segment starting inside the box.
+        assert!(segment_intersects_obb(Vec2::new(5.0, 0.0), Vec2::new(20.0, 0.0), &b));
+    }
+
+    #[test]
+    fn segment_respects_box_rotation() {
+        // A thin box rotated 90° (long axis now along y): the x-axis ray
+        // misses it when the box is offset beyond its half-length, hits
+        // when aligned.
+        let b = Obb::new(Vec2::new(5.0, 2.6), std::f64::consts::FRAC_PI_2, 2.0, 0.5);
+        assert!(!segment_intersects_obb(Vec2::ZERO, Vec2::new(10.0, 0.0), &b));
+        let c = Obb::new(Vec2::new(5.0, 0.0), std::f64::consts::FRAC_PI_2, 2.0, 0.5);
+        assert!(segment_intersects_obb(Vec2::ZERO, Vec2::new(10.0, 0.0), &c));
+    }
+
+    #[test]
+    fn vertical_segment_slab_test() {
+        let b = axis_box(0.0, 5.0, 1.0, 1.0);
+        assert!(segment_intersects_obb(Vec2::ZERO, Vec2::new(0.0, 10.0), &b));
+        assert!(!segment_intersects_obb(Vec2::new(2.0, 0.0), Vec2::new(2.0, 10.0), &b));
+    }
+}

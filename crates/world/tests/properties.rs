@@ -1,0 +1,90 @@
+//! Property-based tests for world-model invariants.
+
+use drivefi_world::behavior::{Behavior, SpeedKeyframe};
+use drivefi_world::{Actor, ActorId, ActorKind, Road, ScenarioSuite, World};
+use drivefi_kinematics::VehicleState;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An IDM follower never rear-ends a braking scripted leader, for any
+    /// sane spawn gap / speed / braking profile. This is the
+    /// collision-free guarantee the IDM provides analytically, checked
+    /// through the full world stepper.
+    #[test]
+    fn idm_never_rear_ends(gap in 12.0..80.0f64,
+                           v0 in 5.0..33.0f64,
+                           brake_t in 1.0..10.0f64,
+                           decel in 1.0..6.0f64) {
+        let mut world = World::new(Road::default_highway());
+        world.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            VehicleState::new(0.0, 0.0, v0, 0.0, 0.0),
+            Behavior::idm(v0 + 2.0),
+        ));
+        world.add_actor(Actor::new(
+            ActorId(2),
+            ActorKind::Car,
+            VehicleState::new(gap, 0.0, v0, 0.0, 0.0),
+            Behavior::Scripted {
+                keyframes: vec![
+                    SpeedKeyframe { time: 0.0, accel: 0.0 },
+                    SpeedKeyframe { time: brake_t, accel: -decel },
+                ],
+                lane_change: None,
+            },
+        ));
+        // Park the (required) ego far away so it cannot interact.
+        world.set_ego(VehicleState::new(-500.0, 0.0, 0.0, 0.0, 0.0), ActorKind::Car.dims());
+        let dt = 1.0 / 30.0;
+        for _ in 0..(40.0 / dt) as usize {
+            world.step(dt);
+            let follower = world.actor(ActorId(1)).unwrap();
+            let leader = world.actor(ActorId(2)).unwrap();
+            let bumper_gap = leader.state.x - follower.state.x
+                - (leader.dims().length + follower.dims().length) / 2.0;
+            prop_assert!(
+                bumper_gap > 0.0,
+                "IDM rear-ended: gap {bumper_gap:.2} (spawn {gap:.1}, v {v0:.1}, brake {decel:.1})"
+            );
+        }
+    }
+
+    /// Scenario generation is a pure function of (count, seed).
+    #[test]
+    fn suite_generation_deterministic(count in 1u32..16, seed in any::<u64>()) {
+        let a = ScenarioSuite::generate(count, seed);
+        let b = ScenarioSuite::generate(count, seed);
+        prop_assert_eq!(a.scenarios.len(), b.scenarios.len());
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.ego_start, y.ego_start);
+            prop_assert_eq!(x.actors.len(), y.actors.len());
+        }
+    }
+
+    /// Every generated scenario starts all actors on the road surface.
+    #[test]
+    fn actors_spawn_on_or_near_road(count in 1u32..8, seed in any::<u64>()) {
+        let suite = ScenarioSuite::extended(count, seed);
+        for s in &suite.scenarios {
+            if s.name == "merge" {
+                continue; // the merger stages on the on-ramp, off the mainline
+            }
+            for a in &s.actors {
+                // Pedestrians stage on the shoulder; everything else
+                // spawns inside the paved width.
+                if !matches!(a.kind, ActorKind::Pedestrian) {
+                    prop_assert!(
+                        a.state.y > s.road.right_edge() && a.state.y < s.road.left_edge(),
+                        "{}: actor at y = {}",
+                        s.name,
+                        a.state.y
+                    );
+                }
+            }
+        }
+    }
+}

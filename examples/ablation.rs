@@ -1,0 +1,87 @@
+//! Natural-resilience ablation through the public API (paper §II-C).
+//!
+//! The paper attributes the near-total masking of random transients to
+//! three mechanisms: high-rate recomputation, Kalman fusion, and PID
+//! smoothing — plus the backup watchdog path for hangs. This example
+//! injects the *same* transient fault into four stack configurations and
+//! shows where the masking comes from.
+//!
+//! ```text
+//! cargo run --release --example ablation
+//! ```
+
+use drivefi::ads::{AdsConfig, Signal};
+use drivefi::fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi::sim::{SimConfig, Simulation};
+use drivefi::world::scenario::ScenarioConfig;
+
+/// Runs the scenario tick-by-tick twice — golden and with one corrupted
+/// max-throttle scene — and returns the peak speed deviation the
+/// transient induces. This is the *local* masking measurement: how much
+/// of the corrupted command actually reaches the wheels.
+fn speed_leak(ads: AdsConfig, scenario: &ScenarioConfig) -> (f64, bool) {
+    let sim_config = SimConfig { ads, ..SimConfig::default() };
+    let golden_trace = {
+        let cfg = SimConfig { record_trace: true, ..sim_config };
+        Simulation::new(cfg, scenario).run().trace.expect("trace")
+    };
+
+    let fault = Fault {
+        kind: FaultKind::Scalar {
+            signal: Signal::RawThrottle,
+            model: ScalarFaultModel::StuckMax,
+        },
+        // One corrupted scene (4 base ticks) mid-run.
+        window: FaultWindow::scene(60),
+    };
+    let cfg = SimConfig { record_trace: true, ..sim_config };
+    let mut sim = Simulation::new(cfg, scenario);
+    let report = sim.run_with(&mut Injector::new(vec![fault]));
+    let faulted_trace = report.trace.expect("trace");
+
+    // Peak speed deviation within the 2 s after injection (before the
+    // world interaction diverges for other reasons).
+    let leak = golden_trace
+        .frames
+        .iter()
+        .zip(&faulted_trace.frames)
+        .skip(60)
+        .take(15)
+        .map(|(g, f)| (f.ego.v - g.ego.v).abs())
+        .fold(0.0f64, f64::max);
+    (leak, report.outcome.is_hazardous())
+}
+
+fn main() {
+    let scenario = ScenarioConfig::lead_vehicle_cruise(11);
+    let configs: [(&str, AdsConfig); 3] = [
+        ("full stack", AdsConfig::default()),
+        ("no PID smoothing", AdsConfig { pid_smoothing: false, ..AdsConfig::default() }),
+        ("planner at 1/8 rate", AdsConfig { planner_divisor: 8, ..AdsConfig::default() }),
+    ];
+
+    println!("one transient max-throttle scene against three stack configurations:");
+    println!();
+    println!("| configuration       | peak speed leak [m/s] | hazardous |");
+    println!("|---------------------|-----------------------|-----------|");
+    let mut full_stack_leak = f64::NAN;
+    for (name, ads) in configs {
+        let (leak, hazardous) = speed_leak(ads, &scenario);
+        println!("| {name:19} | {leak:21.3} | {hazardous:9} |");
+        if name == "full stack" {
+            full_stack_leak = leak;
+            assert!(!hazardous, "the full stack must mask a single-scene transient");
+        } else {
+            assert!(
+                leak >= full_stack_leak,
+                "removing a masking layer should not reduce the leak"
+            );
+        }
+    }
+    println!();
+    println!(
+        "the leak column is how much of the corrupted command reaches the wheels: \
+         the full stack smooths it away — the paper's explanation of why random FI \
+         finds nothing."
+    );
+}

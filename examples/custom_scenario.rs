@@ -1,0 +1,104 @@
+//! Building a custom scenario from scratch and mining it.
+//!
+//! Downstream users are not limited to the built-in scenario families:
+//! a [`ScenarioConfig`] is plain data. This example scripts a bespoke
+//! two-truck pincer on a three-lane highway, verifies it is survivable
+//! fault-free, then runs the full Bayesian FI pipeline on it.
+//!
+//! ```text
+//! cargo run --release --example custom_scenario
+//! ```
+
+use drivefi::core::{collect_golden_traces, validate_candidates, BayesianMiner, MinerConfig};
+use drivefi::kinematics::VehicleState;
+use drivefi::sim::{SimConfig, Simulation};
+use drivefi::world::behavior::{Behavior, LaneChangeSpec, SpeedKeyframe};
+use drivefi::world::scenario::ScenarioConfig;
+use drivefi::world::{Actor, ActorId, ActorKind, Road, ScenarioSuite};
+
+fn pincer(seed: u64) -> ScenarioConfig {
+    let ego_v = 31.0;
+    ScenarioConfig {
+        id: 0,
+        name: "two_truck_pincer".into(),
+        seed,
+        duration: 40.0,
+        road: Road::default_highway(),
+        ego_start: VehicleState::new(0.0, 0.0, ego_v, 0.0, 0.0),
+        ego_set_speed: 33.0,
+        actors: vec![
+            // A slow truck ahead in the ego lane.
+            Actor::new(
+                ActorId(1),
+                ActorKind::Car,
+                VehicleState::new(90.0, 0.0, 24.0, 0.0, 0.0),
+                Behavior::idm(24.0),
+            ),
+            // A second truck in the left lane that merges in front of the
+            // first one, closing the overtaking window.
+            Actor::new(
+                ActorId(2),
+                ActorKind::Car,
+                VehicleState::new(60.0, 3.7, 26.0, 0.0, 0.0),
+                Behavior::Scripted {
+                    keyframes: vec![
+                        SpeedKeyframe { time: 0.0, accel: 0.0 },
+                        SpeedKeyframe { time: 12.0, accel: -1.0 },
+                        SpeedKeyframe { time: 16.0, accel: 0.0 },
+                    ],
+                    lane_change: Some(LaneChangeSpec {
+                        start_time: 10.0,
+                        duration: 3.0,
+                        from_y: 3.7,
+                        to_y: 0.0,
+                    }),
+                },
+            ),
+        ],
+    }
+}
+
+fn main() {
+    let scenario = pincer(99);
+
+    // 1. Prove the scenario is survivable fault-free.
+    let mut sim = Simulation::new(SimConfig::default(), &scenario);
+    let golden = sim.run();
+    println!(
+        "golden pincer run: {} (min δ_lon = {:.1} m)",
+        golden.outcome, golden.min_delta_lon
+    );
+    assert!(golden.outcome.is_safe(), "the custom scenario must be survivable");
+
+    // 2. Full pipeline on a suite containing only this scenario.
+    let suite = ScenarioSuite { scenarios: vec![scenario] };
+    let sim_config = SimConfig::default();
+    let traces = collect_golden_traces(&sim_config, &suite, 4);
+    let miner = BayesianMiner::fit(&traces, MinerConfig::default()).expect("fit");
+    let critical = miner.mine(&traces);
+    println!(
+        "mined {} critical faults from {} candidates",
+        critical.len(),
+        miner.candidate_count(&traces)
+    );
+
+    // 3. Validate them by real injection.
+    let stats = validate_candidates(&sim_config, &suite, &critical, 4);
+    println!(
+        "validated: {}/{} manifested ({} collisions) across {} critical scenes",
+        stats.manifested,
+        stats.mined.len(),
+        stats.collisions,
+        stats.critical_scenes.len()
+    );
+    if let Some(worst) = critical.first() {
+        println!(
+            "most critical: scene {} {}:{} (golden δ {:.1} m → forecast δ̂ {:.1} m)",
+            worst.scene,
+            worst.signal.name(),
+            worst.model.name(),
+            worst.golden_delta,
+            worst.predicted_delta
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: drive one scenario fault-free, then inject a fault.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use drivefi::ads::Signal;
+use drivefi::fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
+use drivefi::sim::{SimConfig, Simulation};
+use drivefi::world::scenario::ScenarioConfig;
+
+fn main() {
+    // 1. A parameterized highway scenario: ego following a lead vehicle.
+    let scenario = ScenarioConfig::lead_vehicle_cruise(7);
+    println!(
+        "scenario `{}`: ego at {:.1} m/s, set speed {:.1} m/s, {} actors",
+        scenario.name,
+        scenario.ego_start.v,
+        scenario.ego_set_speed,
+        scenario.actors.len()
+    );
+
+    // 2. Golden (fault-free) run.
+    let mut sim = Simulation::new(SimConfig::default(), &scenario);
+    let golden = sim.run();
+    println!(
+        "golden run: {} (min δ_lon = {:.1} m, min δ_lat = {:.2} m over {} scenes)",
+        golden.outcome, golden.min_delta_lon, golden.min_delta_lat, golden.scenes
+    );
+
+    // 3. The same run with a permanent runaway-throttle fault injected at
+    //    the actuation boundary (A_t), starting two seconds in.
+    let faults = vec![
+        Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::FinalThrottle,
+                model: ScalarFaultModel::StuckMax,
+            },
+            window: FaultWindow::permanent(60),
+        },
+        Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::FinalBrake,
+                model: ScalarFaultModel::StuckMin,
+            },
+            window: FaultWindow::permanent(60),
+        },
+    ];
+    let mut sim = Simulation::new(SimConfig::default(), &scenario);
+    let mut injector = Injector::new(faults);
+    let faulted = sim.run_with(&mut injector);
+    println!(
+        "faulted run: {} (min δ_lon = {:.1} m, {} corruptions injected)",
+        faulted.outcome,
+        faulted.min_delta_lon,
+        injector.injection_count()
+    );
+
+    assert!(golden.outcome.is_safe());
+    assert!(faulted.outcome.is_hazardous());
+    println!("the permanent throttle fault defeats the ADS, as expected.");
+}

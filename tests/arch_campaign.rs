@@ -1,0 +1,37 @@
+//! Integration test for the E1 architectural campaign shape.
+
+use drivefi::fault::{ArchOutcome, ArchProgram, ArchSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn arch_campaign_reproduces_paper_shape() {
+    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
+        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
+    ));
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let n = 5000;
+    let (masked, sdc, crash, hang, sdc_sites) = sim.campaign(n, &mut rng);
+    assert_eq!(masked + sdc + crash + hang, n);
+
+    let frac = |x: usize| x as f64 / n as f64;
+    // Paper: ~90.7% masked, 1.93% SDC, 7.35% panic+hang. Shape bands:
+    assert!(frac(masked) > 0.85, "masked {}", frac(masked));
+    assert!(frac(sdc) > 0.003 && frac(sdc) < 0.06, "sdc {}", frac(sdc));
+    assert!(
+        frac(crash + hang) > 0.02 && frac(crash + hang) < 0.13,
+        "crash+hang {}",
+        frac(crash + hang)
+    );
+
+    // SDC outcomes carry a positive relative error and are reproducible.
+    for (site, err) in sdc_sites.iter().take(20) {
+        assert!(*err > 0.0);
+        match sim.inject(*site) {
+            ArchOutcome::Sdc { relative_error } => {
+                assert!((relative_error - err).abs() < 1e-12)
+            }
+            other => panic!("SDC site reclassified as {other:?}"),
+        }
+    }
+}
