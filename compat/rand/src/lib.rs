@@ -1,0 +1,320 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand` 0.9 API it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64-expanded seeding,
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator,
+//! * [`Rng`] — `random`, `random_range`, `random_bool`.
+//!
+//! The generator is **not** the upstream ChaCha12 `StdRng`; streams
+//! differ from real `rand`, but every consumer in this workspace only
+//! relies on determinism (same seed ⇒ same stream) and uniformity, both
+//! of which xoshiro256++ provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanded through SplitMix64
+    /// so that nearby seeds yield uncorrelated states.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from the unit interval / full bit range by
+/// [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for u8 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as $wide;
+                let hi_w = hi as $wide;
+                // Wrapping arithmetic: a signed span wider than the
+                // wide type's MAX reinterprets correctly as u64 below.
+                let span = if inclusive {
+                    hi_w.wrapping_sub(lo_w).wrapping_add(1)
+                } else {
+                    hi_w.wrapping_sub(lo_w)
+                };
+                if span == 0 {
+                    // Inclusive full-range request: every bit pattern is valid.
+                    return rng.next_u64() as $wide as $t;
+                }
+                // Debiased multiply-shift (Lemire): uniform over [0, span).
+                let span = span as u64;
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128) * (span as u128);
+                    if (m as u64) >= threshold {
+                        return lo_w.wrapping_add((m >> 64) as u64 as $wide) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        let u = f64::standard(rng);
+        let x = lo + u * (hi - lo);
+        // `lo + u*(hi - lo)` can round up to exactly `hi` even though
+        // u < 1; keep the exclusive contract.
+        if !inclusive && x >= hi {
+            hi.next_down()
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        let u = f32::standard(rng);
+        let x = lo + u * (hi - lo);
+        if !inclusive && x >= hi {
+            hi.next_down()
+        } else {
+            x
+        }
+    }
+}
+
+/// Types with a uniform sampler over an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Range arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty random_range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty random_range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// The generator interface. Only [`Rng::next_u64`] is required; the
+/// sampling methods are derived and usable on `?Sized` receivers.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// One draw from the standard distribution of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Uniform draw from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T: SampleUniform, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64. (Upstream `rand` uses ChaCha12 here;
+    /// the contract consumers rely on — determinism and uniformity — is
+    /// preserved, the concrete stream is not.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro forbids the all-zero state (period would be 1).
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15; 4];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n: usize = rng.random_range(0..7);
+            assert!(n < 7);
+            let m: u32 = rng.random_range(2..=4u32);
+            assert!((2..=4).contains(&m));
+            // Signed exclusive range wider than i64::MAX: must not
+            // overflow and must stay in bounds.
+            let w: i64 = rng.random_range(i64::MIN..i64::MAX);
+            assert!(w < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn uniformity_is_roughly_flat() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            let expect = n / 10;
+            assert!(b.abs_diff(expect) < expect / 10, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn unit_interval_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let p: f64 = (0..n).filter(|_| rng.random_bool(0.25)).count() as f64 / n as f64;
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn works_through_unsized_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

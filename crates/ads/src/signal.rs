@@ -120,9 +120,7 @@ impl Signal {
             Signal::LeadSpeed => SignalRange { min: 0.0, max: 55.0 },
             Signal::RawThrottle | Signal::FinalThrottle => SignalRange { min: 0.0, max: 1.0 },
             Signal::RawBrake | Signal::FinalBrake => SignalRange { min: 0.0, max: 1.0 },
-            Signal::RawSteering | Signal::FinalSteering => {
-                SignalRange { min: -0.55, max: 0.55 }
-            }
+            Signal::RawSteering | Signal::FinalSteering => SignalRange { min: -0.55, max: 0.55 },
         }
     }
 
@@ -156,10 +154,11 @@ impl Signal {
             Signal::PoseHeading => Some(bus.pose.theta),
             Signal::ImuSpeed => Some(bus.imu.speed),
             Signal::ImuAccel => Some(bus.imu.accel),
-            Signal::LeadDistance => {
-                Self::lead_index(bus).map(|i| bus.pose.to_local(bus.world_model.objects[i].position).x)
+            Signal::LeadDistance => Self::lead_index(bus)
+                .map(|i| bus.pose.to_local(bus.world_model.objects[i].position).x),
+            Signal::LeadSpeed => {
+                Self::lead_index(bus).map(|i| bus.world_model.objects[i].velocity.x)
             }
-            Signal::LeadSpeed => Self::lead_index(bus).map(|i| bus.world_model.objects[i].velocity.x),
             Signal::RawThrottle => Some(bus.raw_cmd.throttle),
             Signal::RawBrake => Some(bus.raw_cmd.brake),
             Signal::RawSteering => Some(bus.raw_cmd.steering),
@@ -184,8 +183,7 @@ impl Signal {
                 if let Some(i) = Self::lead_index(bus) {
                     let local = bus.pose.to_local(bus.world_model.objects[i].position);
                     let new_local = Vec2::new(value, local.y);
-                    let world =
-                        new_local.rotated(bus.pose.theta) + bus.pose.position();
+                    let world = new_local.rotated(bus.pose.theta) + bus.pose.position();
                     bus.world_model.objects[i].position = world;
                 }
             }

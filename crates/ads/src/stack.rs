@@ -2,7 +2,7 @@
 
 use crate::{Bus, Stage};
 use drivefi_control::ActuationSmoother;
-use drivefi_kinematics::{Actuation, VehicleParams, Vec2};
+use drivefi_kinematics::{Actuation, Vec2, VehicleParams};
 use drivefi_perception::{MultiObjectTracker, PoseEstimator, TrackId, TrackedObject, WorldModel};
 use drivefi_planner::{Planner, PlannerConfig};
 use drivefi_sensors::SensorFrame;
@@ -330,10 +330,13 @@ impl AdsStack {
         }
 
         // --- Stage: planning (U_A,t) ---
-        if frame % u64::from(self.config.planner_divisor.max(1)) == 0 {
-            let out =
-                self.planner
-                    .plan(&self.bus.pose, &self.bus.world_model, &self.road, self.set_speed);
+        if frame.is_multiple_of(u64::from(self.config.planner_divisor.max(1))) {
+            let out = self.planner.plan(
+                &self.bus.pose,
+                &self.bus.world_model,
+                &self.road,
+                self.set_speed,
+            );
             self.bus.raw_cmd = out.raw;
             self.bus.envelope = out.envelope;
             self.bus.delta = out.delta;
@@ -358,7 +361,8 @@ impl AdsStack {
         let steer_limit = drivefi_kinematics::BicycleModel::new(self.config.vehicle)
             .steer_limit(self.bus.pose.v.max(0.0));
         if self.bus.final_cmd.steering.abs() > steer_limit {
-            self.bus.final_cmd.steering = self.bus.final_cmd.steering.clamp(-steer_limit, steer_limit);
+            self.bus.final_cmd.steering =
+                self.bus.final_cmd.steering.clamp(-steer_limit, steer_limit);
             if self.config.pid_smoothing {
                 self.smoother.set_last_output(self.bus.final_cmd);
             }

@@ -179,7 +179,11 @@ impl Watchdog {
             return published;
         }
         self.fallback_steer *= self.config.steer_decay;
-        Actuation { throttle: 0.0, brake: self.config.fallback_brake, steering: self.fallback_steer }
+        Actuation {
+            throttle: 0.0,
+            brake: self.config.fallback_brake,
+            steering: self.fallback_steer,
+        }
     }
 }
 

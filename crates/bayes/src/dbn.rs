@@ -8,6 +8,11 @@
 
 use crate::network::{BayesNet, VarId};
 
+/// The product of [`DbnTemplate::unroll`]: the (CPT-less) network, the
+/// id map `ids[slice][template]`, and the `(child, parents)` learning
+/// structure suitable for [`crate::fit_cpts`].
+pub type UnrolledDbn = (BayesNet, Vec<Vec<VarId>>, Vec<(VarId, Vec<VarId>)>);
+
 /// Index of a variable within the slice template.
 pub type TemplateVar = usize;
 
@@ -88,7 +93,7 @@ impl DbnTemplate {
     /// # Panics
     ///
     /// Panics if `slices == 0`.
-    pub fn unroll(&self, slices: usize) -> (BayesNet, Vec<Vec<VarId>>, Vec<(VarId, Vec<VarId>)>) {
+    pub fn unroll(&self, slices: usize) -> UnrolledDbn {
         assert!(slices > 0, "need at least one slice");
         let mut net = BayesNet::new();
         let mut ids: Vec<Vec<VarId>> = Vec::with_capacity(slices);
@@ -102,18 +107,11 @@ impl DbnTemplate {
         let mut structure = Vec::with_capacity(slices * self.vars.len());
         for (t, slice) in ids.iter().enumerate() {
             for (tv, &var) in slice.iter().enumerate() {
-                let mut parents: Vec<VarId> = self
-                    .intra
-                    .iter()
-                    .filter(|(_, c)| *c == tv)
-                    .map(|(p, _)| slice[*p])
-                    .collect();
+                let mut parents: Vec<VarId> =
+                    self.intra.iter().filter(|(_, c)| *c == tv).map(|(p, _)| slice[*p]).collect();
                 if t > 0 {
                     parents.extend(
-                        self.inter
-                            .iter()
-                            .filter(|e| e.to == tv)
-                            .map(|e| ids[t - 1][e.from]),
+                        self.inter.iter().filter(|e| e.to == tv).map(|e| ids[t - 1][e.from]),
                     );
                 }
                 structure.push((var, parents));

@@ -149,9 +149,7 @@ mod tests {
         data.extend((0..100).map(|i| 1.0 + i as f64));
         let d = Discretizer::fit(&data, 10);
         // Most edges should be below 1.0.
-        let below = (0..d.bins() - 1)
-            .filter(|&i| d.representative(i) < 1.0)
-            .count();
+        let below = (0..d.bins() - 1).filter(|&i| d.representative(i) < 1.0).count();
         assert!(below >= 7, "quantile binning should focus on the dense region");
     }
 }

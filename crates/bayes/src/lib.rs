@@ -46,7 +46,7 @@ pub mod network;
 pub mod sampling;
 pub mod score;
 
-pub use dbn::{DbnTemplate, SliceVar, TemporalEdge};
+pub use dbn::{DbnTemplate, SliceVar, TemporalEdge, UnrolledDbn};
 pub use discretize::Discretizer;
 pub use factor::Factor;
 pub use learn::fit_cpts;

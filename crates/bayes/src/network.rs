@@ -436,12 +436,8 @@ mod tests {
         net.set_cpt(Cpt::new(c, vec![], vec![0.5, 0.5])).unwrap();
         net.set_cpt(Cpt::new(s, vec![c], vec![0.5, 0.5, 0.9, 0.1])).unwrap();
         net.set_cpt(Cpt::new(r, vec![c], vec![0.8, 0.2, 0.2, 0.8])).unwrap();
-        net.set_cpt(Cpt::new(
-            w,
-            vec![s, r],
-            vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
-        ))
-        .unwrap();
+        net.set_cpt(Cpt::new(w, vec![s, r], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99]))
+            .unwrap();
         (net, c, s, r, w)
     }
 
@@ -483,9 +479,7 @@ mod tests {
         // Conditioning on S=1 changes belief about Cloudy (backdoor);
         // do(S=1) must NOT (sprinkler has no causal effect on clouds).
         let cond = net.posterior(c, &Evidence::from([(s, 1)])).unwrap()[1];
-        let int = net
-            .posterior_do(c, &Evidence::new(), &Evidence::from([(s, 1)]))
-            .unwrap()[1];
+        let int = net.posterior_do(c, &Evidence::new(), &Evidence::from([(s, 1)])).unwrap()[1];
         assert!((int - 0.5).abs() < 1e-9, "do() leaked into parent: {int}");
         assert!((cond - 0.5).abs() > 0.05, "conditioning should move cloudy: {cond}");
     }
@@ -494,9 +488,7 @@ mod tests {
     fn intervention_still_affects_descendants() {
         let (net, _c, s, _r, w) = sprinkler();
         let base = net.posterior(w, &Evidence::new()).unwrap()[1];
-        let forced = net
-            .posterior_do(w, &Evidence::new(), &Evidence::from([(s, 1)]))
-            .unwrap()[1];
+        let forced = net.posterior_do(w, &Evidence::new(), &Evidence::from([(s, 1)])).unwrap()[1];
         assert!(forced > base, "do(S=1) should raise P(wet): {forced} vs {base}");
     }
 
@@ -552,10 +544,7 @@ mod tests {
         let a = net.add_variable("a", 2);
         let _b = net.add_variable("b", 2);
         net.set_cpt(Cpt::new(a, vec![], vec![0.5, 0.5])).unwrap();
-        assert!(matches!(
-            net.posterior(a, &Evidence::new()),
-            Err(BayesError::MissingCpt(_))
-        ));
+        assert!(matches!(net.posterior(a, &Evidence::new()), Err(BayesError::MissingCpt(_))));
     }
 
     #[test]
@@ -574,18 +563,14 @@ mod tests {
                 }
             }
         }
-        let map = net
-            .map_assignment(&Evidence::from([(w, 1)]), &Evidence::new())
-            .unwrap();
+        let map = net.map_assignment(&Evidence::from([(w, 1)]), &Evidence::new()).unwrap();
         assert_eq!(map, best.1, "joint MAP disagrees with enumeration");
     }
 
     #[test]
     fn joint_map_respects_interventions() {
         let (net, c, s, _r, w) = sprinkler();
-        let map = net
-            .map_assignment(&Evidence::from([(w, 1)]), &Evidence::from([(s, 1)]))
-            .unwrap();
+        let map = net.map_assignment(&Evidence::from([(w, 1)]), &Evidence::from([(s, 1)])).unwrap();
         assert_eq!(map[&s], 1, "intervened value pinned");
         assert!(map.contains_key(&c) && map.contains_key(&w));
         // With the sprinkler forced on, do() severs S from Cloudy; the

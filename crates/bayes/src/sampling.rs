@@ -85,7 +85,12 @@ fn check_assignment(net: &BayesNet, e: &Evidence) -> Result<(), BayesError> {
 }
 
 /// `P(var = value | parents)` read straight out of the CPT.
-fn cpt_prob(net: &BayesNet, var: VarId, value: usize, assignment: &Evidence) -> Result<f64, BayesError> {
+fn cpt_prob(
+    net: &BayesNet,
+    var: VarId,
+    value: usize,
+    assignment: &Evidence,
+) -> Result<f64, BayesError> {
     let cpt = net.cpt(var).ok_or(BayesError::MissingCpt(var))?;
     let card = net.cardinality(var);
     let mut row = 0usize;
@@ -249,11 +254,7 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
     for (&k, &v) in interventions.iter().chain(evidence.iter()) {
         assignment.insert(k, v);
     }
-    let free: Vec<VarId> = order
-        .iter()
-        .copied()
-        .filter(|v| !assignment.contains_key(v))
-        .collect();
+    let free: Vec<VarId> = order.iter().copied().filter(|v| !assignment.contains_key(v)).collect();
     for &var in &free {
         let v = sample_cpt(net, var, &assignment, rng)?;
         assignment.insert(var, v);
@@ -298,7 +299,7 @@ pub fn gibbs_posterior<R: Rng + ?Sized>(
             };
             assignment.insert(var, v);
         }
-        if sweep >= opts.burn_in && (sweep - opts.burn_in) % opts.thin.max(1) == 0 {
+        if sweep >= opts.burn_in && (sweep - opts.burn_in).is_multiple_of(opts.thin.max(1)) {
             tally[assignment[&query]] += 1.0;
             retained += 1;
             if retained >= opts.samples {
@@ -329,12 +330,8 @@ mod tests {
         net.set_cpt(Cpt::new(c, vec![], vec![0.5, 0.5])).unwrap();
         net.set_cpt(Cpt::new(s, vec![c], vec![0.5, 0.5, 0.9, 0.1])).unwrap();
         net.set_cpt(Cpt::new(r, vec![c], vec![0.8, 0.2, 0.2, 0.8])).unwrap();
-        net.set_cpt(Cpt::new(
-            w,
-            vec![s, r],
-            vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
-        ))
-        .unwrap();
+        net.set_cpt(Cpt::new(w, vec![s, r], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99]))
+            .unwrap();
         (net, c, s, r, w)
     }
 
@@ -393,8 +390,7 @@ mod tests {
         let i = Evidence::from([(s, 1)]);
         let exact = net.posterior_do(c, &e, &i).unwrap();
         let mut rng = rng();
-        let lw =
-            likelihood_weighting(&net, c, &e, &i, &SampleOpts::new(60_000), &mut rng).unwrap();
+        let lw = likelihood_weighting(&net, c, &e, &i, &SampleOpts::new(60_000), &mut rng).unwrap();
         assert!((lw[1] - exact[1]).abs() < 0.015, "{lw:?} vs {exact:?}");
     }
 
@@ -497,10 +493,12 @@ mod tests {
         let e = Evidence::from([(w, 1)]);
         let mut r1 = StdRng::seed_from_u64(11);
         let mut r2 = StdRng::seed_from_u64(11);
-        let a = likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r1)
-            .unwrap();
-        let b = likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r2)
-            .unwrap();
+        let a =
+            likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r1)
+                .unwrap();
+        let b =
+            likelihood_weighting(&net, s, &e, &Evidence::new(), &SampleOpts::new(2_000), &mut r2)
+                .unwrap();
         assert_eq!(a, b);
     }
 }

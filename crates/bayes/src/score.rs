@@ -211,13 +211,7 @@ mod tests {
         let (mut net, a, b) = two_var_net();
         crate::learn::fit_cpts(&mut net, &[(a, vec![]), (b, vec![a])], &dependent_rows(20, 9), 1.0)
             .unwrap();
-        assert!(matches!(
-            log_likelihood(&net, &[vec![0, 5]]),
-            Err(BayesError::BadCategory { .. })
-        ));
-        assert!(matches!(
-            log_likelihood(&net, &[vec![0]]),
-            Err(BayesError::UnknownVariable(_))
-        ));
+        assert!(matches!(log_likelihood(&net, &[vec![0, 5]]), Err(BayesError::BadCategory { .. })));
+        assert!(matches!(log_likelihood(&net, &[vec![0]]), Err(BayesError::UnknownVariable(_))));
     }
 }

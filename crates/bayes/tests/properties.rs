@@ -23,24 +23,20 @@ fn diamond(params: &[f64; 9]) -> (BayesNet, [VarId; 4]) {
     net.set_cpt(Cpt::new(
         d,
         vec![b, c],
-        vec![
-            1.0 - d00,
-            d00,
-            1.0 - d01,
-            d01,
-            1.0 - d10,
-            d10,
-            1.0 - d11,
-            d11,
-        ],
+        vec![1.0 - d00, d00, 1.0 - d01, d01, 1.0 - d10, d10, 1.0 - d11, d11],
     ))
     .unwrap();
     (net, [a, b, c, d])
 }
 
 /// Brute-force P(query = q | evidence) by enumerating the joint.
-fn enumerate_posterior(net: &BayesNet, vars: &[VarId; 4], query: VarId, evidence: &Evidence) -> Vec<f64> {
-    let mut num = vec![0.0; 2];
+fn enumerate_posterior(
+    net: &BayesNet,
+    vars: &[VarId; 4],
+    query: VarId,
+    evidence: &Evidence,
+) -> Vec<f64> {
+    let mut num = [0.0; 2];
     for a in 0..2usize {
         for b in 0..2usize {
             for c in 0..2usize {

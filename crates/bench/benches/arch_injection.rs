@@ -9,9 +9,8 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_arch(c: &mut Criterion) {
-    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
-        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
-    ));
+    let sim =
+        ArchSimulator::new(ArchProgram::ads_control_kernel(50.0, 30.0, 25.0, 0.2, 0.01, 31.0));
 
     let mut group = c.benchmark_group("arch_injection");
     group.throughput(Throughput::Elements(1000));

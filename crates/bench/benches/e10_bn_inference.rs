@@ -22,8 +22,7 @@ fn sprinkler() -> (BayesNet, drivefi_bayes::VarId, drivefi_bayes::VarId) {
     net.set_cpt(Cpt::new(c, vec![], vec![0.5, 0.5])).unwrap();
     net.set_cpt(Cpt::new(s, vec![c], vec![0.5, 0.5, 0.9, 0.1])).unwrap();
     net.set_cpt(Cpt::new(r, vec![c], vec![0.8, 0.2, 0.2, 0.8])).unwrap();
-    net.set_cpt(Cpt::new(w, vec![s, r], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99]))
-        .unwrap();
+    net.set_cpt(Cpt::new(w, vec![s, r], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99])).unwrap();
     (net, r, w)
 }
 
@@ -60,9 +59,7 @@ fn bench_inference(c: &mut Criterion) {
         let opts = SampleOpts { samples: 2_000, burn_in: 200, thin: 1 };
         b.iter(|| {
             let e = Evidence::from([(wet, 1)]);
-            black_box(
-                gibbs_posterior(&net, rain, &e, &Evidence::new(), &opts, &mut rng).unwrap(),
-            )
+            black_box(gibbs_posterior(&net, rain, &e, &Evidence::new(), &opts, &mut rng).unwrap())
         })
     });
 
@@ -96,11 +93,9 @@ fn bench_inference(c: &mut Criterion) {
     // Mining throughput on a strided miner (every 20th scene) so one
     // iteration stays sub-second; the per-candidate cost is what matters
     // and the memo cache behaves identically.
-    let strided = BayesianMiner::fit(
-        &traces,
-        MinerConfig { scene_stride: 20, ..MinerConfig::default() },
-    )
-    .unwrap();
+    let strided =
+        BayesianMiner::fit(&traces, MinerConfig { scene_stride: 20, ..MinerConfig::default() })
+            .unwrap();
     group.sample_size(10);
     group.bench_function("mine_one_trace_memoized", |b| {
         b.iter_batched(

@@ -21,10 +21,7 @@ fn bench_simulation(c: &mut Criterion) {
     });
 
     let fault = Fault {
-        kind: FaultKind::Scalar {
-            signal: Signal::RawThrottle,
-            model: ScalarFaultModel::StuckMax,
-        },
+        kind: FaultKind::Scalar { signal: Signal::RawThrottle, model: ScalarFaultModel::StuckMax },
         window: FaultWindow::scene(60),
     };
     group.bench_function("faulted_40s_scenario", |b| {

@@ -14,8 +14,10 @@
 //! cargo run --release -p drivefi-bench --bin exp_e1
 //! ```
 
-use drivefi_fault::{ArchProgram, ArchSimulator, Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
 use drivefi_ads::Signal;
+use drivefi_fault::{
+    ArchProgram, ArchSimulator, Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel,
+};
 use drivefi_sim::{SimConfig, Simulation};
 use drivefi_world::scenario::ScenarioConfig;
 use rand::rngs::StdRng;
@@ -23,9 +25,8 @@ use rand::SeedableRng;
 
 fn main() {
     const N: usize = 5000;
-    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
-        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
-    ));
+    let sim =
+        ArchSimulator::new(ArchProgram::ads_control_kernel(50.0, 30.0, 25.0, 0.2, 0.01, 31.0));
     let mut rng = StdRng::seed_from_u64(0xE1);
     let (masked, sdc, crash, hang, sdc_sites) = sim.campaign(N, &mut rng);
 

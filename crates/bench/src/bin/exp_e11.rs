@@ -14,15 +14,9 @@ use drivefi_sim::SimConfig;
 use drivefi_world::ScenarioSuite;
 
 fn main() {
-    let scenarios: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
-    let stride: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let scenarios: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let stride: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let workers = drivefi_sim::default_workers();
 
     let suite = ScenarioSuite::generate(scenarios, 2026);
     let sim = SimConfig::default();
@@ -52,7 +46,10 @@ fn main() {
     println!("| fault                      | hazards/candidates | mined (TP) |");
     println!("|----------------------------|--------------------|------------|");
     for ((signal, model), (hazards, cands, mined, tp)) in &report.by_fault {
-        println!("| {:26} | {hazards:8}/{cands:9} | {mined:5} ({tp:2}) |", format!("{signal}:{model}"));
+        println!(
+            "| {:26} | {hazards:8}/{cands:9} | {mined:5} ({tp:2}) |",
+            format!("{signal}:{model}")
+        );
     }
     println!();
     println!(

@@ -16,11 +16,7 @@ use drivefi_fault::{Fault, FaultKind, FaultWindow, Injector, ScalarFaultModel};
 use drivefi_sim::{RuleConfig, RuleKind, RuleMonitor, RuleSummary, SimConfig, Simulation};
 use drivefi_world::ScenarioSuite;
 
-fn run_suite(
-    suite: &ScenarioSuite,
-    sim: &SimConfig,
-    fault: Option<Fault>,
-) -> (RuleSummary, usize) {
+fn run_suite(suite: &ScenarioSuite, sim: &SimConfig, fault: Option<Fault>) -> (RuleSummary, usize) {
     let mut total = RuleSummary::default();
     let mut hazards = 0usize;
     for scenario in &suite.scenarios {
@@ -44,10 +40,7 @@ fn run_suite(
 }
 
 fn main() {
-    let scenarios: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let scenarios: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     let suite = ScenarioSuite::generate(scenarios, 2026);
     let sim = SimConfig::default();
 

@@ -50,15 +50,9 @@ fn inter(structure: &str) -> Vec<(usize, usize)> {
 }
 
 fn main() {
-    let scenarios: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let bins: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let scenarios: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let bins: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let workers = drivefi_sim::default_workers();
 
     let suite = ScenarioSuite::generate(scenarios, 2026);
     let traces = collect_golden_traces(&SimConfig::default(), &suite, workers);
@@ -82,8 +76,7 @@ fn main() {
             }
         }
     }
-    let discretizers: Vec<Discretizer> =
-        pooled.iter().map(|d| Discretizer::fit(d, bins)).collect();
+    let discretizers: Vec<Discretizer> = pooled.iter().map(|d| Discretizer::fit(d, bins)).collect();
     let mut rows: Vec<Vec<usize>> = Vec::new();
     for t in &traces {
         for w in t.frames.windows(2) {
@@ -106,12 +99,9 @@ fn main() {
     println!("|-------------------------|------|----------------|----------------|");
 
     let mut best: Option<(String, f64)> = None;
-    for name in [
-        "architecture (Fig. 6)",
-        "no temporal edges",
-        "fully disconnected",
-        "reversed dataflow",
-    ] {
+    for name in
+        ["architecture (Fig. 6)", "no temporal edges", "fully disconnected", "reversed dataflow"]
+    {
         // Unrolled 2-slice network: slice-0 vars then slice-1 vars.
         let mut net = BayesNet::new();
         let cards = |d: &Discretizer| d.bins();
@@ -131,9 +121,8 @@ fn main() {
                     .map(|(p, _)| ids[s * n + p])
                     .collect();
                 if s == 1 {
-                    parents.extend(
-                        inter(name).iter().filter(|(_, c)| *c == i).map(|(p, _)| ids[*p]),
-                    );
+                    parents
+                        .extend(inter(name).iter().filter(|(_, c)| *c == i).map(|(p, _)| ids[*p]));
                 }
                 structure.push((ids[s * n + i], parents));
             }

@@ -15,11 +15,8 @@ use drivefi_sim::SimConfig;
 use drivefi_world::ScenarioSuite;
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5000);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let workers = drivefi_sim::default_workers();
     let suite = ScenarioSuite::paper_suite(2026);
     let config = RandomCampaignConfig { runs, seed: 0xE2, workers };
 

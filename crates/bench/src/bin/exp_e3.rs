@@ -21,11 +21,8 @@ use drivefi_world::ScenarioSuite;
 use std::time::Instant;
 
 fn main() {
-    let stride: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let stride: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workers = drivefi_sim::default_workers();
     let suite = ScenarioSuite::paper_suite(2026);
     let sim = SimConfig::default();
 
@@ -50,7 +47,9 @@ fn main() {
     let pool = miner.candidate_count(&golden);
 
     println!();
-    println!("mining: golden {golden_time:.1?} + fit {fit_time:.1?} + counterfactuals {mine_time:.1?}");
+    println!(
+        "mining: golden {golden_time:.1?} + fit {fit_time:.1?} + counterfactuals {mine_time:.1?}"
+    );
     println!("candidate pool |F| = {pool} (paper: 98 400)");
     println!("critical set |F_crit| = {} (paper: 561)", critical.len());
 
@@ -89,9 +88,7 @@ fn main() {
     }
 
     // --- Acceleration accounting ---
-    let avg_sim = validation
-        .wall_clock
-        .div_f64(validation.mined.len().max(1) as f64);
+    let avg_sim = validation.wall_clock.div_f64(validation.mined.len().max(1) as f64);
     let report = AccelerationReport {
         candidate_pool: pool,
         avg_sim_time: avg_sim,

@@ -25,12 +25,11 @@ fn main() {
         let mut sim = Simulation::new(config, &scenario);
         let golden = sim.run();
         let trace = golden.trace.as_ref().unwrap();
-        let reveal = trace.frames.windows(2).find_map(|w| {
-            match (w[0].lead_distance, w[1].lead_distance) {
+        let reveal =
+            trace.frames.windows(2).find_map(|w| match (w[0].lead_distance, w[1].lead_distance) {
                 (Some(a), Some(b)) if b - a > 20.0 => Some(w[1].scene),
                 _ => None,
-            }
-        });
+            });
         let Some(reveal) = reveal else {
             println!("| {seed:4} | no reveal detected — skipped | |");
             continue;

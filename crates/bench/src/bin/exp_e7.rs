@@ -14,27 +14,15 @@ use drivefi_sim::SimConfig;
 use drivefi_world::ScenarioSuite;
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let workers = drivefi_sim::default_workers();
     let suite = ScenarioSuite::paper_suite(2026);
 
     let configs: [(&str, AdsConfig); 4] = [
         ("full stack (paper baseline)", AdsConfig::default()),
-        (
-            "no Kalman fusion",
-            AdsConfig { kalman_fusion: false, ..AdsConfig::default() },
-        ),
-        (
-            "no PID smoothing",
-            AdsConfig { pid_smoothing: false, ..AdsConfig::default() },
-        ),
-        (
-            "planner at 1/8 rate",
-            AdsConfig { planner_divisor: 8, ..AdsConfig::default() },
-        ),
+        ("no Kalman fusion", AdsConfig { kalman_fusion: false, ..AdsConfig::default() }),
+        ("no PID smoothing", AdsConfig { pid_smoothing: false, ..AdsConfig::default() }),
+        ("planner at 1/8 rate", AdsConfig { planner_divisor: 8, ..AdsConfig::default() }),
     ];
 
     println!("E7: hazard rate of {runs} random single-scene corruptions per configuration");

@@ -13,10 +13,9 @@ use drivefi_sim::{SimConfig, Simulation, BASE_TICKS_PER_SCENE};
 use drivefi_world::scenario::ScenarioConfig;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/e8_delta_timeline.csv".to_owned());
-    let scenario = ScenarioConfig::cut_in(3);
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "results/e8_delta_timeline.csv".to_owned());
+    let scenario = ScenarioConfig::cut_in(0);
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
 
     let mut sim = Simulation::new(config, &scenario);
@@ -40,10 +39,7 @@ fn main() {
             window: FaultWindow::burst(inject_scene * BASE_TICKS_PER_SCENE, 36),
         },
         Fault {
-            kind: FaultKind::Scalar {
-                signal: Signal::RawBrake,
-                model: ScalarFaultModel::StuckMin,
-            },
+            kind: FaultKind::Scalar { signal: Signal::RawBrake, model: ScalarFaultModel::StuckMin },
             window: FaultWindow::burst(inject_scene * BASE_TICKS_PER_SCENE, 36),
         },
     ];
@@ -53,7 +49,8 @@ fn main() {
     let faulted_trace = faulted.trace.expect("trace");
 
     // CSV.
-    let mut csv = String::from("scene,time,delta_golden,delta_faulted,ego_v_golden,ego_v_faulted\n");
+    let mut csv =
+        String::from("scene,time,delta_golden,delta_faulted,ego_v_golden,ego_v_faulted\n");
     for (g, f) in golden_trace.frames.iter().zip(&faulted_trace.frames) {
         csv.push_str(&format!(
             "{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
@@ -65,7 +62,9 @@ fn main() {
     }
     std::fs::write(&out_path, &csv).expect("write csv");
 
-    println!("E8: δ_lon timeline — golden vs Example-1 throttle fault (inject @ scene {inject_scene})");
+    println!(
+        "E8: δ_lon timeline — golden vs Example-1 throttle fault (inject @ scene {inject_scene})"
+    );
     println!("golden outcome: {}; faulted outcome: {}", golden.outcome, faulted.outcome);
     println!("csv written to {out_path}");
     println!();

@@ -14,11 +14,8 @@ use drivefi_world::ScenarioSuite;
 use std::collections::BTreeMap;
 
 fn main() {
-    let stride: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let stride: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let workers = drivefi_sim::default_workers();
     let suite = ScenarioSuite::paper_suite(2026);
     let sim = SimConfig::default();
 
@@ -43,10 +40,7 @@ fn main() {
     println!("|----------------------|-------|------------|-----------|");
     for (signal, n) in &mined {
         let h = manifested.get(signal).copied().unwrap_or(0);
-        println!(
-            "| {signal:20} | {n:5} | {h:10} | {:8.1}% |",
-            100.0 * h as f64 / *n as f64
-        );
+        println!("| {signal:20} | {n:5} | {h:10} | {:8.1}% |", 100.0 * h as f64 / *n as f64);
     }
     println!();
     println!(

@@ -11,7 +11,7 @@ use drivefi_sim::SimConfig;
 use drivefi_world::ScenarioSuite;
 
 fn main() {
-    let workers = std::thread::available_parallelism().map_or(8, |n| n.get());
+    let workers = drivefi_sim::default_workers();
     let suite = ScenarioSuite::generate(12, 2026);
     let sim = SimConfig::default();
     let golden = collect_golden_traces(&sim, &suite, workers);
@@ -23,7 +23,11 @@ fn main() {
         ),
         (
             "bins=6, data-only CPDs",
-            MinerConfig { scene_stride: 8, kinematic_augmentation: false, ..MinerConfig::default() },
+            MinerConfig {
+                scene_stride: 8,
+                kinematic_augmentation: false,
+                ..MinerConfig::default()
+            },
         ),
         (
             "bins=4 + kinematic CPDs",
@@ -35,7 +39,11 @@ fn main() {
         ),
     ];
 
-    println!("miner ablation over {} scenarios ({} scenes), stride 8", suite.scenarios.len(), suite.scene_count());
+    println!(
+        "miner ablation over {} scenarios ({} scenes), stride 8",
+        suite.scenarios.len(),
+        suite.scene_count()
+    );
     println!();
     println!("| configuration                      | mined | manifested | precision | mine time |");
     println!("|------------------------------------|-------|------------|-----------|-----------|");

@@ -143,12 +143,7 @@ mod tests {
         }
         let tail = &outs[30..];
         for w in tail.windows(2) {
-            assert!(
-                (w[1] - w[0]).abs() < 1e-4,
-                "steering dithers: {} -> {}",
-                w[0],
-                w[1]
-            );
+            assert!((w[1] - w[0]).abs() < 1e-4, "steering dithers: {} -> {}", w[0], w[1]);
         }
         assert!((tail[tail.len() - 1] - 0.014).abs() < 1e-3);
     }

@@ -11,7 +11,9 @@
 
 use crate::miner::BayesianMiner;
 use drivefi_fault::{Fault, FaultKind, FaultWindow, ScalarFaultModel};
-use drivefi_sim::{run_campaign, CampaignJob, SimConfig, Trace, BASE_TICKS_PER_SCENE};
+use drivefi_sim::{
+    CampaignEngine, CampaignJob, CampaignResult, SimConfig, Trace, BASE_TICKS_PER_SCENE,
+};
 use drivefi_world::ScenarioSuite;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -19,7 +21,12 @@ use std::time::Duration;
 /// Identity of a candidate fault for set comparison.
 type FaultKey = (u32, u64, String, String);
 
-fn key(scenario: u32, scene: u64, signal: drivefi_ads::Signal, model: ScalarFaultModel) -> FaultKey {
+fn key(
+    scenario: u32,
+    scene: u64,
+    signal: drivefi_ads::Signal,
+    model: ScalarFaultModel,
+) -> FaultKey {
     (scenario, scene, signal.name().to_owned(), model.name())
 }
 
@@ -108,54 +115,65 @@ pub fn exhaustive_comparison(
     traces: &[Trace],
     workers: usize,
 ) -> ExhaustiveReport {
-    // Enumerate the full candidate list.
-    let mut jobs = Vec::new();
-    let mut keys: Vec<FaultKey> = Vec::new();
-    for trace in traces {
-        for (k, signal, _var, model) in miner.candidates(trace) {
-            let scene = trace.frames[k].scene;
-            keys.push(key(trace.scenario_id, scene, signal, model));
-            jobs.push(CampaignJob {
-                id: jobs.len() as u64,
-                scenario: suite.scenarios[trace.scenario_id as usize].clone(),
-                faults: vec![Fault {
-                    kind: FaultKind::Scalar { signal, model },
-                    window: FaultWindow::burst(
-                        scene * BASE_TICKS_PER_SCENE,
-                        crate::report::VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
-                    ),
-                }],
-            });
-        }
-    }
+    // Materialize only the light-weight candidate tuples; keys and the
+    // job stream both derive from this single enumeration (so submission
+    // index i always corresponds to candidates[i]), and the jobs
+    // themselves — each carrying a full scenario clone — stream lazily
+    // through the engine: the scenario × fault cross-product is never
+    // materialized as a job vector, and the (two-String) FaultKeys are
+    // built on demand rather than held for the whole campaign.
+    let candidates: Vec<(u32, u64, drivefi_ads::Signal, ScalarFaultModel)> = traces
+        .iter()
+        .flat_map(|trace| {
+            miner.candidates(trace).map(|(k, signal, _var, model)| {
+                (trace.scenario_id, trace.frames[k].scene, signal, model)
+            })
+        })
+        .collect();
+    let key_of = |i: u64| {
+        let (sid, scene, signal, model) = candidates[i as usize];
+        key(sid, scene, signal, model)
+    };
 
+    let jobs = candidates.iter().map(|&(sid, scene, signal, model)| CampaignJob {
+        id: u64::from(sid),
+        scenario: suite.scenarios[sid as usize].clone(),
+        faults: vec![Fault {
+            kind: FaultKind::Scalar { signal, model },
+            window: FaultWindow::burst(
+                scene * BASE_TICKS_PER_SCENE,
+                crate::report::VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
+            ),
+        }],
+    });
+
+    let engine = CampaignEngine::new(*sim).with_workers(workers);
     let start = std::time::Instant::now();
-    let results = run_campaign(*sim, &jobs, workers);
+    let mut hazardous: BTreeSet<u64> = BTreeSet::new();
+    engine.run(jobs, &mut |index: u64, result: CampaignResult| {
+        if result.report.outcome.is_hazardous() {
+            hazardous.insert(index);
+        }
+    });
     let exhaustive_time = start.elapsed();
 
-    let ground_truth: BTreeSet<FaultKey> = keys
-        .iter()
-        .zip(&results)
-        .filter(|(_, r)| r.report.outcome.is_hazardous())
-        .map(|(k, _)| k.clone())
-        .collect();
+    let ground_truth: BTreeSet<FaultKey> = hazardous.iter().map(|&i| key_of(i)).collect();
 
     let mine_start = std::time::Instant::now();
     let mined = miner.mine(traces);
     let mining_time = mine_start.elapsed();
-    let mined_keys: BTreeSet<FaultKey> = mined
-        .iter()
-        .map(|c| key(c.scenario_id, c.scene, c.signal, c.model))
-        .collect();
+    let mined_keys: BTreeSet<FaultKey> =
+        mined.iter().map(|c| key(c.scenario_id, c.scene, c.signal, c.model)).collect();
 
     let true_positives = mined_keys.intersection(&ground_truth).count();
 
     let mut by_fault: std::collections::BTreeMap<(String, String), (usize, usize, usize, usize)> =
         std::collections::BTreeMap::new();
-    for k in &keys {
+    for i in 0..candidates.len() as u64 {
+        let k = key_of(i);
         let slot = by_fault.entry((k.2.clone(), k.3.clone())).or_default();
         slot.1 += 1;
-        if ground_truth.contains(k) {
+        if ground_truth.contains(&k) {
             slot.0 += 1;
         }
     }
@@ -168,7 +186,7 @@ pub fn exhaustive_comparison(
     }
 
     ExhaustiveReport {
-        candidates: jobs.len(),
+        candidates: candidates.len(),
         true_hazards: ground_truth.len(),
         mined: mined_keys.len(),
         true_positives,
@@ -183,8 +201,8 @@ pub fn exhaustive_comparison(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::miner::MinerConfig;
     use crate::collect_golden_traces;
+    use crate::miner::MinerConfig;
 
     #[test]
     fn report_arithmetic() {

@@ -1,25 +1,31 @@
 //! Golden-run collection: fault-free traces over the scenario suite.
 
-use drivefi_sim::{run_campaign, CampaignJob, SimConfig, Trace};
+use drivefi_sim::{CampaignEngine, CampaignJob, SimConfig, Trace, TraceSink};
 use drivefi_world::ScenarioSuite;
 
 /// Runs every scenario of `suite` fault-free (in parallel over `workers`
-/// threads) and returns the per-scene traces, in scenario order.
+/// threads) and returns the per-scene traces, in scenario order. Jobs
+/// stream through the [`CampaignEngine`] with a [`TraceSink`], so only
+/// the traces themselves are retained.
 ///
 /// # Panics
 ///
 /// Panics if a golden run produced no trace (they are always requested).
-pub fn collect_golden_traces(config: &SimConfig, suite: &ScenarioSuite, workers: usize) -> Vec<Trace> {
+pub fn collect_golden_traces(
+    config: &SimConfig,
+    suite: &ScenarioSuite,
+    workers: usize,
+) -> Vec<Trace> {
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..*config };
-    let jobs: Vec<CampaignJob> = suite
-        .scenarios
-        .iter()
-        .map(|s| CampaignJob { id: u64::from(s.id), scenario: s.clone(), faults: Vec::new() })
-        .collect();
-    run_campaign(config, &jobs, workers)
-        .into_iter()
-        .map(|r| r.report.trace.expect("golden runs record traces"))
-        .collect()
+    let engine = CampaignEngine::new(config).with_workers(workers);
+    let mut sink = TraceSink::new();
+    let jobs = suite.scenarios.iter().map(|s| CampaignJob {
+        id: u64::from(s.id),
+        scenario: s.clone(),
+        faults: Vec::new(),
+    });
+    engine.run(jobs, &mut sink);
+    sink.into_traces()
 }
 
 #[cfg(test)]

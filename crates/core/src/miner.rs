@@ -208,11 +208,8 @@ impl BayesianMiner {
         let ev = self.evidence_for(obs0, obs1, var);
         let interventions = Evidence::from([(self.model.id(1, var), category)]);
         let map = self.model.net.map_assignment(&ev, &interventions)?;
-        let rep1 = |v: TbnVar| {
-            self.model
-                .representative(v, map[&self.model.id(1, v)])
-                .unwrap_or(0.0)
-        };
+        let rep1 =
+            |v: TbnVar| self.model.representative(v, map[&self.model.id(1, v)]).unwrap_or(0.0);
         Ok(ResponseForecast {
             throttle: rep1(TbnVar::AThrottle),
             brake: rep1(TbnVar::ABrake),
@@ -288,7 +285,10 @@ impl BayesianMiner {
     fn overrides_exact(signal: Signal) -> bool {
         matches!(
             signal,
-            Signal::FinalThrottle | Signal::FinalBrake | Signal::FinalSteering | Signal::RawSteering
+            Signal::FinalThrottle
+                | Signal::FinalBrake
+                | Signal::FinalSteering
+                | Signal::RawSteering
         )
     }
 
@@ -412,10 +412,11 @@ impl BayesianMiner {
                 } else if self.model.obs_category(var, &obs1) == category {
                     continue;
                 }
-                let mut response = *cache.entry((obs0, obs1, var.index(), category)).or_insert_with(|| {
-                    self.forecast(&obs0, &obs1, var, category)
-                        .expect("inference on fitted model")
-                });
+                let mut response =
+                    *cache.entry((obs0, obs1, var.index(), category)).or_insert_with(|| {
+                        self.forecast(&obs0, &obs1, var, category)
+                            .expect("inference on fitted model")
+                    });
                 Self::apply_exact_value(signal, value, &mut response);
                 let delta_hat = self.delta_hat_from_forecast(&trace.frames[k], &response);
                 if delta_hat <= self.config.delta_threshold {
@@ -424,7 +425,9 @@ impl BayesianMiner {
                         scene: trace.frames[k].scene,
                         signal,
                         model,
-                        golden_delta: trace.frames[k].delta_true.longitudinal
+                        golden_delta: trace.frames[k]
+                            .delta_true
+                            .longitudinal
                             .min(trace.frames[k].delta_true.lateral),
                         predicted_delta: delta_hat,
                     });
@@ -432,9 +435,7 @@ impl BayesianMiner {
             }
         }
         out.sort_by(|a, b| {
-            a.predicted_delta
-                .partial_cmp(&b.predicted_delta)
-                .expect("finite deltas")
+            a.predicted_delta.partial_cmp(&b.predicted_delta).expect("finite deltas")
         });
         out
     }
@@ -446,40 +447,19 @@ impl BayesianMiner {
     }
 
     /// [`BayesianMiner::mine`] fanned out over `workers` threads (one
-    /// trace shard per worker, each with its own memo cache). Results are
-    /// identical to the serial version up to ordering, and are returned
-    /// sorted the same way.
+    /// trace shard per worker task, each with its own memo cache), via
+    /// the workspace's central fan-out primitive
+    /// ([`drivefi_sim::parallel_map`]). Results are identical to the
+    /// serial version up to ordering, and are returned sorted the same
+    /// way.
     pub fn mine_parallel(&self, traces: &[Trace], workers: usize) -> Vec<CandidateFault> {
-        let workers = workers.max(1).min(traces.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut shards: Vec<Vec<CandidateFault>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= traces.len() {
-                                break;
-                            }
-                            out.extend(self.mine(std::slice::from_ref(&traces[i])));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("mining worker panicked"));
-            }
-        })
-        .expect("mining scope failed");
+        let shards =
+            drivefi_sim::parallel_map(traces.iter().map(std::slice::from_ref), workers, |shard| {
+                self.mine(shard)
+            });
         let mut out: Vec<CandidateFault> = shards.into_iter().flatten().collect();
         out.sort_by(|a, b| {
-            a.predicted_delta
-                .partial_cmp(&b.predicted_delta)
-                .expect("finite deltas")
+            a.predicted_delta.partial_cmp(&b.predicted_delta).expect("finite deltas")
         });
         out
     }
@@ -540,12 +520,7 @@ mod tests {
             .iter()
             .find(|t| t.frames.iter().any(|f| f.lead_distance.is_some()))
             .expect("a trace with a lead");
-        let k = trace
-            .frames
-            .iter()
-            .position(|f| f.lead_distance.is_some())
-            .unwrap()
-            .max(1);
+        let k = trace.frames.iter().position(|f| f.lead_distance.is_some()).unwrap().max(1);
         let frame = &trace.frames[k];
         let obs0 = m.model.observe(&trace.frames[k - 1]);
         let obs1 = m.model.observe(frame);

@@ -3,7 +3,7 @@
 
 use drivefi_ads::Signal;
 use drivefi_fault::{Fault, FaultKind, FaultWindow, ScalarFaultModel};
-use drivefi_sim::{run_campaign, CampaignJob, Outcome, SimConfig};
+use drivefi_sim::{default_workers, CampaignEngine, CampaignJob, RunningStats, SimConfig};
 use drivefi_world::ScenarioSuite;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +21,7 @@ pub struct RandomCampaignConfig {
 
 impl Default for RandomCampaignConfig {
     fn default() -> Self {
-        RandomCampaignConfig { runs: 500, seed: 0xBAD5EED, workers: 8 }
+        RandomCampaignConfig { runs: 500, seed: 0xBAD5EED, workers: default_workers() }
     }
 }
 
@@ -62,48 +62,53 @@ pub fn random_output_campaign(
     suite: &ScenarioSuite,
     config: &RandomCampaignConfig,
 ) -> RandomCampaignStats {
+    // Draw the light-weight picks up front (the RNG stream must not
+    // depend on scheduling); the jobs themselves — each cloning a full
+    // scenario — stream into the engine one idle worker at a time.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut jobs = Vec::with_capacity(config.runs);
-    let mut picks = Vec::with_capacity(config.runs);
-    for id in 0..config.runs {
-        let scenario = &suite.scenarios[rng.random_range(0..suite.scenarios.len())];
-        let scene = rng.random_range(1..scenario.scene_count() as u64 - 1);
-        let signal = Signal::ALL[rng.random_range(0..Signal::ALL.len())];
-        let model = if rng.random::<bool>() {
-            ScalarFaultModel::StuckMax
-        } else {
-            ScalarFaultModel::StuckMin
-        };
-        picks.push((scenario.id, scene, signal));
-        jobs.push(CampaignJob {
-            id: id as u64,
-            scenario: scenario.clone(),
-            faults: vec![Fault {
-                kind: FaultKind::Scalar { signal, model },
-                window: FaultWindow::scene(scene),
-            }],
-        });
-    }
+    let picks: Vec<(usize, u64, Signal, ScalarFaultModel)> = (0..config.runs)
+        .map(|_| {
+            let index = rng.random_range(0..suite.scenarios.len());
+            let scene = rng.random_range(1..suite.scenarios[index].scene_count() as u64 - 1);
+            let signal = Signal::ALL[rng.random_range(0..Signal::ALL.len())];
+            let model = if rng.random::<bool>() {
+                ScalarFaultModel::StuckMax
+            } else {
+                ScalarFaultModel::StuckMin
+            };
+            (index, scene, signal, model)
+        })
+        .collect();
 
-    let results = run_campaign(*sim, &jobs, config.workers);
-    let mut stats = RandomCampaignStats { runs: config.runs, ..Default::default() };
-    for (r, (scenario_id, scene, signal)) in results.iter().zip(&picks) {
-        if r.report.injections > 0 {
-            stats.effective_injections += 1;
-        }
-        match r.report.outcome {
-            Outcome::Safe => stats.safe += 1,
-            Outcome::Hazard { .. } => {
-                stats.hazards += 1;
-                stats.hazard_details.push((*scenario_id, *scene, signal.name()));
-            }
-            Outcome::Collision { .. } => {
-                stats.collisions += 1;
-                stats.hazard_details.push((*scenario_id, *scene, signal.name()));
-            }
-        }
+    let engine = CampaignEngine::new(*sim).with_workers(config.workers);
+    let mut running = RunningStats::new();
+    let jobs = picks.iter().enumerate().map(|(id, &(index, scene, signal, model))| CampaignJob {
+        id: id as u64,
+        scenario: suite.scenarios[index].clone(),
+        faults: vec![Fault {
+            kind: FaultKind::Scalar { signal, model },
+            window: FaultWindow::scene(scene),
+        }],
+    });
+    engine.run(jobs, &mut running);
+
+    RandomCampaignStats {
+        runs: running.runs,
+        safe: running.safe,
+        hazards: running.hazards,
+        collisions: running.collisions,
+        effective_injections: running.effective_injections,
+        // BTreeSet iteration restores submission order, keeping the
+        // details deterministic across worker counts.
+        hazard_details: running
+            .hazardous_indices
+            .iter()
+            .map(|&i| {
+                let (index, scene, signal, _) = picks[i as usize];
+                (suite.scenarios[index].id, scene, signal.name())
+            })
+            .collect(),
     }
-    stats
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::miner::{CandidateFault, MinedFault};
 use drivefi_fault::{Fault, FaultKind, FaultWindow};
 use drivefi_sim::BASE_TICKS_PER_SCENE;
-use drivefi_sim::{run_campaign, CampaignJob, SimConfig};
+use drivefi_sim::{CampaignEngine, CampaignJob, Collector, SimConfig};
 use drivefi_world::ScenarioSuite;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -55,22 +55,21 @@ pub fn validate_candidates(
     workers: usize,
 ) -> ValidationStats {
     let start = std::time::Instant::now();
-    let jobs: Vec<CampaignJob> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| CampaignJob {
-            id: i as u64,
-            scenario: suite.scenarios[c.scenario_id as usize].clone(),
-            faults: vec![Fault {
-                kind: FaultKind::Scalar { signal: c.signal, model: c.model },
-                window: FaultWindow::burst(
-                    c.scene * BASE_TICKS_PER_SCENE,
-                    VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
-                ),
-            }],
-        })
-        .collect();
-    let results = run_campaign(*sim, &jobs, workers);
+    let engine = CampaignEngine::new(*sim).with_workers(workers);
+    let mut collector = Collector::new();
+    let jobs = candidates.iter().enumerate().map(|(i, c)| CampaignJob {
+        id: i as u64,
+        scenario: suite.scenarios[c.scenario_id as usize].clone(),
+        faults: vec![Fault {
+            kind: FaultKind::Scalar { signal: c.signal, model: c.model },
+            window: FaultWindow::burst(
+                c.scene * BASE_TICKS_PER_SCENE,
+                VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
+            ),
+        }],
+    });
+    engine.run(jobs, &mut collector);
+    let results = collector.into_results();
 
     let mut mined = Vec::with_capacity(candidates.len());
     let mut manifested = 0;
@@ -86,13 +85,7 @@ pub fn validate_candidates(
         }
         mined.push(MinedFault { candidate: *c, outcome: r.report.outcome });
     }
-    ValidationStats {
-        mined,
-        manifested,
-        collisions,
-        critical_scenes,
-        wall_clock: start.elapsed(),
-    }
+    ValidationStats { mined, manifested, collisions, critical_scenes, wall_clock: start.elapsed() }
 }
 
 /// The acceleration accounting of experiment E4 (paper: 98 400 candidate
@@ -173,42 +166,34 @@ mod tests {
         let suite = ScenarioSuite::generate(8, 42);
         let sim = SimConfig::default();
         // Find the cut-in scenario (family index 3).
-        let cut_in_id = suite
-            .scenarios
-            .iter()
-            .find(|s| s.name == "cut_in")
-            .map(|s| s.id)
-            .unwrap();
+        let cut_in_id = suite.scenarios.iter().find(|s| s.name == "cut_in").map(|s| s.id).unwrap();
         // Golden trace tells us where δ is tight.
-        let traces =
-            crate::collect_golden_traces(&sim, &suite, 8);
+        let traces = crate::collect_golden_traces(&sim, &suite, 8);
         let tight_scene = traces[cut_in_id as usize]
             .frames
             .iter()
             .min_by(|a, b| {
-                a.delta_true
-                    .longitudinal
-                    .partial_cmp(&b.delta_true.longitudinal)
-                    .unwrap()
+                a.delta_true.longitudinal.partial_cmp(&b.delta_true.longitudinal).unwrap()
             })
             .map(|f| f.scene)
             .unwrap();
-        let candidates = vec![
-            CandidateFault {
-                scenario_id: cut_in_id,
-                // Inject a few scenes *before* the squeeze so the extra
-                // speed carries into it.
-                scene: tight_scene.saturating_sub(8),
-                signal: Signal::FinalBrake,
-                model: ScalarFaultModel::StuckMin,
-                golden_delta: 2.0,
-                predicted_delta: -1.0,
-            },
-        ];
+        let candidates = vec![CandidateFault {
+            scenario_id: cut_in_id,
+            // Inject a few scenes *before* the squeeze so the extra
+            // speed carries into it.
+            scene: tight_scene.saturating_sub(8),
+            signal: Signal::FinalBrake,
+            model: ScalarFaultModel::StuckMin,
+            golden_delta: 2.0,
+            predicted_delta: -1.0,
+        }];
         let stats = validate_candidates(&sim, &suite, &candidates, 4);
         assert_eq!(stats.mined.len(), 1);
         // (The single-scene brake-suppression may or may not manifest —
         // what must hold is coherent accounting.)
-        assert_eq!(stats.manifested + stats.mined.iter().filter(|m| m.outcome.is_safe()).count(), 1);
+        assert_eq!(
+            stats.manifested + stats.mined.iter().filter(|m| m.outcome.is_safe()).count(),
+            1
+        );
     }
 }

@@ -167,7 +167,7 @@ impl SituationLibrary {
             }
         }
         let mut rules: Vec<TestRule> = by_fault.into_values().collect();
-        rules.sort_by(|a, b| b.situations.cmp(&a.situations));
+        rules.sort_by_key(|r| std::cmp::Reverse(r.situations));
         rules
     }
 }
@@ -268,29 +268,30 @@ mod tests {
 
     #[test]
     fn rules_envelope_backing_situations() {
-        let mut lib = SituationLibrary::default();
-        lib.situations = vec![
-            Situation {
-                scenario_id: 0,
-                scenario_name: "cut_in".into(),
-                scene: 10,
-                ego_speed: 30.0,
-                lead_gap: Some(15.0),
-                golden_delta: 2.0,
-                hazardous_faults: vec!["plan.throttle:max".into()],
-                collision: true,
-            },
-            Situation {
-                scenario_id: 1,
-                scenario_name: "cut_in".into(),
-                scene: 40,
-                ego_speed: 26.0,
-                lead_gap: Some(22.0),
-                golden_delta: 5.0,
-                hazardous_faults: vec!["plan.throttle:max".into(), "ctrl.steering:max".into()],
-                collision: false,
-            },
-        ];
+        let lib = SituationLibrary {
+            situations: vec![
+                Situation {
+                    scenario_id: 0,
+                    scenario_name: "cut_in".into(),
+                    scene: 10,
+                    ego_speed: 30.0,
+                    lead_gap: Some(15.0),
+                    golden_delta: 2.0,
+                    hazardous_faults: vec!["plan.throttle:max".into()],
+                    collision: true,
+                },
+                Situation {
+                    scenario_id: 1,
+                    scenario_name: "cut_in".into(),
+                    scene: 40,
+                    ego_speed: 26.0,
+                    lead_gap: Some(22.0),
+                    golden_delta: 5.0,
+                    hazardous_faults: vec!["plan.throttle:max".into(), "ctrl.steering:max".into()],
+                    collision: false,
+                },
+            ],
+        };
         let rules = lib.derive_rules();
         assert_eq!(rules.len(), 2);
         // Sorted by backing count: throttle rule (2 situations) first.
@@ -308,17 +309,18 @@ mod tests {
 
     #[test]
     fn rules_without_leads_omit_gap() {
-        let mut lib = SituationLibrary::default();
-        lib.situations = vec![Situation {
-            scenario_id: 0,
-            scenario_name: "free_drive".into(),
-            scene: 5,
-            ego_speed: 33.0,
-            lead_gap: None,
-            golden_delta: 80.0,
-            hazardous_faults: vec!["ctrl.steering:min".into()],
-            collision: false,
-        }];
+        let lib = SituationLibrary {
+            situations: vec![Situation {
+                scenario_id: 0,
+                scenario_name: "free_drive".into(),
+                scene: 5,
+                ego_speed: 33.0,
+                lead_gap: None,
+                golden_delta: 80.0,
+                hazardous_faults: vec!["ctrl.steering:min".into()],
+                collision: false,
+            }],
+        };
         let rules = lib.derive_rules();
         assert_eq!(rules[0].lead_gap, None);
         assert!(!rules[0].condition().contains("lead gap"));

@@ -242,9 +242,8 @@ impl TbnModel {
                         .map(move |v| ids_ref[slice][v.index()])
                 })
                 .collect();
-            let (kin_structure, beh_structure): (Vec<_>, Vec<_>) = structure
-                .into_iter()
-                .partition(|(child, _)| kinematic_children.contains(child));
+            let (kin_structure, beh_structure): (Vec<_>, Vec<_>) =
+                structure.into_iter().partition(|(child, _)| kinematic_children.contains(child));
             fit_cpts(&mut net, &beh_structure, &rows, 1.0)?;
             let mut aug_rows = rows;
             aug_rows.extend(model.kinematic_rows(&ids, &cards));
@@ -433,10 +432,7 @@ mod tests {
         // free_drive (scenario 0) has no lead: w_dist must be NO_LEAD.
         let obs = model.observe(&traces[0].frames[50]);
         assert_eq!(obs[TbnVar::WDist.index()], NO_LEAD);
-        assert_eq!(
-            model.obs_category(TbnVar::WDist, &obs),
-            model.no_lead_category(TbnVar::WDist)
-        );
+        assert_eq!(model.obs_category(TbnVar::WDist, &obs), model.no_lead_category(TbnVar::WDist));
         assert!(model
             .representative(TbnVar::WDist, model.no_lead_category(TbnVar::WDist))
             .is_none());
@@ -457,10 +453,7 @@ mod tests {
                 ev.insert(model.id(slice, var), model.obs_category(var, &obs));
             }
         }
-        let map = model
-            .net
-            .map_category(model.id(2, TbnVar::MV), &ev, &Evidence::new())
-            .unwrap();
+        let map = model.net.map_category(model.id(2, TbnVar::MV), &ev, &Evidence::new()).unwrap();
         let expected = model.obs_category(TbnVar::MV, &model.observe(&f[mid + 2]));
         assert!(
             (map as i64 - expected as i64).abs() <= 1,
@@ -484,10 +477,7 @@ mod tests {
         for var in [TbnVar::WDist, TbnVar::WSpeed, TbnVar::MV, TbnVar::MA] {
             ev.insert(model.id(1, var), model.obs_category(var, &obs1));
         }
-        let base = model
-            .net
-            .posterior(model.id(2, TbnVar::MV), &ev)
-            .unwrap();
+        let base = model.net.posterior(model.id(2, TbnVar::MV), &ev).unwrap();
         // do(A_throttle@1 = max category, A_brake@1 = 0)
         let max_thr = model.category_of(TbnVar::AThrottle, 1.0);
         let min_brk = model.category_of(TbnVar::ABrake, 0.0);
@@ -495,10 +485,7 @@ mod tests {
             (model.id(1, TbnVar::AThrottle), max_thr),
             (model.id(1, TbnVar::ABrake), min_brk),
         ]);
-        let forced = model
-            .net
-            .posterior_do(model.id(2, TbnVar::MV), &ev, &interventions)
-            .unwrap();
+        let forced = model.net.posterior_do(model.id(2, TbnVar::MV), &ev, &interventions).unwrap();
         // Expected speed under full throttle ≥ baseline.
         let mean = |p: &[f64]| -> f64 {
             p.iter()

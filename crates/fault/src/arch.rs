@@ -143,41 +143,41 @@ impl ArchProgram {
             Const { dst: 3, value: cross_track },
             Const { dst: 4, value: heading },
             Const { dst: 5, value: set_speed },
-            Const { dst: 6, value: 4.0 },   // min gap s0
-            Const { dst: 7, value: 1.6 },   // time headway T
-            Const { dst: 8, value: 7.0 },   // a_max · b_comf
-            Const { dst: 9, value: 2.0 },   // planner max accel
-            Const { dst: 10, value: 0.5 },  // stanley gain
-            Const { dst: 11, value: 5.0 },  // stanley softening
+            Const { dst: 6, value: 4.0 },  // min gap s0
+            Const { dst: 7, value: 1.6 },  // time headway T
+            Const { dst: 8, value: 7.0 },  // a_max · b_comf
+            Const { dst: 9, value: 2.0 },  // planner max accel
+            Const { dst: 10, value: 0.5 }, // stanley gain
+            Const { dst: 11, value: 5.0 }, // stanley softening
             Const { dst: 12, value: 1.0 },
-            Const { dst: 13, value: 0.1 },  // speed-bucket scale for gather
+            Const { dst: 13, value: 0.1 }, // speed-bucket scale for gather
             // s* = s0 + v·T + v·(v−vl)/(2·sqrt(a·b))
-            Mul { dst: 14, a: 1, b: 7 },       // v·T
-            Sub { dst: 15, a: 1, b: 2 },       // approach = v − vl
-            Mul { dst: 16, a: 1, b: 15 },      // v·approach
-            NewtonSqrt { dst: 17, a: 8 },      // sqrt(a·b)
-            Add { dst: 18, a: 17, b: 17 },     // 2·sqrt(a·b)
+            Mul { dst: 14, a: 1, b: 7 },   // v·T
+            Sub { dst: 15, a: 1, b: 2 },   // approach = v − vl
+            Mul { dst: 16, a: 1, b: 15 },  // v·approach
+            NewtonSqrt { dst: 17, a: 8 },  // sqrt(a·b)
+            Add { dst: 18, a: 17, b: 17 }, // 2·sqrt(a·b)
             Div { dst: 19, a: 16, b: 18 },
             Const { dst: 20, value: 0.0 },
-            Max { dst: 19, a: 19, b: 20 },     // dynamic part ≥ 0
+            Max { dst: 19, a: 19, b: 20 }, // dynamic part ≥ 0
             Add { dst: 21, a: 6, b: 14 },
-            Add { dst: 21, a: 21, b: 19 },     // s*
+            Add { dst: 21, a: 21, b: 19 }, // s*
             // interaction = (s*/gap)²
             Div { dst: 22, a: 21, b: 0 },
             Mul { dst: 22, a: 22, b: 22 },
             // free = 1 − (v/v0)⁴
             Div { dst: 23, a: 1, b: 5 },
             Mul { dst: 24, a: 23, b: 23 },
-            Mul { dst: 24, a: 24, b: 24 },     // (v/v0)⁴
+            Mul { dst: 24, a: 24, b: 24 }, // (v/v0)⁴
             Sub { dst: 25, a: 12, b: 24 },
-            Sub { dst: 25, a: 25, b: 22 },     // free − interaction
-            Mul { dst: 26, a: 25, b: 9 },      // · max accel
+            Sub { dst: 25, a: 25, b: 22 }, // free − interaction
+            Mul { dst: 26, a: 25, b: 9 },  // · max accel
             Clamp { dst: 26, a: 26, lo: -8.0, hi: 3.5 },
             // gain schedule: bucket = clamp(v·0.1, 0, 5); gain = table[bucket]
             Mul { dst: 27, a: 1, b: 13 },
             Clamp { dst: 27, a: 27, lo: 0.0, hi: 5.0 },
             Gather { dst: 28, table: 0, idx: 27 },
-            Mul { dst: 26, a: 26, b: 28 },     // scheduled acceleration
+            Mul { dst: 26, a: 26, b: 28 }, // scheduled acceleration
             // steering = clamp(−θ + atan(k·e/(v+ks)), ±0.55)
             Add { dst: 29, a: 1, b: 11 },
             Mul { dst: 30, a: 3, b: 10 },
@@ -391,9 +391,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn kernel() -> ArchSimulator {
-        ArchSimulator::new(ArchProgram::ads_control_kernel(
-            50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
-        ))
+        ArchSimulator::new(ArchProgram::ads_control_kernel(50.0, 30.0, 25.0, 0.2, 0.01, 31.0))
     }
 
     #[test]
@@ -409,9 +407,8 @@ mod tests {
 
     #[test]
     fn golden_matches_direct_computation() {
-        let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
-            60.0, 28.0, 28.0, 0.0, 0.0, 28.0,
-        ));
+        let sim =
+            ArchSimulator::new(ArchProgram::ads_control_kernel(60.0, 28.0, 28.0, 0.0, 0.0, 28.0));
         let out = sim.golden_outputs();
         // v == v0 and no approach: free term 0, interaction =
         // ((4 + 28·1.6)/60)² ≈ 0.658; accel ≈ 2·(−0.658)·gain(0.9 @ 2.8

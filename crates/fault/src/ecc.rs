@@ -271,14 +271,8 @@ impl EccMemory {
 mod tests {
     use super::*;
 
-    const WORDS: [u64; 6] = [
-        0,
-        u64::MAX,
-        0xDEAD_BEEF_0BAD_F00D,
-        1,
-        0x8000_0000_0000_0000,
-        0x5555_5555_5555_5555,
-    ];
+    const WORDS: [u64; 6] =
+        [0, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 1, 0x8000_0000_0000_0000, 0x5555_5555_5555_5555];
 
     #[test]
     fn clean_roundtrip() {

@@ -67,8 +67,7 @@ impl BusInterceptor for Injector {
                     self.injections += 1;
                 }
                 FaultKind::ModuleHang { stage } => {
-                    if let Some((_, snapshot)) =
-                        self.hung_stages.iter().find(|(s, _)| *s == stage)
+                    if let Some((_, snapshot)) = self.hung_stages.iter().find(|(s, _)| *s == stage)
                     {
                         // Restore this stage's outputs and heartbeat to
                         // their pre-hang values: the module publishes
@@ -162,10 +161,7 @@ mod tests {
 
     #[test]
     fn clear_world_model_empties_tracks() {
-        let fault = Fault {
-            kind: FaultKind::ClearWorldModel,
-            window: FaultWindow::burst(0, 2),
-        };
+        let fault = Fault { kind: FaultKind::ClearWorldModel, window: FaultWindow::burst(0, 2) };
         let mut inj = Injector::new(vec![fault]);
         let mut b = bus();
         inj.intercept(Stage::Perception, 0, &mut b);
@@ -174,10 +170,7 @@ mod tests {
 
     #[test]
     fn freeze_replays_coasting_stale_model() {
-        let fault = Fault {
-            kind: FaultKind::FreezeWorldModel,
-            window: FaultWindow::burst(10, 5),
-        };
+        let fault = Fault { kind: FaultKind::FreezeWorldModel, window: FaultWindow::burst(10, 5) };
         let mut inj = Injector::new(vec![fault]);
         let mut b = bus();
         // Frame 9: capture (one before activation). The captured object

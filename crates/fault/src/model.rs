@@ -206,10 +206,8 @@ mod tests {
 
     #[test]
     fn names_are_informative() {
-        let k = FaultKind::Scalar {
-            signal: Signal::RawThrottle,
-            model: ScalarFaultModel::StuckMax,
-        };
+        let k =
+            FaultKind::Scalar { signal: Signal::RawThrottle, model: ScalarFaultModel::StuckMax };
         assert_eq!(k.name(), "plan.throttle:max");
         assert_eq!(FaultKind::FreezeWorldModel.name(), "world.freeze");
     }

@@ -38,9 +38,7 @@
 
 pub mod surgical;
 
-use drivefi_bayes::{
-    fit_cpts, BayesError, BayesNet, DbnTemplate, Discretizer, Evidence, VarId,
-};
+use drivefi_bayes::{fit_cpts, BayesError, BayesNet, DbnTemplate, Discretizer, Evidence, VarId};
 
 /// One monitored variable of the system under test.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,6 +315,12 @@ impl GenericMiner {
     /// # Errors
     ///
     /// Propagates inference failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step's length differs from the variable count —
+    /// inference on partial evidence would return plausible-but-wrong
+    /// forecasts.
     pub fn forecast(
         &self,
         step0: &[f64],
@@ -325,25 +329,25 @@ impl GenericMiner {
         category: usize,
     ) -> Result<(Vec<f64>, Vec<f64>), BayesError> {
         let n = self.spec.vars.len();
+        assert_eq!(step0.len(), n, "step row length != variable count");
+        assert_eq!(step1.len(), n, "step row length != variable count");
         let mut ev = Evidence::new();
-        for i in 0..n {
-            ev.insert(self.ids[0][i], self.discretizers[i].transform(step0[i]));
+        for (i, &x) in step0.iter().enumerate().take(n) {
+            ev.insert(self.ids[0][i], self.discretizers[i].transform(x));
         }
         let blocked = self.spec.descendants(var);
-        for i in 0..n {
+        for (i, &x) in step1.iter().enumerate().take(n) {
             if i == var || blocked.contains(&i) {
                 continue;
             }
-            ev.insert(self.ids[1][i], self.discretizers[i].transform(step1[i]));
+            ev.insert(self.ids[1][i], self.discretizers[i].transform(x));
         }
         let interventions = Evidence::from([(self.ids[1][var], category)]);
         let map = self.net.map_assignment(&ev, &interventions)?;
-        let faulted = (0..n)
-            .map(|i| self.discretizers[i].representative(map[&self.ids[1][i]]))
-            .collect();
-        let next = (0..n)
-            .map(|i| self.discretizers[i].representative(map[&self.ids[2][i]]))
-            .collect();
+        let faulted =
+            (0..n).map(|i| self.discretizers[i].representative(map[&self.ids[1][i]])).collect();
+        let next =
+            (0..n).map(|i| self.discretizers[i].representative(map[&self.ids[2][i]])).collect();
         Ok((faulted, next))
     }
 
@@ -416,9 +420,33 @@ impl GenericMiner {
             }
         }
         out.sort_by(|a, b| {
-            a.predicted_margin
-                .partial_cmp(&b.predicted_margin)
-                .expect("finite margins")
+            a.predicted_margin.partial_cmp(&b.predicted_margin).expect("finite margins")
+        });
+        out
+    }
+
+    /// [`GenericMiner::mine`] fanned out over `workers` threads (one
+    /// trace per worker task, each with its own memo cache) via the
+    /// workspace's central fan-out primitive
+    /// ([`drivefi_sim::parallel_map`]). Identical to the serial version
+    /// up to ordering, and returned sorted the same way.
+    pub fn mine_parallel<S: SafetyModel + Sync>(
+        &self,
+        traces: &[Vec<Vec<f64>>],
+        safety: &S,
+        workers: usize,
+    ) -> Vec<CriticalFault> {
+        let shards =
+            drivefi_sim::parallel_map(traces.iter().enumerate(), workers, |(trace_idx, trace)| {
+                let mut found = self.mine(std::slice::from_ref(trace), safety);
+                for fault in &mut found {
+                    fault.trace = trace_idx;
+                }
+                found
+            });
+        let mut out: Vec<CriticalFault> = shards.into_iter().flatten().collect();
+        out.sort_by(|a, b| {
+            a.predicted_margin.partial_cmp(&b.predicted_margin).expect("finite margins")
         });
         out
     }
@@ -430,9 +458,7 @@ impl GenericMiner {
         traces
             .iter()
             .map(|t| {
-                (1..t.len().saturating_sub(1))
-                    .filter(|&k| safety.margin(&t[k]) > 0.0)
-                    .count()
+                (1..t.len().saturating_sub(1)).filter(|&k| safety.margin(&t[k]) > 0.0).count()
                     * injectable
                     * 2
             })
@@ -524,6 +550,18 @@ mod tests {
         // Sorted ascending by forecast margin.
         for w in crit.windows(2) {
             assert!(w[0].predicted_margin <= w[1].predicted_margin);
+        }
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial() {
+        let spec = toy_spec();
+        let traces = toy_traces();
+        let miner = GenericMiner::fit(&spec, &traces, MinerOptions::default()).unwrap();
+        let serial = miner.mine(&traces, &ToySafety);
+        for workers in [1, 2, 8] {
+            let parallel = miner.mine_parallel(&traces, &ToySafety, workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
         }
     }
 

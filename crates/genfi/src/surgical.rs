@@ -211,8 +211,7 @@ pub fn validate(
     for _ in 0..=fault.trace {
         target = rng.random_range(TARGET_MIN..TARGET_MAX);
     }
-    let mut arm =
-        NeedleArm::new(target, traces_seed.wrapping_add(fault.trace as u64 * 131));
+    let mut arm = NeedleArm::new(target, traces_seed.wrapping_add(fault.trace as u64 * 131));
     let mut min_margin = f64::INFINITY;
     let steps = GOLDEN_STEPS.max(fault.step + hold_steps + 200);
     for step in 0..steps {
@@ -224,6 +223,23 @@ pub fn validate(
         }
     }
     min_margin
+}
+
+/// [`validate`] fanned out over the workspace's central worker pool
+/// ([`drivefi_sim::parallel_map`]): re-simulates every mined fault and
+/// returns the minimum true margins, in `faults` order. This is the
+/// surgical analog of the AV validation campaign, and — like every other
+/// campaign in the workspace — it spawns no threads of its own.
+pub fn validate_all(
+    faults: &[CriticalFault],
+    traces_seed: u64,
+    safety: &InsertionSafety,
+    hold_steps: usize,
+    workers: usize,
+) -> Vec<f64> {
+    drivefi_sim::parallel_map(faults.iter(), workers, |fault| {
+        validate(fault, traces_seed, safety, hold_steps)
+    })
 }
 
 #[cfg(test)]
@@ -263,10 +279,7 @@ mod tests {
         // The mined hazards all live where the needle is close to the
         // boundary; the golden corpus must actually visit that band.
         let traces = golden_traces(8, 2026);
-        let deepest = traces
-            .iter()
-            .map(|t| t.last().unwrap()[VAR_DEPTH])
-            .fold(0.0f64, f64::max);
+        let deepest = traces.iter().map(|t| t.last().unwrap()[VAR_DEPTH]).fold(0.0f64, f64::max);
         assert!(deepest > 36.5, "corpus never approaches the boundary: {deepest:.2}");
     }
 
@@ -297,14 +310,16 @@ mod tests {
         // Validate the most critical few as sustained faults; a clear
         // majority must manifest (paper: 460/561 ≈ 82%).
         let n = crit.len().min(20);
-        let manifested = crit[..n]
-            .iter()
-            .filter(|c| validate(c, 2026, &safety, 1200) < 0.0)
-            .count();
+        let margins = validate_all(&crit[..n], 2026, &safety, 1200, 4);
+        let manifested = margins.iter().filter(|&&m| m < 0.0).count();
         assert!(
             manifested * 2 > n,
             "only {manifested}/{n} mined faults manifested on the real arm"
         );
+        // The parallel sweep is the serial validator, fanned out.
+        for (c, &m) in crit[..n].iter().zip(&margins) {
+            assert_eq!(m, validate(c, 2026, &safety, 1200));
+        }
     }
 
     #[test]

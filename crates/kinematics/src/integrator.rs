@@ -23,7 +23,12 @@ where
 }
 
 /// Advances `y` by one forward-Euler step of size `dt`.
-pub fn euler_step<const N: usize, S: OdeSystem<N>>(sys: &S, t: f64, y: &[f64; N], dt: f64) -> [f64; N] {
+pub fn euler_step<const N: usize, S: OdeSystem<N>>(
+    sys: &S,
+    t: f64,
+    y: &[f64; N],
+    dt: f64,
+) -> [f64; N] {
     let mut k = [0.0; N];
     sys.deriv(t, y, &mut k);
     let mut out = *y;
@@ -34,7 +39,12 @@ pub fn euler_step<const N: usize, S: OdeSystem<N>>(sys: &S, t: f64, y: &[f64; N]
 }
 
 /// Advances `y` by one classic RK4 step of size `dt`.
-pub fn rk4_step<const N: usize, S: OdeSystem<N>>(sys: &S, t: f64, y: &[f64; N], dt: f64) -> [f64; N] {
+pub fn rk4_step<const N: usize, S: OdeSystem<N>>(
+    sys: &S,
+    t: f64,
+    y: &[f64; N],
+    dt: f64,
+) -> [f64; N] {
     let mut k1 = [0.0; N];
     let mut k2 = [0.0; N];
     let mut k3 = [0.0; N];

@@ -133,10 +133,7 @@ impl SafetyPotential {
     ) -> Self {
         let stop = emergency_stop_arc(params, state);
         let lat = Self::lateral_stop_distance(params, state, 0.0);
-        SafetyPotential::new(
-            envelope,
-            &DirectedDistance::new(stop.distance.longitudinal, lat),
-        )
+        SafetyPotential::new(envelope, &DirectedDistance::new(stop.distance.longitudinal, lat))
     }
 
     /// `δ > 0` in both directions (Definition 3 uses the shorthand `δ > 0`

@@ -139,17 +139,14 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected() {
-        let mut p = VehicleParams::default();
-        p.wheelbase = -1.0;
+        let p = VehicleParams { wheelbase: -1.0, ..VehicleParams::default() };
         assert_eq!(
             p.validate(),
             Err(KinematicsError::InvalidParameter { name: "wheelbase", value: -1.0 })
         );
-        let mut p = VehicleParams::default();
-        p.max_decel = f64::NAN;
+        let p = VehicleParams { max_decel: f64::NAN, ..VehicleParams::default() };
         assert!(p.validate().is_err());
-        let mut p = VehicleParams::default();
-        p.max_steer = 1.6; // > pi/2
+        let p = VehicleParams { max_steer: 1.6, ..VehicleParams::default() }; // > pi/2
         assert!(p.validate().is_err());
     }
 

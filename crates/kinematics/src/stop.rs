@@ -8,7 +8,7 @@
 //! circular arc, so a closed form exists ([`emergency_stop_arc`]) and is
 //! used as a cross-check in tests and as a fast path by the mining engine.
 
-use crate::{rk4_step, VehicleParams, VehicleState, Vec2};
+use crate::{rk4_step, Vec2, VehicleParams, VehicleState};
 
 /// Result of the emergency-stop procedure `P` (Eq. 7).
 #[derive(Debug, Clone, Copy, PartialEq)]

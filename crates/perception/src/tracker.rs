@@ -62,12 +62,8 @@ impl Track {
 
     /// Constant-velocity prediction over `dt`.
     fn predict(&mut self, dt: f64, q_intensity: f64) {
-        let f = [
-            [1.0, 0.0, dt, 0.0],
-            [0.0, 1.0, 0.0, dt],
-            [0.0, 0.0, 1.0, 0.0],
-            [0.0, 0.0, 0.0, 1.0],
-        ];
+        let f =
+            [[1.0, 0.0, dt, 0.0], [0.0, 1.0, 0.0, dt], [0.0, 0.0, 1.0, 0.0], [0.0, 0.0, 0.0, 1.0]];
         self.x = mat_vec(&f, &self.x);
         // White-acceleration process noise.
         let dt2 = dt * dt;
@@ -93,8 +89,8 @@ impl Track {
         let Some(s_inv) = inverse(&s) else { return };
         let k = mat_mul(&mat_mul(&self.p, &ht), &s_inv);
         let dx = mat_vec(&k, &y);
-        for i in 0..4 {
-            self.x[i] += dx[i];
+        for (xi, dxi) in self.x.iter_mut().zip(&dx) {
+            *xi += dxi;
         }
         let kh = mat_mul(&k, &h);
         self.p = mat_mul(&mat_sub(&identity::<4>(), &kh), &self.p);
@@ -110,18 +106,14 @@ impl Track {
         r[1][1] = r_pos * r_pos;
         r[2][2] = r_vel * r_vel;
         r[3][3] = r_vel * r_vel;
-        let y = [
-            z_pos.x - self.x[0],
-            z_pos.y - self.x[1],
-            z_vel.x - self.x[2],
-            z_vel.y - self.x[3],
-        ];
+        let y =
+            [z_pos.x - self.x[0], z_pos.y - self.x[1], z_vel.x - self.x[2], z_vel.y - self.x[3]];
         let s = mat_add(&mat_mul(&mat_mul(&h, &self.p), &transpose(&h)), &r);
         let Some(s_inv) = inverse(&s) else { return };
         let k = mat_mul(&mat_mul(&self.p, &transpose(&h)), &s_inv);
         let dx = mat_vec(&k, &y);
-        for i in 0..4 {
-            self.x[i] += dx[i];
+        for (xi, dxi) in self.x.iter_mut().zip(&dx) {
+            *xi += dxi;
         }
         let kh = mat_mul(&k, &h);
         self.p = mat_mul(&mat_sub(&identity::<4>(), &kh), &self.p);
@@ -170,7 +162,12 @@ impl MultiObjectTracker {
     /// Advances all tracks by `dt` and fuses one batch of detections
     /// (already converted to world frame by the caller). Returns the
     /// refreshed world model.
-    pub fn step(&mut self, ego: &VehicleState, detections: &[(Detection, Vec2, Vec2)], dt: f64) -> WorldModel {
+    pub fn step(
+        &mut self,
+        ego: &VehicleState,
+        detections: &[(Detection, Vec2, Vec2)],
+        dt: f64,
+    ) -> WorldModel {
         let _ = ego;
         for t in &mut self.tracks {
             t.predict(dt, self.config.process_noise);
@@ -185,7 +182,7 @@ impl MultiObjectTracker {
                     continue;
                 }
                 let d = t.position().distance(*world_pos);
-                if d < self.config.gate && best.map_or(true, |(_, bd)| d < bd) {
+                if d < self.config.gate && best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
             }
@@ -204,7 +201,13 @@ impl MultiObjectTracker {
                 None => {
                     let id = TrackId(self.next_id);
                     self.next_id += 1;
-                    self.tracks.push(Track::new(id, *world_pos, *world_vel, det.extent, det.truth_id));
+                    self.tracks.push(Track::new(
+                        id,
+                        *world_pos,
+                        *world_vel,
+                        det.extent,
+                        det.truth_id,
+                    ));
                     claimed.push(true);
                 }
             }
@@ -324,10 +327,7 @@ mod tests {
         }
         let vr = with_radar.world_model().objects[0].velocity.x;
         let vc = without.world_model().objects[0].velocity.x;
-        assert!(
-            (vr - 10.0).abs() < (vc - 10.0).abs(),
-            "radar vx = {vr}, camera vx = {vc}"
-        );
+        assert!((vr - 10.0).abs() < (vc - 10.0).abs(), "radar vx = {vr}, camera vx = {vc}");
     }
 
     #[test]

@@ -83,12 +83,8 @@ mod tests {
     fn lead_object_limits_longitudinal() {
         let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
         let model = WorldModel { objects: vec![obj(54.7, 0.0)] };
-        let env = perceived_envelope(
-            &pose,
-            &model,
-            &Road::default_highway(),
-            &VehicleParams::default(),
-        );
+        let env =
+            perceived_envelope(&pose, &model, &Road::default_highway(), &VehicleParams::default());
         assert!((env.free.longitudinal - 50.0).abs() < 1e-9);
     }
 
@@ -96,12 +92,8 @@ mod tests {
     fn adjacent_lane_object_does_not_limit() {
         let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
         let model = WorldModel { objects: vec![obj(50.0, 3.7)] };
-        let env = perceived_envelope(
-            &pose,
-            &model,
-            &Road::default_highway(),
-            &VehicleParams::default(),
-        );
+        let env =
+            perceived_envelope(&pose, &model, &Road::default_highway(), &VehicleParams::default());
         assert_eq!(env.free.longitudinal, PERCEIVED_HORIZON);
     }
 
@@ -109,21 +101,13 @@ mod tests {
     fn alongside_object_limits_lateral() {
         let pose = VehicleState::new(0.0, 0.0, 30.0, 0.0, 0.0);
         let model = WorldModel { objects: vec![obj(0.0, 2.8)] };
-        let env = perceived_envelope(
-            &pose,
-            &model,
-            &Road::default_highway(),
-            &VehicleParams::default(),
-        );
+        let env =
+            perceived_envelope(&pose, &model, &Road::default_highway(), &VehicleParams::default());
         // gap = 2.8 - (1.9 + 1.9)/2 = 0.9 — equals the lane-boundary gap.
         assert!((env.free.lateral - 0.9).abs() < 1e-9);
         let model = WorldModel { objects: vec![obj(0.0, 2.5)] };
-        let env = perceived_envelope(
-            &pose,
-            &model,
-            &Road::default_highway(),
-            &VehicleParams::default(),
-        );
+        let env =
+            perceived_envelope(&pose, &model, &Road::default_highway(), &VehicleParams::default());
         assert!((env.free.lateral - 0.6).abs() < 1e-9);
     }
 }

@@ -82,8 +82,10 @@ mod tests {
     fn correction_softens_with_speed() {
         let lk = LaneKeeper::default();
         let p = VehicleParams::default();
-        let slow = lk.steer(&VehicleState::new(0.0, -0.5, 2.0, 0.0, 0.0), &Road::default_highway(), &p);
-        let fast = lk.steer(&VehicleState::new(0.0, -0.5, 30.0, 0.0, 0.0), &Road::default_highway(), &p);
+        let slow =
+            lk.steer(&VehicleState::new(0.0, -0.5, 2.0, 0.0, 0.0), &Road::default_highway(), &p);
+        let fast =
+            lk.steer(&VehicleState::new(0.0, -0.5, 30.0, 0.0, 0.0), &Road::default_highway(), &p);
         assert!(slow > fast, "lateral correction should soften at speed");
     }
 }

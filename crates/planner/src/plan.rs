@@ -3,9 +3,7 @@
 use crate::envelope::perceived_envelope;
 use crate::lane_keep::LaneKeeper;
 use crate::speed::SpeedPlanner;
-use drivefi_kinematics::{
-    Actuation, SafetyEnvelope, SafetyPotential, VehicleParams, VehicleState,
-};
+use drivefi_kinematics::{Actuation, SafetyEnvelope, SafetyPotential, VehicleParams, VehicleState};
 use drivefi_perception::WorldModel;
 use drivefi_world::Road;
 
@@ -60,10 +58,7 @@ impl Planner {
         let delta = SafetyPotential::evaluate(&self.params, pose, &envelope);
 
         let lead = self.config.speed.find_lead(pose, model, &self.params);
-        let accel = self
-            .config
-            .speed
-            .plan_accel(pose, set_speed, lead, &delta, &self.params);
+        let accel = self.config.speed.plan_accel(pose, set_speed, lead, &delta, &self.params);
         // Drag feedforward: the commanded traction must also cancel the
         // speed-proportional drag, or cruise settles below the set speed.
         let accel = if accel > -0.5 { accel + self.params.drag * pose.v.max(0.0) } else { accel };
@@ -75,11 +70,7 @@ impl Planner {
         };
         let steering = self.config.lane.steer(pose, road, &self.params);
 
-        PlannerOutput {
-            raw: Actuation { throttle, brake, steering },
-            envelope,
-            delta,
-        }
+        PlannerOutput { raw: Actuation { throttle, brake, steering }, envelope, delta }
     }
 }
 

@@ -59,7 +59,7 @@ impl SpeedPlanner {
             }
             let gap = local.x - (params.length + obj.extent.x) / 2.0;
             let speed = obj.velocity.into_frame(pose.theta).x;
-            if best.map_or(true, |b| gap < b.gap) {
+            if best.is_none_or(|b| gap < b.gap) {
                 best = Some(LeadInfo { gap: gap.max(0.0), speed });
             }
         }
@@ -178,9 +178,7 @@ mod tests {
         let model = WorldModel {
             objects: vec![obj(80.0, 0.0, 20.0), obj(40.0, 0.0, 15.0), obj(20.0, 3.7, 10.0)],
         };
-        let lead = sp
-            .find_lead(&pose(30.0), &model, &VehicleParams::default())
-            .unwrap();
+        let lead = sp.find_lead(&pose(30.0), &model, &VehicleParams::default()).unwrap();
         assert!((lead.gap - (40.0 - 4.7)).abs() < 1e-9);
         assert_eq!(lead.speed, 15.0);
     }

@@ -142,8 +142,8 @@ impl ObjectSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drivefi_world::{Actor, ActorId, ActorKind, Behavior, Road};
     use drivefi_kinematics::VehicleState;
+    use drivefi_world::{Actor, ActorId, ActorKind, Behavior, Road};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -194,9 +194,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut sensor = ObjectSensor::camera();
         sensor.dropout = 0.5;
-        let misses = (0..200)
-            .filter(|_| sensor.sense(&w, &mut rng).is_empty())
-            .count();
+        let misses = (0..200).filter(|_| sensor.sense(&w, &mut rng).is_empty()).count();
         assert!(misses > 50 && misses < 150, "misses = {misses}");
     }
 

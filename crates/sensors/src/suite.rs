@@ -28,11 +28,7 @@ pub struct SensorFrame {
 impl SensorFrame {
     /// Iterates over all object detections present in this frame.
     pub fn detections(&self) -> impl Iterator<Item = &Detection> {
-        self.camera
-            .iter()
-            .chain(self.lidar.iter())
-            .chain(self.radar.iter())
-            .flatten()
+        self.camera.iter().chain(self.lidar.iter()).chain(self.radar.iter()).flatten()
     }
 }
 
@@ -70,7 +66,7 @@ impl SensorSuite {
     /// Whether a sensor with `rate_hz` refreshes on base-tick `frame`.
     fn ticks(rate_hz: f64, frame: u64) -> bool {
         let divisor = (ADS_TICK_HZ / rate_hz).round().max(1.0) as u64;
-        frame % divisor == 0
+        frame.is_multiple_of(divisor)
     }
 
     /// Samples all sensors for base-tick `frame` (30 Hz ticks).
@@ -105,15 +101,9 @@ impl SensorSuite {
             let g = Gaussian::new(0.0, self.imu_noise);
             let speed = ego.v + g.sample(&mut self.rng);
             let dt = 1.0 / ADS_TICK_HZ;
-            let accel = self
-                .last_speed
-                .map_or(0.0, |prev| (speed - prev) / dt);
+            let accel = self.last_speed.map_or(0.0, |prev| (speed - prev) / dt);
             self.last_speed = Some(speed);
-            out.imu = Some(ImuSample {
-                speed,
-                accel,
-                yaw_rate: ego.v * ego.phi.tan() / 2.8,
-            });
+            out.imu = Some(ImuSample { speed, accel, yaw_rate: ego.v * ego.phi.tan() / 2.8 });
         }
         out
     }

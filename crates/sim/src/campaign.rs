@@ -1,9 +1,21 @@
-//! Parallel fault-injection campaigns.
+//! Streaming parallel fault-injection campaigns.
+//!
+//! A campaign is a stream of (scenario × fault) jobs executed on a
+//! worker pool. The [`CampaignEngine`] pulls jobs lazily from a
+//! [`JobSource`] (so exhaustive sweeps never materialize their full
+//! cross-product), reuses one [`Simulation`] arena per worker, and
+//! streams [`CampaignResult`]s into a [`CampaignSink`] as they complete.
+//! Every job is fully deterministic (scenario seed + sensor seed), so
+//! campaign results are reproducible regardless of scheduling or worker
+//! count.
 
+use crate::engine::{default_workers, stream_map, IndexedSlots};
 use crate::outcome::RunReport;
 use crate::simulation::{SimConfig, Simulation};
+use crate::trace::Trace;
 use drivefi_fault::{Fault, Injector};
 use drivefi_world::ScenarioConfig;
+use std::collections::BTreeSet;
 
 /// One campaign job: a scenario plus the faults to arm.
 #[derive(Debug, Clone)]
@@ -25,40 +37,268 @@ pub struct CampaignResult {
     pub report: RunReport,
 }
 
-/// Runs all jobs, fanning out over `workers` OS threads with crossbeam
-/// scoped threads. Results are returned in job order. Every job is fully
-/// deterministic (scenario seed + sensor seed), so campaign results are
-/// reproducible regardless of scheduling.
-pub fn run_campaign(config: SimConfig, jobs: &[CampaignJob], workers: usize) -> Vec<CampaignResult> {
-    let workers = workers.max(1);
-    let mut results: Vec<Option<CampaignResult>> = vec![None; jobs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
+/// A source of campaign jobs. Iterator-backed: anything that can be
+/// turned into a `Send` iterator of [`CampaignJob`]s qualifies, and the
+/// engine pulls from it lazily — one job at a time, as workers go idle.
+pub trait JobSource {
+    /// The job iterator type.
+    type Iter: Iterator<Item = CampaignJob> + Send;
+    /// Converts the source into its job stream.
+    fn into_jobs(self) -> Self::Iter;
+}
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                let mut sim = Simulation::new(config, &job.scenario);
-                let mut injector = Injector::new(job.faults.clone());
-                let mut report = sim.run_with(&mut injector);
-                report.injections = injector.injection_count();
-                **slots[i].lock().expect("result slot poisoned") =
-                    Some(CampaignResult { id: job.id, report });
-            });
+impl<I> JobSource for I
+where
+    I: IntoIterator<Item = CampaignJob>,
+    I::IntoIter: Send,
+{
+    type Iter = I::IntoIter;
+    fn into_jobs(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// A consumer of streamed campaign results. `index` is the job's
+/// submission order (0-based), which sinks use to restore determinism
+/// when completion order varies with scheduling.
+pub trait CampaignSink {
+    /// Accepts the result of the `index`-th submitted job.
+    fn accept(&mut self, index: u64, result: CampaignResult);
+}
+
+impl<F: FnMut(u64, CampaignResult)> CampaignSink for F {
+    fn accept(&mut self, index: u64, result: CampaignResult) {
+        self(index, result)
+    }
+}
+
+/// Order-restoring collector: buffers streamed results and yields them
+/// in submission order.
+#[derive(Debug, Default)]
+pub struct Collector {
+    slots: IndexedSlots<CampaignResult>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// The collected results, in job-submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index gap is found (a job produced no result), which
+    /// cannot happen for results streamed by [`CampaignEngine::run`].
+    pub fn into_results(self) -> Vec<CampaignResult> {
+        self.slots.into_vec("every job produces a result")
+    }
+}
+
+impl CampaignSink for Collector {
+    fn accept(&mut self, index: u64, result: CampaignResult) {
+        self.slots.put(index, result);
+    }
+}
+
+/// Running-statistics sink for hazard-rate campaigns: constant-memory
+/// outcome counters plus the (submission-ordered) set of hazardous jobs.
+#[derive(Debug, Default, Clone)]
+pub struct RunningStats {
+    /// Jobs seen.
+    pub runs: usize,
+    /// Jobs ending safe.
+    pub safe: usize,
+    /// Jobs with δ ≤ 0 but no collision.
+    pub hazards: usize,
+    /// Jobs with a collision.
+    pub collisions: usize,
+    /// Jobs in which the injector corrupted at least one live value.
+    pub effective_injections: usize,
+    /// Submission indices of hazardous jobs (BTreeSet: deterministic
+    /// iteration order regardless of completion order).
+    pub hazardous_indices: BTreeSet<u64>,
+}
+
+impl RunningStats {
+    /// An empty sink.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Fraction of runs that violated safety.
+    pub fn hazard_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            (self.hazards + self.collisions) as f64 / self.runs as f64
         }
-    })
-    .expect("campaign worker panicked");
+    }
+}
 
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every job produces a result"))
-        .collect()
+impl CampaignSink for RunningStats {
+    fn accept(&mut self, index: u64, result: CampaignResult) {
+        self.runs += 1;
+        if result.report.injections > 0 {
+            self.effective_injections += 1;
+        }
+        if result.report.outcome.is_hazardous() {
+            self.hazardous_indices.insert(index);
+            if result.report.outcome.is_collision() {
+                self.collisions += 1;
+            } else {
+                self.hazards += 1;
+            }
+        } else {
+            self.safe += 1;
+        }
+    }
+}
+
+/// Trace sink for golden-run collection: keeps only each job's recorded
+/// [`Trace`], in submission order.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    slots: IndexedSlots<Trace>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// The collected traces, in job-submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job did not record a trace (run the campaign with
+    /// [`SimConfig::record_trace`] set).
+    pub fn into_traces(self) -> Vec<Trace> {
+        self.slots.into_vec("campaign job recorded a trace")
+    }
+}
+
+impl CampaignSink for TraceSink {
+    fn accept(&mut self, index: u64, result: CampaignResult) {
+        self.slots.set(index, result.report.trace);
+    }
+}
+
+/// One worker's reusable simulation arena: the `Simulation` is reset in
+/// place between jobs instead of being reconstructed. Today the reset
+/// reuses the world's actor storage and the `Simulation` slot itself
+/// (sensor suite and ADS stack are still rebuilt per job — they hold
+/// per-scenario state); deeper in-place reuse can land behind the same
+/// seam without touching any driver.
+struct WorkerArena {
+    config: SimConfig,
+    sim: Option<Simulation>,
+}
+
+impl WorkerArena {
+    fn new(config: SimConfig) -> Self {
+        WorkerArena { config, sim: None }
+    }
+
+    fn execute(&mut self, job: CampaignJob) -> CampaignResult {
+        let sim = match &mut self.sim {
+            Some(sim) => {
+                sim.reset(&job.scenario);
+                sim
+            }
+            slot @ None => slot.insert(Simulation::new(self.config, &job.scenario)),
+        };
+        let mut injector = Injector::new(job.faults);
+        let mut report = sim.run_with(&mut injector);
+        report.injections = injector.injection_count();
+        CampaignResult { id: job.id, report }
+    }
+}
+
+/// The campaign runner: a [`SimConfig`] plus a worker-count policy.
+///
+/// ```
+/// use drivefi_sim::{CampaignEngine, CampaignJob, SimConfig};
+/// use drivefi_world::ScenarioConfig;
+///
+/// let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+/// let jobs = (0..3).map(|i| CampaignJob {
+///     id: i,
+///     scenario: ScenarioConfig::lead_vehicle_cruise(i),
+///     faults: vec![],
+/// });
+/// let results = engine.collect(jobs);
+/// assert_eq!(results.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignEngine {
+    config: SimConfig,
+    workers: usize,
+}
+
+impl CampaignEngine {
+    /// An engine with [`default_workers`] worker threads.
+    pub fn new(config: SimConfig) -> Self {
+        CampaignEngine { config, workers: default_workers() }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The simulator configuration campaigns run under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job from `jobs`, streaming each result into `sink` on
+    /// the calling thread as it completes. Jobs are pulled from the
+    /// source lazily, one per idle worker.
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker panics.
+    pub fn run<S, K>(&self, jobs: S, sink: &mut K)
+    where
+        S: JobSource,
+        K: CampaignSink + ?Sized,
+    {
+        let config = self.config;
+        stream_map(
+            jobs.into_jobs(),
+            self.workers,
+            || WorkerArena::new(config),
+            WorkerArena::execute,
+            |index, result| sink.accept(index, result),
+        );
+    }
+
+    /// Convenience: runs the jobs and returns the results in submission
+    /// order.
+    pub fn collect<S: JobSource>(&self, jobs: S) -> Vec<CampaignResult> {
+        let mut collector = Collector::new();
+        self.run(jobs, &mut collector);
+        collector.into_results()
+    }
+}
+
+/// Compatibility wrapper over [`CampaignEngine`]: runs all jobs, fanning
+/// out over `workers` threads, and returns results in job order.
+pub fn run_campaign(
+    config: SimConfig,
+    jobs: &[CampaignJob],
+    workers: usize,
+) -> Vec<CampaignResult> {
+    CampaignEngine::new(config).with_workers(workers).collect(jobs.iter().cloned())
 }
 
 #[cfg(test)]
@@ -69,6 +309,17 @@ mod tests {
 
     fn golden_job(id: u64, seed: u64) -> CampaignJob {
         CampaignJob { id, scenario: ScenarioConfig::lead_vehicle_cruise(seed), faults: vec![] }
+    }
+
+    fn faulted_job(id: u64, seed: u64, scene: u64) -> CampaignJob {
+        let fault = Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::RawThrottle,
+                model: ScalarFaultModel::StuckMax,
+            },
+            window: FaultWindow::scene(scene),
+        };
+        CampaignJob { id, scenario: ScenarioConfig::lead_vehicle_cruise(seed), faults: vec![fault] }
     }
 
     #[test]
@@ -84,12 +335,42 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial() {
-        let jobs: Vec<_> = (0..4).map(|i| golden_job(i, i * 7)).collect();
+        // Golden jobs and jobs with armed faults must produce bitwise
+        // identical reports across worker counts 1/2/8: worker arenas are
+        // reset between jobs, so scheduling cannot leak state.
+        let mut jobs: Vec<_> = (0..4).map(|i| golden_job(i, i * 7)).collect();
+        jobs.extend((0..4).map(|i| faulted_job(100 + i, i * 3 + 1, 20 + 5 * i)));
         let serial = run_campaign(SimConfig::default(), &jobs, 1);
-        let parallel = run_campaign(SimConfig::default(), &jobs, 4);
-        for (s, p) in serial.iter().zip(&parallel) {
-            assert_eq!(s.report.outcome, p.report.outcome);
-            assert_eq!(s.report.min_delta_lon, p.report.min_delta_lon);
+        for workers in [2, 8] {
+            let parallel = run_campaign(SimConfig::default(), &jobs, workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.id, p.id);
+                assert_eq!(s.report.outcome, p.report.outcome);
+                assert_eq!(s.report.min_delta_lon, p.report.min_delta_lon);
+                assert_eq!(s.report.min_delta_lat, p.report.min_delta_lat);
+                assert_eq!(s.report.injections, p.report.injections);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_construction() {
+        // One worker, many jobs: every job after the first runs in a
+        // reset arena and must match a freshly constructed Simulation.
+        let jobs: Vec<_> = (0..3)
+            .map(|i| faulted_job(i, 5, 30))
+            .chain((0..2).map(|i| golden_job(10 + i, 2)))
+            .collect();
+        let reused = run_campaign(SimConfig::default(), &jobs, 1);
+        for (job, result) in jobs.iter().zip(&reused) {
+            let mut sim = Simulation::new(SimConfig::default(), &job.scenario);
+            let mut injector = Injector::new(job.faults.clone());
+            let mut fresh = sim.run_with(&mut injector);
+            fresh.injections = injector.injection_count();
+            assert_eq!(fresh.outcome, result.report.outcome);
+            assert_eq!(fresh.min_delta_lon, result.report.min_delta_lon);
+            assert_eq!(fresh.injections, result.report.injections);
         }
     }
 
@@ -97,14 +378,58 @@ mod tests {
     fn faulted_jobs_report_injections() {
         let scenario = ScenarioConfig::lead_vehicle_cruise(2);
         let fault = Fault {
-            kind: FaultKind::Scalar {
-                signal: Signal::RawBrake,
-                model: ScalarFaultModel::StuckMax,
-            },
+            kind: FaultKind::Scalar { signal: Signal::RawBrake, model: ScalarFaultModel::StuckMax },
             window: FaultWindow::scene(10),
         };
         let jobs = vec![CampaignJob { id: 0, scenario, faults: vec![fault] }];
         let results = run_campaign(SimConfig::default(), &jobs, 2);
         assert!(results[0].report.injections > 0);
+    }
+
+    #[test]
+    fn engine_streams_from_a_lazy_source() {
+        // The job source is an iterator — nothing is materialized, and
+        // the sink sees every submission index exactly once.
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(4);
+        let mut seen = BTreeSet::new();
+        let jobs = (0..6u64).map(|i| golden_job(i, i));
+        engine.run(jobs, &mut |index: u64, result: CampaignResult| {
+            assert_eq!(index, result.id);
+            assert!(seen.insert(index));
+        });
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn running_stats_sink_counts_outcomes() {
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(4);
+        let mut stats = RunningStats::new();
+        let jobs = (0..4u64).map(|i| faulted_job(i, i, 20));
+        engine.run(jobs, &mut stats);
+        assert_eq!(stats.runs, 4);
+        assert_eq!(stats.safe + stats.hazards + stats.collisions, 4);
+        assert!(stats.effective_injections > 0);
+        assert!(stats.hazard_rate() >= 0.0 && stats.hazard_rate() <= 1.0);
+    }
+
+    #[test]
+    fn trace_sink_collects_in_order() {
+        let config =
+            SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
+        let engine = CampaignEngine::new(config).with_workers(3);
+        let mut sink = TraceSink::new();
+        let scenarios: Vec<_> = (0..3u64).map(ScenarioConfig::lead_vehicle_cruise).collect();
+        let jobs = scenarios.iter().map(|s| CampaignJob {
+            id: u64::from(s.id),
+            scenario: s.clone(),
+            faults: vec![],
+        });
+        engine.run(jobs, &mut sink);
+        let traces = sink.into_traces();
+        assert_eq!(traces.len(), 3);
+        for (t, s) in traces.iter().zip(&scenarios) {
+            assert_eq!(t.scenario_id, s.id);
+            assert_eq!(t.frames.len(), s.scene_count());
+        }
     }
 }

@@ -11,8 +11,15 @@
 //! frame, the paper's unit of evaluation); traces of golden runs are the
 //! training data for the Bayesian network in `drivefi-core`.
 //!
-//! [`campaign::run_campaign`] executes many (scenario × fault) runs in
-//! parallel with deterministic seeding.
+//! The [`CampaignEngine`] executes many (scenario × fault) runs in
+//! parallel with deterministic seeding: jobs stream lazily from a
+//! [`JobSource`], each worker reuses one [`Simulation`] arena, and
+//! results stream into a [`CampaignSink`] ([`Collector`],
+//! [`RunningStats`], [`TraceSink`]). [`campaign::run_campaign`] is the
+//! eager compatibility wrapper. This crate is also the only place in the
+//! workspace that spawns worker threads ([`engine::stream_map`] /
+//! [`engine::parallel_map`], with [`default_workers`] as the one
+//! worker-count policy).
 //!
 //! # Example
 //!
@@ -27,12 +34,17 @@
 //! ```
 
 pub mod campaign;
+pub mod engine;
 pub mod outcome;
 pub mod rules;
 pub mod simulation;
 pub mod trace;
 
-pub use campaign::{run_campaign, CampaignJob, CampaignResult};
+pub use campaign::{
+    run_campaign, CampaignEngine, CampaignJob, CampaignResult, CampaignSink, Collector, JobSource,
+    RunningStats, TraceSink,
+};
+pub use engine::{default_workers, parallel_map, stream_map};
 pub use outcome::{Outcome, RunReport};
 pub use rules::{RuleConfig, RuleKind, RuleMonitor, RuleSummary, RuleViolation};
 pub use simulation::{SimConfig, Simulation, BASE_TICKS_PER_SCENE};

@@ -249,9 +249,8 @@ impl RuleMonitor {
         self.update(RuleKind::SpeedLimit, scene, speeding, ego.v, cfg.speed_limit);
 
         // Headway: judged as a shortfall so larger = worse.
-        let headway = lead
-            .filter(|_| ego.v > cfg.headway_min_speed)
-            .map(|(gap, _)| gap.max(0.0) / ego.v);
+        let headway =
+            lead.filter(|_| ego.v > cfg.headway_min_speed).map(|(gap, _)| gap.max(0.0) / ego.v);
         let (hw_offending, hw_measure) = match headway {
             Some(h) if h < cfg.min_headway => (true, cfg.min_headway - h),
             _ => (false, 0.0),
@@ -269,13 +268,7 @@ impl RuleMonitor {
         // Harsh braking from the speed delta between scenes.
         if let Some(prev) = self.prev_speed {
             let decel = (prev - ego.v) / dt;
-            self.update(
-                RuleKind::HarshBraking,
-                scene,
-                decel > cfg.max_decel,
-                decel,
-                cfg.max_decel,
-            );
+            self.update(RuleKind::HarshBraking, scene, decel > cfg.max_decel, decel, cfg.max_decel);
         }
         self.prev_speed = Some(ego.v);
 

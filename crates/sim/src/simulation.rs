@@ -69,6 +69,24 @@ impl Simulation {
         }
     }
 
+    /// Resets the closed loop in place for a new scenario, reusing the
+    /// existing allocations (world actor storage in particular) instead
+    /// of reconstructing them — the campaign engine's per-worker arena
+    /// path. Behavior after a reset is identical to
+    /// [`Simulation::new`] with the same config and scenario.
+    pub fn reset(&mut self, scenario: &ScenarioConfig) {
+        self.world.reset_from_scenario(scenario);
+        self.world.set_ego(scenario.ego_start, ActorKind::Car.dims());
+        self.sensors = SensorSuite::with_seed(self.config.sensor_seed ^ scenario.seed);
+        self.ads =
+            AdsStack::with_road(self.config.ads, scenario.ego_set_speed, scenario.road.clone());
+        self.vehicle = BicycleModel::new(self.config.ads.vehicle);
+        self.ego = scenario.ego_start;
+        self.frame = 0;
+        self.total_frames = scenario.scene_count() as u64 * BASE_TICKS_PER_SCENE;
+        self.scenario_id = scenario.id;
+    }
+
     /// Ground-truth ego state.
     pub fn ego(&self) -> &VehicleState {
         &self.ego
@@ -137,11 +155,16 @@ impl Simulation {
             let scene = self.scene() - 1;
             let gt = self.world.ground_truth();
             let envelope = gt.envelope.with_min_margin(0.0, 0.0);
-            let delta =
-                SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
+            let delta = SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
             min_lon = min_lon.min(delta.longitudinal);
             min_lat = min_lat.min(delta.lateral);
-            monitor.observe_scene(scene, &self.ego, self.world.ego_lead(), self.world.road(), scene_dt);
+            monitor.observe_scene(
+                scene,
+                &self.ego,
+                self.world.ego_lead(),
+                self.world.road(),
+                scene_dt,
+            );
             if let Some(actor) = gt.collision {
                 outcome = Outcome::Collision { scene, actor: actor.0 };
             } else if !delta.is_safe() && outcome == Outcome::Safe {
@@ -184,8 +207,7 @@ impl Simulation {
             // Raw δ (Definition 3) — see `true_delta` for the margin
             // rationale.
             let envelope = gt.envelope.with_min_margin(0.0, 0.0);
-            let delta =
-                SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
+            let delta = SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
             min_lon = min_lon.min(delta.longitudinal);
             min_lat = min_lat.min(delta.lateral);
 
@@ -245,7 +267,7 @@ mod tests {
 
     #[test]
     fn golden_cut_in_is_safe_but_tight() {
-        let scenario = ScenarioConfig::cut_in(3);
+        let scenario = ScenarioConfig::cut_in(0);
         let mut sim = Simulation::new(SimConfig::default(), &scenario);
         let report = sim.run();
         assert!(report.outcome.is_safe(), "golden cut-in: {:?}", report.outcome);

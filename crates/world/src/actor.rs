@@ -2,7 +2,7 @@
 
 use crate::behavior::Behavior;
 use crate::Obb;
-use drivefi_kinematics::{VehicleState, Vec2};
+use drivefi_kinematics::{Vec2, VehicleState};
 
 /// Unique identifier of an actor within a world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

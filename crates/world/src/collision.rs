@@ -30,12 +30,7 @@ impl Obb {
     pub fn corners(&self) -> [Vec2; 4] {
         let ax = Vec2::from_heading(self.heading) * self.half_length;
         let ay = Vec2::from_heading(self.heading + std::f64::consts::FRAC_PI_2) * self.half_width;
-        [
-            self.center + ax + ay,
-            self.center - ax + ay,
-            self.center - ax - ay,
-            self.center + ax - ay,
-        ]
+        [self.center + ax + ay, self.center - ax + ay, self.center - ax - ay, self.center + ax - ay]
     }
 
     fn axes(&self) -> [Vec2; 2] {

@@ -61,11 +61,7 @@ impl Road {
         assert!(lane_count > 0, "a road needs at least one lane");
         assert!(lane_width > 0.0 && length > 0.0, "road dimensions must be positive");
         let lanes = (0..lane_count)
-            .map(|i| Lane {
-                id: LaneId(i),
-                center_y: f64::from(i) * lane_width,
-                width: lane_width,
-            })
+            .map(|i| Lane { id: LaneId(i), center_y: f64::from(i) * lane_width, width: lane_width })
             .collect();
         Road { lanes, length }
     }
@@ -88,20 +84,17 @@ impl Road {
     /// The lane whose band contains `y` (boundaries tie toward the lower
     /// lane), or the nearest lane when off-road.
     pub fn lane_at(&self, y: f64) -> &Lane {
-        self.lanes
-            .iter()
-            .find(|l| l.contains_y(y))
-            .unwrap_or_else(|| {
-                self.lanes
-                    .iter()
-                    .min_by(|a, b| {
-                        (a.center_y - y)
-                            .abs()
-                            .partial_cmp(&(b.center_y - y).abs())
-                            .expect("lane centers are finite")
-                    })
-                    .expect("road has at least one lane")
-            })
+        self.lanes.iter().find(|l| l.contains_y(y)).unwrap_or_else(|| {
+            self.lanes
+                .iter()
+                .min_by(|a, b| {
+                    (a.center_y - y)
+                        .abs()
+                        .partial_cmp(&(b.center_y - y).abs())
+                        .expect("lane centers are finite")
+                })
+                .expect("road has at least one lane")
+        })
     }
 
     /// Y of the right edge of the drivable surface.

@@ -57,6 +57,18 @@ impl World {
         w
     }
 
+    /// Re-initializes this world in place from a scenario, reusing the
+    /// actor storage allocation. Equivalent to
+    /// [`World::from_scenario`], for arena-style reuse across campaign
+    /// jobs.
+    pub fn reset_from_scenario(&mut self, config: &ScenarioConfig) {
+        self.road = config.road.clone();
+        self.actors.clear();
+        self.actors.extend(config.actors.iter().cloned());
+        self.time = 0.0;
+        self.ego = None;
+    }
+
     /// The road.
     pub fn road(&self) -> &Road {
         &self.road
@@ -110,14 +122,20 @@ impl World {
     /// Finds the lead "vehicle" (any actor or the ego) for the actor at
     /// `(x, y)`: the nearest body ahead in the same lane band. Returns
     /// `(bumper gap, lead speed)`.
-    fn lead_for(&self, self_id: Option<ActorId>, x: f64, y: f64, self_len: f64) -> Option<(f64, f64)> {
+    fn lead_for(
+        &self,
+        self_id: Option<ActorId>,
+        x: f64,
+        y: f64,
+        self_len: f64,
+    ) -> Option<(f64, f64)> {
         let mut best: Option<(f64, f64)> = None;
         let mut consider = |ox: f64, oy: f64, ov: f64, olen: f64| {
             if ox <= x || (oy - y).abs() > 2.0 {
                 return;
             }
             let gap = ox - x - (olen + self_len) / 2.0;
-            if best.map_or(true, |(g, _)| gap < g) {
+            if best.is_none_or(|(g, _)| gap < g) {
                 best = Some((gap, ov));
             }
         };
@@ -149,11 +167,9 @@ impl World {
                         .map(|(gap, lv)| (gap, a.state.v - lv));
                     params.accel(a.state.v, *desired_speed, lead)
                 }
-                Behavior::Scripted { keyframes, .. } => keyframes
-                    .iter()
-                    .rev()
-                    .find(|k| t >= k.time)
-                    .map_or(0.0, |k| k.accel),
+                Behavior::Scripted { keyframes, .. } => {
+                    keyframes.iter().rev().find(|k| t >= k.time).map_or(0.0, |k| k.accel)
+                }
                 Behavior::Pedestrian { .. } => 0.0,
             };
         }
@@ -191,12 +207,8 @@ impl World {
     /// Panics if no ego pose has been registered via [`World::set_ego`].
     pub fn ground_truth(&self) -> GroundTruth {
         let (ego, dims) = self.ego.expect("ground_truth requires a registered ego pose");
-        let ego_obb = Obb::new(
-            Vec2::new(ego.x, ego.y),
-            ego.theta,
-            dims.length / 2.0,
-            dims.width / 2.0,
-        );
+        let ego_obb =
+            Obb::new(Vec2::new(ego.x, ego.y), ego.theta, dims.length / 2.0, dims.width / 2.0);
 
         let mut lon_free = FREE_HORIZON;
         let mut lat_free;
@@ -236,11 +248,7 @@ impl World {
         let on_road = self.road.on_road(ego.y + dims.width / 2.0)
             && self.road.on_road(ego.y - dims.width / 2.0);
 
-        GroundTruth {
-            envelope: SafetyEnvelope::new(lon_free, lat_free),
-            collision,
-            on_road,
-        }
+        GroundTruth { envelope: SafetyEnvelope::new(lon_free, lat_free), collision, on_road }
     }
 }
 

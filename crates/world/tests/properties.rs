@@ -1,8 +1,8 @@
 //! Property-based tests for world-model invariants.
 
+use drivefi_kinematics::VehicleState;
 use drivefi_world::behavior::{Behavior, SpeedKeyframe};
 use drivefi_world::{Actor, ActorId, ActorKind, Road, ScenarioSuite, World};
-use drivefi_kinematics::VehicleState;
 use proptest::prelude::*;
 
 proptest! {

@@ -27,10 +27,7 @@ fn speed_leak(ads: AdsConfig, scenario: &ScenarioConfig) -> (f64, bool) {
     };
 
     let fault = Fault {
-        kind: FaultKind::Scalar {
-            signal: Signal::RawThrottle,
-            model: ScalarFaultModel::StuckMax,
-        },
+        kind: FaultKind::Scalar { signal: Signal::RawThrottle, model: ScalarFaultModel::StuckMax },
         // One corrupted scene (4 base ticks) mid-run.
         window: FaultWindow::scene(60),
     };
@@ -72,10 +69,7 @@ fn main() {
             full_stack_leak = leak;
             assert!(!hazardous, "the full stack must mask a single-scene transient");
         } else {
-            assert!(
-                leak >= full_stack_leak,
-                "removing a masking layer should not reduce the leak"
-            );
+            assert!(leak >= full_stack_leak, "removing a masking layer should not reduce the leak");
         }
     }
     println!();

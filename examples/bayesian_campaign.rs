@@ -18,14 +18,10 @@ use drivefi::world::ScenarioSuite;
 use std::time::Instant;
 
 fn main() {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let workers = drivefi::sim::default_workers();
     let suite = ScenarioSuite::generate(16, 2026);
     let sim = SimConfig::default();
-    println!(
-        "suite: {} scenarios, {} scenes",
-        suite.scenarios.len(),
-        suite.scene_count()
-    );
+    println!("suite: {} scenarios, {} scenes", suite.scenarios.len(), suite.scene_count());
 
     // 1. Golden runs + model fit + mining.
     let mine_start = Instant::now();
@@ -34,10 +30,7 @@ fn main() {
     let critical = miner.mine_parallel(&golden, workers);
     let mining_time = mine_start.elapsed();
     let pool = miner.candidate_count(&golden);
-    println!(
-        "mining: |candidates| = {pool}, |F_crit| = {} in {mining_time:.1?}",
-        critical.len()
-    );
+    println!("mining: |candidates| = {pool}, |F_crit| = {} in {mining_time:.1?}", critical.len());
 
     // 2. Validate the mined faults by real injection.
     let validation = validate_candidates(&sim, &suite, &critical, workers);
@@ -50,11 +43,7 @@ fn main() {
     );
 
     // 3. Random baseline at the same injection budget.
-    let random_cfg = RandomCampaignConfig {
-        runs: critical.len().max(100),
-        seed: 7,
-        workers,
-    };
+    let random_cfg = RandomCampaignConfig { runs: critical.len().max(100), seed: 7, workers };
     let random = random_output_campaign(&sim, &suite, &random_cfg);
     println!(
         "random baseline: {} runs -> {} hazards, {} collisions (rate {:.2}%)",
@@ -65,9 +54,7 @@ fn main() {
     );
 
     // 4. Acceleration accounting.
-    let avg_sim = validation
-        .wall_clock
-        .div_f64(validation.mined.len().max(1) as f64);
+    let avg_sim = validation.wall_clock.div_f64(validation.mined.len().max(1) as f64);
     let report = AccelerationReport {
         candidate_pool: pool,
         avg_sim_time: avg_sim,
@@ -78,10 +65,7 @@ fn main() {
     println!("acceleration: {}", report.summary());
 
     // The paper's qualitative claims, asserted.
-    assert!(
-        validation.manifested > 0,
-        "Bayesian FI must find manifesting faults"
-    );
+    assert!(validation.manifested > 0, "Bayesian FI must find manifesting faults");
     assert!(
         validation.precision() > random.hazard_rate(),
         "Bayesian precision must beat the random hazard rate"

@@ -64,10 +64,7 @@ fn main() {
     // 1. Prove the scenario is survivable fault-free.
     let mut sim = Simulation::new(SimConfig::default(), &scenario);
     let golden = sim.run();
-    println!(
-        "golden pincer run: {} (min δ_lon = {:.1} m)",
-        golden.outcome, golden.min_delta_lon
-    );
+    println!("golden pincer run: {} (min δ_lon = {:.1} m)", golden.outcome, golden.min_delta_lon);
     assert!(golden.outcome.is_safe(), "the custom scenario must be survivable");
 
     // 2. Full pipeline on a suite containing only this scenario.

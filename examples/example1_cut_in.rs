@@ -17,7 +17,7 @@ use drivefi::sim::{SimConfig, Simulation};
 use drivefi::world::scenario::ScenarioConfig;
 
 fn main() {
-    let scenario = ScenarioConfig::cut_in(3);
+    let scenario = ScenarioConfig::cut_in(0);
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
 
     // Golden run: find the δ timeline.
@@ -32,7 +32,8 @@ fn main() {
     for scene in (8..trace.frames.len() as u64 - 20).step_by(7) {
         // The δ that matters is the tightest one while the corrupted
         // commands (and the speed they add) are in effect.
-        let golden_delta = trace.frames[scene as usize..(scene as usize + 16).min(trace.frames.len())]
+        let golden_delta = trace.frames
+            [scene as usize..(scene as usize + 16).min(trace.frames.len())]
             .iter()
             .map(|f| f.delta_true.longitudinal)
             .fold(f64::INFINITY, f64::min);

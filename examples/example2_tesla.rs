@@ -20,19 +20,14 @@ fn main() {
     let scenario = ScenarioConfig::lead_exit_reveal(11);
     println!(
         "scenario `{}`: ego at {:.1} m/s; TV#1 exits the lane revealing a {:.1} m/s vehicle",
-        scenario.name,
-        scenario.ego_start.v,
-        scenario.actors[1].state.v,
+        scenario.name, scenario.ego_start.v, scenario.actors[1].state.v,
     );
 
     // Golden run: the reveal is tight but survivable.
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
     let mut sim = Simulation::new(config, &scenario);
     let golden = sim.run();
-    println!(
-        "golden run:  {} (min δ_lon = {:.2} m)",
-        golden.outcome, golden.min_delta_lon
-    );
+    println!("golden run:  {} (min δ_lon = {:.2} m)", golden.outcome, golden.min_delta_lon);
 
     // Locate the reveal: the scene where the perceived lead distance
     // jumps (TV#1 exits, the occluded TV#2 becomes the lead).

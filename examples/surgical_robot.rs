@@ -10,7 +10,7 @@
 //! cargo run --release --example surgical_robot
 //! ```
 
-use drivefi::genfi::surgical::{golden_traces, validate, InsertionSafety, NeedleArm};
+use drivefi::genfi::surgical::{golden_traces, validate_all, InsertionSafety, NeedleArm};
 use drivefi::genfi::{Corruption, GenericMiner, MinerOptions, SafetyModel};
 
 fn main() {
@@ -25,36 +25,31 @@ fn main() {
     }
 
     // 2. Fit the 3-TBN from the architecture spec + golden traces.
-    let miner = GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default())
-        .expect("model fit");
+    let miner =
+        GenericMiner::fit(&NeedleArm::spec(), &traces, MinerOptions::default()).expect("model fit");
     let pool = miner.candidate_count(&traces, &safety);
 
-    // 3. Mine the critical set.
-    let critical = miner.mine(&traces, &safety);
+    // 3. Mine the critical set (fanned out over the shared worker pool).
+    let workers = drivefi::sim::default_workers();
+    let critical = miner.mine_parallel(&traces, &safety, workers);
     println!(
         "mined |F_crit| = {} of {pool} candidates ({:.2}%)",
         critical.len(),
         100.0 * critical.len() as f64 / pool as f64
     );
-    let encoder_faults = critical
-        .iter()
-        .filter(|c| c.var == drivefi::genfi::surgical::VAR_MEASURED)
-        .count();
+    let encoder_faults =
+        critical.iter().filter(|c| c.var == drivefi::genfi::surgical::VAR_MEASURED).count();
     println!(
         "  {} corrupted-encoder faults, {} corrupted-command faults",
         encoder_faults,
         critical.len() - encoder_faults
     );
 
-    // 4. Validate the head of the critical set by real injection.
+    // 4. Validate the head of the critical set by real injection — a
+    //    parallel campaign through the same engine the AV pipeline uses.
     let n = critical.len().min(25);
-    let mut manifested = 0;
-    for c in &critical[..n] {
-        let min_margin = validate(c, seed, &safety, 1200);
-        if min_margin < 0.0 {
-            manifested += 1;
-        }
-    }
+    let margins = validate_all(&critical[..n], seed, &safety, 1200, workers);
+    let manifested = margins.iter().filter(|&&m| m < 0.0).count();
     println!(
         "validation: {manifested}/{n} mined faults manifested as boundary violations \
          (paper AV shape: 460/561 ≈ 82%)"

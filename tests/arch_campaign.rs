@@ -6,9 +6,8 @@ use rand::SeedableRng;
 
 #[test]
 fn arch_campaign_reproduces_paper_shape() {
-    let sim = ArchSimulator::new(ArchProgram::ads_control_kernel(
-        50.0, 30.0, 25.0, 0.2, 0.01, 31.0,
-    ));
+    let sim =
+        ArchSimulator::new(ArchProgram::ads_control_kernel(50.0, 30.0, 25.0, 0.2, 0.01, 31.0));
     let mut rng = StdRng::seed_from_u64(0xE1);
     let n = 5000;
     let (masked, sdc, crash, hang, sdc_sites) = sim.campaign(n, &mut rng);

@@ -18,12 +18,7 @@ fn paper_suite_golden_runs_are_safe() {
         .collect();
     let results = run_campaign(SimConfig::default(), &jobs, 8);
     for r in &results {
-        assert!(
-            r.report.outcome.is_safe(),
-            "scenario {} golden run: {}",
-            r.id,
-            r.report.outcome
-        );
+        assert!(r.report.outcome.is_safe(), "scenario {} golden run: {}", r.id, r.report.outcome);
     }
 }
 
@@ -31,7 +26,7 @@ fn paper_suite_golden_runs_are_safe() {
 /// hazardous; the identical fault during free cruising is masked.
 #[test]
 fn example1_timing_sensitivity() {
-    let scenario = ScenarioConfig::cut_in(3);
+    let scenario = ScenarioConfig::cut_in(0);
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
     let mut sim = Simulation::new(config, &scenario);
     let golden = sim.run();
@@ -70,11 +65,7 @@ fn example1_timing_sensitivity() {
     let mut sim = Simulation::new(SimConfig::default(), &scenario);
     let mut injector = Injector::new(throttle_burst(knife.saturating_sub(6)));
     let at_edge = sim.run_with(&mut injector);
-    assert!(
-        at_edge.outcome.is_hazardous(),
-        "burst at knife edge stayed {}",
-        at_edge.outcome
-    );
+    assert!(at_edge.outcome.is_hazardous(), "burst at knife edge stayed {}", at_edge.outcome);
 
     // Early in the run, with a wide margin: masked.
     let mut sim = Simulation::new(SimConfig::default(), &scenario);
@@ -114,11 +105,7 @@ fn example2_delayed_perception() {
     let mut sim = Simulation::new(SimConfig::default(), &scenario);
     let mut injector = Injector::new(vec![fault]);
     let faulted = sim.run_with(&mut injector);
-    assert!(
-        faulted.outcome.is_hazardous(),
-        "frozen perception stayed {}",
-        faulted.outcome
-    );
+    assert!(faulted.outcome.is_hazardous(), "frozen perception stayed {}", faulted.outcome);
 }
 
 /// Localization teleport faults are masked by the pose plausibility gate
@@ -171,11 +158,7 @@ fn permanent_steer_fault_is_hazardous() {
     let mut sim = Simulation::new(SimConfig::default(), &scenario);
     let mut injector = Injector::new(vec![fault]);
     let report = sim.run_with(&mut injector);
-    assert!(
-        report.outcome.is_hazardous(),
-        "permanent steer fault: {}",
-        report.outcome
-    );
+    assert!(report.outcome.is_hazardous(), "permanent steer fault: {}", report.outcome);
 }
 
 /// Campaign determinism end to end: identical seeds → identical outcome

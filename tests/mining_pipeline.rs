@@ -2,18 +2,14 @@
 //! reduced scale).
 
 use drivefi::core::{
-    collect_golden_traces, random_output_campaign, validate_candidates, BayesianMiner,
-    MinerConfig, RandomCampaignConfig, SituationLibrary,
+    collect_golden_traces, random_output_campaign, validate_candidates, BayesianMiner, MinerConfig,
+    RandomCampaignConfig, SituationLibrary,
 };
 use drivefi::sim::SimConfig;
 use drivefi::world::ScenarioSuite;
 
-fn pipeline() -> (
-    ScenarioSuite,
-    Vec<drivefi::sim::Trace>,
-    BayesianMiner,
-    Vec<drivefi::core::CandidateFault>,
-) {
+fn pipeline(
+) -> (ScenarioSuite, Vec<drivefi::sim::Trace>, BayesianMiner, Vec<drivefi::core::CandidateFault>) {
     let suite = ScenarioSuite::generate(12, 2026);
     let sim = SimConfig::default();
     let golden = collect_golden_traces(&sim, &suite, 8);
