@@ -118,9 +118,10 @@ pub fn exhaustive_comparison(
     // Materialize only the light-weight candidate tuples; keys and the
     // job stream both derive from this single enumeration (so submission
     // index i always corresponds to candidates[i]), and the jobs
-    // themselves — each carrying a full scenario clone — stream lazily
-    // through the engine: the scenario × fault cross-product is never
-    // materialized as a job vector, and the (two-String) FaultKeys are
+    // themselves stream lazily through the engine: the scenario × fault
+    // cross-product is never materialized as a job vector, every job
+    // shares its scenario's single `Arc` allocation (no per-job deep
+    // clone of road + actor storage), and the (two-String) FaultKeys are
     // built on demand rather than held for the whole campaign.
     let candidates: Vec<(u32, u64, drivefi_ads::Signal, ScalarFaultModel)> = traces
         .iter()
@@ -135,9 +136,10 @@ pub fn exhaustive_comparison(
         key(sid, scene, signal, model)
     };
 
+    let shared = suite.shared();
     let jobs = candidates.iter().map(|&(sid, scene, signal, model)| CampaignJob {
         id: u64::from(sid),
-        scenario: suite.scenarios[sid as usize].clone(),
+        scenario: std::sync::Arc::clone(&shared[sid as usize]),
         faults: vec![Fault {
             kind: FaultKind::Scalar { signal, model },
             window: FaultWindow::burst(

@@ -19,9 +19,10 @@ pub fn collect_golden_traces(
     let config = SimConfig { record_trace: true, stop_on_collision: false, ..*config };
     let engine = CampaignEngine::new(config).with_workers(workers);
     let mut sink = TraceSink::new();
-    let jobs = suite.scenarios.iter().map(|s| CampaignJob {
+    let shared = suite.shared();
+    let jobs = shared.iter().map(|s| CampaignJob {
         id: u64::from(s.id),
-        scenario: s.clone(),
+        scenario: std::sync::Arc::clone(s),
         faults: Vec::new(),
     });
     engine.run(jobs, &mut sink);

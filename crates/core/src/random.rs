@@ -63,8 +63,9 @@ pub fn random_output_campaign(
     config: &RandomCampaignConfig,
 ) -> RandomCampaignStats {
     // Draw the light-weight picks up front (the RNG stream must not
-    // depend on scheduling); the jobs themselves — each cloning a full
-    // scenario — stream into the engine one idle worker at a time.
+    // depend on scheduling); the jobs themselves — each sharing its
+    // scenario's one allocation — stream into the engine one idle worker
+    // at a time.
     let mut rng = StdRng::seed_from_u64(config.seed);
     let picks: Vec<(usize, u64, Signal, ScalarFaultModel)> = (0..config.runs)
         .map(|_| {
@@ -82,9 +83,10 @@ pub fn random_output_campaign(
 
     let engine = CampaignEngine::new(*sim).with_workers(config.workers);
     let mut running = RunningStats::new();
+    let shared = suite.shared();
     let jobs = picks.iter().enumerate().map(|(id, &(index, scene, signal, model))| CampaignJob {
         id: id as u64,
-        scenario: suite.scenarios[index].clone(),
+        scenario: std::sync::Arc::clone(&shared[index]),
         faults: vec![Fault {
             kind: FaultKind::Scalar { signal, model },
             window: FaultWindow::scene(scene),

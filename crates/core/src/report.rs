@@ -57,9 +57,10 @@ pub fn validate_candidates(
     let start = std::time::Instant::now();
     let engine = CampaignEngine::new(*sim).with_workers(workers);
     let mut collector = Collector::new();
+    let shared = suite.shared();
     let jobs = candidates.iter().enumerate().map(|(i, c)| CampaignJob {
         id: i as u64,
-        scenario: suite.scenarios[c.scenario_id as usize].clone(),
+        scenario: std::sync::Arc::clone(&shared[c.scenario_id as usize]),
         faults: vec![Fault {
             kind: FaultKind::Scalar { signal: c.signal, model: c.model },
             window: FaultWindow::burst(

@@ -16,16 +16,31 @@ use crate::trace::Trace;
 use drivefi_fault::{Fault, Injector};
 use drivefi_world::ScenarioConfig;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One campaign job: a scenario plus the faults to arm.
+///
+/// The scenario rides behind an [`Arc`]: a scenario × fault cross-product
+/// shares **one** allocation per scenario across all its jobs (an
+/// exhaustive sweep over a 40 s scenario spawns hundreds of jobs; deep-
+/// cloning road + actor storage per job dominated dispatch cost).
+/// Cloning a job is therefore cheap — a pointer bump plus the fault list.
 #[derive(Debug, Clone)]
 pub struct CampaignJob {
     /// Caller-chosen identifier carried through to the result.
     pub id: u64,
-    /// The scenario to drive.
-    pub scenario: ScenarioConfig,
+    /// The scenario to drive, shared across jobs.
+    pub scenario: Arc<ScenarioConfig>,
     /// The faults to arm (empty = golden run).
     pub faults: Vec<Fault>,
+}
+
+impl CampaignJob {
+    /// A job over an owned scenario (wraps it in a fresh [`Arc`]). For
+    /// many jobs over one scenario, build the `Arc` once and share it.
+    pub fn new(id: u64, scenario: ScenarioConfig, faults: Vec<Fault>) -> Self {
+        CampaignJob { id, scenario: Arc::new(scenario), faults }
+    }
 }
 
 /// The result of one campaign job.
@@ -222,11 +237,14 @@ impl WorkerArena {
 /// ```
 /// use drivefi_sim::{CampaignEngine, CampaignJob, SimConfig};
 /// use drivefi_world::ScenarioConfig;
+/// use std::sync::Arc;
 ///
 /// let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+/// // One allocation, shared by every job over the scenario.
+/// let scenario = Arc::new(ScenarioConfig::lead_vehicle_cruise(7));
 /// let jobs = (0..3).map(|i| CampaignJob {
 ///     id: i,
-///     scenario: ScenarioConfig::lead_vehicle_cruise(i),
+///     scenario: Arc::clone(&scenario),
 ///     faults: vec![],
 /// });
 /// let results = engine.collect(jobs);
@@ -308,7 +326,7 @@ mod tests {
     use drivefi_fault::{FaultKind, FaultWindow, ScalarFaultModel};
 
     fn golden_job(id: u64, seed: u64) -> CampaignJob {
-        CampaignJob { id, scenario: ScenarioConfig::lead_vehicle_cruise(seed), faults: vec![] }
+        CampaignJob::new(id, ScenarioConfig::lead_vehicle_cruise(seed), vec![])
     }
 
     fn faulted_job(id: u64, seed: u64, scene: u64) -> CampaignJob {
@@ -319,7 +337,7 @@ mod tests {
             },
             window: FaultWindow::scene(scene),
         };
-        CampaignJob { id, scenario: ScenarioConfig::lead_vehicle_cruise(seed), faults: vec![fault] }
+        CampaignJob::new(id, ScenarioConfig::lead_vehicle_cruise(seed), vec![fault])
     }
 
     #[test]
@@ -381,7 +399,7 @@ mod tests {
             kind: FaultKind::Scalar { signal: Signal::RawBrake, model: ScalarFaultModel::StuckMax },
             window: FaultWindow::scene(10),
         };
-        let jobs = vec![CampaignJob { id: 0, scenario, faults: vec![fault] }];
+        let jobs = vec![CampaignJob::new(0, scenario, vec![fault])];
         let results = run_campaign(SimConfig::default(), &jobs, 2);
         assert!(results[0].report.injections > 0);
     }
@@ -398,6 +416,25 @@ mod tests {
             assert!(seen.insert(index));
         });
         assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn jobs_share_one_scenario_allocation() {
+        // The zero-clone contract: a cross-product of jobs over one
+        // scenario holds one allocation, and cloning a job (the
+        // `run_campaign` slice path) bumps a refcount instead of deep-
+        // cloning road + actor storage.
+        let scenario = Arc::new(ScenarioConfig::lead_vehicle_cruise(3));
+        let jobs: Vec<_> = (0..8u64)
+            .map(|id| CampaignJob { id, scenario: Arc::clone(&scenario), faults: vec![] })
+            .collect();
+        for job in &jobs {
+            assert!(Arc::ptr_eq(&job.scenario, &scenario));
+        }
+        let cloned = jobs[0].clone();
+        assert!(Arc::ptr_eq(&cloned.scenario, &scenario));
+        let results = run_campaign(SimConfig::default(), &jobs, 4);
+        assert_eq!(results.len(), 8);
     }
 
     #[test]
@@ -418,10 +455,11 @@ mod tests {
             SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };
         let engine = CampaignEngine::new(config).with_workers(3);
         let mut sink = TraceSink::new();
-        let scenarios: Vec<_> = (0..3u64).map(ScenarioConfig::lead_vehicle_cruise).collect();
+        let scenarios: Vec<_> =
+            (0..3u64).map(|i| Arc::new(ScenarioConfig::lead_vehicle_cruise(i))).collect();
         let jobs = scenarios.iter().map(|s| CampaignJob {
             id: u64::from(s.id),
-            scenario: s.clone(),
+            scenario: Arc::clone(s),
             faults: vec![],
         });
         engine.run(jobs, &mut sink);

@@ -32,6 +32,7 @@ pub mod behavior;
 pub mod collision;
 pub mod road;
 pub mod scenario;
+pub mod spec;
 mod world_impl;
 
 pub use actor::{Actor, ActorId, ActorKind, BodyDims};
@@ -39,4 +40,5 @@ pub use behavior::{Behavior, IdmParams};
 pub use collision::{obb_overlap, segment_intersects_obb, Obb};
 pub use road::{Lane, LaneId, Road};
 pub use scenario::{ScenarioConfig, ScenarioSuite};
+pub use spec::{FamilyRegistry, ScenarioSpec};
 pub use world_impl::{GroundTruth, World};

@@ -5,14 +5,20 @@
 //! which only 68 turned out to be safety-critical. This module provides a
 //! matching synthetic corpus: families of parameterized highway scenarios
 //! (free driving, car following, lead braking, cut-ins, occluded-lead
-//! reveals à la the Tesla crash, pedestrian crossings, platoons) jittered
-//! by a seeded RNG.
+//! reveals à la the Tesla crash, pedestrian crossings, platoons, and the
+//! post-paper additions) jittered by a seeded RNG.
+//!
+//! Families are **declarative**: each is a [`crate::spec::ScenarioSpec`]
+//! in the [`crate::spec::FamilyRegistry`], sampled into a
+//! [`ScenarioConfig`] by a seeded sampler. Suite construction
+//! ([`ScenarioSuite::generate`] / [`ScenarioSuite::extended`]) resolves
+//! family names through the registry; the legacy constructors on
+//! [`ScenarioConfig`] are thin registry lookups kept for ergonomics.
 
-use crate::behavior::{Behavior, IdmParams, LaneChangeSpec, SpeedKeyframe};
-use crate::{Actor, ActorId, ActorKind, Road};
+use crate::spec::FamilyRegistry;
+use crate::{Actor, Road};
 use drivefi_kinematics::VehicleState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// The camera frame rate that defines a "scene" (paper: slowest sensor at
 /// 7.5 Hz drives the injector's discrete clock).
@@ -23,9 +29,12 @@ pub const SCENE_RATE_HZ: f64 = 7.5;
 pub struct ScenarioConfig {
     /// Identifier within a suite.
     pub id: u32,
-    /// Family name (e.g. `"cut_in"`).
+    /// Family name (e.g. `"cut_in"`) — a [`FamilyRegistry`] key.
     pub name: String,
-    /// Seed used to jitter parameters (kept for reproducibility).
+    /// Seed used to jitter parameters. `(name, seed)` reproduces the
+    /// scenario exactly: `FamilyRegistry::builtin().sample(&name, id,
+    /// seed)` — the id is recorded verbatim and does not enter the RNG
+    /// stream.
     pub seed: u64,
     /// Scenario duration \[s\].
     pub duration: f64,
@@ -45,211 +54,55 @@ impl ScenarioConfig {
         (self.duration * SCENE_RATE_HZ).round() as usize
     }
 
-    fn base(id: u32, name: &str, seed: u64) -> (Self, StdRng) {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xD21E_F1A5_0000 ^ u64::from(id));
-        let v0 = rng.random_range(24.0..33.5);
-        let cfg = ScenarioConfig {
-            id,
-            name: name.to_owned(),
-            seed,
-            duration: 40.0,
-            road: Road::default_highway(),
-            ego_start: VehicleState::new(0.0, 0.0, v0, 0.0, 0.0),
-            ego_set_speed: rng.random_range(v0..(v0 + 4.0).min(33.5 + 1e-9)),
-            actors: Vec::new(),
-        };
-        (cfg, rng)
+    /// Samples the builtin family `name`, using the family's key as the
+    /// scenario id (the legacy standalone-constructor convention).
+    fn from_family(name: &str, seed: u64) -> Self {
+        let spec = FamilyRegistry::builtin().get(name).expect("builtin family");
+        spec.sample(spec.family_key as u32, seed)
     }
 
     /// Free driving: empty road, ego cruises at its set speed.
     pub fn free_drive(seed: u64) -> Self {
-        let (cfg, _) = Self::base(0, "free_drive", seed);
-        cfg
+        Self::from_family("free_drive", seed)
     }
 
     /// A lead vehicle cruising ahead at a similar speed.
     pub fn lead_vehicle_cruise(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(1, "lead_cruise", seed);
-        let gap = rng.random_range(45.0..90.0);
-        let lead_v = cfg.ego_start.v + rng.random_range(-2.0..2.0);
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Car,
-            VehicleState::new(gap, 0.0, lead_v.max(15.0), 0.0, 0.0),
-            Behavior::idm(lead_v.max(15.0)),
-        ));
-        cfg
+        Self::from_family("lead_cruise", seed)
     }
 
     /// The lead vehicle brakes hard mid-scenario.
     pub fn lead_brake(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(2, "lead_brake", seed);
-        let gap = rng.random_range(50.0..80.0);
-        let brake_t = rng.random_range(8.0..16.0);
-        let decel = rng.random_range(2.5..5.0);
-        let recover_t = brake_t + rng.random_range(3.0..5.0);
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Car,
-            VehicleState::new(gap, 0.0, cfg.ego_start.v, 0.0, 0.0),
-            Behavior::Scripted {
-                keyframes: vec![
-                    SpeedKeyframe { time: 0.0, accel: 0.0 },
-                    SpeedKeyframe { time: brake_t, accel: -decel },
-                    SpeedKeyframe { time: recover_t, accel: 1.0 },
-                    SpeedKeyframe { time: recover_t + 6.0, accel: 0.0 },
-                ],
-                lane_change: None,
-            },
-        ));
-        cfg
+        Self::from_family("lead_brake", seed)
     }
 
     /// Paper Example 1: a target vehicle in the adjacent lane cuts into
     /// the ego lane with a small gap, collapsing the safety potential from
     /// ~20 m to ~2 m.
     pub fn cut_in(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(3, "cut_in", seed);
-        let cut_t = rng.random_range(6.0..12.0);
-        // Tight but fault-free-survivable: at the cut moment δ_lon ≈
-        // gap − margin − (v² − v_tv²)/(2a) must stay positive (paper
-        // Example 1: the cut-in squeezes δ from ~20 m to ~2 m without a
-        // fault; only the injected throttle fault makes it collapse).
-        // The spawn distance budgets for the closure the ego achieves
-        // before and during the maneuver, so the TV is still ahead when
-        // it merges.
-        let tv_speed = cfg.ego_set_speed - rng.random_range(2.0..4.0);
-        let closure = (cfg.ego_set_speed - tv_speed) * (cut_t + 3.0);
-        let ahead = rng.random_range(10.0..17.0) + closure;
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Car,
-            VehicleState::new(ahead, 3.7, tv_speed, 0.0, 0.0),
-            Behavior::Idm {
-                params: IdmParams::default(),
-                desired_speed: tv_speed,
-                lane_change: Some(LaneChangeSpec {
-                    start_time: cut_t,
-                    duration: 3.0,
-                    from_y: 3.7,
-                    to_y: 0.0,
-                }),
-            },
-        ));
-        // Additional traffic in the far lane for sensor load.
-        cfg.actors.push(Actor::new(
-            ActorId(2),
-            ActorKind::Car,
-            VehicleState::new(rng.random_range(40.0..70.0), 7.4, tv_speed, 0.0, 0.0),
-            Behavior::idm(tv_speed),
-        ));
-        cfg
+        Self::from_family("cut_in", seed)
     }
 
     /// Paper Example 2 (Tesla-crash analog): the lead vehicle TV#1 hides a
     /// slow vehicle TV#2; mid-scenario TV#1 exits the lane, revealing TV#2
     /// with little time to react.
     pub fn lead_exit_reveal(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(4, "lead_exit_reveal", seed);
-        let lead_gap = rng.random_range(40.0..55.0);
-        let reveal_gap = rng.random_range(110.0..150.0);
-        let slow_v = rng.random_range(3.0..8.0);
-        // TV#1 keeps speed (it sees TV#2 late, exactly like the Tesla
-        // incident) and swerves out at 35 % of its time-to-collision with
-        // the slow vehicle, clearing TV#2 just before reaching it.
-        let closing = (cfg.ego_set_speed - slow_v).max(5.0);
-        let exit_t = 0.35 * reveal_gap / closing;
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Car,
-            VehicleState::new(lead_gap, 0.0, cfg.ego_start.v, 0.0, 0.0),
-            Behavior::Scripted {
-                keyframes: vec![SpeedKeyframe { time: 0.0, accel: 0.0 }],
-                lane_change: Some(LaneChangeSpec {
-                    start_time: exit_t,
-                    duration: 2.0,
-                    from_y: 0.0,
-                    to_y: 3.7,
-                }),
-            },
-        ));
-        // TV#2: the hidden slow vehicle.
-        cfg.actors.push(Actor::new(
-            ActorId(2),
-            ActorKind::Car,
-            VehicleState::new(lead_gap + reveal_gap, 0.0, slow_v, 0.0, 0.0),
-            Behavior::idm(slow_v),
-        ));
-        cfg
+        Self::from_family("lead_exit_reveal", seed)
     }
 
     /// A pedestrian steps onto the roadway as the ego approaches.
     pub fn pedestrian_crossing(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(5, "pedestrian", seed);
-        let cross_x = rng.random_range(350.0..550.0);
-        // Trigger so the pedestrian is inside the ego corridor well
-        // before the ego arrives: at freeway speed the ego needs the full
-        // v²/(2a) ≈ 70 m plus perception latency, i.e. ~5 s of warning,
-        // to stop. (A later trigger makes the collision *unavoidable*,
-        // which tests the scenario, not the ADS.)
-        let eta = cross_x / cfg.ego_set_speed;
-        let walk_speed = rng.random_range(1.0..1.8);
-        let start_y: f64 = -4.0;
-        let corridor_entry_delay = (start_y.abs() - 2.25) / walk_speed;
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Pedestrian,
-            VehicleState::new(cross_x, start_y, 0.0, std::f64::consts::FRAC_PI_2, 0.0),
-            Behavior::Pedestrian {
-                trigger_time: (eta - corridor_entry_delay - rng.random_range(4.5..6.0)).max(0.5),
-                walk_speed,
-            },
-        ));
-        cfg
+        Self::from_family("pedestrian", seed)
     }
 
     /// A platoon of IDM followers behind a stop-and-go scripted leader.
     pub fn platoon(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(6, "platoon", seed);
-        let n = rng.random_range(2..5u32);
-        let mut x = rng.random_range(45.0..65.0);
-        for i in 0..n {
-            let behavior = if i == n - 1 {
-                let brake_t = rng.random_range(10.0..18.0);
-                Behavior::Scripted {
-                    keyframes: vec![
-                        SpeedKeyframe { time: 0.0, accel: 0.0 },
-                        SpeedKeyframe { time: brake_t, accel: -3.0 },
-                        SpeedKeyframe { time: brake_t + 4.0, accel: 1.5 },
-                        SpeedKeyframe { time: brake_t + 10.0, accel: 0.0 },
-                    ],
-                    lane_change: None,
-                }
-            } else {
-                Behavior::idm(cfg.ego_set_speed)
-            };
-            cfg.actors.push(Actor::new(
-                ActorId(i + 1),
-                ActorKind::Car,
-                VehicleState::new(x, 0.0, cfg.ego_start.v, 0.0, 0.0),
-                behavior,
-            ));
-            x += rng.random_range(25.0..40.0);
-        }
-        cfg
+        Self::from_family("platoon", seed)
     }
 
     /// A stalled vehicle (static obstacle) in the ego lane far ahead.
     pub fn stalled_vehicle(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(7, "stalled_vehicle", seed);
-        let x = rng.random_range(400.0..700.0);
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::StaticObstacle,
-            VehicleState::new(x, rng.random_range(-0.4..0.4), 0.0, 0.0, 0.0),
-            Behavior::Static,
-        ));
-        cfg
+        Self::from_family("stalled_vehicle", seed)
     }
 
     /// A slow vehicle merges into the ego lane from the right while still
@@ -257,35 +110,7 @@ impl ScenarioConfig {
     /// Unlike [`ScenarioConfig::cut_in`], the merger starts well below
     /// highway speed, so the ego's closing rate at merge time is high.
     pub fn merge(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(8, "merge", seed);
-        let merge_t = rng.random_range(5.0..10.0);
-        let merge_v0 = rng.random_range(16.0..22.0);
-        // Budget spawn distance so the merger is still ahead of the ego
-        // when it enters the lane, with a survivable (but tight) gap.
-        // It accelerates at ~1.5 m/s² toward traffic speed throughout.
-        let accel = 1.5;
-        let merger_travel = merge_v0 * merge_t + 0.5 * accel * merge_t * merge_t;
-        let ego_travel = cfg.ego_set_speed * merge_t;
-        let gap_at_merge = rng.random_range(18.0..30.0);
-        let ahead = gap_at_merge + ego_travel - merger_travel;
-        cfg.actors.push(Actor::new(
-            ActorId(1),
-            ActorKind::Car,
-            VehicleState::new(ahead.max(5.0), -3.7, merge_v0, 0.0, 0.0),
-            Behavior::Scripted {
-                keyframes: vec![
-                    SpeedKeyframe { time: 0.0, accel },
-                    SpeedKeyframe { time: merge_t + 8.0, accel: 0.0 },
-                ],
-                lane_change: Some(LaneChangeSpec {
-                    start_time: merge_t,
-                    duration: 3.0,
-                    from_y: -3.7,
-                    to_y: 0.0,
-                }),
-            },
-        ));
-        cfg
+        Self::from_family("merge", seed)
     }
 
     /// Stop-and-go traffic: a queue of IDM followers behind a leader that
@@ -293,38 +118,7 @@ impl ScenarioConfig {
     /// of congested freeways. Keeps the ego in a persistently low-δ
     /// regime without ever being hazard-free-unsurvivable.
     pub fn stop_and_go(seed: u64) -> Self {
-        let (mut cfg, mut rng) = Self::base(9, "stop_and_go", seed);
-        // Congested corpus: everyone starts slow.
-        let jam_v = rng.random_range(8.0..14.0);
-        cfg.ego_start.v = jam_v;
-        cfg.ego_set_speed = jam_v + rng.random_range(2.0..5.0);
-        let n = rng.random_range(2..4u32);
-        let mut x = rng.random_range(25.0..40.0);
-        let period = rng.random_range(8.0..12.0);
-        for i in 0..n {
-            let behavior = if i == n - 1 {
-                // The wave source: brake, crawl, recover, repeat.
-                let mut keyframes = vec![SpeedKeyframe { time: 0.0, accel: 0.0 }];
-                let mut t = rng.random_range(3.0..6.0);
-                while t + period < cfg.duration {
-                    keyframes.push(SpeedKeyframe { time: t, accel: -2.5 });
-                    keyframes.push(SpeedKeyframe { time: t + 0.35 * period, accel: 1.8 });
-                    keyframes.push(SpeedKeyframe { time: t + 0.7 * period, accel: 0.0 });
-                    t += period;
-                }
-                Behavior::Scripted { keyframes, lane_change: None }
-            } else {
-                Behavior::idm(jam_v + 2.0)
-            };
-            cfg.actors.push(Actor::new(
-                ActorId(i + 1),
-                ActorKind::Car,
-                VehicleState::new(x, 0.0, jam_v, 0.0, 0.0),
-                behavior,
-            ));
-            x += rng.random_range(18.0..28.0);
-        }
-        cfg
+        Self::from_family("stop_and_go", seed)
     }
 }
 
@@ -335,40 +129,69 @@ pub struct ScenarioSuite {
     pub scenarios: Vec<ScenarioConfig>,
 }
 
-impl ScenarioSuite {
-    /// The eight scenario family constructors, cycled by [`ScenarioSuite::generate`].
-    /// The mix is weighted toward interaction-heavy families (cut-ins,
-    /// occluded reveals, stalled vehicles) so the corpus has a realistic
-    /// density of low-δ scenes — the paper's corpus likewise
-    /// concentrated its 68 critical scenes in a small set of tight
-    /// situations.
-    const FAMILIES: [fn(u64) -> ScenarioConfig; 12] = [
-        ScenarioConfig::free_drive,
-        ScenarioConfig::cut_in,
-        ScenarioConfig::lead_vehicle_cruise,
-        ScenarioConfig::lead_exit_reveal,
-        ScenarioConfig::lead_brake,
-        ScenarioConfig::stalled_vehicle,
-        ScenarioConfig::cut_in,
-        ScenarioConfig::pedestrian_crossing,
-        ScenarioConfig::lead_exit_reveal,
-        ScenarioConfig::platoon,
-        ScenarioConfig::stalled_vehicle,
-        ScenarioConfig::cut_in,
-    ];
+/// The paper-era family mix, cycled by [`ScenarioSuite::generate`].
+/// Weighted toward interaction-heavy families (cut-ins, occluded
+/// reveals, stalled vehicles) so the corpus has a realistic density of
+/// low-δ scenes — the paper's corpus likewise concentrated its 68
+/// critical scenes in a small set of tight situations.
+const PAPER_MIX: [&str; 12] = [
+    "free_drive",
+    "cut_in",
+    "lead_cruise",
+    "lead_exit_reveal",
+    "lead_brake",
+    "stalled_vehicle",
+    "cut_in",
+    "pedestrian",
+    "lead_exit_reveal",
+    "platoon",
+    "stalled_vehicle",
+    "cut_in",
+];
 
-    /// Generates `count` scenarios cycling through the families, each
-    /// jittered by `seed`.
-    pub fn generate(count: u32, seed: u64) -> Self {
+/// The post-paper mix, cycled by [`ScenarioSuite::extended`]: the paper
+/// families interleaved with every DSL-native addition (tailgaters,
+/// weaves, debris fields, shockwaves, merges, stop-and-go). Kept separate
+/// from [`PAPER_MIX`] so the E1–E13 reproductions stay comparable
+/// run-to-run.
+const EXTENDED_MIX: [&str; 16] = [
+    "free_drive",
+    "cut_in",
+    "tailgater",
+    "lead_cruise",
+    "lead_exit_reveal",
+    "multi_lane_weave",
+    "merge",
+    "stop_and_go",
+    "lead_brake",
+    "debris_field",
+    "pedestrian",
+    "platoon",
+    "shockwave_pedestrian",
+    "stalled_vehicle",
+    "merge",
+    "stop_and_go",
+];
+
+impl ScenarioSuite {
+    /// The one suite builder: scenario `i` samples the family
+    /// `family_of(i)` from the builtin registry, with the suite index as
+    /// the scenario id and a per-index jittered seed. Because the sampler
+    /// takes the id explicitly (and keeps it out of the RNG stream), the
+    /// recorded `(name, seed)` pair on every [`ScenarioConfig`]
+    /// reproduces that scenario exactly.
+    fn from_plan(count: u32, seed: u64, family_of: impl Fn(u32) -> &'static str) -> Self {
+        let registry = FamilyRegistry::builtin();
         let scenarios = (0..count)
-            .map(|i| {
-                let family = Self::FAMILIES[(i as usize) % Self::FAMILIES.len()];
-                let mut cfg = family(seed.wrapping_add(u64::from(i) * 7919));
-                cfg.id = i;
-                cfg
-            })
+            .map(|i| registry.sample(family_of(i), i, seed.wrapping_add(u64::from(i) * 7919)))
             .collect();
         ScenarioSuite { scenarios }
+    }
+
+    /// Generates `count` scenarios cycling through the paper-era
+    /// families, each jittered by `seed`.
+    pub fn generate(count: u32, seed: u64) -> Self {
+        Self::from_plan(count, seed, |i| PAPER_MIX[(i as usize) % PAPER_MIX.len()])
     }
 
     /// The paper-scale corpus: 24 scenarios × 40 s × 7.5 Hz = **7 200
@@ -377,44 +200,31 @@ impl ScenarioSuite {
         Self::generate(24, seed)
     }
 
-    /// The two post-paper scenario families (on-ramp merges and
-    /// stop-and-go congestion waves) cycled by
-    /// [`ScenarioSuite::extended`].
-    const EXTENDED_FAMILIES: [fn(u64) -> ScenarioConfig; 2] =
-        [ScenarioConfig::merge, ScenarioConfig::stop_and_go];
-
-    /// An extended corpus: the paper families plus on-ramp merges and
-    /// stop-and-go congestion (one of each per six paper scenarios).
-    /// Kept separate from [`ScenarioSuite::paper_suite`] so the E1–E10
-    /// reproductions stay comparable run-to-run.
+    /// An extended corpus cycling [`EXTENDED_MIX`]: the paper families
+    /// plus every post-paper family (on-ramp merges, stop-and-go
+    /// congestion, aggressive tailgaters, multi-lane weaves, stopped
+    /// debris, shockwaves with crossing pedestrians).
     pub fn extended(count: u32, seed: u64) -> Self {
-        let scenarios = (0..count)
-            .map(|i| {
-                let idx = i as usize;
-                let mut cfg = if idx % 8 == 6 {
-                    Self::EXTENDED_FAMILIES[0](seed.wrapping_add(u64::from(i) * 7919))
-                } else if idx % 8 == 7 {
-                    Self::EXTENDED_FAMILIES[1](seed.wrapping_add(u64::from(i) * 7919))
-                } else {
-                    let family = Self::FAMILIES[idx % Self::FAMILIES.len()];
-                    family(seed.wrapping_add(u64::from(i) * 7919))
-                };
-                cfg.id = i;
-                cfg
-            })
-            .collect();
-        ScenarioSuite { scenarios }
+        Self::from_plan(count, seed, |i| EXTENDED_MIX[(i as usize) % EXTENDED_MIX.len()])
     }
 
     /// Total number of scenes (camera frames) in the suite.
     pub fn scene_count(&self) -> usize {
         self.scenarios.iter().map(ScenarioConfig::scene_count).sum()
     }
+
+    /// The scenarios behind shared pointers, for zero-clone campaign
+    /// fan-out: each scenario is allocated once and every job in a
+    /// scenario × fault cross-product shares it.
+    pub fn shared(&self) -> Vec<Arc<ScenarioConfig>> {
+        self.scenarios.iter().cloned().map(Arc::new).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ActorKind;
 
     #[test]
     fn paper_suite_has_7200_scenes() {
@@ -444,6 +254,25 @@ mod tests {
     }
 
     #[test]
+    fn recorded_name_and_seed_reproduce_suite_scenarios() {
+        // The satellite fix: the suite no longer overwrites ids after
+        // sampling, so the recorded (name, seed) on any suite scenario
+        // reproduces it through the registry regardless of the id passed.
+        let suite = ScenarioSuite::extended(16, 321);
+        for s in &suite.scenarios {
+            let again = FamilyRegistry::builtin().sample(&s.name, s.id, s.seed);
+            assert_eq!(again.id, s.id);
+            assert_eq!(again.ego_start, s.ego_start);
+            assert_eq!(again.ego_set_speed, s.ego_set_speed);
+            assert_eq!(again.actors.len(), s.actors.len());
+            for (x, y) in again.actors.iter().zip(&s.actors) {
+                assert_eq!(x.state, y.state);
+                assert_eq!(x.behavior, y.behavior);
+            }
+        }
+    }
+
+    #[test]
     fn cut_in_has_adjacent_lane_tv() {
         let cfg = ScenarioConfig::cut_in(7);
         assert_eq!(cfg.actors[0].state.y, 3.7);
@@ -459,15 +288,15 @@ mod tests {
     }
 
     #[test]
-    fn every_family_builds_and_runs() {
-        for (i, family) in ScenarioSuite::FAMILIES.iter().enumerate() {
-            let cfg = family(123);
+    fn every_registered_family_builds_and_runs() {
+        for spec in FamilyRegistry::builtin().specs() {
+            let cfg = spec.sample(0, 123);
             let mut w = crate::World::from_scenario(&cfg);
-            w.set_ego(cfg.ego_start, crate::ActorKind::Car.dims());
+            w.set_ego(cfg.ego_start, ActorKind::Car.dims());
             for _ in 0..50 {
                 w.step(1.0 / SCENE_RATE_HZ);
             }
-            assert!(w.time() > 6.0, "family {i} failed to advance");
+            assert!(w.time() > 6.0, "family {} failed to advance", spec.name);
         }
     }
 
@@ -491,25 +320,16 @@ mod tests {
     }
 
     #[test]
-    fn extended_families_build_and_run() {
-        for family in [ScenarioConfig::merge, ScenarioConfig::stop_and_go] {
-            let cfg = family(123);
-            let mut w = crate::World::from_scenario(&cfg);
-            w.set_ego(cfg.ego_start, crate::ActorKind::Car.dims());
-            for _ in 0..50 {
-                w.step(1.0 / SCENE_RATE_HZ);
-            }
-            assert!(w.time() > 6.0);
-        }
-    }
-
-    #[test]
     fn extended_suite_mixes_new_families() {
         let suite = ScenarioSuite::extended(16, 77);
         let names: Vec<&str> = suite.scenarios.iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"merge"));
         assert!(names.contains(&"stop_and_go"));
-        // ids are reassigned sequentially
+        assert!(names.contains(&"tailgater"));
+        assert!(names.contains(&"multi_lane_weave"));
+        assert!(names.contains(&"debris_field"));
+        assert!(names.contains(&"shockwave_pedestrian"));
+        // ids follow the suite order.
         for (i, s) in suite.scenarios.iter().enumerate() {
             assert_eq!(s.id as usize, i);
         }
@@ -524,6 +344,7 @@ mod tests {
         let names: Vec<&str> = suite.scenarios.iter().map(|s| s.name.as_str()).collect();
         assert!(!names.contains(&"merge"));
         assert!(!names.contains(&"stop_and_go"));
+        assert!(!names.contains(&"tailgater"));
     }
 
     #[test]
@@ -532,6 +353,18 @@ mod tests {
         for s in &suite.scenarios {
             assert!(s.ego_start.v >= 24.0 && s.ego_start.v <= 33.5);
             assert!(s.ego_set_speed <= 34.0);
+        }
+    }
+
+    #[test]
+    fn shared_scenarios_alias_one_allocation() {
+        let suite = ScenarioSuite::generate(4, 9);
+        let shared = suite.shared();
+        assert_eq!(shared.len(), 4);
+        for (arc, s) in shared.iter().zip(&suite.scenarios) {
+            assert_eq!(arc.id, s.id);
+            let clone = Arc::clone(arc);
+            assert!(Arc::ptr_eq(arc, &clone));
         }
     }
 }

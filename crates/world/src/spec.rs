@@ -1,0 +1,1392 @@
+//! Declarative scenario DSL: specs, the seeded sampler, and the family
+//! registry.
+//!
+//! The original scenario layer was a closed set of hardcoded constructor
+//! functions wired through fn-pointer arrays — adding a driving situation
+//! meant writing imperative Rust inside `drivefi-world`. AVFI (Jha et
+//! al.) argues an injection harness lives or dies by how cheaply new
+//! scenarios can be authored; this module makes scenario families *data*:
+//!
+//! * [`ScenarioSpec`] — a declarative description of one family: road
+//!   geometry, ego-initialization ranges, and a small sampling
+//!   [`Stmt`] program that draws jittered parameters and spawns actors
+//!   from templates with parameterized maneuver programs (keyframe /
+//!   IDM / lane-change / pedestrian / brake-wave primitives).
+//! * [`Expr`] — arithmetic over drawn parameters and ego builtins, so
+//!   derived quantities (spawn-distance budgets, time-to-collision
+//!   triggers) stay declarative.
+//! * [`FamilyRegistry`] — name → spec. The builtin registry carries every
+//!   family the evaluation suites use; downstream users register their
+//!   own specs next to them.
+//!
+//! Sampling is a pure function of `(spec, id, seed)`: the RNG stream is
+//! seeded from the spec's stable `family_key` (not the suite position),
+//! so a recorded `(name, seed)` pair reproduces a scenario exactly no
+//! matter where in a suite it appeared. The ten pre-DSL families compile
+//! to specs that reproduce the historical byte-for-byte streams — the
+//! paper suite (24 scenarios / 7 200 scenes) is unchanged.
+
+use crate::behavior::{Behavior, IdmParams, LaneChangeSpec, SpeedKeyframe};
+use crate::{Actor, ActorId, ActorKind, Road, ScenarioConfig};
+use drivefi_kinematics::VehicleState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Seed-mixing constant shared by every family (kept from the pre-DSL
+/// constructors so historical streams reproduce).
+const SEED_MAGIC: u64 = 0xD21E_F1A5_0000;
+
+/// An arithmetic expression over sampled parameters and ego builtins.
+///
+/// Variables are bound by [`Stmt::Draw`] / [`Stmt::DrawInt`] /
+/// [`Stmt::Let`]; the builtins `"ego.v"` (current ego start speed),
+/// `"ego.set_speed"` (current planner set-speed), `"duration"`, and —
+/// inside a [`Stmt::Repeat`] body — `"i"`, `"n"`, `"last"` are always
+/// available. Operators follow IEEE f64 semantics in source order, so a
+/// spec computes bit-identical values to the imperative code it replaces.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A constant.
+    Const(f64),
+    /// A bound variable.
+    Var(&'static str),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient.
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// `f64::min`.
+    Min(Box<Expr>, Box<Expr>),
+    /// `f64::max`.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+/// A literal expression.
+pub fn lit(value: f64) -> Expr {
+    Expr::Const(value)
+}
+
+/// A variable reference.
+pub fn var(name: &'static str) -> Expr {
+    Expr::Var(name)
+}
+
+impl From<f64> for Expr {
+    fn from(value: f64) -> Self {
+        Expr::Const(value)
+    }
+}
+
+macro_rules! expr_binop {
+    ($($trait:ident :: $method:ident => $variant:ident),* $(,)?) => {$(
+        impl<R: Into<Expr>> std::ops::$trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    )*};
+}
+
+expr_binop! {
+    Add::add => Add,
+    Sub::sub => Sub,
+    Mul::mul => Mul,
+    Div::div => Div,
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl Expr {
+    /// `f64::min` of the two expressions.
+    pub fn min(self, other: impl Into<Expr>) -> Expr {
+        Expr::Min(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `f64::max` of the two expressions.
+    pub fn max(self, other: impl Into<Expr>) -> Expr {
+        Expr::Max(Box::new(self), Box::new(other.into()))
+    }
+
+    fn eval(&self, env: &Env) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(name) => env.get(name),
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::Div(a, b) => a.eval(env) / b.eval(env),
+            Expr::Neg(a) => -a.eval(env),
+            Expr::Min(a, b) => a.eval(env).min(b.eval(env)),
+            Expr::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+}
+
+/// The sampler's variable environment. Linear scan: family programs bind
+/// a handful of names.
+#[derive(Debug, Default)]
+struct Env {
+    bindings: Vec<(&'static str, f64)>,
+}
+
+impl Env {
+    fn get(&self, name: &str) -> f64 {
+        self.try_get(name).unwrap_or_else(|| panic!("unbound scenario variable `{name}`"))
+    }
+
+    fn try_get(&self, name: &str) -> Option<f64> {
+        self.bindings.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn set(&mut self, name: &'static str, value: f64) {
+        match self.bindings.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.bindings.push((name, value)),
+        }
+    }
+
+    fn unset(&mut self, name: &str) {
+        self.bindings.retain(|(n, _)| *n != name);
+    }
+}
+
+/// A lane-change maneuver template (cosine blend, like
+/// [`LaneChangeSpec`], with parameterized timing and lanes).
+#[derive(Debug, Clone)]
+pub struct LaneChangeTemplate {
+    /// Maneuver start time \[s\].
+    pub start_time: Expr,
+    /// Maneuver duration \[s\].
+    pub duration: Expr,
+    /// Lateral start \[m\].
+    pub from_y: Expr,
+    /// Lateral end \[m\].
+    pub to_y: Expr,
+}
+
+impl LaneChangeTemplate {
+    fn sample(&self, env: &Env) -> LaneChangeSpec {
+        LaneChangeSpec {
+            start_time: self.start_time.eval(env),
+            duration: self.duration.eval(env),
+            from_y: self.from_y.eval(env),
+            to_y: self.to_y.eval(env),
+        }
+    }
+}
+
+/// A longitudinal maneuver program for scripted actors.
+#[derive(Debug, Clone)]
+pub enum KeyframeProgram {
+    /// Explicit `(time, accel)` keyframes.
+    List(Vec<(Expr, Expr)>),
+    /// The congestion-wave primitive: starting at `start`, repeat
+    /// brake / recover / coast segments every `period` seconds until the
+    /// scenario duration is reached (the accordion waves of stop-and-go
+    /// traffic).
+    Wave {
+        /// First brake onset \[s\].
+        start: Expr,
+        /// Wave period \[s\].
+        period: Expr,
+        /// Braking acceleration (negative) \[m/s²\].
+        brake: Expr,
+        /// Recovery acceleration \[m/s²\].
+        recover: Expr,
+        /// Fraction of the period spent braking.
+        brake_frac: f64,
+        /// Fraction of the period after which the actor coasts.
+        coast_frac: f64,
+    },
+}
+
+impl KeyframeProgram {
+    fn sample(&self, env: &Env, duration: f64) -> Vec<SpeedKeyframe> {
+        match self {
+            KeyframeProgram::List(frames) => frames
+                .iter()
+                .map(|(time, accel)| SpeedKeyframe { time: time.eval(env), accel: accel.eval(env) })
+                .collect(),
+            KeyframeProgram::Wave { start, period, brake, recover, brake_frac, coast_frac } => {
+                let period = period.eval(env);
+                let brake = brake.eval(env);
+                let recover = recover.eval(env);
+                let mut keyframes = vec![SpeedKeyframe { time: 0.0, accel: 0.0 }];
+                let mut t = start.eval(env);
+                while t + period < duration {
+                    keyframes.push(SpeedKeyframe { time: t, accel: brake });
+                    keyframes.push(SpeedKeyframe { time: t + brake_frac * period, accel: recover });
+                    keyframes.push(SpeedKeyframe { time: t + coast_frac * period, accel: 0.0 });
+                    t += period;
+                }
+                keyframes
+            }
+        }
+    }
+}
+
+/// The behavior half of an actor template.
+#[derive(Debug, Clone)]
+pub enum ManeuverTemplate {
+    /// Does not move.
+    Static,
+    /// IDM car-following toward `desired`, optionally changing lanes
+    /// and/or overriding the desired time headway (sub-second headways
+    /// make aggressive tailgaters).
+    Idm {
+        /// Free-road desired speed \[m/s\].
+        desired: Expr,
+        /// Time-headway override \[s\] (default [`IdmParams::default`]).
+        headway: Option<Expr>,
+        /// Optional lane change.
+        lane_change: Option<LaneChangeTemplate>,
+    },
+    /// A scripted longitudinal program, optionally changing lanes.
+    Scripted {
+        /// The keyframe program.
+        keyframes: KeyframeProgram,
+        /// Optional lane change.
+        lane_change: Option<LaneChangeTemplate>,
+    },
+    /// A pedestrian stepping off at `trigger_time`.
+    Pedestrian {
+        /// Step-off time \[s\].
+        trigger_time: Expr,
+        /// Walking speed \[m/s\].
+        walk_speed: Expr,
+    },
+}
+
+/// An actor spawned by [`Stmt::Spawn`]. Actor ids are assigned in spawn
+/// order, starting at 1.
+#[derive(Debug, Clone)]
+pub struct ActorTemplate {
+    /// Actor kind (footprint).
+    pub kind: ActorKind,
+    /// Initial longitudinal position \[m\].
+    pub x: Expr,
+    /// Initial lateral position \[m\].
+    pub y: Expr,
+    /// Initial speed \[m/s\].
+    pub v: Expr,
+    /// Initial heading \[rad\].
+    pub heading: Expr,
+    /// Behavior.
+    pub maneuver: ManeuverTemplate,
+}
+
+impl ActorTemplate {
+    fn sample(&self, env: &Env, duration: f64, id: u32) -> Actor {
+        let behavior = match &self.maneuver {
+            ManeuverTemplate::Static => Behavior::Static,
+            ManeuverTemplate::Idm { desired, headway, lane_change } => Behavior::Idm {
+                params: IdmParams {
+                    time_headway: headway
+                        .as_ref()
+                        .map_or(IdmParams::default().time_headway, |h| h.eval(env)),
+                    ..IdmParams::default()
+                },
+                desired_speed: desired.eval(env),
+                lane_change: lane_change.as_ref().map(|lc| lc.sample(env)),
+            },
+            ManeuverTemplate::Scripted { keyframes, lane_change } => Behavior::Scripted {
+                keyframes: keyframes.sample(env, duration),
+                lane_change: lane_change.as_ref().map(|lc| lc.sample(env)),
+            },
+            ManeuverTemplate::Pedestrian { trigger_time, walk_speed } => Behavior::Pedestrian {
+                trigger_time: trigger_time.eval(env),
+                walk_speed: walk_speed.eval(env),
+            },
+        };
+        Actor::new(
+            ActorId(id),
+            self.kind,
+            VehicleState::new(
+                self.x.eval(env),
+                self.y.eval(env),
+                self.v.eval(env),
+                self.heading.eval(env),
+                0.0,
+            ),
+            behavior,
+        )
+    }
+}
+
+/// One statement of a family's sampling program. Statements execute in
+/// order; every `Draw` consumes RNG in declaration order, which is what
+/// makes sampling a pure, reproducible function of the seed.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Draw a uniform f64 from `[lo, hi)` into `var`.
+    Draw {
+        /// Variable bound to the draw.
+        var: &'static str,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (exclusive).
+        hi: Expr,
+    },
+    /// Draw a uniform integer from `[lo, hi)` into `var` (a distinct RNG
+    /// consumption pattern from the f64 draw).
+    DrawInt {
+        /// Variable bound to the draw.
+        var: &'static str,
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (exclusive).
+        hi: u32,
+    },
+    /// Bind (or rebind) `var` to the value of `expr`. No RNG.
+    Let {
+        /// Variable to bind.
+        var: &'static str,
+        /// Value.
+        expr: Expr,
+    },
+    /// Override the ego's initial speed (rebinds `"ego.v"`).
+    SetEgoSpeed(Expr),
+    /// Override the planner set-speed (rebinds `"ego.set_speed"`).
+    SetEgoSetSpeed(Expr),
+    /// Spawn one actor (boxed: templates dwarf the other variants).
+    /// Construct with [`Stmt::spawn`].
+    Spawn(Box<ActorTemplate>),
+    /// Run `body` `count` times with `"i"` (index), `"n"` (count), and
+    /// `"last"` (1.0 on the final iteration) bound.
+    Repeat {
+        /// Iteration count (truncated to an integer, clamped at 0).
+        count: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Run `then` when `cond` is non-zero, `otherwise` otherwise.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then: Vec<Stmt>,
+        /// Taken when `cond == 0`.
+        otherwise: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// A [`Stmt::Spawn`] over `template`.
+    pub fn spawn(template: ActorTemplate) -> Stmt {
+        Stmt::Spawn(Box::new(template))
+    }
+}
+
+/// Ego initialization: the first two RNG draws of every family.
+#[derive(Debug, Clone)]
+pub struct EgoSpec {
+    /// Initial-speed draw, lower bound \[m/s\].
+    pub v0_lo: f64,
+    /// Initial-speed draw, upper bound \[m/s\].
+    pub v0_hi: f64,
+    /// Set-speed draw bounds, evaluated with `"ego.v"` bound to the drawn
+    /// initial speed.
+    pub set_lo: Expr,
+    /// See [`EgoSpec::set_lo`].
+    pub set_hi: Expr,
+}
+
+impl Default for EgoSpec {
+    /// Freeway cruising: v₀ ∈ \[24, 33.5) m/s, set-speed up to 4 m/s
+    /// above it, capped at the 33.5 m/s freeway ceiling.
+    fn default() -> Self {
+        EgoSpec {
+            v0_lo: 24.0,
+            v0_hi: 33.5,
+            set_lo: var("ego.v"),
+            set_hi: (var("ego.v") + 4.0).min(33.5 + 1e-9),
+        }
+    }
+}
+
+/// Road geometry of a family (sampled once per scenario, not jittered).
+#[derive(Debug, Clone, Copy)]
+pub struct RoadSpec {
+    /// Lane count.
+    pub lanes: u8,
+    /// Lane width \[m\].
+    pub lane_width: f64,
+    /// Drivable length \[m\].
+    pub length: f64,
+}
+
+impl Default for RoadSpec {
+    fn default() -> Self {
+        RoadSpec { lanes: 3, lane_width: Road::DEFAULT_LANE_WIDTH, length: 4000.0 }
+    }
+}
+
+impl RoadSpec {
+    fn build(&self) -> Road {
+        Road::highway(self.lanes, self.lane_width, self.length)
+    }
+}
+
+/// A declarative scenario family: geometry, ego ranges, and the sampling
+/// program. See the [module docs](self) for the builtin families and
+/// [`FamilyRegistry`] for registration.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Family name (the registry key and `ScenarioConfig::name`).
+    pub name: &'static str,
+    /// Stable per-family seed salt. Mixed into the RNG stream instead of
+    /// the suite position, so `(name, seed)` reproduces a scenario
+    /// wherever it appeared. Must be unique per registered family.
+    pub family_key: u64,
+    /// Scenario duration \[s\].
+    pub duration: f64,
+    /// Road geometry.
+    pub road: RoadSpec,
+    /// Ego initialization.
+    pub ego: EgoSpec,
+    /// The sampling program.
+    pub program: Vec<Stmt>,
+}
+
+impl ScenarioSpec {
+    /// Samples the spec into a concrete [`ScenarioConfig`].
+    ///
+    /// `id` is the caller's identifier (a suite index, or the family key
+    /// for standalone construction) and is recorded verbatim — it does
+    /// **not** influence the RNG stream, so the recorded `(name, seed)`
+    /// pair alone reproduces the scenario.
+    pub fn sample(&self, id: u32, seed: u64) -> ScenarioConfig {
+        let mut rng = StdRng::seed_from_u64(seed ^ SEED_MAGIC ^ self.family_key);
+        let mut env = Env::default();
+        env.set("duration", self.duration);
+        let v0 = rng.random_range(self.ego.v0_lo..self.ego.v0_hi);
+        env.set("ego.v", v0);
+        let set_lo = self.ego.set_lo.eval(&env);
+        let set_hi = self.ego.set_hi.eval(&env);
+        env.set("ego.set_speed", rng.random_range(set_lo..set_hi));
+
+        let mut actors = Vec::new();
+        self.exec(&self.program, &mut rng, &mut env, &mut actors);
+
+        ScenarioConfig {
+            id,
+            name: self.name.to_owned(),
+            seed,
+            duration: self.duration,
+            road: self.road.build(),
+            ego_start: VehicleState::new(0.0, 0.0, env.get("ego.v"), 0.0, 0.0),
+            ego_set_speed: env.get("ego.set_speed"),
+            actors,
+        }
+    }
+
+    fn exec(&self, stmts: &[Stmt], rng: &mut StdRng, env: &mut Env, actors: &mut Vec<Actor>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Draw { var, lo, hi } => {
+                    let (lo, hi) = (lo.eval(env), hi.eval(env));
+                    env.set(var, rng.random_range(lo..hi));
+                }
+                Stmt::DrawInt { var, lo, hi } => {
+                    env.set(var, f64::from(rng.random_range(*lo..*hi)));
+                }
+                Stmt::Let { var, expr } => {
+                    let value = expr.eval(env);
+                    env.set(var, value);
+                }
+                Stmt::SetEgoSpeed(expr) => {
+                    let value = expr.eval(env);
+                    env.set("ego.v", value);
+                }
+                Stmt::SetEgoSetSpeed(expr) => {
+                    let value = expr.eval(env);
+                    env.set("ego.set_speed", value);
+                }
+                Stmt::Spawn(template) => {
+                    let id = actors.len() as u32 + 1;
+                    actors.push(template.sample(env, self.duration, id));
+                }
+                Stmt::Repeat { count, body } => {
+                    let n = count.eval(env).max(0.0) as u32;
+                    // The loop bindings are scoped to the body: an outer
+                    // loop's i/n/last must survive a nested Repeat, and
+                    // none of them leak past the loop.
+                    let saved: [(&'static str, Option<f64>); 3] =
+                        ["i", "n", "last"].map(|name| (name, env.try_get(name)));
+                    for i in 0..n {
+                        env.set("i", f64::from(i));
+                        env.set("n", f64::from(n));
+                        env.set("last", f64::from(u8::from(i + 1 == n)));
+                        self.exec(body, rng, env, actors);
+                    }
+                    for (name, value) in saved {
+                        match value {
+                            Some(value) => env.set(name, value),
+                            None => env.unset(name),
+                        }
+                    }
+                }
+                Stmt::If { cond, then, otherwise } => {
+                    if cond.eval(env) != 0.0 {
+                        self.exec(then, rng, env, actors);
+                    } else {
+                        self.exec(otherwise, rng, env, actors);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Name → [`ScenarioSpec`] registry. All suite construction
+/// ([`crate::ScenarioSuite`]) resolves families here; downstream users
+/// add their own specs with [`FamilyRegistry::register`].
+#[derive(Debug, Clone, Default)]
+pub struct FamilyRegistry {
+    specs: BTreeMap<&'static str, ScenarioSpec>,
+}
+
+impl FamilyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FamilyRegistry::default()
+    }
+
+    /// The builtin registry: the ten pre-DSL families plus the DSL-native
+    /// additions (`tailgater`, `multi_lane_weave`, `debris_field`,
+    /// `shockwave_pedestrian`).
+    pub fn builtin() -> &'static FamilyRegistry {
+        static BUILTIN: OnceLock<FamilyRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut registry = FamilyRegistry::new();
+            for spec in builtin_specs() {
+                registry.register(spec);
+            }
+            registry
+        })
+    }
+
+    /// Registers (or replaces) a spec under its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when another registered family already uses the spec's
+    /// `family_key` — duplicate keys would alias RNG streams.
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        if let Some(clash) =
+            self.specs.values().find(|s| s.family_key == spec.family_key && s.name != spec.name)
+        {
+            panic!(
+                "family_key {} of `{}` already used by `{}`",
+                spec.family_key, spec.name, clash.name
+            );
+        }
+        self.specs.insert(spec.name, spec);
+    }
+
+    /// The spec registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.specs.get(name)
+    }
+
+    /// Registered family names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.specs.keys().copied()
+    }
+
+    /// Registered specs, in name order.
+    pub fn specs(&self) -> impl Iterator<Item = &ScenarioSpec> + '_ {
+        self.specs.values()
+    }
+
+    /// Samples the family registered under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not registered.
+    pub fn sample(&self, name: &str, id: u32, seed: u64) -> ScenarioConfig {
+        self.get(name)
+            .unwrap_or_else(|| panic!("scenario family `{name}` is not registered"))
+            .sample(id, seed)
+    }
+}
+
+/// A car template without lane change, following IDM toward `desired`.
+fn idm_car(x: Expr, y: Expr, v: Expr, desired: Expr) -> ActorTemplate {
+    ActorTemplate {
+        kind: ActorKind::Car,
+        x,
+        y,
+        v,
+        heading: lit(0.0),
+        maneuver: ManeuverTemplate::Idm { desired, headway: None, lane_change: None },
+    }
+}
+
+/// The builtin family specs. The first ten reproduce the pre-DSL
+/// constructors' RNG streams bit-for-bit (same draw order, same IEEE
+/// operation order); the last four are DSL-native.
+fn builtin_specs() -> Vec<ScenarioSpec> {
+    let base = |name, family_key| ScenarioSpec {
+        name,
+        family_key,
+        duration: 40.0,
+        road: RoadSpec::default(),
+        ego: EgoSpec::default(),
+        program: Vec::new(),
+    };
+
+    let mut specs = Vec::new();
+
+    // Free driving: empty road, ego cruises at its set speed.
+    specs.push(base("free_drive", 0));
+
+    // A lead vehicle cruising ahead at a similar speed.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "gap", lo: lit(45.0), hi: lit(90.0) },
+            Stmt::Draw { var: "dv", lo: lit(-2.0), hi: lit(2.0) },
+            Stmt::Let { var: "lead_v", expr: (var("ego.v") + var("dv")).max(15.0) },
+            Stmt::spawn(idm_car(var("gap"), lit(0.0), var("lead_v"), var("lead_v"))),
+        ],
+        ..base("lead_cruise", 1)
+    });
+
+    // The lead vehicle brakes hard mid-scenario.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "gap", lo: lit(50.0), hi: lit(80.0) },
+            Stmt::Draw { var: "brake_t", lo: lit(8.0), hi: lit(16.0) },
+            Stmt::Draw { var: "decel", lo: lit(2.5), hi: lit(5.0) },
+            Stmt::Draw { var: "recover_dt", lo: lit(3.0), hi: lit(5.0) },
+            Stmt::Let { var: "recover_t", expr: var("brake_t") + var("recover_dt") },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("gap"),
+                y: lit(0.0),
+                v: var("ego.v"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Scripted {
+                    keyframes: KeyframeProgram::List(vec![
+                        (lit(0.0), lit(0.0)),
+                        (var("brake_t"), -var("decel")),
+                        (var("recover_t"), lit(1.0)),
+                        (var("recover_t") + 6.0, lit(0.0)),
+                    ]),
+                    lane_change: None,
+                },
+            }),
+        ],
+        ..base("lead_brake", 2)
+    });
+
+    // Paper Example 1: an adjacent-lane vehicle cuts in with a small gap,
+    // collapsing δ from ~20 m to ~2 m (survivable fault-free; the spawn
+    // distance budgets for the closure the ego achieves before and during
+    // the maneuver).
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "cut_t", lo: lit(6.0), hi: lit(12.0) },
+            Stmt::Draw { var: "dv", lo: lit(2.0), hi: lit(4.0) },
+            Stmt::Let { var: "tv_speed", expr: var("ego.set_speed") - var("dv") },
+            Stmt::Let {
+                var: "closure",
+                expr: (var("ego.set_speed") - var("tv_speed")) * (var("cut_t") + 3.0),
+            },
+            Stmt::Draw { var: "ahead0", lo: lit(10.0), hi: lit(17.0) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("ahead0") + var("closure"),
+                y: lit(3.7),
+                v: var("tv_speed"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Idm {
+                    desired: var("tv_speed"),
+                    headway: None,
+                    lane_change: Some(LaneChangeTemplate {
+                        start_time: var("cut_t"),
+                        duration: lit(3.0),
+                        from_y: lit(3.7),
+                        to_y: lit(0.0),
+                    }),
+                },
+            }),
+            // Additional traffic in the far lane for sensor load.
+            Stmt::Draw { var: "far_x", lo: lit(40.0), hi: lit(70.0) },
+            Stmt::spawn(idm_car(var("far_x"), lit(7.4), var("tv_speed"), var("tv_speed"))),
+        ],
+        ..base("cut_in", 3)
+    });
+
+    // Paper Example 2 (Tesla-crash analog): TV#1 hides slow TV#2 and
+    // swerves out at 35 % of its own TTC, revealing it late.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "lead_gap", lo: lit(40.0), hi: lit(55.0) },
+            Stmt::Draw { var: "reveal_gap", lo: lit(110.0), hi: lit(150.0) },
+            Stmt::Draw { var: "slow_v", lo: lit(3.0), hi: lit(8.0) },
+            Stmt::Let { var: "closing", expr: (var("ego.set_speed") - var("slow_v")).max(5.0) },
+            Stmt::Let { var: "exit_t", expr: lit(0.35) * var("reveal_gap") / var("closing") },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("lead_gap"),
+                y: lit(0.0),
+                v: var("ego.v"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Scripted {
+                    keyframes: KeyframeProgram::List(vec![(lit(0.0), lit(0.0))]),
+                    lane_change: Some(LaneChangeTemplate {
+                        start_time: var("exit_t"),
+                        duration: lit(2.0),
+                        from_y: lit(0.0),
+                        to_y: lit(3.7),
+                    }),
+                },
+            }),
+            Stmt::spawn(idm_car(
+                var("lead_gap") + var("reveal_gap"),
+                lit(0.0),
+                var("slow_v"),
+                var("slow_v"),
+            )),
+        ],
+        ..base("lead_exit_reveal", 4)
+    });
+
+    // A pedestrian steps onto the roadway with ~5 s of warning — enough
+    // for a freeway-speed stop, so the golden run tests the ADS rather
+    // than being unsurvivable by construction.
+    specs.push(ScenarioSpec {
+        program: pedestrian_program(
+            (lit(350.0), lit(550.0)),
+            (lit(1.0), lit(1.8)),
+            (lit(4.5), lit(6.0)),
+        ),
+        ..base("pedestrian", 5)
+    });
+
+    // A platoon of IDM followers behind a stop-and-go scripted leader.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::DrawInt { var: "n", lo: 2, hi: 5 },
+            Stmt::Draw { var: "x", lo: lit(45.0), hi: lit(65.0) },
+            Stmt::Repeat {
+                count: var("n"),
+                body: vec![
+                    Stmt::If {
+                        cond: var("last"),
+                        then: vec![
+                            Stmt::Draw { var: "brake_t", lo: lit(10.0), hi: lit(18.0) },
+                            Stmt::spawn(ActorTemplate {
+                                kind: ActorKind::Car,
+                                x: var("x"),
+                                y: lit(0.0),
+                                v: var("ego.v"),
+                                heading: lit(0.0),
+                                maneuver: ManeuverTemplate::Scripted {
+                                    keyframes: KeyframeProgram::List(vec![
+                                        (lit(0.0), lit(0.0)),
+                                        (var("brake_t"), lit(-3.0)),
+                                        (var("brake_t") + 4.0, lit(1.5)),
+                                        (var("brake_t") + 10.0, lit(0.0)),
+                                    ]),
+                                    lane_change: None,
+                                },
+                            }),
+                        ],
+                        otherwise: vec![Stmt::spawn(idm_car(
+                            var("x"),
+                            lit(0.0),
+                            var("ego.v"),
+                            var("ego.set_speed"),
+                        ))],
+                    },
+                    Stmt::Draw { var: "x_inc", lo: lit(25.0), hi: lit(40.0) },
+                    Stmt::Let { var: "x", expr: var("x") + var("x_inc") },
+                ],
+            },
+        ],
+        ..base("platoon", 6)
+    });
+
+    // A stalled vehicle (static obstacle) in the ego lane far ahead.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "x", lo: lit(400.0), hi: lit(700.0) },
+            Stmt::Draw { var: "y", lo: lit(-0.4), hi: lit(0.4) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::StaticObstacle,
+                x: var("x"),
+                y: var("y"),
+                v: lit(0.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Static,
+            }),
+        ],
+        ..base("stalled_vehicle", 7)
+    });
+
+    // A slow on-ramp vehicle merges into the ego lane while still
+    // accelerating up to traffic speed. Merge timing and gap are tuned so
+    // the family is survivable fault-free at *every* seed (the pre-DSL
+    // ranges left a ~0.4 % unsurvivable tail at early merges).
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "merge_t", lo: lit(7.0), hi: lit(11.0) },
+            Stmt::Draw { var: "merge_v0", lo: lit(16.0), hi: lit(22.0) },
+            Stmt::Let { var: "accel", expr: lit(1.5) },
+            Stmt::Let {
+                var: "merger_travel",
+                expr: var("merge_v0") * var("merge_t")
+                    + lit(0.5) * var("accel") * var("merge_t") * var("merge_t"),
+            },
+            Stmt::Let { var: "ego_travel", expr: var("ego.set_speed") * var("merge_t") },
+            Stmt::Draw { var: "gap_at_merge", lo: lit(21.0), hi: lit(32.0) },
+            Stmt::Let {
+                var: "ahead",
+                expr: var("gap_at_merge") + var("ego_travel") - var("merger_travel"),
+            },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("ahead").max(5.0),
+                y: lit(-3.7),
+                v: var("merge_v0"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Scripted {
+                    keyframes: KeyframeProgram::List(vec![
+                        (lit(0.0), var("accel")),
+                        (var("merge_t") + 8.0, lit(0.0)),
+                    ]),
+                    lane_change: Some(LaneChangeTemplate {
+                        start_time: var("merge_t"),
+                        duration: lit(3.0),
+                        from_y: lit(-3.7),
+                        to_y: lit(0.0),
+                    }),
+                },
+            }),
+        ],
+        ..base("merge", 8)
+    });
+
+    // Stop-and-go congestion: a queue behind a wave-source leader.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "jam_v", lo: lit(8.0), hi: lit(14.0) },
+            Stmt::SetEgoSpeed(var("jam_v")),
+            Stmt::Draw { var: "set_dv", lo: lit(2.0), hi: lit(5.0) },
+            Stmt::SetEgoSetSpeed(var("jam_v") + var("set_dv")),
+            Stmt::DrawInt { var: "n", lo: 2, hi: 4 },
+            Stmt::Draw { var: "x", lo: lit(25.0), hi: lit(40.0) },
+            Stmt::Draw { var: "period", lo: lit(8.0), hi: lit(12.0) },
+            Stmt::Repeat {
+                count: var("n"),
+                body: vec![
+                    Stmt::If {
+                        cond: var("last"),
+                        then: vec![
+                            Stmt::Draw { var: "wave_t", lo: lit(3.0), hi: lit(6.0) },
+                            Stmt::spawn(ActorTemplate {
+                                kind: ActorKind::Car,
+                                x: var("x"),
+                                y: lit(0.0),
+                                v: var("jam_v"),
+                                heading: lit(0.0),
+                                maneuver: ManeuverTemplate::Scripted {
+                                    keyframes: KeyframeProgram::Wave {
+                                        start: var("wave_t"),
+                                        period: var("period"),
+                                        brake: lit(-2.5),
+                                        recover: lit(1.8),
+                                        brake_frac: 0.35,
+                                        coast_frac: 0.7,
+                                    },
+                                    lane_change: None,
+                                },
+                            }),
+                        ],
+                        otherwise: vec![Stmt::spawn(idm_car(
+                            var("x"),
+                            lit(0.0),
+                            var("jam_v"),
+                            var("jam_v") + 2.0,
+                        ))],
+                    },
+                    Stmt::Draw { var: "x_inc", lo: lit(18.0), hi: lit(28.0) },
+                    Stmt::Let { var: "x", expr: var("x") + var("x_inc") },
+                ],
+            },
+        ],
+        ..base("stop_and_go", 9)
+    });
+
+    // ------------------------------------------------------------------
+    // DSL-native families (post-paper workloads).
+    // ------------------------------------------------------------------
+
+    // An aggressive tailgater closes in behind the ego at a sub-second
+    // headway while a lead cruises ahead — rear pressure plus forward
+    // car-following in one scene.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "gap_ahead", lo: lit(55.0), hi: lit(85.0) },
+            Stmt::Draw { var: "lead_dv", lo: lit(0.0), hi: lit(2.0) },
+            Stmt::Let { var: "lead_v", expr: var("ego.set_speed") - var("lead_dv") },
+            Stmt::spawn(idm_car(var("gap_ahead"), lit(0.0), var("lead_v"), var("lead_v"))),
+            Stmt::Draw { var: "rear_gap", lo: lit(18.0), hi: lit(28.0) },
+            Stmt::Draw { var: "tg_dv", lo: lit(2.0), hi: lit(5.0) },
+            Stmt::Draw { var: "tg_headway", lo: lit(0.55), hi: lit(0.9) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: -var("rear_gap"),
+                y: lit(0.0),
+                v: var("ego.v"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Idm {
+                    desired: var("ego.set_speed") + var("tg_dv"),
+                    headway: Some(var("tg_headway")),
+                    lane_change: None,
+                },
+            }),
+        ],
+        ..base("tailgater", 10)
+    });
+
+    // A two-vehicle weave across three lanes: the outer vehicle drops
+    // into the middle lane *behind* the middle vehicle, which is itself
+    // displaced into the ego lane a few seconds later — a chained cut-in
+    // with a wider (but still tight) merge gap than `cut_in`. The outer
+    // vehicle targets the gap behind the middle one so the middle
+    // vehicle's speed (and hence the ego-side spawn-distance budget) is
+    // never perturbed by an unplanned IDM brake.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "t1", lo: lit(3.0), hi: lit(6.0) },
+            Stmt::Draw { var: "t2_dt", lo: lit(3.0), hi: lit(6.0) },
+            Stmt::Let { var: "t2", expr: var("t1") + var("t2_dt") },
+            Stmt::Draw { var: "cut_dv", lo: lit(1.0), hi: lit(2.5) },
+            Stmt::Let { var: "mid_v", expr: var("ego.set_speed") - var("cut_dv") },
+            Stmt::Let {
+                var: "closure",
+                expr: (var("ego.set_speed") - var("mid_v")) * (var("t2") + 3.0),
+            },
+            Stmt::Draw { var: "gap_at_cut", lo: lit(22.0), hi: lit(32.0) },
+            Stmt::Let { var: "mid_x", expr: var("gap_at_cut") + var("closure") },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("mid_x"),
+                y: lit(3.7),
+                v: var("mid_v"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Idm {
+                    desired: var("mid_v"),
+                    headway: None,
+                    lane_change: Some(LaneChangeTemplate {
+                        start_time: var("t2"),
+                        duration: lit(3.0),
+                        from_y: lit(3.7),
+                        to_y: lit(0.0),
+                    }),
+                },
+            }),
+            Stmt::Draw { var: "back_gap", lo: lit(25.0), hi: lit(40.0) },
+            Stmt::Draw { var: "outer_dv", lo: lit(-1.0), hi: lit(1.0) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: var("mid_x") - var("back_gap"),
+                y: lit(7.4),
+                v: var("mid_v") + var("outer_dv"),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Idm {
+                    desired: var("mid_v") + var("outer_dv"),
+                    headway: None,
+                    lane_change: Some(LaneChangeTemplate {
+                        start_time: var("t1"),
+                        duration: lit(3.0),
+                        from_y: lit(7.4),
+                        to_y: lit(3.7),
+                    }),
+                },
+            }),
+        ],
+        ..base("multi_lane_weave", 11)
+    });
+
+    // Stopped debris: shed-load pieces brushing the ego lane's left
+    // boundary on the approach, then a piece squarely in the ego lane far
+    // enough ahead for a controlled stop.
+    specs.push(ScenarioSpec {
+        program: vec![
+            Stmt::Draw { var: "debris_x", lo: lit(400.0), hi: lit(550.0) },
+            Stmt::Draw { var: "debris_y", lo: lit(-0.3), hi: lit(0.3) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::StaticObstacle,
+                x: var("debris_x"),
+                y: var("debris_y"),
+                v: lit(0.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Static,
+            }),
+            Stmt::Draw { var: "edge1_x", lo: lit(120.0), hi: lit(220.0) },
+            Stmt::Draw { var: "edge1_y", lo: lit(2.35), hi: lit(2.6) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::StaticObstacle,
+                x: var("edge1_x"),
+                y: var("edge1_y"),
+                v: lit(0.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Static,
+            }),
+            Stmt::Draw { var: "edge2_x", lo: lit(250.0), hi: lit(350.0) },
+            Stmt::Draw { var: "edge2_y", lo: lit(2.35), hi: lit(2.6) },
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::StaticObstacle,
+                x: var("edge2_x"),
+                y: var("edge2_y"),
+                v: lit(0.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Static,
+            }),
+        ],
+        ..base("debris_field", 12)
+    });
+
+    // A congestion shockwave with a crossing pedestrian: a jam-speed
+    // queue behind a wave-source leader, and a pedestrian stepping off
+    // ahead of the queue with a generous (jam-speed) warning.
+    specs.push(ScenarioSpec {
+        ego: EgoSpec {
+            v0_lo: 9.0,
+            v0_hi: 13.0,
+            set_lo: var("ego.v") + 2.0,
+            set_hi: var("ego.v") + 4.0,
+        },
+        program: {
+            let mut program = vec![
+                Stmt::DrawInt { var: "n", lo: 2, hi: 4 },
+                Stmt::Draw { var: "x", lo: lit(25.0), hi: lit(35.0) },
+                Stmt::Draw { var: "period", lo: lit(9.0), hi: lit(12.0) },
+                Stmt::Repeat {
+                    count: var("n"),
+                    body: vec![
+                        Stmt::If {
+                            cond: var("last"),
+                            then: vec![
+                                Stmt::Draw { var: "wave_t", lo: lit(5.0), hi: lit(8.0) },
+                                Stmt::spawn(ActorTemplate {
+                                    kind: ActorKind::Car,
+                                    x: var("x"),
+                                    y: lit(0.0),
+                                    v: var("ego.v"),
+                                    heading: lit(0.0),
+                                    maneuver: ManeuverTemplate::Scripted {
+                                        keyframes: KeyframeProgram::Wave {
+                                            start: var("wave_t"),
+                                            period: var("period"),
+                                            brake: lit(-2.0),
+                                            recover: lit(1.5),
+                                            brake_frac: 0.35,
+                                            coast_frac: 0.7,
+                                        },
+                                        lane_change: None,
+                                    },
+                                }),
+                            ],
+                            otherwise: vec![Stmt::spawn(idm_car(
+                                var("x"),
+                                lit(0.0),
+                                var("ego.v"),
+                                var("ego.v") + 2.0,
+                            ))],
+                        },
+                        Stmt::Draw { var: "x_inc", lo: lit(20.0), hi: lit(30.0) },
+                        Stmt::Let { var: "x", expr: var("x") + var("x_inc") },
+                    ],
+                },
+            ];
+            program.extend(pedestrian_program(
+                (lit(170.0), lit(240.0)),
+                (lit(1.1), lit(1.7)),
+                (lit(5.0), lit(7.0)),
+            ));
+            program
+        },
+        ..base("shockwave_pedestrian", 13)
+    });
+
+    specs
+}
+
+/// The shared pedestrian-crossing maneuver: draw a crossing point, a
+/// walking speed, and a warning margin, then trigger the step-off so the
+/// pedestrian is inside the ego corridor `margin` seconds before the
+/// ego's nominal arrival (`margin` must exceed the stop time from the
+/// family's speed regime, or the scenario is unsurvivable by
+/// construction). The pedestrian stages on the shoulder at y = −4 m;
+/// entering the corridor means covering `4 − 2.25` m of shoulder.
+fn pedestrian_program(
+    cross_x: (Expr, Expr),
+    walk: (Expr, Expr),
+    margin: (Expr, Expr),
+) -> Vec<Stmt> {
+    vec![
+        Stmt::Draw { var: "cross_x", lo: cross_x.0, hi: cross_x.1 },
+        Stmt::Let { var: "eta", expr: var("cross_x") / var("ego.set_speed") },
+        Stmt::Draw { var: "walk_speed", lo: walk.0, hi: walk.1 },
+        Stmt::Let { var: "entry_delay", expr: lit(4.0 - 2.25) / var("walk_speed") },
+        Stmt::Draw { var: "warn_margin", lo: margin.0, hi: margin.1 },
+        Stmt::spawn(ActorTemplate {
+            kind: ActorKind::Pedestrian,
+            x: var("cross_x"),
+            y: lit(-4.0),
+            v: lit(0.0),
+            heading: lit(std::f64::consts::FRAC_PI_2),
+            maneuver: ManeuverTemplate::Pedestrian {
+                trigger_time: (var("eta") - var("entry_delay") - var("warn_margin")).max(0.5),
+                walk_speed: var("walk_speed"),
+            },
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_all_families() {
+        let registry = FamilyRegistry::builtin();
+        for name in [
+            "free_drive",
+            "lead_cruise",
+            "lead_brake",
+            "cut_in",
+            "lead_exit_reveal",
+            "pedestrian",
+            "platoon",
+            "stalled_vehicle",
+            "merge",
+            "stop_and_go",
+            "tailgater",
+            "multi_lane_weave",
+            "debris_field",
+            "shockwave_pedestrian",
+        ] {
+            assert!(registry.get(name).is_some(), "family `{name}` missing");
+        }
+        assert_eq!(registry.names().count(), 14);
+    }
+
+    #[test]
+    fn sampling_is_pure_in_seed_and_ignores_id() {
+        let registry = FamilyRegistry::builtin();
+        for spec in registry.specs() {
+            let a = spec.sample(0, 12345);
+            let b = spec.sample(999, 12345);
+            assert_eq!(a.ego_start, b.ego_start, "{}", spec.name);
+            assert_eq!(a.ego_set_speed, b.ego_set_speed, "{}", spec.name);
+            assert_eq!(a.actors.len(), b.actors.len(), "{}", spec.name);
+            for (x, y) in a.actors.iter().zip(&b.actors) {
+                assert_eq!(x.state, y.state, "{}", spec.name);
+                assert_eq!(x.behavior, y.behavior, "{}", spec.name);
+            }
+            assert_eq!(b.id, 999, "id is recorded verbatim");
+        }
+    }
+
+    #[test]
+    fn expr_operators_follow_f64_semantics() {
+        let spec = ScenarioSpec {
+            name: "expr_probe",
+            family_key: 1000,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![
+                Stmt::Let { var: "a", expr: lit(3.0) },
+                Stmt::Let { var: "b", expr: (var("a") * 2.0 - 1.0) / 4.0 },
+                Stmt::Let { var: "c", expr: (-var("b")).max(var("a").min(0.5)) },
+                Stmt::spawn(ActorTemplate {
+                    kind: ActorKind::Car,
+                    x: var("c"),
+                    y: lit(0.0),
+                    v: var("b"),
+                    heading: lit(0.0),
+                    maneuver: ManeuverTemplate::Static,
+                }),
+            ],
+        };
+        let cfg = spec.sample(0, 7);
+        assert_eq!(cfg.actors[0].state.v, 1.25);
+        assert_eq!(cfg.actors[0].state.x, 0.5);
+    }
+
+    #[test]
+    fn repeat_binds_loop_variables() {
+        let spec = ScenarioSpec {
+            name: "loop_probe",
+            family_key: 1001,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![Stmt::Repeat {
+                count: lit(3.0),
+                body: vec![Stmt::If {
+                    cond: var("last"),
+                    then: vec![Stmt::spawn(ActorTemplate {
+                        kind: ActorKind::Car,
+                        x: var("i") * 10.0,
+                        y: var("n"),
+                        v: lit(0.0),
+                        heading: lit(0.0),
+                        maneuver: ManeuverTemplate::Static,
+                    })],
+                    otherwise: vec![],
+                }],
+            }],
+        };
+        let cfg = spec.sample(0, 7);
+        assert_eq!(cfg.actors.len(), 1);
+        assert_eq!(cfg.actors[0].state.x, 20.0, "spawned on the last iteration only");
+        assert_eq!(cfg.actors[0].state.y, 3.0);
+        assert_eq!(cfg.actors[0].id, ActorId(1), "ids count spawns, not iterations");
+    }
+
+    #[test]
+    fn repeat_bindings_are_scoped_to_the_loop_body() {
+        // A nested Repeat must not clobber the outer loop's i/n/last,
+        // and none of them survive past the loop.
+        let probe = |x: Expr, y: Expr| {
+            Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x,
+                y,
+                v: lit(0.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Static,
+            })
+        };
+        let spec = ScenarioSpec {
+            name: "scope_probe",
+            family_key: 1004,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![Stmt::Repeat {
+                count: lit(2.0),
+                body: vec![
+                    Stmt::Repeat { count: lit(3.0), body: vec![] },
+                    // Reads the *outer* loop's bindings after the inner
+                    // loop finished.
+                    probe(var("i") * 10.0, var("last")),
+                ],
+            }],
+        };
+        let cfg = spec.sample(0, 7);
+        assert_eq!(cfg.actors[0].state.x, 0.0, "outer i restored after nested loop");
+        assert_eq!(cfg.actors[0].state.y, 0.0, "outer last restored after nested loop");
+        assert_eq!(cfg.actors[1].state.x, 10.0);
+        assert_eq!(cfg.actors[1].state.y, 1.0);
+
+        let leaky = ScenarioSpec {
+            name: "leak_probe",
+            family_key: 1005,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![
+                Stmt::Repeat { count: lit(2.0), body: vec![] },
+                Stmt::Let { var: "x", expr: var("i") },
+            ],
+        };
+        let leaked = std::panic::catch_unwind(|| leaky.sample(0, 7));
+        assert!(leaked.is_err(), "loop bindings must not leak past the loop");
+    }
+
+    #[test]
+    fn wave_program_fills_the_duration() {
+        let spec = ScenarioSpec {
+            name: "wave_probe",
+            family_key: 1002,
+            duration: 40.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![Stmt::spawn(ActorTemplate {
+                kind: ActorKind::Car,
+                x: lit(30.0),
+                y: lit(0.0),
+                v: lit(10.0),
+                heading: lit(0.0),
+                maneuver: ManeuverTemplate::Scripted {
+                    keyframes: KeyframeProgram::Wave {
+                        start: lit(4.0),
+                        period: lit(10.0),
+                        brake: lit(-2.0),
+                        recover: lit(1.5),
+                        brake_frac: 0.35,
+                        coast_frac: 0.7,
+                    },
+                    lane_change: None,
+                },
+            })],
+        };
+        let cfg = spec.sample(0, 7);
+        let Behavior::Scripted { keyframes, .. } = &cfg.actors[0].behavior else {
+            panic!("expected scripted behavior");
+        };
+        // Waves at t = 4, 14, 24 (34 + 10 ≥ 40 stops the loop): 1 + 3×3.
+        assert_eq!(keyframes.len(), 10);
+        assert_eq!(keyframes[1].time, 4.0);
+        assert_eq!(keyframes[1].accel, -2.0);
+        assert!(keyframes.last().unwrap().time < 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "family_key")]
+    fn duplicate_family_keys_are_rejected() {
+        let mut registry = FamilyRegistry::new();
+        let spec = |name| ScenarioSpec {
+            name,
+            family_key: 42,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![],
+        };
+        registry.register(spec("one"));
+        registry.register(spec("two"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_family_panics() {
+        let _ = FamilyRegistry::builtin().sample("no_such_family", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound scenario variable")]
+    fn unbound_variable_panics() {
+        let spec = ScenarioSpec {
+            name: "unbound_probe",
+            family_key: 1003,
+            duration: 10.0,
+            road: RoadSpec::default(),
+            ego: EgoSpec::default(),
+            program: vec![Stmt::Let { var: "x", expr: var("missing") }],
+        };
+        let _ = spec.sample(0, 1);
+    }
+}

@@ -12,9 +12,9 @@ fn paper_suite_golden_runs_are_safe() {
     let suite = ScenarioSuite::paper_suite(2026);
     assert_eq!(suite.scene_count(), 7200);
     let jobs: Vec<_> = suite
-        .scenarios
-        .iter()
-        .map(|s| CampaignJob { id: u64::from(s.id), scenario: s.clone(), faults: vec![] })
+        .shared()
+        .into_iter()
+        .map(|s| CampaignJob { id: u64::from(s.id), scenario: s, faults: vec![] })
         .collect();
     let results = run_campaign(SimConfig::default(), &jobs, 8);
     for r in &results {
@@ -167,11 +167,11 @@ fn permanent_steer_fault_is_hazardous() {
 fn campaigns_are_reproducible() {
     let suite = ScenarioSuite::generate(6, 99);
     let jobs: Vec<_> = suite
-        .scenarios
-        .iter()
+        .shared()
+        .into_iter()
         .map(|s| CampaignJob {
             id: u64::from(s.id),
-            scenario: s.clone(),
+            scenario: s,
             faults: vec![Fault {
                 kind: FaultKind::Scalar {
                     signal: Signal::RawBrake,

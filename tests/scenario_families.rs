@@ -1,0 +1,59 @@
+//! Registry-wide scenario-family properties.
+//!
+//! Every family in the builtin [`FamilyRegistry`] must satisfy two
+//! contracts, for *any* seed:
+//!
+//! 1. **Determinism** — sampling is a pure function of `(name, seed)`;
+//!    the id is recorded verbatim and never perturbs the jitter stream.
+//! 2. **Golden survivability** — the fault-free run of every sampled
+//!    scenario ends hazard-free. Scenario families exist to test the ADS
+//!    under injected faults; a family that is unsurvivable *by
+//!    construction* would attribute its own geometry bugs to the ADS and
+//!    poison the miner's golden traces.
+
+use drivefi::sim::{SimConfig, Simulation};
+use drivefi::world::FamilyRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Equal seeds produce identical scenarios (ego, set-speed, actors,
+    /// behaviors), regardless of the id passed to the sampler.
+    #[test]
+    fn sampling_is_deterministic(seed in any::<u64>(), id in any::<u32>()) {
+        for spec in FamilyRegistry::builtin().specs() {
+            let a = spec.sample(0, seed);
+            let b = spec.sample(id, seed);
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.ego_start, b.ego_start, "{}", spec.name);
+            prop_assert_eq!(a.ego_set_speed, b.ego_set_speed, "{}", spec.name);
+            prop_assert_eq!(a.actors.len(), b.actors.len(), "{}", spec.name);
+            for (x, y) in a.actors.iter().zip(&b.actors) {
+                prop_assert_eq!(x.state, y.state, "{} actor {}", spec.name, x.id);
+                prop_assert_eq!(&x.behavior, &y.behavior, "{} actor {}", spec.name, x.id);
+            }
+            prop_assert_eq!(b.id, id, "{}: id must be recorded verbatim", spec.name);
+        }
+    }
+
+    /// Every family's golden (fault-free) run ends hazard-free at every
+    /// seed — scenarios test the ADS, they are not unsurvivable by
+    /// construction.
+    #[test]
+    fn golden_runs_are_hazard_free(seed in any::<u64>()) {
+        for spec in FamilyRegistry::builtin().specs() {
+            let cfg = spec.sample(0, seed);
+            let mut sim = Simulation::new(SimConfig::default(), &cfg);
+            let report = sim.run();
+            prop_assert!(
+                report.outcome.is_safe(),
+                "{} (seed {seed}) golden run: {} (min δ_lon {:.2}, min δ_lat {:.2})",
+                spec.name,
+                report.outcome,
+                report.min_delta_lon,
+                report.min_delta_lat
+            );
+        }
+    }
+}
