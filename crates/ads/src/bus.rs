@@ -37,6 +37,11 @@ impl Stage {
         }
     }
 
+    /// The inverse of [`Stage::name`], for deserialized fault specs.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Stable report name.
     pub fn name(self) -> &'static str {
         match self {
@@ -76,6 +81,20 @@ pub struct Bus {
     /// bumping its counter the way a hung CyberRT node stops publishing
     /// on its channel.
     pub heartbeats: [u64; 5],
+}
+
+impl Bus {
+    /// Returns every signal to its [`Bus::default`] value in place,
+    /// keeping the world-model object storage allocated — the campaign
+    /// arena path (sensor frames are replaced wholesale each tick, so
+    /// only the world model's allocation is worth retaining). Built on
+    /// `Bus::default()` so a new field can never diverge between fresh
+    /// and reset buses.
+    pub fn reset(&mut self) {
+        let mut objects = std::mem::take(&mut self.world_model.objects);
+        objects.clear();
+        *self = Bus { world_model: WorldModel { objects }, ..Bus::default() };
+    }
 }
 
 impl Default for Bus {

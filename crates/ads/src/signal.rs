@@ -73,6 +73,17 @@ impl Signal {
         Signal::FinalSteering,
     ];
 
+    /// Position of this signal in [`Signal::ALL`] — a dense `u8` index
+    /// for cheap `Copy` fault keys.
+    pub fn index(self) -> u8 {
+        Signal::ALL.iter().position(|s| *s == self).expect("signal listed in ALL") as u8
+    }
+
+    /// The inverse of [`Signal::name`], for deserialized fault specs.
+    pub fn from_name(name: &str) -> Option<Signal> {
+        Signal::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Stable short name (used in reports and CSV output).
     pub fn name(self) -> &'static str {
         match self {

@@ -1,0 +1,79 @@
+//! Fault-space enumeration throughput: candidates/s through the lazy
+//! [`FaultSpace`] API — the dispatch-side cost every exhaustive sweep
+//! and random campaign now pays per candidate. Tracks that compiling
+//! `FaultSpec → Fault` and deriving `Copy` keys stays allocation-free
+//! and far faster than the simulator consuming the candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drivefi_ads::Stage;
+use drivefi_fault::{FaultKind, FaultSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The paper-scale scene axis: a 40 s scenario at 7.5 Hz.
+const SCENES: u64 = 300;
+
+fn space_with_modules() -> FaultSpace {
+    FaultSpace {
+        modules: vec![
+            FaultKind::ClearWorldModel,
+            FaultKind::FreezeWorldModel,
+            FaultKind::ModuleHang { stage: Stage::Planning },
+        ],
+        ..FaultSpace::default()
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_space_enumeration");
+
+    let space = FaultSpace::default();
+    let candidates = space.len(SCENES);
+    group.throughput(Throughput::Elements(candidates));
+    group.bench_function("exhaustive_iter_compile_key", |b| {
+        b.iter(|| {
+            let mut keys = 0u64;
+            for spec in space.iter(SCENES) {
+                let fault = spec.compile();
+                black_box(fault);
+                black_box(spec.key());
+                keys += 1;
+            }
+            assert_eq!(keys, candidates);
+            keys
+        })
+    });
+
+    let with_modules = space_with_modules();
+    group.throughput(Throughput::Elements(with_modules.len(SCENES)));
+    group.bench_function("exhaustive_iter_with_modules", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for spec in with_modules.iter(SCENES) {
+                black_box(spec.compile());
+                n += 1;
+            }
+            n
+        })
+    });
+
+    const DRAWS: u64 = 10_000;
+    group.throughput(Throughput::Elements(DRAWS));
+    group.bench_function("seeded_sampling", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0xFA57);
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                let spec = space.sample(SCENES, &mut rng);
+                acc = acc.wrapping_add(spec.window.scene);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

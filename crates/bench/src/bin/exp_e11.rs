@@ -3,30 +3,36 @@
 //! exhaustive campaign that would expose its *recall* was the 615-day
 //! cost DriveFI exists to avoid. Our simulator is fast enough to run it
 //! on a corpus subset: every candidate fault is injected for real, and
-//! the manifested set is compared against the mined set.
+//! the manifested set is compared against the mined set. The whole
+//! experiment is a [`CampaignPlan`] executed through [`run_plan`].
 //!
 //! ```text
 //! cargo run --release -p drivefi-bench --bin exp_e11 [scenarios] [stride]
 //! ```
 
-use drivefi_core::{collect_golden_traces, exhaustive_comparison, BayesianMiner, MinerConfig};
-use drivefi_sim::SimConfig;
-use drivefi_world::ScenarioSuite;
+use drivefi_fault::FaultSpace;
+use drivefi_plan::{
+    run_plan, CampaignKind, CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+};
 
 fn main() {
     let scenarios: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let stride: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let workers = drivefi_sim::default_workers();
 
-    let suite = ScenarioSuite::generate(scenarios, 2026);
-    let sim = SimConfig::default();
+    let plan = CampaignPlan {
+        name: "exp-e11".into(),
+        kind: CampaignKind::Exhaustive { scene_stride: stride },
+        seed: 0,
+        workers: None,
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: scenarios, seed: 2026 },
+        faults: FaultSpace::default(),
+    };
 
     println!("E11: exhaustive ground truth on {scenarios} scenarios (scene stride {stride})");
-    let traces = collect_golden_traces(&sim, &suite, workers);
-    let config = MinerConfig { scene_stride: stride, ..MinerConfig::default() };
-    let miner = BayesianMiner::fit(&traces, config).expect("model fit");
-
-    let report = exhaustive_comparison(&sim, &suite, &miner, &traces, workers);
+    let PlanReport::Exhaustive(report) = run_plan(&plan) else {
+        unreachable!("exhaustive plans produce exhaustive reports");
+    };
 
     println!();
     println!("| metric                   | value      |");

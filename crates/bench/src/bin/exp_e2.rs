@@ -4,24 +4,34 @@
 //!
 //! 5 000 runs, each with one uniformly random (scenario, scene, signal,
 //! min|max) single-scene corruption, over the paper-scale 7 200-scene
-//! suite.
+//! suite — expressed as a [`CampaignPlan`] and executed through
+//! [`run_plan`], exactly as a shipped `plans/*.toml` file would be.
 //!
 //! ```text
 //! cargo run --release -p drivefi-bench --bin exp_e2 [runs]
 //! ```
 
-use drivefi_core::{random_output_campaign, RandomCampaignConfig};
-use drivefi_sim::SimConfig;
-use drivefi_world::ScenarioSuite;
+use drivefi_fault::FaultSpace;
+use drivefi_plan::{
+    run_plan, CampaignKind, CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+};
 
 fn main() {
     let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
-    let workers = drivefi_sim::default_workers();
-    let suite = ScenarioSuite::paper_suite(2026);
-    let config = RandomCampaignConfig { runs, seed: 0xE2, workers };
+    let plan = CampaignPlan {
+        name: "exp-e2".into(),
+        kind: CampaignKind::Random { runs },
+        seed: 0xE2,
+        workers: None,
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 24, seed: 2026 },
+        faults: FaultSpace::default(),
+    };
 
     let t0 = std::time::Instant::now();
-    let stats = random_output_campaign(&SimConfig::default(), &suite, &config);
+    let PlanReport::Random(stats) = run_plan(&plan) else {
+        unreachable!("random plans produce random stats");
+    };
     let dt = t0.elapsed();
 
     println!("E2: random output-corruption campaign over the 7200-scene suite");
@@ -40,8 +50,8 @@ fn main() {
     if !stats.hazard_details.is_empty() {
         println!();
         println!("hazardous picks (lucky randoms):");
-        for (scenario, scene, signal) in &stats.hazard_details {
-            println!("  scenario {scenario} scene {scene} signal {signal}");
+        for (scenario, scene, target) in &stats.hazard_details {
+            println!("  scenario {scenario} scene {scene} target {target}");
         }
     }
 }

@@ -10,25 +10,17 @@
 //! precision / recall / F1.
 
 use crate::miner::BayesianMiner;
-use drivefi_fault::{Fault, FaultKind, FaultWindow, ScalarFaultModel};
-use drivefi_sim::{
-    CampaignEngine, CampaignJob, CampaignResult, SimConfig, Trace, BASE_TICKS_PER_SCENE,
-};
+use drivefi_fault::{FaultKind, FaultSpec};
+use drivefi_sim::{CampaignEngine, CampaignResult, SimConfig, Trace};
 use drivefi_world::ScenarioSuite;
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-/// Identity of a candidate fault for set comparison.
-type FaultKey = (u32, u64, String, String);
-
-fn key(
-    scenario: u32,
-    scene: u64,
-    signal: drivefi_ads::Signal,
-    model: ScalarFaultModel,
-) -> FaultKey {
-    (scenario, scene, signal.name().to_owned(), model.name())
-}
+/// Identity of a candidate fault for set comparison: scenario plus the
+/// `Copy` [`drivefi_fault::FaultKey`] of its spec. Replaces the old
+/// `(u32, u64, String, String)` key whose two `String`s were allocated
+/// per candidate in the hot comparison path.
+type CandidateKey = (u32, drivefi_fault::FaultKey);
 
 /// Outcome of the exhaustive comparison.
 #[derive(Debug, Clone)]
@@ -103,6 +95,16 @@ impl ExhaustiveReport {
     }
 }
 
+/// The `(signal, corruption)` display names of a scalar fault spec, for
+/// the per-fault report rows (only built for the ~tens of distinct
+/// rows, never per candidate).
+fn display_names(spec: FaultSpec) -> (String, String) {
+    match spec.kind {
+        FaultKind::Scalar { signal, model } => (signal.name().to_owned(), model.name()),
+        other => (other.name(), String::new()),
+    }
+}
+
 /// Runs the exhaustive campaign over every candidate the miner would
 /// consider (same eligibility and stride), computes the ground-truth
 /// hazard set, mines, and compares. Both campaigns use the same
@@ -115,38 +117,42 @@ pub fn exhaustive_comparison(
     traces: &[Trace],
     workers: usize,
 ) -> ExhaustiveReport {
-    // Materialize only the light-weight candidate tuples; keys and the
-    // job stream both derive from this single enumeration (so submission
-    // index i always corresponds to candidates[i]), and the jobs
-    // themselves stream lazily through the engine: the scenario × fault
-    // cross-product is never materialized as a job vector, every job
-    // shares its scenario's single `Arc` allocation (no per-job deep
-    // clone of road + actor storage), and the (two-String) FaultKeys are
-    // built on demand rather than held for the whole campaign.
-    let candidates: Vec<(u32, u64, drivefi_ads::Signal, ScalarFaultModel)> = traces
+    // Materialize only the light-weight `(scenario, FaultSpec)` pairs;
+    // keys and the job stream both derive from this single enumeration
+    // (so submission index i always corresponds to candidates[i]), and
+    // the jobs themselves stream lazily through the engine: the
+    // scenario × fault cross-product is never materialized as a job
+    // vector, every job shares its scenario's single `Arc` allocation,
+    // and candidate identities are `Copy` keys — no per-candidate
+    // `String` allocation anywhere in the sweep.
+    let candidates: Vec<(u32, FaultSpec)> = traces
         .iter()
         .flat_map(|trace| {
             miner.candidates(trace).map(|(k, signal, _var, model)| {
-                (trace.scenario_id, trace.frames[k].scene, signal, model)
+                let scene = trace.frames[k].scene;
+                (
+                    trace.scenario_id,
+                    FaultSpec {
+                        kind: FaultKind::Scalar { signal, model },
+                        window: drivefi_fault::WindowSpec::burst(
+                            scene,
+                            crate::report::VALIDATION_WINDOW_SCENES,
+                        ),
+                    },
+                )
             })
         })
         .collect();
-    let key_of = |i: u64| {
-        let (sid, scene, signal, model) = candidates[i as usize];
-        key(sid, scene, signal, model)
+    let key_of = |i: u64| -> CandidateKey {
+        let (sid, spec) = candidates[i as usize];
+        (sid, spec.key())
     };
 
     let shared = suite.shared();
-    let jobs = candidates.iter().map(|&(sid, scene, signal, model)| CampaignJob {
+    let jobs = candidates.iter().map(|&(sid, spec)| drivefi_sim::CampaignJob {
         id: u64::from(sid),
         scenario: std::sync::Arc::clone(&shared[sid as usize]),
-        faults: vec![Fault {
-            kind: FaultKind::Scalar { signal, model },
-            window: FaultWindow::burst(
-                scene * BASE_TICKS_PER_SCENE,
-                crate::report::VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
-            ),
-        }],
+        faults: vec![spec.compile()],
     });
 
     let engine = CampaignEngine::new(*sim).with_workers(workers);
@@ -159,30 +165,29 @@ pub fn exhaustive_comparison(
     });
     let exhaustive_time = start.elapsed();
 
-    let ground_truth: BTreeSet<FaultKey> = hazardous.iter().map(|&i| key_of(i)).collect();
+    let ground_truth: BTreeSet<CandidateKey> = hazardous.iter().map(|&i| key_of(i)).collect();
 
     let mine_start = std::time::Instant::now();
     let mined = miner.mine(traces);
     let mining_time = mine_start.elapsed();
-    let mined_keys: BTreeSet<FaultKey> =
-        mined.iter().map(|c| key(c.scenario_id, c.scene, c.signal, c.model)).collect();
+    let mined_keys: BTreeSet<CandidateKey> =
+        mined.iter().map(|c| (c.scenario_id, c.fault_spec().key())).collect();
 
     let true_positives = mined_keys.intersection(&ground_truth).count();
 
     let mut by_fault: std::collections::BTreeMap<(String, String), (usize, usize, usize, usize)> =
         std::collections::BTreeMap::new();
-    for i in 0..candidates.len() as u64 {
-        let k = key_of(i);
-        let slot = by_fault.entry((k.2.clone(), k.3.clone())).or_default();
+    for (i, &(_, spec)) in candidates.iter().enumerate() {
+        let slot = by_fault.entry(display_names(spec)).or_default();
         slot.1 += 1;
-        if ground_truth.contains(&k) {
+        if ground_truth.contains(&key_of(i as u64)) {
             slot.0 += 1;
         }
     }
-    for k in &mined_keys {
-        let slot = by_fault.entry((k.2.clone(), k.3.clone())).or_default();
+    for c in &mined {
+        let slot = by_fault.entry(display_names(c.fault_spec())).or_default();
         slot.2 += 1;
-        if ground_truth.contains(k) {
+        if ground_truth.contains(&(c.scenario_id, c.fault_spec().key())) {
             slot.3 += 1;
         }
     }

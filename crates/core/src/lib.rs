@@ -49,7 +49,10 @@ pub mod tbn;
 pub use exhaustive::{exhaustive_comparison, ExhaustiveReport};
 pub use golden::collect_golden_traces;
 pub use miner::{BayesianMiner, CandidateFault, MinedFault, MinerConfig};
-pub use random::{random_output_campaign, RandomCampaignConfig, RandomCampaignStats};
+pub use random::{
+    random_fault_picks, random_output_campaign, random_space_campaign, RandomCampaignConfig,
+    RandomCampaignStats,
+};
 pub use report::{validate_candidates, AccelerationReport, ValidationStats};
 pub use situations::{Situation, SituationLibrary, TestRule};
 pub use tbn::{SceneObs, TbnModel, TbnVar, NO_LEAD};

@@ -71,6 +71,23 @@ pub struct CandidateFault {
     pub predicted_delta: f64,
 }
 
+impl CandidateFault {
+    /// The validation-time [`drivefi_fault::FaultSpec`]: this candidate's
+    /// corruption held for the [`crate::report::VALIDATION_WINDOW_SCENES`]
+    /// injection window at its mined scene. Validation and the
+    /// exhaustive ground-truth comparison both compile (and key) their
+    /// faults through this spec, so the two judge the exact same fault.
+    pub fn fault_spec(&self) -> drivefi_fault::FaultSpec {
+        drivefi_fault::FaultSpec {
+            kind: drivefi_fault::FaultKind::Scalar { signal: self.signal, model: self.model },
+            window: drivefi_fault::WindowSpec::burst(
+                self.scene,
+                crate::report::VALIDATION_WINDOW_SCENES,
+            ),
+        }
+    }
+}
+
 /// A mined fault together with its validation outcome.
 #[derive(Debug, Clone)]
 pub struct MinedFault {

@@ -1,8 +1,7 @@
 //! The random fault-injection baseline (paper fault model *b*, random
-//! selection).
+//! selection), generalized to any [`FaultSpace`].
 
-use drivefi_ads::Signal;
-use drivefi_fault::{Fault, FaultKind, FaultWindow, ScalarFaultModel};
+use drivefi_fault::{FaultSpace, FaultSpec};
 use drivefi_sim::{default_workers, CampaignEngine, CampaignJob, RunningStats, SimConfig};
 use drivefi_world::ScenarioSuite;
 use rand::rngs::StdRng;
@@ -38,7 +37,7 @@ pub struct RandomCampaignStats {
     pub collisions: usize,
     /// Runs in which the injector actually corrupted a live value.
     pub effective_injections: usize,
-    /// The hazardous (scenario, scene, signal) triples, if any.
+    /// The hazardous (scenario, scene, fault-target) triples, if any.
     pub hazard_details: Vec<(u32, u64, &'static str)>,
 }
 
@@ -53,44 +52,49 @@ impl RandomCampaignStats {
     }
 }
 
-/// Runs `config.runs` random single-scene min/max output corruptions,
-/// uniformly over (scenario, scene, signal, min|max) — the paper's
-/// baseline, which over several weeks of cluster time never produced a
-/// single safety hazard.
-pub fn random_output_campaign(
-    sim: &SimConfig,
+/// The RNG stream of a random campaign: `config.runs` draws of
+/// `(scenario index, fault spec)`, each pick one uniform scenario draw
+/// followed by one [`FaultSpace::sample`]. Drawn up front so the stream
+/// is a pure function of the seed, never of worker scheduling. This is
+/// the single sampling path shared by the typed driver and the
+/// plan-file runner — which is what makes a `kind = "random"` campaign
+/// plan reproduce [`random_space_campaign`] number-for-number.
+pub fn random_fault_picks(
     suite: &ScenarioSuite,
+    space: &FaultSpace,
     config: &RandomCampaignConfig,
-) -> RandomCampaignStats {
-    // Draw the light-weight picks up front (the RNG stream must not
-    // depend on scheduling); the jobs themselves — each sharing its
-    // scenario's one allocation — stream into the engine one idle worker
-    // at a time.
+) -> Vec<(usize, FaultSpec)> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let picks: Vec<(usize, u64, Signal, ScalarFaultModel)> = (0..config.runs)
+    (0..config.runs)
         .map(|_| {
             let index = rng.random_range(0..suite.scenarios.len());
-            let scene = rng.random_range(1..suite.scenarios[index].scene_count() as u64 - 1);
-            let signal = Signal::ALL[rng.random_range(0..Signal::ALL.len())];
-            let model = if rng.random::<bool>() {
-                ScalarFaultModel::StuckMax
-            } else {
-                ScalarFaultModel::StuckMin
-            };
-            (index, scene, signal, model)
+            let scene_count = suite.scenarios[index].scene_count() as u64;
+            (index, space.sample(scene_count, &mut rng))
         })
-        .collect();
+        .collect()
+}
+
+/// Runs `config.runs` random corruptions drawn uniformly from `space` ×
+/// the suite — each run one scenario with one sampled [`FaultSpec`]
+/// armed. With the default space this is the paper's baseline: uniform
+/// `(scenario, scene, signal, min|max)` single-scene corruptions, which
+/// over several weeks of cluster time never produced a single safety
+/// hazard.
+pub fn random_space_campaign(
+    sim: &SimConfig,
+    suite: &ScenarioSuite,
+    space: &FaultSpace,
+    config: &RandomCampaignConfig,
+) -> RandomCampaignStats {
+    let picks = random_fault_picks(suite, space, config);
 
     let engine = CampaignEngine::new(*sim).with_workers(config.workers);
     let mut running = RunningStats::new();
     let shared = suite.shared();
-    let jobs = picks.iter().enumerate().map(|(id, &(index, scene, signal, model))| CampaignJob {
+    let jobs = picks.iter().enumerate().map(|(id, &(index, spec))| CampaignJob {
         id: id as u64,
         scenario: std::sync::Arc::clone(&shared[index]),
-        faults: vec![Fault {
-            kind: FaultKind::Scalar { signal, model },
-            window: FaultWindow::scene(scene),
-        }],
+        faults: vec![spec.compile()],
     });
     engine.run(jobs, &mut running);
 
@@ -106,16 +110,28 @@ pub fn random_output_campaign(
             .hazardous_indices
             .iter()
             .map(|&i| {
-                let (index, scene, signal, _) = picks[i as usize];
-                (suite.scenarios[index].id, scene, signal.name())
+                let (index, spec) = picks[i as usize];
+                (suite.scenarios[index].id, spec.window.scene, spec.kind.target_name())
             })
             .collect(),
     }
 }
 
+/// The paper-baseline wrapper: [`random_space_campaign`] over the
+/// default [`FaultSpace`] (every signal × {min, max}, single-scene
+/// windows over the scenario interior).
+pub fn random_output_campaign(
+    sim: &SimConfig,
+    suite: &ScenarioSuite,
+    config: &RandomCampaignConfig,
+) -> RandomCampaignStats {
+    random_space_campaign(sim, suite, &FaultSpace::default(), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drivefi_fault::FaultKind;
 
     #[test]
     fn small_random_campaign_mostly_safe() {
@@ -138,5 +154,45 @@ mod tests {
         let b = random_output_campaign(&SimConfig::default(), &suite, &config);
         assert_eq!(a.safe, b.safe);
         assert_eq!(a.hazards, b.hazards);
+    }
+
+    #[test]
+    fn module_fault_spaces_sample_and_run() {
+        // A space of only module-level faults (hang / freeze / clear)
+        // exercises the non-scalar half of the FaultSpace API end to end.
+        let space = FaultSpace {
+            scalars: drivefi_fault::CorruptionGrid::new(Vec::new(), Vec::new()),
+            modules: vec![
+                FaultKind::ClearWorldModel,
+                FaultKind::FreezeWorldModel,
+                FaultKind::ModuleHang { stage: drivefi_ads::Stage::Planning },
+            ],
+            first_scene: 20,
+            tail_margin: 40,
+            window_scenes: 4,
+        };
+        let suite = ScenarioSuite::generate(4, 42);
+        let config = RandomCampaignConfig { runs: 12, seed: 5, workers: 4 };
+        let stats = random_space_campaign(&SimConfig::default(), &suite, &space, &config);
+        assert_eq!(stats.runs, 12);
+        assert!(stats.effective_injections > 0, "module faults never landed");
+        for (_, scene, target) in &stats.hazard_details {
+            assert!(*scene >= 20);
+            assert!(target.contains('.'));
+        }
+    }
+
+    #[test]
+    fn picks_are_a_pure_function_of_the_seed() {
+        let suite = ScenarioSuite::generate(4, 42);
+        let space = FaultSpace::default();
+        let config = RandomCampaignConfig { runs: 30, seed: 77, workers: 2 };
+        let a = random_fault_picks(&suite, &space, &config);
+        let b = random_fault_picks(&suite, &space, &config);
+        assert_eq!(a, b);
+        for &(index, spec) in &a {
+            let scene_count = suite.scenarios[index].scene_count() as u64;
+            assert!(space.scene_range(scene_count).contains(&spec.window.scene));
+        }
     }
 }

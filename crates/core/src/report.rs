@@ -1,8 +1,6 @@
 //! Validation of mined faults and campaign accounting.
 
 use crate::miner::{CandidateFault, MinedFault};
-use drivefi_fault::{Fault, FaultKind, FaultWindow};
-use drivefi_sim::BASE_TICKS_PER_SCENE;
 use drivefi_sim::{CampaignEngine, CampaignJob, Collector, SimConfig};
 use drivefi_world::ScenarioSuite;
 use std::collections::BTreeSet;
@@ -61,13 +59,7 @@ pub fn validate_candidates(
     let jobs = candidates.iter().enumerate().map(|(i, c)| CampaignJob {
         id: i as u64,
         scenario: std::sync::Arc::clone(&shared[c.scenario_id as usize]),
-        faults: vec![Fault {
-            kind: FaultKind::Scalar { signal: c.signal, model: c.model },
-            window: FaultWindow::burst(
-                c.scene * BASE_TICKS_PER_SCENE,
-                VALIDATION_WINDOW_SCENES * BASE_TICKS_PER_SCENE,
-            ),
-        }],
+        faults: vec![c.fault_spec().compile()],
     });
     engine.run(jobs, &mut collector);
     let results = collector.into_results();

@@ -45,6 +45,41 @@ impl ScalarFaultModel {
             ScalarFaultModel::Scale(f) => format!("scale({f})"),
         }
     }
+
+    /// The inverse of [`ScalarFaultModel::name`]: parses `"min"`,
+    /// `"max"`, `"stuck(v)"`, `"bitflip(b)"`, `"offset(d)"`, and
+    /// `"scale(f)"`. Returns `None` on anything else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "min" => return Some(ScalarFaultModel::StuckMin),
+            "max" => return Some(ScalarFaultModel::StuckMax),
+            _ => {}
+        }
+        let (head, rest) = name.split_once('(')?;
+        let arg = rest.strip_suffix(')')?;
+        match head {
+            "stuck" => arg.parse().ok().map(ScalarFaultModel::StuckAt),
+            "bitflip" => arg.parse().ok().filter(|b| *b < 64).map(ScalarFaultModel::BitFlip),
+            "offset" => arg.parse().ok().map(ScalarFaultModel::Offset),
+            "scale" => arg.parse().ok().map(ScalarFaultModel::Scale),
+            _ => None,
+        }
+    }
+
+    /// A cheap totally ordered `Copy` identity: `(variant tag, payload
+    /// bits)`. Two models compare equal iff they are the same variant
+    /// with bit-identical payload — exactly the identity the exhaustive
+    /// driver needs for its fault-key sets, without allocating names.
+    pub fn key(self) -> (u8, u64) {
+        match self {
+            ScalarFaultModel::StuckMin => (0, 0),
+            ScalarFaultModel::StuckMax => (1, 0),
+            ScalarFaultModel::StuckAt(v) => (2, v.to_bits()),
+            ScalarFaultModel::BitFlip(b) => (3, u64::from(b)),
+            ScalarFaultModel::Offset(d) => (4, d.to_bits()),
+            ScalarFaultModel::Scale(f) => (5, f.to_bits()),
+        }
+    }
 }
 
 /// When a fault is active, in base-tick frames (30 Hz).
@@ -130,9 +165,30 @@ impl FaultKind {
     pub fn name(&self) -> String {
         match self {
             FaultKind::Scalar { signal, model } => format!("{}:{}", signal.name(), model.name()),
-            FaultKind::ClearWorldModel => "world.clear".into(),
-            FaultKind::FreezeWorldModel => "world.freeze".into(),
-            FaultKind::ModuleHang { stage } => format!("{}.hang", stage.name()),
+            FaultKind::ClearWorldModel
+            | FaultKind::FreezeWorldModel
+            | FaultKind::ModuleHang { .. } => self.target_name().into(),
+        }
+    }
+
+    /// The fault's *target* as a static string: the signal name for
+    /// scalar faults, the module-fault name otherwise. Same naming
+    /// scheme [`crate::space::FaultSpace::parse_module`] parses.
+    pub fn target_name(&self) -> &'static str {
+        // One entry per Stage, indexed by Stage::index (the hang names
+        // cannot be built at runtime and stay &'static).
+        const HANGS: [&str; 5] = [
+            "sensors.hang",
+            "localization.hang",
+            "perception.hang",
+            "planning.hang",
+            "control.hang",
+        ];
+        match self {
+            FaultKind::Scalar { signal, .. } => signal.name(),
+            FaultKind::ClearWorldModel => "world.clear",
+            FaultKind::FreezeWorldModel => "world.freeze",
+            FaultKind::ModuleHang { stage } => HANGS[stage.index()],
         }
     }
 }
@@ -210,5 +266,18 @@ mod tests {
             FaultKind::Scalar { signal: Signal::RawThrottle, model: ScalarFaultModel::StuckMax };
         assert_eq!(k.name(), "plan.throttle:max");
         assert_eq!(FaultKind::FreezeWorldModel.name(), "world.freeze");
+    }
+
+    #[test]
+    fn target_names_match_stage_names_and_round_trip() {
+        use crate::space::FaultSpace;
+        for stage in drivefi_ads::Stage::ALL {
+            let kind = FaultKind::ModuleHang { stage };
+            assert_eq!(kind.target_name(), format!("{}.hang", stage.name()));
+            assert_eq!(FaultSpace::parse_module(kind.target_name()), Some(kind));
+        }
+        for kind in [FaultKind::ClearWorldModel, FaultKind::FreezeWorldModel] {
+            assert_eq!(FaultSpace::parse_module(kind.target_name()), Some(kind));
+        }
     }
 }

@@ -1,0 +1,427 @@
+//! The fault-space API: serializable fault descriptors and lazily
+//! enumerable candidate spaces.
+//!
+//! The paper's campaign loop is "pick a fault space, sweep or mine it,
+//! validate" — yet every driver used to hand-roll its own enumeration of
+//! `(scene, signal, corruption)` tuples and build [`Fault`] literals
+//! inline. This module makes the fault space a first-class value:
+//!
+//! * [`FaultSpec`] — a fully *serializable* fault description: what to
+//!   corrupt ([`FaultKind`], including the module-level hang / freeze /
+//!   clear faults) and when, in **scene** units ([`WindowSpec`]). A spec
+//!   compiles to a tick-level [`Fault`] at dispatch time.
+//! * [`FaultSpace`] — the candidate cross-product: target signals ×
+//!   corruption models × scenes, plus module-level faults, with lazy
+//!   exhaustive enumeration ([`FaultSpace::iter`]), seeded sampling
+//!   ([`FaultSpace::sample`]), and a closed-form size
+//!   ([`FaultSpace::len`]).
+//! * [`CorruptionGrid`] — the generic item × model product underneath
+//!   [`FaultSpace`], reused by `drivefi-genfi` for its injectable-
+//!   variable enumeration.
+//! * [`FaultKey`] — a `Copy`, totally ordered identity for a
+//!   [`FaultSpec`], replacing the allocated `(String, String)` keys the
+//!   exhaustive ground-truth comparison used to build per candidate.
+
+use crate::model::{Fault, FaultKind, FaultWindow, ScalarFaultModel};
+use drivefi_ads::{Signal, Stage};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Base ticks (30 Hz) per scene (7.5 Hz) — the paper's discretization,
+/// shared with `drivefi-sim`'s `BASE_TICKS_PER_SCENE`.
+pub const TICKS_PER_SCENE: u64 = 4;
+
+/// When a fault is active, in **scene** units (7.5 Hz). Scene-based
+/// windows are what campaign plans serialize; they compile to tick-level
+/// [`FaultWindow`]s at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowSpec {
+    /// First active scene.
+    pub scene: u64,
+    /// Number of consecutive active scenes (`u64::MAX` = permanent).
+    pub scenes: u64,
+}
+
+impl WindowSpec {
+    /// A single-scene transient (the paper's one-corrupted-inference
+    /// model).
+    pub fn scene(scene: u64) -> Self {
+        WindowSpec { scene, scenes: 1 }
+    }
+
+    /// A burst of `scenes` consecutive scenes.
+    pub fn burst(scene: u64, scenes: u64) -> Self {
+        WindowSpec { scene, scenes }
+    }
+
+    /// A permanent fault starting at `scene`.
+    pub fn permanent(scene: u64) -> Self {
+        WindowSpec { scene, scenes: u64::MAX }
+    }
+
+    /// Compiles to the tick-level window.
+    pub fn window(self) -> FaultWindow {
+        FaultWindow {
+            start_frame: self.scene * TICKS_PER_SCENE,
+            frames: if self.scenes == u64::MAX { u64::MAX } else { self.scenes * TICKS_PER_SCENE },
+        }
+    }
+}
+
+/// A fully serializable fault descriptor: what + when (in scenes).
+/// [`FaultSpec::compile`] turns it into the injector-level [`Fault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What is corrupted (scalar signal or module-level fault).
+    pub kind: FaultKind,
+    /// When it is active, in scenes.
+    pub window: WindowSpec,
+}
+
+impl FaultSpec {
+    /// A single-scene scalar corruption — the paper's fault model *b*
+    /// shape.
+    pub fn scalar(signal: Signal, model: ScalarFaultModel, scene: u64) -> Self {
+        FaultSpec { kind: FaultKind::Scalar { signal, model }, window: WindowSpec::scene(scene) }
+    }
+
+    /// Compiles the spec to the injector-level fault.
+    pub fn compile(self) -> Fault {
+        Fault { kind: self.kind, window: self.window.window() }
+    }
+
+    /// The `Copy` identity of this spec (see [`FaultKey`]).
+    pub fn key(self) -> FaultKey {
+        let (tag, target, model) = match self.kind {
+            FaultKind::Scalar { signal, model } => {
+                let (code, bits) = model.key();
+                (0, signal.index(), (code, bits))
+            }
+            FaultKind::ClearWorldModel => (1, 0, (0, 0)),
+            FaultKind::FreezeWorldModel => (2, 0, (0, 0)),
+            FaultKind::ModuleHang { stage } => (3, stage.index() as u8, (0, 0)),
+        };
+        FaultKey { tag, target, model, window: self.window }
+    }
+
+    /// Stable report name: the kind name plus the scene window.
+    pub fn name(&self) -> String {
+        if self.window.scenes == 1 {
+            format!("{}@{}", self.kind.name(), self.window.scene)
+        } else {
+            format!("{}@{}+{}", self.kind.name(), self.window.scene, self.window.scenes)
+        }
+    }
+}
+
+/// A `Copy`, hashable, totally ordered identity for a [`FaultSpec`] —
+/// the allocation-free fault key used by exhaustive set comparisons.
+/// Two specs have equal keys iff they describe the same fault (same
+/// kind, bit-identical model payload, same scene window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultKey {
+    tag: u8,
+    target: u8,
+    model: (u8, u64),
+    window: WindowSpec,
+}
+
+/// The generic item × corruption-model cross-product. This is the shared
+/// enumeration core of [`FaultSpace`] (items = [`Signal`]s) and of the
+/// generic miner in `drivefi-genfi` (items = injectable variable
+/// indices), which previously re-invented the same pairing inline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionGrid<T> {
+    /// The corruptible items.
+    pub items: Vec<T>,
+    /// The corruption models applied to every item.
+    pub models: Vec<ScalarFaultModel>,
+}
+
+impl<T: Copy> CorruptionGrid<T> {
+    /// A grid over `items` × `models`.
+    pub fn new(items: Vec<T>, models: Vec<ScalarFaultModel>) -> Self {
+        CorruptionGrid { items, models }
+    }
+
+    /// Number of `(item, model)` pairs.
+    pub fn len(&self) -> usize {
+        self.items.len() * self.models.len()
+    }
+
+    /// True when the grid enumerates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th pair, in row-major (item-major) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`.
+    pub fn get(&self, index: usize) -> (T, ScalarFaultModel) {
+        let models = self.models.len();
+        (self.items[index / models], self.models[index % models])
+    }
+
+    /// Lazily enumerates every pair, item-major.
+    pub fn iter(&self) -> impl Iterator<Item = (T, ScalarFaultModel)> + '_ {
+        self.items.iter().flat_map(|&item| self.models.iter().map(move |&m| (item, m)))
+    }
+}
+
+/// A declarative candidate fault space: which scalar signals get which
+/// corruption models, which module-level faults ride along, and which
+/// scene window the faults sweep. The space is *lazy*: nothing is
+/// materialized until a driver iterates or samples it, and the scene
+/// axis resolves against each scenario's own scene count at that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpace {
+    /// Scalar signal targets × corruption models.
+    pub scalars: CorruptionGrid<Signal>,
+    /// Module-level faults swept over the same scene axis (world-model
+    /// clear / freeze, per-stage hangs).
+    pub modules: Vec<FaultKind>,
+    /// First eligible scene.
+    pub first_scene: u64,
+    /// Scenes held back from the scenario tail (the last
+    /// `tail_margin` scenes are ineligible).
+    pub tail_margin: u64,
+    /// Burst length, in scenes, of every generated fault.
+    pub window_scenes: u64,
+}
+
+impl Default for FaultSpace {
+    /// The paper's fault model *b* baseline: every signal × {min, max},
+    /// single-scene windows over the scenario interior.
+    fn default() -> Self {
+        FaultSpace {
+            scalars: CorruptionGrid::new(
+                Signal::ALL.to_vec(),
+                vec![ScalarFaultModel::StuckMin, ScalarFaultModel::StuckMax],
+            ),
+            modules: Vec::new(),
+            first_scene: 1,
+            tail_margin: 1,
+            window_scenes: 1,
+        }
+    }
+}
+
+impl FaultSpace {
+    /// Number of distinct fault kinds (scalar pairs + module faults).
+    pub fn kind_count(&self) -> usize {
+        self.scalars.len() + self.modules.len()
+    }
+
+    /// The `index`-th fault kind, scalar pairs first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= kind_count()`.
+    pub fn kind(&self, index: usize) -> FaultKind {
+        if index < self.scalars.len() {
+            let (signal, model) = self.scalars.get(index);
+            FaultKind::Scalar { signal, model }
+        } else {
+            self.modules[index - self.scalars.len()]
+        }
+    }
+
+    /// The eligible scene range for a scenario with `scene_count`
+    /// scenes. Empty when the scenario is shorter than the margins.
+    pub fn scene_range(&self, scene_count: u64) -> std::ops::Range<u64> {
+        self.first_scene..scene_count.saturating_sub(self.tail_margin).max(self.first_scene)
+    }
+
+    /// Exhaustive size of the space for a scenario with `scene_count`
+    /// scenes.
+    pub fn len(&self, scene_count: u64) -> u64 {
+        let scenes = self.scene_range(scene_count);
+        (scenes.end - scenes.start) * self.kind_count() as u64
+    }
+
+    /// True when the space enumerates nothing for `scene_count`.
+    pub fn is_empty(&self, scene_count: u64) -> bool {
+        self.len(scene_count) == 0
+    }
+
+    /// Lazily enumerates every candidate fault, scene-major then
+    /// kind-major — the exhaustive sweep. Nothing is allocated per
+    /// candidate.
+    pub fn iter(&self, scene_count: u64) -> impl Iterator<Item = FaultSpec> + '_ {
+        let window = self.window_scenes;
+        self.scene_range(scene_count).flat_map(move |scene| {
+            (0..self.kind_count()).map(move |k| FaultSpec {
+                kind: self.kind(k),
+                window: WindowSpec::burst(scene, window),
+            })
+        })
+    }
+
+    /// Draws one candidate uniformly: a scene from the eligible range,
+    /// then a fault kind. Consumes exactly two RNG draws, so campaign
+    /// streams stay reproducible functions of the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space is empty for `scene_count`.
+    pub fn sample(&self, scene_count: u64, rng: &mut StdRng) -> FaultSpec {
+        let scenes = self.scene_range(scene_count);
+        assert!(scenes.start < scenes.end, "empty scene range for {scene_count} scenes");
+        assert!(self.kind_count() > 0, "fault space has no fault kinds");
+        let scene = rng.random_range(scenes);
+        let kind = self.kind(rng.random_range(0..self.kind_count()));
+        FaultSpec { kind, window: WindowSpec::burst(scene, self.window_scenes) }
+    }
+
+    /// Parses a module-fault name: `"world.clear"`, `"world.freeze"`, or
+    /// `"<stage>.hang"` (e.g. `"planning.hang"`).
+    pub fn parse_module(name: &str) -> Option<FaultKind> {
+        match name {
+            "world.clear" => Some(FaultKind::ClearWorldModel),
+            "world.freeze" => Some(FaultKind::FreezeWorldModel),
+            _ => {
+                let stage = name.strip_suffix(".hang")?;
+                Stage::from_name(stage).map(|stage| FaultKind::ModuleHang { stage })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_spec_compiles_to_tick_windows() {
+        assert_eq!(WindowSpec::scene(5).window(), FaultWindow::scene(5));
+        assert_eq!(WindowSpec::burst(10, 6).window(), FaultWindow::burst(40, 24));
+        assert_eq!(WindowSpec::permanent(3).window(), FaultWindow::permanent(12));
+    }
+
+    #[test]
+    fn spec_compiles_to_equivalent_fault() {
+        let spec = FaultSpec::scalar(Signal::RawThrottle, ScalarFaultModel::StuckMax, 20);
+        let fault = spec.compile();
+        assert_eq!(fault.kind, spec.kind);
+        assert!(fault.window.active(80) && fault.window.active(83));
+        assert!(!fault.window.active(79) && !fault.window.active(84));
+    }
+
+    #[test]
+    fn keys_are_copy_identities() {
+        let a = FaultSpec::scalar(Signal::RawBrake, ScalarFaultModel::StuckMin, 7);
+        let b = FaultSpec::scalar(Signal::RawBrake, ScalarFaultModel::StuckMin, 7);
+        assert_eq!(a.key(), b.key());
+        let c = FaultSpec::scalar(Signal::RawBrake, ScalarFaultModel::StuckMax, 7);
+        assert_ne!(a.key(), c.key());
+        let d = FaultSpec::scalar(Signal::RawThrottle, ScalarFaultModel::StuckMin, 7);
+        assert_ne!(a.key(), d.key());
+        let hang = FaultSpec {
+            kind: FaultKind::ModuleHang { stage: Stage::Planning },
+            window: WindowSpec::scene(7),
+        };
+        assert_ne!(a.key(), hang.key());
+        // Distinct stuck-at payloads stay distinct through the bits.
+        let s1 = FaultSpec::scalar(Signal::RawBrake, ScalarFaultModel::StuckAt(0.5), 7);
+        let s2 = FaultSpec::scalar(Signal::RawBrake, ScalarFaultModel::StuckAt(0.25), 7);
+        assert_ne!(s1.key(), s2.key());
+    }
+
+    #[test]
+    fn grid_enumeration_is_item_major_and_sized() {
+        let grid = CorruptionGrid::new(
+            vec![Signal::RawThrottle, Signal::RawBrake],
+            vec![ScalarFaultModel::StuckMin, ScalarFaultModel::StuckMax],
+        );
+        assert_eq!(grid.len(), 4);
+        let pairs: Vec<_> = grid.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0], (Signal::RawThrottle, ScalarFaultModel::StuckMin));
+        assert_eq!(pairs[3], (Signal::RawBrake, ScalarFaultModel::StuckMax));
+        for (i, pair) in pairs.iter().enumerate() {
+            assert_eq!(grid.get(i), *pair);
+        }
+    }
+
+    #[test]
+    fn default_space_matches_paper_baseline() {
+        let space = FaultSpace::default();
+        // 14 signals × 2 models over scenes 1..=298 of a 300-scene run.
+        assert_eq!(space.kind_count(), 28);
+        assert_eq!(space.len(300), 28 * 298);
+        assert_eq!(space.iter(300).count() as u64, space.len(300));
+        // Every enumerated spec is a single-scene scalar burst.
+        let first = space.iter(300).next().unwrap();
+        assert_eq!(first.window, WindowSpec::scene(1));
+        assert!(matches!(first.kind, FaultKind::Scalar { .. }));
+    }
+
+    #[test]
+    fn space_with_modules_enumerates_them_after_scalars() {
+        let space = FaultSpace {
+            modules: vec![
+                FaultKind::ClearWorldModel,
+                FaultKind::ModuleHang { stage: Stage::Planning },
+            ],
+            ..FaultSpace::default()
+        };
+        assert_eq!(space.kind_count(), 30);
+        let specs: Vec<_> = space.iter(4).collect();
+        // Scenes 1 and 2 eligible → 2 × 30 candidates.
+        assert_eq!(specs.len(), 60);
+        assert_eq!(specs[28].kind, FaultKind::ClearWorldModel);
+        assert_eq!(specs[29].kind, FaultKind::ModuleHang { stage: Stage::Planning });
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_the_range_and_deterministic() {
+        let space = FaultSpace::default();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let sa = space.sample(120, &mut a);
+            let sb = space.sample(120, &mut b);
+            assert_eq!(sa, sb);
+            assert!(space.scene_range(120).contains(&sa.window.scene));
+        }
+    }
+
+    #[test]
+    fn short_scenarios_yield_empty_spaces() {
+        let space = FaultSpace::default();
+        assert!(space.is_empty(1));
+        assert_eq!(space.iter(1).count(), 0);
+        assert_eq!(space.len(2), 0, "scenes 1..1 is empty");
+    }
+
+    #[test]
+    fn module_names_parse() {
+        assert_eq!(FaultSpace::parse_module("world.clear"), Some(FaultKind::ClearWorldModel));
+        assert_eq!(FaultSpace::parse_module("world.freeze"), Some(FaultKind::FreezeWorldModel));
+        assert_eq!(
+            FaultSpace::parse_module("perception.hang"),
+            Some(FaultKind::ModuleHang { stage: Stage::Perception })
+        );
+        assert_eq!(FaultSpace::parse_module("nonsense"), None);
+        assert_eq!(FaultSpace::parse_module("nonsense.hang"), None);
+    }
+
+    #[test]
+    fn model_parse_inverts_name() {
+        for model in [
+            ScalarFaultModel::StuckMin,
+            ScalarFaultModel::StuckMax,
+            ScalarFaultModel::StuckAt(0.75),
+            ScalarFaultModel::BitFlip(62),
+            ScalarFaultModel::Offset(-3.5),
+            ScalarFaultModel::Scale(1.25),
+        ] {
+            assert_eq!(ScalarFaultModel::parse(&model.name()), Some(model));
+        }
+        assert_eq!(ScalarFaultModel::parse("bitflip(64)"), None);
+        assert_eq!(ScalarFaultModel::parse("warp(1)"), None);
+    }
+}

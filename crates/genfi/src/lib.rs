@@ -184,6 +184,28 @@ pub enum Corruption {
     Max,
 }
 
+impl Corruption {
+    /// The workspace-wide fault-model equivalent (the generic miner's
+    /// fault axis is the `{min, max}` slice of
+    /// [`drivefi_fault::ScalarFaultModel`]).
+    pub fn model(self) -> drivefi_fault::ScalarFaultModel {
+        match self {
+            Corruption::Min => drivefi_fault::ScalarFaultModel::StuckMin,
+            Corruption::Max => drivefi_fault::ScalarFaultModel::StuckMax,
+        }
+    }
+
+    /// The inverse of [`Corruption::model`] for the mined slice of the
+    /// model space.
+    fn from_model(model: drivefi_fault::ScalarFaultModel) -> Corruption {
+        match model {
+            drivefi_fault::ScalarFaultModel::StuckMin => Corruption::Min,
+            drivefi_fault::ScalarFaultModel::StuckMax => Corruption::Max,
+            other => panic!("generic miner only mines min/max, got {other:?}"),
+        }
+    }
+}
+
 /// A `(step, variable, corruption)` candidate whose forecast margin
 /// collapses — a member of the generic `F_crit`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -301,6 +323,20 @@ impl GenericMiner {
         &self.options
     }
 
+    /// The candidate fault axis: every injectable variable × {min, max},
+    /// as a [`drivefi_fault::CorruptionGrid`] — the same enumeration
+    /// core the AV drivers' [`drivefi_fault::FaultSpace`] is built on,
+    /// instead of a re-invented inline double loop.
+    pub fn injectable_grid(&self) -> drivefi_fault::CorruptionGrid<usize> {
+        drivefi_fault::CorruptionGrid::new(
+            (0..self.spec.vars.len()).filter(|&i| self.spec.vars[i].injectable).collect(),
+            vec![
+                drivefi_fault::ScalarFaultModel::StuckMin,
+                drivefi_fault::ScalarFaultModel::StuckMax,
+            ],
+        )
+    }
+
     /// Forecasts the system's response to `do(var@1 = category)`, with
     /// slices 0 and 1 clamped to the observed steps (except the
     /// intervened variable and its intra-step descendants, which the
@@ -361,6 +397,7 @@ impl GenericMiner {
         use std::collections::HashMap;
         type Forecast = (Vec<f64>, Vec<f64>);
         let mut cache: HashMap<(Vec<usize>, Vec<usize>, usize, usize), Forecast> = HashMap::new();
+        let grid = self.injectable_grid();
         let mut out = Vec::new();
         for (trace_idx, trace) in traces.iter().enumerate() {
             for k in 1..trace.len().saturating_sub(1) {
@@ -368,53 +405,50 @@ impl GenericMiner {
                 if golden_margin <= 0.0 {
                     continue;
                 }
-                for (var, vs) in self.spec.vars.iter().enumerate() {
-                    if !vs.injectable {
-                        continue;
+                for (var, model) in grid.iter() {
+                    let corruption = Corruption::from_model(model);
+                    let vs = &self.spec.vars[var];
+                    let value = match corruption {
+                        Corruption::Min => vs.min,
+                        Corruption::Max => vs.max,
+                    };
+                    let category = self.discretizers[var].transform(value);
+                    if self.discretizers[var].transform(trace[k][var]) == category {
+                        continue; // no-op fault
                     }
-                    for corruption in [Corruption::Min, Corruption::Max] {
-                        let value = match corruption {
-                            Corruption::Min => vs.min,
-                            Corruption::Max => vs.max,
-                        };
-                        let category = self.discretizers[var].transform(value);
-                        if self.discretizers[var].transform(trace[k][var]) == category {
-                            continue; // no-op fault
-                        }
-                        let key0: Vec<usize> = trace[k - 1]
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &x)| self.discretizers[i].transform(x))
-                            .collect();
-                        let key1: Vec<usize> = trace[k]
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &x)| self.discretizers[i].transform(x))
-                            .collect();
-                        let (mut faulted, next) = cache
-                            .entry((key0, key1, var, category))
-                            .or_insert_with(|| {
-                                self.forecast(&trace[k - 1], &trace[k], var, category)
-                                    .expect("inference on fitted model")
-                            })
-                            .clone();
-                        // The intervened variable's continuous value is
-                        // known exactly — it is the injection. The bin
-                        // representative (a median of *golden* values)
-                        // can sit far from the injected extreme.
-                        faulted[var] = value;
-                        let predicted = safety.forecast_margin(&trace[k], &faulted, &next);
-                        if predicted <= self.options.threshold {
-                            out.push(CriticalFault {
-                                trace: trace_idx,
-                                step: k,
-                                var,
-                                corruption,
-                                value,
-                                golden_margin,
-                                predicted_margin: predicted,
-                            });
-                        }
+                    let key0: Vec<usize> = trace[k - 1]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| self.discretizers[i].transform(x))
+                        .collect();
+                    let key1: Vec<usize> = trace[k]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| self.discretizers[i].transform(x))
+                        .collect();
+                    let (mut faulted, next) = cache
+                        .entry((key0, key1, var, category))
+                        .or_insert_with(|| {
+                            self.forecast(&trace[k - 1], &trace[k], var, category)
+                                .expect("inference on fitted model")
+                        })
+                        .clone();
+                    // The intervened variable's continuous value is
+                    // known exactly — it is the injection. The bin
+                    // representative (a median of *golden* values)
+                    // can sit far from the injected extreme.
+                    faulted[var] = value;
+                    let predicted = safety.forecast_margin(&trace[k], &faulted, &next);
+                    if predicted <= self.options.threshold {
+                        out.push(CriticalFault {
+                            trace: trace_idx,
+                            step: k,
+                            var,
+                            corruption,
+                            value,
+                            golden_margin,
+                            predicted_margin: predicted,
+                        });
                     }
                 }
             }
@@ -454,13 +488,12 @@ impl GenericMiner {
     /// Number of candidate faults over the traces — the exhaustive
     /// campaign size the miner replaces.
     pub fn candidate_count(&self, traces: &[Vec<Vec<f64>>], safety: &impl SafetyModel) -> usize {
-        let injectable = self.spec.vars.iter().filter(|v| v.injectable).count();
+        let grid = self.injectable_grid();
         traces
             .iter()
             .map(|t| {
                 (1..t.len().saturating_sub(1)).filter(|&k| safety.margin(&t[k]) > 0.0).count()
-                    * injectable
-                    * 2
+                    * grid.len()
             })
             .sum()
     }

@@ -1,0 +1,34 @@
+//! Writes the canonical `.toml` spec file of one or more builtin
+//! scenario families (default: the four DSL-native ones shipped under
+//! `plans/scenarios/`). Re-run after editing a family in
+//! `drivefi-world::spec` so the shipped files stay drift-free — the
+//! `validate_plans` CI gate compares them against the registry.
+//!
+//! ```text
+//! cargo run --release -p drivefi-plan --bin export_scenarios [out_dir] [family...]
+//! ```
+
+use drivefi_plan::save_scenario_spec;
+use drivefi_world::FamilyRegistry;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_dir = args.next().unwrap_or_else(|| "plans/scenarios".into());
+    let mut families: Vec<String> = args.collect();
+    if families.is_empty() {
+        families = ["tailgater", "multi_lane_weave", "debris_field", "shockwave_pedestrian"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("creating the output directory");
+    let registry = FamilyRegistry::builtin();
+    for family in &families {
+        let spec = registry
+            .get(family)
+            .unwrap_or_else(|| panic!("`{family}` is not a registered scenario family"));
+        let path = format!("{out_dir}/{family}.toml");
+        save_scenario_spec(&path, spec).expect("writing the spec file");
+        println!("wrote {path}");
+    }
+}

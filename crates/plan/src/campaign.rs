@@ -1,0 +1,864 @@
+//! Declarative campaign plans: run any campaign from a `.toml` file.
+//!
+//! A [`CampaignPlan`] is the whole experiment as data — which campaign
+//! to run, over which scenarios, sweeping which [`FaultSpace`], with
+//! which budget/seed/workers and which sink:
+//!
+//! ```toml
+//! name = "random-baseline"
+//!
+//! [campaign]
+//! kind = "random"     # or "exhaustive"
+//! runs = 60
+//! seed = 1
+//! sink = "stats"      # or "outcomes" (per-run outcome list)
+//!
+//! [scenarios]
+//! source = "paper"    # "paper" | "extended" | "families" | "inline" | "files"
+//! count = 8
+//! seed = 42
+//!
+//! [faults]
+//! signals = "all"     # or a list of signal names
+//! models = ["min", "max"]
+//! modules = []        # e.g. ["world.clear", "planning.hang"]
+//! first_scene = 1
+//! tail_margin = 1
+//! window_scenes = 1
+//! ```
+//!
+//! [`run_plan`] executes a plan through the exact same driver code the
+//! typed API uses ([`drivefi_core::random_space_campaign`],
+//! [`drivefi_core::exhaustive_comparison`]), so a plan file reproduces
+//! the typed calls number-for-number — the `campaign_plan` example
+//! asserts this equality end to end.
+
+use crate::scenario::{
+    as_array, as_str, as_table, as_uint, expect_keys, get, scenario_spec_from_toml,
+    scenario_spec_to_toml,
+};
+use crate::toml::{emit_document, parse_document, Map, Toml};
+use crate::PlanError;
+use drivefi_ads::Signal;
+use drivefi_core::{
+    collect_golden_traces, exhaustive_comparison, random_fault_picks, random_space_campaign,
+    BayesianMiner, ExhaustiveReport, MinerConfig, RandomCampaignConfig, RandomCampaignStats,
+};
+use drivefi_fault::{CorruptionGrid, FaultSpace, ScalarFaultModel};
+use drivefi_sim::{CampaignEngine, Outcome, RunningStats, SimConfig};
+use drivefi_world::spec::ScenarioSpec;
+use drivefi_world::ScenarioSuite;
+
+/// Which campaign a plan runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignKind {
+    /// The random baseline: `runs` faults sampled uniformly from the
+    /// fault space × scenario suite.
+    Random {
+        /// Number of injection runs.
+        runs: usize,
+    },
+    /// The exhaustive ground-truth comparison (golden traces → miner fit
+    /// → inject every candidate → precision/recall).
+    Exhaustive {
+        /// Evaluate every `scene_stride`-th eligible scene.
+        scene_stride: usize,
+    },
+}
+
+/// Which sink consumes a random campaign's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkChoice {
+    /// Constant-memory streaming statistics ([`RandomCampaignStats`]).
+    Stats,
+    /// Statistics plus the per-run outcome list, in submission order.
+    Outcomes,
+}
+
+/// The scenario workload of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSelection {
+    /// `count` scenarios cycling the paper-era family mix
+    /// ([`ScenarioSuite::generate`]).
+    Paper {
+        /// Suite size.
+        count: u32,
+        /// Suite seed.
+        seed: u64,
+    },
+    /// `count` scenarios cycling the extended mix
+    /// ([`ScenarioSuite::extended`]).
+    Extended {
+        /// Suite size.
+        count: u32,
+        /// Suite seed.
+        seed: u64,
+    },
+    /// `count` scenarios cycling the named registry families.
+    Families {
+        /// Builtin family names, cycled in order.
+        names: Vec<String>,
+        /// Suite size.
+        count: u32,
+        /// Suite seed.
+        seed: u64,
+    },
+    /// `count` scenarios cycling inline specs that never touch the
+    /// builtin registry.
+    Inline {
+        /// The specs, cycled in order.
+        specs: Vec<ScenarioSpec>,
+        /// Suite size.
+        count: u32,
+        /// Suite seed.
+        seed: u64,
+    },
+    /// `count` scenarios cycling specs loaded from `.toml` files. The
+    /// file paths (relative to the plan file) are kept alongside the
+    /// resolved specs, so a loaded plan re-saves as `source = "files"`
+    /// instead of silently degrading to an inline copy.
+    Files {
+        /// Spec paths, relative to the plan file's directory.
+        files: Vec<String>,
+        /// The specs those files resolved to at load time.
+        specs: Vec<ScenarioSpec>,
+        /// Suite size.
+        count: u32,
+        /// Suite seed.
+        seed: u64,
+    },
+}
+
+impl ScenarioSelection {
+    /// Builds the scenario suite this selection describes.
+    pub fn build_suite(&self) -> ScenarioSuite {
+        match self {
+            ScenarioSelection::Paper { count, seed } => ScenarioSuite::generate(*count, *seed),
+            ScenarioSelection::Extended { count, seed } => ScenarioSuite::extended(*count, *seed),
+            ScenarioSelection::Families { names, count, seed } => {
+                let names: Vec<&str> = names.iter().map(String::as_str).collect();
+                ScenarioSuite::from_families(&names, *count, *seed)
+            }
+            ScenarioSelection::Inline { specs, count, seed }
+            | ScenarioSelection::Files { specs, count, seed, .. } => {
+                ScenarioSuite::from_specs(specs, *count, *seed)
+            }
+        }
+    }
+}
+
+/// A complete, serializable campaign description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Human-readable plan name.
+    pub name: String,
+    /// What to run.
+    pub kind: CampaignKind,
+    /// Campaign RNG seed (fault sampling for random campaigns).
+    pub seed: u64,
+    /// Worker threads (`None` = [`drivefi_sim::default_workers`]).
+    pub workers: Option<usize>,
+    /// Result sink (random campaigns only; the exhaustive report shape
+    /// is fixed, so exhaustive plans must leave this at
+    /// [`SinkChoice::Stats`] and their files must omit `sink`).
+    pub sink: SinkChoice,
+    /// The scenario workload.
+    pub scenarios: ScenarioSelection,
+    /// The fault space sampled by random campaigns. Exhaustive
+    /// campaigns sweep the *miner's* candidate space (mined signals ×
+    /// {min, max} at the validation window) — a `[faults]` section in
+    /// an exhaustive plan is rejected at parse time rather than
+    /// silently ignored, and this field must stay at
+    /// [`FaultSpace::default`].
+    pub faults: FaultSpace,
+}
+
+/// What [`run_plan`] produced.
+#[derive(Debug, Clone)]
+pub enum PlanReport {
+    /// A random campaign's streaming statistics.
+    Random(RandomCampaignStats),
+    /// A random campaign with the per-run outcome list retained.
+    RandomOutcomes {
+        /// Streaming outcome counters.
+        running: RunningStats,
+        /// Every run's outcome, in submission order.
+        outcomes: Vec<Outcome>,
+    },
+    /// The exhaustive ground-truth comparison.
+    Exhaustive(ExhaustiveReport),
+}
+
+/// Executes a plan through the campaign engine and the standard
+/// drivers. Deterministic: the same plan always produces the same
+/// report, regardless of worker count.
+pub fn run_plan(plan: &CampaignPlan) -> PlanReport {
+    let sim = SimConfig::default();
+    let suite = plan.scenarios.build_suite();
+    let workers = plan.workers.unwrap_or_else(drivefi_sim::default_workers);
+    match plan.kind {
+        CampaignKind::Random { runs } => {
+            let config = RandomCampaignConfig { runs, seed: plan.seed, workers };
+            match plan.sink {
+                SinkChoice::Stats => {
+                    PlanReport::Random(random_space_campaign(&sim, &suite, &plan.faults, &config))
+                }
+                SinkChoice::Outcomes => {
+                    let picks = random_fault_picks(&suite, &plan.faults, &config);
+                    let engine = CampaignEngine::new(sim).with_workers(workers);
+                    let shared = suite.shared();
+                    let jobs = picks.iter().enumerate().map(|(id, &(index, spec))| {
+                        drivefi_sim::CampaignJob {
+                            id: id as u64,
+                            scenario: std::sync::Arc::clone(&shared[index]),
+                            faults: vec![spec.compile()],
+                        }
+                    });
+                    let mut running = RunningStats::new();
+                    let mut outcomes: Vec<Option<Outcome>> = vec![None; picks.len()];
+                    engine.run(jobs, &mut |index: u64, result: drivefi_sim::CampaignResult| {
+                        outcomes[index as usize] = Some(result.report.outcome);
+                        drivefi_sim::CampaignSink::accept(&mut running, index, result);
+                    });
+                    PlanReport::RandomOutcomes {
+                        running,
+                        outcomes: outcomes
+                            .into_iter()
+                            .map(|o| o.expect("every job produces a result"))
+                            .collect(),
+                    }
+                }
+            }
+        }
+        CampaignKind::Exhaustive { scene_stride } => {
+            let traces = collect_golden_traces(&sim, &suite, workers);
+            let config = MinerConfig { scene_stride, ..MinerConfig::default() };
+            let miner = BayesianMiner::fit(&traces, config).expect("model fit on golden traces");
+            PlanReport::Exhaustive(exhaustive_comparison(&sim, &suite, &miner, &traces, workers))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TOML conversion
+// ---------------------------------------------------------------------------
+
+fn model_names(models: &[ScalarFaultModel]) -> Toml {
+    Toml::Array(models.iter().map(|m| Toml::Str(m.name())).collect())
+}
+
+fn fault_space_to_toml(space: &FaultSpace) -> Map {
+    let default = FaultSpace::default();
+    let signals = if space.scalars.items == default.scalars.items {
+        Toml::Str("all".into())
+    } else {
+        Toml::Array(space.scalars.items.iter().map(|s| Toml::Str(s.name().into())).collect())
+    };
+    Map::from([
+        ("signals".into(), signals),
+        ("models".into(), model_names(&space.scalars.models)),
+        (
+            "modules".into(),
+            Toml::Array(space.modules.iter().map(|m| Toml::Str(m.name())).collect()),
+        ),
+        ("first_scene".into(), Toml::Int(space.first_scene as i64)),
+        ("tail_margin".into(), Toml::Int(space.tail_margin as i64)),
+        ("window_scenes".into(), Toml::Int(space.window_scenes as i64)),
+    ])
+}
+
+fn fault_space_from_toml(table: &Map) -> Result<FaultSpace, PlanError> {
+    expect_keys(
+        table,
+        "[faults]",
+        &["signals", "models", "modules", "first_scene", "tail_margin", "window_scenes"],
+    )?;
+    let default = FaultSpace::default();
+
+    let signals: Vec<Signal> = match table.get("signals") {
+        None => default.scalars.items.clone(),
+        Some(Toml::Str(s)) if s == "all" => Signal::ALL.to_vec(),
+        Some(Toml::Array(names)) => names
+            .iter()
+            .map(|n| {
+                let name = as_str(n, "signal name")?;
+                Signal::from_name(name)
+                    .ok_or_else(|| PlanError::new(format!("unknown signal `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(other) => {
+            return Err(PlanError::new(format!(
+                "`signals` must be \"all\" or a list of names, got {}",
+                other.type_name()
+            )))
+        }
+    };
+
+    let models: Vec<ScalarFaultModel> = match table.get("models") {
+        None => default.scalars.models.clone(),
+        Some(value) => as_array(value, "`models`")?
+            .iter()
+            .map(|m| {
+                let name = as_str(m, "model name")?;
+                ScalarFaultModel::parse(name)
+                    .ok_or_else(|| PlanError::new(format!("unknown fault model `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let modules = match table.get("modules") {
+        None => Vec::new(),
+        Some(value) => as_array(value, "`modules`")?
+            .iter()
+            .map(|m| {
+                let name = as_str(m, "module fault name")?;
+                FaultSpace::parse_module(name)
+                    .ok_or_else(|| PlanError::new(format!("unknown module fault `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let uint_or = |key: &str, fallback: u64| -> Result<u64, PlanError> {
+        match table.get(key) {
+            None => Ok(fallback),
+            Some(v) => as_uint(v, &format!("`{key}`")),
+        }
+    };
+    let first_scene = uint_or("first_scene", default.first_scene)?;
+    let tail_margin = uint_or("tail_margin", default.tail_margin)?;
+    let window_scenes = uint_or("window_scenes", default.window_scenes)?;
+    if window_scenes == 0 {
+        return Err(PlanError::new("`window_scenes` must be at least 1".into()));
+    }
+
+    let space = FaultSpace {
+        scalars: CorruptionGrid::new(signals, models),
+        modules,
+        first_scene,
+        tail_margin,
+        window_scenes,
+    };
+    if space.kind_count() == 0 {
+        return Err(PlanError::new(
+            "the fault space is empty: no (signal, model) pairs and no module faults".into(),
+        ));
+    }
+    Ok(space)
+}
+
+/// Converts a plan to its TOML document tree.
+pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
+    let mut campaign = Map::from([
+        ("seed".into(), Toml::Int(plan.seed as i64)),
+        (
+            "sink".into(),
+            Toml::Str(match plan.sink {
+                SinkChoice::Stats => "stats".into(),
+                SinkChoice::Outcomes => "outcomes".into(),
+            }),
+        ),
+    ]);
+    match plan.kind {
+        CampaignKind::Random { runs } => {
+            campaign.insert("kind".into(), Toml::Str("random".into()));
+            campaign.insert("runs".into(), Toml::Int(runs as i64));
+        }
+        CampaignKind::Exhaustive { scene_stride } => {
+            campaign.insert("kind".into(), Toml::Str("exhaustive".into()));
+            campaign.insert("scene_stride".into(), Toml::Int(scene_stride as i64));
+            // The exhaustive driver has a fixed report and sweeps the
+            // miner's candidate space — `sink` and `[faults]` are
+            // rejected by the parser, so the emitter must omit them.
+            campaign.remove("sink");
+        }
+    }
+    if let Some(workers) = plan.workers {
+        campaign.insert("workers".into(), Toml::Int(workers as i64));
+    }
+
+    let scenarios = match &plan.scenarios {
+        ScenarioSelection::Paper { count, seed } => Map::from([
+            ("source".into(), Toml::Str("paper".into())),
+            ("count".into(), Toml::Int(*count as i64)),
+            ("seed".into(), Toml::Int(*seed as i64)),
+        ]),
+        ScenarioSelection::Extended { count, seed } => Map::from([
+            ("source".into(), Toml::Str("extended".into())),
+            ("count".into(), Toml::Int(*count as i64)),
+            ("seed".into(), Toml::Int(*seed as i64)),
+        ]),
+        ScenarioSelection::Families { names, count, seed } => Map::from([
+            ("source".into(), Toml::Str("families".into())),
+            ("families".into(), Toml::Array(names.iter().map(|n| Toml::Str(n.clone())).collect())),
+            ("count".into(), Toml::Int(*count as i64)),
+            ("seed".into(), Toml::Int(*seed as i64)),
+        ]),
+        ScenarioSelection::Inline { specs, count, seed } => Map::from([
+            ("source".into(), Toml::Str("inline".into())),
+            (
+                "spec".into(),
+                Toml::Array(specs.iter().map(|s| Toml::Table(scenario_spec_to_toml(s))).collect()),
+            ),
+            ("count".into(), Toml::Int(*count as i64)),
+            ("seed".into(), Toml::Int(*seed as i64)),
+        ]),
+        // The resolved specs are deliberately *not* embedded: the files
+        // stay the source of truth, and re-saving a loaded plan keeps
+        // its link to them (validate_plans' drift gate still applies).
+        ScenarioSelection::Files { files, count, seed, .. } => Map::from([
+            ("source".into(), Toml::Str("files".into())),
+            ("files".into(), Toml::Array(files.iter().map(|f| Toml::Str(f.clone())).collect())),
+            ("count".into(), Toml::Int(*count as i64)),
+            ("seed".into(), Toml::Int(*seed as i64)),
+        ]),
+    };
+
+    let mut doc = Map::from([
+        ("name".into(), Toml::Str(plan.name.clone())),
+        ("campaign".into(), Toml::Table(campaign)),
+        ("scenarios".into(), Toml::Table(scenarios)),
+    ]);
+    if matches!(plan.kind, CampaignKind::Random { .. }) {
+        doc.insert("faults".into(), Toml::Table(fault_space_to_toml(&plan.faults)));
+    }
+    doc
+}
+
+/// Renders a plan as a TOML document string.
+pub fn emit_campaign_plan(plan: &CampaignPlan) -> String {
+    emit_document(&campaign_plan_to_toml(plan))
+}
+
+fn scenarios_from_toml(
+    table: &Map,
+    base_dir: Option<&std::path::Path>,
+) -> Result<ScenarioSelection, PlanError> {
+    expect_keys(table, "[scenarios]", &["source", "count", "seed", "families", "spec", "files"])?;
+    let source = as_str(get(table, "[scenarios]", "source")?, "`source`")?;
+    let count64 = as_uint(get(table, "[scenarios]", "count")?, "`count`")?;
+    let count = u32::try_from(count64)
+        .ok()
+        .filter(|c| *c > 0)
+        .ok_or_else(|| PlanError::new(format!("`count` must be in 1..=2^32-1, got {count64}")))?;
+    let seed = as_uint(get(table, "[scenarios]", "seed")?, "`seed`")?;
+    let forbid = |key: &str| -> Result<(), PlanError> {
+        if table.contains_key(key) {
+            return Err(PlanError::new(format!(
+                "`{key}` is only valid with the matching `source`"
+            )));
+        }
+        Ok(())
+    };
+    match source {
+        "paper" => {
+            forbid("families")?;
+            forbid("spec")?;
+            forbid("files")?;
+            Ok(ScenarioSelection::Paper { count, seed })
+        }
+        "extended" => {
+            forbid("families")?;
+            forbid("spec")?;
+            forbid("files")?;
+            Ok(ScenarioSelection::Extended { count, seed })
+        }
+        "families" => {
+            forbid("spec")?;
+            forbid("files")?;
+            let names: Vec<String> =
+                as_array(get(table, "[scenarios]", "families")?, "`families`")?
+                    .iter()
+                    .map(|n| as_str(n, "family name").map(str::to_owned))
+                    .collect::<Result<_, _>>()?;
+            if names.is_empty() {
+                return Err(PlanError::new("`families` must not be empty".into()));
+            }
+            let registry = drivefi_world::FamilyRegistry::builtin();
+            for name in &names {
+                if registry.get(name).is_none() {
+                    return Err(PlanError::new(format!(
+                        "unknown scenario family `{name}` (registered: {})",
+                        registry.names().collect::<Vec<_>>().join(", ")
+                    )));
+                }
+            }
+            Ok(ScenarioSelection::Families { names, count, seed })
+        }
+        "inline" => {
+            forbid("families")?;
+            forbid("files")?;
+            let specs: Vec<ScenarioSpec> = as_array(get(table, "[scenarios]", "spec")?, "`spec`")?
+                .iter()
+                .map(|s| scenario_spec_from_toml(as_table(s, "scenario spec")?))
+                .collect::<Result<_, _>>()?;
+            if specs.is_empty() {
+                return Err(PlanError::new("`spec` must not be empty".into()));
+            }
+            Ok(ScenarioSelection::Inline { specs, count, seed })
+        }
+        "files" => {
+            forbid("families")?;
+            forbid("spec")?;
+            let Some(base) = base_dir else {
+                return Err(PlanError::new(
+                    "`source = \"files\"` needs a plan file on disk (use CampaignPlan::load)"
+                        .into(),
+                ));
+            };
+            let files: Vec<String> = as_array(get(table, "[scenarios]", "files")?, "`files`")?
+                .iter()
+                .map(|f| as_str(f, "spec path").map(str::to_owned))
+                .collect::<Result<_, _>>()?;
+            if files.is_empty() {
+                return Err(PlanError::new("`files` must not be empty".into()));
+            }
+            let specs: Vec<ScenarioSpec> = files
+                .iter()
+                .map(|f| crate::scenario::load_scenario_spec(base.join(f)))
+                .collect::<Result<_, _>>()?;
+            Ok(ScenarioSelection::Files { files, specs, count, seed })
+        }
+        other => Err(PlanError::new(format!(
+            "unknown scenario source `{other}` (paper, extended, families, inline, files)"
+        ))),
+    }
+}
+
+fn campaign_plan_from_toml(
+    doc: &Map,
+    base_dir: Option<&std::path::Path>,
+) -> Result<CampaignPlan, PlanError> {
+    expect_keys(doc, "campaign plan", &["name", "campaign", "scenarios", "faults"])?;
+    let name = as_str(get(doc, "campaign plan", "name")?, "`name`")?.to_owned();
+
+    let campaign = as_table(get(doc, "campaign plan", "campaign")?, "[campaign]")?;
+    expect_keys(
+        campaign,
+        "[campaign]",
+        &["kind", "runs", "scene_stride", "seed", "workers", "sink"],
+    )?;
+    let kind_name = as_str(get(campaign, "[campaign]", "kind")?, "`kind`")?;
+    let kind = match kind_name {
+        "random" => {
+            if campaign.contains_key("scene_stride") {
+                return Err(PlanError::new(
+                    "`scene_stride` is only valid for exhaustive campaigns".into(),
+                ));
+            }
+            let runs = as_uint(get(campaign, "[campaign]", "runs")?, "`runs`")?;
+            if runs == 0 {
+                return Err(PlanError::new("`runs` must be at least 1".into()));
+            }
+            CampaignKind::Random { runs: runs as usize }
+        }
+        "exhaustive" => {
+            if campaign.contains_key("runs") {
+                return Err(PlanError::new("`runs` is only valid for random campaigns".into()));
+            }
+            if campaign.contains_key("sink") {
+                return Err(PlanError::new(
+                    "`sink` is only valid for random campaigns (the exhaustive report is fixed)"
+                        .into(),
+                ));
+            }
+            if doc.contains_key("faults") {
+                return Err(PlanError::new(
+                    "a `[faults]` section is only valid for random campaigns — exhaustive \
+                     campaigns sweep the miner's candidate space"
+                        .into(),
+                ));
+            }
+            let stride = match campaign.get("scene_stride") {
+                None => 1,
+                Some(v) => as_uint(v, "`scene_stride`")?,
+            };
+            if stride == 0 {
+                return Err(PlanError::new("`scene_stride` must be at least 1".into()));
+            }
+            CampaignKind::Exhaustive { scene_stride: stride as usize }
+        }
+        other => {
+            return Err(PlanError::new(format!(
+                "unknown campaign kind `{other}` (random, exhaustive)"
+            )))
+        }
+    };
+    let seed = match campaign.get("seed") {
+        None => 0,
+        Some(v) => as_uint(v, "`seed`")?,
+    };
+    let workers = match campaign.get("workers") {
+        None => None,
+        Some(v) => {
+            let w = as_uint(v, "`workers`")?;
+            if w == 0 {
+                return Err(PlanError::new("`workers` must be at least 1".into()));
+            }
+            Some(w as usize)
+        }
+    };
+    let sink = match campaign.get("sink") {
+        None => SinkChoice::Stats,
+        Some(v) => match as_str(v, "`sink`")? {
+            "stats" => SinkChoice::Stats,
+            "outcomes" => SinkChoice::Outcomes,
+            other => {
+                return Err(PlanError::new(format!("unknown sink `{other}` (stats, outcomes)")))
+            }
+        },
+    };
+
+    let scenarios = scenarios_from_toml(
+        as_table(get(doc, "campaign plan", "scenarios")?, "[scenarios]")?,
+        base_dir,
+    )?;
+
+    let faults = match doc.get("faults") {
+        None => FaultSpace::default(),
+        Some(value) => fault_space_from_toml(as_table(value, "[faults]")?)?,
+    };
+
+    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults })
+}
+
+/// Parses a plan from TOML text. File-based scenario sources
+/// (`source = "files"`) are rejected here — use [`CampaignPlan::load`]
+/// so relative spec paths have a base directory.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on syntax errors or schema violations.
+pub fn parse_campaign_plan(src: &str) -> Result<CampaignPlan, PlanError> {
+    campaign_plan_from_toml(&parse_document(src)?, None)
+}
+
+impl CampaignPlan {
+    /// Loads a plan from a `.toml` file, resolving `source = "files"`
+    /// scenario-spec paths relative to the plan file's directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<CampaignPlan, PlanError> {
+        let path = path.as_ref();
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| PlanError::new(format!("reading {}: {e}", path.display())))?;
+        let base = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+        campaign_plan_from_toml(&parse_document(&src)?, Some(base))
+            .map_err(|e| PlanError::new(format!("{}: {e}", path.display())))
+    }
+
+    /// Saves the plan as a `.toml` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PlanError> {
+        let path = path.as_ref();
+        std::fs::write(path, emit_campaign_plan(self))
+            .map_err(|e| PlanError::new(format!("writing {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_random_plan() -> CampaignPlan {
+        CampaignPlan {
+            name: "tiny".into(),
+            kind: CampaignKind::Random { runs: 6 },
+            seed: 3,
+            workers: Some(4),
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+            faults: FaultSpace::default(),
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_through_toml() {
+        let plans = vec![
+            tiny_random_plan(),
+            CampaignPlan {
+                name: "exhaustive".into(),
+                kind: CampaignKind::Exhaustive { scene_stride: 40 },
+                seed: 0,
+                workers: Some(8),
+                sink: SinkChoice::Stats,
+                scenarios: ScenarioSelection::Families {
+                    names: vec!["cut_in".into(), "tailgater".into()],
+                    count: 3,
+                    seed: 7,
+                },
+                faults: FaultSpace::default(),
+            },
+            CampaignPlan {
+                name: "custom-space".into(),
+                kind: CampaignKind::Random { runs: 40 },
+                seed: 0,
+                workers: None,
+                sink: SinkChoice::Outcomes,
+                scenarios: ScenarioSelection::Families {
+                    names: vec!["cut_in".into(), "tailgater".into()],
+                    count: 3,
+                    seed: 7,
+                },
+                faults: FaultSpace {
+                    scalars: CorruptionGrid::new(
+                        vec![Signal::RawThrottle, Signal::FinalBrake],
+                        vec![
+                            ScalarFaultModel::StuckMax,
+                            ScalarFaultModel::Offset(-0.5),
+                            ScalarFaultModel::BitFlip(62),
+                        ],
+                    ),
+                    modules: vec![drivefi_fault::FaultKind::ClearWorldModel],
+                    first_scene: 10,
+                    tail_margin: 20,
+                    window_scenes: 6,
+                },
+            },
+            CampaignPlan {
+                name: "inline".into(),
+                kind: CampaignKind::Random { runs: 4 },
+                seed: 9,
+                workers: None,
+                sink: SinkChoice::Stats,
+                scenarios: ScenarioSelection::Inline {
+                    specs: vec![drivefi_world::FamilyRegistry::builtin()
+                        .get("debris_field")
+                        .unwrap()
+                        .clone()],
+                    count: 2,
+                    seed: 5,
+                },
+                faults: FaultSpace::default(),
+            },
+        ];
+        for plan in plans {
+            let text = emit_campaign_plan(&plan);
+            let parsed =
+                parse_campaign_plan(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", plan.name));
+            assert_eq!(parsed, plan, "{} drifted through TOML", plan.name);
+        }
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let base = emit_campaign_plan(&tiny_random_plan());
+        assert!(parse_campaign_plan(&base).is_ok());
+        // `base` with the whole [faults] section removed (sections emit
+        // alphabetically, so [scenarios] follows [faults]).
+        let without_faults = {
+            let start = base.find("\n[faults]").expect("base has a [faults] section");
+            let end = base.find("\n[scenarios]").expect("base has a [scenarios] section");
+            format!("{}{}", &base[..start], &base[end..])
+        };
+        for (mutation, needle) in [
+            (base.replace("kind = \"random\"", "kind = \"chaos\""), "unknown campaign kind"),
+            (base.replace("runs = 6", "runs = 0"), "runs"),
+            (
+                base.replace("source = \"paper\"", "source = \"imaginary\""),
+                "unknown scenario source",
+            ),
+            (base.replace("signals = \"all\"", "signals = [\"plan.warp\"]"), "unknown signal"),
+            (
+                base.replace("models = [\"min\", \"max\"]", "models = [\"warp(2)\"]"),
+                "unknown fault model",
+            ),
+            (base.replace("window_scenes = 1", "window_scenes = 0"), "window_scenes"),
+            (base.replace("seed = 3", "velocity = 3"), "unknown key"),
+            (base.replace("count = 2", "count = 0"), "count"),
+            // An exhaustive campaign cannot carry a [faults] section or
+            // a sink — rejected rather than silently ignored.
+            (
+                base.replace("kind = \"random\"\nruns = 6", "kind = \"exhaustive\"")
+                    .replace("sink = \"stats\"\n", ""),
+                "`[faults]` section is only valid for random",
+            ),
+            (
+                without_faults.replace("kind = \"random\"\nruns = 6", "kind = \"exhaustive\""),
+                "`sink` is only valid for random",
+            ),
+        ] {
+            let err = parse_campaign_plan(&mutation)
+                .expect_err(&format!("mutation should fail: {needle}"));
+            assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn files_selection_survives_load_then_save() {
+        // source = "files" keeps its file references: loading a plan and
+        // re-saving it must emit the paths, not an inline copy of the
+        // specs.
+        let dir = std::env::temp_dir().join(format!("drivefi-plan-test-{}", std::process::id()));
+        let scenario_dir = dir.join("scenarios");
+        std::fs::create_dir_all(&scenario_dir).unwrap();
+        let spec = drivefi_world::FamilyRegistry::builtin().get("tailgater").unwrap();
+        crate::scenario::save_scenario_spec(scenario_dir.join("tailgater.toml"), spec).unwrap();
+
+        let text = "name = \"files-test\"\n\n[campaign]\nkind = \"random\"\nruns = 2\nseed = 1\n\n\
+                    [scenarios]\nsource = \"files\"\nfiles = [\"scenarios/tailgater.toml\"]\n\
+                    count = 2\nseed = 5\n";
+        let plan_path = dir.join("plan.toml");
+        std::fs::write(&plan_path, text).unwrap();
+
+        let loaded = CampaignPlan::load(&plan_path).unwrap();
+        let ScenarioSelection::Files { files, specs, .. } = &loaded.scenarios else {
+            panic!("files selection degraded to {:?}", loaded.scenarios);
+        };
+        assert_eq!(files, &vec![String::from("scenarios/tailgater.toml")]);
+        assert_eq!(&specs[0], spec);
+
+        let resaved = plan_path.with_file_name("resaved.toml");
+        loaded.save(&resaved).unwrap();
+        let emitted = std::fs::read_to_string(&resaved).unwrap();
+        assert!(emitted.contains("source = \"files\""), "degraded to inline:\n{emitted}");
+        assert!(emitted.contains("scenarios/tailgater.toml"));
+        assert_eq!(CampaignPlan::load(&resaved).unwrap(), loaded);
+
+        // Without a base directory the source is rejected, not guessed.
+        assert!(parse_campaign_plan(text).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_plan_matches_typed_random_campaign() {
+        let plan = tiny_random_plan();
+        let PlanReport::Random(from_plan) = run_plan(&plan) else {
+            panic!("expected random stats");
+        };
+        let suite = ScenarioSuite::generate(2, 42);
+        let typed = random_space_campaign(
+            &SimConfig::default(),
+            &suite,
+            &FaultSpace::default(),
+            &RandomCampaignConfig { runs: 6, seed: 3, workers: 4 },
+        );
+        assert_eq!(from_plan.runs, typed.runs);
+        assert_eq!(from_plan.safe, typed.safe);
+        assert_eq!(from_plan.hazards, typed.hazards);
+        assert_eq!(from_plan.collisions, typed.collisions);
+        assert_eq!(from_plan.effective_injections, typed.effective_injections);
+        assert_eq!(from_plan.hazard_details, typed.hazard_details);
+    }
+
+    #[test]
+    fn outcome_sink_agrees_with_stats_sink() {
+        let mut plan = tiny_random_plan();
+        plan.sink = SinkChoice::Outcomes;
+        let PlanReport::RandomOutcomes { running, outcomes } = run_plan(&plan) else {
+            panic!("expected outcome list");
+        };
+        assert_eq!(outcomes.len(), 6);
+        let hazardous = outcomes.iter().filter(|o| o.is_hazardous()).count();
+        assert_eq!(hazardous, running.hazards + running.collisions);
+        plan.sink = SinkChoice::Stats;
+        let PlanReport::Random(stats) = run_plan(&plan) else {
+            panic!("expected random stats");
+        };
+        assert_eq!(stats.hazards + stats.collisions, hazardous);
+    }
+}

@@ -1,0 +1,64 @@
+//! Declarative campaign plans for DriveFI.
+//!
+//! AVFI frames fault injection as a *configurable service* over
+//! scenario × fault spaces; this crate is that service's file format
+//! and runner. Everything a campaign needs is data:
+//!
+//! * [`toml`] — a hand-rolled TOML-subset parser/emitter (the build
+//!   environment has no crates.io access, so no `serde`);
+//! * [`expr`] — the text grammar for the scenario DSL's arithmetic
+//!   expressions;
+//! * [`scenario`] — [`drivefi_world::spec::ScenarioSpec`] ⇄ TOML, so
+//!   scenario families ship as files without recompiling;
+//! * [`campaign`] — [`CampaignPlan`]: campaign kind + scenario
+//!   selection + [`drivefi_fault::FaultSpace`] + budget/seed/workers +
+//!   sink choice, with [`run_plan`] executing through the same
+//!   `CampaignEngine`-backed drivers as the typed API.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use drivefi_plan::{run_plan, CampaignPlan, PlanReport};
+//!
+//! let plan = CampaignPlan::load("plans/random_baseline.toml").unwrap();
+//! match run_plan(&plan) {
+//!     PlanReport::Random(stats) => println!("hazard rate {:.3}", stats.hazard_rate()),
+//!     other => println!("{other:?}"),
+//! }
+//! ```
+
+pub mod campaign;
+pub mod expr;
+pub mod scenario;
+pub mod toml;
+
+pub use campaign::{
+    campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan, CampaignKind,
+    CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+};
+pub use expr::{emit_expr, parse_expr};
+pub use scenario::{
+    emit_scenario_spec, load_scenario_spec, parse_scenario_spec, save_scenario_spec,
+    scenario_spec_from_toml, scenario_spec_to_toml,
+};
+
+/// An error from parsing, validating, loading, or saving plan files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    message: String,
+}
+
+impl PlanError {
+    /// An error carrying `message`.
+    pub fn new(message: String) -> Self {
+        PlanError { message }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}

@@ -1,0 +1,650 @@
+//! TOML load/save for [`ScenarioSpec`] — scenario families as files.
+//!
+//! The DSL of `drivefi-world::spec` makes scenario families data; this
+//! module makes them *files*, closing the ROADMAP item "a serialized
+//! spec loader so families can ship without recompiling". A spec
+//! document looks like:
+//!
+//! ```toml
+//! name = "tailgater"
+//! family_key = 10
+//! duration = 40.0
+//!
+//! [road]
+//! lanes = 3
+//! lane_width = 3.7
+//! length = 4000.0
+//!
+//! [ego]
+//! v0 = [24.0, 33.5]
+//! set_speed = ["ego.v", "min(ego.v + 4.0, 33.500000001)"]
+//!
+//! [[program]]
+//! stmt = "draw"
+//! var = "gap_ahead"
+//! lo = "55.0"
+//! hi = "85.0"
+//!
+//! [[program]]
+//! stmt = "spawn"
+//! kind = "car"
+//! x = "gap_ahead"
+//! y = "0.0"
+//! v = "lead_v"
+//! heading = "0.0"
+//! maneuver = { kind = "idm", desired = "lead_v" }
+//! ```
+//!
+//! Statements nest (repeat bodies, if branches) as inline arrays of
+//! tables; expressions are strings in the [`crate::expr`] grammar.
+//! Parsing is strict — unknown keys, inverted ranges, and unknown
+//! statement/maneuver/actor kinds are errors, so a typo in a shipped
+//! plan fails loudly instead of sampling garbage.
+
+use crate::expr::{emit_expr, parse_expr};
+use crate::toml::{emit_document, parse_document, Map, Toml};
+use crate::PlanError;
+use drivefi_world::spec::{
+    intern, ActorTemplate, EgoSpec, Expr, KeyframeProgram, LaneChangeTemplate, ManeuverTemplate,
+    RoadSpec, ScenarioSpec, Stmt,
+};
+use drivefi_world::ActorKind;
+
+// ---------------------------------------------------------------------------
+// Strict table access helpers (shared with the campaign-plan parser)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn expect_keys(table: &Map, context: &str, allowed: &[&str]) -> Result<(), PlanError> {
+    for key in table.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(PlanError::new(format!(
+                "unknown key `{key}` in {context} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn get<'a>(table: &'a Map, context: &str, key: &str) -> Result<&'a Toml, PlanError> {
+    table.get(key).ok_or_else(|| PlanError::new(format!("missing key `{key}` in {context}")))
+}
+
+pub(crate) fn as_str<'a>(value: &'a Toml, what: &str) -> Result<&'a str, PlanError> {
+    match value {
+        Toml::Str(s) => Ok(s),
+        other => Err(PlanError::new(format!("{what} must be a string, got {}", other.type_name()))),
+    }
+}
+
+pub(crate) fn as_int(value: &Toml, what: &str) -> Result<i64, PlanError> {
+    match value {
+        Toml::Int(i) => Ok(*i),
+        other => {
+            Err(PlanError::new(format!("{what} must be an integer, got {}", other.type_name())))
+        }
+    }
+}
+
+pub(crate) fn as_uint(value: &Toml, what: &str) -> Result<u64, PlanError> {
+    let i = as_int(value, what)?;
+    u64::try_from(i).map_err(|_| PlanError::new(format!("{what} must be non-negative, got {i}")))
+}
+
+pub(crate) fn as_float(value: &Toml, what: &str) -> Result<f64, PlanError> {
+    match value {
+        Toml::Float(f) => Ok(*f),
+        Toml::Int(i) => Ok(*i as f64),
+        other => Err(PlanError::new(format!("{what} must be a number, got {}", other.type_name()))),
+    }
+}
+
+pub(crate) fn as_array<'a>(value: &'a Toml, what: &str) -> Result<&'a [Toml], PlanError> {
+    value.as_array().ok_or_else(|| PlanError::new(format!("{what} must be an array")))
+}
+
+pub(crate) fn as_table<'a>(value: &'a Toml, what: &str) -> Result<&'a Map, PlanError> {
+    value
+        .as_table()
+        .ok_or_else(|| PlanError::new(format!("{what} must be a table, got {}", value.type_name())))
+}
+
+fn expr_of(table: &Map, context: &str, key: &str) -> Result<Expr, PlanError> {
+    parse_expr(as_str(get(table, context, key)?, &format!("`{key}` of {context}"))?)
+}
+
+fn opt_expr(table: &Map, context: &str, key: &str) -> Result<Option<Expr>, PlanError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => Ok(Some(parse_expr(as_str(v, &format!("`{key}` of {context}"))?)?)),
+    }
+}
+
+fn expr_value(e: &Expr) -> Toml {
+    Toml::Str(emit_expr(e))
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn actor_kind_name(kind: ActorKind) -> &'static str {
+    match kind {
+        ActorKind::Car => "car",
+        ActorKind::Truck => "truck",
+        ActorKind::Pedestrian => "pedestrian",
+        ActorKind::StaticObstacle => "static_obstacle",
+    }
+}
+
+fn parse_actor_kind(name: &str) -> Result<ActorKind, PlanError> {
+    match name {
+        "car" => Ok(ActorKind::Car),
+        "truck" => Ok(ActorKind::Truck),
+        "pedestrian" => Ok(ActorKind::Pedestrian),
+        "static_obstacle" => Ok(ActorKind::StaticObstacle),
+        other => Err(PlanError::new(format!("unknown actor kind `{other}`"))),
+    }
+}
+
+fn lane_change_value(lc: &LaneChangeTemplate) -> Toml {
+    Toml::Table(Map::from([
+        ("start_time".into(), expr_value(&lc.start_time)),
+        ("duration".into(), expr_value(&lc.duration)),
+        ("from_y".into(), expr_value(&lc.from_y)),
+        ("to_y".into(), expr_value(&lc.to_y)),
+    ]))
+}
+
+fn parse_lane_change(value: &Toml) -> Result<LaneChangeTemplate, PlanError> {
+    let t = as_table(value, "lane_change")?;
+    expect_keys(t, "lane_change", &["start_time", "duration", "from_y", "to_y"])?;
+    Ok(LaneChangeTemplate {
+        start_time: expr_of(t, "lane_change", "start_time")?,
+        duration: expr_of(t, "lane_change", "duration")?,
+        from_y: expr_of(t, "lane_change", "from_y")?,
+        to_y: expr_of(t, "lane_change", "to_y")?,
+    })
+}
+
+fn maneuver_value(m: &ManeuverTemplate) -> Toml {
+    let mut t = Map::new();
+    match m {
+        ManeuverTemplate::Static => {
+            t.insert("kind".into(), Toml::Str("static".into()));
+        }
+        ManeuverTemplate::Idm { desired, headway, lane_change } => {
+            t.insert("kind".into(), Toml::Str("idm".into()));
+            t.insert("desired".into(), expr_value(desired));
+            if let Some(h) = headway {
+                t.insert("headway".into(), expr_value(h));
+            }
+            if let Some(lc) = lane_change {
+                t.insert("lane_change".into(), lane_change_value(lc));
+            }
+        }
+        ManeuverTemplate::Scripted { keyframes, lane_change } => {
+            t.insert("kind".into(), Toml::Str("scripted".into()));
+            match keyframes {
+                KeyframeProgram::List(frames) => {
+                    t.insert(
+                        "keyframes".into(),
+                        Toml::Array(
+                            frames
+                                .iter()
+                                .map(|(time, accel)| {
+                                    Toml::Array(vec![expr_value(time), expr_value(accel)])
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
+                KeyframeProgram::Wave { start, period, brake, recover, brake_frac, coast_frac } => {
+                    t.insert(
+                        "wave".into(),
+                        Toml::Table(Map::from([
+                            ("start".into(), expr_value(start)),
+                            ("period".into(), expr_value(period)),
+                            ("brake".into(), expr_value(brake)),
+                            ("recover".into(), expr_value(recover)),
+                            ("brake_frac".into(), Toml::Float(*brake_frac)),
+                            ("coast_frac".into(), Toml::Float(*coast_frac)),
+                        ])),
+                    );
+                }
+            }
+            if let Some(lc) = lane_change {
+                t.insert("lane_change".into(), lane_change_value(lc));
+            }
+        }
+        ManeuverTemplate::Pedestrian { trigger_time, walk_speed } => {
+            t.insert("kind".into(), Toml::Str("pedestrian".into()));
+            t.insert("trigger_time".into(), expr_value(trigger_time));
+            t.insert("walk_speed".into(), expr_value(walk_speed));
+        }
+    }
+    Toml::Table(t)
+}
+
+fn parse_maneuver(value: &Toml) -> Result<ManeuverTemplate, PlanError> {
+    let t = as_table(value, "maneuver")?;
+    let kind = as_str(get(t, "maneuver", "kind")?, "maneuver kind")?;
+    match kind {
+        "static" => {
+            expect_keys(t, "static maneuver", &["kind"])?;
+            Ok(ManeuverTemplate::Static)
+        }
+        "idm" => {
+            expect_keys(t, "idm maneuver", &["kind", "desired", "headway", "lane_change"])?;
+            Ok(ManeuverTemplate::Idm {
+                desired: expr_of(t, "idm maneuver", "desired")?,
+                headway: opt_expr(t, "idm maneuver", "headway")?,
+                lane_change: t.get("lane_change").map(parse_lane_change).transpose()?,
+            })
+        }
+        "scripted" => {
+            expect_keys(t, "scripted maneuver", &["kind", "keyframes", "wave", "lane_change"])?;
+            let keyframes = match (t.get("keyframes"), t.get("wave")) {
+                (Some(frames), None) => KeyframeProgram::List(
+                    as_array(frames, "keyframes")?
+                        .iter()
+                        .map(|pair| {
+                            let pair = as_array(pair, "keyframe")?;
+                            if pair.len() != 2 {
+                                return Err(PlanError::new(
+                                    "a keyframe is a [time, accel] pair".into(),
+                                ));
+                            }
+                            Ok((
+                                parse_expr(as_str(&pair[0], "keyframe time")?)?,
+                                parse_expr(as_str(&pair[1], "keyframe accel")?)?,
+                            ))
+                        })
+                        .collect::<Result<_, _>>()?,
+                ),
+                (None, Some(wave)) => {
+                    let w = as_table(wave, "wave")?;
+                    expect_keys(
+                        w,
+                        "wave",
+                        &["start", "period", "brake", "recover", "brake_frac", "coast_frac"],
+                    )?;
+                    KeyframeProgram::Wave {
+                        start: expr_of(w, "wave", "start")?,
+                        period: expr_of(w, "wave", "period")?,
+                        brake: expr_of(w, "wave", "brake")?,
+                        recover: expr_of(w, "wave", "recover")?,
+                        brake_frac: as_float(get(w, "wave", "brake_frac")?, "brake_frac")?,
+                        coast_frac: as_float(get(w, "wave", "coast_frac")?, "coast_frac")?,
+                    }
+                }
+                _ => {
+                    return Err(PlanError::new(
+                        "a scripted maneuver needs exactly one of `keyframes` or `wave`".into(),
+                    ))
+                }
+            };
+            Ok(ManeuverTemplate::Scripted {
+                keyframes,
+                lane_change: t.get("lane_change").map(parse_lane_change).transpose()?,
+            })
+        }
+        "pedestrian" => {
+            expect_keys(t, "pedestrian maneuver", &["kind", "trigger_time", "walk_speed"])?;
+            Ok(ManeuverTemplate::Pedestrian {
+                trigger_time: expr_of(t, "pedestrian maneuver", "trigger_time")?,
+                walk_speed: expr_of(t, "pedestrian maneuver", "walk_speed")?,
+            })
+        }
+        other => Err(PlanError::new(format!("unknown maneuver kind `{other}`"))),
+    }
+}
+
+fn stmt_table(stmt: &Stmt) -> Map {
+    let mut t = Map::new();
+    match stmt {
+        Stmt::Draw { var, lo, hi } => {
+            t.insert("stmt".into(), Toml::Str("draw".into()));
+            t.insert("var".into(), Toml::Str((*var).into()));
+            t.insert("lo".into(), expr_value(lo));
+            t.insert("hi".into(), expr_value(hi));
+        }
+        Stmt::DrawInt { var, lo, hi } => {
+            t.insert("stmt".into(), Toml::Str("draw_int".into()));
+            t.insert("var".into(), Toml::Str((*var).into()));
+            t.insert("lo".into(), Toml::Int(i64::from(*lo)));
+            t.insert("hi".into(), Toml::Int(i64::from(*hi)));
+        }
+        Stmt::Let { var, expr } => {
+            t.insert("stmt".into(), Toml::Str("let".into()));
+            t.insert("var".into(), Toml::Str((*var).into()));
+            t.insert("expr".into(), expr_value(expr));
+        }
+        Stmt::SetEgoSpeed(expr) => {
+            t.insert("stmt".into(), Toml::Str("set_ego_speed".into()));
+            t.insert("expr".into(), expr_value(expr));
+        }
+        Stmt::SetEgoSetSpeed(expr) => {
+            t.insert("stmt".into(), Toml::Str("set_ego_set_speed".into()));
+            t.insert("expr".into(), expr_value(expr));
+        }
+        Stmt::Spawn(actor) => {
+            t.insert("stmt".into(), Toml::Str("spawn".into()));
+            t.insert("kind".into(), Toml::Str(actor_kind_name(actor.kind).into()));
+            t.insert("x".into(), expr_value(&actor.x));
+            t.insert("y".into(), expr_value(&actor.y));
+            t.insert("v".into(), expr_value(&actor.v));
+            t.insert("heading".into(), expr_value(&actor.heading));
+            t.insert("maneuver".into(), maneuver_value(&actor.maneuver));
+        }
+        Stmt::Repeat { count, body } => {
+            t.insert("stmt".into(), Toml::Str("repeat".into()));
+            t.insert("count".into(), expr_value(count));
+            t.insert(
+                "body".into(),
+                Toml::Array(body.iter().map(|s| Toml::Table(stmt_table(s))).collect()),
+            );
+        }
+        Stmt::If { cond, then, otherwise } => {
+            t.insert("stmt".into(), Toml::Str("if".into()));
+            t.insert("cond".into(), expr_value(cond));
+            t.insert(
+                "then".into(),
+                Toml::Array(then.iter().map(|s| Toml::Table(stmt_table(s))).collect()),
+            );
+            t.insert(
+                "else".into(),
+                Toml::Array(otherwise.iter().map(|s| Toml::Table(stmt_table(s))).collect()),
+            );
+        }
+    }
+    t
+}
+
+fn parse_stmt(value: &Toml) -> Result<Stmt, PlanError> {
+    let t = as_table(value, "statement")?;
+    let kind = as_str(get(t, "statement", "stmt")?, "`stmt`")?;
+    match kind {
+        "draw" => {
+            expect_keys(t, "draw statement", &["stmt", "var", "lo", "hi"])?;
+            Ok(Stmt::Draw {
+                var: intern(as_str(get(t, "draw", "var")?, "`var`")?),
+                lo: expr_of(t, "draw", "lo")?,
+                hi: expr_of(t, "draw", "hi")?,
+            })
+        }
+        "draw_int" => {
+            expect_keys(t, "draw_int statement", &["stmt", "var", "lo", "hi"])?;
+            let lo = as_uint(get(t, "draw_int", "lo")?, "`lo`")?;
+            let hi = as_uint(get(t, "draw_int", "hi")?, "`hi`")?;
+            let lo = u32::try_from(lo)
+                .map_err(|_| PlanError::new(format!("draw_int lo {lo} out of range")))?;
+            let hi = u32::try_from(hi)
+                .map_err(|_| PlanError::new(format!("draw_int hi {hi} out of range")))?;
+            if lo >= hi {
+                return Err(PlanError::new(format!("draw_int range [{lo}, {hi}) is inverted")));
+            }
+            Ok(Stmt::DrawInt { var: intern(as_str(get(t, "draw_int", "var")?, "`var`")?), lo, hi })
+        }
+        "let" => {
+            expect_keys(t, "let statement", &["stmt", "var", "expr"])?;
+            Ok(Stmt::Let {
+                var: intern(as_str(get(t, "let", "var")?, "`var`")?),
+                expr: expr_of(t, "let", "expr")?,
+            })
+        }
+        "set_ego_speed" => {
+            expect_keys(t, "set_ego_speed statement", &["stmt", "expr"])?;
+            Ok(Stmt::SetEgoSpeed(expr_of(t, "set_ego_speed", "expr")?))
+        }
+        "set_ego_set_speed" => {
+            expect_keys(t, "set_ego_set_speed statement", &["stmt", "expr"])?;
+            Ok(Stmt::SetEgoSetSpeed(expr_of(t, "set_ego_set_speed", "expr")?))
+        }
+        "spawn" => {
+            expect_keys(
+                t,
+                "spawn statement",
+                &["stmt", "kind", "x", "y", "v", "heading", "maneuver"],
+            )?;
+            Ok(Stmt::spawn(ActorTemplate {
+                kind: parse_actor_kind(as_str(get(t, "spawn", "kind")?, "actor kind")?)?,
+                x: expr_of(t, "spawn", "x")?,
+                y: expr_of(t, "spawn", "y")?,
+                v: expr_of(t, "spawn", "v")?,
+                heading: expr_of(t, "spawn", "heading")?,
+                maneuver: parse_maneuver(get(t, "spawn", "maneuver")?)?,
+            }))
+        }
+        "repeat" => {
+            expect_keys(t, "repeat statement", &["stmt", "count", "body"])?;
+            Ok(Stmt::Repeat {
+                count: expr_of(t, "repeat", "count")?,
+                body: as_array(get(t, "repeat", "body")?, "repeat body")?
+                    .iter()
+                    .map(parse_stmt)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "if" => {
+            expect_keys(t, "if statement", &["stmt", "cond", "then", "else"])?;
+            Ok(Stmt::If {
+                cond: expr_of(t, "if", "cond")?,
+                then: as_array(get(t, "if", "then")?, "then branch")?
+                    .iter()
+                    .map(parse_stmt)
+                    .collect::<Result<_, _>>()?,
+                otherwise: as_array(get(t, "if", "else")?, "else branch")?
+                    .iter()
+                    .map(parse_stmt)
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        other => Err(PlanError::new(format!("unknown statement kind `{other}`"))),
+    }
+}
+
+/// Converts a spec to its TOML document tree.
+pub fn scenario_spec_to_toml(spec: &ScenarioSpec) -> Map {
+    Map::from([
+        ("name".into(), Toml::Str(spec.name.into())),
+        (
+            "family_key".into(),
+            Toml::Int(i64::try_from(spec.family_key).expect("family keys fit i64")),
+        ),
+        ("duration".into(), Toml::Float(spec.duration)),
+        (
+            "road".into(),
+            Toml::Table(Map::from([
+                ("lanes".into(), Toml::Int(i64::from(spec.road.lanes))),
+                ("lane_width".into(), Toml::Float(spec.road.lane_width)),
+                ("length".into(), Toml::Float(spec.road.length)),
+            ])),
+        ),
+        (
+            "ego".into(),
+            Toml::Table(Map::from([
+                (
+                    "v0".into(),
+                    Toml::Array(vec![Toml::Float(spec.ego.v0_lo), Toml::Float(spec.ego.v0_hi)]),
+                ),
+                (
+                    "set_speed".into(),
+                    Toml::Array(vec![expr_value(&spec.ego.set_lo), expr_value(&spec.ego.set_hi)]),
+                ),
+            ])),
+        ),
+        (
+            "program".into(),
+            Toml::Array(spec.program.iter().map(|s| Toml::Table(stmt_table(s))).collect()),
+        ),
+    ])
+}
+
+/// Renders a spec as a TOML document string.
+pub fn emit_scenario_spec(spec: &ScenarioSpec) -> String {
+    emit_document(&scenario_spec_to_toml(spec))
+}
+
+/// Builds a spec from a parsed TOML tree, strictly (unknown keys,
+/// inverted ranges, and bad kinds are errors).
+pub fn scenario_spec_from_toml(doc: &Map) -> Result<ScenarioSpec, PlanError> {
+    expect_keys(
+        doc,
+        "scenario spec",
+        &["name", "family_key", "duration", "road", "ego", "program"],
+    )?;
+    let name = intern(as_str(get(doc, "scenario spec", "name")?, "`name`")?);
+    let family_key = as_uint(get(doc, "scenario spec", "family_key")?, "`family_key`")?;
+    let duration = as_float(get(doc, "scenario spec", "duration")?, "`duration`")?;
+    // NaN-rejecting positivity checks: a parsed "nan" must not pass.
+    let positive = |x: f64| x.is_finite() && x > 0.0;
+    if !positive(duration) {
+        return Err(PlanError::new(format!("duration must be positive, got {duration}")));
+    }
+
+    let road = match doc.get("road") {
+        None => RoadSpec::default(),
+        Some(value) => {
+            let t = as_table(value, "[road]")?;
+            expect_keys(t, "[road]", &["lanes", "lane_width", "length"])?;
+            let lanes = as_uint(get(t, "[road]", "lanes")?, "`lanes`")?;
+            let lanes = u8::try_from(lanes)
+                .ok()
+                .filter(|l| *l > 0)
+                .ok_or_else(|| PlanError::new(format!("lanes must be in 1..=255, got {lanes}")))?;
+            let lane_width = as_float(get(t, "[road]", "lane_width")?, "`lane_width`")?;
+            let length = as_float(get(t, "[road]", "length")?, "`length`")?;
+            if !positive(lane_width) || !positive(length) {
+                return Err(PlanError::new("road dimensions must be positive".into()));
+            }
+            RoadSpec { lanes, lane_width, length }
+        }
+    };
+
+    let ego = match doc.get("ego") {
+        None => EgoSpec::default(),
+        Some(value) => {
+            let t = as_table(value, "[ego]")?;
+            expect_keys(t, "[ego]", &["v0", "set_speed"])?;
+            let v0 = as_array(get(t, "[ego]", "v0")?, "`v0`")?;
+            if v0.len() != 2 {
+                return Err(PlanError::new("`v0` must be a [lo, hi] pair".into()));
+            }
+            let v0_lo = as_float(&v0[0], "v0 lo")?;
+            let v0_hi = as_float(&v0[1], "v0 hi")?;
+            if v0_lo.partial_cmp(&v0_hi) != Some(std::cmp::Ordering::Less) {
+                return Err(PlanError::new(format!("ego v0 range [{v0_lo}, {v0_hi}) is inverted")));
+            }
+            let set = as_array(get(t, "[ego]", "set_speed")?, "`set_speed`")?;
+            if set.len() != 2 {
+                return Err(PlanError::new(
+                    "`set_speed` must be a [lo, hi] pair of expressions".into(),
+                ));
+            }
+            EgoSpec {
+                v0_lo,
+                v0_hi,
+                set_lo: parse_expr(as_str(&set[0], "set_speed lo")?)?,
+                set_hi: parse_expr(as_str(&set[1], "set_speed hi")?)?,
+            }
+        }
+    };
+
+    let program = match doc.get("program") {
+        None => Vec::new(),
+        Some(value) => {
+            as_array(value, "program")?.iter().map(parse_stmt).collect::<Result<_, _>>()?
+        }
+    };
+
+    Ok(ScenarioSpec { name, family_key, duration, road, ego, program })
+}
+
+/// Parses a spec from TOML text.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on syntax errors or schema violations.
+pub fn parse_scenario_spec(src: &str) -> Result<ScenarioSpec, PlanError> {
+    scenario_spec_from_toml(&parse_document(src)?)
+}
+
+/// Loads a spec from a `.toml` file.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on I/O or parse failure.
+pub fn load_scenario_spec(path: impl AsRef<std::path::Path>) -> Result<ScenarioSpec, PlanError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| PlanError::new(format!("reading {}: {e}", path.display())))?;
+    parse_scenario_spec(&src).map_err(|e| PlanError::new(format!("{}: {e}", path.display())))
+}
+
+/// Saves a spec as a `.toml` file.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on I/O failure.
+pub fn save_scenario_spec(
+    path: impl AsRef<std::path::Path>,
+    spec: &ScenarioSpec,
+) -> Result<(), PlanError> {
+    let path = path.as_ref();
+    std::fs::write(path, emit_scenario_spec(spec))
+        .map_err(|e| PlanError::new(format!("writing {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_world::FamilyRegistry;
+
+    #[test]
+    fn every_builtin_family_round_trips() {
+        for spec in FamilyRegistry::builtin().specs() {
+            let text = emit_scenario_spec(spec);
+            let parsed =
+                parse_scenario_spec(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", spec.name));
+            assert_eq!(&parsed, spec, "{} drifted through TOML", spec.name);
+        }
+    }
+
+    #[test]
+    fn round_tripped_specs_sample_identically() {
+        let registry = FamilyRegistry::builtin();
+        for name in ["cut_in", "tailgater", "shockwave_pedestrian"] {
+            let spec = registry.get(name).unwrap();
+            let reparsed = parse_scenario_spec(&emit_scenario_spec(spec)).unwrap();
+            for seed in [0, 7, 12345] {
+                let a = spec.sample(3, seed);
+                let b = reparsed.sample(3, seed);
+                assert_eq!(a.ego_start, b.ego_start, "{name}");
+                assert_eq!(a.actors.len(), b.actors.len(), "{name}");
+                for (x, y) in a.actors.iter().zip(&b.actors) {
+                    assert_eq!(x.state, y.state, "{name}");
+                    assert_eq!(x.behavior, y.behavior, "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let base = emit_scenario_spec(FamilyRegistry::builtin().get("lead_cruise").unwrap());
+        // Baseline parses.
+        assert!(parse_scenario_spec(&base).is_ok());
+        for (mutation, needle) in [
+            (base.replace("name = ", "nom = "), "unknown key"),
+            (base.replace("lanes = 3", "lanes = 0"), "lanes"),
+            (base.replace("v0 = [24.0, 33.5]", "v0 = [33.5, 24.0]"), "inverted"),
+            (base.replace("stmt = \"draw\"", "stmt = \"sample\""), "unknown statement"),
+            (base.replace("duration = 40.0", "duration = -1.0"), "positive"),
+        ] {
+            let err = parse_scenario_spec(&mutation)
+                .expect_err(&format!("mutation should fail: {needle}"));
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -63,6 +63,14 @@ impl SensorSuite {
         }
     }
 
+    /// Resets the suite in place to the state [`SensorSuite::with_seed`]
+    /// constructs — sensor configurations, noise levels, RNG stream, and
+    /// IMU differentiator history — without reallocating. This is the
+    /// campaign arena path: one suite serves every job of a worker.
+    pub fn reseed(&mut self, seed: u64) {
+        *self = SensorSuite::with_seed(seed);
+    }
+
     /// Whether a sensor with `rate_hz` refreshes on base-tick `frame`.
     fn ticks(rate_hz: f64, frame: u64) -> bool {
         let divisor = (ADS_TICK_HZ / rate_hz).round().max(1.0) as u64;

@@ -202,11 +202,9 @@ impl CampaignSink for TraceSink {
 }
 
 /// One worker's reusable simulation arena: the `Simulation` is reset in
-/// place between jobs instead of being reconstructed. Today the reset
-/// reuses the world's actor storage and the `Simulation` slot itself
-/// (sensor suite and ADS stack are still rebuilt per job — they hold
-/// per-scenario state); deeper in-place reuse can land behind the same
-/// seam without touching any driver.
+/// place between jobs instead of being reconstructed — world actor
+/// storage, the sensor suite, and the ADS stack (tracker vectors, bus
+/// world model, road lanes) are all reused across the worker's jobs.
 struct WorkerArena {
     config: SimConfig,
     sim: Option<Simulation>,

@@ -8,7 +8,10 @@ use drivefi_sensors::SensorSuite;
 use drivefi_world::{scenario::ScenarioConfig, ActorKind, World};
 
 /// Base ticks (30 Hz) per scene (7.5 Hz) — the paper's discretization.
-pub const BASE_TICKS_PER_SCENE: u64 = 4;
+/// Aliases the fault layer's constant so scene-based fault windows
+/// ([`drivefi_fault::WindowSpec`]) and the simulator's scene clock can
+/// never disagree.
+pub const BASE_TICKS_PER_SCENE: u64 = drivefi_fault::space::TICKS_PER_SCENE;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -70,16 +73,19 @@ impl Simulation {
     }
 
     /// Resets the closed loop in place for a new scenario, reusing the
-    /// existing allocations (world actor storage in particular) instead
-    /// of reconstructing them — the campaign engine's per-worker arena
-    /// path. Behavior after a reset is identical to
-    /// [`Simulation::new`] with the same config and scenario.
+    /// existing allocations — world actor storage, the tracker's track
+    /// vectors, the bus world model, the road's lane vector — instead of
+    /// reconstructing any module. This is the campaign engine's
+    /// per-worker arena path: a worker builds one `Simulation` and
+    /// resets it between jobs. Behavior after a reset is identical to
+    /// [`Simulation::new`] with the same config and scenario (the
+    /// `arena_reset_traces_equal_fresh_build` test pins trace-level
+    /// equality).
     pub fn reset(&mut self, scenario: &ScenarioConfig) {
         self.world.reset_from_scenario(scenario);
         self.world.set_ego(scenario.ego_start, ActorKind::Car.dims());
-        self.sensors = SensorSuite::with_seed(self.config.sensor_seed ^ scenario.seed);
-        self.ads =
-            AdsStack::with_road(self.config.ads, scenario.ego_set_speed, scenario.road.clone());
+        self.sensors.reseed(self.config.sensor_seed ^ scenario.seed);
+        self.ads.reset(scenario.ego_set_speed, &scenario.road);
         self.vehicle = BicycleModel::new(self.config.ads.vehicle);
         self.ego = scenario.ego_start;
         self.frame = 0;
@@ -426,6 +432,44 @@ mod tests {
             faulted.count(RuleKind::SpeedLimit) + faulted.count(RuleKind::Headway) > 0,
             "runaway throttle tripped no rules: {faulted:?}"
         );
+    }
+
+    #[test]
+    fn arena_reset_traces_equal_fresh_build() {
+        // The deepened arena reuse: after a dirty run (faults armed, the
+        // watchdog latched, tracker full of tracks, smoother wound up),
+        // a reset-in-place arena must reproduce a freshly constructed
+        // Simulation *trace-for-trace* — every recorded scene record of
+        // every ADS variable bitwise identical.
+        let config = SimConfig { record_trace: true, ..SimConfig::default() };
+        let mut arena = Simulation::new(config, &ScenarioConfig::lead_brake(3));
+
+        // Dirty the arena: a planner hang latches the watchdog, and a
+        // steering corruption winds up the smoother and pose gate.
+        let mut dirt = Injector::new(vec![
+            Fault {
+                kind: FaultKind::ModuleHang { stage: drivefi_ads::Stage::Planning },
+                window: FaultWindow::permanent(90),
+            },
+            Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalSteering,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: FaultWindow::burst(60, 40),
+            },
+        ]);
+        let _ = arena.run_with(&mut dirt);
+        assert!(arena.ads().watchdog().is_fallback(), "the dirtying run never latched");
+
+        for scenario in [ScenarioConfig::cut_in(7), ScenarioConfig::platoon(2)] {
+            arena.reset(&scenario);
+            let reused = arena.run();
+            let mut fresh_sim = Simulation::new(config, &scenario);
+            let fresh = fresh_sim.run();
+            assert_eq!(reused.outcome, fresh.outcome, "{}", scenario.name);
+            assert_eq!(reused.trace, fresh.trace, "{} trace diverged", scenario.name);
+        }
     }
 
     #[test]

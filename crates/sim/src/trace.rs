@@ -4,7 +4,7 @@ use drivefi_kinematics::{Actuation, SafetyPotential, VehicleState};
 
 /// One record per **scene** (7.5 Hz frame): the ADS-visible variables
 /// (`W_t`, `M_t`, `U_A,t`, `A_t`) plus ground truth for evaluation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrameRecord {
     /// Scene index within the scenario.
     pub scene: u64,
@@ -33,7 +33,7 @@ pub struct FrameRecord {
 }
 
 /// The scene-rate trace of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Scenario id this trace belongs to.
     pub scenario_id: u32,

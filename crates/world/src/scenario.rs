@@ -208,6 +208,42 @@ impl ScenarioSuite {
         Self::from_plan(count, seed, |i| EXTENDED_MIX[(i as usize) % EXTENDED_MIX.len()])
     }
 
+    /// Builds a suite of `count` scenarios cycling through the named
+    /// builtin families, with the standard per-index seed schedule —
+    /// the campaign-plan path for `source = "families"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `names` is empty or a name is not registered.
+    pub fn from_families(names: &[&str], count: u32, seed: u64) -> Self {
+        assert!(!names.is_empty(), "family list is empty");
+        let registry = FamilyRegistry::builtin();
+        for name in names {
+            assert!(registry.get(name).is_some(), "scenario family `{name}` is not registered");
+        }
+        Self::from_plan(count, seed, |i| {
+            registry.get(names[(i as usize) % names.len()]).expect("checked above").name
+        })
+    }
+
+    /// Builds a suite of `count` scenarios cycling through explicit
+    /// specs (inline or file-loaded families that never touch the
+    /// builtin registry), with the same per-index seed schedule as
+    /// [`ScenarioSuite::generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty.
+    pub fn from_specs(specs: &[crate::spec::ScenarioSpec], count: u32, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "spec list is empty");
+        let scenarios = (0..count)
+            .map(|i| {
+                specs[(i as usize) % specs.len()].sample(i, seed.wrapping_add(u64::from(i) * 7919))
+            })
+            .collect();
+        ScenarioSuite { scenarios }
+    }
+
     /// Total number of scenes (camera frames) in the suite.
     pub fn scene_count(&self) -> usize {
         self.scenarios.iter().map(ScenarioConfig::scene_count).sum()

@@ -38,6 +38,24 @@ use std::sync::OnceLock;
 /// constructors so historical streams reproduce).
 const SEED_MAGIC: u64 = 0xD21E_F1A5_0000;
 
+/// Interns `name` into a process-lifetime string, so specs built from
+/// *parsed* data (TOML scenario files, campaign plans) can use the same
+/// `&'static str` names as compiled-in specs. Each distinct name is
+/// leaked exactly once; repeated loads of the same files allocate
+/// nothing new, which keeps round-trip property tests leak-bounded.
+pub fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(&hit) = pool.get(name) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
 /// An arithmetic expression over sampled parameters and ego builtins.
 ///
 /// Variables are bound by [`Stmt::Draw`] / [`Stmt::DrawInt`] /
@@ -46,7 +64,7 @@ const SEED_MAGIC: u64 = 0xD21E_F1A5_0000;
 /// inside a [`Stmt::Repeat`] body — `"i"`, `"n"`, `"last"` are always
 /// available. Operators follow IEEE f64 semantics in source order, so a
 /// spec computes bit-identical values to the imperative code it replaces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// A constant.
     Const(f64),
@@ -165,7 +183,7 @@ impl Env {
 
 /// A lane-change maneuver template (cosine blend, like
 /// [`LaneChangeSpec`], with parameterized timing and lanes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaneChangeTemplate {
     /// Maneuver start time \[s\].
     pub start_time: Expr,
@@ -189,7 +207,7 @@ impl LaneChangeTemplate {
 }
 
 /// A longitudinal maneuver program for scripted actors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KeyframeProgram {
     /// Explicit `(time, accel)` keyframes.
     List(Vec<(Expr, Expr)>),
@@ -239,7 +257,7 @@ impl KeyframeProgram {
 }
 
 /// The behavior half of an actor template.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ManeuverTemplate {
     /// Does not move.
     Static,
@@ -272,7 +290,7 @@ pub enum ManeuverTemplate {
 
 /// An actor spawned by [`Stmt::Spawn`]. Actor ids are assigned in spawn
 /// order, starting at 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActorTemplate {
     /// Actor kind (footprint).
     pub kind: ActorKind,
@@ -329,7 +347,7 @@ impl ActorTemplate {
 /// One statement of a family's sampling program. Statements execute in
 /// order; every `Draw` consumes RNG in declaration order, which is what
 /// makes sampling a pure, reproducible function of the seed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Draw a uniform f64 from `[lo, hi)` into `var`.
     Draw {
@@ -391,7 +409,7 @@ impl Stmt {
 }
 
 /// Ego initialization: the first two RNG draws of every family.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EgoSpec {
     /// Initial-speed draw, lower bound \[m/s\].
     pub v0_lo: f64,
@@ -418,7 +436,7 @@ impl Default for EgoSpec {
 }
 
 /// Road geometry of a family (sampled once per scenario, not jittered).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoadSpec {
     /// Lane count.
     pub lanes: u8,
@@ -443,7 +461,7 @@ impl RoadSpec {
 /// A declarative scenario family: geometry, ego ranges, and the sampling
 /// program. See the [module docs](self) for the builtin families and
 /// [`FamilyRegistry`] for registration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Family name (the registry key and `ScenarioConfig::name`).
     pub name: &'static str,

@@ -20,6 +20,8 @@
 //! * [`sim`] — closed-loop simulator, hazard monitor, traffic-rule
 //!   monitor, parallel campaigns.
 //! * [`core`] — the Bayesian fault-injection engine itself.
+//! * [`plan`] — TOML campaign plans + scenario-spec files: run any
+//!   campaign from a `.toml` file without recompiling.
 //! * [`genfi`] — the engine generalized to arbitrary safety-critical
 //!   systems (with a surgical-robot instantiation).
 //!
@@ -43,6 +45,7 @@ pub use drivefi_fault as fault;
 pub use drivefi_genfi as genfi;
 pub use drivefi_kinematics as kinematics;
 pub use drivefi_perception as perception;
+pub use drivefi_plan as plan;
 pub use drivefi_planner as planner;
 pub use drivefi_sensors as sensors;
 pub use drivefi_sim as sim;
