@@ -1,0 +1,100 @@
+//! Persistent-store append throughput: records/s through the full
+//! `StoreWriter` path (encode → CRC frame → sharded buffered append),
+//! plus the read-side merge. The store must never be the bottleneck of
+//! a campaign — the simulator produces a few jobs per second per
+//! worker, so the ≥100k records/s acceptance floor leaves four orders
+//! of magnitude of headroom.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use drivefi_ads::Signal;
+use drivefi_fault::{FaultKind, FaultSpec, ScalarFaultModel, WindowSpec};
+use drivefi_sim::Outcome;
+use drivefi_store::{open_store, read_store, CampaignRecord};
+use std::path::PathBuf;
+
+/// Records appended per measured batch.
+const RECORDS: u64 = 100_000;
+const SHARDS: u32 = 8;
+
+fn record(job: u64) -> CampaignRecord {
+    CampaignRecord {
+        job,
+        scenario_id: (job % 24) as u32,
+        scenario_seed: job.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        fault: Some(FaultSpec {
+            kind: FaultKind::Scalar {
+                signal: Signal::ALL[(job % Signal::ALL.len() as u64) as usize],
+                model: if job.is_multiple_of(2) {
+                    ScalarFaultModel::StuckMax
+                } else {
+                    ScalarFaultModel::StuckMin
+                },
+            },
+            window: WindowSpec::scene(1 + job % 298),
+        }),
+        outcome: match job % 50 {
+            0 => Outcome::Collision { scene: job % 300, actor: 1 },
+            1 => Outcome::Hazard { scene: job % 300 },
+            _ => Outcome::Safe,
+        },
+        injections: 4,
+        scenes: 300,
+        min_delta_lon: (job % 70) as f64 - 2.0,
+        min_delta_lat: 1.5,
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("drivefi-bench-store-{tag}-{}", std::process::id()))
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(RECORDS));
+
+    // The acceptance-floor path: open a fresh store, stream RECORDS
+    // records through the sharded writer (checkpoint every 8192), seal.
+    group.bench_function("append_100k_sharded", |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                let dir = bench_dir(&format!("append-{round}"));
+                std::fs::remove_dir_all(&dir).ok();
+                dir
+            },
+            |dir| {
+                let (mut writer, _) = open_store(&dir, 1, RECORDS, SHARDS, 8192).unwrap();
+                for job in 0..RECORDS {
+                    writer.append(&record(job)).unwrap();
+                }
+                let meta = writer.finish().unwrap();
+                assert!(meta.complete);
+                std::fs::remove_dir_all(&dir).ok();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Read-side: merge RECORDS records back out of the shards.
+    let dir = bench_dir("read");
+    std::fs::remove_dir_all(&dir).ok();
+    let (mut writer, _) = open_store(&dir, 1, RECORDS, SHARDS, 1 << 20).unwrap();
+    for job in 0..RECORDS {
+        writer.append(&record(job)).unwrap();
+    }
+    writer.finish().unwrap();
+    group.bench_function("read_merge_100k", |b| {
+        b.iter(|| {
+            let (_, records) = read_store(&dir).unwrap();
+            assert_eq!(records.len(), RECORDS as usize);
+            records.len()
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

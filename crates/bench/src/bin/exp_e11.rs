@@ -12,7 +12,7 @@
 
 use drivefi_fault::FaultSpace;
 use drivefi_plan::{
-    run_plan, CampaignKind, CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+    run_plan, CampaignKind, CampaignPlan, PlanResult, ScenarioSelection, SimSection, SinkChoice,
 };
 
 fn main() {
@@ -27,10 +27,12 @@ fn main() {
         sink: SinkChoice::Stats,
         scenarios: ScenarioSelection::Paper { count: scenarios, seed: 2026 },
         faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        output: None,
     };
 
     println!("E11: exhaustive ground truth on {scenarios} scenarios (scene stride {stride})");
-    let PlanReport::Exhaustive(report) = run_plan(&plan) else {
+    let PlanResult::Exhaustive(report) = run_plan(&plan).unwrap() else {
         unreachable!("exhaustive plans produce exhaustive reports");
     };
 

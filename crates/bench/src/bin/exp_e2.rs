@@ -13,7 +13,7 @@
 
 use drivefi_fault::FaultSpace;
 use drivefi_plan::{
-    run_plan, CampaignKind, CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+    run_plan, CampaignKind, CampaignPlan, PlanResult, ScenarioSelection, SimSection, SinkChoice,
 };
 
 fn main() {
@@ -26,10 +26,12 @@ fn main() {
         sink: SinkChoice::Stats,
         scenarios: ScenarioSelection::Paper { count: 24, seed: 2026 },
         faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        output: None,
     };
 
     let t0 = std::time::Instant::now();
-    let PlanReport::Random(stats) = run_plan(&plan) else {
+    let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
         unreachable!("random plans produce random stats");
     };
     let dt = t0.elapsed();

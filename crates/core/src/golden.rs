@@ -29,9 +29,36 @@ pub fn collect_golden_traces(
     sink.into_traces()
 }
 
+/// The per-job [`RecordMeta`](drivefi_store::RecordMeta) table for a
+/// golden (fault-free) campaign over `suite`, indexed by job index —
+/// one fault-less entry per scenario, in suite order.
+pub fn golden_record_metas(suite: &ScenarioSuite) -> Vec<drivefi_store::RecordMeta> {
+    suite
+        .scenarios
+        .iter()
+        .map(|scenario| drivefi_store::RecordMeta {
+            scenario_id: scenario.id,
+            scenario_seed: scenario.seed,
+            fault: None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_metas_cover_the_suite_in_order() {
+        let suite = ScenarioSuite::generate(3, 5);
+        let metas = golden_record_metas(&suite);
+        assert_eq!(metas.len(), 3);
+        for (meta, scenario) in metas.iter().zip(&suite.scenarios) {
+            assert_eq!(meta.scenario_id, scenario.id);
+            assert_eq!(meta.scenario_seed, scenario.seed);
+            assert_eq!(meta.fault, None);
+        }
+    }
 
     #[test]
     fn traces_cover_the_suite() {

@@ -47,11 +47,11 @@ pub mod situations;
 pub mod tbn;
 
 pub use exhaustive::{exhaustive_comparison, ExhaustiveReport};
-pub use golden::collect_golden_traces;
+pub use golden::{collect_golden_traces, golden_record_metas};
 pub use miner::{BayesianMiner, CandidateFault, MinedFault, MinerConfig};
 pub use random::{
-    random_fault_picks, random_output_campaign, random_space_campaign, RandomCampaignConfig,
-    RandomCampaignStats,
+    pick_record_metas, random_fault_picks, random_output_campaign, random_space_campaign,
+    RandomCampaignConfig, RandomCampaignStats,
 };
 pub use report::{validate_candidates, AccelerationReport, ValidationStats};
 pub use situations::{Situation, SituationLibrary, TestRule};

@@ -74,6 +74,27 @@ pub fn random_fault_picks(
         .collect()
 }
 
+/// The per-job [`RecordMeta`](drivefi_store::RecordMeta) table for a
+/// random campaign's picks, indexed by job index — what a
+/// [`StoreSink`](drivefi_store::StoreSink) needs to turn engine results
+/// into persisted [`CampaignRecord`](drivefi_store::CampaignRecord)s.
+pub fn pick_record_metas(
+    suite: &ScenarioSuite,
+    picks: &[(usize, FaultSpec)],
+) -> Vec<drivefi_store::RecordMeta> {
+    picks
+        .iter()
+        .map(|&(index, spec)| {
+            let scenario = &suite.scenarios[index];
+            drivefi_store::RecordMeta {
+                scenario_id: scenario.id,
+                scenario_seed: scenario.seed,
+                fault: Some(spec),
+            }
+        })
+        .collect()
+}
+
 /// Runs `config.runs` random corruptions drawn uniformly from `space` ×
 /// the suite — each run one scenario with one sampled [`FaultSpec`]
 /// armed. With the default space this is the paper's baseline: uniform

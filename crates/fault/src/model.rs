@@ -80,6 +80,23 @@ impl ScalarFaultModel {
             ScalarFaultModel::Scale(f) => (5, f.to_bits()),
         }
     }
+
+    /// The inverse of [`ScalarFaultModel::key`]: reconstructs the model
+    /// from its `(variant tag, payload bits)` identity. Returns `None`
+    /// for an unknown tag or an out-of-range bit-flip payload — the
+    /// decode path `drivefi-store` takes when reading persisted campaign
+    /// records.
+    pub fn from_key(tag: u8, bits: u64) -> Option<Self> {
+        match tag {
+            0 => Some(ScalarFaultModel::StuckMin),
+            1 => Some(ScalarFaultModel::StuckMax),
+            2 => Some(ScalarFaultModel::StuckAt(f64::from_bits(bits))),
+            3 => u8::try_from(bits).ok().filter(|b| *b < 64).map(ScalarFaultModel::BitFlip),
+            4 => Some(ScalarFaultModel::Offset(f64::from_bits(bits))),
+            5 => Some(ScalarFaultModel::Scale(f64::from_bits(bits))),
+            _ => None,
+        }
+    }
 }
 
 /// When a fault is active, in base-tick frames (30 Hz).
@@ -238,6 +255,23 @@ mod tests {
         let m = ScalarFaultModel::BitFlip(62);
         assert!(m.apply(1.5, RANGE).is_nan());
         assert!(m.apply(0.75, RANGE) > 1e300);
+    }
+
+    #[test]
+    fn from_key_inverts_key() {
+        for model in [
+            ScalarFaultModel::StuckMin,
+            ScalarFaultModel::StuckMax,
+            ScalarFaultModel::StuckAt(-0.75),
+            ScalarFaultModel::BitFlip(63),
+            ScalarFaultModel::Offset(2.5),
+            ScalarFaultModel::Scale(0.5),
+        ] {
+            let (tag, bits) = model.key();
+            assert_eq!(ScalarFaultModel::from_key(tag, bits), Some(model));
+        }
+        assert_eq!(ScalarFaultModel::from_key(99, 0), None);
+        assert_eq!(ScalarFaultModel::from_key(3, 64), None, "bit index out of range");
     }
 
     #[test]

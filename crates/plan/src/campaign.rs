@@ -33,21 +33,25 @@
 //! the typed calls number-for-number — the `campaign_plan` example
 //! asserts this equality end to end.
 
+use crate::report::PlanReport;
 use crate::scenario::{
-    as_array, as_str, as_table, as_uint, expect_keys, get, scenario_spec_from_toml,
+    as_array, as_bool, as_str, as_table, as_uint, expect_keys, get, scenario_spec_from_toml,
     scenario_spec_to_toml,
 };
 use crate::toml::{emit_document, parse_document, Map, Toml};
 use crate::PlanError;
 use drivefi_ads::Signal;
 use drivefi_core::{
-    collect_golden_traces, exhaustive_comparison, random_fault_picks, random_space_campaign,
-    BayesianMiner, ExhaustiveReport, MinerConfig, RandomCampaignConfig, RandomCampaignStats,
+    collect_golden_traces, exhaustive_comparison, golden_record_metas, pick_record_metas,
+    random_fault_picks, random_space_campaign, BayesianMiner, ExhaustiveReport, MinerConfig,
+    RandomCampaignConfig, RandomCampaignStats,
 };
 use drivefi_fault::{CorruptionGrid, FaultSpace, ScalarFaultModel};
-use drivefi_sim::{CampaignEngine, Outcome, RunningStats, SimConfig};
+use drivefi_sim::{CampaignEngine, CampaignJob, Outcome, RunningStats, SimConfig, Tee, Trace};
+use drivefi_store::{open_store, read_store, RecordMeta, StoreSink};
 use drivefi_world::spec::ScenarioSpec;
 use drivefi_world::ScenarioSuite;
+use std::sync::Arc;
 
 /// Which campaign a plan runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +68,22 @@ pub enum CampaignKind {
         /// Evaluate every `scene_stride`-th eligible scene.
         scene_stride: usize,
     },
+    /// Golden-trace collection: every suite scenario driven fault-free
+    /// through a [`TraceSink`](drivefi_sim::TraceSink) — the plan-driven
+    /// form of [`collect_golden_traces`], so baseline runs ship as plan
+    /// files too.
+    Golden,
+}
+
+impl CampaignKind {
+    /// Stable kind name, as written in plan files and report summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignKind::Random { .. } => "random",
+            CampaignKind::Exhaustive { .. } => "exhaustive",
+            CampaignKind::Golden => "golden",
+        }
+    }
 }
 
 /// Which sink consumes a random campaign's results.
@@ -147,6 +167,86 @@ impl ScenarioSelection {
     }
 }
 
+/// The `[sim]` plan section: the [`AdsConfig`](drivefi_ads::AdsConfig)
+/// ablation switches, so resilience-mechanism ablations (the paper's
+/// "why do random injections never land?" studies) are plan-driven too.
+/// Defaults mirror [`AdsConfig::default`]; the section is omitted from
+/// emitted plans when nothing is ablated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSection {
+    /// Run the planner every `planner_divisor` ticks (1 = every tick).
+    pub planner_divisor: u32,
+    /// Kalman-fuse the world model (false = raw detections).
+    pub kalman_fusion: bool,
+    /// Smooth actuation with the PID controller.
+    pub pid_smoothing: bool,
+    /// Engage the module-health watchdog.
+    pub watchdog: bool,
+}
+
+impl Default for SimSection {
+    fn default() -> Self {
+        let ads = drivefi_ads::AdsConfig::default();
+        SimSection {
+            planner_divisor: ads.planner_divisor,
+            kalman_fusion: ads.kalman_fusion,
+            pid_smoothing: ads.pid_smoothing,
+            watchdog: ads.watchdog,
+        }
+    }
+}
+
+impl SimSection {
+    /// Applies the switches to a simulator configuration.
+    pub fn apply(self, config: &mut SimConfig) {
+        config.ads.planner_divisor = self.planner_divisor;
+        config.ads.kalman_fusion = self.kalman_fusion;
+        config.ads.pid_smoothing = self.pid_smoothing;
+        config.ads.watchdog = self.watchdog;
+    }
+
+    /// The default simulator configuration with these switches applied.
+    pub fn sim_config(self) -> SimConfig {
+        let mut config = SimConfig::default();
+        self.apply(&mut config);
+        config
+    }
+}
+
+/// The `[output]` plan section: where the campaign persists its per-job
+/// records (a `drivefi-store` directory) and emits its round-trip
+/// [`PlanReport`]. Present ⇒ [`run_plan`] streams results to disk,
+/// resumes automatically when the store already exists, and returns
+/// [`PlanResult::Persisted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSpec {
+    /// Store directory. Relative paths resolve against the process
+    /// working directory (the `drivefi` CLI resolves them against the
+    /// plan file's directory before running).
+    pub dir: String,
+    /// Shard-file count records fan out over (`job % shards`).
+    pub shards: u32,
+    /// Checkpoint period: flush + manifest rewrite every this many
+    /// appended records.
+    pub checkpoint_every: u64,
+}
+
+impl OutputSpec {
+    /// Default shard count.
+    pub const DEFAULT_SHARDS: u32 = 4;
+    /// Default checkpoint period, in records.
+    pub const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
+
+    /// An output section writing to `dir` with default sharding.
+    pub fn new(dir: impl Into<String>) -> Self {
+        OutputSpec {
+            dir: dir.into(),
+            shards: Self::DEFAULT_SHARDS,
+            checkpoint_every: Self::DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
+
 /// A complete, serializable campaign description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPlan {
@@ -171,11 +271,36 @@ pub struct CampaignPlan {
     /// silently ignored, and this field must stay at
     /// [`FaultSpace::default`].
     pub faults: FaultSpace,
+    /// ADS ablation switches (`[sim]` section; defaults = no ablation).
+    pub sim: SimSection,
+    /// Persistent store + report destination (`[output]` section).
+    /// `None` = in-memory results only, as before.
+    pub output: Option<OutputSpec>,
+}
+
+/// The campaign identity a persistent store is locked to: the plan with
+/// every pure scheduling/destination knob stripped (`[output]` and
+/// `workers` — both documented as having no effect on results),
+/// fingerprinted. Moving, re-sharding, or re-parallelizing the campaign
+/// therefore never invalidates a resume, while any change to what it
+/// *computes* (kind, seed, scenarios, faults, ablations) refuses to
+/// append to the old store. `source = "files"` selections fingerprint
+/// the **resolved spec contents**, not the file paths: editing a
+/// referenced spec invalidates the store, relocating it does not.
+pub fn campaign_fingerprint(plan: &CampaignPlan) -> u64 {
+    let mut identity = plan.clone();
+    identity.output = None;
+    identity.workers = None;
+    if let ScenarioSelection::Files { specs, count, seed, .. } = &plan.scenarios {
+        identity.scenarios =
+            ScenarioSelection::Inline { specs: specs.clone(), count: *count, seed: *seed };
+    }
+    drivefi_store::fingerprint64(emit_campaign_plan(&identity).as_bytes())
 }
 
 /// What [`run_plan`] produced.
 #[derive(Debug, Clone)]
-pub enum PlanReport {
+pub enum PlanResult {
     /// A random campaign's streaming statistics.
     Random(RandomCampaignStats),
     /// A random campaign with the per-run outcome list retained.
@@ -187,32 +312,64 @@ pub enum PlanReport {
     },
     /// The exhaustive ground-truth comparison.
     Exhaustive(ExhaustiveReport),
+    /// A golden campaign's per-scenario traces, in suite order.
+    Golden(Vec<Trace>),
+    /// A campaign with an `[output]` section: results persisted to the
+    /// store, aggregated into the round-trip report (saved next to the
+    /// shards as `report.toml` + `jobs.csv`).
+    Persisted(PlanReport),
 }
 
 /// Executes a plan through the campaign engine and the standard
 /// drivers. Deterministic: the same plan always produces the same
-/// report, regardless of worker count.
-pub fn run_plan(plan: &CampaignPlan) -> PlanReport {
-    let sim = SimConfig::default();
+/// result, regardless of worker count — and, for plans with an
+/// `[output]` section, regardless of how often the campaign was
+/// interrupted and resumed.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on store I/O failure or when resuming into a
+/// store created by a different plan.
+pub fn run_plan(plan: &CampaignPlan) -> Result<PlanResult, PlanError> {
+    run_plan_budget(plan, None)
+}
+
+/// [`run_plan`] with a job budget: at most `budget` *pending* jobs are
+/// executed this invocation (already-persisted jobs don't count), then
+/// the run stops cleanly — the CI-style "interrupt via budget cap".
+/// Only meaningful for plans with an `[output]` store to resume from;
+/// a budget without one is an error.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] on store I/O failure, fingerprint mismatch,
+/// or a budget on a store-less plan.
+pub fn run_plan_budget(plan: &CampaignPlan, budget: Option<u64>) -> Result<PlanResult, PlanError> {
+    let sim = plan.sim.sim_config();
     let suite = plan.scenarios.build_suite();
     let workers = plan.workers.unwrap_or_else(drivefi_sim::default_workers);
-    match plan.kind {
+
+    if let Some(output) = &plan.output {
+        return run_persisted(plan, output, sim, &suite, workers, budget);
+    }
+    if budget.is_some() {
+        return Err(PlanError::new("a job budget needs an [output] store to resume from".into()));
+    }
+    Ok(match plan.kind {
         CampaignKind::Random { runs } => {
             let config = RandomCampaignConfig { runs, seed: plan.seed, workers };
             match plan.sink {
                 SinkChoice::Stats => {
-                    PlanReport::Random(random_space_campaign(&sim, &suite, &plan.faults, &config))
+                    PlanResult::Random(random_space_campaign(&sim, &suite, &plan.faults, &config))
                 }
                 SinkChoice::Outcomes => {
                     let picks = random_fault_picks(&suite, &plan.faults, &config);
                     let engine = CampaignEngine::new(sim).with_workers(workers);
                     let shared = suite.shared();
-                    let jobs = picks.iter().enumerate().map(|(id, &(index, spec))| {
-                        drivefi_sim::CampaignJob {
-                            id: id as u64,
-                            scenario: std::sync::Arc::clone(&shared[index]),
-                            faults: vec![spec.compile()],
-                        }
+                    let jobs = picks.iter().enumerate().map(|(id, &(index, spec))| CampaignJob {
+                        id: id as u64,
+                        scenario: Arc::clone(&shared[index]),
+                        faults: vec![spec.compile()],
                     });
                     let mut running = RunningStats::new();
                     let mut outcomes: Vec<Option<Outcome>> = vec![None; picks.len()];
@@ -220,7 +377,7 @@ pub fn run_plan(plan: &CampaignPlan) -> PlanReport {
                         outcomes[index as usize] = Some(result.report.outcome);
                         drivefi_sim::CampaignSink::accept(&mut running, index, result);
                     });
-                    PlanReport::RandomOutcomes {
+                    PlanResult::RandomOutcomes {
                         running,
                         outcomes: outcomes
                             .into_iter()
@@ -234,9 +391,122 @@ pub fn run_plan(plan: &CampaignPlan) -> PlanReport {
             let traces = collect_golden_traces(&sim, &suite, workers);
             let config = MinerConfig { scene_stride, ..MinerConfig::default() };
             let miner = BayesianMiner::fit(&traces, config).expect("model fit on golden traces");
-            PlanReport::Exhaustive(exhaustive_comparison(&sim, &suite, &miner, &traces, workers))
+            PlanResult::Exhaustive(exhaustive_comparison(&sim, &suite, &miner, &traces, workers))
+        }
+        CampaignKind::Golden => PlanResult::Golden(collect_golden_traces(&sim, &suite, workers)),
+    })
+}
+
+/// The store-backed execution path: open-or-recover the store, run only
+/// the jobs without a persisted record, and rebuild the report from the
+/// merged shards — which is what makes an interrupted-and-resumed
+/// campaign's report byte-identical to an uninterrupted run's.
+fn run_persisted(
+    plan: &CampaignPlan,
+    output: &OutputSpec,
+    sim: SimConfig,
+    suite: &ScenarioSuite,
+    workers: usize,
+    budget: Option<u64>,
+) -> Result<PlanResult, PlanError> {
+    let store_err = |e: drivefi_store::StoreError| PlanError::new(format!("[output] store: {e}"));
+
+    // The parser rejects this combination; catch hand-built plans too
+    // rather than silently dropping the sink choice.
+    if plan.sink == SinkChoice::Outcomes {
+        return Err(PlanError::new(
+            "`sink = \"outcomes\"` cannot be combined with an [output] store — the per-job \
+             outcomes are the store's jobs.csv"
+                .into(),
+        ));
+    }
+
+    let shared = suite.shared();
+    let (metas, jobs, sim): (Vec<RecordMeta>, Vec<CampaignJob>, SimConfig) = match plan.kind {
+        CampaignKind::Random { runs } => {
+            let config = RandomCampaignConfig { runs, seed: plan.seed, workers };
+            let picks = random_fault_picks(suite, &plan.faults, &config);
+            let jobs = picks
+                .iter()
+                .enumerate()
+                .map(|(id, &(index, spec))| CampaignJob {
+                    id: id as u64,
+                    scenario: Arc::clone(&shared[index]),
+                    faults: vec![spec.compile()],
+                })
+                .collect();
+            (pick_record_metas(suite, &picks), jobs, sim)
+        }
+        CampaignKind::Golden => {
+            let jobs = shared
+                .iter()
+                .enumerate()
+                .map(|(id, scenario)| CampaignJob {
+                    id: id as u64,
+                    scenario: Arc::clone(scenario),
+                    faults: Vec::new(),
+                })
+                .collect();
+            // Golden runs survey the whole scenario, as trace collection
+            // does.
+            (golden_record_metas(suite), jobs, SimConfig { stop_on_collision: false, ..sim })
+        }
+        // The parser rejects [output] on exhaustive plans; a hand-built
+        // plan that combines them is a caller bug worth a clear error.
+        CampaignKind::Exhaustive { .. } => {
+            return Err(PlanError::new(
+                "[output] stores apply to random and golden campaigns only".into(),
+            ))
+        }
+    };
+
+    let total = metas.len() as u64;
+    let fingerprint = campaign_fingerprint(plan);
+    let (mut writer, state) =
+        open_store(&output.dir, fingerprint, total, output.shards, output.checkpoint_every)
+            .map_err(store_err)?;
+
+    let engine = CampaignEngine::new(sim).with_workers(workers);
+    let fresh = state.records() == 0;
+    // Tee the stream: records go to disk, tallies stay in memory for the
+    // end-to-end cross-check below.
+    let mut running = RunningStats::new();
+    let mut sink = StoreSink::new(&mut writer, &metas);
+    match budget {
+        Some(n) => engine.run(
+            jobs.into_iter().filter(|job| !state.is_done(job.id)).take(n as usize),
+            &mut Tee(&mut sink, &mut running),
+        ),
+        None => {
+            engine.run_skipping(jobs, |id| state.is_done(id), &mut Tee(&mut sink, &mut running))
         }
     }
+    sink.finish().map_err(store_err)?;
+    writer.finish().map_err(store_err)?;
+
+    let (_, records) = read_store(&output.dir).map_err(store_err)?;
+    let report = PlanReport::new(plan.name.clone(), plan.kind.name(), fingerprint, total, records);
+    // A fresh uninterrupted pass saw every record twice: streamed off the
+    // engine and re-read from disk. The tallies must agree — a cheap
+    // whole-path guard on the encode → CRC frame → decode round trip.
+    if fresh && budget.is_none() {
+        let streamed =
+            (running.runs, running.safe, running.collisions, running.effective_injections);
+        let stored = (
+            report.jobs.len(),
+            report.safe() as usize,
+            report.collisions() as usize,
+            report.effective_injections() as usize,
+        );
+        if streamed != stored {
+            return Err(PlanError::new(format!(
+                "store round-trip mismatch: streamed (runs, safe, collisions, effective) = \
+                 {streamed:?} but the persisted records aggregate to {stored:?}"
+            )));
+        }
+    }
+    report.save(&output.dir)?;
+    Ok(PlanResult::Persisted(report))
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +641,13 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
             // rejected by the parser, so the emitter must omit them.
             campaign.remove("sink");
         }
+        CampaignKind::Golden => {
+            campaign.insert("kind".into(), Toml::Str("golden".into()));
+            // Golden runs have no faults to sample and a fixed per-
+            // scenario result shape; `sink` and `[faults]` are rejected
+            // by the parser.
+            campaign.remove("sink");
+        }
     }
     if let Some(workers) = plan.workers {
         campaign.insert("workers".into(), Toml::Int(workers as i64));
@@ -420,6 +697,27 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
     ]);
     if matches!(plan.kind, CampaignKind::Random { .. }) {
         doc.insert("faults".into(), Toml::Table(fault_space_to_toml(&plan.faults)));
+    }
+    if plan.sim != SimSection::default() {
+        doc.insert(
+            "sim".into(),
+            Toml::Table(Map::from([
+                ("planner_divisor".into(), Toml::Int(i64::from(plan.sim.planner_divisor))),
+                ("kalman_fusion".into(), Toml::Bool(plan.sim.kalman_fusion)),
+                ("pid_smoothing".into(), Toml::Bool(plan.sim.pid_smoothing)),
+                ("watchdog".into(), Toml::Bool(plan.sim.watchdog)),
+            ])),
+        );
+    }
+    if let Some(output) = &plan.output {
+        doc.insert(
+            "output".into(),
+            Toml::Table(Map::from([
+                ("dir".into(), Toml::Str(output.dir.clone())),
+                ("shards".into(), Toml::Int(i64::from(output.shards))),
+                ("checkpoint_every".into(), Toml::Int(output.checkpoint_every as i64)),
+            ])),
+        );
     }
     doc
 }
@@ -528,7 +826,11 @@ fn campaign_plan_from_toml(
     doc: &Map,
     base_dir: Option<&std::path::Path>,
 ) -> Result<CampaignPlan, PlanError> {
-    expect_keys(doc, "campaign plan", &["name", "campaign", "scenarios", "faults"])?;
+    expect_keys(
+        doc,
+        "campaign plan",
+        &["name", "campaign", "scenarios", "faults", "sim", "output"],
+    )?;
     let name = as_str(get(doc, "campaign plan", "name")?, "`name`")?.to_owned();
 
     let campaign = as_table(get(doc, "campaign plan", "campaign")?, "[campaign]")?;
@@ -577,9 +879,27 @@ fn campaign_plan_from_toml(
             }
             CampaignKind::Exhaustive { scene_stride: stride as usize }
         }
+        "golden" => {
+            for key in ["runs", "scene_stride", "sink"] {
+                if campaign.contains_key(key) {
+                    return Err(PlanError::new(format!(
+                        "`{key}` is not valid for golden campaigns (fault-free trace \
+                         collection over the whole suite)"
+                    )));
+                }
+            }
+            if doc.contains_key("faults") {
+                return Err(PlanError::new(
+                    "a `[faults]` section is not valid for golden campaigns — golden runs \
+                     inject nothing"
+                        .into(),
+                ));
+            }
+            CampaignKind::Golden
+        }
         other => {
             return Err(PlanError::new(format!(
-                "unknown campaign kind `{other}` (random, exhaustive)"
+                "unknown campaign kind `{other}` (random, exhaustive, golden)"
             )))
         }
     };
@@ -618,7 +938,92 @@ fn campaign_plan_from_toml(
         Some(value) => fault_space_from_toml(as_table(value, "[faults]")?)?,
     };
 
-    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults })
+    let sim = match doc.get("sim") {
+        None => SimSection::default(),
+        Some(value) => sim_section_from_toml(as_table(value, "[sim]")?)?,
+    };
+
+    let output = match doc.get("output") {
+        None => None,
+        Some(value) => {
+            if matches!(kind, CampaignKind::Exhaustive { .. }) {
+                return Err(PlanError::new(
+                    "an `[output]` store is only valid for random and golden campaigns — \
+                     the exhaustive report shape is fixed"
+                        .into(),
+                ));
+            }
+            if sink == SinkChoice::Outcomes {
+                return Err(PlanError::new(
+                    "`sink = \"outcomes\"` cannot be combined with an `[output]` store — \
+                     the per-job outcomes are the store's jobs.csv"
+                        .into(),
+                ));
+            }
+            Some(output_spec_from_toml(as_table(value, "[output]")?)?)
+        }
+    };
+
+    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults, sim, output })
+}
+
+fn sim_section_from_toml(table: &Map) -> Result<SimSection, PlanError> {
+    expect_keys(
+        table,
+        "[sim]",
+        &["planner_divisor", "kalman_fusion", "pid_smoothing", "watchdog"],
+    )?;
+    let default = SimSection::default();
+    let planner_divisor = match table.get("planner_divisor") {
+        None => default.planner_divisor,
+        Some(v) => {
+            let d = as_uint(v, "`planner_divisor`")?;
+            u32::try_from(d).ok().filter(|d| *d >= 1).ok_or_else(|| {
+                PlanError::new(format!("`planner_divisor` must be in 1..=2^32-1, got {d}"))
+            })?
+        }
+    };
+    let bool_or = |key: &str, fallback: bool| -> Result<bool, PlanError> {
+        match table.get(key) {
+            None => Ok(fallback),
+            Some(v) => as_bool(v, &format!("`{key}`")),
+        }
+    };
+    Ok(SimSection {
+        planner_divisor,
+        kalman_fusion: bool_or("kalman_fusion", default.kalman_fusion)?,
+        pid_smoothing: bool_or("pid_smoothing", default.pid_smoothing)?,
+        watchdog: bool_or("watchdog", default.watchdog)?,
+    })
+}
+
+fn output_spec_from_toml(table: &Map) -> Result<OutputSpec, PlanError> {
+    expect_keys(table, "[output]", &["dir", "shards", "checkpoint_every"])?;
+    let dir = as_str(get(table, "[output]", "dir")?, "`dir`")?.to_owned();
+    if dir.is_empty() {
+        return Err(PlanError::new("`dir` must not be empty".into()));
+    }
+    let shards = match table.get("shards") {
+        None => OutputSpec::DEFAULT_SHARDS,
+        Some(v) => {
+            let s = as_uint(v, "`shards`")?;
+            u32::try_from(s)
+                .ok()
+                .filter(|s| (1..=4096).contains(s))
+                .ok_or_else(|| PlanError::new(format!("`shards` must be in 1..=4096, got {s}")))?
+        }
+    };
+    let checkpoint_every = match table.get("checkpoint_every") {
+        None => OutputSpec::DEFAULT_CHECKPOINT_EVERY,
+        Some(v) => {
+            let c = as_uint(v, "`checkpoint_every`")?;
+            if c == 0 {
+                return Err(PlanError::new("`checkpoint_every` must be at least 1".into()));
+            }
+            c
+        }
+    };
+    Ok(OutputSpec { dir, shards, checkpoint_every })
 }
 
 /// Parses a plan from TOML text. File-based scenario sources
@@ -673,6 +1078,8 @@ mod tests {
             sink: SinkChoice::Stats,
             scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
             faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            output: None,
         }
     }
 
@@ -692,6 +1099,8 @@ mod tests {
                     seed: 7,
                 },
                 faults: FaultSpace::default(),
+                sim: SimSection::default(),
+                output: None,
             },
             CampaignPlan {
                 name: "custom-space".into(),
@@ -718,6 +1127,8 @@ mod tests {
                     tail_margin: 20,
                     window_scenes: 6,
                 },
+                sim: SimSection::default(),
+                output: None,
             },
             CampaignPlan {
                 name: "inline".into(),
@@ -734,6 +1145,8 @@ mod tests {
                     seed: 5,
                 },
                 faults: FaultSpace::default(),
+                sim: SimSection::default(),
+                output: None,
             },
         ];
         for plan in plans {
@@ -825,9 +1238,275 @@ mod tests {
     }
 
     #[test]
+    fn sim_section_defaults_mirror_ads_config() {
+        let section = SimSection::default();
+        let ads = drivefi_ads::AdsConfig::default();
+        assert_eq!(section.planner_divisor, ads.planner_divisor);
+        assert_eq!(section.kalman_fusion, ads.kalman_fusion);
+        assert_eq!(section.pid_smoothing, ads.pid_smoothing);
+        assert_eq!(section.watchdog, ads.watchdog);
+        // apply() round-trips the switches into a SimConfig.
+        let mut config = SimConfig::default();
+        SimSection {
+            planner_divisor: 4,
+            kalman_fusion: false,
+            pid_smoothing: false,
+            watchdog: false,
+        }
+        .apply(&mut config);
+        assert_eq!(config.ads.planner_divisor, 4);
+        assert!(!config.ads.kalman_fusion && !config.ads.pid_smoothing && !config.ads.watchdog);
+    }
+
+    #[test]
+    fn sim_and_output_sections_round_trip() {
+        let mut plan = tiny_random_plan();
+        plan.sim = SimSection {
+            planner_divisor: 3,
+            kalman_fusion: false,
+            pid_smoothing: true,
+            watchdog: false,
+        };
+        plan.output = Some(OutputSpec { dir: "out/tiny".into(), shards: 7, checkpoint_every: 99 });
+        let text = emit_campaign_plan(&plan);
+        assert!(text.contains("[sim]") && text.contains("[output]"), "{text}");
+        assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+
+        // The default [sim] is omitted, not emitted as noise.
+        let default_text = emit_campaign_plan(&tiny_random_plan());
+        assert!(!default_text.contains("[sim]"), "{default_text}");
+    }
+
+    #[test]
+    fn sim_section_rejects_unknown_keys_and_bad_values() {
+        let base = {
+            let mut plan = tiny_random_plan();
+            plan.sim = SimSection { kalman_fusion: false, ..SimSection::default() };
+            emit_campaign_plan(&plan)
+        };
+        assert!(parse_campaign_plan(&base).is_ok());
+        for (mutation, needle) in [
+            // Unknown keys in [sim] are rejected, not ignored.
+            (base.replace("kalman_fusion = false", "kalman_fuzion = false"), "unknown key"),
+            (
+                base.replace("kalman_fusion = false", "kalman_fusion = false\nturbo_mode = true"),
+                "unknown key `turbo_mode`",
+            ),
+            // Type and range violations.
+            (base.replace("kalman_fusion = false", "kalman_fusion = 1"), "must be a boolean"),
+            (
+                base.replace("kalman_fusion = false", "kalman_fusion = false\nplanner_divisor = 0"),
+                "planner_divisor",
+            ),
+        ] {
+            let err = parse_campaign_plan(&mutation)
+                .expect_err(&format!("mutation should fail: {needle}"));
+            assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn output_section_is_rejected_on_exhaustive_plans() {
+        let text = "name = \"x\"\n\n[campaign]\nkind = \"exhaustive\"\n\n[scenarios]\n\
+                    source = \"paper\"\ncount = 1\nseed = 0\n\n[output]\ndir = \"out/x\"\n";
+        let err = parse_campaign_plan(text).expect_err("[output] on exhaustive");
+        assert!(err.to_string().contains("[output]"), "got: {err}");
+        // And bad [output] values are caught on valid kinds.
+        let base = {
+            let mut plan = tiny_random_plan();
+            plan.output = Some(OutputSpec::new("out/tiny"));
+            emit_campaign_plan(&plan)
+        };
+        for (mutation, needle) in [
+            (base.replace("dir = \"out/tiny\"", "dir = \"\""), "dir"),
+            (base.replace("shards = 4", "shards = 0"), "shards"),
+            (base.replace("checkpoint_every = 256", "checkpoint_every = 0"), "checkpoint_every"),
+        ] {
+            let err = parse_campaign_plan(&mutation).expect_err(needle);
+            assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_scheduling_knobs_but_not_computation() {
+        let base = tiny_random_plan();
+        let fp = campaign_fingerprint(&base);
+        // Pure scheduling/destination knobs: same identity.
+        let mut rescheduled = base.clone();
+        rescheduled.workers = Some(64);
+        rescheduled.output = Some(OutputSpec::new("somewhere/else"));
+        assert_eq!(campaign_fingerprint(&rescheduled), fp);
+        let mut no_workers = base.clone();
+        no_workers.workers = None;
+        assert_eq!(campaign_fingerprint(&no_workers), fp);
+        // Anything the campaign computes: different identity.
+        for mutate in [
+            |p: &mut CampaignPlan| p.seed += 1,
+            |p: &mut CampaignPlan| p.kind = CampaignKind::Random { runs: 7 },
+            |p: &mut CampaignPlan| p.scenarios = ScenarioSelection::Paper { count: 3, seed: 42 },
+            |p: &mut CampaignPlan| p.sim.watchdog = false,
+        ] {
+            let mut changed = base.clone();
+            mutate(&mut changed);
+            assert_ne!(campaign_fingerprint(&changed), fp);
+        }
+    }
+
+    #[test]
+    fn files_selections_fingerprint_spec_contents_not_paths() {
+        let registry = drivefi_world::FamilyRegistry::builtin();
+        let spec_a = registry.get("tailgater").unwrap().clone();
+        let spec_b = registry.get("debris_field").unwrap().clone();
+        let files_plan = |files: Vec<String>, specs: Vec<ScenarioSpec>| CampaignPlan {
+            scenarios: ScenarioSelection::Files { files, specs, count: 2, seed: 5 },
+            ..tiny_random_plan()
+        };
+        // Same contents under a different path: same identity (a moved
+        // store keeps resuming).
+        let a = files_plan(vec!["x/tailgater.toml".into()], vec![spec_a.clone()]);
+        let moved = files_plan(vec!["y/renamed.toml".into()], vec![spec_a.clone()]);
+        assert_eq!(campaign_fingerprint(&a), campaign_fingerprint(&moved));
+        // Same path, edited contents: different identity (an edited spec
+        // refuses to append to the old shards).
+        let edited = files_plan(vec!["x/tailgater.toml".into()], vec![spec_b]);
+        assert_ne!(campaign_fingerprint(&a), campaign_fingerprint(&edited));
+    }
+
+    #[test]
+    fn outcome_sink_cannot_combine_with_an_output_store() {
+        let mut plan = tiny_random_plan();
+        plan.sink = SinkChoice::Outcomes;
+        plan.output = Some(OutputSpec::new("out/x"));
+        // Hand-built plans error at run time...
+        let err = run_plan(&plan).expect_err("outcomes + output");
+        assert!(err.to_string().contains("jobs.csv"), "got: {err}");
+        // ...and plan files at parse time.
+        let text = "name = \"x\"\n\n[campaign]\nkind = \"random\"\nruns = 2\n\
+                    sink = \"outcomes\"\n\n[scenarios]\nsource = \"paper\"\ncount = 1\n\
+                    seed = 0\n\n[output]\ndir = \"out/x\"\n";
+        let err = parse_campaign_plan(text).expect_err("outcomes + output parses");
+        assert!(err.to_string().contains("outcomes"), "got: {err}");
+    }
+
+    #[test]
+    fn golden_plans_round_trip_and_reject_fault_config() {
+        let plan = CampaignPlan {
+            name: "golden".into(),
+            kind: CampaignKind::Golden,
+            seed: 0,
+            workers: Some(2),
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+            faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            output: None,
+        };
+        let text = emit_campaign_plan(&plan);
+        assert!(!text.contains("sink"), "golden plans carry no sink:\n{text}");
+        assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+        for (extra, needle) in
+            [("runs = 4", "`runs` is not valid"), ("sink = \"stats\"", "`sink` is not valid")]
+        {
+            let mutated = text.replace("kind = \"golden\"", &format!("kind = \"golden\"\n{extra}"));
+            let err = parse_campaign_plan(&mutated).expect_err(needle);
+            assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+        }
+        let with_faults = format!("{text}\n[faults]\nmodules = [\"world.clear\"]\n");
+        let err = parse_campaign_plan(&with_faults).expect_err("[faults] on golden");
+        assert!(err.to_string().contains("golden"), "got: {err}");
+    }
+
+    #[test]
+    fn golden_plans_collect_the_suite_traces() {
+        let plan = CampaignPlan {
+            name: "golden".into(),
+            kind: CampaignKind::Golden,
+            seed: 0,
+            workers: Some(2),
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+            faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            output: None,
+        };
+        let PlanResult::Golden(traces) = run_plan(&plan).unwrap() else {
+            panic!("golden plan must produce traces");
+        };
+        let typed =
+            collect_golden_traces(&SimConfig::default(), &ScenarioSuite::generate(2, 42), 2);
+        assert_eq!(traces.len(), 2);
+        for (plan_trace, typed_trace) in traces.iter().zip(&typed) {
+            assert_eq!(plan_trace.scenario_id, typed_trace.scenario_id);
+            assert_eq!(plan_trace.frames.len(), typed_trace.frames.len());
+        }
+    }
+
+    #[test]
+    fn persisted_random_plan_matches_in_memory_stats() {
+        let dir = std::env::temp_dir().join(format!("drivefi-plan-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut plan = tiny_random_plan();
+        plan.output = Some(OutputSpec::new(dir.to_string_lossy().into_owned()));
+        let PlanResult::Persisted(report) = run_plan(&plan).unwrap() else {
+            panic!("output plans persist");
+        };
+        assert!(report.complete());
+        assert_eq!(report.kind, "random");
+
+        plan.output = None;
+        let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
+            panic!("expected random stats");
+        };
+        assert_eq!(report.jobs.len(), stats.runs);
+        assert_eq!(report.safe(), stats.safe as u64);
+        assert_eq!(report.hazards(), stats.hazards as u64);
+        assert_eq!(report.collisions(), stats.collisions as u64);
+        assert_eq!(report.effective_injections(), stats.effective_injections as u64);
+        // The saved artifact loads back equal.
+        assert_eq!(crate::report::PlanReport::load(&dir).unwrap(), report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_capped_run_resumes_to_the_same_report() {
+        let dir = std::env::temp_dir().join(format!("drivefi-plan-resume-{}", std::process::id()));
+        let full_dir = dir.join("full");
+        let part_dir = dir.join("part");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut plan = tiny_random_plan();
+        plan.output = Some(OutputSpec::new(full_dir.to_string_lossy().into_owned()));
+        let PlanResult::Persisted(full) = run_plan(&plan).unwrap() else { panic!() };
+
+        plan.output = Some(OutputSpec::new(part_dir.to_string_lossy().into_owned()));
+        let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(2)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(partial.jobs.len(), 2);
+        assert!(!partial.complete());
+        let PlanResult::Persisted(resumed) = run_plan(&plan).unwrap() else { panic!() };
+        assert!(resumed.complete());
+        assert_eq!(resumed.jobs, full.jobs);
+        for file in [crate::report::REPORT_FILE, crate::report::JOBS_FILE] {
+            let a = std::fs::read(full_dir.join(file)).unwrap();
+            let b = std::fs::read(part_dir.join(file)).unwrap();
+            assert_eq!(a, b, "{file} differs between full and resumed runs");
+        }
+
+        // A different plan refuses to adopt the store.
+        plan.seed += 1;
+        let err = run_plan(&plan).expect_err("fingerprint mismatch");
+        assert!(err.to_string().contains("fingerprint"), "got: {err}");
+        // A budget without a store is an error, not a silent no-op.
+        plan.output = None;
+        assert!(run_plan_budget(&plan, Some(1)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn run_plan_matches_typed_random_campaign() {
         let plan = tiny_random_plan();
-        let PlanReport::Random(from_plan) = run_plan(&plan) else {
+        let PlanResult::Random(from_plan) = run_plan(&plan).unwrap() else {
             panic!("expected random stats");
         };
         let suite = ScenarioSuite::generate(2, 42);
@@ -849,14 +1528,14 @@ mod tests {
     fn outcome_sink_agrees_with_stats_sink() {
         let mut plan = tiny_random_plan();
         plan.sink = SinkChoice::Outcomes;
-        let PlanReport::RandomOutcomes { running, outcomes } = run_plan(&plan) else {
+        let PlanResult::RandomOutcomes { running, outcomes } = run_plan(&plan).unwrap() else {
             panic!("expected outcome list");
         };
         assert_eq!(outcomes.len(), 6);
         let hazardous = outcomes.iter().filter(|o| o.is_hazardous()).count();
         assert_eq!(hazardous, running.hazards + running.collisions);
         plan.sink = SinkChoice::Stats;
-        let PlanReport::Random(stats) = run_plan(&plan) else {
+        let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
             panic!("expected random stats");
         };
         assert_eq!(stats.hazards + stats.collisions, hazardous);

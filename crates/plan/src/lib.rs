@@ -12,31 +12,39 @@
 //!   scenario families ship as files without recompiling;
 //! * [`campaign`] — [`CampaignPlan`]: campaign kind + scenario
 //!   selection + [`drivefi_fault::FaultSpace`] + budget/seed/workers +
-//!   sink choice, with [`run_plan`] executing through the same
-//!   `CampaignEngine`-backed drivers as the typed API.
+//!   sink choice + ablation switches + persistent `[output]` store,
+//!   with [`run_plan`] executing through the same
+//!   `CampaignEngine`-backed drivers as the typed API;
+//! * [`report`] — [`PlanReport`]: the round-trip result artifact
+//!   (summary TOML + per-job CSV) aggregated from a `drivefi-store`
+//!   directory, so whole experiments round-trip (plan in → report out)
+//!   as files.
 //!
 //! # Example
 //!
 //! ```no_run
-//! use drivefi_plan::{run_plan, CampaignPlan, PlanReport};
+//! use drivefi_plan::{run_plan, CampaignPlan, PlanResult};
 //!
 //! let plan = CampaignPlan::load("plans/random_baseline.toml").unwrap();
-//! match run_plan(&plan) {
-//!     PlanReport::Random(stats) => println!("hazard rate {:.3}", stats.hazard_rate()),
+//! match run_plan(&plan).unwrap() {
+//!     PlanResult::Random(stats) => println!("hazard rate {:.3}", stats.hazard_rate()),
 //!     other => println!("{other:?}"),
 //! }
 //! ```
 
 pub mod campaign;
 pub mod expr;
+pub mod report;
 pub mod scenario;
 pub mod toml;
 
 pub use campaign::{
-    campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan, CampaignKind,
-    CampaignPlan, PlanReport, ScenarioSelection, SinkChoice,
+    campaign_fingerprint, campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan,
+    run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult, ScenarioSelection,
+    SimSection, SinkChoice,
 };
 pub use expr::{emit_expr, parse_expr};
+pub use report::{csv_header, csv_row, PlanReport, JOBS_FILE, REPORT_FILE};
 pub use scenario::{
     emit_scenario_spec, load_scenario_spec, parse_scenario_spec, save_scenario_spec,
     scenario_spec_from_toml, scenario_spec_to_toml,

@@ -77,6 +77,15 @@ pub(crate) fn as_str<'a>(value: &'a Toml, what: &str) -> Result<&'a str, PlanErr
     }
 }
 
+pub(crate) fn as_bool(value: &Toml, what: &str) -> Result<bool, PlanError> {
+    match value {
+        Toml::Bool(b) => Ok(*b),
+        other => {
+            Err(PlanError::new(format!("{what} must be a boolean, got {}", other.type_name())))
+        }
+    }
+}
+
 pub(crate) fn as_int(value: &Toml, what: &str) -> Result<i64, PlanError> {
     match value {
         Toml::Int(i) => Ok(*i),

@@ -6,7 +6,8 @@ use drivefi_ads::Signal;
 use drivefi_fault::{CorruptionGrid, FaultKind, FaultSpace, ScalarFaultModel};
 use drivefi_plan::{
     emit_campaign_plan, emit_expr, emit_scenario_spec, parse_campaign_plan, parse_expr,
-    parse_scenario_spec, CampaignKind, CampaignPlan, ScenarioSelection, SinkChoice,
+    parse_scenario_spec, CampaignKind, CampaignPlan, OutputSpec, ScenarioSelection, SimSection,
+    SinkChoice,
 };
 use drivefi_world::spec::{
     ActorTemplate, EgoSpec, Expr, KeyframeProgram, LaneChangeTemplate, ManeuverTemplate, RoadSpec,
@@ -218,21 +219,43 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
             seed: rng.random::<u64>() >> 1,
         },
     };
-    let kind = if rng.random::<bool>() {
-        CampaignKind::Random { runs: rng.random_range(1..5000usize) }
-    } else {
-        CampaignKind::Exhaustive { scene_stride: rng.random_range(1..100usize) }
+    let kind = match rng.random_range(0..3u32) {
+        0 => CampaignKind::Random { runs: rng.random_range(1..5000usize) },
+        1 => CampaignKind::Exhaustive { scene_stride: rng.random_range(1..100usize) },
+        _ => CampaignKind::Golden,
     };
-    // Exhaustive campaigns sweep the miner's candidate space and have a
-    // fixed report: their plans carry no custom fault space or sink.
-    let (sink, faults) = if matches!(kind, CampaignKind::Exhaustive { .. }) {
-        (SinkChoice::Stats, FaultSpace::default())
-    } else {
+    // Only random campaigns carry a custom fault space or sink choice:
+    // the exhaustive report shape is fixed and golden runs inject
+    // nothing.
+    let (sink, faults) = if matches!(kind, CampaignKind::Random { .. }) {
         (
             if rng.random::<bool>() { SinkChoice::Stats } else { SinkChoice::Outcomes },
             arb_fault_space(rng),
         )
+    } else {
+        (SinkChoice::Stats, FaultSpace::default())
     };
+    let sim = if rng.random::<bool>() {
+        SimSection::default()
+    } else {
+        SimSection {
+            planner_divisor: rng.random_range(1..8u32),
+            kalman_fusion: rng.random(),
+            pid_smoothing: rng.random(),
+            watchdog: rng.random(),
+        }
+    };
+    // Exhaustive campaigns reject [output], and an outcome sink cannot
+    // combine with one (the store's jobs.csv subsumes it); the rest
+    // fuzz it.
+    let output = (!matches!(kind, CampaignKind::Exhaustive { .. })
+        && sink != SinkChoice::Outcomes
+        && rng.random::<bool>())
+    .then(|| OutputSpec {
+        dir: format!("out/fuzz-{}", rng.random_range(0..100u32)),
+        shards: rng.random_range(1..32u32),
+        checkpoint_every: rng.random_range(1..10_000u64),
+    });
     CampaignPlan {
         name: format!("fuzz-{}", rng.random_range(0..1000u32)),
         kind,
@@ -241,6 +264,8 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
         sink,
         scenarios,
         faults,
+        sim,
+        output,
     }
 }
 

@@ -87,6 +87,23 @@ impl<F: FnMut(u64, CampaignResult)> CampaignSink for F {
     }
 }
 
+/// Fans one result stream into two sinks — e.g. a persistent store plus
+/// in-memory running statistics in a single engine pass. Nest `Tee`s for
+/// more than two consumers.
+#[derive(Debug)]
+pub struct Tee<'a, A: ?Sized, B: ?Sized>(pub &'a mut A, pub &'a mut B);
+
+impl<A, B> CampaignSink for Tee<'_, A, B>
+where
+    A: CampaignSink + ?Sized,
+    B: CampaignSink + ?Sized,
+{
+    fn accept(&mut self, index: u64, result: CampaignResult) {
+        self.0.accept(index, result.clone());
+        self.1.accept(index, result);
+    }
+}
+
 /// Order-restoring collector: buffers streamed results and yields them
 /// in submission order.
 #[derive(Debug, Default)]
@@ -298,6 +315,21 @@ impl CampaignEngine {
         );
     }
 
+    /// The resume hook: runs only the jobs for which `done(job.id)` is
+    /// false, skipping the rest without scheduling them. A persistent
+    /// store resumes an interrupted campaign by passing its set of
+    /// already-persisted job ids; submission indices renumber over the
+    /// pending jobs, so sinks that need a stable identity should key on
+    /// `CampaignResult::id` (the skipped ids never reappear).
+    pub fn run_skipping<S, K, P>(&self, jobs: S, done: P, sink: &mut K)
+    where
+        S: JobSource,
+        K: CampaignSink + ?Sized,
+        P: Fn(u64) -> bool + Send,
+    {
+        self.run(jobs.into_jobs().filter(move |job| !done(job.id)), sink);
+    }
+
     /// Convenience: runs the jobs and returns the results in submission
     /// order.
     pub fn collect<S: JobSource>(&self, jobs: S) -> Vec<CampaignResult> {
@@ -445,6 +477,32 @@ mod tests {
         assert_eq!(stats.safe + stats.hazards + stats.collisions, 4);
         assert!(stats.effective_injections > 0);
         assert!(stats.hazard_rate() >= 0.0 && stats.hazard_rate() <= 1.0);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+        let mut stats = RunningStats::new();
+        let mut collector = Collector::new();
+        let jobs: Vec<_> = (0..4u64).map(|i| golden_job(i, i)).collect();
+        engine.run(jobs, &mut Tee(&mut stats, &mut collector));
+        assert_eq!(stats.runs, 4);
+        assert_eq!(collector.into_results().len(), 4);
+    }
+
+    #[test]
+    fn run_skipping_only_executes_pending_jobs() {
+        // Jobs 0, 2, 4 are "already persisted": the engine must execute
+        // exactly the other three, renumbering submission indices over
+        // the pending stream while job ids stay stable.
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+        let jobs: Vec<_> = (0..6u64).map(|i| golden_job(i, i)).collect();
+        let mut seen = Vec::new();
+        engine.run_skipping(jobs, |id| id % 2 == 0, &mut |index: u64, result: CampaignResult| {
+            seen.push((index, result.id))
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1), (1, 3), (2, 5)]);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod trace;
 
 pub use campaign::{
     run_campaign, CampaignEngine, CampaignJob, CampaignResult, CampaignSink, Collector, JobSource,
-    RunningStats, TraceSink,
+    RunningStats, Tee, TraceSink,
 };
 pub use engine::{default_workers, parallel_map, stream_map};
 pub use outcome::{Outcome, RunReport};

@@ -1,0 +1,63 @@
+//! Persistent campaign store: every injection outcome survives the
+//! process that produced it.
+//!
+//! DriveFI-style campaigns only pay off at scale — millions of
+//! (scenario × fault) jobs — and at that scale the run *will* be
+//! interrupted: preemption, crashes, budget caps. The paper's Bayesian
+//! miner and AVFI both learn from persisted per-injection outcomes, so
+//! the store is the layer everything above the engine writes into:
+//!
+//! * [`CampaignRecord`] — one fixed-layout binary record per campaign
+//!   job: job index, scenario identity, the armed [`FaultSpec`], the
+//!   [`Outcome`](drivefi_sim::Outcome), injection count, and the hazard
+//!   metrics (min ground-truth δ).
+//! * [`log`] — the append-only record log: CRC-framed records in
+//!   self-describing shard files. A torn trailing record (the classic
+//!   crash artifact) is tolerated on read and truncated away on
+//!   recovery; everything before it survives.
+//! * [`StoreWriter`] / [`open_store`] — the sharded store directory:
+//!   records fan out over `shards` files by `job % shards` (a pure
+//!   function of the job index, so layout never depends on worker
+//!   scheduling), periodic checkpoint [`manifests`](StoreMeta) mark
+//!   progress, and [`StoreWriter::recover`] reopens an interrupted
+//!   store for append after validating that the resuming plan is the
+//!   one that created it.
+//! * [`StoreSink`] — the [`CampaignSink`](drivefi_sim::CampaignSink)
+//!   adapter: streams engine results straight to disk.
+//!
+//! Reads merge the shards deterministically by job index, so a resumed
+//! campaign reconstructs exactly the record sequence an uninterrupted
+//! run would have produced — `drivefi-plan` builds its byte-identical
+//! round-trip reports on that guarantee.
+
+pub mod log;
+pub mod record;
+pub mod sink;
+pub mod store;
+
+pub use record::{CampaignRecord, PAYLOAD_LEN};
+pub use sink::{RecordMeta, StoreSink};
+pub use store::{
+    fingerprint64, open_store, read_store, StoreMeta, StoreState, StoreWriter, MANIFEST_FILE,
+};
+
+/// An error from encoding, decoding, or store I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreError {
+    message: String,
+}
+
+impl StoreError {
+    /// An error carrying `message`.
+    pub fn new(message: String) -> Self {
+        StoreError { message }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,308 @@
+//! The per-job campaign record and its fixed binary layout.
+
+use crate::StoreError;
+use drivefi_ads::{Signal, Stage};
+use drivefi_fault::{FaultKind, FaultSpec, ScalarFaultModel, WindowSpec};
+use drivefi_sim::{Outcome, RunReport};
+
+/// One persisted campaign result: everything a miner or report needs to
+/// know about one (scenario × fault) job, without the trace.
+///
+/// `job` is the job's index within its campaign plan (not the engine's
+/// submission index, which shifts when a resumed run skips persisted
+/// jobs) — it is the store's merge key and the identity resume checks
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignRecord {
+    /// Plan-level job index.
+    pub job: u64,
+    /// Scenario id within the plan's suite.
+    pub scenario_id: u32,
+    /// Scenario RNG seed (reproduces the scenario with its family).
+    pub scenario_seed: u64,
+    /// The armed fault, `None` for golden (fault-free) jobs.
+    pub fault: Option<FaultSpec>,
+    /// Safety classification of the run.
+    pub outcome: Outcome,
+    /// Corruptions the injector actually performed.
+    pub injections: u64,
+    /// Scenes simulated.
+    pub scenes: u64,
+    /// Minimum ground-truth longitudinal δ over the run \[m\].
+    pub min_delta_lon: f64,
+    /// Minimum ground-truth lateral δ over the run \[m\].
+    pub min_delta_lat: f64,
+}
+
+/// Exact encoded payload size of one record (the layout is fixed; the
+/// framing layer adds 8 bytes of length + CRC).
+pub const PAYLOAD_LEN: usize = 92;
+
+// Fault tags in the encoded layout.
+const FAULT_NONE: u8 = 0;
+const FAULT_SCALAR: u8 = 1;
+const FAULT_CLEAR: u8 = 2;
+const FAULT_FREEZE: u8 = 3;
+const FAULT_HANG: u8 = 4;
+
+// Outcome tags in the encoded layout.
+const OUTCOME_SAFE: u8 = 0;
+const OUTCOME_HAZARD: u8 = 1;
+const OUTCOME_COLLISION: u8 = 2;
+
+/// Little-endian cursor over an encoded payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        let end = self.at + N;
+        let slice = self
+            .bytes
+            .get(self.at..end)
+            .ok_or_else(|| StoreError::new("record payload too short".into()))?;
+        self.at = end;
+        Ok(slice.try_into().expect("slice length checked"))
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+impl CampaignRecord {
+    /// Builds the record for one engine result. The caller supplies the
+    /// job's scenario identity and armed fault (the engine result only
+    /// carries the job id and the run report).
+    pub fn from_report(job: u64, meta: &crate::RecordMeta, report: &RunReport) -> CampaignRecord {
+        CampaignRecord {
+            job,
+            scenario_id: meta.scenario_id,
+            scenario_seed: meta.scenario_seed,
+            fault: meta.fault,
+            outcome: report.outcome,
+            injections: report.injections,
+            scenes: report.scenes,
+            min_delta_lon: report.min_delta_lon,
+            min_delta_lat: report.min_delta_lat,
+        }
+    }
+
+    /// The fault's stable report name (`"raw_throttle:max"`,
+    /// `"world.clear"`, …), empty for golden jobs.
+    pub fn fault_name(&self) -> String {
+        self.fault.map(|spec| spec.kind.name()).unwrap_or_default()
+    }
+
+    /// Appends the fixed-layout little-endian encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.job.to_le_bytes());
+        out.extend_from_slice(&self.scenario_id.to_le_bytes());
+        out.extend_from_slice(&self.scenario_seed.to_le_bytes());
+
+        let (tag, arg, (model_tag, model_bits), window) = match self.fault {
+            None => (FAULT_NONE, 0, (0, 0), WindowSpec { scene: 0, scenes: 0 }),
+            Some(spec) => match spec.kind {
+                FaultKind::Scalar { signal, model } => {
+                    (FAULT_SCALAR, signal.index(), model.key(), spec.window)
+                }
+                FaultKind::ClearWorldModel => (FAULT_CLEAR, 0, (0, 0), spec.window),
+                FaultKind::FreezeWorldModel => (FAULT_FREEZE, 0, (0, 0), spec.window),
+                FaultKind::ModuleHang { stage } => {
+                    (FAULT_HANG, stage.index() as u8, (0, 0), spec.window)
+                }
+            },
+        };
+        out.push(tag);
+        out.push(arg);
+        out.push(model_tag);
+        out.extend_from_slice(&model_bits.to_le_bytes());
+        out.extend_from_slice(&window.scene.to_le_bytes());
+        out.extend_from_slice(&window.scenes.to_le_bytes());
+
+        let (outcome_tag, scene, actor) = match self.outcome {
+            Outcome::Safe => (OUTCOME_SAFE, 0, 0),
+            Outcome::Hazard { scene } => (OUTCOME_HAZARD, scene, 0),
+            Outcome::Collision { scene, actor } => (OUTCOME_COLLISION, scene, actor),
+        };
+        out.push(outcome_tag);
+        out.extend_from_slice(&scene.to_le_bytes());
+        out.extend_from_slice(&actor.to_le_bytes());
+
+        out.extend_from_slice(&self.injections.to_le_bytes());
+        out.extend_from_slice(&self.scenes.to_le_bytes());
+        out.extend_from_slice(&self.min_delta_lon.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.min_delta_lat.to_bits().to_le_bytes());
+        debug_assert_eq!(out.len() - start, PAYLOAD_LEN);
+    }
+
+    /// Decodes a payload produced by [`CampaignRecord::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the payload has the wrong length or
+    /// carries tags/indices outside the known vocabulary (a CRC-valid
+    /// frame that fails here indicates a format-version mismatch, not
+    /// bit rot).
+    pub fn decode(payload: &[u8]) -> Result<CampaignRecord, StoreError> {
+        if payload.len() != PAYLOAD_LEN {
+            return Err(StoreError::new(format!(
+                "record payload must be {PAYLOAD_LEN} bytes, got {}",
+                payload.len()
+            )));
+        }
+        let mut r = Reader { bytes: payload, at: 0 };
+        let job = r.u64()?;
+        let scenario_id = r.u32()?;
+        let scenario_seed = r.u64()?;
+
+        let tag = r.u8()?;
+        let arg = r.u8()?;
+        let model_tag = r.u8()?;
+        let model_bits = r.u64()?;
+        let window = WindowSpec { scene: r.u64()?, scenes: r.u64()? };
+        let fault = match tag {
+            FAULT_NONE => None,
+            FAULT_SCALAR => {
+                let signal = Signal::ALL
+                    .get(arg as usize)
+                    .copied()
+                    .ok_or_else(|| StoreError::new(format!("unknown signal index {arg}")))?;
+                let model = ScalarFaultModel::from_key(model_tag, model_bits).ok_or_else(|| {
+                    StoreError::new(format!("unknown fault-model tag {model_tag}"))
+                })?;
+                Some(FaultSpec { kind: FaultKind::Scalar { signal, model }, window })
+            }
+            FAULT_CLEAR => Some(FaultSpec { kind: FaultKind::ClearWorldModel, window }),
+            FAULT_FREEZE => Some(FaultSpec { kind: FaultKind::FreezeWorldModel, window }),
+            FAULT_HANG => {
+                let stage = Stage::ALL
+                    .get(arg as usize)
+                    .copied()
+                    .ok_or_else(|| StoreError::new(format!("unknown stage index {arg}")))?;
+                Some(FaultSpec { kind: FaultKind::ModuleHang { stage }, window })
+            }
+            other => return Err(StoreError::new(format!("unknown fault tag {other}"))),
+        };
+
+        let outcome_tag = r.u8()?;
+        let scene = r.u64()?;
+        let actor = r.u32()?;
+        let outcome = match outcome_tag {
+            OUTCOME_SAFE => Outcome::Safe,
+            OUTCOME_HAZARD => Outcome::Hazard { scene },
+            OUTCOME_COLLISION => Outcome::Collision { scene, actor },
+            other => return Err(StoreError::new(format!("unknown outcome tag {other}"))),
+        };
+
+        Ok(CampaignRecord {
+            job,
+            scenario_id,
+            scenario_seed,
+            fault,
+            outcome,
+            injections: r.u64()?,
+            scenes: r.u64()?,
+            min_delta_lon: r.f64()?,
+            min_delta_lat: r.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record(job: u64) -> CampaignRecord {
+        CampaignRecord {
+            job,
+            scenario_id: 7,
+            scenario_seed: 0xABCD,
+            fault: Some(FaultSpec {
+                kind: FaultKind::Scalar {
+                    signal: Signal::RawThrottle,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: WindowSpec::scene(20 + job),
+            }),
+            outcome: Outcome::Hazard { scene: 31 },
+            injections: 4,
+            scenes: 300,
+            min_delta_lon: -0.75,
+            min_delta_lat: 1.25,
+        }
+    }
+
+    #[test]
+    fn encode_is_fixed_layout() {
+        let mut buf = Vec::new();
+        sample_record(3).encode(&mut buf);
+        assert_eq!(buf.len(), PAYLOAD_LEN);
+    }
+
+    #[test]
+    fn every_fault_shape_round_trips() {
+        let faults = [
+            None,
+            Some(FaultSpec {
+                kind: FaultKind::Scalar {
+                    signal: Signal::LeadDistance,
+                    model: ScalarFaultModel::BitFlip(62),
+                },
+                window: WindowSpec::burst(5, 3),
+            }),
+            Some(FaultSpec {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalBrake,
+                    model: ScalarFaultModel::Offset(-2.5),
+                },
+                window: WindowSpec::permanent(9),
+            }),
+            Some(FaultSpec { kind: FaultKind::ClearWorldModel, window: WindowSpec::scene(4) }),
+            Some(FaultSpec { kind: FaultKind::FreezeWorldModel, window: WindowSpec::scene(6) }),
+            Some(FaultSpec {
+                kind: FaultKind::ModuleHang { stage: Stage::Planning },
+                window: WindowSpec::burst(2, 8),
+            }),
+        ];
+        let outcomes = [
+            Outcome::Safe,
+            Outcome::Hazard { scene: 12 },
+            Outcome::Collision { scene: 44, actor: 3 },
+        ];
+        for (i, (fault, outcome)) in faults.iter().zip(outcomes.iter().cycle()).enumerate() {
+            let record =
+                CampaignRecord { fault: *fault, outcome: *outcome, ..sample_record(i as u64) };
+            let mut buf = Vec::new();
+            record.encode(&mut buf);
+            assert_eq!(CampaignRecord::decode(&buf), Ok(record));
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_are_rejected_not_misread() {
+        let mut buf = Vec::new();
+        sample_record(0).encode(&mut buf);
+        // Fault tag byte is at offset 20.
+        buf[20] = 99;
+        assert!(CampaignRecord::decode(&buf).is_err());
+        let mut buf2 = Vec::new();
+        sample_record(0).encode(&mut buf2);
+        assert!(CampaignRecord::decode(&buf2[..PAYLOAD_LEN - 1]).is_err());
+    }
+}

@@ -1,0 +1,657 @@
+//! The sharded store directory: checkpoint manifest + shard files +
+//! crash recovery.
+//!
+//! A store directory holds one campaign's persisted results:
+//!
+//! ```text
+//! out/run1/
+//!   manifest.toml   # identity + progress checkpoint (atomic rewrite)
+//!   shard-000.log   # CRC-framed records with job % shards == 0
+//!   shard-001.log   # ...
+//! ```
+//!
+//! Records fan out over shards by `job % shards` — a pure function of
+//! the plan-level job index, so the on-disk layout never depends on
+//! worker scheduling. The manifest pins the store's identity (a
+//! fingerprint of the plan that created it, the total job count, the
+//! shard count) and is atomically rewritten at every checkpoint; the
+//! shard files are the source of truth for *which* jobs are persisted —
+//! recovery rescans them rather than trusting the checkpoint counter,
+//! so a crash between an append and the next checkpoint loses nothing.
+
+use crate::log::{append_frame, scan_shard, write_header, FORMAT_VERSION, HEADER_LEN};
+use crate::record::CampaignRecord;
+use crate::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.toml";
+
+/// FNV-1a 64-bit hash — the store's plan fingerprint. Stable across
+/// processes and platforms (unlike `DefaultHasher`), cheap, and good
+/// enough for its job: refusing to resume a campaign under a plan that
+/// is not the one that created the store.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The store's self-describing manifest: identity plus the progress
+/// checkpoint. Serialized as a flat `key = value` file (the store crate
+/// sits below `drivefi-plan`, so it carries its own tiny parser instead
+/// of depending on the plan crate's TOML implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Record-layout version (see [`crate::log::FORMAT_VERSION`]).
+    pub format: u32,
+    /// Fingerprint of the campaign that owns this store.
+    pub fingerprint: u64,
+    /// Total jobs the campaign will produce.
+    pub total_jobs: u64,
+    /// Number of shard files records fan out over.
+    pub shards: u32,
+    /// Records persisted as of the last checkpoint (informational — the
+    /// shard scans are authoritative on recovery).
+    pub checkpoint_records: u64,
+    /// True once every job's record is persisted and the store was
+    /// cleanly finished.
+    pub complete: bool,
+}
+
+impl StoreMeta {
+    fn emit(&self) -> String {
+        format!(
+            "format = {}\nfingerprint = 0x{:016x}\ntotal_jobs = {}\nshards = {}\n\
+             checkpoint_records = {}\ncomplete = {}\n",
+            self.format,
+            self.fingerprint,
+            self.total_jobs,
+            self.shards,
+            self.checkpoint_records,
+            self.complete
+        )
+    }
+
+    fn parse(src: &str) -> Result<StoreMeta, StoreError> {
+        let mut format = None;
+        let mut fingerprint = None;
+        let mut total_jobs = None;
+        let mut shards = None;
+        let mut checkpoint_records = None;
+        let mut complete = None;
+        for line in src.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                StoreError::new(format!("manifest line `{line}` is not key = value"))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let uint = || -> Result<u64, StoreError> {
+                let parsed = if let Some(hex) = value.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    value.parse()
+                };
+                parsed.map_err(|_| {
+                    StoreError::new(format!("manifest `{key}` = `{value}` is not an integer"))
+                })
+            };
+            match key {
+                "format" => format = Some(uint()? as u32),
+                "fingerprint" => fingerprint = Some(uint()?),
+                "total_jobs" => total_jobs = Some(uint()?),
+                "shards" => shards = Some(uint()? as u32),
+                "checkpoint_records" => checkpoint_records = Some(uint()?),
+                "complete" => {
+                    complete = Some(match value {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(StoreError::new(format!(
+                                "manifest `complete` must be true/false, got `{other}`"
+                            )))
+                        }
+                    })
+                }
+                other => return Err(StoreError::new(format!("unknown manifest key `{other}`"))),
+            }
+        }
+        let require = |name: &str, value: Option<u64>| {
+            value.ok_or_else(|| StoreError::new(format!("manifest is missing `{name}`")))
+        };
+        Ok(StoreMeta {
+            format: require("format", format.map(u64::from))? as u32,
+            fingerprint: require("fingerprint", fingerprint)?,
+            total_jobs: require("total_jobs", total_jobs)?,
+            shards: require("shards", shards.map(u64::from))? as u32,
+            checkpoint_records: require("checkpoint_records", checkpoint_records)?,
+            complete: complete
+                .ok_or_else(|| StoreError::new("manifest is missing `complete`".into()))?,
+        })
+    }
+}
+
+/// What recovery found in an interrupted store: which jobs already have
+/// a persisted record, and whether any shard had a torn tail.
+#[derive(Debug, Clone)]
+pub struct StoreState {
+    done: Vec<u64>,
+    records: u64,
+    /// True when at least one shard ended in a torn (partial or
+    /// CRC-mismatched) record that recovery truncated away.
+    pub torn: bool,
+}
+
+impl StoreState {
+    /// An empty state for a fresh store over `total_jobs` jobs.
+    fn empty(total_jobs: u64) -> Self {
+        StoreState { done: vec![0; (total_jobs as usize).div_ceil(64)], records: 0, torn: false }
+    }
+
+    fn mark(&mut self, job: u64) -> bool {
+        let (word, bit) = ((job / 64) as usize, job % 64);
+        let fresh = self.done[word] & (1 << bit) == 0;
+        self.done[word] |= 1 << bit;
+        if fresh {
+            self.records += 1;
+        }
+        fresh
+    }
+
+    /// True when `job`'s record is already persisted.
+    pub fn is_done(&self, job: u64) -> bool {
+        self.done.get((job / 64) as usize).is_some_and(|word| word & (1 << (job % 64)) != 0)
+    }
+
+    /// Number of distinct jobs with a persisted record.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Append handle over a store directory. Obtain one with [`open_store`];
+/// stream records in with [`StoreWriter::append`] (or the
+/// [`StoreSink`](crate::StoreSink) campaign adapter) and seal the store
+/// with [`StoreWriter::finish`].
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    meta: StoreMeta,
+    shards: Vec<BufWriter<File>>,
+    persisted: u64,
+    since_checkpoint: u64,
+    checkpoint_every: u64,
+}
+
+fn shard_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("shard-{index:03}.log"))
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::new(format!("{what} {}: {e}", path.display()))
+}
+
+/// Opens a store directory for appending: creates a fresh store when no
+/// manifest exists, otherwise **recovers** the interrupted store —
+/// validates that `fingerprint`, `total_jobs`, and `shards` match the
+/// manifest, rescans every shard, truncates torn trailing records, and
+/// reports which jobs are already persisted.
+///
+/// `checkpoint_every` is the append-count period of checkpoint flushes
+/// (buffered writes flushed + synced, manifest atomically rewritten).
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] on I/O failure, on a manifest that does not
+/// match the resuming campaign, or on CRC-valid records that no longer
+/// decode (format drift — truncating them would destroy good data).
+pub fn open_store(
+    dir: impl AsRef<Path>,
+    fingerprint: u64,
+    total_jobs: u64,
+    shards: u32,
+    checkpoint_every: u64,
+) -> Result<(StoreWriter, StoreState), StoreError> {
+    assert!(shards > 0, "a store needs at least one shard");
+    assert!(checkpoint_every > 0, "checkpoint period must be at least 1");
+    let dir = dir.as_ref();
+    let meta = StoreMeta {
+        format: FORMAT_VERSION,
+        fingerprint,
+        total_jobs,
+        shards,
+        checkpoint_records: 0,
+        complete: false,
+    };
+    if dir.join(MANIFEST_FILE).is_file() {
+        StoreWriter::recover(dir, meta, checkpoint_every)
+    } else {
+        // Shard files without a manifest mean a store whose manifest was
+        // lost, not a fresh directory — creating here would truncate
+        // every persisted record. Refuse; the fix (restore or delete the
+        // directory) is a human decision.
+        if (0..shards.max(1)).any(|index| shard_path(dir, index).exists()) {
+            return Err(StoreError::new(format!(
+                "{}: shard files exist but {MANIFEST_FILE} is missing — refusing to \
+                 overwrite what looks like a store that lost its manifest (delete the \
+                 directory to start over)",
+                dir.display()
+            )));
+        }
+        let writer = StoreWriter::create(dir, meta, checkpoint_every)?;
+        Ok((writer, StoreState::empty(total_jobs)))
+    }
+}
+
+impl StoreWriter {
+    fn create(
+        dir: &Path,
+        meta: StoreMeta,
+        checkpoint_every: u64,
+    ) -> Result<StoreWriter, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+        let mut shards = Vec::with_capacity(meta.shards as usize);
+        for index in 0..meta.shards {
+            let path = shard_path(dir, index);
+            let file = File::create(&path).map_err(|e| io_err("creating", &path, e))?;
+            let mut writer = BufWriter::new(file);
+            write_header(&mut writer, index)?;
+            shards.push(writer);
+        }
+        let mut writer = StoreWriter {
+            dir: dir.to_path_buf(),
+            meta,
+            shards,
+            persisted: 0,
+            since_checkpoint: 0,
+            checkpoint_every,
+        };
+        writer.checkpoint()?;
+        Ok(writer)
+    }
+
+    fn recover(
+        dir: &Path,
+        expected: StoreMeta,
+        checkpoint_every: u64,
+    ) -> Result<(StoreWriter, StoreState), StoreError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let src = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| io_err("reading", &manifest_path, e))?;
+        let found = StoreMeta::parse(&src)
+            .map_err(|e| StoreError::new(format!("{}: {e}", manifest_path.display())))?;
+        for (what, want, got) in [
+            ("format version", u64::from(expected.format), u64::from(found.format)),
+            ("plan fingerprint", expected.fingerprint, found.fingerprint),
+            ("total job count", expected.total_jobs, found.total_jobs),
+            ("shard count", u64::from(expected.shards), u64::from(found.shards)),
+        ] {
+            if want != got {
+                return Err(StoreError::new(format!(
+                    "{}: store {what} is {got:#x}, resuming campaign expects {want:#x} — \
+                     this store was created by a different plan",
+                    dir.display()
+                )));
+            }
+        }
+
+        let mut state = StoreState::empty(expected.total_jobs);
+        let mut shards = Vec::with_capacity(expected.shards as usize);
+        for index in 0..expected.shards {
+            let path = shard_path(dir, index);
+            let scan = scan_shard(&path, index)?;
+            for record in &scan.records {
+                if record.job >= expected.total_jobs {
+                    return Err(StoreError::new(format!(
+                        "{}: record for job {} but the campaign has only {} jobs",
+                        path.display(),
+                        record.job,
+                        expected.total_jobs
+                    )));
+                }
+                if record.job % u64::from(expected.shards) != u64::from(index) {
+                    return Err(StoreError::new(format!(
+                        "{}: record for job {} does not belong in shard {index}",
+                        path.display(),
+                        record.job
+                    )));
+                }
+                state.mark(record.job);
+            }
+            state.torn |= scan.torn;
+            // Truncate the torn tail (if any) and reopen for append. A
+            // shard whose header itself was torn is rewritten whole.
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| io_err("opening", &path, e))?;
+            file.set_len(scan.valid_len).map_err(|e| io_err("truncating", &path, e))?;
+            drop(file);
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err("opening", &path, e))?;
+            let mut writer = BufWriter::new(file);
+            if scan.valid_len < HEADER_LEN {
+                write_header(&mut writer, index)?;
+            }
+            shards.push(writer);
+        }
+
+        let mut writer = StoreWriter {
+            dir: dir.to_path_buf(),
+            meta: StoreMeta { checkpoint_records: state.records, complete: false, ..expected },
+            shards,
+            persisted: state.records,
+            since_checkpoint: 0,
+            checkpoint_every,
+        };
+        writer.checkpoint()?;
+        Ok((writer, state))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Distinct records persisted so far (surviving + newly appended).
+    pub fn records_persisted(&self) -> u64 {
+        self.persisted
+    }
+
+    /// Appends one record to its shard (`job % shards`), checkpointing
+    /// every `checkpoint_every` appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `record.job` is outside the campaign's job range —
+    /// that is a caller bug, not a recoverable condition.
+    pub fn append(&mut self, record: &CampaignRecord) -> Result<(), StoreError> {
+        assert!(
+            record.job < self.meta.total_jobs,
+            "job {} out of range (campaign has {} jobs)",
+            record.job,
+            self.meta.total_jobs
+        );
+        let shard = (record.job % u64::from(self.meta.shards)) as usize;
+        append_frame(&mut self.shards[shard], record)?;
+        self.persisted += 1;
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and syncs every shard, then atomically rewrites the
+    /// manifest with the current progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let path = shard_path(&self.dir, index as u32);
+            shard.flush().map_err(|e| io_err("flushing", &path, e))?;
+            shard.get_ref().sync_all().map_err(|e| io_err("syncing", &path, e))?;
+        }
+        self.meta.checkpoint_records = self.persisted;
+        self.write_manifest()?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, self.meta.emit()).map_err(|e| io_err("writing", &tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("renaming", &tmp, e))
+    }
+
+    /// Final checkpoint; marks the store `complete` when every job's
+    /// record is persisted. Returns the sealed manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on I/O failure.
+    pub fn finish(mut self) -> Result<StoreMeta, StoreError> {
+        self.meta.complete = self.persisted >= self.meta.total_jobs;
+        self.checkpoint()?;
+        Ok(self.meta)
+    }
+}
+
+/// Reads a whole store directory: the manifest plus every shard's
+/// surviving records, merged deterministically by job index (torn tails
+/// tolerated, duplicate job records collapsed to the first persisted).
+/// A resumed campaign therefore reads back exactly the record sequence
+/// an uninterrupted run would have produced.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] when the directory is not a store, a shard
+/// file is missing, or a CRC-valid record fails to decode.
+pub fn read_store(dir: impl AsRef<Path>) -> Result<(StoreMeta, Vec<CampaignRecord>), StoreError> {
+    let dir = dir.as_ref();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let src = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| io_err("reading", &manifest_path, e))?;
+    let meta = StoreMeta::parse(&src)
+        .map_err(|e| StoreError::new(format!("{}: {e}", manifest_path.display())))?;
+    let mut records = Vec::new();
+    for index in 0..meta.shards {
+        records.extend(scan_shard(&shard_path(dir, index), index)?.records);
+    }
+    records.sort_by_key(|r| r.job);
+    records.dedup_by_key(|r| r.job);
+    Ok((meta, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_sim::Outcome;
+
+    fn record(job: u64) -> CampaignRecord {
+        CampaignRecord {
+            job,
+            scenario_id: (job % 5) as u32,
+            scenario_seed: job * 31,
+            fault: None,
+            outcome: if job.is_multiple_of(3) {
+                Outcome::Hazard { scene: job }
+            } else {
+                Outcome::Safe
+            },
+            injections: job % 2,
+            scenes: 300,
+            min_delta_lon: job as f64 - 4.0,
+            min_delta_lat: 1.5,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("drivefi-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        // FNV-1a reference vector plus basic discrimination.
+        assert_eq!(fingerprint64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fingerprint64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_ne!(fingerprint64(b"plan-a"), fingerprint64(b"plan-b"));
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let meta = StoreMeta {
+            format: FORMAT_VERSION,
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            total_jobs: 1_000_000,
+            shards: 16,
+            checkpoint_records: 37,
+            complete: false,
+        };
+        assert_eq!(StoreMeta::parse(&meta.emit()), Ok(meta));
+        assert!(StoreMeta::parse("format = 1\nvelocity = 9\n").is_err());
+        assert!(StoreMeta::parse("format = banana\n").is_err());
+    }
+
+    #[test]
+    fn fresh_store_appends_and_reads_back_sharded() {
+        let dir = temp_dir("fresh");
+        let (mut writer, state) = open_store(&dir, 42, 20, 3, 4).unwrap();
+        assert_eq!(state.records(), 0);
+        // Append out of order — completion order never matches job order.
+        for job in [5u64, 0, 19, 7, 2, 11, 3, 1] {
+            writer.append(&record(job)).unwrap();
+        }
+        let meta = writer.finish().unwrap();
+        assert!(!meta.complete, "only 8 of 20 jobs persisted");
+        assert_eq!(meta.checkpoint_records, 8);
+
+        let (read_meta, records) = read_store(&dir).unwrap();
+        assert_eq!(read_meta, meta);
+        let jobs: Vec<u64> = records.iter().map(|r| r.job).collect();
+        assert_eq!(jobs, vec![0, 1, 2, 3, 5, 7, 11, 19], "merged by job index");
+        assert_eq!(records[4], record(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_and_resumes() {
+        let dir = temp_dir("recover");
+        let (mut writer, _) = open_store(&dir, 7, 10, 2, 100).unwrap();
+        for job in 0..6u64 {
+            writer.append(&record(job)).unwrap();
+        }
+        writer.finish().unwrap();
+
+        // Tear the tail of shard 0 (jobs 0, 2, 4): chop 5 bytes off.
+        let path = shard_path(&dir, 0);
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 5).unwrap();
+
+        let (mut writer, state) = open_store(&dir, 7, 10, 2, 100).unwrap();
+        assert!(state.torn);
+        assert_eq!(state.records(), 5, "job 4's record was torn away");
+        assert!(state.is_done(3) && state.is_done(2) && !state.is_done(4));
+        // Re-run the lost job and the remaining ones.
+        for job in [4u64, 6, 7, 8, 9] {
+            assert!(!state.is_done(job));
+            writer.append(&record(job)).unwrap();
+        }
+        let meta = writer.finish().unwrap();
+        assert!(meta.complete);
+
+        let (_, records) = read_store(&dir).unwrap();
+        assert_eq!(records.len(), 10);
+        for (job, r) in records.iter().enumerate() {
+            assert_eq!(*r, record(job as u64), "job {job} round-trips after recovery");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_loss_is_refused_not_truncated() {
+        // Shards full of fsynced records whose manifest vanished must
+        // never be silently recreated-over (File::create would truncate
+        // every record).
+        let dir = temp_dir("manifestloss");
+        let (mut writer, _) = open_store(&dir, 5, 8, 2, 16).unwrap();
+        for job in 0..8u64 {
+            writer.append(&record(job)).unwrap();
+        }
+        writer.finish().unwrap();
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let err = open_store(&dir, 5, 8, 2, 16).expect_err("manifest lost");
+        assert!(err.to_string().contains("refusing"), "got: {err}");
+        // The shards survived the refusal intact.
+        let scan = scan_shard(&shard_path(&dir, 0), 0).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_refuses_to_resume() {
+        let dir = temp_dir("mismatch");
+        let (writer, _) = open_store(&dir, 1, 4, 2, 8).unwrap();
+        writer.finish().unwrap();
+        let err = open_store(&dir, 2, 4, 2, 8).expect_err("wrong fingerprint");
+        assert!(err.to_string().contains("fingerprint"), "got: {err}");
+        let err = open_store(&dir, 1, 5, 2, 8).expect_err("wrong job count");
+        assert!(err.to_string().contains("job count"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoints_rewrite_the_manifest_periodically() {
+        let dir = temp_dir("checkpoint");
+        let (mut writer, _) = open_store(&dir, 9, 100, 4, 5).unwrap();
+        for job in 0..12u64 {
+            writer.append(&record(job)).unwrap();
+        }
+        // 12 appends at a period of 5 → last checkpoint at 10 records.
+        let src = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        let meta = StoreMeta::parse(&src).unwrap();
+        assert_eq!(meta.checkpoint_records, 10);
+        assert!(!meta.complete);
+        drop(writer);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sustained_append_beats_100k_records_per_second() {
+        // The acceptance floor of the persistence layer. Real hardware
+        // sustains millions/s through the buffered sharded path; the
+        // 100k bar leaves ~100x headroom for loaded CI machines.
+        let dir = temp_dir("throughput");
+        const N: u64 = 200_000;
+        let (mut writer, _) = open_store(&dir, 1, N, 8, 16_384).unwrap();
+        let start = std::time::Instant::now();
+        for job in 0..N {
+            writer.append(&record(job)).unwrap();
+        }
+        writer.finish().unwrap();
+        let rate = N as f64 / start.elapsed().as_secs_f64();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(rate >= 100_000.0, "sustained append rate {rate:.0} records/s < 100k/s");
+    }
+
+    #[test]
+    fn whole_shard_loss_is_rerun_not_fatal() {
+        let dir = temp_dir("shardloss");
+        let (mut writer, _) = open_store(&dir, 3, 6, 3, 100).unwrap();
+        for job in 0..6u64 {
+            writer.append(&record(job)).unwrap();
+        }
+        writer.finish().unwrap();
+        // Truncate shard 1 to zero bytes (even the header gone).
+        OpenOptions::new().write(true).open(shard_path(&dir, 1)).unwrap().set_len(0).unwrap();
+        let (mut writer, state) = open_store(&dir, 3, 6, 3, 100).unwrap();
+        assert_eq!(state.records(), 4);
+        for job in [1u64, 4] {
+            assert!(!state.is_done(job));
+            writer.append(&record(job)).unwrap();
+        }
+        assert!(writer.finish().unwrap().complete);
+        let (_, records) = read_store(&dir).unwrap();
+        assert_eq!(records.len(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,7 +11,7 @@ use drivefi::core::{
     MinerConfig, RandomCampaignConfig,
 };
 use drivefi::fault::FaultSpace;
-use drivefi::plan::{load_scenario_spec, run_plan, CampaignPlan, PlanReport};
+use drivefi::plan::{load_scenario_spec, run_plan, CampaignPlan, PlanResult};
 use drivefi::sim::SimConfig;
 use drivefi::world::{FamilyRegistry, ScenarioSuite};
 use std::path::Path;
@@ -26,7 +26,7 @@ fn main() {
     // ------------------------------------------------------------------
     let plan = CampaignPlan::load(root.join("plans/random_baseline.toml")).expect("plan parses");
     println!("plan `{}`: {:?} over {:?}", plan.name, plan.kind, plan.scenarios);
-    let PlanReport::Random(from_plan) = run_plan(&plan) else {
+    let PlanResult::Random(from_plan) = run_plan(&plan).unwrap() else {
         panic!("random plan must produce random stats");
     };
     println!(
@@ -58,7 +58,7 @@ fn main() {
     // ------------------------------------------------------------------
     let plan = CampaignPlan::load(root.join("plans/exhaustive_small.toml")).expect("plan parses");
     println!("plan `{}`: {:?}", plan.name, plan.kind);
-    let PlanReport::Exhaustive(from_plan) = run_plan(&plan) else {
+    let PlanResult::Exhaustive(from_plan) = run_plan(&plan).unwrap() else {
         panic!("exhaustive plan must produce an exhaustive report");
     };
     println!("  from plan : {}", from_plan.summary());
@@ -97,7 +97,7 @@ fn main() {
     // 4. And a whole campaign whose scenarios come only from spec files
     //    (plans/dsl_from_file.toml cycles two file-loaded families).
     let plan = CampaignPlan::load(root.join("plans/dsl_from_file.toml")).expect("plan parses");
-    let PlanReport::Random(stats) = run_plan(&plan) else {
+    let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
         panic!("dsl_from_file is a random campaign");
     };
     println!(
@@ -110,7 +110,7 @@ fn main() {
 
     // 5. Module-level fault space with the outcome sink.
     let plan = CampaignPlan::load(root.join("plans/module_faults.toml")).expect("plan parses");
-    let PlanReport::RandomOutcomes { running, outcomes } = run_plan(&plan) else {
+    let PlanResult::RandomOutcomes { running, outcomes } = run_plan(&plan).unwrap() else {
         panic!("module_faults retains outcomes");
     };
     println!(

@@ -1,0 +1,257 @@
+//! The `drivefi` campaign CLI: run, resume, report on, and query
+//! plan-file campaigns with a persistent store.
+//!
+//! ```text
+//! drivefi run     <plan.toml> [--max-jobs N] [--output-dir DIR]
+//! drivefi resume  <plan.toml> [--output-dir DIR]
+//! drivefi report  <plan.toml> [--output-dir DIR]
+//! drivefi query   <plan.toml|store-dir> [--outcome safe|hazard|collision]
+//!                 [--scenario ID] [--fault SUBSTR] [--limit N] [--output-dir DIR]
+//! ```
+//!
+//! * `run` executes the plan; with an `[output]` section results stream
+//!   to the store and the run resumes automatically if the store
+//!   already holds records. `--max-jobs` caps how many *pending* jobs
+//!   this invocation executes (the budget-cap interrupt CI exercises).
+//! * `resume` is `run` that insists a store already exists — a typo'd
+//!   directory fails instead of silently starting over.
+//! * `report` rebuilds `report.toml` + `jobs.csv` from the store
+//!   without running any jobs.
+//! * `query` prints matching per-job records as CSV on stdout.
+//! * `--output-dir` overrides the plan's `[output] dir` (handy for
+//!   running one plan into several stores); the campaign fingerprint
+//!   deliberately excludes the output section, so overriding it never
+//!   invalidates a resume.
+//!
+//! Relative `[output] dir` paths are resolved against the plan file's
+//! directory, so `drivefi run plans/foo.toml` works from anywhere.
+
+use drivefi::plan::{
+    campaign_fingerprint, run_plan_budget, CampaignPlan, OutputSpec, PlanReport, PlanResult,
+};
+use drivefi::store::{read_store, MANIFEST_FILE};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: drivefi <run|resume|report|query> <plan.toml|store-dir> \
+                     [--max-jobs N] [--output-dir DIR] [--outcome safe|hazard|collision] \
+                     [--scenario ID] [--fault SUBSTR] [--limit N]";
+
+struct Args {
+    command: String,
+    target: String,
+    max_jobs: Option<u64>,
+    output_dir: Option<String>,
+    outcome: Option<String>,
+    scenario: Option<u32>,
+    fault: Option<String>,
+    limit: Option<usize>,
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("drivefi: {message}");
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| fail(USAGE));
+    let target = args.next().unwrap_or_else(|| fail(USAGE));
+    let mut parsed = Args {
+        command,
+        target,
+        max_jobs: None,
+        output_dir: None,
+        outcome: None,
+        scenario: None,
+        fault: None,
+        limit: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| fail(format!("{flag} needs a value\n{USAGE}")))
+        };
+        match flag.as_str() {
+            "--max-jobs" => {
+                parsed.max_jobs = Some(
+                    value("--max-jobs")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-jobs needs an integer")),
+                )
+            }
+            "--output-dir" => parsed.output_dir = Some(value("--output-dir")),
+            "--outcome" => parsed.outcome = Some(value("--outcome")),
+            "--scenario" => {
+                parsed.scenario = Some(
+                    value("--scenario")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--scenario needs an integer id")),
+                )
+            }
+            "--fault" => parsed.fault = Some(value("--fault")),
+            "--limit" => {
+                parsed.limit = Some(
+                    value("--limit").parse().unwrap_or_else(|_| fail("--limit needs an integer")),
+                )
+            }
+            other => fail(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    parsed
+}
+
+/// Loads the plan and resolves its `[output] dir` (or the `--output-dir`
+/// override) against the plan file's directory.
+fn load_plan(path: &str, output_dir: Option<&str>) -> CampaignPlan {
+    let path = Path::new(path);
+    let mut plan = CampaignPlan::load(path).unwrap_or_else(|e| fail(e));
+    // A plan-embedded dir resolves against the plan file's directory...
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    if let Some(output) = &mut plan.output {
+        let dir = Path::new(&output.dir);
+        if dir.is_relative() {
+            output.dir = base.join(dir).to_string_lossy().into_owned();
+        }
+    }
+    // ...while a --output-dir override resolves like any CLI path:
+    // against the working directory, untouched.
+    if let Some(dir) = output_dir {
+        let spec = plan.output.take().unwrap_or_else(|| OutputSpec::new(dir));
+        plan.output = Some(OutputSpec { dir: dir.into(), ..spec });
+    }
+    plan
+}
+
+fn store_dir(plan: &CampaignPlan) -> &str {
+    match &plan.output {
+        Some(output) => &output.dir,
+        None => fail("this command needs the plan to have an [output] section (or --output-dir)"),
+    }
+}
+
+fn print_summary(result: &PlanResult) {
+    match result {
+        PlanResult::Random(stats) => println!(
+            "random: {} runs, {} hazards, {} collisions, hazard rate {:.4}",
+            stats.runs,
+            stats.hazards,
+            stats.collisions,
+            stats.hazard_rate()
+        ),
+        PlanResult::RandomOutcomes { running, outcomes } => println!(
+            "random: {} runs ({} outcomes kept), {} hazards, {} collisions",
+            running.runs,
+            outcomes.len(),
+            running.hazards,
+            running.collisions
+        ),
+        PlanResult::Exhaustive(report) => println!(
+            "exhaustive: {} candidates, {} true hazards, precision {:.3}, recall {:.3}",
+            report.candidates,
+            report.true_hazards,
+            report.precision(),
+            report.recall()
+        ),
+        PlanResult::Golden(traces) => {
+            println!("golden: {} traces collected", traces.len())
+        }
+        PlanResult::Persisted(report) => println!(
+            "{}: {}/{} jobs persisted{}, {} safe, {} hazards, {} collisions → report.toml + jobs.csv",
+            report.kind,
+            report.jobs.len(),
+            report.total_jobs,
+            if report.complete() { " (complete)" } else { "" },
+            report.safe(),
+            report.hazards(),
+            report.collisions(),
+        ),
+    }
+}
+
+fn cmd_run(args: &Args, require_store: bool) {
+    let plan = load_plan(&args.target, args.output_dir.as_deref());
+    if require_store {
+        let dir = store_dir(&plan);
+        if !Path::new(dir).join(MANIFEST_FILE).is_file() {
+            fail(format!("nothing to resume: no store manifest under {dir}"));
+        }
+    }
+    let result = run_plan_budget(&plan, args.max_jobs).unwrap_or_else(|e| fail(e));
+    print_summary(&result);
+}
+
+fn cmd_report(args: &Args) {
+    let plan = load_plan(&args.target, args.output_dir.as_deref());
+    let dir = store_dir(&plan);
+    let (meta, records) = read_store(dir).unwrap_or_else(|e| fail(e));
+    let expected = campaign_fingerprint(&plan);
+    if meta.fingerprint != expected {
+        fail(format!(
+            "store under {dir} was created by a different plan \
+             (fingerprint 0x{:016x}, plan is 0x{expected:016x})",
+            meta.fingerprint
+        ));
+    }
+    let report = PlanReport::new(
+        plan.name.clone(),
+        plan.kind.name(),
+        meta.fingerprint,
+        meta.total_jobs,
+        records,
+    );
+    report.save(dir).unwrap_or_else(|e| fail(e));
+    print_summary(&PlanResult::Persisted(report));
+}
+
+fn cmd_query(args: &Args) {
+    // Accept either a plan file (query its [output] store) or a store
+    // directory directly.
+    let target = Path::new(&args.target);
+    let dir: PathBuf = if target.join(MANIFEST_FILE).is_file() {
+        target.to_path_buf()
+    } else {
+        PathBuf::from(store_dir(&load_plan(&args.target, args.output_dir.as_deref())))
+    };
+    let (_, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
+
+    let mut out = String::new();
+    out.push_str(drivefi::plan::csv_header());
+    out.push('\n');
+    let mut matched = 0usize;
+    for record in &records {
+        if args.limit.is_some_and(|limit| matched >= limit) {
+            break;
+        }
+        let outcome_name = match record.outcome {
+            drivefi::sim::Outcome::Safe => "safe",
+            drivefi::sim::Outcome::Hazard { .. } => "hazard",
+            drivefi::sim::Outcome::Collision { .. } => "collision",
+        };
+        if args.outcome.as_deref().is_some_and(|want| want != outcome_name) {
+            continue;
+        }
+        if args.scenario.is_some_and(|want| want != record.scenario_id) {
+            continue;
+        }
+        if let Some(want) = &args.fault {
+            let name = record.fault.map(|spec| spec.kind.name()).unwrap_or_default();
+            if !name.contains(want.as_str()) {
+                continue;
+            }
+        }
+        drivefi::plan::csv_row(record, &mut out);
+        matched += 1;
+    }
+    print!("{out}");
+    eprintln!("{matched} of {} records matched", records.len());
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "run" => cmd_run(&args, false),
+        "resume" => cmd_run(&args, true),
+        "report" => cmd_report(&args),
+        "query" => cmd_query(&args),
+        other => fail(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`core`] — the Bayesian fault-injection engine itself.
 //! * [`plan`] — TOML campaign plans + scenario-spec files: run any
 //!   campaign from a `.toml` file without recompiling.
+//! * [`store`] — persistent campaign store: sharded CRC-framed result
+//!   logs, checkpoint manifests, crash-tolerant resume, and the
+//!   round-trip report artifacts behind the `drivefi` CLI.
 //! * [`genfi`] — the engine generalized to arbitrary safety-critical
 //!   systems (with a surgical-robot instantiation).
 //!
@@ -49,4 +52,5 @@ pub use drivefi_plan as plan;
 pub use drivefi_planner as planner;
 pub use drivefi_sensors as sensors;
 pub use drivefi_sim as sim;
+pub use drivefi_store as store;
 pub use drivefi_world as world;

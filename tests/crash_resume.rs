@@ -1,0 +1,203 @@
+//! Crash-resume property tests for the persistent campaign store: a
+//! campaign interrupted mid-run — including one whose store was torn
+//! mid-record at an arbitrary byte offset — must resume to a
+//! [`PlanReport`] **byte-identical** to an uninterrupted run's.
+
+use drivefi::fault::FaultSpace;
+use drivefi::plan::{
+    run_plan, run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult,
+    ScenarioSelection, SimSection, SinkChoice, JOBS_FILE, REPORT_FILE,
+};
+use drivefi::store::MANIFEST_FILE;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const RUNS: usize = 8;
+
+fn plan_into(dir: &Path) -> CampaignPlan {
+    CampaignPlan {
+        name: "crash-resume".into(),
+        kind: CampaignKind::Random { runs: RUNS },
+        seed: 11,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        output: Some(OutputSpec {
+            dir: dir.to_string_lossy().into_owned(),
+            shards: 3,
+            checkpoint_every: 2,
+        }),
+    }
+}
+
+fn run_to_files(dir: &Path, budget: Option<u64>) -> PlanResult {
+    run_plan_budget(&plan_into(dir), budget).expect("plan runs")
+}
+
+fn report_bytes(dir: &Path) -> (Vec<u8>, Vec<u8>) {
+    (
+        std::fs::read(dir.join(REPORT_FILE)).expect("report.toml written"),
+        std::fs::read(dir.join(JOBS_FILE)).expect("jobs.csv written"),
+    )
+}
+
+fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut shards: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".log"))
+        })
+        .collect();
+    shards.sort();
+    shards
+}
+
+/// The uninterrupted baseline, computed once per process (each proptest
+/// case re-running it would dominate the suite's wall clock).
+fn baseline() -> &'static (Vec<u8>, Vec<u8>) {
+    use std::sync::OnceLock;
+    static BASELINE: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("drivefi-crash-baseline-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let PlanResult::Persisted(report) = run_to_files(&dir, None) else {
+            panic!("output plan persists");
+        };
+        assert!(report.complete());
+        let bytes = report_bytes(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Interrupt after a fuzzed number of jobs, tear a fuzzed shard at a
+    /// fuzzed byte offset (mid-record included), resume, and compare the
+    /// report files byte-for-byte against the uninterrupted run.
+    #[test]
+    fn torn_store_resumes_to_byte_identical_report(
+        case in any::<u32>(),
+        interrupt_after in 1u64..(RUNS as u64),
+        shard_pick in any::<u64>(),
+        cut_pick in any::<u64>(),
+    ) {
+        let (full_report, full_jobs) = baseline();
+        let dir = std::env::temp_dir()
+            .join(format!("drivefi-crash-{}-{case}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Interrupt via budget cap.
+        let PlanResult::Persisted(partial) = run_to_files(&dir, Some(interrupt_after)) else {
+            panic!("output plan persists");
+        };
+        prop_assert_eq!(partial.jobs.len() as u64, interrupt_after);
+
+        // Tear a non-empty shard at a fuzzed offset past its header:
+        // anywhere from "mid-record in the last frame" to "most of the
+        // shard gone" — recovery must treat every cut as a torn tail.
+        const HEADER: u64 = 16;
+        let shards = shard_paths(&dir);
+        let torn: Vec<&PathBuf> = shards
+            .iter()
+            .filter(|p| std::fs::metadata(p).unwrap().len() > HEADER)
+            .collect();
+        prop_assume!(!torn.is_empty());
+        let victim = torn[(shard_pick % torn.len() as u64) as usize];
+        let len = std::fs::metadata(victim).unwrap().len();
+        let cut = HEADER + 1 + cut_pick % (len - HEADER - 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(victim)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        // Resume: re-runs the torn-away jobs plus the never-run ones.
+        let PlanResult::Persisted(resumed) = run_to_files(&dir, None) else {
+            panic!("output plan persists");
+        };
+        prop_assert!(resumed.complete());
+        let (report, jobs) = report_bytes(&dir);
+        prop_assert_eq!(&report, full_report, "report.toml drifted after torn-tail resume");
+        prop_assert_eq!(&jobs, full_jobs, "jobs.csv drifted after torn-tail resume");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A store torn even before any interruption bookkeeping (manifest says
+/// fewer records than the shards hold — the checkpoint lag window) still
+/// resumes exactly: the shard scans are authoritative, not the manifest.
+#[test]
+fn resume_trusts_shards_not_the_checkpoint_counter() {
+    let (full_report, full_jobs) = baseline();
+    let dir = std::env::temp_dir().join(format!("drivefi-crash-manifest-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    run_to_files(&dir, Some(5));
+
+    // Rewind the manifest's checkpoint counter to zero, as if the crash
+    // hit right after the first appends but before any checkpoint.
+    let manifest = dir.join(MANIFEST_FILE);
+    let src = std::fs::read_to_string(&manifest).unwrap();
+    let rewound =
+        src.lines()
+            .map(|line| {
+                if line.starts_with("checkpoint_records") {
+                    "checkpoint_records = 0"
+                } else {
+                    line
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+    std::fs::write(&manifest, rewound + "\n").unwrap();
+
+    let PlanResult::Persisted(resumed) = run_to_files(&dir, None) else { panic!() };
+    assert!(resumed.complete());
+    let (report, jobs) = report_bytes(&dir);
+    assert_eq!(&report, full_report);
+    assert_eq!(&jobs, full_jobs);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Golden campaigns persist and resume through the same machinery.
+#[test]
+fn golden_plan_persists_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("drivefi-crash-golden-{}", std::process::id()));
+    let full_dir = dir.join("full");
+    let part_dir = dir.join("part");
+    std::fs::remove_dir_all(&dir).ok();
+    let golden_plan = |out: &Path| CampaignPlan {
+        name: "golden-resume".into(),
+        kind: CampaignKind::Golden,
+        seed: 0,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 3, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        output: Some(OutputSpec::new(out.to_string_lossy().into_owned())),
+    };
+
+    let PlanResult::Persisted(full) = run_plan(&golden_plan(&full_dir)).unwrap() else { panic!() };
+    assert!(full.complete());
+    assert_eq!(full.kind, "golden");
+    assert!(full.jobs.iter().all(|r| r.fault.is_none()));
+
+    let partial = run_plan_budget(&golden_plan(&part_dir), Some(1)).unwrap();
+    let PlanResult::Persisted(partial) = partial else { panic!() };
+    assert_eq!(partial.jobs.len(), 1);
+    let PlanResult::Persisted(resumed) = run_plan(&golden_plan(&part_dir)).unwrap() else {
+        panic!()
+    };
+    // Reports embed no paths, so cross-directory equality holds outright.
+    assert_eq!(resumed, full);
+    std::fs::remove_dir_all(&dir).ok();
+}
