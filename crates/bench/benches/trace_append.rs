@@ -1,0 +1,120 @@
+//! Trace-log append throughput: golden-trace frames/s through the full
+//! `StoreWriter` path (variable-length encode → CRC frame → sharded
+//! buffered append), plus the read-side trace reassembly. A golden run
+//! emits a few hundred frames per job at a few jobs per second per
+//! worker, so the ≥100k frames/s acceptance floor (asserted in the
+//! store crate's `sustained_trace_append_beats_100k_frames_per_second`
+//! test) keeps trace persistence far off the mining pipeline's critical
+//! path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use drivefi_kinematics::{Actuation, SafetyPotential, VehicleState};
+use drivefi_sim::{FrameRecord, Outcome};
+use drivefi_store::{open_store_with_traces, read_traces, CampaignRecord, TraceRecord};
+use std::path::PathBuf;
+
+/// Golden jobs per measured batch, each persisting `SCENES` frames.
+const JOBS: u64 = 400;
+const SCENES: u64 = 250;
+const SHARDS: u32 = 8;
+
+fn frame(scene: u64) -> FrameRecord {
+    FrameRecord {
+        scene,
+        time: scene as f64 / 7.5,
+        ego: VehicleState::new(3.7 * scene as f64, -0.1, 27.8, 0.002, -0.001),
+        pose: VehicleState::new(3.7 * scene as f64 + 0.2, -0.1, 27.9, 0.002, -0.001),
+        imu_speed: 27.85,
+        imu_accel: 0.12,
+        // Lead fields present on most frames — the realistic (longer)
+        // encoding dominates car-following golden traces.
+        lead_distance: (!scene.is_multiple_of(10)).then_some(38.0 + (scene % 40) as f64),
+        lead_speed: (!scene.is_multiple_of(10)).then_some(26.2),
+        raw_cmd: Actuation::new(0.31, 0.0, 0.003),
+        final_cmd: Actuation::new(0.30, 0.0, 0.003),
+        delta_perceived: SafetyPotential { longitudinal: 11.2, lateral: 0.52 },
+        delta_true: SafetyPotential { longitudinal: 10.8, lateral: 0.5 },
+    }
+}
+
+fn append_golden_job(writer: &mut drivefi_store::StoreWriter, job: u64) {
+    for scene in 0..SCENES {
+        writer
+            .append_trace(&TraceRecord {
+                job,
+                scenario_id: (job % 24) as u32,
+                scenario_seed: job.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                frame: frame(scene),
+            })
+            .unwrap();
+    }
+    writer
+        .append(&CampaignRecord {
+            job,
+            scenario_id: (job % 24) as u32,
+            scenario_seed: job.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            fault: None,
+            outcome: Outcome::Safe,
+            injections: 0,
+            scenes: SCENES,
+            min_delta_lon: 4.5,
+            min_delta_lat: 0.5,
+        })
+        .unwrap();
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("drivefi-bench-trace-{tag}-{}", std::process::id()))
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_append");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(JOBS * SCENES));
+
+    // The floor path: stream JOBS golden jobs (frames + outcome record
+    // each) through a fresh trace-logging store, seal, tear down.
+    group.bench_function("append_100k_frames_sharded", |b| {
+        let mut round = 0u64;
+        b.iter_batched(
+            || {
+                round += 1;
+                let dir = bench_dir(&format!("append-{round}"));
+                std::fs::remove_dir_all(&dir).ok();
+                dir
+            },
+            |dir| {
+                let (mut writer, _) = open_store_with_traces(&dir, 1, JOBS, SHARDS, 8192).unwrap();
+                for job in 0..JOBS {
+                    append_golden_job(&mut writer, job);
+                }
+                let meta = writer.finish().unwrap();
+                assert!(meta.complete);
+                std::fs::remove_dir_all(&dir).ok();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Read side: reassemble every per-job trace out of the shards — what
+    // a resumed miner fit pays before inference starts.
+    let dir = bench_dir("read");
+    std::fs::remove_dir_all(&dir).ok();
+    let (mut writer, _) = open_store_with_traces(&dir, 1, JOBS, SHARDS, 1 << 20).unwrap();
+    for job in 0..JOBS {
+        append_golden_job(&mut writer, job);
+    }
+    writer.finish().unwrap();
+    group.bench_function("read_traces_100k_frames", |b| {
+        b.iter(|| {
+            let (_, traces) = read_traces(&dir).unwrap();
+            assert_eq!(traces.len(), JOBS as usize);
+            traces.len()
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -105,6 +105,52 @@ fn display_names(spec: FaultSpec) -> (String, String) {
     }
 }
 
+/// The exhaustive candidate enumeration as light-weight
+/// `(scenario id, FaultSpec)` pairs, in the miner's deterministic
+/// candidate order: every candidate the miner would consider (same
+/// eligibility and stride), each with the
+/// [`crate::report::VALIDATION_WINDOW_SCENES`]-scene injection window.
+/// This is the **stable job indexing** store-backed exhaustive sweeps
+/// persist under — the pair at index `i` is job `i`, interrupted or
+/// not, because the enumeration is a pure function of the traces.
+pub fn candidate_specs(miner: &BayesianMiner, traces: &[Trace]) -> Vec<(u32, FaultSpec)> {
+    traces
+        .iter()
+        .flat_map(|trace| {
+            miner.candidates(trace).map(|(k, signal, _var, model)| {
+                let scene = trace.frames[k].scene;
+                (
+                    trace.scenario_id,
+                    FaultSpec {
+                        kind: FaultKind::Scalar { signal, model },
+                        window: drivefi_fault::WindowSpec::burst(
+                            scene,
+                            crate::report::VALIDATION_WINDOW_SCENES,
+                        ),
+                    },
+                )
+            })
+        })
+        .collect()
+}
+
+/// The per-job [`RecordMeta`](drivefi_store::RecordMeta) table for a
+/// faulted sweep over `(scenario id, FaultSpec)` pairs (an exhaustive
+/// candidate sweep or a mined-set validation), indexed by job index.
+pub fn candidate_record_metas(
+    suite: &ScenarioSuite,
+    candidates: &[(u32, FaultSpec)],
+) -> Vec<drivefi_store::RecordMeta> {
+    candidates
+        .iter()
+        .map(|&(scenario_id, spec)| drivefi_store::RecordMeta {
+            scenario_id,
+            scenario_seed: suite.scenarios[scenario_id as usize].seed,
+            fault: Some(spec),
+        })
+        .collect()
+}
+
 /// Runs the exhaustive campaign over every candidate the miner would
 /// consider (same eligibility and stride), computes the ground-truth
 /// hazard set, mines, and compares. Both campaigns use the same
@@ -125,24 +171,7 @@ pub fn exhaustive_comparison(
     // vector, every job shares its scenario's single `Arc` allocation,
     // and candidate identities are `Copy` keys — no per-candidate
     // `String` allocation anywhere in the sweep.
-    let candidates: Vec<(u32, FaultSpec)> = traces
-        .iter()
-        .flat_map(|trace| {
-            miner.candidates(trace).map(|(k, signal, _var, model)| {
-                let scene = trace.frames[k].scene;
-                (
-                    trace.scenario_id,
-                    FaultSpec {
-                        kind: FaultKind::Scalar { signal, model },
-                        window: drivefi_fault::WindowSpec::burst(
-                            scene,
-                            crate::report::VALIDATION_WINDOW_SCENES,
-                        ),
-                    },
-                )
-            })
-        })
-        .collect();
+    let candidates = candidate_specs(miner, traces);
     let key_of = |i: u64| -> CandidateKey {
         let (sid, spec) = candidates[i as usize];
         (sid, spec.key())

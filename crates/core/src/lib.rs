@@ -46,7 +46,9 @@ pub mod report;
 pub mod situations;
 pub mod tbn;
 
-pub use exhaustive::{exhaustive_comparison, ExhaustiveReport};
+pub use exhaustive::{
+    candidate_record_metas, candidate_specs, exhaustive_comparison, ExhaustiveReport,
+};
 pub use golden::{collect_golden_traces, golden_record_metas};
 pub use miner::{BayesianMiner, CandidateFault, MinedFault, MinerConfig};
 pub use random::{

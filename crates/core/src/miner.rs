@@ -171,6 +171,28 @@ impl BayesianMiner {
         Ok(BayesianMiner { model, config })
     }
 
+    /// Fits the miner from the golden traces persisted in a
+    /// trace-logging store (see [`TbnModel::fit_from_store`]), returning
+    /// the loaded traces alongside so the caller can mine without
+    /// re-reading the store. The fitted miner — and therefore the mined
+    /// `F_crit` — is identical to one fitted from the same traces in
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`drivefi_store::StoreError`] on store I/O failure,
+    /// incomplete traces, or a (bug-indicating) model-fit failure.
+    pub fn fit_from_store(
+        dir: impl AsRef<std::path::Path>,
+        config: MinerConfig,
+    ) -> Result<(Self, Vec<Trace>), drivefi_store::StoreError> {
+        let (_, traces) = drivefi_store::read_traces(dir)?;
+        let miner = Self::fit(&traces, config).map_err(|e| {
+            drivefi_store::StoreError::new(format!("fitting 3-TBN from persisted traces: {e}"))
+        })?;
+        Ok((miner, traces))
+    }
+
     /// The fitted model.
     pub fn model(&self) -> &TbnModel {
         &self.model
@@ -553,6 +575,63 @@ mod tests {
             dh >= golden.min(0.0) - 3.0,
             "phantom-braking fault predicted catastrophic: δ̂ = {dh}, golden = {golden}"
         );
+    }
+
+    #[test]
+    fn fit_from_store_mines_the_same_critical_set() {
+        // Persist golden traces through the store, re-fit from disk, and
+        // compare the mined F_crit candidate-for-candidate: the trace
+        // log round-trips every f64 bit-exactly, so nothing may drift.
+        let suite = ScenarioSuite::generate(4, 42);
+        let sim = SimConfig::default();
+        let traces = collect_golden_traces(&sim, &suite, 4);
+        let config = MinerConfig { scene_stride: 12, ..MinerConfig::default() };
+        let in_memory = BayesianMiner::fit(&traces, config).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("drivefi-fitstore-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut writer, _) =
+            drivefi_store::open_store_with_traces(&dir, 1, traces.len() as u64, 2, 64).unwrap();
+        for (job, trace) in traces.iter().enumerate() {
+            for frame in &trace.frames {
+                writer
+                    .append_trace(&drivefi_store::TraceRecord {
+                        job: job as u64,
+                        scenario_id: trace.scenario_id,
+                        scenario_seed: suite.scenarios[job].seed,
+                        frame: *frame,
+                    })
+                    .unwrap();
+            }
+            writer
+                .append(&drivefi_store::CampaignRecord {
+                    job: job as u64,
+                    scenario_id: trace.scenario_id,
+                    scenario_seed: suite.scenarios[job].seed,
+                    fault: None,
+                    outcome: drivefi_sim::Outcome::Safe,
+                    injections: 0,
+                    scenes: trace.frames.len() as u64,
+                    min_delta_lon: 1.0,
+                    min_delta_lat: 1.0,
+                })
+                .unwrap();
+        }
+        assert!(writer.finish().unwrap().complete);
+
+        let (from_store, loaded) = BayesianMiner::fit_from_store(&dir, config).unwrap();
+        assert_eq!(loaded, traces, "persisted traces round-trip bit-exactly");
+        assert_eq!(
+            in_memory.candidate_count(&traces),
+            from_store.candidate_count(&loaded),
+            "candidate enumeration drifted through the store"
+        );
+        assert_eq!(
+            in_memory.mine(&traces),
+            from_store.mine(&loaded),
+            "mined F_crit drifted through the store"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -165,6 +165,30 @@ impl TbnModel {
         Self::fit_with(traces, bins, true)
     }
 
+    /// Fits the 3-TBN from the golden traces persisted in a
+    /// trace-logging store directory (see
+    /// [`drivefi_store::open_store_with_traces`]) — the resumable form
+    /// of [`TbnModel::fit`]: an interrupted mining pipeline re-fits from
+    /// disk instead of re-simulating its golden runs. Persisted frames
+    /// round-trip every `f64` bit-exactly, so the fitted model is
+    /// identical to one fitted from the in-memory traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`drivefi_store::StoreError`] when the store cannot be
+    /// read (or holds incomplete traces) and wraps model-fitting
+    /// failures in the same error type.
+    pub fn fit_from_store(
+        dir: impl AsRef<std::path::Path>,
+        bins: usize,
+        kinematic_augmentation: bool,
+    ) -> Result<Self, drivefi_store::StoreError> {
+        let (_, traces) = drivefi_store::read_traces(dir)?;
+        Self::fit_with(&traces, bins, kinematic_augmentation).map_err(|e| {
+            drivefi_store::StoreError::new(format!("fitting 3-TBN from persisted traces: {e}"))
+        })
+    }
+
     /// Fits discretizers and CPDs from golden traces.
     ///
     /// Golden runs never exercise off-nominal actuation (a healthy

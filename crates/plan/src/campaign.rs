@@ -42,13 +42,13 @@ use crate::toml::{emit_document, parse_document, Map, Toml};
 use crate::PlanError;
 use drivefi_ads::Signal;
 use drivefi_core::{
-    collect_golden_traces, exhaustive_comparison, golden_record_metas, pick_record_metas,
-    random_fault_picks, random_space_campaign, BayesianMiner, ExhaustiveReport, MinerConfig,
-    RandomCampaignConfig, RandomCampaignStats,
+    candidate_record_metas, candidate_specs, collect_golden_traces, exhaustive_comparison,
+    golden_record_metas, pick_record_metas, random_fault_picks, random_space_campaign,
+    BayesianMiner, ExhaustiveReport, MinerConfig, RandomCampaignConfig, RandomCampaignStats,
 };
 use drivefi_fault::{CorruptionGrid, FaultSpace, ScalarFaultModel};
 use drivefi_sim::{CampaignEngine, CampaignJob, Outcome, RunningStats, SimConfig, Tee, Trace};
-use drivefi_store::{open_store, read_store, RecordMeta, StoreSink};
+use drivefi_store::{open_store, open_store_with_traces, read_store, RecordMeta, StoreSink};
 use drivefi_world::spec::ScenarioSpec;
 use drivefi_world::ScenarioSuite;
 use std::sync::Arc;
@@ -73,6 +73,16 @@ pub enum CampaignKind {
     /// form of [`collect_golden_traces`], so baseline runs ship as plan
     /// files too.
     Golden,
+    /// The paper's full Bayesian pipeline (§III-B), store-backed and
+    /// resumable at every stage: golden runs persist their traces to
+    /// `dir/golden/`, the 3-TBN fits **from the persisted traces**
+    /// ([`BayesianMiner::fit_from_store`]), the mined `F_crit` validates
+    /// by real injection into `dir/validate/`, and the final report
+    /// aggregates the validation records. Requires an `[output]` store.
+    Mine {
+        /// Evaluate every `scene_stride`-th eligible scene when mining.
+        scene_stride: usize,
+    },
 }
 
 impl CampaignKind {
@@ -82,9 +92,28 @@ impl CampaignKind {
             CampaignKind::Random { .. } => "random",
             CampaignKind::Exhaustive { .. } => "exhaustive",
             CampaignKind::Golden => "golden",
+            CampaignKind::Mine { .. } => "mine",
+        }
+    }
+
+    /// For store-backed pipeline kinds, the sub-store (relative to the
+    /// `[output]` dir) whose records the final report aggregates —
+    /// `None` for single-stage kinds, whose store *is* the output dir.
+    pub fn store_subdir(&self) -> Option<&'static str> {
+        match self {
+            CampaignKind::Mine { .. } => Some(VALIDATE_SUBDIR),
+            CampaignKind::Exhaustive { .. } => Some(SWEEP_SUBDIR),
+            CampaignKind::Random { .. } | CampaignKind::Golden => None,
         }
     }
 }
+
+/// Golden-stage sub-store of a pipeline output directory (trace-logging).
+pub const GOLDEN_SUBDIR: &str = "golden";
+/// Validation-stage sub-store of a `kind = "mine"` output directory.
+pub const VALIDATE_SUBDIR: &str = "validate";
+/// Sweep-stage sub-store of a store-backed exhaustive output directory.
+pub const SWEEP_SUBDIR: &str = "sweep";
 
 /// Which sink consumes a random campaign's results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -394,6 +423,14 @@ pub fn run_plan_budget(plan: &CampaignPlan, budget: Option<u64>) -> Result<PlanR
             PlanResult::Exhaustive(exhaustive_comparison(&sim, &suite, &miner, &traces, workers))
         }
         CampaignKind::Golden => PlanResult::Golden(collect_golden_traces(&sim, &suite, workers)),
+        // The parser enforces this; catch hand-built plans too.
+        CampaignKind::Mine { .. } => {
+            return Err(PlanError::new(
+                "`kind = \"mine\"` needs an [output] store — the pipeline persists golden \
+                 traces and resumes its fit and validation sweep from them"
+                    .into(),
+            ))
+        }
     })
 }
 
@@ -421,49 +458,56 @@ fn run_persisted(
         ));
     }
 
+    // The two-stage pipeline kinds run through their own driver.
+    if matches!(plan.kind, CampaignKind::Mine { .. } | CampaignKind::Exhaustive { .. }) {
+        return run_pipeline(plan, output, sim, suite, workers, budget);
+    }
+
     let shared = suite.shared();
-    let (metas, jobs, sim): (Vec<RecordMeta>, Vec<CampaignJob>, SimConfig) = match plan.kind {
-        CampaignKind::Random { runs } => {
-            let config = RandomCampaignConfig { runs, seed: plan.seed, workers };
-            let picks = random_fault_picks(suite, &plan.faults, &config);
-            let jobs = picks
-                .iter()
-                .enumerate()
-                .map(|(id, &(index, spec))| CampaignJob {
-                    id: id as u64,
-                    scenario: Arc::clone(&shared[index]),
-                    faults: vec![spec.compile()],
-                })
-                .collect();
-            (pick_record_metas(suite, &picks), jobs, sim)
-        }
-        CampaignKind::Golden => {
-            let jobs = shared
-                .iter()
-                .enumerate()
-                .map(|(id, scenario)| CampaignJob {
-                    id: id as u64,
-                    scenario: Arc::clone(scenario),
-                    faults: Vec::new(),
-                })
-                .collect();
-            // Golden runs survey the whole scenario, as trace collection
-            // does.
-            (golden_record_metas(suite), jobs, SimConfig { stop_on_collision: false, ..sim })
-        }
-        // The parser rejects [output] on exhaustive plans; a hand-built
-        // plan that combines them is a caller bug worth a clear error.
-        CampaignKind::Exhaustive { .. } => {
-            return Err(PlanError::new(
-                "[output] stores apply to random and golden campaigns only".into(),
-            ))
-        }
-    };
+    let (metas, jobs, sim, traces): (Vec<RecordMeta>, Vec<CampaignJob>, SimConfig, bool) =
+        match plan.kind {
+            CampaignKind::Random { runs } => {
+                let config = RandomCampaignConfig { runs, seed: plan.seed, workers };
+                let picks = random_fault_picks(suite, &plan.faults, &config);
+                let jobs = picks
+                    .iter()
+                    .enumerate()
+                    .map(|(id, &(index, spec))| CampaignJob {
+                        id: id as u64,
+                        scenario: Arc::clone(&shared[index]),
+                        faults: vec![spec.compile()],
+                    })
+                    .collect();
+                (pick_record_metas(suite, &picks), jobs, sim, false)
+            }
+            CampaignKind::Golden => {
+                let jobs = shared
+                    .iter()
+                    .enumerate()
+                    .map(|(id, scenario)| CampaignJob {
+                        id: id as u64,
+                        scenario: Arc::clone(scenario),
+                        faults: Vec::new(),
+                    })
+                    .collect();
+                // Golden runs survey the whole scenario, as trace
+                // collection does — and persist the traces themselves,
+                // so a golden store is a miner training set on disk.
+                (
+                    golden_record_metas(suite),
+                    jobs,
+                    SimConfig { record_trace: true, stop_on_collision: false, ..sim },
+                    true,
+                )
+            }
+            CampaignKind::Exhaustive { .. } | CampaignKind::Mine { .. } => unreachable!(),
+        };
 
     let total = metas.len() as u64;
     let fingerprint = campaign_fingerprint(plan);
+    let open = if traces { open_store_with_traces } else { open_store };
     let (mut writer, state) =
-        open_store(&output.dir, fingerprint, total, output.shards, output.checkpoint_every)
+        open(&output.dir, fingerprint, total, output.shards, output.checkpoint_every)
             .map_err(store_err)?;
 
     let engine = CampaignEngine::new(sim).with_workers(workers);
@@ -472,15 +516,12 @@ fn run_persisted(
     // end-to-end cross-check below.
     let mut running = RunningStats::new();
     let mut sink = StoreSink::new(&mut writer, &metas);
-    match budget {
-        Some(n) => engine.run(
-            jobs.into_iter().filter(|job| !state.is_done(job.id)).take(n as usize),
-            &mut Tee(&mut sink, &mut running),
-        ),
-        None => {
-            engine.run_skipping(jobs, |id| state.is_done(id), &mut Tee(&mut sink, &mut running))
-        }
-    }
+    engine.run_skipping_budget(
+        jobs,
+        |id| state.is_done(id),
+        budget,
+        &mut Tee(&mut sink, &mut running),
+    );
     sink.finish().map_err(store_err)?;
     writer.finish().map_err(store_err)?;
 
@@ -506,6 +547,135 @@ fn run_persisted(
         }
     }
     report.save(&output.dir)?;
+    Ok(PlanResult::Persisted(report))
+}
+
+/// The store-backed two-stage pipelines: `kind = "mine"` (the paper's
+/// golden → fit → mine → validate loop) and store-backed exhaustive
+/// sweeps (golden → fit → inject every candidate). Stage layout under
+/// the `[output]` dir:
+///
+/// ```text
+/// dir/golden/     trace-logging store of the golden runs
+/// dir/validate/   outcome store of the mined-set validation   (mine)
+/// dir/sweep/      outcome store of the full candidate sweep   (exhaustive)
+/// dir/report.toml + jobs.csv — final report over the sweep stage
+/// ```
+///
+/// Every stage resumes from disk: pending golden jobs are the only
+/// golden simulations run, the 3-TBN re-fits **from the persisted
+/// traces** (CPU-only — no re-simulation), the candidate enumeration is
+/// a pure function of those traces (so sweep job indices are stable
+/// across interruptions), and the sweep store skips its persisted jobs.
+/// A `budget` caps the *simulated* jobs of this invocation across both
+/// stages; an invocation that exhausts it mid-golden leaves a progress
+/// report inside `dir/golden/` and returns it.
+fn run_pipeline(
+    plan: &CampaignPlan,
+    output: &OutputSpec,
+    sim: SimConfig,
+    suite: &ScenarioSuite,
+    workers: usize,
+    budget: Option<u64>,
+) -> Result<PlanResult, PlanError> {
+    let store_err = |e: drivefi_store::StoreError| PlanError::new(format!("[output] store: {e}"));
+    let root = std::path::Path::new(&output.dir);
+    let fingerprint = campaign_fingerprint(plan);
+    let shared = suite.shared();
+
+    // Stage 1: golden collection, traces persisted alongside outcomes.
+    let golden_dir = root.join(GOLDEN_SUBDIR);
+    let golden_total = shared.len() as u64;
+    let (mut writer, state) = open_store_with_traces(
+        &golden_dir,
+        fingerprint,
+        golden_total,
+        output.shards,
+        output.checkpoint_every,
+    )
+    .map_err(store_err)?;
+    let golden_sim = SimConfig { record_trace: true, stop_on_collision: false, ..sim };
+    let golden_metas = golden_record_metas(suite);
+    let golden_jobs: Vec<CampaignJob> = shared
+        .iter()
+        .enumerate()
+        .map(|(id, scenario)| CampaignJob {
+            id: id as u64,
+            scenario: Arc::clone(scenario),
+            faults: Vec::new(),
+        })
+        .collect();
+    let mut sink = StoreSink::new(&mut writer, &golden_metas);
+    let ran = CampaignEngine::new(golden_sim).with_workers(workers).run_skipping_budget(
+        golden_jobs,
+        |id| state.is_done(id),
+        budget,
+        &mut sink,
+    );
+    sink.finish().map_err(store_err)?;
+    let golden_meta = writer.finish().map_err(store_err)?;
+    // The golden sub-store always carries its own progress report — kept
+    // fresh on every pass, so a report written by an earlier mid-golden
+    // interruption never goes stale once the stage completes. The root
+    // report only ever describes the sweep stage.
+    let (_, records) = read_store(&golden_dir).map_err(store_err)?;
+    let golden_report =
+        PlanReport::new(plan.name.clone(), plan.kind.name(), fingerprint, golden_total, records);
+    golden_report.save(&golden_dir)?;
+    if !golden_meta.complete {
+        // Budget exhausted mid-golden: hand back how far the stage got.
+        return Ok(PlanResult::Persisted(golden_report));
+    }
+    let remaining = budget.map(|b| b.saturating_sub(ran));
+
+    // Stage 2: fit from the persisted traces (resumable by construction:
+    // deterministic CPU work over what stage 1 left on disk), then
+    // enumerate the sweep. The candidate order is a pure function of the
+    // traces, so job index i means the same fault on every resume.
+    let (scene_stride, subdir) = match plan.kind {
+        CampaignKind::Mine { scene_stride } => (scene_stride, VALIDATE_SUBDIR),
+        CampaignKind::Exhaustive { scene_stride } => (scene_stride, SWEEP_SUBDIR),
+        _ => unreachable!("run_pipeline only handles pipeline kinds"),
+    };
+    let config = MinerConfig { scene_stride, ..MinerConfig::default() };
+    let (miner, traces) = BayesianMiner::fit_from_store(&golden_dir, config).map_err(store_err)?;
+    let candidates: Vec<(u32, drivefi_fault::FaultSpec)> = match plan.kind {
+        CampaignKind::Mine { .. } => {
+            miner.mine(&traces).iter().map(|c| (c.scenario_id, c.fault_spec())).collect()
+        }
+        _ => candidate_specs(&miner, &traces),
+    };
+
+    // Stage 3: the injection sweep, store-backed and resumable.
+    let sweep_dir = root.join(subdir);
+    let sweep_metas = candidate_record_metas(suite, &candidates);
+    let total = sweep_metas.len() as u64;
+    let (mut writer, state) =
+        open_store(&sweep_dir, fingerprint, total, output.shards, output.checkpoint_every)
+            .map_err(store_err)?;
+    let sweep_jobs: Vec<CampaignJob> = candidates
+        .iter()
+        .enumerate()
+        .map(|(id, &(scenario_id, spec))| CampaignJob {
+            id: id as u64,
+            scenario: Arc::clone(&shared[scenario_id as usize]),
+            faults: vec![spec.compile()],
+        })
+        .collect();
+    let mut sink = StoreSink::new(&mut writer, &sweep_metas);
+    CampaignEngine::new(sim).with_workers(workers).run_skipping_budget(
+        sweep_jobs,
+        |id| state.is_done(id),
+        remaining,
+        &mut sink,
+    );
+    sink.finish().map_err(store_err)?;
+    writer.finish().map_err(store_err)?;
+
+    // The final report aggregates the sweep store, at the pipeline root.
+    let (_, records) = read_store(&sweep_dir).map_err(store_err)?;
+    let report = PlanReport::new(plan.name.clone(), plan.kind.name(), fingerprint, total, records);
+    report.save(root)?;
     Ok(PlanResult::Persisted(report))
 }
 
@@ -646,6 +816,14 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
             // Golden runs have no faults to sample and a fixed per-
             // scenario result shape; `sink` and `[faults]` are rejected
             // by the parser.
+            campaign.remove("sink");
+        }
+        CampaignKind::Mine { scene_stride } => {
+            campaign.insert("kind".into(), Toml::Str("mine".into()));
+            campaign.insert("scene_stride".into(), Toml::Int(scene_stride as i64));
+            // The mining pipeline sweeps the miner's candidate space and
+            // reports through the store; `sink` and `[faults]` are
+            // rejected by the parser.
             campaign.remove("sink");
         }
     }
@@ -897,9 +1075,34 @@ fn campaign_plan_from_toml(
             }
             CampaignKind::Golden
         }
+        "mine" => {
+            for key in ["runs", "sink"] {
+                if campaign.contains_key(key) {
+                    return Err(PlanError::new(format!(
+                        "`{key}` is not valid for mine campaigns (the pipeline's stages and \
+                         report shape are fixed)"
+                    )));
+                }
+            }
+            if doc.contains_key("faults") {
+                return Err(PlanError::new(
+                    "a `[faults]` section is not valid for mine campaigns — the miner \
+                     sweeps its own candidate space"
+                        .into(),
+                ));
+            }
+            let stride = match campaign.get("scene_stride") {
+                None => 1,
+                Some(v) => as_uint(v, "`scene_stride`")?,
+            };
+            if stride == 0 {
+                return Err(PlanError::new("`scene_stride` must be at least 1".into()));
+            }
+            CampaignKind::Mine { scene_stride: stride as usize }
+        }
         other => {
             return Err(PlanError::new(format!(
-                "unknown campaign kind `{other}` (random, exhaustive, golden)"
+                "unknown campaign kind `{other}` (random, exhaustive, golden, mine)"
             )))
         }
     };
@@ -946,13 +1149,6 @@ fn campaign_plan_from_toml(
     let output = match doc.get("output") {
         None => None,
         Some(value) => {
-            if matches!(kind, CampaignKind::Exhaustive { .. }) {
-                return Err(PlanError::new(
-                    "an `[output]` store is only valid for random and golden campaigns — \
-                     the exhaustive report shape is fixed"
-                        .into(),
-                ));
-            }
             if sink == SinkChoice::Outcomes {
                 return Err(PlanError::new(
                     "`sink = \"outcomes\"` cannot be combined with an `[output]` store — \
@@ -963,6 +1159,13 @@ fn campaign_plan_from_toml(
             Some(output_spec_from_toml(as_table(value, "[output]")?)?)
         }
     };
+    if matches!(kind, CampaignKind::Mine { .. }) && output.is_none() {
+        return Err(PlanError::new(
+            "`kind = \"mine\"` needs an [output] section — the pipeline persists golden \
+             traces and resumes its fit and validation sweep from them"
+                .into(),
+        ));
+    }
 
     Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults, sim, output })
 }
@@ -1306,12 +1509,14 @@ mod tests {
     }
 
     #[test]
-    fn output_section_is_rejected_on_exhaustive_plans() {
+    fn output_sections_are_validated() {
+        // Store-backed exhaustive plans are legal (the sweep persists
+        // under dir/sweep/) — only the bad [output] values are rejected.
         let text = "name = \"x\"\n\n[campaign]\nkind = \"exhaustive\"\n\n[scenarios]\n\
                     source = \"paper\"\ncount = 1\nseed = 0\n\n[output]\ndir = \"out/x\"\n";
-        let err = parse_campaign_plan(text).expect_err("[output] on exhaustive");
-        assert!(err.to_string().contains("[output]"), "got: {err}");
-        // And bad [output] values are caught on valid kinds.
+        let plan = parse_campaign_plan(text).expect("[output] on exhaustive is store-backed");
+        assert_eq!(plan.kind, CampaignKind::Exhaustive { scene_stride: 1 });
+        assert_eq!(plan.kind.store_subdir(), Some(SWEEP_SUBDIR));
         let base = {
             let mut plan = tiny_random_plan();
             plan.output = Some(OutputSpec::new("out/tiny"));
@@ -1321,6 +1526,58 @@ mod tests {
             (base.replace("dir = \"out/tiny\"", "dir = \"\""), "dir"),
             (base.replace("shards = 4", "shards = 0"), "shards"),
             (base.replace("checkpoint_every = 256", "checkpoint_every = 0"), "checkpoint_every"),
+        ] {
+            let err = parse_campaign_plan(&mutation).expect_err(needle);
+            assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn mine_plans_round_trip_and_enforce_their_schema() {
+        let plan = CampaignPlan {
+            name: "mine".into(),
+            kind: CampaignKind::Mine { scene_stride: 25 },
+            seed: 0,
+            workers: Some(4),
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+            faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            output: Some(OutputSpec::new("out/mine")),
+        };
+        let text = emit_campaign_plan(&plan);
+        assert!(!text.contains("sink"), "mine plans carry no sink:\n{text}");
+        assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+        assert_eq!(plan.kind.store_subdir(), Some(VALIDATE_SUBDIR));
+
+        // A mine plan without an [output] store is rejected at parse time
+        // (the pipeline is resumable-from-disk by definition)...
+        let start = text.find("\n[output]").expect("mine plan has an [output] section");
+        let end = text.find("\n[scenarios]").expect("sections emit alphabetically");
+        let without_output = format!("{}{}", &text[..start], &text[end..]);
+        let err = parse_campaign_plan(&without_output).expect_err("mine without [output]");
+        assert!(err.to_string().contains("[output]"), "got: {err}");
+        // ...and at run time for hand-built plans.
+        let mut no_output = plan.clone();
+        no_output.output = None;
+        let err = run_plan(&no_output).expect_err("mine without output store");
+        assert!(err.to_string().contains("[output]"), "got: {err}");
+
+        // runs / sink / [faults] are rejected rather than ignored.
+        for (mutation, needle) in [
+            (
+                text.replace("kind = \"mine\"", "kind = \"mine\"\nruns = 4"),
+                "`runs` is not valid for mine",
+            ),
+            (
+                text.replace("kind = \"mine\"", "kind = \"mine\"\nsink = \"stats\""),
+                "`sink` is not valid for mine",
+            ),
+            (
+                text.replace("scene_stride = 25", "scene_stride = 0"),
+                "`scene_stride` must be at least 1",
+            ),
+            (format!("{text}\n[faults]\nmodules = [\"world.clear\"]\n"), "mine"),
         ] {
             let err = parse_campaign_plan(&mutation).expect_err(needle);
             assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");

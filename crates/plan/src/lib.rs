@@ -41,10 +41,10 @@ pub mod toml;
 pub use campaign::{
     campaign_fingerprint, campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan,
     run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult, ScenarioSelection,
-    SimSection, SinkChoice,
+    SimSection, SinkChoice, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
 pub use expr::{emit_expr, parse_expr};
-pub use report::{csv_header, csv_row, PlanReport, JOBS_FILE, REPORT_FILE};
+pub use report::{csv_header, csv_row, known_fault_filter, PlanReport, JOBS_FILE, REPORT_FILE};
 pub use scenario::{
     emit_scenario_spec, load_scenario_spec, parse_scenario_spec, save_scenario_spec,
     scenario_spec_from_toml, scenario_spec_to_toml,

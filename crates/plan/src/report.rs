@@ -18,10 +18,10 @@
 //! summary tallies against the rows, so a hand-edited report fails
 //! loudly instead of mis-aggregating.
 
-use crate::scenario::{as_str, as_uint, expect_keys, get};
+use crate::scenario::{as_bool, as_str, as_uint, expect_keys, get};
 use crate::toml::{emit_document, parse_document, Map, Toml};
 use crate::PlanError;
-use drivefi_ads::Signal;
+use drivefi_ads::{Signal, Stage};
 use drivefi_fault::{FaultKind, FaultSpace, FaultSpec, ScalarFaultModel, WindowSpec};
 use drivefi_sim::Outcome;
 use drivefi_store::CampaignRecord;
@@ -102,7 +102,10 @@ impl PlanReport {
         self.jobs.len() as u64 == self.total_jobs
     }
 
-    /// Renders the summary TOML document.
+    /// Renders the summary TOML document. `complete` records whether
+    /// every job had a persisted record when the report was built — the
+    /// one bit that distinguishes a report rebuilt from an interrupted
+    /// store from a finished run's.
     pub fn summary_toml(&self) -> String {
         emit_document(&Map::from([
             ("name".into(), Toml::Str(self.name.clone())),
@@ -110,6 +113,7 @@ impl PlanReport {
             ("fingerprint".into(), Toml::Str(format!("0x{:016x}", self.fingerprint))),
             ("total_jobs".into(), Toml::Int(self.total_jobs as i64)),
             ("persisted".into(), Toml::Int(self.jobs.len() as i64)),
+            ("complete".into(), Toml::Bool(self.complete())),
             ("safe".into(), Toml::Int(self.safe() as i64)),
             ("hazards".into(), Toml::Int(self.hazards() as i64)),
             ("collisions".into(), Toml::Int(self.collisions() as i64)),
@@ -171,6 +175,7 @@ impl PlanReport {
                 "fingerprint",
                 "total_jobs",
                 "persisted",
+                "complete",
                 "safe",
                 "hazards",
                 "collisions",
@@ -243,6 +248,19 @@ impl PlanReport {
                 )));
             }
         }
+        // Reports written before the `complete` key load without this
+        // cross-check (the rows still pin every tally above).
+        if let Some(value) = doc.get("complete") {
+            let claimed_complete = as_bool(value, "`complete`")?;
+            if claimed_complete != report.complete() {
+                return Err(PlanError::new(format!(
+                    "report summary claims complete = {claimed_complete} but {} of {} jobs \
+                     have rows",
+                    report.jobs.len(),
+                    report.total_jobs
+                )));
+            }
+        }
         Ok(report)
     }
 }
@@ -277,6 +295,45 @@ pub fn csv_row(record: &CampaignRecord, out: &mut String) {
         record.injections, record.scenes, record.min_delta_lon, record.min_delta_lat
     )
     .expect("writing to String");
+}
+
+/// True when `needle` could match at least one well-formed fault name as
+/// a substring — the validation behind `drivefi query --fault`. The
+/// vocabulary is everything [`FaultKind::name`] can emit:
+/// `"signal:model"` for scalar faults (where parameterized models carry
+/// a free-form numeric tail after `(`) and the module-fault names. A
+/// typo like `"hazrd"` or `"throtle"` matches nothing and is rejected
+/// up front instead of silently filtering every record away.
+pub fn known_fault_filter(needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    // A fully spelled-out fault name (e.g. "plan.throttle:offset(-2.5)").
+    if parse_fault_kind(needle).is_some() {
+        return true;
+    }
+    // A needle made purely of parameter characters could fall entirely
+    // inside a parameterized model's numeric tail ("62)", "(-2.5)") —
+    // only the record filter can tell, so let it through.
+    if needle.chars().all(|c| c.is_ascii_digit() || "().-".contains(c)) {
+        return true;
+    }
+    // Otherwise the needle must occur in some name with the numeric tail
+    // of parameterized models left open: validate only the part up to
+    // (and including) the first `(` — anything after it is a number.
+    let head = match needle.find('(') {
+        Some(at) => &needle[..=at],
+        None => needle,
+    };
+    let model_stems = ["min", "max", "stuck(", "bitflip(", "offset(", "scale("];
+    let scalar_names = Signal::ALL
+        .iter()
+        .flat_map(|signal| model_stems.iter().map(move |stem| format!("{}:{stem}", signal.name())));
+    let module_names = [FaultKind::ClearWorldModel, FaultKind::FreezeWorldModel]
+        .into_iter()
+        .chain(Stage::ALL.map(|stage| FaultKind::ModuleHang { stage }))
+        .map(|kind| kind.name());
+    scalar_names.chain(module_names).any(|name| name.contains(head))
 }
 
 /// Parses the fault-name vocabulary [`FaultKind::name`] emits:
@@ -449,6 +506,33 @@ mod tests {
         let err = PlanReport::load(&dir).expect_err("tampered tally");
         assert!(err.to_string().contains("hazards"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn known_fault_filter_accepts_vocabulary_and_rejects_typos() {
+        for valid in [
+            "throttle",
+            "plan.throttle",
+            "plan.throttle:max",
+            ":min",
+            "max",
+            "hang",
+            "world.",
+            "world.clear",
+            "planning.hang",
+            "offset(",
+            "offset(-2",
+            "bitflip(62)",
+            "plan.throttle:offset(-2.5)",
+            "(-2.5)",
+            "62)",
+            "lead",
+        ] {
+            assert!(known_fault_filter(valid), "`{valid}` should be a known fault substring");
+        }
+        for invalid in ["", "hazrd", "throtle", "plan.warp", "warp(2)", "world.melt", "::"] {
+            assert!(!known_fault_filter(invalid), "`{invalid}` should be rejected");
+        }
     }
 
     #[test]

@@ -330,6 +330,33 @@ impl CampaignEngine {
         self.run(jobs.into_jobs().filter(move |job| !done(job.id)), sink);
     }
 
+    /// [`CampaignEngine::run_skipping`] with a job budget: at most
+    /// `budget` pending jobs are executed (already-done jobs don't
+    /// count), then the stream stops cleanly — the "interrupt via budget
+    /// cap" a resumable store-backed campaign uses. `None` means
+    /// unbounded. Returns the number of jobs actually executed.
+    pub fn run_skipping_budget<S, K, P>(
+        &self,
+        jobs: S,
+        done: P,
+        budget: Option<u64>,
+        sink: &mut K,
+    ) -> u64
+    where
+        S: JobSource,
+        K: CampaignSink + ?Sized,
+        P: Fn(u64) -> bool + Send,
+    {
+        let mut ran = 0u64;
+        let pending = jobs.into_jobs().filter(move |job| !done(job.id));
+        let cap = budget.map_or(usize::MAX, |n| n as usize);
+        self.run(pending.take(cap), &mut |index: u64, result| {
+            ran = ran.max(index + 1);
+            sink.accept(index, result);
+        });
+        ran
+    }
+
     /// Convenience: runs the jobs and returns the results in submission
     /// order.
     pub fn collect<S: JobSource>(&self, jobs: S) -> Vec<CampaignResult> {
@@ -503,6 +530,37 @@ mod tests {
         });
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, 1), (1, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn run_skipping_budget_caps_pending_jobs_only() {
+        // Jobs 0 and 3 are done; a budget of 2 must execute exactly two
+        // of the remaining four and report how many ran.
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+        let jobs: Vec<_> = (0..6u64).map(|i| golden_job(i, i)).collect();
+        let mut seen = Vec::new();
+        let ran = engine.run_skipping_budget(
+            jobs.clone(),
+            |id| id == 0 || id == 3,
+            Some(2),
+            &mut |_: u64, result: CampaignResult| seen.push(result.id),
+        );
+        assert_eq!(ran, 2);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+        // Budget zero runs nothing; no budget runs all pending.
+        let ran = engine.run_skipping_budget(jobs.clone(), |_| false, Some(0), &mut |_, _| {
+            panic!("budget 0 must execute nothing")
+        });
+        assert_eq!(ran, 0);
+        let mut count = 0u64;
+        let ran = engine.run_skipping_budget(
+            jobs,
+            |id| id == 0 || id == 3,
+            None,
+            &mut |_: u64, _: CampaignResult| count += 1,
+        );
+        assert_eq!((ran, count), (4, 4));
     }
 
     #[test]

@@ -34,12 +34,15 @@ pub mod log;
 pub mod record;
 pub mod sink;
 pub mod store;
+pub mod trace;
 
 pub use record::{CampaignRecord, PAYLOAD_LEN};
 pub use sink::{RecordMeta, StoreSink};
 pub use store::{
-    fingerprint64, open_store, read_store, StoreMeta, StoreState, StoreWriter, MANIFEST_FILE,
+    compact_store, fingerprint64, open_store, open_store_with_traces, read_manifest, read_store,
+    read_traces, StoreMeta, StoreState, StoreWriter, MANIFEST_FILE,
 };
+pub use trace::{rebuild_traces, scan_trace_shard, TraceRecord, TRACE_BASE_LEN};
 
 /// An error from encoding, decoding, or store I/O.
 #[derive(Debug, Clone, PartialEq)]

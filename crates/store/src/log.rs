@@ -8,14 +8,22 @@
 //! frame, or a frame whose CRC does not match. [`scan_shard`] reads a
 //! shard up to the last valid frame and reports where the valid prefix
 //! ends, so recovery can truncate the tear and append from there.
+//!
+//! Two record kinds share this framing, distinguished by the header
+//! magic: the fixed-layout [`CampaignRecord`] (outcome logs,
+//! [`SHARD_MAGIC`]) and the variable-length
+//! [`TraceRecord`](crate::TraceRecord) (golden-trace logs,
+//! [`TRACE_MAGIC`]).
 
 use crate::record::CampaignRecord;
 use crate::StoreError;
 use std::io::Write;
 use std::path::Path;
 
-/// Shard-file magic.
+/// Outcome-shard-file magic.
 pub const SHARD_MAGIC: [u8; 8] = *b"DFISHARD";
+/// Trace-shard-file magic.
+pub const TRACE_MAGIC: [u8; 8] = *b"DFITRACE";
 /// Record-layout version the magic is followed by.
 pub const FORMAT_VERSION: u32 = 1;
 /// Header bytes before the first frame.
@@ -48,20 +56,46 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Writes the shard header for `shard_index`.
+/// Writes a shard header carrying `magic` for `shard_index`.
 ///
 /// # Errors
 ///
 /// Returns a [`StoreError`] on I/O failure.
-pub fn write_header(w: &mut impl Write, shard_index: u32) -> Result<(), StoreError> {
+pub fn write_header_with(
+    w: &mut impl Write,
+    magic: &[u8; 8],
+    shard_index: u32,
+) -> Result<(), StoreError> {
     let mut header = [0u8; HEADER_LEN as usize];
-    header[..8].copy_from_slice(&SHARD_MAGIC);
+    header[..8].copy_from_slice(magic);
     header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     header[12..16].copy_from_slice(&shard_index.to_le_bytes());
     w.write_all(&header).map_err(|e| StoreError::new(format!("writing shard header: {e}")))
 }
 
-/// Appends one CRC-framed record.
+/// Writes the outcome-shard header for `shard_index`.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] on I/O failure.
+pub fn write_header(w: &mut impl Write, shard_index: u32) -> Result<(), StoreError> {
+    write_header_with(w, &SHARD_MAGIC, shard_index)
+}
+
+/// Appends one CRC-framed payload.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] on I/O failure.
+pub fn append_payload(w: &mut impl Write, payload: &[u8]) -> Result<(), StoreError> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame).map_err(|e| StoreError::new(format!("appending record: {e}")))
+}
+
+/// Appends one CRC-framed campaign record.
 ///
 /// # Errors
 ///
@@ -69,11 +103,7 @@ pub fn write_header(w: &mut impl Write, shard_index: u32) -> Result<(), StoreErr
 pub fn append_frame(w: &mut impl Write, record: &CampaignRecord) -> Result<(), StoreError> {
     let mut payload = Vec::with_capacity(crate::PAYLOAD_LEN);
     record.encode(&mut payload);
-    let mut frame = Vec::with_capacity(payload.len() + 8);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    w.write_all(&frame).map_err(|e| StoreError::new(format!("appending record: {e}")))
+    append_payload(w, &payload)
 }
 
 /// What [`scan_shard`] found in one shard file.
@@ -90,26 +120,36 @@ pub struct ShardScan {
     pub torn: bool,
 }
 
-/// Reads a shard file, tolerating a torn tail: the scan stops at the
-/// first incomplete or CRC-mismatched frame and reports everything
-/// before it.
+/// The generic shard scan underneath [`scan_shard`] and
+/// [`scan_trace_shard`](crate::scan_trace_shard): reads a shard file
+/// whose header carries `magic`, decoding each CRC-valid payload with
+/// `decode` and tolerating a torn tail.
 ///
 /// # Errors
 ///
 /// Returns a [`StoreError`] when the file cannot be read, is not a
-/// shard file for `shard_index` (wrong magic, version, or index), or
-/// contains a CRC-valid frame that no longer decodes (format drift, not
-/// crash damage — truncating would destroy good data).
-pub fn scan_shard(path: &Path, shard_index: u32) -> Result<ShardScan, StoreError> {
+/// `magic`-kind shard file for `shard_index` (wrong magic, version, or
+/// index), or contains a CRC-valid frame that no longer decodes (format
+/// drift, not crash damage — truncating would destroy good data).
+pub fn scan_shard_with<T>(
+    path: &Path,
+    magic: &[u8; 8],
+    shard_index: u32,
+    mut decode: impl FnMut(&[u8]) -> Result<T, StoreError>,
+) -> Result<(Vec<T>, u64, bool), StoreError> {
     let bytes = std::fs::read(path)
         .map_err(|e| StoreError::new(format!("reading {}: {e}", path.display())))?;
     if bytes.len() < HEADER_LEN as usize {
         // A crash while creating the shard: nothing usable, rewrite from
         // scratch.
-        return Ok(ShardScan { records: Vec::new(), valid_len: 0, torn: !bytes.is_empty() });
+        return Ok((Vec::new(), 0, !bytes.is_empty()));
     }
-    if bytes[..8] != SHARD_MAGIC {
-        return Err(StoreError::new(format!("{} is not a drivefi shard file", path.display())));
+    if &bytes[..8] != magic {
+        return Err(StoreError::new(format!(
+            "{} is not a drivefi {} shard file",
+            path.display(),
+            String::from_utf8_lossy(magic)
+        )));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header length checked"));
     if version != FORMAT_VERSION {
@@ -131,28 +171,41 @@ pub fn scan_shard(path: &Path, shard_index: u32) -> Result<ShardScan, StoreError
     loop {
         let Some(head) = bytes.get(at..at + 8) else {
             // Partial frame head (or exactly the end of the file).
-            return Ok(ShardScan { records, valid_len: at as u64, torn: at != bytes.len() });
+            return Ok((records, at as u64, at != bytes.len()));
         };
         let len = u32::from_le_bytes(head[..4].try_into().expect("head length checked"));
         let crc = u32::from_le_bytes(head[4..].try_into().expect("head length checked"));
         if len > MAX_FRAME {
             // Garbage length: treat as a torn tail.
-            return Ok(ShardScan { records, valid_len: at as u64, torn: true });
+            return Ok((records, at as u64, true));
         }
         let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
-            return Ok(ShardScan { records, valid_len: at as u64, torn: true });
+            return Ok((records, at as u64, true));
         };
         if crc32(payload) != crc {
-            return Ok(ShardScan { records, valid_len: at as u64, torn: true });
+            return Ok((records, at as u64, true));
         }
         // A CRC-valid frame that fails to decode is a format problem and
         // must not be silently truncated away.
         records.push(
-            CampaignRecord::decode(payload)
+            decode(payload)
                 .map_err(|e| StoreError::new(format!("{} at offset {at}: {e}", path.display())))?,
         );
         at += 8 + len as usize;
     }
+}
+
+/// Reads an outcome shard file, tolerating a torn tail: the scan stops
+/// at the first incomplete or CRC-mismatched frame and reports
+/// everything before it.
+///
+/// # Errors
+///
+/// See [`scan_shard_with`].
+pub fn scan_shard(path: &Path, shard_index: u32) -> Result<ShardScan, StoreError> {
+    let (records, valid_len, torn) =
+        scan_shard_with(path, &SHARD_MAGIC, shard_index, CampaignRecord::decode)?;
+    Ok(ShardScan { records, valid_len, torn })
 }
 
 #[cfg(test)]

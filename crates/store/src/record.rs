@@ -50,10 +50,11 @@ const OUTCOME_SAFE: u8 = 0;
 const OUTCOME_HAZARD: u8 = 1;
 const OUTCOME_COLLISION: u8 = 2;
 
-/// Little-endian cursor over an encoded payload.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    at: usize,
+/// Little-endian cursor over an encoded payload (shared with the trace
+/// log's [`TraceRecord`](crate::TraceRecord) decoder).
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -67,19 +68,19 @@ impl<'a> Reader<'a> {
         Ok(slice.try_into().expect("slice length checked"))
     }
 
-    fn u8(&mut self) -> Result<u8, StoreError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
         Ok(self.take::<1>()?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, StoreError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(self.take::<4>()?))
     }
 
-    fn u64(&mut self) -> Result<u64, StoreError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take::<8>()?))
     }
 
-    fn f64(&mut self) -> Result<f64, StoreError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, StoreError> {
         Ok(f64::from_bits(self.u64()?))
     }
 }

@@ -66,6 +66,30 @@ impl CampaignSink for StoreSink<'_> {
         }
         let job = result.id;
         let meta = &self.metas[job as usize];
+        // Trace-logging stores persist the run's per-scene trace first,
+        // then the outcome record — recovery treats the record as the
+        // job's completion marker and demotes it when frames are missing.
+        if self.writer.traces_enabled() {
+            let Some(trace) = &result.report.trace else {
+                self.error = Some(StoreError::new(format!(
+                    "job {job} recorded no trace but the store persists traces — run the \
+                     campaign with SimConfig::record_trace"
+                )));
+                return;
+            };
+            for frame in &trace.frames {
+                let record = crate::TraceRecord {
+                    job,
+                    scenario_id: meta.scenario_id,
+                    scenario_seed: meta.scenario_seed,
+                    frame: *frame,
+                };
+                if let Err(e) = self.writer.append_trace(&record) {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
         let record = CampaignRecord::from_report(job, meta, &result.report);
         if let Err(e) = self.writer.append(&record) {
             self.error = Some(e);

@@ -19,9 +19,14 @@
 //! recovery rescans them rather than trusting the checkpoint counter,
 //! so a crash between an append and the next checkpoint loses nothing.
 
-use crate::log::{append_frame, scan_shard, write_header, FORMAT_VERSION, HEADER_LEN};
+use crate::log::{
+    append_frame, append_payload, scan_shard, write_header_with, FORMAT_VERSION, HEADER_LEN,
+    SHARD_MAGIC, TRACE_MAGIC,
+};
 use crate::record::CampaignRecord;
+use crate::trace::{rebuild_traces, scan_trace_shard, TraceRecord};
 use crate::StoreError;
+use std::collections::{BTreeSet, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -62,19 +67,23 @@ pub struct StoreMeta {
     /// True once every job's record is persisted and the store was
     /// cleanly finished.
     pub complete: bool,
+    /// True when the store carries per-scene golden-trace shards
+    /// (`trace-NNN.log`) alongside the outcome shards.
+    pub traces: bool,
 }
 
 impl StoreMeta {
     fn emit(&self) -> String {
         format!(
             "format = {}\nfingerprint = 0x{:016x}\ntotal_jobs = {}\nshards = {}\n\
-             checkpoint_records = {}\ncomplete = {}\n",
+             checkpoint_records = {}\ncomplete = {}\ntraces = {}\n",
             self.format,
             self.fingerprint,
             self.total_jobs,
             self.shards,
             self.checkpoint_records,
-            self.complete
+            self.complete,
+            self.traces
         )
     }
 
@@ -85,6 +94,7 @@ impl StoreMeta {
         let mut shards = None;
         let mut checkpoint_records = None;
         let mut complete = None;
+        let mut traces = None;
         for line in src.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -104,23 +114,23 @@ impl StoreMeta {
                     StoreError::new(format!("manifest `{key}` = `{value}` is not an integer"))
                 })
             };
+            let boolean = |name: &str| -> Result<bool, StoreError> {
+                match value {
+                    "true" => Ok(true),
+                    "false" => Ok(false),
+                    other => Err(StoreError::new(format!(
+                        "manifest `{name}` must be true/false, got `{other}`"
+                    ))),
+                }
+            };
             match key {
                 "format" => format = Some(uint()? as u32),
                 "fingerprint" => fingerprint = Some(uint()?),
                 "total_jobs" => total_jobs = Some(uint()?),
                 "shards" => shards = Some(uint()? as u32),
                 "checkpoint_records" => checkpoint_records = Some(uint()?),
-                "complete" => {
-                    complete = Some(match value {
-                        "true" => true,
-                        "false" => false,
-                        other => {
-                            return Err(StoreError::new(format!(
-                                "manifest `complete` must be true/false, got `{other}`"
-                            )))
-                        }
-                    })
-                }
+                "complete" => complete = Some(boolean("complete")?),
+                "traces" => traces = Some(boolean("traces")?),
                 other => return Err(StoreError::new(format!("unknown manifest key `{other}`"))),
             }
         }
@@ -135,6 +145,8 @@ impl StoreMeta {
             checkpoint_records: require("checkpoint_records", checkpoint_records)?,
             complete: complete
                 .ok_or_else(|| StoreError::new("manifest is missing `complete`".into()))?,
+            // Stores predating the trace log carry no `traces` key.
+            traces: traces.unwrap_or(false),
         })
     }
 }
@@ -166,6 +178,16 @@ impl StoreState {
         fresh
     }
 
+    /// Demotes a marked job back to pending (recovery found its outcome
+    /// record but an incomplete trace).
+    fn unmark(&mut self, job: u64) {
+        let (word, bit) = ((job / 64) as usize, job % 64);
+        if self.done[word] & (1 << bit) != 0 {
+            self.done[word] &= !(1 << bit);
+            self.records -= 1;
+        }
+    }
+
     /// True when `job`'s record is already persisted.
     pub fn is_done(&self, job: u64) -> bool {
         self.done.get((job / 64) as usize).is_some_and(|word| word & (1 << (job % 64)) != 0)
@@ -186,6 +208,8 @@ pub struct StoreWriter {
     dir: PathBuf,
     meta: StoreMeta,
     shards: Vec<BufWriter<File>>,
+    /// Trace shard writers, present iff `meta.traces`.
+    trace_shards: Option<Vec<BufWriter<File>>>,
     persisted: u64,
     since_checkpoint: u64,
     checkpoint_every: u64,
@@ -195,8 +219,28 @@ fn shard_path(dir: &Path, index: u32) -> PathBuf {
     dir.join(format!("shard-{index:03}.log"))
 }
 
+fn trace_shard_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("trace-{index:03}.log"))
+}
+
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> StoreError {
     StoreError::new(format!("{what} {}: {e}", path.display()))
+}
+
+/// True when `dir` holds any `shard-*.log` / `trace-*.log` file — the
+/// signature of a store whose manifest was lost. Scans the directory
+/// rather than probing `0..shards` paths: the resuming plan's shard
+/// count may be *smaller* than the orphaned store's, and a probe bounded
+/// by the new count would miss leftover high-index shard files.
+fn has_orphaned_shards(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false; // No directory yet — nothing to orphan.
+    };
+    entries.flatten().any(|entry| {
+        entry.file_name().to_str().is_some_and(|name| {
+            name.ends_with(".log") && (name.starts_with("shard-") || name.starts_with("trace-"))
+        })
+    })
 }
 
 /// Opens a store directory for appending: creates a fresh store when no
@@ -220,9 +264,40 @@ pub fn open_store(
     shards: u32,
     checkpoint_every: u64,
 ) -> Result<(StoreWriter, StoreState), StoreError> {
+    open_store_inner(dir.as_ref(), fingerprint, total_jobs, shards, checkpoint_every, false)
+}
+
+/// [`open_store`] for a store that also persists per-scene golden
+/// traces: every outcome record appended through
+/// [`StoreSink`](crate::StoreSink) must be preceded by its run's
+/// [`TraceRecord`](crate::TraceRecord)s, and recovery treats a job as
+/// done only when its outcome record **and** its full trace survive —
+/// so a crash that outran the trace buffer demotes the job instead of
+/// leaving the miner a silently truncated training set.
+///
+/// # Errors
+///
+/// See [`open_store`].
+pub fn open_store_with_traces(
+    dir: impl AsRef<Path>,
+    fingerprint: u64,
+    total_jobs: u64,
+    shards: u32,
+    checkpoint_every: u64,
+) -> Result<(StoreWriter, StoreState), StoreError> {
+    open_store_inner(dir.as_ref(), fingerprint, total_jobs, shards, checkpoint_every, true)
+}
+
+fn open_store_inner(
+    dir: &Path,
+    fingerprint: u64,
+    total_jobs: u64,
+    shards: u32,
+    checkpoint_every: u64,
+    traces: bool,
+) -> Result<(StoreWriter, StoreState), StoreError> {
     assert!(shards > 0, "a store needs at least one shard");
     assert!(checkpoint_every > 0, "checkpoint period must be at least 1");
-    let dir = dir.as_ref();
     let meta = StoreMeta {
         format: FORMAT_VERSION,
         fingerprint,
@@ -230,6 +305,7 @@ pub fn open_store(
         shards,
         checkpoint_records: 0,
         complete: false,
+        traces,
     };
     if dir.join(MANIFEST_FILE).is_file() {
         StoreWriter::recover(dir, meta, checkpoint_every)
@@ -238,7 +314,7 @@ pub fn open_store(
         // lost, not a fresh directory — creating here would truncate
         // every persisted record. Refuse; the fix (restore or delete the
         // directory) is a human decision.
-        if (0..shards.max(1)).any(|index| shard_path(dir, index).exists()) {
+        if has_orphaned_shards(dir) {
             return Err(StoreError::new(format!(
                 "{}: shard files exist but {MANIFEST_FILE} is missing — refusing to \
                  overwrite what looks like a store that lost its manifest (delete the \
@@ -258,23 +334,53 @@ impl StoreWriter {
         checkpoint_every: u64,
     ) -> Result<StoreWriter, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
-        let mut shards = Vec::with_capacity(meta.shards as usize);
-        for index in 0..meta.shards {
-            let path = shard_path(dir, index);
-            let file = File::create(&path).map_err(|e| io_err("creating", &path, e))?;
-            let mut writer = BufWriter::new(file);
-            write_header(&mut writer, index)?;
-            shards.push(writer);
-        }
+        let create_shards = |path_of: fn(&Path, u32) -> PathBuf,
+                             magic: &[u8; 8]|
+         -> Result<Vec<BufWriter<File>>, StoreError> {
+            let mut shards = Vec::with_capacity(meta.shards as usize);
+            for index in 0..meta.shards {
+                let path = path_of(dir, index);
+                let file = File::create(&path).map_err(|e| io_err("creating", &path, e))?;
+                let mut writer = BufWriter::new(file);
+                write_header_with(&mut writer, magic, index)?;
+                shards.push(writer);
+            }
+            Ok(shards)
+        };
+        let shards = create_shards(shard_path, &SHARD_MAGIC)?;
+        let trace_shards =
+            if meta.traces { Some(create_shards(trace_shard_path, &TRACE_MAGIC)?) } else { None };
         let mut writer = StoreWriter {
             dir: dir.to_path_buf(),
             meta,
             shards,
+            trace_shards,
             persisted: 0,
             since_checkpoint: 0,
             checkpoint_every,
         };
         writer.checkpoint()?;
+        Ok(writer)
+    }
+
+    /// Truncates a scanned shard to its valid prefix and reopens it for
+    /// append, rewriting the header when even that was torn away.
+    fn reopen_truncated(
+        path: &Path,
+        magic: &[u8; 8],
+        index: u32,
+        valid_len: u64,
+    ) -> Result<BufWriter<File>, StoreError> {
+        let file =
+            OpenOptions::new().write(true).open(path).map_err(|e| io_err("opening", path, e))?;
+        file.set_len(valid_len).map_err(|e| io_err("truncating", path, e))?;
+        drop(file);
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| io_err("opening", path, e))?;
+        let mut writer = BufWriter::new(file);
+        if valid_len < HEADER_LEN {
+            write_header_with(&mut writer, magic, index)?;
+        }
         Ok(writer)
     }
 
@@ -302,8 +408,21 @@ impl StoreWriter {
                 )));
             }
         }
+        if expected.traces != found.traces {
+            return Err(StoreError::new(format!(
+                "{}: this store was created {} trace logs but the resuming campaign needs \
+                 a store {} them — likely a store from before the trace-log format; delete \
+                 the directory to re-run it under the current format",
+                dir.display(),
+                if found.traces { "with" } else { "without" },
+                if expected.traces { "with" } else { "without" },
+            )));
+        }
 
         let mut state = StoreState::empty(expected.total_jobs);
+        // (job, scenes simulated) of every surviving outcome record —
+        // what a complete persisted trace must cover.
+        let mut scenes_of: Vec<(u64, u64)> = Vec::new();
         let mut shards = Vec::with_capacity(expected.shards as usize);
         for index in 0..expected.shards {
             let path = shard_path(dir, index);
@@ -325,31 +444,54 @@ impl StoreWriter {
                     )));
                 }
                 state.mark(record.job);
+                scenes_of.push((record.job, record.scenes));
             }
             state.torn |= scan.torn;
-            // Truncate the torn tail (if any) and reopen for append. A
-            // shard whose header itself was torn is rewritten whole.
-            let file = OpenOptions::new()
-                .write(true)
-                .open(&path)
-                .map_err(|e| io_err("opening", &path, e))?;
-            file.set_len(scan.valid_len).map_err(|e| io_err("truncating", &path, e))?;
-            drop(file);
-            let file = OpenOptions::new()
-                .append(true)
-                .open(&path)
-                .map_err(|e| io_err("opening", &path, e))?;
-            let mut writer = BufWriter::new(file);
-            if scan.valid_len < HEADER_LEN {
-                write_header(&mut writer, index)?;
-            }
-            shards.push(writer);
+            shards.push(Self::reopen_truncated(&path, &SHARD_MAGIC, index, scan.valid_len)?);
         }
+
+        let trace_shards = if expected.traces {
+            // Distinct persisted scenes per job: a job counts as done
+            // only when its trace covers every scene its outcome record
+            // claims — otherwise the outcome shard's buffer outran the
+            // trace shard's before the crash, and fitting from the store
+            // would silently train on a truncated trace. Demote such
+            // jobs so the resume re-runs them.
+            let mut scenes_seen: HashMap<u64, BTreeSet<u64>> = HashMap::new();
+            let mut reopened = Vec::with_capacity(expected.shards as usize);
+            for index in 0..expected.shards {
+                let path = trace_shard_path(dir, index);
+                let scan = scan_trace_shard(&path, index)?;
+                for record in &scan.records {
+                    if record.job >= expected.total_jobs {
+                        return Err(StoreError::new(format!(
+                            "{}: trace record for job {} but the campaign has only {} jobs",
+                            path.display(),
+                            record.job,
+                            expected.total_jobs
+                        )));
+                    }
+                    scenes_seen.entry(record.job).or_default().insert(record.frame.scene);
+                }
+                state.torn |= scan.torn;
+                reopened.push(Self::reopen_truncated(&path, &TRACE_MAGIC, index, scan.valid_len)?);
+            }
+            for &(job, scenes) in &scenes_of {
+                let covered = scenes_seen.get(&job).map_or(0, BTreeSet::len) as u64;
+                if covered < scenes {
+                    state.unmark(job);
+                }
+            }
+            Some(reopened)
+        } else {
+            None
+        };
 
         let mut writer = StoreWriter {
             dir: dir.to_path_buf(),
             meta: StoreMeta { checkpoint_records: state.records, complete: false, ..expected },
             shards,
+            trace_shards,
             persisted: state.records,
             since_checkpoint: 0,
             checkpoint_every,
@@ -396,6 +538,39 @@ impl StoreWriter {
         Ok(())
     }
 
+    /// True when the store persists golden traces alongside outcomes.
+    pub fn traces_enabled(&self) -> bool {
+        self.trace_shards.is_some()
+    }
+
+    /// Appends one golden-trace record to its trace shard
+    /// (`job % shards`). Trace appends do not advance the checkpoint
+    /// counter — the job's outcome record (appended after its frames)
+    /// does, and every checkpoint flushes the trace shards first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store was opened without trace logs (use
+    /// [`open_store_with_traces`]) or `record.job` is out of range —
+    /// both caller bugs.
+    pub fn append_trace(&mut self, record: &TraceRecord) -> Result<(), StoreError> {
+        assert!(
+            record.job < self.meta.total_jobs,
+            "job {} out of range (campaign has {} jobs)",
+            record.job,
+            self.meta.total_jobs
+        );
+        let shard = (record.job % u64::from(self.meta.shards)) as usize;
+        let shards = self.trace_shards.as_mut().expect("store opened with trace logs");
+        let mut payload = Vec::with_capacity(record.encoded_len());
+        record.encode(&mut payload);
+        append_payload(&mut shards[shard], &payload)
+    }
+
     /// Flushes and syncs every shard, then atomically rewrites the
     /// manifest with the current progress.
     ///
@@ -403,22 +578,25 @@ impl StoreWriter {
     ///
     /// Returns a [`StoreError`] on I/O failure.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        // Trace shards flush before outcome shards: a crash between the
+        // two leaves traces without their outcome record (the job just
+        // reruns), never a record claiming a trace that isn't there.
+        if let Some(trace_shards) = &mut self.trace_shards {
+            for (index, shard) in trace_shards.iter_mut().enumerate() {
+                let path = trace_shard_path(&self.dir, index as u32);
+                shard.flush().map_err(|e| io_err("flushing", &path, e))?;
+                shard.get_ref().sync_all().map_err(|e| io_err("syncing", &path, e))?;
+            }
+        }
         for (index, shard) in self.shards.iter_mut().enumerate() {
             let path = shard_path(&self.dir, index as u32);
             shard.flush().map_err(|e| io_err("flushing", &path, e))?;
             shard.get_ref().sync_all().map_err(|e| io_err("syncing", &path, e))?;
         }
         self.meta.checkpoint_records = self.persisted;
-        self.write_manifest()?;
+        write_manifest(&self.dir, &self.meta)?;
         self.since_checkpoint = 0;
         Ok(())
-    }
-
-    fn write_manifest(&self) -> Result<(), StoreError> {
-        let path = self.dir.join(MANIFEST_FILE);
-        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
-        std::fs::write(&tmp, self.meta.emit()).map_err(|e| io_err("writing", &tmp, e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| io_err("renaming", &tmp, e))
     }
 
     /// Final checkpoint; marks the store `complete` when every job's
@@ -446,11 +624,7 @@ impl StoreWriter {
 /// file is missing, or a CRC-valid record fails to decode.
 pub fn read_store(dir: impl AsRef<Path>) -> Result<(StoreMeta, Vec<CampaignRecord>), StoreError> {
     let dir = dir.as_ref();
-    let manifest_path = dir.join(MANIFEST_FILE);
-    let src = std::fs::read_to_string(&manifest_path)
-        .map_err(|e| io_err("reading", &manifest_path, e))?;
-    let meta = StoreMeta::parse(&src)
-        .map_err(|e| StoreError::new(format!("{}: {e}", manifest_path.display())))?;
+    let meta = read_manifest(dir)?;
     let mut records = Vec::new();
     for index in 0..meta.shards {
         records.extend(scan_shard(&shard_path(dir, index), index)?.records);
@@ -458,6 +632,159 @@ pub fn read_store(dir: impl AsRef<Path>) -> Result<(StoreMeta, Vec<CampaignRecor
     records.sort_by_key(|r| r.job);
     records.dedup_by_key(|r| r.job);
     Ok((meta, records))
+}
+
+/// Reads and parses a store directory's manifest.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] when the manifest is missing or malformed.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<StoreMeta, StoreError> {
+    let manifest_path = dir.as_ref().join(MANIFEST_FILE);
+    let src = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| io_err("reading", &manifest_path, e))?;
+    StoreMeta::parse(&src).map_err(|e| StoreError::new(format!("{}: {e}", manifest_path.display())))
+}
+
+fn write_manifest(dir: &Path, meta: &StoreMeta) -> Result<(), StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    std::fs::write(&tmp, meta.emit()).map_err(|e| io_err("writing", &tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| io_err("renaming", &tmp, e))
+}
+
+/// Reads the golden traces persisted in a trace-logging store: trace
+/// shards are scanned (torn tails tolerated), merged by `(job, scene)`,
+/// deduplicated, and reassembled into one [`Trace`](drivefi_sim::Trace)
+/// per job, in job order. Only jobs whose outcome record survived are
+/// returned, and each such trace is checked against the scene count its
+/// record claims — an interrupted store whose trace log lags its
+/// outcome log must be reopened (recovered) before fitting from it.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] when the directory is not a trace-logging
+/// store, a shard is missing, a CRC-valid record fails to decode, or a
+/// job's persisted trace does not cover its recorded scene count.
+pub fn read_traces(
+    dir: impl AsRef<Path>,
+) -> Result<(StoreMeta, Vec<drivefi_sim::Trace>), StoreError> {
+    let dir = dir.as_ref();
+    let (meta, records) = read_store(dir)?;
+    if !meta.traces {
+        return Err(StoreError::new(format!(
+            "{}: store has no trace log (traces = false) — only golden stores persist traces",
+            dir.display()
+        )));
+    }
+    let mut trace_records = Vec::new();
+    for index in 0..meta.shards {
+        trace_records.extend(scan_trace_shard(&trace_shard_path(dir, index), index)?.records);
+    }
+    // Both sides are sorted ascending by job (read_store merges by job,
+    // rebuild_traces sorts), so a single merge walk pairs them — and
+    // jobs whose outcome record didn't survive (crash before the record
+    // flushed) are skipped, their frames simply unread.
+    let mut by_job = rebuild_traces(trace_records).into_iter().peekable();
+    let mut traces = Vec::with_capacity(records.len());
+    for record in &records {
+        while by_job.peek().is_some_and(|(job, _)| *job < record.job) {
+            by_job.next();
+        }
+        let Some((_, trace)) = by_job.next_if(|(job, _)| *job == record.job) else {
+            return Err(StoreError::new(format!(
+                "{}: job {} has an outcome record but no persisted trace — recover the \
+                 store (reopen it for append) before fitting from it",
+                dir.display(),
+                record.job
+            )));
+        };
+        if trace.frames.len() as u64 != record.scenes {
+            return Err(StoreError::new(format!(
+                "{}: job {} persisted {} trace frames but its record claims {} scenes — \
+                 recover the store (reopen it for append) before fitting from it",
+                dir.display(),
+                record.job,
+                trace.frames.len(),
+                record.scenes
+            )));
+        }
+        traces.push(trace);
+    }
+    Ok((meta, traces))
+}
+
+/// Rewrites a store's shards in **pure job order**: records land in the
+/// same shard (`job % shards`) but their within-shard order becomes the
+/// ascending job index, duplicates from demote-and-rerun cycles are
+/// dropped, and torn tails disappear. [`read_store`] /
+/// [`read_traces`] return exactly the same merged sequences before and
+/// after — compaction changes bytes on disk, never results. Each shard
+/// is rewritten to a temporary file, synced, and atomically renamed
+/// into place; the manifest's checkpoint counter is refreshed last.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] on I/O failure or an unreadable store.
+pub fn compact_store(dir: impl AsRef<Path>) -> Result<StoreMeta, StoreError> {
+    let dir = dir.as_ref();
+    let (meta, records) = read_store(dir)?;
+
+    let rewrite =
+        |path: PathBuf,
+         magic: &[u8; 8],
+         index: u32,
+         write_records: &mut dyn FnMut(&mut BufWriter<File>) -> Result<(), StoreError>|
+         -> Result<(), StoreError> {
+            let tmp = path.with_extension("log.tmp");
+            let file = File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+            let mut w = BufWriter::new(file);
+            write_header_with(&mut w, magic, index)?;
+            write_records(&mut w)?;
+            w.flush().map_err(|e| io_err("flushing", &tmp, e))?;
+            w.get_ref().sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+            drop(w);
+            std::fs::rename(&tmp, &path).map_err(|e| io_err("renaming", &tmp, e))
+        };
+
+    for index in 0..meta.shards {
+        let mine: Vec<&CampaignRecord> =
+            records.iter().filter(|r| r.job % u64::from(meta.shards) == u64::from(index)).collect();
+        rewrite(shard_path(dir, index), &SHARD_MAGIC, index, &mut |w| {
+            for record in &mine {
+                append_frame(w, record)?;
+            }
+            Ok(())
+        })?;
+    }
+
+    if meta.traces {
+        let mut trace_records = Vec::new();
+        for index in 0..meta.shards {
+            trace_records.extend(scan_trace_shard(&trace_shard_path(dir, index), index)?.records);
+        }
+        trace_records.sort_by_key(|r| (r.job, r.frame.scene));
+        trace_records.dedup_by_key(|r| (r.job, r.frame.scene));
+        for index in 0..meta.shards {
+            let mine: Vec<&TraceRecord> = trace_records
+                .iter()
+                .filter(|r| r.job % u64::from(meta.shards) == u64::from(index))
+                .collect();
+            rewrite(trace_shard_path(dir, index), &TRACE_MAGIC, index, &mut |w| {
+                let mut payload = Vec::new();
+                for record in &mine {
+                    payload.clear();
+                    record.encode(&mut payload);
+                    append_payload(w, &payload)?;
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    let compacted = StoreMeta { checkpoint_records: records.len() as u64, ..meta };
+    write_manifest(dir, &compacted)?;
+    Ok(compacted)
 }
 
 #[cfg(test)]
@@ -499,17 +826,24 @@ mod tests {
 
     #[test]
     fn manifest_round_trips() {
-        let meta = StoreMeta {
-            format: FORMAT_VERSION,
-            fingerprint: 0xDEAD_BEEF_0123_4567,
-            total_jobs: 1_000_000,
-            shards: 16,
-            checkpoint_records: 37,
-            complete: false,
-        };
-        assert_eq!(StoreMeta::parse(&meta.emit()), Ok(meta));
+        for traces in [false, true] {
+            let meta = StoreMeta {
+                format: FORMAT_VERSION,
+                fingerprint: 0xDEAD_BEEF_0123_4567,
+                total_jobs: 1_000_000,
+                shards: 16,
+                checkpoint_records: 37,
+                complete: false,
+                traces,
+            };
+            assert_eq!(StoreMeta::parse(&meta.emit()), Ok(meta));
+        }
         assert!(StoreMeta::parse("format = 1\nvelocity = 9\n").is_err());
         assert!(StoreMeta::parse("format = banana\n").is_err());
+        // Manifests predating the trace log parse with traces = false.
+        let legacy = "format = 1\nfingerprint = 0x1\ntotal_jobs = 2\nshards = 1\n\
+                      checkpoint_records = 0\ncomplete = false\n";
+        assert!(!StoreMeta::parse(legacy).unwrap().traces);
     }
 
     #[test]
@@ -631,6 +965,222 @@ mod tests {
         let rate = N as f64 / start.elapsed().as_secs_f64();
         std::fs::remove_dir_all(&dir).ok();
         assert!(rate >= 100_000.0, "sustained append rate {rate:.0} records/s < 100k/s");
+    }
+
+    /// A deterministic golden-shaped trace for `job`: `scenes` frames
+    /// with a lead object.
+    fn trace_records(job: u64, scenes: u64) -> Vec<TraceRecord> {
+        (0..scenes)
+            .map(|scene| TraceRecord {
+                job,
+                scenario_id: (job % 5) as u32,
+                scenario_seed: job * 31,
+                frame: drivefi_sim::FrameRecord {
+                    scene,
+                    time: scene as f64 / 7.5,
+                    ego: drivefi_kinematics::VehicleState::new(
+                        3.0 * scene as f64,
+                        0.0,
+                        28.0,
+                        0.0,
+                        0.0,
+                    ),
+                    pose: drivefi_kinematics::VehicleState::new(
+                        3.0 * scene as f64,
+                        0.1,
+                        28.0,
+                        0.0,
+                        0.0,
+                    ),
+                    imu_speed: 28.0,
+                    imu_accel: 0.0,
+                    lead_distance: Some(40.0 + scene as f64),
+                    lead_speed: Some(26.0),
+                    raw_cmd: drivefi_kinematics::Actuation::new(0.3, 0.0, 0.0),
+                    final_cmd: drivefi_kinematics::Actuation::new(0.3, 0.0, 0.0),
+                    delta_perceived: drivefi_kinematics::SafetyPotential {
+                        longitudinal: 10.0,
+                        lateral: 0.5,
+                    },
+                    delta_true: drivefi_kinematics::SafetyPotential {
+                        longitudinal: 9.5,
+                        lateral: 0.5,
+                    },
+                },
+            })
+            .collect()
+    }
+
+    fn golden_record(job: u64, scenes: u64) -> CampaignRecord {
+        CampaignRecord { fault: None, injections: 0, scenes, ..record(job) }
+    }
+
+    fn append_golden_job(writer: &mut StoreWriter, job: u64, scenes: u64) {
+        for trace in trace_records(job, scenes) {
+            writer.append_trace(&trace).unwrap();
+        }
+        writer.append(&golden_record(job, scenes)).unwrap();
+    }
+
+    #[test]
+    fn trace_store_round_trips_traces_per_job() {
+        let dir = temp_dir("traces");
+        let (mut writer, state) = open_store_with_traces(&dir, 21, 4, 2, 64).unwrap();
+        assert_eq!(state.records(), 0);
+        for job in [2u64, 0, 3, 1] {
+            append_golden_job(&mut writer, job, 5 + job);
+        }
+        assert!(writer.finish().unwrap().complete);
+
+        let (meta, traces) = read_traces(&dir).unwrap();
+        assert!(meta.traces);
+        assert_eq!(traces.len(), 4);
+        for (job, trace) in traces.iter().enumerate() {
+            let job = job as u64;
+            assert_eq!(trace.scenario_id, (job % 5) as u32);
+            assert_eq!(trace.frames.len() as u64, 5 + job);
+            let expected: Vec<_> = trace_records(job, 5 + job).iter().map(|r| r.frame).collect();
+            assert_eq!(trace.frames, expected, "job {job} trace round-trips");
+        }
+        // A plain outcome store refuses trace reads.
+        let plain = temp_dir("traces-plain");
+        let (writer, _) = open_store(&plain, 1, 1, 1, 8).unwrap();
+        writer.finish().unwrap();
+        assert!(read_traces(&plain).unwrap_err().to_string().contains("no trace log"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&plain).ok();
+    }
+
+    #[test]
+    fn incomplete_trace_demotes_the_job_on_recovery() {
+        // The auto-flush hazard: an outcome record hits disk while part
+        // of its trace is still buffered. Recovery must not trust the
+        // record alone — the job reruns.
+        let dir = temp_dir("demote");
+        let (mut writer, _) = open_store_with_traces(&dir, 9, 2, 1, 64).unwrap();
+        append_golden_job(&mut writer, 0, 6);
+        append_golden_job(&mut writer, 1, 6);
+        writer.finish().unwrap();
+
+        // Chop two whole frames off the trace shard's tail (job 1 loses
+        // coverage) while the outcome shard keeps both records.
+        let path = trace_shard_path(&dir, 0);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let scan = scan_trace_shard(&path, 0).unwrap();
+        assert_eq!(scan.records.len(), 12);
+        let frame_bytes = (full - HEADER_LEN) / 12;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 2 * frame_bytes)
+            .unwrap();
+
+        let (mut writer, state) = open_store_with_traces(&dir, 9, 2, 1, 64).unwrap();
+        assert!(state.is_done(0), "job 0's trace is intact");
+        assert!(!state.is_done(1), "job 1's record without its full trace is not done");
+        assert_eq!(state.records(), 1);
+        // Rerun job 1; the duplicate frames/record collapse on read.
+        append_golden_job(&mut writer, 1, 6);
+        assert!(writer.finish().unwrap().complete);
+        let (_, traces) = read_traces(&dir).unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[1].frames.len(), 6);
+        let (_, records) = read_store(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lost_manifest_is_detected_for_any_shard_index() {
+        // The orphaned store used MORE shards than the resuming plan: a
+        // probe over 0..new_shards would miss shard-007 entirely and
+        // truncate it via File::create.
+        let dir = temp_dir("orphan-high");
+        let (mut writer, _) = open_store(&dir, 5, 8, 8, 16).unwrap();
+        writer.append(&record(7)).unwrap(); // lands in shard-007 only
+        writer.finish().unwrap();
+        for index in 0..7 {
+            std::fs::remove_file(shard_path(&dir, index)).unwrap();
+        }
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let err = open_store(&dir, 5, 8, 2, 16).expect_err("high-index orphan shard");
+        assert!(err.to_string().contains("refusing"), "got: {err}");
+        // Orphaned *trace* shards are refused the same way.
+        let dir2 = temp_dir("orphan-trace");
+        let (mut writer, _) = open_store_with_traces(&dir2, 5, 8, 4, 16).unwrap();
+        append_golden_job(&mut writer, 3, 2);
+        writer.finish().unwrap();
+        for index in 0..4 {
+            std::fs::remove_file(shard_path(&dir2, index)).unwrap();
+        }
+        std::fs::remove_file(dir2.join(MANIFEST_FILE)).unwrap();
+        let err = open_store(&dir2, 5, 8, 4, 16).expect_err("orphan trace shard");
+        assert!(err.to_string().contains("refusing"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn compaction_rewrites_shards_in_job_order_without_changing_reads() {
+        let dir = temp_dir("compact");
+        let (mut writer, _) = open_store_with_traces(&dir, 13, 9, 3, 4).unwrap();
+        // Completion order scrambled relative to job order, job 7 absent.
+        for job in [5u64, 0, 8, 2, 6, 3, 1, 4] {
+            append_golden_job(&mut writer, job, 4);
+        }
+        writer.finish().unwrap();
+        let before = read_store(&dir).unwrap();
+        let before_traces = read_traces(&dir).unwrap();
+
+        let meta = compact_store(&dir).unwrap();
+        assert_eq!(meta.checkpoint_records, 8);
+        assert_eq!(read_store(&dir).unwrap(), before, "reads changed by compaction");
+        assert_eq!(read_traces(&dir).unwrap(), before_traces);
+
+        // Within every shard the raw append order is now the job order.
+        for index in 0..3 {
+            let scan = scan_shard(&shard_path(&dir, index), index).unwrap();
+            assert!(!scan.torn);
+            let jobs: Vec<u64> = scan.records.iter().map(|r| r.job).collect();
+            let mut sorted = jobs.clone();
+            sorted.sort_unstable();
+            assert_eq!(jobs, sorted, "shard {index} not in job order");
+            let trace_scan = scan_trace_shard(&trace_shard_path(&dir, index), index).unwrap();
+            let keys: Vec<(u64, u64)> =
+                trace_scan.records.iter().map(|r| (r.job, r.frame.scene)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "trace shard {index} not in (job, scene) order");
+        }
+
+        // Compaction drops the duplicates a demote-and-rerun left behind.
+        let (mut writer, _) = open_store_with_traces(&dir, 13, 9, 3, 4).unwrap();
+        append_golden_job(&mut writer, 7, 4);
+        writer.finish().unwrap();
+        let complete = read_store(&dir).unwrap();
+        compact_store(&dir).unwrap();
+        assert_eq!(read_store(&dir).unwrap(), complete);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sustained_trace_append_beats_100k_frames_per_second() {
+        // The trace log's acceptance floor, mirroring the outcome log's:
+        // a golden run emits a few hundred frames per job, so 100k
+        // frames/s keeps trace persistence far off the critical path.
+        let dir = temp_dir("trace-throughput");
+        const JOBS: u64 = 400;
+        const SCENES: u64 = 300;
+        let (mut writer, _) = open_store_with_traces(&dir, 1, JOBS, 8, 64).unwrap();
+        let start = std::time::Instant::now();
+        for job in 0..JOBS {
+            append_golden_job(&mut writer, job, SCENES);
+        }
+        writer.finish().unwrap();
+        let rate = (JOBS * SCENES) as f64 / start.elapsed().as_secs_f64();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(rate >= 100_000.0, "sustained trace append rate {rate:.0} frames/s < 100k/s");
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! The `drivefi` campaign CLI: run, resume, report on, and query
-//! plan-file campaigns with a persistent store.
+//! The `drivefi` campaign CLI: run, resume, mine, report on, compact,
+//! and query plan-file campaigns with a persistent store.
 //!
 //! ```text
 //! drivefi run     <plan.toml> [--max-jobs N] [--output-dir DIR]
 //! drivefi resume  <plan.toml> [--output-dir DIR]
-//! drivefi report  <plan.toml> [--output-dir DIR]
+//! drivefi mine    <plan.toml> [--max-jobs N] [--output-dir DIR]
+//! drivefi report  <plan.toml> [--partial] [--output-dir DIR]
+//! drivefi compact <plan.toml|store-dir> [--output-dir DIR]
 //! drivefi query   <plan.toml|store-dir> [--outcome safe|hazard|collision]
 //!                 [--scenario ID] [--fault SUBSTR] [--limit N] [--output-dir DIR]
 //! ```
@@ -15,32 +17,45 @@
 //!   this invocation executes (the budget-cap interrupt CI exercises).
 //! * `resume` is `run` that insists a store already exists — a typo'd
 //!   directory fails instead of silently starting over.
+//! * `mine` is `run` that insists the plan is `kind = "mine"` — the
+//!   store-backed golden → fit → mine → validate pipeline.
 //! * `report` rebuilds `report.toml` + `jobs.csv` from the store
-//!   without running any jobs.
-//! * `query` prints matching per-job records as CSV on stdout.
+//!   without running any jobs. An interrupted store needs `--partial` —
+//!   a partial report is otherwise indistinguishable from a finished
+//!   run's at a glance.
+//! * `compact` rewrites a store's shards in pure job order (torn tails
+//!   and duplicate records dropped); `read_store` results are unchanged.
+//! * `query` prints matching per-job records as CSV on stdout. Filter
+//!   values are validated up front: a typo'd `--outcome hazrd` or
+//!   `--fault throtle` is a usage error, not an empty result.
 //! * `--output-dir` overrides the plan's `[output] dir` (handy for
 //!   running one plan into several stores); the campaign fingerprint
 //!   deliberately excludes the output section, so overriding it never
 //!   invalidates a resume.
 //!
 //! Relative `[output] dir` paths are resolved against the plan file's
-//! directory, so `drivefi run plans/foo.toml` works from anywhere.
+//! directory, so `drivefi run plans/foo.toml` works from anywhere. For
+//! pipeline kinds (`mine`, store-backed `exhaustive`) `report` and
+//! `query` read the sweep-stage sub-store (`validate/` / `sweep/`).
 
 use drivefi::plan::{
-    campaign_fingerprint, run_plan_budget, CampaignPlan, OutputSpec, PlanReport, PlanResult,
+    campaign_fingerprint, known_fault_filter, run_plan_budget, CampaignKind, CampaignPlan,
+    OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR,
 };
-use drivefi::store::{read_store, MANIFEST_FILE};
+use drivefi::store::{compact_store, read_store, MANIFEST_FILE};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str = "usage: drivefi <run|resume|report|query> <plan.toml|store-dir> \
-                     [--max-jobs N] [--output-dir DIR] [--outcome safe|hazard|collision] \
-                     [--scenario ID] [--fault SUBSTR] [--limit N]";
+const USAGE: &str = "usage: drivefi <run|resume|mine|report|compact|query> <plan.toml|store-dir> \
+                     [--max-jobs N] [--output-dir DIR] [--partial] \
+                     [--outcome safe|hazard|collision] [--scenario ID] [--fault SUBSTR] \
+                     [--limit N]";
 
 struct Args {
     command: String,
     target: String,
     max_jobs: Option<u64>,
     output_dir: Option<String>,
+    partial: bool,
     outcome: Option<String>,
     scenario: Option<u32>,
     fault: Option<String>,
@@ -61,6 +76,7 @@ fn parse_args() -> Args {
         target,
         max_jobs: None,
         output_dir: None,
+        partial: false,
         outcome: None,
         scenario: None,
         fault: None,
@@ -79,7 +95,14 @@ fn parse_args() -> Args {
                 )
             }
             "--output-dir" => parsed.output_dir = Some(value("--output-dir")),
-            "--outcome" => parsed.outcome = Some(value("--outcome")),
+            "--partial" => parsed.partial = true,
+            "--outcome" => {
+                let outcome = value("--outcome");
+                if !matches!(outcome.as_str(), "safe" | "hazard" | "collision") {
+                    fail(format!("--outcome must be safe, hazard, or collision (got `{outcome}`)"));
+                }
+                parsed.outcome = Some(outcome)
+            }
             "--scenario" => {
                 parsed.scenario = Some(
                     value("--scenario")
@@ -87,7 +110,17 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| fail("--scenario needs an integer id")),
                 )
             }
-            "--fault" => parsed.fault = Some(value("--fault")),
+            "--fault" => {
+                let fault = value("--fault");
+                if !known_fault_filter(&fault) {
+                    fail(format!(
+                        "--fault `{fault}` matches no known fault-kind name (names look like \
+                         `plan.throttle:max`, `world.lead_distance:min`, `world.clear`, \
+                         `planning.hang`)"
+                    ));
+                }
+                parsed.fault = Some(fault)
+            }
             "--limit" => {
                 parsed.limit = Some(
                     value("--limit").parse().unwrap_or_else(|_| fail("--limit needs an integer")),
@@ -125,6 +158,17 @@ fn store_dir(plan: &CampaignPlan) -> &str {
     match &plan.output {
         Some(output) => &output.dir,
         None => fail("this command needs the plan to have an [output] section (or --output-dir)"),
+    }
+}
+
+/// The directory holding the plan's final per-job records: the store
+/// itself for single-stage kinds, the sweep-stage sub-store
+/// (`validate/` / `sweep/`) for pipeline kinds.
+fn records_dir(plan: &CampaignPlan) -> PathBuf {
+    let root = Path::new(store_dir(plan));
+    match plan.kind.store_subdir() {
+        Some(subdir) => root.join(subdir),
+        None => root.to_path_buf(),
     }
 }
 
@@ -167,12 +211,25 @@ fn print_summary(result: &PlanResult) {
     }
 }
 
-fn cmd_run(args: &Args, require_store: bool) {
+fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
     let plan = load_plan(&args.target, args.output_dir.as_deref());
+    if require_mine && !matches!(plan.kind, CampaignKind::Mine { .. }) {
+        fail(format!(
+            "`drivefi mine` needs a `kind = \"mine\"` plan, got `kind = \"{}\"` \
+             (use `drivefi run` for other kinds)",
+            plan.kind.name()
+        ));
+    }
     if require_store {
+        // Pipeline kinds create their golden sub-store first, so that is
+        // what an interrupted run is guaranteed to have left behind.
         let dir = store_dir(&plan);
-        if !Path::new(dir).join(MANIFEST_FILE).is_file() {
-            fail(format!("nothing to resume: no store manifest under {dir}"));
+        let first_store = match plan.kind.store_subdir() {
+            Some(_) => Path::new(dir).join(GOLDEN_SUBDIR),
+            None => PathBuf::from(dir),
+        };
+        if !first_store.join(MANIFEST_FILE).is_file() {
+            fail(format!("nothing to resume: no store manifest under {}", first_store.display()));
         }
     }
     let result = run_plan_budget(&plan, args.max_jobs).unwrap_or_else(|e| fail(e));
@@ -181,13 +238,30 @@ fn cmd_run(args: &Args, require_store: bool) {
 
 fn cmd_report(args: &Args) {
     let plan = load_plan(&args.target, args.output_dir.as_deref());
-    let dir = store_dir(&plan);
-    let (meta, records) = read_store(dir).unwrap_or_else(|e| fail(e));
+    let mut dir = records_dir(&plan);
+    // Pipeline reports live at the output root, next to the sub-stores.
+    let mut report_dir = PathBuf::from(store_dir(&plan));
+    if plan.kind.store_subdir().is_some() && !dir.join(MANIFEST_FILE).is_file() {
+        // The pipeline was interrupted before its sweep stage existed —
+        // the golden sub-store is all there is to report on.
+        let golden = report_dir.join(GOLDEN_SUBDIR);
+        if golden.join(MANIFEST_FILE).is_file() {
+            eprintln!(
+                "drivefi: note: pipeline interrupted before its sweep stage — reporting on \
+                 the golden stage under {}",
+                golden.display()
+            );
+            dir = golden.clone();
+            report_dir = golden;
+        }
+    }
+    let (meta, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
     let expected = campaign_fingerprint(&plan);
     if meta.fingerprint != expected {
         fail(format!(
-            "store under {dir} was created by a different plan \
+            "store under {} was created by a different plan \
              (fingerprint 0x{:016x}, plan is 0x{expected:016x})",
+            dir.display(),
             meta.fingerprint
         ));
     }
@@ -198,8 +272,47 @@ fn cmd_report(args: &Args) {
         meta.total_jobs,
         records,
     );
-    report.save(dir).unwrap_or_else(|e| fail(e));
+    if !report.complete() && !args.partial {
+        fail(format!(
+            "store under {} holds {} of {} job records — an interrupted campaign; resume it \
+             with `drivefi resume`, or pass --partial to report on it as-is",
+            dir.display(),
+            report.jobs.len(),
+            report.total_jobs
+        ));
+    }
+    report.save(&report_dir).unwrap_or_else(|e| fail(e));
     print_summary(&PlanResult::Persisted(report));
+}
+
+fn cmd_compact(args: &Args) {
+    // Accept either a store directory directly or a plan file, whose
+    // every stage store is compacted.
+    let target = Path::new(&args.target);
+    let dirs: Vec<PathBuf> = if target.join(MANIFEST_FILE).is_file() {
+        vec![target.to_path_buf()]
+    } else {
+        let plan = load_plan(&args.target, args.output_dir.as_deref());
+        let root = PathBuf::from(store_dir(&plan));
+        match plan.kind.store_subdir() {
+            Some(subdir) => vec![root.join(GOLDEN_SUBDIR), root.join(subdir)],
+            None => vec![root],
+        }
+    };
+    for dir in dirs {
+        if !dir.join(MANIFEST_FILE).is_file() {
+            eprintln!("drivefi: skipping {} (no store manifest yet)", dir.display());
+            continue;
+        }
+        let meta = compact_store(&dir).unwrap_or_else(|e| fail(e));
+        println!(
+            "compacted {}: {} records across {} shard(s){} now in pure job order",
+            dir.display(),
+            meta.checkpoint_records,
+            meta.shards,
+            if meta.traces { " (+ trace shards)" } else { "" },
+        );
+    }
 }
 
 fn cmd_query(args: &Args) {
@@ -209,7 +322,7 @@ fn cmd_query(args: &Args) {
     let dir: PathBuf = if target.join(MANIFEST_FILE).is_file() {
         target.to_path_buf()
     } else {
-        PathBuf::from(store_dir(&load_plan(&args.target, args.output_dir.as_deref())))
+        records_dir(&load_plan(&args.target, args.output_dir.as_deref()))
     };
     let (_, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
 
@@ -248,9 +361,11 @@ fn cmd_query(args: &Args) {
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
-        "run" => cmd_run(&args, false),
-        "resume" => cmd_run(&args, true),
+        "run" => cmd_run(&args, false, false),
+        "resume" => cmd_run(&args, true, false),
+        "mine" => cmd_run(&args, false, true),
         "report" => cmd_report(&args),
+        "compact" => cmd_compact(&args),
         "query" => cmd_query(&args),
         other => fail(format!("unknown command `{other}`\n{USAGE}")),
     }

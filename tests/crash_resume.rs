@@ -6,9 +6,10 @@
 use drivefi::fault::FaultSpace;
 use drivefi::plan::{
     run_plan, run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult,
-    ScenarioSelection, SimSection, SinkChoice, JOBS_FILE, REPORT_FILE,
+    ScenarioSelection, SimSection, SinkChoice, GOLDEN_SUBDIR, JOBS_FILE, REPORT_FILE,
+    VALIDATE_SUBDIR,
 };
-use drivefi::store::MANIFEST_FILE;
+use drivefi::store::{compact_store, read_store, read_traces, MANIFEST_FILE};
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 
@@ -167,6 +168,168 @@ fn resume_trusts_shards_not_the_checkpoint_counter() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn mine_plan_into(dir: &Path) -> CampaignPlan {
+    CampaignPlan {
+        name: "mine-resume".into(),
+        kind: CampaignKind::Mine { scene_stride: 50 },
+        seed: 0,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        output: Some(OutputSpec {
+            dir: dir.to_string_lossy().into_owned(),
+            shards: 2,
+            checkpoint_every: 4,
+        }),
+    }
+}
+
+/// Concatenated bytes of every shard/trace log under a store directory —
+/// the proxy for "no job was re-simulated": a resumed stage that re-ran
+/// a completed job would append a duplicate record.
+fn log_bytes(dir: &Path) -> Vec<u8> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "log"))
+        .collect();
+    paths.sort();
+    paths.iter().flat_map(|p| std::fs::read(p).unwrap()).collect()
+}
+
+/// The acceptance-criteria loop: a `kind = "mine"` plan interrupted
+/// mid-golden-collection, mid-fit, and mid-candidate-sweep resumes from
+/// disk — without re-simulating completed jobs — to a final report
+/// byte-identical to an uninterrupted run's, and `drivefi`-style
+/// compaction leaves every read-back unchanged.
+#[test]
+fn mine_plan_resumes_every_stage_to_byte_identical_reports() {
+    let dir = std::env::temp_dir().join(format!("drivefi-crash-mine-{}", std::process::id()));
+    let full_dir = dir.join("full");
+    let part_dir = dir.join("part");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Uninterrupted reference run.
+    let PlanResult::Persisted(full) = run_plan(&mine_plan_into(&full_dir)).unwrap() else {
+        panic!()
+    };
+    assert!(full.complete());
+    assert_eq!(full.kind, "mine");
+    assert!(
+        full.total_jobs > 2,
+        "mining found {} candidates — too few to interrupt",
+        full.total_jobs
+    );
+    assert!(full.jobs.iter().all(|r| r.fault.is_some()), "validation jobs carry mined faults");
+    let full_bytes = report_bytes(&full_dir);
+
+    // Interrupt 1: mid-golden (one of two golden jobs done). The
+    // progress report lands inside the golden sub-store.
+    let plan = mine_plan_into(&part_dir);
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(1)).unwrap() else { panic!() };
+    assert_eq!((partial.jobs.len(), partial.total_jobs), (1, 2), "mid-golden progress");
+    assert!(!partial.complete());
+    assert!(part_dir.join(GOLDEN_SUBDIR).join(REPORT_FILE).is_file());
+    assert!(!part_dir.join(VALIDATE_SUBDIR).exists(), "validation must not have started");
+
+    // Interrupt 2: the budget lands exactly on the golden boundary — the
+    // "interrupted mid-fit" shape: golden complete, fit + mine recompute
+    // from the persisted traces, zero validation jobs run.
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(1)).unwrap() else { panic!() };
+    assert_eq!(partial.total_jobs, full.total_jobs, "fit-from-store mined the same F_crit");
+    assert_eq!(partial.jobs.len(), 0, "no validation budget left");
+    let golden_after_fit = log_bytes(&part_dir.join(GOLDEN_SUBDIR));
+
+    // A crash *during* the fit leaves golden complete and the validation
+    // store half-created: wipe it (and the stale root report) entirely.
+    std::fs::remove_dir_all(part_dir.join(VALIDATE_SUBDIR)).unwrap();
+    std::fs::remove_file(part_dir.join(REPORT_FILE)).unwrap();
+    std::fs::remove_file(part_dir.join(JOBS_FILE)).unwrap();
+
+    // Interrupt 3: mid-candidate-sweep.
+    let sweep_budget = full.total_jobs / 2;
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(sweep_budget)).unwrap() else {
+        panic!()
+    };
+    assert_eq!(partial.jobs.len() as u64, sweep_budget);
+    assert!(!partial.complete());
+
+    // Final resume: byte-identical report, golden logs untouched (the
+    // fit re-read them; nothing golden was re-simulated).
+    let PlanResult::Persisted(resumed) = run_plan(&plan).unwrap() else { panic!() };
+    assert!(resumed.complete());
+    assert_eq!(resumed.jobs, full.jobs);
+    assert_eq!(
+        log_bytes(&part_dir.join(GOLDEN_SUBDIR)),
+        golden_after_fit,
+        "resume re-simulated golden jobs"
+    );
+    let (report, jobs) = report_bytes(&part_dir);
+    assert_eq!(&report, &full_bytes.0, "report.toml drifted across staged interruptions");
+    assert_eq!(&jobs, &full_bytes.1, "jobs.csv drifted across staged interruptions");
+
+    // Compaction: reads and reports unchanged, bytes reordered.
+    let golden_dir = part_dir.join(GOLDEN_SUBDIR);
+    let validate_dir = part_dir.join(VALIDATE_SUBDIR);
+    let before_golden = (read_store(&golden_dir).unwrap(), read_traces(&golden_dir).unwrap());
+    let before_validate = read_store(&validate_dir).unwrap();
+    compact_store(&golden_dir).unwrap();
+    compact_store(&validate_dir).unwrap();
+    assert_eq!(
+        (read_store(&golden_dir).unwrap(), read_traces(&golden_dir).unwrap()),
+        before_golden
+    );
+    assert_eq!(read_store(&validate_dir).unwrap(), before_validate);
+    // Rerunning the (complete) plan after compaction rebuilds the exact
+    // same report from the compacted shards.
+    let PlanResult::Persisted(after) = run_plan(&plan).unwrap() else { panic!() };
+    assert_eq!(after, resumed);
+    assert_eq!(report_bytes(&part_dir), full_bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--max-jobs 0`: a zero budget opens (or creates) the store, runs
+/// nothing, and leaves everything resumable — for both single-stage and
+/// pipeline kinds.
+#[test]
+fn zero_budget_runs_nothing_and_stays_resumable() {
+    let dir = std::env::temp_dir().join(format!("drivefi-crash-zero-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Random store-backed plan.
+    let random_dir = dir.join("random");
+    let PlanResult::Persisted(report) = run_plan_budget(&plan_into(&random_dir), Some(0)).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(report.jobs.len(), 0);
+    assert!(!report.complete());
+    assert!(random_dir.join(MANIFEST_FILE).is_file(), "store created even with a zero budget");
+    let (report_toml, _) = report_bytes(&random_dir);
+    assert!(
+        String::from_utf8(report_toml).unwrap().contains("complete = false"),
+        "report.toml records incompleteness"
+    );
+    let PlanResult::Persisted(resumed) = run_plan(&plan_into(&random_dir)).unwrap() else {
+        panic!()
+    };
+    assert!(resumed.complete());
+    assert_eq!(report_bytes(&random_dir), *baseline());
+
+    // Mine pipeline: a zero budget stops mid-golden with zero records.
+    let mine_dir = dir.join("mine");
+    let PlanResult::Persisted(report) =
+        run_plan_budget(&mine_plan_into(&mine_dir), Some(0)).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!((report.jobs.len(), report.total_jobs), (0, 2));
+    assert!(mine_dir.join(GOLDEN_SUBDIR).join(MANIFEST_FILE).is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Golden campaigns persist and resume through the same machinery.
 #[test]
 fn golden_plan_persists_and_resumes() {
@@ -190,6 +353,14 @@ fn golden_plan_persists_and_resumes() {
     assert!(full.complete());
     assert_eq!(full.kind, "golden");
     assert!(full.jobs.iter().all(|r| r.fault.is_none()));
+    // Golden stores persist the traces themselves — the on-disk training
+    // set the miner can fit from without re-simulating.
+    let (meta, traces) = read_traces(&full_dir).unwrap();
+    assert!(meta.traces);
+    assert_eq!(traces.len(), 3);
+    for (trace, record) in traces.iter().zip(&full.jobs) {
+        assert_eq!(trace.frames.len() as u64, record.scenes);
+    }
 
     let partial = run_plan_budget(&golden_plan(&part_dir), Some(1)).unwrap();
     let PlanResult::Persisted(partial) = partial else { panic!() };
