@@ -161,12 +161,55 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
         fmt_duration(mean),
         fmt_duration(max)
     );
+    let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
     if let Some(t) = throughput {
-        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
         match t {
             Throughput::Elements(n) => println!("{group}/{id}  thrpt: {:.0} elem/s", per_sec(n)),
             Throughput::Bytes(n) => println!("{group}/{id}  thrpt: {:.0} B/s", per_sec(n)),
         }
+    }
+    emit_json(group, id, min, mean, max, throughput);
+}
+
+/// Machine-readable emission: when `DRIVEFI_BENCH_JSON` names a file,
+/// every benchmark appends one JSON object per line (JSONL) —
+/// `{"group","id","min_ns","mean_ns","max_ns","throughput"?}` with
+/// `throughput` as `{"unit","per_sec"}`. CI and `BENCH_*.json` tracking
+/// consume this instead of scraping the human-readable lines.
+fn emit_json(
+    group: &str,
+    id: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("DRIVEFI_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut line = format!(
+        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos()
+    );
+    if let Some(t) = throughput {
+        let (unit, n) = match t {
+            Throughput::Elements(n) => ("elem/s", n),
+            Throughput::Bytes(n) => ("B/s", n),
+        };
+        let per_sec = n as f64 / mean.as_secs_f64().max(1e-12);
+        line.push_str(&format!(",\"throughput\":{{\"unit\":\"{unit}\",\"per_sec\":{per_sec:.1}}}"));
+    }
+    line.push_str("}\n");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("warning: DRIVEFI_BENCH_JSON append to {path} failed: {e}");
     }
 }
 

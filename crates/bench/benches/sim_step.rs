@@ -1,0 +1,69 @@
+//! Stepping-core microbenchmark: the scalar `Simulation` loop against
+//! the batched struct-of-arrays core at lane counts B ∈ {1, 8, 32}.
+//!
+//! All arms execute the same 32 golden jobs over short lead-cruise
+//! scenarios and report throughput in scene-steps per second (jobs ×
+//! scenes per iteration), so the numbers are directly comparable: any
+//! gap between `scalar` and `batched_b*` is the SoA sweep + lockstep
+//! dispatch, not different work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drivefi_sim::{BatchSimulation, SimConfig, Simulation};
+use drivefi_world::scenario::ScenarioConfig;
+use std::hint::black_box;
+
+const JOBS: u64 = 32;
+
+fn short_scenarios() -> Vec<ScenarioConfig> {
+    (0..JOBS)
+        .map(|i| {
+            let mut s = ScenarioConfig::lead_vehicle_cruise(i);
+            s.duration = 4.0; // 30 scenes keeps one iteration snappy
+            s
+        })
+        .collect()
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    group.sample_size(10);
+
+    let config = SimConfig::default();
+    let scenarios = short_scenarios();
+    let scene_steps = JOBS * scenarios[0].scene_count() as u64;
+    group.throughput(Throughput::Elements(scene_steps));
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for scenario in &scenarios {
+                let mut sim = Simulation::new(config, black_box(scenario));
+                acc ^= sim.run().scenes;
+            }
+            black_box(acc)
+        })
+    });
+
+    for lanes in [1usize, 8, 32] {
+        group.bench_function(&format!("batched_b{lanes}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for chunk in scenarios.chunks(lanes) {
+                    let mut batch = BatchSimulation::new(true);
+                    for (i, scenario) in chunk.iter().enumerate() {
+                        batch.push_job(config, black_box(scenario), vec![], i as u64);
+                    }
+                    for result in batch.run_to_completion() {
+                        acc ^= result.report.scenes;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_step);
+criterion_main!(benches);

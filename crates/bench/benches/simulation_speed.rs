@@ -76,6 +76,37 @@ fn bench_campaign_dispatch(c: &mut Criterion) {
         })
     });
 
+    // The mined-injection shape (the paper's point): faults concentrated
+    // in the hazardous tail. Jobs fork off the shared golden prefix right
+    // before their window, so most of each run is never re-simulated —
+    // the shape the batched engine's prefix sharing is built for.
+    let tail_scenes: Vec<u64> = (scenes - 8..scenes - 1).collect();
+    let tail_sweep = |model| {
+        let scenario = Arc::clone(&scenario);
+        let tail = tail_scenes.clone();
+        tail.into_iter().map(move |scene| CampaignJob {
+            id: scene,
+            scenario: Arc::clone(&scenario),
+            faults: vec![Fault {
+                kind: FaultKind::Scalar { signal: Signal::RawThrottle, model },
+                window: FaultWindow::scene(scene),
+            }],
+        })
+    };
+    let tail_jobs = 2 * tail_scenes.len() as u64;
+    group.throughput(Throughput::Elements(tail_jobs));
+    group.bench_function("mined_tail_sweep", |b| {
+        b.iter(|| {
+            let mut done = 0u64;
+            let jobs = tail_sweep(ScalarFaultModel::StuckMax)
+                .chain(tail_sweep(ScalarFaultModel::StuckMin));
+            engine.run(jobs, &mut |_: u64, result: CampaignResult| {
+                done += u64::from(!result.report.outcome.is_safe());
+            });
+            black_box(done)
+        })
+    });
+
     group.finish();
 }
 

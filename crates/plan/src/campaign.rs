@@ -211,6 +211,12 @@ pub struct SimSection {
     pub pid_smoothing: bool,
     /// Engage the module-health watchdog.
     pub watchdog: bool,
+    /// Campaign-engine batch width: how many jobs a worker steps in
+    /// lockstep per dispatch (`None` = auto,
+    /// [`drivefi_sim::DEFAULT_BATCH`]). Pure scheduling — results are
+    /// bit-identical at any width, so like `workers` it is stripped from
+    /// the campaign fingerprint.
+    pub batch: Option<usize>,
 }
 
 impl Default for SimSection {
@@ -221,6 +227,7 @@ impl Default for SimSection {
             kalman_fusion: ads.kalman_fusion,
             pid_smoothing: ads.pid_smoothing,
             watchdog: ads.watchdog,
+            batch: None,
         }
     }
 }
@@ -308,8 +315,9 @@ pub struct CampaignPlan {
 }
 
 /// The campaign identity a persistent store is locked to: the plan with
-/// every pure scheduling/destination knob stripped (`[output]` and
-/// `workers` — both documented as having no effect on results),
+/// every pure scheduling/destination knob stripped (`[output]`,
+/// `workers`, and `[sim] batch` — all documented as having no effect on
+/// results),
 /// fingerprinted. Moving, re-sharding, or re-parallelizing the campaign
 /// therefore never invalidates a resume, while any change to what it
 /// *computes* (kind, seed, scenarios, faults, ablations) refuses to
@@ -320,6 +328,7 @@ pub fn campaign_fingerprint(plan: &CampaignPlan) -> u64 {
     let mut identity = plan.clone();
     identity.output = None;
     identity.workers = None;
+    identity.sim.batch = None;
     if let ScenarioSelection::Files { specs, count, seed, .. } = &plan.scenarios {
         identity.scenarios =
             ScenarioSelection::Inline { specs: specs.clone(), count: *count, seed: *seed };
@@ -371,6 +380,16 @@ pub fn run_plan(plan: &CampaignPlan) -> Result<PlanResult, PlanError> {
 ///
 /// # Errors
 ///
+/// The engine a plan's direct campaign passes run on: worker count plus
+/// the plan's optional `[sim] batch` width override.
+fn plan_engine(plan: &CampaignPlan, sim: SimConfig, workers: usize) -> CampaignEngine {
+    let engine = CampaignEngine::new(sim).with_workers(workers);
+    match plan.sim.batch {
+        Some(batch) => engine.with_batch(batch),
+        None => engine,
+    }
+}
+
 /// Returns a [`PlanError`] on store I/O failure, fingerprint mismatch,
 /// or a budget on a store-less plan.
 pub fn run_plan_budget(plan: &CampaignPlan, budget: Option<u64>) -> Result<PlanResult, PlanError> {
@@ -393,7 +412,7 @@ pub fn run_plan_budget(plan: &CampaignPlan, budget: Option<u64>) -> Result<PlanR
                 }
                 SinkChoice::Outcomes => {
                     let picks = random_fault_picks(&suite, &plan.faults, &config);
-                    let engine = CampaignEngine::new(sim).with_workers(workers);
+                    let engine = plan_engine(plan, sim, workers);
                     let shared = suite.shared();
                     let jobs = picks.iter().enumerate().map(|(id, &(index, spec))| CampaignJob {
                         id: id as u64,
@@ -510,7 +529,7 @@ fn run_persisted(
         open(&output.dir, fingerprint, total, output.shards, output.checkpoint_every)
             .map_err(store_err)?;
 
-    let engine = CampaignEngine::new(sim).with_workers(workers);
+    let engine = plan_engine(plan, sim, workers);
     let fresh = state.records() == 0;
     // Tee the stream: records go to disk, tallies stay in memory for the
     // end-to-end cross-check below.
@@ -606,7 +625,7 @@ fn run_pipeline(
         })
         .collect();
     let mut sink = StoreSink::new(&mut writer, &golden_metas);
-    let ran = CampaignEngine::new(golden_sim).with_workers(workers).run_skipping_budget(
+    let ran = plan_engine(plan, golden_sim, workers).run_skipping_budget(
         golden_jobs,
         |id| state.is_done(id),
         budget,
@@ -663,7 +682,7 @@ fn run_pipeline(
         })
         .collect();
     let mut sink = StoreSink::new(&mut writer, &sweep_metas);
-    CampaignEngine::new(sim).with_workers(workers).run_skipping_budget(
+    plan_engine(plan, sim, workers).run_skipping_budget(
         sweep_jobs,
         |id| state.is_done(id),
         remaining,
@@ -877,15 +896,16 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
         doc.insert("faults".into(), Toml::Table(fault_space_to_toml(&plan.faults)));
     }
     if plan.sim != SimSection::default() {
-        doc.insert(
-            "sim".into(),
-            Toml::Table(Map::from([
-                ("planner_divisor".into(), Toml::Int(i64::from(plan.sim.planner_divisor))),
-                ("kalman_fusion".into(), Toml::Bool(plan.sim.kalman_fusion)),
-                ("pid_smoothing".into(), Toml::Bool(plan.sim.pid_smoothing)),
-                ("watchdog".into(), Toml::Bool(plan.sim.watchdog)),
-            ])),
-        );
+        let mut sim = Map::from([
+            ("planner_divisor".into(), Toml::Int(i64::from(plan.sim.planner_divisor))),
+            ("kalman_fusion".into(), Toml::Bool(plan.sim.kalman_fusion)),
+            ("pid_smoothing".into(), Toml::Bool(plan.sim.pid_smoothing)),
+            ("watchdog".into(), Toml::Bool(plan.sim.watchdog)),
+        ]);
+        if let Some(batch) = plan.sim.batch {
+            sim.insert("batch".into(), Toml::Int(batch as i64));
+        }
+        doc.insert("sim".into(), Toml::Table(sim));
     }
     if let Some(output) = &plan.output {
         doc.insert(
@@ -1174,7 +1194,7 @@ fn sim_section_from_toml(table: &Map) -> Result<SimSection, PlanError> {
     expect_keys(
         table,
         "[sim]",
-        &["planner_divisor", "kalman_fusion", "pid_smoothing", "watchdog"],
+        &["planner_divisor", "kalman_fusion", "pid_smoothing", "watchdog", "batch"],
     )?;
     let default = SimSection::default();
     let planner_divisor = match table.get("planner_divisor") {
@@ -1192,11 +1212,24 @@ fn sim_section_from_toml(table: &Map) -> Result<SimSection, PlanError> {
             Some(v) => as_bool(v, &format!("`{key}`")),
         }
     };
+    let batch = match table.get("batch") {
+        None => None,
+        Some(v) => {
+            let b = as_uint(v, "`batch`")?;
+            if b == 0 {
+                return Err(PlanError::new("`batch` must be at least 1".into()));
+            }
+            Some(usize::try_from(b).map_err(|_| {
+                PlanError::new(format!("`batch` does not fit this platform's usize: {b}"))
+            })?)
+        }
+    };
     Ok(SimSection {
         planner_divisor,
         kalman_fusion: bool_or("kalman_fusion", default.kalman_fusion)?,
         pid_smoothing: bool_or("pid_smoothing", default.pid_smoothing)?,
         watchdog: bool_or("watchdog", default.watchdog)?,
+        batch,
     })
 }
 
@@ -1455,6 +1488,7 @@ mod tests {
             kalman_fusion: false,
             pid_smoothing: false,
             watchdog: false,
+            batch: None,
         }
         .apply(&mut config);
         assert_eq!(config.ads.planner_divisor, 4);
@@ -1469,6 +1503,7 @@ mod tests {
             kalman_fusion: false,
             pid_smoothing: true,
             watchdog: false,
+            batch: Some(16),
         };
         plan.output = Some(OutputSpec { dir: "out/tiny".into(), shards: 7, checkpoint_every: 99 });
         let text = emit_campaign_plan(&plan);
@@ -1500,6 +1535,14 @@ mod tests {
             (
                 base.replace("kalman_fusion = false", "kalman_fusion = false\nplanner_divisor = 0"),
                 "planner_divisor",
+            ),
+            (
+                base.replace("kalman_fusion = false", "kalman_fusion = false\nbatch = 0"),
+                "`batch` must be at least 1",
+            ),
+            (
+                base.replace("kalman_fusion = false", "kalman_fusion = false\nbatch = \"wide\""),
+                "batch",
             ),
         ] {
             let err = parse_campaign_plan(&mutation)
@@ -1596,6 +1639,11 @@ mod tests {
         let mut no_workers = base.clone();
         no_workers.workers = None;
         assert_eq!(campaign_fingerprint(&no_workers), fp);
+        // The batch width is scheduling too: rebatching never
+        // invalidates a store resume.
+        let mut rebatched = base.clone();
+        rebatched.sim.batch = Some(1);
+        assert_eq!(campaign_fingerprint(&rebatched), fp);
         // Anything the campaign computes: different identity.
         for mutate in [
             |p: &mut CampaignPlan| p.seed += 1,

@@ -243,6 +243,7 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
             kalman_fusion: rng.random(),
             pid_smoothing: rng.random(),
             watchdog: rng.random(),
+            batch: if rng.random() { Some(rng.random_range(1..64usize)) } else { None },
         }
     };
     // Exhaustive campaigns reject [output], and an outcome sink cannot

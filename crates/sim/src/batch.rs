@@ -1,0 +1,623 @@
+//! Batched campaign execution: lockstep lane stepping over the
+//! struct-of-arrays world sweep, plus golden-prefix sharing.
+//!
+//! # Lockstep lanes
+//!
+//! [`BatchSimulation`] steps B independent jobs ("lanes") together. Each
+//! base tick runs every lane's sensing → ADS → actuation half scalar
+//! (those paths carry per-lane RNG streams and fault interceptors), then
+//! advances **all** lane worlds in one [`SoaActors`] sweep. Because forks
+//! and retirements happen only at scene boundaries and every scenario's
+//! frame count is a multiple of [`BASE_TICKS_PER_SCENE`], lanes always
+//! stay scene-aligned.
+//!
+//! Every lane reproduces the scalar path bit-for-bit: the world sweep is
+//! op-identical (pinned in `drivefi-world`), and scene accounting goes
+//! through the same [`Simulation::eval_scene`]. A lane *retires* exactly
+//! where `Simulation::run_with` would have returned — end of scenario, or
+//! the first collision under `stop_on_collision`. With early exit
+//! disabled (test mode), finished lanes keep stepping to full length with
+//! their report frozen at the scalar stop point, so early exit can only
+//! ever change wall-clock, never results.
+//!
+//! # Golden-prefix sharing
+//!
+//! A faulted job is bitwise identical to the golden (fault-free) run of
+//! its scenario until the injector first acts — and the injector is a
+//! strict no-op before `start_frame − 1` (the Freeze/Hang capture
+//! lookahead). [`ChunkRunner`] exploits this: per scenario it drives one
+//! golden *pilot*, snapshots the simulation at the scene boundaries where
+//! jobs diverge, and forks each job from its snapshot instead of
+//! re-simulating the shared prefix. Golden jobs take the pilot's result
+//! verbatim; if the pilot stops at a collision in scene c, any job whose
+//! faults cannot act before frame 4c is provably identical and also takes
+//! the result verbatim. The pilot is cached across a worker's chunks
+//! (keyed by the scenario `Arc`), so scenario-major job streams pay the
+//! golden prefix once.
+
+use crate::outcome::RunReport;
+use crate::simulation::{RunState, SimConfig, Simulation, BASE_TICKS_PER_SCENE};
+use crate::{CampaignJob, CampaignResult};
+use drivefi_ads::NullInterceptor;
+use drivefi_fault::{Fault, Injector};
+use drivefi_world::{ScenarioConfig, SoaActors, World};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Default lane count when the batch width is left on auto.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// One in-flight job inside a [`BatchSimulation`].
+struct Lane {
+    sim: Simulation,
+    injector: Injector,
+    /// Live accounting; taken when the lane reaches the scalar stop.
+    state: Option<RunState>,
+    /// The finished result, frozen at the scalar stop point.
+    finished: Option<CampaignResult>,
+    /// Push order, used to restore submission order on drain.
+    key: usize,
+    id: u64,
+}
+
+impl Lane {
+    /// Freezes the lane's report exactly as the scalar loop would have
+    /// returned it here.
+    fn freeze(&mut self) {
+        let state = self.state.take().expect("lane frozen once");
+        let mut report = state.into_report(&self.sim);
+        report.injections = self.injector.injection_count();
+        self.finished = Some(CampaignResult { id: self.id, report });
+    }
+}
+
+/// Steps a batch of jobs in lockstep over the struct-of-arrays world
+/// sweep. See the module docs for the execution model.
+pub struct BatchSimulation {
+    early_exit: bool,
+    soa: SoaActors,
+    lanes: Vec<Lane>,
+    /// Lanes retire out of `lanes`; results wait here until drained.
+    done: Vec<(usize, CampaignResult)>,
+    /// Set when batch composition changed and lanes must be re-gathered.
+    dirty: bool,
+    next_key: usize,
+    ticks: u64,
+}
+
+impl BatchSimulation {
+    /// An empty batch. `early_exit` retires a lane as soon as the scalar
+    /// loop would stop; disabling it (test mode) steps every lane to full
+    /// scenario length with results frozen at the scalar stop point.
+    pub fn new(early_exit: bool) -> Self {
+        BatchSimulation {
+            early_exit,
+            soa: SoaActors::new(),
+            lanes: Vec::new(),
+            done: Vec::new(),
+            dirty: false,
+            next_key: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Adds a fresh job lane (fork at scenario start).
+    pub fn push_job(
+        &mut self,
+        config: SimConfig,
+        scenario: &ScenarioConfig,
+        faults: Vec<Fault>,
+        id: u64,
+    ) {
+        let sim = Simulation::new(config, scenario);
+        let state = RunState::new(&sim);
+        self.push_lane(sim, Injector::new(faults), state, id);
+    }
+
+    /// Adds a lane mid-scenario: a simulation forked from a golden-prefix
+    /// snapshot together with the accounting accumulated so far.
+    pub(crate) fn push_lane(
+        &mut self,
+        sim: Simulation,
+        injector: Injector,
+        state: RunState,
+        id: u64,
+    ) {
+        let key = self.next_key;
+        self.next_key += 1;
+        if sim.done() {
+            // Zero scenes left (degenerate scenario): finish immediately.
+            let mut lane = Lane { sim, injector, state: Some(state), finished: None, key, id };
+            lane.freeze();
+            self.done.push((key, lane.finished.take().expect("frozen")));
+            return;
+        }
+        self.lanes.push(Lane { sim, injector, state: Some(state), finished: None, key, id });
+        self.dirty = true;
+    }
+
+    /// True when no lanes are still stepping.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Total base ticks stepped across all lanes (the early-exit test's
+    /// wall-clock proxy).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances every live lane by one scene (4 base ticks + scene
+    /// evaluation), retiring lanes that reach their scalar stop point.
+    pub fn step_scene(&mut self) {
+        if self.lanes.is_empty() {
+            return;
+        }
+        if self.dirty {
+            self.soa.clear();
+            for lane in &self.lanes {
+                self.soa.attach(lane.sim.world());
+            }
+            self.dirty = false;
+        }
+        let dt = self.lanes[0].sim.dt();
+        for _ in 0..BASE_TICKS_PER_SCENE {
+            for lane in &mut self.lanes {
+                lane.sim.pre_world_tick(&mut lane.injector);
+            }
+            {
+                let mut worlds: Vec<&mut World> =
+                    self.lanes.iter_mut().map(|lane| &mut lane.sim.world).collect();
+                self.soa.step(&mut worlds, dt);
+            }
+            for lane in &mut self.lanes {
+                lane.sim.post_world_tick();
+            }
+            self.ticks += self.lanes.len() as u64;
+        }
+        let mut i = 0;
+        while i < self.lanes.len() {
+            let lane = &mut self.lanes[i];
+            if lane.finished.is_none() {
+                let stop = {
+                    let state = lane.state.as_mut().expect("live lane has accounting");
+                    lane.sim.eval_scene(state)
+                };
+                if stop || lane.sim.done() {
+                    lane.freeze();
+                }
+            }
+            let retire = lane.finished.is_some() && (self.early_exit || lane.sim.done());
+            if retire {
+                let mut lane = self.lanes.swap_remove(i);
+                self.done.push((lane.key, lane.finished.take().expect("retired lane is frozen")));
+                self.dirty = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Steps until every lane has retired and returns the results in push
+    /// order.
+    pub fn run_to_completion(&mut self) -> Vec<CampaignResult> {
+        while !self.is_empty() {
+            self.step_scene();
+        }
+        self.done.sort_by_key(|(key, _)| *key);
+        self.next_key = 0;
+        self.done.drain(..).map(|(_, result)| result).collect()
+    }
+}
+
+/// Accounting snapshot taken alongside a pilot simulation snapshot.
+struct SceneMark {
+    scene: u64,
+    sim: Simulation,
+    state: RunState,
+}
+
+/// A worker's cached golden pilot for one scenario.
+struct PilotCache {
+    scenario: Arc<ScenarioConfig>,
+    /// Live pilot head, extended on demand.
+    sim: Simulation,
+    state: RunState,
+    /// Snapshots at requested fork-scene boundaries, ascending by scene.
+    marks: Vec<SceneMark>,
+    /// Set once the pilot hit its scalar stop point (collision under
+    /// `stop_on_collision`).
+    broke: bool,
+}
+
+impl PilotCache {
+    fn new(config: SimConfig, scenario: &Arc<ScenarioConfig>) -> Self {
+        let sim = Simulation::new(config, scenario);
+        let state = RunState::new(&sim);
+        PilotCache { scenario: Arc::clone(scenario), sim, state, marks: Vec::new(), broke: false }
+    }
+
+    /// The scene index the pilot has completed through.
+    fn progress(&self) -> u64 {
+        self.sim.scene()
+    }
+
+    /// True when the pilot cannot advance further (scenario exhausted or
+    /// scalar stop reached).
+    fn ended(&self) -> bool {
+        self.broke || self.sim.done()
+    }
+
+    /// Drives the pilot forward until it has passed every scene in
+    /// `needs` (snapshotting each as it is reached) and, if `full`, to
+    /// the end of the scenario. Stops early at the scalar stop point.
+    fn ensure(&mut self, needs: &BTreeSet<u64>, full: bool) {
+        let target = needs.iter().next_back().copied();
+        loop {
+            let here = self.progress();
+            if needs.contains(&here) && !self.marks.iter().any(|m| m.scene == here) {
+                self.marks.push(SceneMark {
+                    scene: here,
+                    sim: self.sim.clone(),
+                    state: self.state.clone(),
+                });
+            }
+            if self.ended() {
+                return;
+            }
+            let past_needs = target.is_none_or(|t| here >= t);
+            if past_needs && !full {
+                return;
+            }
+            for _ in 0..BASE_TICKS_PER_SCENE {
+                self.sim.step_tick(&mut NullInterceptor);
+            }
+            if self.sim.eval_scene(&mut self.state) {
+                self.broke = true;
+            }
+        }
+    }
+
+    /// The pilot's own result — what a scalar run of the golden job (or
+    /// of any job whose faults cannot act before the pilot's stop point)
+    /// returns.
+    fn verbatim(&self) -> RunReport {
+        self.state.clone().into_report(&self.sim)
+    }
+
+    /// Clones the fork snapshot at `scene`, if one was taken. A cached
+    /// pilot reused across chunks may already be past a scene it never
+    /// snapshotted — the caller falls back to a fresh lane then.
+    fn fork(&self, scene: u64) -> Option<(Simulation, RunState)> {
+        let mark = self.marks.iter().find(|m| m.scene == scene)?;
+        Some((mark.sim.clone(), mark.state.clone()))
+    }
+}
+
+/// The first frame at which a job's execution can diverge from the
+/// golden run: the injector is a strict no-op before
+/// `start_frame − 1` (Freeze/Hang snapshot their stage one frame ahead
+/// of the window). `None` for golden jobs (never diverge).
+fn first_divergent_frame(faults: &[Fault]) -> Option<u64> {
+    faults.iter().map(|f| f.window.start_frame.saturating_sub(1)).min()
+}
+
+/// A worker's batched chunk executor: groups a chunk's jobs by scenario,
+/// shares golden prefixes through a cached pilot, and runs the forked
+/// lanes to completion in lockstep.
+pub(crate) struct ChunkRunner {
+    config: SimConfig,
+    cache: Option<PilotCache>,
+}
+
+impl ChunkRunner {
+    pub(crate) fn new(config: SimConfig) -> Self {
+        ChunkRunner { config, cache: None }
+    }
+
+    /// Executes every job in `chunk`, returning results in chunk order.
+    pub(crate) fn run_chunk(&mut self, chunk: Vec<CampaignJob>) -> Vec<CampaignResult> {
+        // Group chunk positions by scenario identity (jobs over one
+        // scenario share the `Arc`).
+        let mut groups: Vec<(Arc<ScenarioConfig>, Vec<usize>)> = Vec::new();
+        for (pos, job) in chunk.iter().enumerate() {
+            match groups.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &job.scenario)) {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((Arc::clone(&job.scenario), vec![pos])),
+            }
+        }
+
+        let mut results: Vec<Option<CampaignResult>> = (0..chunk.len()).map(|_| None).collect();
+        for (scenario, positions) in groups {
+            let total_frames = scenario.scene_count() as u64 * BASE_TICKS_PER_SCENE;
+
+            // Reuse the cached pilot when the scenario is the same
+            // allocation (same dynamics by construction: the sensor seed
+            // derives from config ⊕ scenario).
+            let reusable = matches!(&self.cache, Some(c) if Arc::ptr_eq(&c.scenario, &scenario));
+            if !reusable {
+                self.cache = Some(PilotCache::new(self.config, &scenario));
+            }
+            let cache = self.cache.as_mut().expect("pilot cache just populated");
+
+            // Fork scenes needed by this group's faulted jobs, and
+            // whether any job needs the pilot run to full length.
+            let mut needs = BTreeSet::new();
+            let mut full = false;
+            for &pos in &positions {
+                match first_divergent_frame(&chunk[pos].faults) {
+                    Some(f0) if f0 < total_frames => {
+                        needs.insert(f0 / BASE_TICKS_PER_SCENE);
+                    }
+                    // Golden, or faults that can never act in-window:
+                    // the job takes the pilot's full result verbatim.
+                    _ => full = true,
+                }
+            }
+            cache.ensure(&needs, full);
+
+            let mut batch = BatchSimulation::new(true);
+            let mut batch_positions = Vec::new();
+            for &pos in &positions {
+                let job = &chunk[pos];
+                let fork_scene = first_divergent_frame(&job.faults)
+                    .filter(|f0| *f0 < total_frames)
+                    .map(|f0| f0 / BASE_TICKS_PER_SCENE);
+                match fork_scene {
+                    // The job cannot diverge before the pilot's end:
+                    // its scalar run is the pilot's run, bit for bit.
+                    // (`verbatim` reports zero injections, which is right:
+                    // the scalar run stops before any fault window opens.)
+                    None => {
+                        results[pos] =
+                            Some(CampaignResult { id: job.id, report: cache.verbatim() });
+                    }
+                    Some(scene) if cache.ended() && scene >= cache.progress() => {
+                        // Pilot stopped at a collision in an earlier
+                        // scene, so this job's faults never get to act.
+                        results[pos] =
+                            Some(CampaignResult { id: job.id, report: cache.verbatim() });
+                    }
+                    Some(scene) => match cache.fork(scene) {
+                        Some((sim, state)) => {
+                            batch.push_lane(sim, Injector::new(job.faults.clone()), state, job.id);
+                            batch_positions.push(pos);
+                        }
+                        // The cached pilot passed this scene in an earlier
+                        // chunk without snapshotting it: run the whole job
+                        // as a fresh lane (prefix sharing is only an
+                        // optimization).
+                        None => {
+                            let sim = Simulation::new(self.config, &job.scenario);
+                            let state = RunState::new(&sim);
+                            batch.push_lane(sim, Injector::new(job.faults.clone()), state, job.id);
+                            batch_positions.push(pos);
+                        }
+                    },
+                }
+            }
+            for (pos, result) in batch_positions.into_iter().zip(batch.run_to_completion()) {
+                results[pos] = Some(result);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every chunk job produced a result")).collect()
+    }
+}
+
+/// Chunks a job stream into `Vec`s of at most `size` jobs, preserving
+/// order (all chunks are full except possibly the last).
+pub(crate) struct Chunks<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Chunks<I> {
+    pub(crate) fn new(inner: I, size: usize) -> Self {
+        Chunks { inner, size: size.max(1) }
+    }
+}
+
+impl<I: Iterator> Iterator for Chunks<I> {
+    type Item = Vec<I::Item>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for item in self.inner.by_ref() {
+            chunk.push(item);
+            if chunk.len() == self.size {
+                break;
+            }
+        }
+        (!chunk.is_empty()).then_some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_ads::Signal;
+    use drivefi_fault::{FaultKind, FaultWindow, ScalarFaultModel};
+
+    fn throttle_fault(scene: u64) -> Fault {
+        Fault {
+            kind: FaultKind::Scalar {
+                signal: Signal::RawThrottle,
+                model: ScalarFaultModel::StuckMax,
+            },
+            window: FaultWindow::scene(scene),
+        }
+    }
+
+    fn scalar_reference(config: SimConfig, job: &CampaignJob) -> CampaignResult {
+        let mut sim = Simulation::new(config, &job.scenario);
+        let mut injector = Injector::new(job.faults.clone());
+        let mut report = sim.run_with(&mut injector);
+        report.injections = injector.injection_count();
+        CampaignResult { id: job.id, report }
+    }
+
+    fn assert_results_identical(a: &CampaignResult, b: &CampaignResult) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.report.outcome, b.report.outcome);
+        assert_eq!(a.report.min_delta_lon.to_bits(), b.report.min_delta_lon.to_bits());
+        assert_eq!(a.report.min_delta_lat.to_bits(), b.report.min_delta_lat.to_bits());
+        assert_eq!(a.report.scenes, b.report.scenes);
+        assert_eq!(a.report.injections, b.report.injections);
+        assert_eq!(a.report.trace, b.report.trace);
+    }
+
+    #[test]
+    fn chunk_runner_matches_scalar_path() {
+        let config = SimConfig::default();
+        let scenario = Arc::new(ScenarioConfig::lead_vehicle_cruise(7));
+        let other = Arc::new(ScenarioConfig::cut_in(3));
+        let mut chunk = Vec::new();
+        // Golden, early / mid / late transients, permanent, and a second
+        // scenario group in one chunk.
+        chunk.push(CampaignJob { id: 0, scenario: Arc::clone(&scenario), faults: vec![] });
+        for (i, scene) in [0, 1, 7, 20, 28].into_iter().enumerate() {
+            chunk.push(CampaignJob {
+                id: 1 + i as u64,
+                scenario: Arc::clone(&scenario),
+                faults: vec![throttle_fault(scene)],
+            });
+        }
+        chunk.push(CampaignJob {
+            id: 10,
+            scenario: Arc::clone(&other),
+            faults: vec![Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalBrake,
+                    model: ScalarFaultModel::StuckMin,
+                },
+                window: FaultWindow::permanent(40),
+            }],
+        });
+        chunk.push(CampaignJob { id: 11, scenario: Arc::clone(&other), faults: vec![] });
+
+        let mut runner = ChunkRunner::new(config);
+        let batched = runner.run_chunk(chunk.clone());
+        assert_eq!(batched.len(), chunk.len());
+        for (job, result) in chunk.iter().zip(&batched) {
+            assert_results_identical(&scalar_reference(config, job), result);
+        }
+    }
+
+    #[test]
+    fn pilot_cache_survives_chunks_and_window_edges() {
+        // Fault windows beyond the scenario end, at frame 0, and straddling
+        // the end; the second chunk reuses the first chunk's pilot.
+        let config = SimConfig::default();
+        let scenario = Arc::new(ScenarioConfig::lead_brake(5));
+        let frames = scenario.scene_count() as u64 * BASE_TICKS_PER_SCENE;
+        let windows = [
+            FaultWindow { start_frame: 0, frames: 2 },
+            FaultWindow { start_frame: frames - 1, frames: 10 },
+            FaultWindow { start_frame: frames, frames: 4 },
+            FaultWindow { start_frame: frames + 100, frames: u64::MAX },
+        ];
+        let jobs: Vec<_> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| CampaignJob {
+                id: i as u64,
+                scenario: Arc::clone(&scenario),
+                faults: vec![Fault {
+                    kind: FaultKind::Scalar {
+                        signal: Signal::RawThrottle,
+                        model: ScalarFaultModel::StuckMax,
+                    },
+                    window: *w,
+                }],
+            })
+            .collect();
+        let mut runner = ChunkRunner::new(config);
+        for chunk in jobs.chunks(2) {
+            for (job, result) in chunk.iter().zip(runner.run_chunk(chunk.to_vec())) {
+                assert_results_identical(&scalar_reference(config, job), &result);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_fresh_jobs_matches_scalar() {
+        let config = SimConfig::default();
+        let scenarios: Vec<_> =
+            (0..5u64).map(|i| Arc::new(ScenarioConfig::lead_vehicle_cruise(i))).collect();
+        let mut batch = BatchSimulation::new(true);
+        for (i, s) in scenarios.iter().enumerate() {
+            let faults = if i % 2 == 0 { vec![] } else { vec![throttle_fault(5 * i as u64)] };
+            batch.push_job(config, s, faults, i as u64);
+        }
+        let results = batch.run_to_completion();
+        for (i, s) in scenarios.iter().enumerate() {
+            let faults = if i % 2 == 0 { vec![] } else { vec![throttle_fault(5 * i as u64)] };
+            let job = CampaignJob { id: i as u64, scenario: Arc::clone(s), faults };
+            assert_results_identical(&scalar_reference(config, &job), &results[i]);
+        }
+    }
+
+    #[test]
+    fn early_exit_changes_only_wall_clock() {
+        // Faults that rear-end a braking lead: with early exit a colliding
+        // lane retires at the scalar stop point; without it the lane keeps
+        // stepping to full scenario length with its report frozen. The
+        // results must be identical either way — only `ticks()` moves.
+        let config = SimConfig::default();
+        let scenario = ScenarioConfig::lead_brake(3);
+        let runaway = vec![
+            Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalThrottle,
+                    model: ScalarFaultModel::StuckMax,
+                },
+                window: FaultWindow::permanent(8),
+            },
+            Fault {
+                kind: FaultKind::Scalar {
+                    signal: Signal::FinalBrake,
+                    model: ScalarFaultModel::StuckMin,
+                },
+                window: FaultWindow::permanent(8),
+            },
+        ];
+
+        let run = |early_exit: bool| {
+            let mut batch = BatchSimulation::new(early_exit);
+            batch.push_job(config, &scenario, runaway.clone(), 0);
+            batch.push_job(config, &scenario, vec![], 1);
+            (batch.run_to_completion(), batch.ticks())
+        };
+        let (eager, ticks_eager) = run(true);
+        let (full, ticks_full) = run(false);
+
+        assert!(
+            eager[0].report.outcome.is_collision(),
+            "runaway throttle into a braking lead must collide: {:?}",
+            eager[0].report.outcome
+        );
+        for (a, b) in eager.iter().zip(&full) {
+            assert_results_identical(a, b);
+        }
+        // The colliding lane stopped early only in eager mode.
+        assert!(
+            ticks_eager < ticks_full,
+            "early exit saved no ticks ({ticks_eager} vs {ticks_full})"
+        );
+        // Both must also match the scalar path.
+        let jobs = [
+            CampaignJob { id: 0, scenario: Arc::new(scenario.clone()), faults: runaway.clone() },
+            CampaignJob { id: 1, scenario: Arc::new(scenario.clone()), faults: vec![] },
+        ];
+        for (job, result) in jobs.iter().zip(&eager) {
+            assert_results_identical(&scalar_reference(config, job), result);
+        }
+    }
+
+    #[test]
+    fn chunks_preserve_order_and_fill() {
+        let chunks: Vec<_> = Chunks::new(0..7, 3).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+        assert_eq!(Chunks::new(0..0, 3).count(), 0);
+    }
+}

@@ -3,17 +3,21 @@
 //! A campaign is a stream of (scenario × fault) jobs executed on a
 //! worker pool. The [`CampaignEngine`] pulls jobs lazily from a
 //! [`JobSource`] (so exhaustive sweeps never materialize their full
-//! cross-product), reuses one [`Simulation`] arena per worker, and
-//! streams [`CampaignResult`]s into a [`CampaignSink`] as they complete.
-//! Every job is fully deterministic (scenario seed + sensor seed), so
-//! campaign results are reproducible regardless of scheduling or worker
-//! count.
+//! cross-product) in chunks of [`CampaignEngine::batch`] jobs, executes
+//! each chunk on the batched struct-of-arrays core
+//! ([`crate::batch::BatchSimulation`], with golden-prefix sharing across
+//! jobs of one scenario), and streams [`CampaignResult`]s into a
+//! [`CampaignSink`] as chunks complete. Every job is fully deterministic
+//! (scenario seed + sensor seed) and the batched path is bit-identical to
+//! a scalar [`Simulation::run_with`], so campaign results are
+//! reproducible regardless of scheduling, worker count, or batch width.
 
+use crate::batch::{ChunkRunner, Chunks, DEFAULT_BATCH};
 use crate::engine::{default_workers, stream_map, IndexedSlots};
 use crate::outcome::RunReport;
-use crate::simulation::{SimConfig, Simulation};
+use crate::simulation::SimConfig;
 use crate::trace::Trace;
-use drivefi_fault::{Fault, Injector};
+use drivefi_fault::Fault;
 use drivefi_world::ScenarioConfig;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -218,36 +222,8 @@ impl CampaignSink for TraceSink {
     }
 }
 
-/// One worker's reusable simulation arena: the `Simulation` is reset in
-/// place between jobs instead of being reconstructed — world actor
-/// storage, the sensor suite, and the ADS stack (tracker vectors, bus
-/// world model, road lanes) are all reused across the worker's jobs.
-struct WorkerArena {
-    config: SimConfig,
-    sim: Option<Simulation>,
-}
-
-impl WorkerArena {
-    fn new(config: SimConfig) -> Self {
-        WorkerArena { config, sim: None }
-    }
-
-    fn execute(&mut self, job: CampaignJob) -> CampaignResult {
-        let sim = match &mut self.sim {
-            Some(sim) => {
-                sim.reset(&job.scenario);
-                sim
-            }
-            slot @ None => slot.insert(Simulation::new(self.config, &job.scenario)),
-        };
-        let mut injector = Injector::new(job.faults);
-        let mut report = sim.run_with(&mut injector);
-        report.injections = injector.injection_count();
-        CampaignResult { id: job.id, report }
-    }
-}
-
-/// The campaign runner: a [`SimConfig`] plus a worker-count policy.
+/// The campaign runner: a [`SimConfig`] plus worker-count and
+/// batch-width policies.
 ///
 /// ```
 /// use drivefi_sim::{CampaignEngine, CampaignJob, SimConfig};
@@ -269,17 +245,27 @@ impl WorkerArena {
 pub struct CampaignEngine {
     config: SimConfig,
     workers: usize,
+    batch: Option<usize>,
 }
 
 impl CampaignEngine {
-    /// An engine with [`default_workers`] worker threads.
+    /// An engine with [`default_workers`] worker threads and the default
+    /// batch width.
     pub fn new(config: SimConfig) -> Self {
-        CampaignEngine { config, workers: default_workers() }
+        CampaignEngine { config, workers: default_workers(), batch: None }
     }
 
     /// Overrides the worker count (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the batch width — how many jobs a worker pulls and steps
+    /// in lockstep per dispatch (clamped to at least 1). The width is a
+    /// scheduling knob only: results are bit-identical at any value.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch.max(1));
         self
     }
 
@@ -293,9 +279,17 @@ impl CampaignEngine {
         self.workers
     }
 
+    /// The effective batch width ([`DEFAULT_BATCH`] unless overridden).
+    pub fn batch(&self) -> usize {
+        self.batch.unwrap_or(DEFAULT_BATCH)
+    }
+
     /// Runs every job from `jobs`, streaming each result into `sink` on
-    /// the calling thread as it completes. Jobs are pulled from the
-    /// source lazily, one per idle worker.
+    /// the calling thread as chunks complete. Jobs are pulled from the
+    /// source lazily, one chunk of [`CampaignEngine::batch`] jobs per
+    /// idle worker, and each chunk runs on the batched
+    /// struct-of-arrays core. Submission indices are per job (chunks are
+    /// full except possibly the last, so job `i` keeps index `i`).
     ///
     /// # Panics
     ///
@@ -306,12 +300,18 @@ impl CampaignEngine {
         K: CampaignSink + ?Sized,
     {
         let config = self.config;
+        let batch = self.batch();
         stream_map(
-            jobs.into_jobs(),
+            Chunks::new(jobs.into_jobs(), batch),
             self.workers,
-            || WorkerArena::new(config),
-            WorkerArena::execute,
-            |index, result| sink.accept(index, result),
+            || ChunkRunner::new(config),
+            ChunkRunner::run_chunk,
+            |chunk_index, results| {
+                let base = chunk_index * batch as u64;
+                for (pos, result) in results.into_iter().enumerate() {
+                    sink.accept(base + pos as u64, result);
+                }
+            },
         );
     }
 
@@ -379,8 +379,9 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::Simulation;
     use drivefi_ads::Signal;
-    use drivefi_fault::{FaultKind, FaultWindow, ScalarFaultModel};
+    use drivefi_fault::{FaultKind, FaultWindow, Injector, ScalarFaultModel};
 
     fn golden_job(id: u64, seed: u64) -> CampaignJob {
         CampaignJob::new(id, ScenarioConfig::lead_vehicle_cruise(seed), vec![])

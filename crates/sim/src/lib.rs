@@ -33,6 +33,7 @@
 //! assert!(report.outcome.is_safe());
 //! ```
 
+pub mod batch;
 pub mod campaign;
 pub mod engine;
 pub mod outcome;
@@ -40,6 +41,7 @@ pub mod rules;
 pub mod simulation;
 pub mod trace;
 
+pub use batch::{BatchSimulation, DEFAULT_BATCH};
 pub use campaign::{
     run_campaign, CampaignEngine, CampaignJob, CampaignResult, CampaignSink, Collector, JobSource,
     RunningStats, Tee, TraceSink,

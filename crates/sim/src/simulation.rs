@@ -41,15 +41,54 @@ impl Default for SimConfig {
 /// A closed-loop simulation of one scenario.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    config: SimConfig,
-    world: World,
+    pub(crate) config: SimConfig,
+    pub(crate) world: World,
     sensors: SensorSuite,
     ads: AdsStack,
     vehicle: BicycleModel,
     ego: VehicleState,
-    frame: u64,
-    total_frames: u64,
+    pub(crate) frame: u64,
+    pub(crate) total_frames: u64,
     scenario_id: u32,
+}
+
+/// Per-run accounting (outcome, running min-δ, optional trace), factored
+/// out of the scalar loop so the batched runner shares the *same*
+/// evaluation code — scene accounting cannot diverge between the two
+/// paths.
+#[derive(Debug, Clone)]
+pub(crate) struct RunState {
+    pub(crate) outcome: Outcome,
+    pub(crate) min_lon: f64,
+    pub(crate) min_lat: f64,
+    pub(crate) trace: Option<Trace>,
+}
+
+impl RunState {
+    /// Fresh accounting for a run of `sim`.
+    pub(crate) fn new(sim: &Simulation) -> Self {
+        RunState {
+            outcome: Outcome::Safe,
+            min_lon: f64::INFINITY,
+            min_lat: f64::INFINITY,
+            trace: sim.config.record_trace.then(|| Trace {
+                scenario_id: sim.scenario_id,
+                frames: Vec::with_capacity((sim.total_frames / BASE_TICKS_PER_SCENE) as usize),
+            }),
+        }
+    }
+
+    /// Finalizes into a report (injections are filled in by the caller).
+    pub(crate) fn into_report(self, sim: &Simulation) -> RunReport {
+        RunReport {
+            outcome: self.outcome,
+            min_delta_lon: self.min_lon,
+            min_delta_lat: self.min_lat,
+            scenes: sim.scene(),
+            injections: 0,
+            trace: self.trace,
+        }
+    }
 }
 
 impl Simulation {
@@ -113,15 +152,79 @@ impl Simulation {
         self.frame / BASE_TICKS_PER_SCENE
     }
 
-    /// Advances one 30 Hz base tick with the given interceptor.
-    fn step_tick<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) {
-        let dt = 1.0 / self.config.ads.tick_hz;
+    /// True once every frame of the scenario has been stepped.
+    pub(crate) fn done(&self) -> bool {
+        self.frame >= self.total_frames
+    }
+
+    /// Base tick duration \[s\].
+    pub(crate) fn dt(&self) -> f64 {
+        1.0 / self.config.ads.tick_hz
+    }
+
+    /// The sensing → ADS → actuation half of a base tick: everything up
+    /// to (but excluding) the world step. The batched runner calls this
+    /// per lane and then advances all lane worlds in one SoA sweep.
+    pub(crate) fn pre_world_tick<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) {
+        let dt = self.dt();
         let frame = self.sensors.sample(&self.world, self.frame);
         let actuation = self.ads.tick(frame, self.frame, interceptor);
         self.ego = self.vehicle.step(&self.ego, &actuation, dt);
         self.world.set_ego(self.ego, ActorKind::Car.dims());
-        self.world.step(dt);
+    }
+
+    /// Closes a base tick after the world has been advanced.
+    pub(crate) fn post_world_tick(&mut self) {
         self.frame += 1;
+    }
+
+    /// Advances one 30 Hz base tick with the given interceptor.
+    pub(crate) fn step_tick<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) {
+        self.pre_world_tick(interceptor);
+        self.world.step(self.dt());
+        self.post_world_tick();
+    }
+
+    /// Scene-rate evaluation after [`BASE_TICKS_PER_SCENE`] base ticks:
+    /// ground truth, running min-δ, outcome transitions, and the optional
+    /// trace frame. Returns `true` when the run stops here (collision
+    /// with `stop_on_collision` set) — the single definition of the
+    /// scalar break point that the batched early-exit must reproduce.
+    pub(crate) fn eval_scene(&mut self, state: &mut RunState) -> bool {
+        let scene = self.scene() - 1;
+        let gt = self.world.ground_truth();
+        // Raw δ (Definition 3) — see `true_delta` for the margin
+        // rationale.
+        let envelope = gt.envelope.with_min_margin(0.0, 0.0);
+        let delta = SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
+        state.min_lon = state.min_lon.min(delta.longitudinal);
+        state.min_lat = state.min_lat.min(delta.lateral);
+
+        if let Some(actor) = gt.collision {
+            state.outcome = Outcome::Collision { scene, actor: actor.0 };
+        } else if !delta.is_safe() && state.outcome == Outcome::Safe {
+            state.outcome = Outcome::Hazard { scene };
+        }
+
+        if let Some(trace) = &mut state.trace {
+            let bus = &self.ads.bus;
+            trace.frames.push(FrameRecord {
+                scene,
+                time: self.world.time(),
+                ego: self.ego,
+                pose: bus.pose,
+                imu_speed: bus.imu.speed,
+                imu_accel: bus.imu.accel,
+                lead_distance: Signal::LeadDistance.read(bus),
+                lead_speed: Signal::LeadSpeed.read(bus),
+                raw_cmd: bus.raw_cmd,
+                final_cmd: bus.final_cmd,
+                delta_perceived: bus.delta,
+                delta_true: delta,
+            });
+        }
+
+        state.outcome.is_collision() && self.config.stop_on_collision
     }
 
     /// Evaluates the ground-truth safety potential right now.
@@ -196,64 +299,16 @@ impl Simulation {
     /// The hazard monitor evaluates ground truth at scene rate, matching
     /// the paper's per-scene accounting.
     pub fn run_with<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) -> RunReport {
-        let mut outcome = Outcome::Safe;
-        let mut min_lon = f64::INFINITY;
-        let mut min_lat = f64::INFINITY;
-        let mut trace = self.config.record_trace.then(|| Trace {
-            scenario_id: self.scenario_id,
-            frames: Vec::with_capacity((self.total_frames / BASE_TICKS_PER_SCENE) as usize),
-        });
-
+        let mut state = RunState::new(self);
         while self.frame < self.total_frames {
             for _ in 0..BASE_TICKS_PER_SCENE {
                 self.step_tick(interceptor);
             }
-            let scene = self.scene() - 1;
-            let gt = self.world.ground_truth();
-            // Raw δ (Definition 3) — see `true_delta` for the margin
-            // rationale.
-            let envelope = gt.envelope.with_min_margin(0.0, 0.0);
-            let delta = SafetyPotential::evaluate(&self.config.ads.vehicle, &self.ego, &envelope);
-            min_lon = min_lon.min(delta.longitudinal);
-            min_lat = min_lat.min(delta.lateral);
-
-            if let Some(actor) = gt.collision {
-                outcome = Outcome::Collision { scene, actor: actor.0 };
-            } else if !delta.is_safe() && outcome == Outcome::Safe {
-                outcome = Outcome::Hazard { scene };
-            }
-
-            if let Some(trace) = &mut trace {
-                let bus = &self.ads.bus;
-                trace.frames.push(FrameRecord {
-                    scene,
-                    time: self.world.time(),
-                    ego: self.ego,
-                    pose: bus.pose,
-                    imu_speed: bus.imu.speed,
-                    imu_accel: bus.imu.accel,
-                    lead_distance: Signal::LeadDistance.read(bus),
-                    lead_speed: Signal::LeadSpeed.read(bus),
-                    raw_cmd: bus.raw_cmd,
-                    final_cmd: bus.final_cmd,
-                    delta_perceived: bus.delta,
-                    delta_true: delta,
-                });
-            }
-
-            if outcome.is_collision() && self.config.stop_on_collision {
+            if self.eval_scene(&mut state) {
                 break;
             }
         }
-
-        RunReport {
-            outcome,
-            min_delta_lon: min_lon,
-            min_delta_lat: min_lat,
-            scenes: self.scene(),
-            injections: 0,
-            trace,
-        }
+        state.into_report(self)
     }
 }
 

@@ -1,0 +1,477 @@
+//! Struct-of-arrays actor lanes for batched world stepping.
+//!
+//! [`SoaActors`] gathers the hot per-actor state of *B* worlds into flat
+//! `f64` lanes — positions, velocities, headings, and IDM parameters —
+//! with a parallel behavior-tag lane, then advances all of them in one
+//! sweep per tick: a per-world acceleration pass (synchronous update,
+//! like [`World::step`]) followed by a single branch-light Euler
+//! integration loop over every lane. Behaviors that do not batch
+//! (scripted profiles, lane changes, pedestrians) fall back to a scalar
+//! fix-up pass over a precollected index list.
+//!
+//! The sweep is **bit-identical** to calling [`World::step`] on each
+//! world: every floating-point operation is performed in the same order
+//! on the same values (the IDM acceleration is computed by the very same
+//! [`IdmParams::accel`], and the lead query reproduces the scalar scan's
+//! selection exactly). This is what lets the batched campaign path
+//! produce byte-identical records to the scalar path.
+
+use crate::behavior::{Behavior, IdmParams, LaneChangeSpec, SpeedKeyframe};
+use crate::World;
+use drivefi_kinematics::Vec2;
+
+/// Behavior discriminant stored in the parallel tag lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum BehaviorTag {
+    /// Does not move.
+    Static = 0,
+    /// Holds speed along heading.
+    ConstantSpeed = 1,
+    /// IDM car-following (parameters live in the flat lanes).
+    Idm = 2,
+    /// Piecewise-constant-acceleration script (cold side data).
+    Scripted = 3,
+    /// Pedestrian (cold side data).
+    Pedestrian = 4,
+}
+
+impl BehaviorTag {
+    fn of(b: &Behavior) -> Self {
+        match b {
+            Behavior::Static => BehaviorTag::Static,
+            Behavior::ConstantSpeed => BehaviorTag::ConstantSpeed,
+            Behavior::Idm { .. } => BehaviorTag::Idm,
+            Behavior::Scripted { .. } => BehaviorTag::Scripted,
+            Behavior::Pedestrian { .. } => BehaviorTag::Pedestrian,
+        }
+    }
+
+    /// Tags advanced by the flat `v += a·dt; x += v·dt` integration loop.
+    #[inline]
+    fn integrable(tag: u8) -> bool {
+        tag == BehaviorTag::ConstantSpeed as u8
+            || tag == BehaviorTag::Idm as u8
+            || tag == BehaviorTag::Scripted as u8
+    }
+}
+
+/// Cold per-actor side data for behaviors the flat loops cannot express.
+#[derive(Debug, Clone)]
+enum Cold {
+    /// Fully handled by the flat lanes.
+    None,
+    /// IDM actor mid-lane-change: lateral pose fixed up after integration.
+    LaneChange(LaneChangeSpec),
+    /// Scripted longitudinal profile (acceleration looked up per tick).
+    Scripted { keyframes: Vec<SpeedKeyframe>, lane_change: Option<LaneChangeSpec> },
+    /// Pedestrian stepping off at `trigger_time`.
+    Pedestrian { trigger_time: f64, walk_speed: f64 },
+}
+
+/// Per-world span into the flat lanes.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    offset: u32,
+    len: u32,
+}
+
+/// Flat actor lanes spanning a batch of worlds. See the module docs.
+#[derive(Debug, Default)]
+pub struct SoaActors {
+    // Hot kinematic lanes.
+    x: Vec<f64>,
+    y: Vec<f64>,
+    v: Vec<f64>,
+    theta: Vec<f64>,
+    /// Body length lane (for bumper-gap arithmetic).
+    body_len: Vec<f64>,
+    /// Behavior tag lane, parallel to the `f64` lanes.
+    tag: Vec<u8>,
+    // IDM parameter lanes (zero where the tag is not `Idm`).
+    max_accel: Vec<f64>,
+    comfort_decel: Vec<f64>,
+    min_gap: Vec<f64>,
+    time_headway: Vec<f64>,
+    exponent: Vec<f64>,
+    desired_speed: Vec<f64>,
+    /// Acceleration scratch lane filled by the plan pass.
+    accel: Vec<f64>,
+    /// Cold side data, parallel to the lanes.
+    cold: Vec<Cold>,
+    /// Flat indices that need the scalar fix-up pass.
+    fixups: Vec<u32>,
+    slots: Vec<Slot>,
+}
+
+impl SoaActors {
+    /// An empty lane set.
+    pub fn new() -> Self {
+        SoaActors::default()
+    }
+
+    /// Drops all attached worlds (allocations are kept).
+    pub fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.v.clear();
+        self.theta.clear();
+        self.body_len.clear();
+        self.tag.clear();
+        self.max_accel.clear();
+        self.comfort_decel.clear();
+        self.min_gap.clear();
+        self.time_headway.clear();
+        self.exponent.clear();
+        self.desired_speed.clear();
+        self.accel.clear();
+        self.cold.clear();
+        self.fixups.clear();
+        self.slots.clear();
+    }
+
+    /// Number of attached worlds.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of actor lanes.
+    pub fn lane_len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Gathers `world`'s actors into the flat lanes and returns the slot
+    /// index. Worlds must be re-attached (after [`SoaActors::clear`])
+    /// whenever the batch composition changes.
+    pub fn attach(&mut self, world: &World) -> usize {
+        let offset = self.x.len() as u32;
+        for a in &world.actors {
+            let flat = self.x.len() as u32;
+            self.x.push(a.state.x);
+            self.y.push(a.state.y);
+            self.v.push(a.state.v);
+            self.theta.push(a.state.theta);
+            self.body_len.push(a.dims().length);
+            self.tag.push(BehaviorTag::of(&a.behavior) as u8);
+            self.accel.push(0.0);
+            let (p, ds) = match &a.behavior {
+                Behavior::Idm { params, desired_speed, .. } => (*params, *desired_speed),
+                _ => (
+                    IdmParams {
+                        max_accel: 0.0,
+                        comfort_decel: 0.0,
+                        min_gap: 0.0,
+                        time_headway: 0.0,
+                        exponent: 0.0,
+                    },
+                    0.0,
+                ),
+            };
+            self.max_accel.push(p.max_accel);
+            self.comfort_decel.push(p.comfort_decel);
+            self.min_gap.push(p.min_gap);
+            self.time_headway.push(p.time_headway);
+            self.exponent.push(p.exponent);
+            self.desired_speed.push(ds);
+            let cold = match &a.behavior {
+                Behavior::Idm { lane_change: Some(lc), .. } => Cold::LaneChange(*lc),
+                Behavior::Scripted { keyframes, lane_change } => {
+                    Cold::Scripted { keyframes: keyframes.clone(), lane_change: *lane_change }
+                }
+                Behavior::Pedestrian { trigger_time, walk_speed } => {
+                    Cold::Pedestrian { trigger_time: *trigger_time, walk_speed: *walk_speed }
+                }
+                _ => Cold::None,
+            };
+            if !matches!(cold, Cold::None) {
+                self.fixups.push(flat);
+            }
+            self.cold.push(cold);
+        }
+        self.slots.push(Slot { offset, len: world.actors.len() as u32 });
+        self.slots.len() - 1
+    }
+
+    /// Mirror of the scalar lead scan over the slot's lane span: the
+    /// strict-minimum bumper gap among bodies ahead in the lane band,
+    /// actors first (span order = storage order), then the ego. Performs
+    /// the exact same comparisons and gap arithmetic as
+    /// `World::lead_for`, so the selected `(gap, speed)` is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn lead_in_span(
+        &self,
+        lo: usize,
+        hi: usize,
+        skip: usize,
+        x: f64,
+        y: f64,
+        self_len: f64,
+        ego: Option<(f64, f64, f64, f64)>,
+    ) -> Option<(f64, f64)> {
+        let mut best: Option<(f64, f64)> = None;
+        for j in lo..hi {
+            if j == skip {
+                continue;
+            }
+            let (ox, oy) = (self.x[j], self.y[j]);
+            if ox <= x || (oy - y).abs() > 2.0 {
+                continue;
+            }
+            let gap = ox - x - (self.body_len[j] + self_len) / 2.0;
+            if best.is_none_or(|(g, _)| gap < g) {
+                best = Some((gap, self.v[j]));
+            }
+        }
+        if let Some((ex, ey, ev, elen)) = ego {
+            if ex > x && (ey - y).abs() <= 2.0 {
+                let gap = ex - x - (elen + self_len) / 2.0;
+                if best.is_none_or(|(g, _)| gap < g) {
+                    best = Some((gap, ev));
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances every attached world by `dt` seconds in one batched
+    /// sweep. `worlds[i]` must be the world attached as slot `i`; actor
+    /// state, time, and lead order are scattered back so each world stays
+    /// fully consistent (sensors and ground truth read the world, not the
+    /// lanes).
+    pub fn step(&mut self, worlds: &mut [&mut World], dt: f64) {
+        assert_eq!(worlds.len(), self.slots.len(), "one world per attached slot");
+
+        // Plan pass: accelerations against the previous frame, per world
+        // (IDM lead queries stay within the world's span + its ego).
+        let mut accel = std::mem::take(&mut self.accel);
+        for (s, world) in worlds.iter().enumerate() {
+            let Slot { offset, len } = self.slots[s];
+            let (lo, hi) = (offset as usize, (offset + len) as usize);
+            let t = world.time;
+            let ego = world.ego.map(|(es, ed)| (es.x, es.y, es.v, ed.length));
+            for (i, a) in accel.iter_mut().enumerate().take(hi).skip(lo) {
+                *a = match self.tag[i] {
+                    t8 if t8 == BehaviorTag::Idm as u8 => {
+                        let params = IdmParams {
+                            max_accel: self.max_accel[i],
+                            comfort_decel: self.comfort_decel[i],
+                            min_gap: self.min_gap[i],
+                            time_headway: self.time_headway[i],
+                            exponent: self.exponent[i],
+                        };
+                        let lead = self
+                            .lead_in_span(lo, hi, i, self.x[i], self.y[i], self.body_len[i], ego)
+                            .map(|(gap, lv)| (gap, self.v[i] - lv));
+                        params.accel(self.v[i], self.desired_speed[i], lead)
+                    }
+                    t8 if t8 == BehaviorTag::Scripted as u8 => match &self.cold[i] {
+                        Cold::Scripted { keyframes, .. } => {
+                            keyframes.iter().rev().find(|k| t >= k.time).map_or(0.0, |k| k.accel)
+                        }
+                        _ => 0.0,
+                    },
+                    _ => 0.0,
+                };
+            }
+        }
+
+        // Integrate pass: one flat Euler sweep across every world's
+        // lanes. Identical operations to the scalar integrator
+        // (`v = (v + a·dt).max(0); x += v·dt`).
+        for (((v, x), &tag), &a) in
+            self.v.iter_mut().zip(self.x.iter_mut()).zip(&self.tag).zip(&accel)
+        {
+            if BehaviorTag::integrable(tag) {
+                *v = (*v + a * dt).max(0.0);
+                *x += *v * dt;
+            }
+        }
+        self.accel = accel;
+
+        // Scalar fix-up pass: lane-change lateral kinematics and
+        // pedestrian triggers.
+        for f in 0..self.fixups.len() {
+            let i = self.fixups[f] as usize;
+            let slot = self
+                .slots
+                .iter()
+                .position(|s| (i as u32) >= s.offset && (i as u32) < s.offset + s.len)
+                .expect("fix-up lane belongs to a slot");
+            let next_t = worlds[slot].time + dt;
+            match &self.cold[i] {
+                Cold::None => {}
+                Cold::LaneChange(lc) | Cold::Scripted { lane_change: Some(lc), .. } => {
+                    self.y[i] = lc.y_at(next_t);
+                    let vy = lc.vy_at(next_t);
+                    self.theta[i] = if self.v[i] > 0.1 { (vy / self.v[i]).atan() } else { 0.0 };
+                }
+                Cold::Scripted { lane_change: None, .. } => {}
+                Cold::Pedestrian { trigger_time, walk_speed } => {
+                    if next_t >= *trigger_time {
+                        let dir = Vec2::from_heading(self.theta[i]);
+                        self.x[i] += dir.x * walk_speed * dt;
+                        self.y[i] += dir.y * walk_speed * dt;
+                        self.v[i] = *walk_speed;
+                    }
+                }
+            }
+        }
+
+        // Scatter pass: write lanes back so every world remains the
+        // source of truth for sensors and ground-truth queries.
+        for (s, world) in worlds.iter_mut().enumerate() {
+            let lo = self.slots[s].offset as usize;
+            for (j, a) in world.actors.iter_mut().enumerate() {
+                a.state.x = self.x[lo + j];
+                a.state.y = self.y[lo + j];
+                a.state.v = self.v[lo + j];
+                a.state.theta = self.theta[lo + j];
+            }
+            world.time += dt;
+            world.repair_lead_order();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{IdmParams, LaneChangeSpec, SpeedKeyframe};
+    use crate::{Actor, ActorId, ActorKind, Road};
+    use drivefi_kinematics::VehicleState;
+
+    fn mixed_world(seed: u64) -> World {
+        let mut w = World::new(Road::default_highway());
+        let o = seed as f64;
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            VehicleState::new(20.0 + o, 0.0, 25.0, 0.0, 0.0),
+            Behavior::idm(28.0 + o),
+        ));
+        w.add_actor(Actor::new(
+            ActorId(2),
+            ActorKind::Truck,
+            VehicleState::new(80.0 + 2.0 * o, 0.0, 22.0, 0.0, 0.0),
+            Behavior::Scripted {
+                keyframes: vec![
+                    SpeedKeyframe { time: 0.0, accel: 0.0 },
+                    SpeedKeyframe { time: 2.0, accel: -3.0 + 0.1 * o },
+                ],
+                lane_change: None,
+            },
+        ));
+        w.add_actor(Actor::new(
+            ActorId(3),
+            ActorKind::Car,
+            VehicleState::new(40.0, 3.7, 26.0, 0.0, 0.0),
+            Behavior::Idm {
+                params: IdmParams::default(),
+                desired_speed: 27.0,
+                lane_change: Some(LaneChangeSpec {
+                    start_time: 1.0 + 0.2 * o,
+                    duration: 3.0,
+                    from_y: 3.7,
+                    to_y: 0.0,
+                }),
+            },
+        ));
+        w.add_actor(Actor::new(
+            ActorId(4),
+            ActorKind::Pedestrian,
+            VehicleState::new(120.0, -4.0, 0.0, std::f64::consts::FRAC_PI_2, 0.0),
+            Behavior::Pedestrian { trigger_time: 2.5, walk_speed: 1.4 },
+        ));
+        w.add_actor(Actor::new(
+            ActorId(5),
+            ActorKind::StaticObstacle,
+            VehicleState::new(200.0, -1.0, 0.0, 0.0, 0.0),
+            Behavior::Static,
+        ));
+        w.add_actor(Actor::new(
+            ActorId(6),
+            ActorKind::Car,
+            VehicleState::new(150.0, 0.0, 24.0, 0.0, 0.0),
+            Behavior::ConstantSpeed,
+        ));
+        w.set_ego(VehicleState::new(0.0, 0.0, 27.0, 0.0, 0.0), ActorKind::Car.dims());
+        w
+    }
+
+    /// The batched sweep is bit-identical to per-world scalar stepping
+    /// across every behavior kind, for many ticks and several slots.
+    #[test]
+    fn batched_step_matches_scalar_bitwise() {
+        let dt = 1.0 / 30.0;
+        let mut scalar: Vec<World> = (0..3).map(mixed_world).collect();
+        let mut batched: Vec<World> = (0..3).map(mixed_world).collect();
+
+        let mut soa = SoaActors::new();
+        for w in &batched {
+            soa.attach(w);
+        }
+        assert_eq!(soa.slot_count(), 3);
+        assert_eq!(soa.lane_len(), 18);
+
+        for tick in 0..240 {
+            for w in &mut scalar {
+                w.step(dt);
+            }
+            {
+                let mut refs: Vec<&mut World> = batched.iter_mut().collect();
+                soa.step(&mut refs, dt);
+            }
+            for (a, b) in scalar.iter().zip(&batched) {
+                assert_eq!(a.time().to_bits(), b.time().to_bits(), "time at tick {tick}");
+                for (sa, ba) in a.actors().iter().zip(b.actors()) {
+                    for (name, x, y) in [
+                        ("x", sa.state.x, ba.state.x),
+                        ("y", sa.state.y, ba.state.y),
+                        ("v", sa.state.v, ba.state.v),
+                        ("theta", sa.state.theta, ba.state.theta),
+                    ] {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{} of {} at tick {tick}: {x} vs {y}",
+                            name,
+                            sa.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-attaching after batch composition changes (lane retirement)
+    /// keeps the surviving worlds on the scalar trajectory.
+    #[test]
+    fn reattach_after_retirement_stays_equal() {
+        let dt = 1.0 / 30.0;
+        let mut scalar = mixed_world(1);
+        let mut batched: Vec<World> = (0..2).map(|i| mixed_world(1 - i)).collect();
+
+        let mut soa = SoaActors::new();
+        for w in &batched {
+            soa.attach(w);
+        }
+        for _ in 0..30 {
+            scalar.step(dt);
+            let mut refs: Vec<&mut World> = batched.iter_mut().collect();
+            soa.step(&mut refs, dt);
+        }
+        // Retire slot 1 and re-attach the survivor.
+        batched.truncate(1);
+        soa.clear();
+        soa.attach(&batched[0]);
+        for _ in 0..30 {
+            scalar.step(dt);
+            let mut refs: Vec<&mut World> = batched.iter_mut().collect();
+            soa.step(&mut refs, dt);
+        }
+        for (sa, ba) in scalar.actors().iter().zip(batched[0].actors()) {
+            assert_eq!(sa.state.x.to_bits(), ba.state.x.to_bits());
+            assert_eq!(sa.state.v.to_bits(), ba.state.v.to_bits());
+        }
+    }
+}

@@ -25,10 +25,24 @@ pub const ASSUMED_BRAKE_DECEL: f64 = 8.0;
 #[derive(Debug, Clone)]
 pub struct World {
     road: Road,
-    actors: Vec<Actor>,
-    time: f64,
-    ego: Option<(VehicleState, BodyDims)>,
+    pub(crate) actors: Vec<Actor>,
+    pub(crate) time: f64,
+    pub(crate) ego: Option<(VehicleState, BodyDims)>,
+    /// Scratch lane for the synchronous-update acceleration pass, reused
+    /// across ticks to keep `step` allocation-free.
+    accel_scratch: Vec<f64>,
+    /// Actor indices sorted by rear-bumper x (ties by index). Maintained
+    /// incrementally across ticks so lead-vehicle queries are an O(1)
+    /// amortized prefix scan instead of an all-pairs sweep.
+    pub(crate) lead_order: Vec<u32>,
 }
+
+/// Rounding slack for the sorted lead scan: candidates whose rear bumper
+/// trails the incumbent's by more than this cannot hold a smaller
+/// *computed* bumper gap (gap = rear_x − const up to ~1e-12 of rounding at
+/// highway coordinates), so the scan can stop. Far below any physical
+/// spacing, far above f64 rounding error.
+const LEAD_SCAN_SLACK: f64 = 1e-6;
 
 /// Ground-truth information about the ego vehicle's surroundings, used by
 /// the hazard monitor (never by the ADS, which must rely on sensors).
@@ -45,7 +59,14 @@ pub struct GroundTruth {
 impl World {
     /// Creates an empty world on the given road.
     pub fn new(road: Road) -> Self {
-        World { road, actors: Vec::new(), time: 0.0, ego: None }
+        World {
+            road,
+            actors: Vec::new(),
+            time: 0.0,
+            ego: None,
+            accel_scratch: Vec::new(),
+            lead_order: Vec::new(),
+        }
     }
 
     /// Builds the world described by a scenario configuration.
@@ -67,6 +88,8 @@ impl World {
         self.actors.extend(config.actors.iter().cloned());
         self.time = 0.0;
         self.ego = None;
+        self.accel_scratch.clear();
+        self.repair_lead_order();
     }
 
     /// The road.
@@ -92,6 +115,43 @@ impl World {
     /// Adds an actor.
     pub fn add_actor(&mut self, actor: Actor) {
         self.actors.push(actor);
+        self.repair_lead_order();
+    }
+
+    /// Longitudinal sort key for the lead-vehicle order: the actor's rear
+    /// bumper position. Bumper gaps to any fixed querier differ from this
+    /// key only by a constant, so ascending key order is ascending gap
+    /// order (up to rounding, absorbed by [`LEAD_SCAN_SLACK`]).
+    fn rear_key(&self, idx: u32) -> f64 {
+        let a = &self.actors[idx as usize];
+        a.state.x - a.dims().length / 2.0
+    }
+
+    /// Restores the `(rear_x, index)` sort invariant on `lead_order`.
+    /// Actors move smoothly, so the order is nearly sorted after a tick
+    /// and the insertion pass is O(n) amortized.
+    pub(crate) fn repair_lead_order(&mut self) {
+        if self.lead_order.len() != self.actors.len() {
+            self.lead_order.clear();
+            self.lead_order.extend(0..self.actors.len() as u32);
+        }
+        for i in 1..self.lead_order.len() {
+            let v = self.lead_order[i];
+            let kv = self.rear_key(v);
+            let mut j = i;
+            while j > 0 {
+                let u = self.lead_order[j - 1];
+                match self.rear_key(u).total_cmp(&kv) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Equal if u < v => break,
+                    _ => {
+                        self.lead_order[j] = u;
+                        j -= 1;
+                    }
+                }
+            }
+            self.lead_order[j] = v;
+        }
     }
 
     /// Registers the ego vehicle pose for this frame. Target vehicles
@@ -129,6 +189,57 @@ impl World {
         y: f64,
         self_len: f64,
     ) -> Option<(f64, f64)> {
+        // Scan actors in ascending rear-bumper order and stop as soon as a
+        // later candidate provably cannot beat the incumbent. Ties (and
+        // sub-slack near-ties) are broken by storage index, which is
+        // exactly the brute-force scan's "first strict minimum" winner.
+        let mut best: Option<(f64, f64, u32)> = None;
+        let mut best_key = f64::INFINITY;
+        for &oi in &self.lead_order {
+            let other = &self.actors[oi as usize];
+            if Some(other.id) == self_id {
+                continue;
+            }
+            let (ox, oy) = (other.state.x, other.state.y);
+            if ox <= x || (oy - y).abs() > 2.0 {
+                continue;
+            }
+            let key = self.rear_key(oi);
+            if key > best_key + LEAD_SCAN_SLACK {
+                break;
+            }
+            let gap = ox - x - (other.dims().length + self_len) / 2.0;
+            let better = match best {
+                None => true,
+                Some((g, _, bi)) => gap < g || (gap == g && oi < bi),
+            };
+            if better {
+                best = Some((gap, other.state.v, oi));
+                best_key = best_key.min(key);
+            }
+        }
+        let mut best = best.map(|(g, v, _)| (g, v));
+        if let Some((es, ed)) = self.ego {
+            if es.x > x && (es.y - y).abs() <= 2.0 {
+                let gap = es.x - x - (ed.length + self_len) / 2.0;
+                if best.is_none_or(|(g, _)| gap < g) {
+                    best = Some((gap, es.v));
+                }
+            }
+        }
+        best
+    }
+
+    /// Reference all-pairs lead scan, kept only to pin the sorted scan's
+    /// equivalence in tests.
+    #[cfg(test)]
+    fn lead_for_brute(
+        &self,
+        self_id: Option<ActorId>,
+        x: f64,
+        y: f64,
+        self_len: f64,
+    ) -> Option<(f64, f64)> {
         let mut best: Option<(f64, f64)> = None;
         let mut consider = |ox: f64, oy: f64, ov: f64, olen: f64| {
             if ox <= x || (oy - y).abs() > 2.0 {
@@ -155,8 +266,11 @@ impl World {
     pub fn step(&mut self, dt: f64) {
         let t = self.time;
         // Plan accelerations against the *previous* frame (synchronous
-        // update), then integrate.
-        let mut accels = vec![0.0f64; self.actors.len()];
+        // update), then integrate. The scratch lane is taken out of `self`
+        // so the plan pass can borrow the world immutably.
+        let mut accels = std::mem::take(&mut self.accel_scratch);
+        accels.clear();
+        accels.resize(self.actors.len(), 0.0);
         for (i, a) in self.actors.iter().enumerate() {
             accels[i] = match &a.behavior {
                 Behavior::Static => 0.0,
@@ -197,7 +311,9 @@ impl World {
                 }
             }
         }
+        self.accel_scratch = accels;
         self.time = next_t;
+        self.repair_lead_order();
     }
 
     /// Computes ground truth around the registered ego pose.
@@ -397,6 +513,115 @@ mod tests {
         let v = w.actor(ActorId(1)).unwrap().state.v;
         assert!(v < 11.0, "v = {v}");
         assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn lead_order_tracks_overtakes() {
+        let mut w = World::new(Road::default_highway());
+        w.add_actor(car(1, 10.0, 0.0, 30.0, Behavior::ConstantSpeed));
+        w.add_actor(car(2, 20.0, 0.0, 0.0, Behavior::Static));
+        w.set_ego(VehicleState::new(-100.0, 0.0, 0.0, 0.0, 0.0), ego_dims());
+        // Actor 1 overtakes actor 2 around t ≈ 0.33 s; the incremental
+        // order must keep matching the brute-force scan throughout.
+        for _ in 0..60 {
+            w.step(1.0 / 30.0);
+            for a in 0..w.actors.len() {
+                let (id, x, y, len) = {
+                    let a = &w.actors[a];
+                    (a.id, a.state.x, a.state.y, a.dims().length)
+                };
+                assert_eq!(w.lead_for(Some(id), x, y, len), w.lead_for_brute(Some(id), x, y, len));
+            }
+        }
+    }
+
+    mod lead_scan_properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::Rng;
+
+        /// Draws a small world: 0..8 actors of mixed kinds (so body
+        /// lengths differ), duplicate-prone positions, and an optional
+        /// ego pose.
+        struct ArbScene;
+
+        impl Strategy for ArbScene {
+            type Value = (Vec<Actor>, Option<(f64, f64, f64)>);
+
+            fn generate(&self, rng: &mut proptest::StdRng) -> Self::Value {
+                let kinds = [
+                    ActorKind::Car,
+                    ActorKind::Truck,
+                    ActorKind::Pedestrian,
+                    ActorKind::StaticObstacle,
+                ];
+                let n = rng.random_range(0..8usize);
+                let actors = (0..n)
+                    .map(|i| {
+                        // Snap half the positions to a coarse grid so
+                        // exact rear-bumper ties actually occur.
+                        let mut x = rng.random_range(-60.0..1500.0f64);
+                        if rng.random() {
+                            x = (x / 10.0).round() * 10.0;
+                        }
+                        let y = rng.random_range(-6.0..6.0f64);
+                        let v = rng.random_range(0.0..40.0f64);
+                        Actor::new(
+                            ActorId(i as u32 + 1),
+                            kinds[rng.random_range(0..kinds.len())],
+                            VehicleState::new(x, y, v, 0.0, 0.0),
+                            Behavior::ConstantSpeed,
+                        )
+                    })
+                    .collect();
+                let ego = if rng.random() {
+                    Some((
+                        rng.random_range(-60.0..1500.0f64),
+                        rng.random_range(-6.0..6.0f64),
+                        rng.random_range(0.0..40.0f64),
+                    ))
+                } else {
+                    None
+                };
+                (actors, ego)
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The incrementally-sorted lead scan returns bit-identical
+            /// results to the brute-force all-pairs scan, for every
+            /// querier (each actor and the ego), including duplicate
+            /// positions and mixed body lengths.
+            #[test]
+            fn sorted_scan_equals_brute_force(scene in ArbScene) {
+                let (actors, ego) = scene;
+                let mut w = World::new(Road::default_highway());
+                for a in actors {
+                    w.add_actor(a);
+                }
+                if let Some((x, y, v)) = ego {
+                    w.set_ego(VehicleState::new(x, y, v, 0.0, 0.0), ego_dims());
+                }
+                for i in 0..w.actors.len() {
+                    let (id, x, y, len) = {
+                        let a = &w.actors[i];
+                        (a.id, a.state.x, a.state.y, a.dims().length)
+                    };
+                    prop_assert_eq!(
+                        w.lead_for(Some(id), x, y, len),
+                        w.lead_for_brute(Some(id), x, y, len)
+                    );
+                }
+                if let Some((es, ed)) = w.ego() {
+                    prop_assert_eq!(
+                        w.lead_for(None, es.x, es.y, ed.length),
+                        w.lead_for_brute(None, es.x, es.y, ed.length)
+                    );
+                }
+            }
+        }
     }
 
     #[test]
