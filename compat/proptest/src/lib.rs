@@ -93,6 +93,12 @@ impl Arbitrary for u32 {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
 impl Arbitrary for usize {
     fn arbitrary(rng: &mut StdRng) -> Self {
         rng.next_u64() as usize
@@ -117,6 +123,28 @@ impl Arbitrary for f64 {
         // upstream `any::<f64>()`. Tests guard with `prop_assume!`.
         f64::from_bits(rng.next_u64())
     }
+}
+
+// Tuples of strategies are themselves strategies (drawn left to right),
+// mirroring upstream — the idiom behind
+// `prop::collection::vec((0..9u8, 0.0..1.0f64), len)`.
+macro_rules! tuple_strategy {
+    ($( ( $($S:ident . $idx:tt),+ ) )*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// The `prop::` namespace mirrored from upstream.
@@ -146,6 +174,31 @@ pub mod prop {
             type Value = [S::Value; N];
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 std::array::from_fn(|_| self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// A strategy drawing uniformly from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Generation panics if `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select(options)
+        }
+
+        /// See [`select`].
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.0[rng.random_range(0..self.0.len())].clone()
             }
         }
     }

@@ -86,10 +86,11 @@ pub struct Bus {
 impl Bus {
     /// Returns every signal to its [`Bus::default`] value in place,
     /// keeping the world-model object storage allocated — the campaign
-    /// arena path (sensor frames are replaced wholesale each tick, so
-    /// only the world model's allocation is worth retaining). Built on
-    /// `Bus::default()` so a new field can never diverge between fresh
-    /// and reset buses.
+    /// arena path. The sensor frame is reset to empty; callers that pool
+    /// its detection buffers reclaim them first (the simulation arena
+    /// parks them back into the `SensorSuite` spare pool before
+    /// resetting). Built on `Bus::default()` so a new field can never
+    /// diverge between fresh and reset buses.
     pub fn reset(&mut self) {
         let mut objects = std::mem::take(&mut self.world_model.objects);
         objects.clear();

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod bus;
+pub mod profiler;
 pub mod signal;
 pub mod stack;
 pub mod watchdog;

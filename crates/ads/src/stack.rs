@@ -1,11 +1,12 @@
 //! The assembled ADS stack with rate scheduling and injection hooks.
 
+use crate::profiler::{self, TickPhase};
 use crate::{Bus, Stage};
 use drivefi_control::ActuationSmoother;
 use drivefi_kinematics::{Actuation, Vec2, VehicleParams};
-use drivefi_perception::{MultiObjectTracker, PoseEstimator, TrackId, TrackedObject, WorldModel};
+use drivefi_perception::{MultiObjectTracker, PoseEstimator, TrackId, TrackedObject};
 use drivefi_planner::{Planner, PlannerConfig};
-use drivefi_sensors::SensorFrame;
+use drivefi_sensors::{Detection, SensorFrame};
 
 /// Something that can observe and mutate the bus between pipeline stages
 /// — the seam where DriveFI's injector attaches (paper Fig. 1: "DriveFI
@@ -189,6 +190,9 @@ pub struct AdsStack {
     /// The bus, public so tests and tools can inspect the latest tick.
     pub bus: Bus,
     raw_track_seq: u32,
+    /// Per-tick scratch: detections lifted into the world frame for the
+    /// tracker, reused across ticks so perception never allocates.
+    det_scratch: Vec<(Detection, Vec2, Vec2)>,
 }
 
 impl AdsStack {
@@ -212,6 +216,7 @@ impl AdsStack {
             watchdog: crate::Watchdog::new(crate::WatchdogConfig::default()),
             bus: Bus::default(),
             raw_track_seq: 0,
+            det_scratch: Vec::new(),
         }
     }
 
@@ -234,6 +239,7 @@ impl AdsStack {
         self.watchdog.reset();
         self.bus.reset();
         self.raw_track_seq = 0;
+        self.det_scratch.clear();
     }
 
     /// The module-health watchdog (for inspection).
@@ -254,16 +260,34 @@ impl AdsStack {
     /// Executes one 30 Hz tick: consumes a sensor frame, runs the
     /// pipeline with `interceptor` invoked after every stage, and returns
     /// the final actuation `A_t`.
+    ///
+    /// Thin wrapper over [`AdsStack::tick_in_place`]; moving a frame in
+    /// drops the previous tick's detection buffers. The hot path samples
+    /// straight into `bus.sensors` instead and keeps those buffers alive.
     pub fn tick<I: BusInterceptor + ?Sized>(
         &mut self,
         sensors: SensorFrame,
         frame: u64,
         interceptor: &mut I,
     ) -> Actuation {
+        self.bus.sensors = sensors;
+        self.tick_in_place(frame, interceptor)
+    }
+
+    /// Executes one 30 Hz tick over the sensor frame already present in
+    /// `bus.sensors`. This is the allocation-free path: the caller
+    /// writes the frame in place (`SensorSuite::sample_into` into
+    /// `bus.sensors`), perception lifts detections into a reused scratch
+    /// buffer, and the tracker publishes into the bus world model
+    /// without cloning — in the steady state no stage touches the heap.
+    pub fn tick_in_place<I: BusInterceptor + ?Sized>(
+        &mut self,
+        frame: u64,
+        interceptor: &mut I,
+    ) -> Actuation {
         let dt = 1.0 / self.config.tick_hz;
 
-        // --- Stage: sensors (I_t, M_t) ---
-        self.bus.sensors = sensors;
+        // --- Stage: sensors (I_t, M_t) --- (frame already on the bus)
         if let Some(imu) = self.bus.sensors.imu {
             self.bus.imu = imu;
         }
@@ -271,6 +295,7 @@ impl AdsStack {
         interceptor.intercept(Stage::Sensors, frame, &mut self.bus);
 
         // --- Stage: localization ---
+        let probe = profiler::start();
         self.localization.predict(&self.bus.imu, dt);
         if let Some(gps) = self.bus.sensors.gps {
             self.localization.correct(&gps);
@@ -308,49 +333,52 @@ impl AdsStack {
             self.pose_gate.reset_to(reset);
             self.bus.pose = reset;
         }
+        profiler::record(TickPhase::Localization, probe);
 
         // --- Stage: perception (W_t) ---
+        let probe = profiler::start();
         let pose = self.bus.pose;
-        let detections: Vec<_> = self
-            .bus
-            .sensors
-            .detections()
-            .map(|d| {
-                let world_pos = d.position.rotated(pose.theta) + pose.position();
-                let world_vel = d.rel_velocity.rotated(pose.theta) + pose.velocity();
-                (*d, world_pos, world_vel)
-            })
-            .collect();
+        // One ego rotation serves every detection on the bus.
+        let (pose_sin, pose_cos) = pose.theta.sin_cos();
+        let pose_pos = pose.position();
+        let pose_vel = pose.velocity();
+        self.det_scratch.clear();
+        self.det_scratch.extend(self.bus.sensors.detections().map(|d| {
+            let world_pos = d.position.rotated_by(pose_sin, pose_cos) + pose_pos;
+            let world_vel = d.rel_velocity.rotated_by(pose_sin, pose_cos) + pose_vel;
+            (*d, world_pos, world_vel)
+        }));
         if self.config.kalman_fusion {
-            self.bus.world_model = self.tracker.step(&pose, &detections, dt);
+            // Publish straight into the bus, reusing its object storage.
+            // The bus owns the live `W_t` between ticks; interceptor
+            // corruption persists tick-over-tick exactly as before (the
+            // tracker never reads the published model back — fused state
+            // lives in its tracks), so no write-back clone is needed, and
+            // the `set_world_model` seam stays available to tools.
+            self.tracker.step_into(&pose, &self.det_scratch, dt, &mut self.bus.world_model);
         } else {
             // Ablation: raw detections become the world model directly.
-            if !detections.is_empty() {
-                self.bus.world_model = WorldModel {
-                    objects: detections
-                        .iter()
-                        .map(|(d, wp, wv)| {
-                            self.raw_track_seq = self.raw_track_seq.wrapping_add(1);
-                            TrackedObject {
-                                id: TrackId(self.raw_track_seq),
-                                position: *wp,
-                                velocity: *wv,
-                                extent: Vec2::new(d.extent.x, d.extent.y),
-                                truth_id: d.truth_id,
-                            }
-                        })
-                        .collect(),
-                };
+            if !self.det_scratch.is_empty() {
+                let seq = &mut self.raw_track_seq;
+                self.bus.world_model.objects.clear();
+                self.bus.world_model.objects.extend(self.det_scratch.iter().map(|(d, wp, wv)| {
+                    *seq = seq.wrapping_add(1);
+                    TrackedObject {
+                        id: TrackId(*seq),
+                        position: *wp,
+                        velocity: *wv,
+                        extent: Vec2::new(d.extent.x, d.extent.y),
+                        truth_id: d.truth_id,
+                    }
+                }));
             }
         }
         self.bus.heartbeats[Stage::Perception.index()] += 1;
         interceptor.intercept(Stage::Perception, frame, &mut self.bus);
-        if self.config.kalman_fusion {
-            // Persist interceptor corruption into tracker state.
-            self.tracker.set_world_model(self.bus.world_model.clone());
-        }
+        profiler::record(TickPhase::Perception, probe);
 
         // --- Stage: planning (U_A,t) ---
+        let probe = profiler::start();
         if frame.is_multiple_of(u64::from(self.config.planner_divisor.max(1))) {
             let out = self.planner.plan(
                 &self.bus.pose,
@@ -364,8 +392,10 @@ impl AdsStack {
             self.bus.heartbeats[Stage::Planning.index()] += 1;
         }
         interceptor.intercept(Stage::Planning, frame, &mut self.bus);
+        profiler::record(TickPhase::Planning, probe);
 
         // --- Stage: control (A_t) ---
+        let probe = profiler::start();
         self.bus.final_cmd = if self.config.pid_smoothing {
             self.smoother.step(&self.bus.raw_cmd, dt)
         } else {
@@ -405,6 +435,7 @@ impl AdsStack {
                 self.bus.final_cmd = self.watchdog.command(self.bus.final_cmd);
             }
         }
+        profiler::record(TickPhase::Control, probe);
 
         self.bus.final_cmd
     }

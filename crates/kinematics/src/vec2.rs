@@ -52,7 +52,16 @@ impl Vec2 {
     /// Rotates the vector by `angle` radians counter-clockwise.
     pub fn rotated(self, angle: f64) -> Self {
         let (s, c) = angle.sin_cos();
-        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+        self.rotated_by(s, c)
+    }
+
+    /// Rotates by a precomputed `(sin, cos)` pair — bit-identical to
+    /// [`Vec2::rotated`] with the angle those came from. Hot loops hoist
+    /// the `sin_cos` out of per-item work and rotate many vectors by the
+    /// same angle.
+    #[inline]
+    pub fn rotated_by(self, sin: f64, cos: f64) -> Self {
+        Vec2::new(cos * self.x - sin * self.y, sin * self.x + cos * self.y)
     }
 
     /// Expresses a world-frame vector in a frame whose +x axis points along
@@ -64,6 +73,12 @@ impl Vec2 {
     /// Distance between two points.
     pub fn distance(self, other: Vec2) -> f64 {
         (self - other).norm()
+    }
+
+    /// Squared distance between two points (avoids the square root; use
+    /// for comparisons against a squared threshold).
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self - other).norm_sq()
     }
 
     /// Returns a vector with the same direction and unit length, or zero if

@@ -6,7 +6,7 @@
 //! nearest-neighbor matching. Tracks are confirmed after a few hits and
 //! dropped after consecutive misses — the usual M/N logic.
 
-use crate::linalg::{identity, inverse, mat_add, mat_mul, mat_sub, mat_vec, transpose};
+use crate::linalg::{inverse, mat_mul, mat_vec};
 use crate::world_model::{TrackId, TrackedObject, WorldModel};
 use drivefi_kinematics::{Vec2, VehicleState};
 use drivefi_sensors::{Detection, SensorKind};
@@ -61,62 +61,109 @@ impl Track {
     }
 
     /// Constant-velocity prediction over `dt`.
+    ///
+    /// Hand-specialized `x ← Fx`, `P ← FPFᵀ + Q` for the structured
+    /// `F = [I, dt·I; 0, I]`: only the terms the dense products actually
+    /// contribute are computed, in the same accumulation order, so the
+    /// result is bit-identical to the generic matrix chain while doing a
+    /// tenth of the work.
     fn predict(&mut self, dt: f64, q_intensity: f64) {
-        let f =
-            [[1.0, 0.0, dt, 0.0], [0.0, 1.0, 0.0, dt], [0.0, 0.0, 1.0, 0.0], [0.0, 0.0, 0.0, 1.0]];
-        self.x = mat_vec(&f, &self.x);
+        let [x0, x1, x2, x3] = self.x;
+        self.x = [x0 + dt * x2, x1 + dt * x3, x2, x3];
         // White-acceleration process noise.
         let dt2 = dt * dt;
         let dt3 = dt2 * dt / 2.0;
         let dt4 = dt2 * dt2 / 4.0;
         let q = q_intensity;
-        let qm = [
-            [dt4 * q, 0.0, dt3 * q, 0.0],
-            [0.0, dt4 * q, 0.0, dt3 * q],
-            [dt3 * q, 0.0, dt2 * q, 0.0],
-            [0.0, dt3 * q, 0.0, dt2 * q],
-        ];
-        self.p = mat_add(&mat_mul(&mat_mul(&f, &self.p), &transpose(&f)), &qm);
+        let p = &self.p;
+        // F P: position rows pick up the dt-coupled velocity rows.
+        let mut fp = [[0.0; 4]; 4];
+        for j in 0..4 {
+            fp[0][j] = p[0][j] + dt * p[2][j];
+            fp[1][j] = p[1][j] + dt * p[3][j];
+            fp[2][j] = p[2][j];
+            fp[3][j] = p[3][j];
+        }
+        // (F P) Fᵀ, same sparsity on the right, plus Q's eight entries.
+        let mut out = [[0.0; 4]; 4];
+        for (i, fpi) in fp.iter().enumerate() {
+            out[i][0] = fpi[0] + fpi[2] * dt;
+            out[i][1] = fpi[1] + fpi[3] * dt;
+            out[i][2] = fpi[2];
+            out[i][3] = fpi[3];
+        }
+        out[0][0] += dt4 * q;
+        out[0][2] += dt3 * q;
+        out[1][1] += dt4 * q;
+        out[1][3] += dt3 * q;
+        out[2][0] += dt3 * q;
+        out[2][2] += dt2 * q;
+        out[3][1] += dt3 * q;
+        out[3][3] += dt2 * q;
+        self.p = out;
     }
 
     /// Position-only measurement update.
+    ///
+    /// Specialized for `H = [I₂ 0]`: `S` is the top-left 2×2 block of `P`
+    /// plus `R`, `PHᵀ` is the first two columns of `P`, and `(I − KH)P`
+    /// only couples through those columns. Term order matches the generic
+    /// chain, so the arithmetic is bit-identical.
     fn update_position(&mut self, z: Vec2, r_std: f64) {
-        let h = [[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]];
-        let r = [[r_std * r_std, 0.0], [0.0, r_std * r_std]];
-        let y = [z.x - self.x[0], z.y - self.x[1]];
-        let ht = transpose(&h);
-        let s = mat_add(&mat_mul(&mat_mul(&h, &self.p), &ht), &r);
+        let r = r_std * r_std;
+        let p = &self.p;
+        let s = [[p[0][0] + r, p[0][1]], [p[1][0], p[1][1] + r]];
         let Some(s_inv) = inverse(&s) else { return };
-        let k = mat_mul(&mat_mul(&self.p, &ht), &s_inv);
+        let mut k = [[0.0; 2]; 4];
+        for (i, pi) in p.iter().enumerate() {
+            k[i][0] = pi[0] * s_inv[0][0] + pi[1] * s_inv[1][0];
+            k[i][1] = pi[0] * s_inv[0][1] + pi[1] * s_inv[1][1];
+        }
+        let y = [z.x - self.x[0], z.y - self.x[1]];
         let dx = mat_vec(&k, &y);
         for (xi, dxi) in self.x.iter_mut().zip(&dx) {
             *xi += dxi;
         }
-        let kh = mat_mul(&k, &h);
-        self.p = mat_mul(&mat_sub(&identity::<4>(), &kh), &self.p);
+        // (I − KH) P: `0.0 - k` (not `-k`) matches the generic
+        // `mat_sub(identity, kh)` exactly on signed zeros.
+        let mut np = [[0.0; 4]; 4];
+        for j in 0..4 {
+            np[0][j] = (1.0 - k[0][0]) * p[0][j] + (0.0 - k[0][1]) * p[1][j];
+            np[1][j] = (0.0 - k[1][0]) * p[0][j] + (1.0 - k[1][1]) * p[1][j];
+            np[2][j] = (0.0 - k[2][0]) * p[0][j] + (0.0 - k[2][1]) * p[1][j] + p[2][j];
+            np[3][j] = (0.0 - k[3][0]) * p[0][j] + (0.0 - k[3][1]) * p[1][j] + p[3][j];
+        }
+        self.p = np;
         self.hits += 1;
         self.misses = 0;
     }
 
     /// Position + velocity measurement update (RADAR).
+    ///
+    /// Specialized for `H = I`: the `HPHᵀ` and `KH` products collapse, so
+    /// only `S = P + R`, the 4×4 inverse, `K = PS⁻¹`, and `(I − K)P`
+    /// remain — bit-identical to the generic chain.
     fn update_full(&mut self, z_pos: Vec2, z_vel: Vec2, r_pos: f64, r_vel: f64) {
-        let h = identity::<4>();
-        let mut r = [[0.0; 4]; 4];
-        r[0][0] = r_pos * r_pos;
-        r[1][1] = r_pos * r_pos;
-        r[2][2] = r_vel * r_vel;
-        r[3][3] = r_vel * r_vel;
+        let mut s = self.p;
+        s[0][0] += r_pos * r_pos;
+        s[1][1] += r_pos * r_pos;
+        s[2][2] += r_vel * r_vel;
+        s[3][3] += r_vel * r_vel;
+        let Some(s_inv) = inverse(&s) else { return };
+        let k = mat_mul(&self.p, &s_inv);
         let y =
             [z_pos.x - self.x[0], z_pos.y - self.x[1], z_vel.x - self.x[2], z_vel.y - self.x[3]];
-        let s = mat_add(&mat_mul(&mat_mul(&h, &self.p), &transpose(&h)), &r);
-        let Some(s_inv) = inverse(&s) else { return };
-        let k = mat_mul(&mat_mul(&self.p, &transpose(&h)), &s_inv);
         let dx = mat_vec(&k, &y);
         for (xi, dxi) in self.x.iter_mut().zip(&dx) {
             *xi += dxi;
         }
-        let kh = mat_mul(&k, &h);
-        self.p = mat_mul(&mat_sub(&identity::<4>(), &kh), &self.p);
+        let mut m = [[0.0; 4]; 4];
+        for (i, (mi, ki)) in m.iter_mut().zip(&k).enumerate() {
+            for (j, (mij, kij)) in mi.iter_mut().zip(ki).enumerate() {
+                *mij = if i == j { 1.0 - kij } else { 0.0 - kij };
+            }
+        }
+        self.p = mat_mul(&m, &self.p);
         self.hits += 1;
         self.misses = 0;
     }
@@ -129,6 +176,10 @@ pub struct MultiObjectTracker {
     tracks: Vec<Track>,
     next_id: u32,
     model: WorldModel,
+    /// Per-step association scratch (`claimed[i]` ⇔ track `i` matched a
+    /// detection this step), kept across steps so the hot loop never
+    /// allocates.
+    claimed: Vec<bool>,
 }
 
 impl Default for MultiObjectTracker {
@@ -145,7 +196,13 @@ impl MultiObjectTracker {
 
     /// Creates a tracker with the given configuration.
     pub fn with_config(config: TrackerConfig) -> Self {
-        MultiObjectTracker { config, tracks: Vec::new(), next_id: 0, model: WorldModel::new() }
+        MultiObjectTracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            model: WorldModel::new(),
+            claimed: Vec::new(),
+        }
     }
 
     /// Drops every track and the published model, returning the tracker
@@ -155,6 +212,7 @@ impl MultiObjectTracker {
         self.tracks.clear();
         self.next_id = 0;
         self.model.objects.clear();
+        self.claimed.clear();
     }
 
     /// The most recently published world model.
@@ -171,33 +229,70 @@ impl MultiObjectTracker {
     /// Advances all tracks by `dt` and fuses one batch of detections
     /// (already converted to world frame by the caller). Returns the
     /// refreshed world model.
+    ///
+    /// Thin wrapper over [`MultiObjectTracker::step_into`] that also
+    /// refreshes the tracker's own published copy (visible through
+    /// [`MultiObjectTracker::world_model`]). The returned clone makes
+    /// this the reference path for equivalence tests; hot loops use
+    /// `step_into` and publish straight into the caller's buffer.
     pub fn step(
         &mut self,
         ego: &VehicleState,
         detections: &[(Detection, Vec2, Vec2)],
         dt: f64,
     ) -> WorldModel {
+        let mut out = std::mem::take(&mut self.model);
+        self.step_into(ego, detections, dt, &mut out);
+        self.model = out;
+        self.model.clone()
+    }
+
+    /// Advances all tracks by `dt`, fuses one batch of detections, and
+    /// publishes the confirmed tracks into `out` in place — `out.objects`
+    /// is cleared and refilled, reusing its capacity, so a warmed-up
+    /// steady-state step performs no heap allocation. The result is
+    /// independent of `out`'s prior contents and bit-identical to what
+    /// [`MultiObjectTracker::step`] returns.
+    ///
+    /// This path does *not* refresh the tracker's internally published
+    /// model ([`MultiObjectTracker::world_model`]): the caller owns the
+    /// live `W_t` between steps, and the [`set_world_model`] corruption
+    /// seam stays available for fault injection.
+    ///
+    /// [`set_world_model`]: MultiObjectTracker::set_world_model
+    pub fn step_into(
+        &mut self,
+        ego: &VehicleState,
+        detections: &[(Detection, Vec2, Vec2)],
+        dt: f64,
+        out: &mut WorldModel,
+    ) {
         let _ = ego;
         for t in &mut self.tracks {
             t.predict(dt, self.config.process_noise);
         }
 
-        let mut claimed = vec![false; self.tracks.len()];
+        self.claimed.clear();
+        self.claimed.resize(self.tracks.len(), false);
+        // Gate and nearest-neighbor ordering compare squared distances:
+        // the metric is monotone, the distance itself is never published,
+        // and skipping `hypot` is a measurable win in the hot loop.
+        let gate_sq = self.config.gate * self.config.gate;
         for (det, world_pos, world_vel) in detections {
             // Gated nearest-neighbor association.
             let mut best: Option<(usize, f64)> = None;
             for (i, t) in self.tracks.iter().enumerate() {
-                if claimed[i] {
+                if self.claimed[i] {
                     continue;
                 }
-                let d = t.position().distance(*world_pos);
-                if d < self.config.gate && best.is_none_or(|(_, bd)| d < bd) {
+                let d = t.position().distance_sq(*world_pos);
+                if d < gate_sq && best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
             }
             match best {
                 Some((i, _)) => {
-                    claimed[i] = true;
+                    self.claimed[i] = true;
                     let t = &mut self.tracks[i];
                     match det.sensor {
                         SensorKind::Radar => t.update_full(*world_pos, *world_vel, 0.8, 0.3),
@@ -217,14 +312,14 @@ impl MultiObjectTracker {
                         det.extent,
                         det.truth_id,
                     ));
-                    claimed.push(true);
+                    self.claimed.push(true);
                 }
             }
         }
 
         // Miss accounting and pruning.
         for (i, t) in self.tracks.iter_mut().enumerate() {
-            if !claimed.get(i).copied().unwrap_or(true) {
+            if !self.claimed.get(i).copied().unwrap_or(true) {
                 t.misses += 1;
             }
         }
@@ -233,21 +328,16 @@ impl MultiObjectTracker {
 
         // Publish confirmed tracks.
         let confirm = self.config.confirm_hits;
-        self.model = WorldModel {
-            objects: self
-                .tracks
-                .iter()
-                .filter(|t| t.hits >= confirm)
-                .map(|t| TrackedObject {
-                    id: t.id,
-                    position: t.position(),
-                    velocity: t.velocity(),
-                    extent: t.extent,
-                    truth_id: t.truth_id,
-                })
-                .collect(),
-        };
-        self.model.clone()
+        out.objects.clear();
+        out.objects.extend(self.tracks.iter().filter(|t| t.hits >= confirm).map(|t| {
+            TrackedObject {
+                id: t.id,
+                position: t.position(),
+                velocity: t.velocity(),
+                extent: t.extent,
+                truth_id: t.truth_id,
+            }
+        }));
     }
 }
 

@@ -1,0 +1,99 @@
+//! Property-based equivalence of the in-place tracker publish path.
+//!
+//! [`MultiObjectTracker::step_into`] writing into an arbitrarily dirty
+//! output model must publish bit-identically to what
+//! [`MultiObjectTracker::step`] returns on a twin tracker fed the same
+//! detection stream — including when the [`set_world_model`] fault seam
+//! corrupts the published model between steps, which must never leak
+//! into the next step's output on either path.
+//!
+//! [`set_world_model`]: MultiObjectTracker::set_world_model
+
+use drivefi_kinematics::{Vec2, VehicleState};
+use drivefi_perception::{MultiObjectTracker, TrackId, TrackedObject, TrackerConfig, WorldModel};
+use drivefi_sensors::{Detection, SensorKind};
+use proptest::prelude::*;
+
+fn sensor_kind(tag: u8) -> SensorKind {
+    match tag % 3 {
+        0 => SensorKind::Camera,
+        1 => SensorKind::Lidar,
+        _ => SensorKind::Radar,
+    }
+}
+
+/// One fused detection as the ADS perception stage hands it to the
+/// tracker: the raw ego-frame detection plus its world-frame position
+/// and velocity.
+fn fused(tag: u8, px: f64, py: f64, vx: f64, vy: f64) -> (Detection, Vec2, Vec2) {
+    let det = Detection {
+        sensor: sensor_kind(tag),
+        position: Vec2::new(px, py), // unused by the tracker (world frame rules)
+        rel_velocity: Vec2::new(vx, vy),
+        extent: Vec2::new(4.0 + f64::from(tag % 4), 1.8),
+        truth_id: u32::from(tag),
+    };
+    (det, Vec2::new(px, py), Vec2::new(vx, vy))
+}
+
+/// A garbage model the next publish must fully overwrite.
+fn junk_model(n: usize) -> WorldModel {
+    WorldModel {
+        objects: (0..n)
+            .map(|i| TrackedObject {
+                id: TrackId(u32::MAX - i as u32),
+                position: Vec2::new(f64::NAN, 1e12),
+                velocity: Vec2::new(-1e9, f64::MAX),
+                extent: Vec2::new(-5.0, -5.0),
+                truth_id: u32::MAX,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn step_into_dirty_out_equals_step(
+        steps in prop::collection::vec(
+            prop::collection::vec(
+                (any::<u8>(), 0.0..120.0f64, -8.0..8.0f64, -10.0..10.0f64, -3.0..3.0f64),
+                0..5),
+            1..25),
+        gate in 1.0..10.0f64,
+        junk in 0usize..7,
+        corrupt_every in 1usize..6,
+    ) {
+        let config = TrackerConfig { gate, ..TrackerConfig::default() };
+        let mut reference = MultiObjectTracker::with_config(config);
+        let mut in_place = MultiObjectTracker::with_config(config);
+        let ego = VehicleState::new(0.0, 0.0, 20.0, 0.0, 0.0);
+        let dt = 1.0 / 30.0;
+
+        let mut out = junk_model(junk);
+        for (step_idx, batch) in steps.iter().enumerate() {
+            let detections: Vec<(Detection, Vec2, Vec2)> = batch
+                .iter()
+                .map(|&(tag, px, py, vx, vy)| fused(tag, px, py, vx, vy))
+                .collect();
+
+            if step_idx % corrupt_every == 0 {
+                // DriveFI's perception corruption seam: replace the
+                // published model on BOTH trackers. Neither step path
+                // may read it back into the next publish.
+                reference.set_world_model(junk_model(junk));
+                in_place.set_world_model(junk_model(junk));
+                // And re-dirty the in-place output buffer itself.
+                out = junk_model(junk + 1);
+            }
+
+            let want = reference.step(&ego, &detections, dt);
+            in_place.step_into(&ego, &detections, dt, &mut out);
+            prop_assert_eq!(&out, &want, "step {}", step_idx);
+            // `step` also refreshes the tracker's published copy;
+            // `step_into` deliberately does not (the caller owns W_t).
+            prop_assert_eq!(reference.world_model(), &want);
+        }
+    }
+}

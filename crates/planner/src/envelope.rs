@@ -25,8 +25,12 @@ pub fn perceived_envelope(
     let right_gap = (pose.y - params.width / 2.0) - lane.right_boundary();
     let mut lat_free = left_gap.min(right_gap).max(0.0);
 
+    // `to_local` and `into_frame` rotate by the same `-θ`; one hoisted
+    // sin/cos serves every object, bit-identical to the per-object calls.
+    let (frame_sin, frame_cos) = (-pose.theta).sin_cos();
+    let origin = pose.position();
     for obj in &model.objects {
-        let local = pose.to_local(obj.position);
+        let local = (obj.position - origin).rotated_by(frame_sin, frame_cos);
         let obj_len = obj.extent.x;
         let obj_wid = obj.extent.y;
         // The +1.0 m corridor margin (vs the hazard monitor's +0.2 m)
@@ -38,7 +42,7 @@ pub fn perceived_envelope(
             // Credit the tracked object's receding motion (see the
             // ground-truth twin in `drivefi_world` for the rationale and
             // the Example-1 calibration).
-            let recede = obj.velocity.into_frame(pose.theta).x.max(0.0);
+            let recede = obj.velocity.rotated_by(frame_sin, frame_cos).x.max(0.0);
             let credit = recede * recede / (2.0 * params.max_decel);
             lon_free = lon_free.min(gap.max(0.0) + credit);
         }

@@ -50,15 +50,19 @@ impl SpeedPlanner {
         params: &VehicleParams,
     ) -> Option<LeadInfo> {
         let mut best: Option<LeadInfo> = None;
+        // Hoisted ego rotation (see `perceived_envelope`): same `-θ` for
+        // positions and velocities, computed once for all objects.
+        let (frame_sin, frame_cos) = (-pose.theta).sin_cos();
+        let origin = pose.position();
         for obj in &model.objects {
-            let local = pose.to_local(obj.position);
+            let local = (obj.position - origin).rotated_by(frame_sin, frame_cos);
             // Same widened corridor as the perceived envelope: react to
             // vehicles already encroaching on the lane boundary.
             if local.x <= 0.0 || local.y.abs() > (params.width + obj.extent.y) / 2.0 + 1.0 {
                 continue;
             }
             let gap = local.x - (params.length + obj.extent.x) / 2.0;
-            let speed = obj.velocity.into_frame(pose.theta).x;
+            let speed = obj.velocity.rotated_by(frame_sin, frame_cos).x;
             if best.is_none_or(|b| gap < b.gap) {
                 best = Some(LeadInfo { gap: gap.max(0.0), speed });
             }

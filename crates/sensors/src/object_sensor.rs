@@ -95,31 +95,64 @@ impl ObjectSensor {
     ///
     /// Panics if the world has no registered ego pose.
     pub fn sense<R: Rng + ?Sized>(&self, world: &World, rng: &mut R) -> Vec<Detection> {
+        let mut out = Vec::new();
+        self.sense_into(world, rng, &mut out);
+        out
+    }
+
+    /// Like [`ObjectSensor::sense`], but writes into `out` (cleared
+    /// first), reusing its capacity so steady-state sampling never
+    /// allocates. The RNG draw sequence is identical to `sense`: one
+    /// dropout draw per visible actor, then four noise draws per kept
+    /// detection — draws never depend on the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no registered ego pose.
+    pub fn sense_into<R: Rng + ?Sized>(
+        &self,
+        world: &World,
+        rng: &mut R,
+        out: &mut Vec<Detection>,
+    ) {
         let (ego, _) = world.ego().expect("sensors require a registered ego pose");
+        let ego_pos = ego.position();
         let ego_vel = ego.velocity();
+        // One rotation into the ego frame serves both the position and the
+        // relative velocity of every actor (`to_local` and `into_frame`
+        // rotate by the same `-θ`; hoisting the sin/cos out of the loop
+        // keeps the values bit-identical).
+        let (frame_sin, frame_cos) = (-ego.theta).sin_cos();
+        // A full-circle sensor sees every bearing: `atan2` stays within
+        // ±π, so the field-of-view test cannot fail and is skipped.
+        let check_fov = self.half_fov < std::f64::consts::PI;
+        // Range gating compares squared distances: the norm itself is
+        // never published, and `hypot` costs several times a multiply.
+        let range_sq = self.range * self.range;
         let pos_noise = Gaussian::new(0.0, self.pos_noise);
         let vel_noise = Gaussian::new(0.0, self.vel_noise);
 
-        let mut out = Vec::new();
+        out.clear();
         for actor in world.actors() {
-            let local = ego.to_local(Vec2::new(actor.state.x, actor.state.y));
-            let dist = local.norm();
-            if dist > self.range {
+            let actor_pos = Vec2::new(actor.state.x, actor.state.y);
+            let local = (actor_pos - ego_pos).rotated_by(frame_sin, frame_cos);
+            if local.norm_sq() > range_sq {
                 continue;
             }
-            let bearing = local.y.atan2(local.x);
-            if bearing.abs() > self.half_fov {
-                continue;
+            if check_fov {
+                let bearing = local.y.atan2(local.x);
+                if bearing.abs() > self.half_fov {
+                    continue;
+                }
             }
-            if occluded(world, ego.position(), Vec2::new(actor.state.x, actor.state.y), actor.id.0)
-            {
+            if occluded(world, ego_pos, actor_pos, actor.id.0) {
                 continue;
             }
             if rng.random::<f64>() < self.dropout {
                 continue;
             }
             let rel_vel_world = actor.velocity() - ego_vel;
-            let rel_vel = rel_vel_world.into_frame(ego.theta);
+            let rel_vel = rel_vel_world.rotated_by(frame_sin, frame_cos);
             let dims = actor.dims();
             out.push(Detection {
                 sensor: self.kind,
@@ -135,7 +168,6 @@ impl ObjectSensor {
                 truth_id: actor.id.0,
             });
         }
-        out
     }
 }
 

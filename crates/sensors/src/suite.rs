@@ -47,28 +47,49 @@ pub struct SensorSuite {
     pub imu_noise: f64,
     rng: StdRng,
     last_speed: Option<f64>,
+    /// Spare detection buffers, one per object channel (camera, lidar,
+    /// radar). A channel's buffer parks here while its sensor skips
+    /// ticks, so [`SensorSuite::sample_into`] never reallocates when the
+    /// sensor comes back on its next scheduled frame.
+    spares: [Vec<Detection>; 3],
 }
 
 impl SensorSuite {
     /// Creates the default suite with a deterministic RNG seed.
     pub fn with_seed(seed: u64) -> Self {
-        SensorSuite {
+        // Placeholder fields; `reseed` is the single source of truth for
+        // the constructed state so the two paths can never diverge.
+        let mut suite = SensorSuite {
             camera: ObjectSensor::camera(),
             lidar: ObjectSensor::lidar(),
             radar: ObjectSensor::radar(),
-            gps_noise: 0.15,
-            imu_noise: 0.05,
-            rng: StdRng::seed_from_u64(seed ^ 0x5E45_0125),
+            gps_noise: 0.0,
+            imu_noise: 0.0,
+            rng: StdRng::seed_from_u64(0),
             last_speed: None,
-        }
+            spares: [Vec::new(), Vec::new(), Vec::new()],
+        };
+        suite.reseed(seed);
+        suite
     }
 
     /// Resets the suite in place to the state [`SensorSuite::with_seed`]
     /// constructs — sensor configurations, noise levels, RNG stream, and
-    /// IMU differentiator history — without reallocating. This is the
-    /// campaign arena path: one suite serves every job of a worker.
+    /// IMU differentiator history. The pooled detection buffers keep
+    /// their capacity (they are cleared, not dropped), so on the
+    /// campaign arena path — one suite serving every job of a worker —
+    /// sampling stays allocation-free across job boundaries.
     pub fn reseed(&mut self, seed: u64) {
-        *self = SensorSuite::with_seed(seed);
+        self.camera = ObjectSensor::camera();
+        self.lidar = ObjectSensor::lidar();
+        self.radar = ObjectSensor::radar();
+        self.gps_noise = 0.15;
+        self.imu_noise = 0.05;
+        self.rng = StdRng::seed_from_u64(seed ^ 0x5E45_0125);
+        self.last_speed = None;
+        for spare in &mut self.spares {
+            spare.clear();
+        }
     }
 
     /// Whether a sensor with `rate_hz` refreshes on base-tick `frame`.
@@ -79,22 +100,58 @@ impl SensorSuite {
 
     /// Samples all sensors for base-tick `frame` (30 Hz ticks).
     ///
+    /// Thin wrapper over [`SensorSuite::sample_into`] returning a fresh
+    /// frame; the pooled path is what campaigns run on.
+    ///
     /// # Panics
     ///
     /// Panics if the world has no registered ego pose.
     pub fn sample(&mut self, world: &World, frame: u64) -> SensorFrame {
-        let (ego, _) = world.ego().expect("sensors require a registered ego pose");
         let mut out = SensorFrame::default();
+        self.sample_into(world, frame, &mut out);
+        out
+    }
 
-        if Self::ticks(self.camera.rate_hz, frame) {
-            out.camera = Some(self.camera.sense(world, &mut self.rng));
-        }
-        if Self::ticks(self.lidar.rate_hz, frame) {
-            out.lidar = Some(self.lidar.sense(world, &mut self.rng));
-        }
-        if Self::ticks(self.radar.rate_hz, frame) {
-            out.radar = Some(self.radar.sense(world, &mut self.rng));
-        }
+    /// Samples all sensors for base-tick `frame` into `out`, reusing its
+    /// detection buffers (and the suite's spare pool) so steady-state
+    /// sampling performs no heap allocation. Every field of `out` is
+    /// overwritten — the result is independent of the frame's prior
+    /// contents — and the RNG stream is identical to
+    /// [`SensorSuite::sample`]: camera → lidar → radar → GPS → IMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no registered ego pose.
+    pub fn sample_into(&mut self, world: &World, frame: u64, out: &mut SensorFrame) {
+        let (ego, _) = world.ego().expect("sensors require a registered ego pose");
+
+        let [camera_spare, lidar_spare, radar_spare] = &mut self.spares;
+        Self::refresh_channel(
+            &self.camera,
+            Self::ticks(self.camera.rate_hz, frame),
+            world,
+            &mut self.rng,
+            &mut out.camera,
+            camera_spare,
+        );
+        Self::refresh_channel(
+            &self.lidar,
+            Self::ticks(self.lidar.rate_hz, frame),
+            world,
+            &mut self.rng,
+            &mut out.lidar,
+            lidar_spare,
+        );
+        Self::refresh_channel(
+            &self.radar,
+            Self::ticks(self.radar.rate_hz, frame),
+            world,
+            &mut self.rng,
+            &mut out.radar,
+            radar_spare,
+        );
+        out.gps = None;
+        out.imu = None;
         if Self::ticks(7.5, frame) {
             let g = Gaussian::new(0.0, self.gps_noise);
             out.gps = Some(GpsFix {
@@ -113,7 +170,42 @@ impl SensorSuite {
             self.last_speed = Some(speed);
             out.imu = Some(ImuSample { speed, accel, yaw_rate: ego.v * ego.phi.tan() / 2.8 });
         }
-        out
+    }
+
+    /// Takes the detection buffers out of `frame` (clearing them) and
+    /// parks them in the suite's spare pool. Campaign arenas call this
+    /// before resetting the bus between jobs so the pooled buffers
+    /// survive job boundaries instead of being dropped with the frame.
+    pub fn reclaim_frame(&mut self, frame: &mut SensorFrame) {
+        let channels = [&mut frame.camera, &mut frame.lidar, &mut frame.radar];
+        for (spare, channel) in self.spares.iter_mut().zip(channels) {
+            if let Some(mut buf) = channel.take() {
+                buf.clear();
+                *spare = buf;
+            }
+        }
+    }
+
+    /// Refreshes one object channel in place. A ticking sensor fills the
+    /// channel's existing buffer (or reclaims the pooled spare); a
+    /// skipping sensor sets the channel to `None` and parks its buffer in
+    /// the spare slot for the next scheduled frame.
+    fn refresh_channel(
+        sensor: &ObjectSensor,
+        ticked: bool,
+        world: &World,
+        rng: &mut StdRng,
+        channel: &mut Option<Vec<Detection>>,
+        spare: &mut Vec<Detection>,
+    ) {
+        if ticked {
+            let mut buf = channel.take().unwrap_or_else(|| std::mem::take(spare));
+            sensor.sense_into(world, rng, &mut buf);
+            *channel = Some(buf);
+        } else if let Some(mut buf) = channel.take() {
+            buf.clear();
+            *spare = buf;
+        }
     }
 }
 

@@ -38,9 +38,10 @@
 use crate::outcome::RunReport;
 use crate::simulation::{RunState, SimConfig, Simulation, BASE_TICKS_PER_SCENE};
 use crate::{CampaignJob, CampaignResult};
+use drivefi_ads::profiler::{self, TickPhase};
 use drivefi_ads::NullInterceptor;
 use drivefi_fault::{Fault, Injector};
-use drivefi_world::{ScenarioConfig, SoaActors, World};
+use drivefi_world::{ScenarioConfig, SoaActors};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -166,9 +167,11 @@ impl BatchSimulation {
                 lane.sim.pre_world_tick(&mut lane.injector);
             }
             {
-                let mut worlds: Vec<&mut World> =
-                    self.lanes.iter_mut().map(|lane| &mut lane.sim.world).collect();
-                self.soa.step(&mut worlds, dt);
+                // Sweep every lane's world straight through the lane
+                // structs — no per-tick `Vec<&mut World>` gather.
+                let probe = profiler::start();
+                self.soa.step_each(&mut self.lanes, |lane| &mut lane.sim.world, dt);
+                profiler::record(TickPhase::World, probe);
             }
             for lane in &mut self.lanes {
                 lane.sim.post_world_tick();

@@ -2,6 +2,7 @@
 
 use crate::outcome::{Outcome, RunReport};
 use crate::trace::{FrameRecord, Trace};
+use drivefi_ads::profiler::{self, TickPhase};
 use drivefi_ads::{AdsConfig, AdsStack, BusInterceptor, NullInterceptor, Signal};
 use drivefi_kinematics::{BicycleModel, SafetyPotential, VehicleState};
 use drivefi_sensors::SensorSuite;
@@ -123,6 +124,10 @@ impl Simulation {
     pub fn reset(&mut self, scenario: &ScenarioConfig) {
         self.world.reset_from_scenario(scenario);
         self.world.set_ego(scenario.ego_start, ActorKind::Car.dims());
+        // Park the bus frame's detection buffers back in the suite's
+        // spare pool before the bus reset would drop them: sampling
+        // stays allocation-free across job boundaries too.
+        self.sensors.reclaim_frame(&mut self.ads.bus.sensors);
         self.sensors.reseed(self.config.sensor_seed ^ scenario.seed);
         self.ads.reset(scenario.ego_set_speed, &scenario.road);
         self.vehicle = BicycleModel::new(self.config.ads.vehicle);
@@ -167,10 +172,17 @@ impl Simulation {
     /// per lane and then advances all lane worlds in one SoA sweep.
     pub(crate) fn pre_world_tick<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) {
         let dt = self.dt();
-        let frame = self.sensors.sample(&self.world, self.frame);
-        let actuation = self.ads.tick(frame, self.frame, interceptor);
+        // Sample straight into the bus frame: the same detection buffers
+        // carry every tick of the run, so the sensing → ADS half of the
+        // loop never touches the heap in the steady state.
+        let probe = profiler::start();
+        self.sensors.sample_into(&self.world, self.frame, &mut self.ads.bus.sensors);
+        profiler::record(TickPhase::Sense, probe);
+        let actuation = self.ads.tick_in_place(self.frame, interceptor);
+        let probe = profiler::start();
         self.ego = self.vehicle.step(&self.ego, &actuation, dt);
         self.world.set_ego(self.ego, ActorKind::Car.dims());
+        profiler::record(TickPhase::Vehicle, probe);
     }
 
     /// Closes a base tick after the world has been advanced.
@@ -181,7 +193,9 @@ impl Simulation {
     /// Advances one 30 Hz base tick with the given interceptor.
     pub(crate) fn step_tick<I: BusInterceptor + ?Sized>(&mut self, interceptor: &mut I) {
         self.pre_world_tick(interceptor);
+        let probe = profiler::start();
         self.world.step(self.dt());
+        profiler::record(TickPhase::World, probe);
         self.post_world_tick();
     }
 
@@ -191,6 +205,7 @@ impl Simulation {
     /// with `stop_on_collision` set) — the single definition of the
     /// scalar break point that the batched early-exit must reproduce.
     pub(crate) fn eval_scene(&mut self, state: &mut RunState) -> bool {
+        let probe = profiler::start();
         let scene = self.scene() - 1;
         let gt = self.world.ground_truth();
         // Raw δ (Definition 3) — see `true_delta` for the margin
@@ -224,6 +239,7 @@ impl Simulation {
             });
         }
 
+        profiler::record(TickPhase::Eval, probe);
         state.outcome.is_collision() && self.config.stop_on_collision
     }
 

@@ -1,0 +1,97 @@
+//! The allocation-free hot-path invariant, enforced.
+//!
+//! A counting `#[global_allocator]` wraps `System` and tallies every
+//! `alloc`/`realloc`/`alloc_zeroed`. After a warm-up pass sizes every
+//! pooled buffer (bus sensor frames, tracker scratch, world actor and
+//! lead-order vectors, SoA lanes), the steady-state tick must perform
+//! **zero** heap operations — on both the scalar `Simulation` arena
+//! path and the batched SoA `step_scene` path.
+//!
+//! Everything lives in ONE `#[test]` so no sibling test thread can
+//! pollute the global counter.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use drivefi_sim::{BatchSimulation, SimConfig, Simulation};
+use drivefi_world::scenario::ScenarioConfig;
+
+struct CountingAlloc;
+
+static ALLOC_OPS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a plain
+// relaxed atomic increment with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_OPS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_ops() -> u64 {
+    ALLOC_OPS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_tick_never_allocates() {
+    // ---- Scalar arena path: warm build + run, then a reset + full
+    // rerun must not touch the heap. This is exactly the campaign
+    // worker's per-job loop.
+    let config = SimConfig::default();
+    let scenario = ScenarioConfig::lead_vehicle_cruise(3);
+    let mut sim = Simulation::new(config, &scenario);
+    let warm = sim.run();
+    sim.reset(&scenario);
+    let warm2 = sim.run(); // second pass: every pool is at its high-water mark
+
+    sim.reset(&scenario);
+    let before = alloc_ops();
+    let report = sim.run();
+    let scalar_ops = alloc_ops() - before;
+    assert_eq!(
+        scalar_ops, 0,
+        "scalar reset+run performed {scalar_ops} heap operations (outcome {:?})",
+        report.outcome
+    );
+    assert_eq!(report.outcome, warm.outcome);
+    assert_eq!(report.outcome, warm2.outcome);
+
+    // ---- Batched SoA path: long-duration lanes, a few warm scenes to
+    // size the lane pools and build the SoA mirror, then one measured
+    // `step_scene` over all live lanes must not touch the heap.
+    let mut batch = BatchSimulation::new(true);
+    for i in 0..8u64 {
+        let mut s = ScenarioConfig::lead_vehicle_cruise(i);
+        s.duration = 60.0; // plenty of scenes left after warm-up
+        batch.push_job(config, &s, vec![], i);
+    }
+    for _ in 0..10 {
+        batch.step_scene();
+    }
+    assert!(!batch.is_empty(), "all lanes retired during warm-up");
+
+    let before = alloc_ops();
+    batch.step_scene();
+    let batched_ops = alloc_ops() - before;
+    assert_eq!(batched_ops, 0, "batched step_scene performed {batched_ops} heap operations");
+}

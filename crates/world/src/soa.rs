@@ -239,12 +239,25 @@ impl SoaActors {
     /// fully consistent (sensors and ground truth read the world, not the
     /// lanes).
     pub fn step(&mut self, worlds: &mut [&mut World], dt: f64) {
-        assert_eq!(worlds.len(), self.slots.len(), "one world per attached slot");
+        self.step_each(worlds, |w| &mut **w, dt);
+    }
+
+    /// Like [`SoaActors::step`], but reaches each slot's world through
+    /// `world_of` on the caller's own items. This lets a batch runner
+    /// whose worlds live inside larger per-lane structs sweep them
+    /// directly, without materializing a `Vec<&mut World>` every tick —
+    /// the hot loop stays allocation-free.
+    pub fn step_each<T, F>(&mut self, items: &mut [T], mut world_of: F, dt: f64)
+    where
+        F: FnMut(&mut T) -> &mut World,
+    {
+        assert_eq!(items.len(), self.slots.len(), "one world per attached slot");
 
         // Plan pass: accelerations against the previous frame, per world
         // (IDM lead queries stay within the world's span + its ego).
         let mut accel = std::mem::take(&mut self.accel);
-        for (s, world) in worlds.iter().enumerate() {
+        for (s, item) in items.iter_mut().enumerate() {
+            let world = &*world_of(item);
             let Slot { offset, len } = self.slots[s];
             let (lo, hi) = (offset as usize, (offset + len) as usize);
             let t = world.time;
@@ -297,7 +310,7 @@ impl SoaActors {
                 .iter()
                 .position(|s| (i as u32) >= s.offset && (i as u32) < s.offset + s.len)
                 .expect("fix-up lane belongs to a slot");
-            let next_t = worlds[slot].time + dt;
+            let next_t = world_of(&mut items[slot]).time + dt;
             match &self.cold[i] {
                 Cold::None => {}
                 Cold::LaneChange(lc) | Cold::Scripted { lane_change: Some(lc), .. } => {
@@ -319,7 +332,8 @@ impl SoaActors {
 
         // Scatter pass: write lanes back so every world remains the
         // source of truth for sensors and ground-truth queries.
-        for (s, world) in worlds.iter_mut().enumerate() {
+        for (s, item) in items.iter_mut().enumerate() {
+            let world = world_of(item);
             let lo = self.slots[s].offset as usize;
             for (j, a) in world.actors.iter_mut().enumerate() {
                 a.state.x = self.x[lo + j];
