@@ -28,6 +28,7 @@ fn main() {
         scenarios: ScenarioSelection::Paper { count: scenarios, seed: 2026 },
         faults: FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: None,
     };
 

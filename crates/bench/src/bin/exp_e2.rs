@@ -27,6 +27,7 @@ fn main() {
         scenarios: ScenarioSelection::Paper { count: 24, seed: 2026 },
         faults: FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: None,
     };
 

@@ -283,6 +283,28 @@ impl OutputSpec {
     }
 }
 
+/// The `[submit]` plan section: scheduling metadata read by the
+/// `drivefi serve` daemon when this plan is dropped in its spool. Pure
+/// scheduling — stripped from [`campaign_fingerprint`] like `[output]`
+/// and `workers`, so submitting a plan never changes what it computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitSection {
+    /// Fair-share weight: how many job-budget slices this campaign
+    /// receives per scheduling round, relative to weight-1 campaigns.
+    pub weight: u32,
+}
+
+impl SubmitSection {
+    /// Largest accepted fair-share weight.
+    pub const MAX_WEIGHT: u32 = 64;
+}
+
+impl Default for SubmitSection {
+    fn default() -> Self {
+        SubmitSection { weight: 1 }
+    }
+}
+
 /// A complete, serializable campaign description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPlan {
@@ -312,12 +334,15 @@ pub struct CampaignPlan {
     /// Persistent store + report destination (`[output]` section).
     /// `None` = in-memory results only, as before.
     pub output: Option<OutputSpec>,
+    /// Daemon scheduling metadata (`[submit]` section; defaults =
+    /// weight 1).
+    pub submit: SubmitSection,
 }
 
 /// The campaign identity a persistent store is locked to: the plan with
 /// every pure scheduling/destination knob stripped (`[output]`,
-/// `workers`, and `[sim] batch` — all documented as having no effect on
-/// results),
+/// `workers`, `[sim] batch`, and `[submit]` — all documented as having
+/// no effect on results),
 /// fingerprinted. Moving, re-sharding, or re-parallelizing the campaign
 /// therefore never invalidates a resume, while any change to what it
 /// *computes* (kind, seed, scenarios, faults, ablations) refuses to
@@ -329,6 +354,7 @@ pub fn campaign_fingerprint(plan: &CampaignPlan) -> u64 {
     identity.output = None;
     identity.workers = None;
     identity.sim.batch = None;
+    identity.submit = SubmitSection::default();
     if let ScenarioSelection::Files { specs, count, seed, .. } = &plan.scenarios {
         identity.scenarios =
             ScenarioSelection::Inline { specs: specs.clone(), count: *count, seed: *seed };
@@ -917,6 +943,12 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
             ])),
         );
     }
+    if plan.submit != SubmitSection::default() {
+        doc.insert(
+            "submit".into(),
+            Toml::Table(Map::from([("weight".into(), Toml::Int(i64::from(plan.submit.weight)))])),
+        );
+    }
     doc
 }
 
@@ -1027,7 +1059,7 @@ fn campaign_plan_from_toml(
     expect_keys(
         doc,
         "campaign plan",
-        &["name", "campaign", "scenarios", "faults", "sim", "output"],
+        &["name", "campaign", "scenarios", "faults", "sim", "output", "submit"],
     )?;
     let name = as_str(get(doc, "campaign plan", "name")?, "`name`")?.to_owned();
 
@@ -1187,7 +1219,32 @@ fn campaign_plan_from_toml(
         ));
     }
 
-    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults, sim, output })
+    let submit = match doc.get("submit") {
+        None => SubmitSection::default(),
+        Some(value) => submit_section_from_toml(as_table(value, "[submit]")?)?,
+    };
+
+    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults, sim, output, submit })
+}
+
+fn submit_section_from_toml(table: &Map) -> Result<SubmitSection, PlanError> {
+    expect_keys(table, "[submit]", &["weight"])?;
+    let weight = match table.get("weight") {
+        None => SubmitSection::default().weight,
+        Some(v) => {
+            let w = as_uint(v, "`weight`")?;
+            u32::try_from(w)
+                .ok()
+                .filter(|w| (1..=SubmitSection::MAX_WEIGHT).contains(w))
+                .ok_or_else(|| {
+                    PlanError::new(format!(
+                        "`weight` must be in 1..={}, got {w}",
+                        SubmitSection::MAX_WEIGHT
+                    ))
+                })?
+        }
+    };
+    Ok(SubmitSection { weight })
 }
 
 fn sim_section_from_toml(table: &Map) -> Result<SimSection, PlanError> {
@@ -1315,6 +1372,7 @@ mod tests {
             scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
             faults: FaultSpace::default(),
             sim: SimSection::default(),
+            submit: Default::default(),
             output: None,
         }
     }
@@ -1336,6 +1394,7 @@ mod tests {
                 },
                 faults: FaultSpace::default(),
                 sim: SimSection::default(),
+                submit: Default::default(),
                 output: None,
             },
             CampaignPlan {
@@ -1364,6 +1423,7 @@ mod tests {
                     window_scenes: 6,
                 },
                 sim: SimSection::default(),
+                submit: Default::default(),
                 output: None,
             },
             CampaignPlan {
@@ -1382,6 +1442,7 @@ mod tests {
                 },
                 faults: FaultSpace::default(),
                 sim: SimSection::default(),
+                submit: Default::default(),
                 output: None,
             },
         ];
@@ -1586,6 +1647,7 @@ mod tests {
             scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
             faults: FaultSpace::default(),
             sim: SimSection::default(),
+            submit: Default::default(),
             output: Some(OutputSpec::new("out/mine")),
         };
         let text = emit_campaign_plan(&plan);
@@ -1644,6 +1706,11 @@ mod tests {
         let mut rebatched = base.clone();
         rebatched.sim.batch = Some(1);
         assert_eq!(campaign_fingerprint(&rebatched), fp);
+        // Daemon scheduling metadata: reweighting a submission never
+        // invalidates a store resume either.
+        let mut reweighted = base.clone();
+        reweighted.submit = SubmitSection { weight: 8 };
+        assert_eq!(campaign_fingerprint(&reweighted), fp);
         // Anything the campaign computes: different identity.
         for mutate in [
             |p: &mut CampaignPlan| p.seed += 1,
@@ -1678,6 +1745,31 @@ mod tests {
     }
 
     #[test]
+    fn submit_section_parses_validates_and_round_trips() {
+        let text = "name = \"weighted\"\n\n[campaign]\nkind = \"random\"\nruns = 2\n\n\
+                    [scenarios]\nsource = \"paper\"\ncount = 1\nseed = 0\n\n[submit]\nweight = 3\n";
+        let plan = parse_campaign_plan(text).unwrap();
+        assert_eq!(plan.submit, SubmitSection { weight: 3 });
+        // Emit → parse round-trips, and a default weight emits no
+        // [submit] section at all.
+        let reparsed = parse_campaign_plan(&emit_campaign_plan(&plan)).unwrap();
+        assert_eq!(reparsed.submit, plan.submit);
+        let mut unweighted = plan;
+        unweighted.submit = SubmitSection::default();
+        assert!(!emit_campaign_plan(&unweighted).contains("submit"));
+        // Out-of-range and unknown keys are parse errors.
+        let err =
+            parse_campaign_plan(&text.replace("weight = 3", "weight = 0")).expect_err("weight 0");
+        assert!(err.to_string().contains("weight"), "got: {err}");
+        let err =
+            parse_campaign_plan(&text.replace("weight = 3", "weight = 65")).expect_err("weight 65");
+        assert!(err.to_string().contains("weight"), "got: {err}");
+        let err = parse_campaign_plan(&text.replace("weight = 3", "velocity = 3"))
+            .expect_err("unknown submit key");
+        assert!(err.to_string().contains("velocity"), "got: {err}");
+    }
+
+    #[test]
     fn outcome_sink_cannot_combine_with_an_output_store() {
         let mut plan = tiny_random_plan();
         plan.sink = SinkChoice::Outcomes;
@@ -1704,6 +1796,7 @@ mod tests {
             scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
             faults: FaultSpace::default(),
             sim: SimSection::default(),
+            submit: Default::default(),
             output: None,
         };
         let text = emit_campaign_plan(&plan);
@@ -1732,6 +1825,7 @@ mod tests {
             scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
             faults: FaultSpace::default(),
             sim: SimSection::default(),
+            submit: Default::default(),
             output: None,
         };
         let PlanResult::Golden(traces) = run_plan(&plan).unwrap() else {

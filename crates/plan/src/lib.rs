@@ -41,7 +41,7 @@ pub mod toml;
 pub use campaign::{
     campaign_fingerprint, campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan,
     run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult, ScenarioSelection,
-    SimSection, SinkChoice, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
+    SimSection, SinkChoice, SubmitSection, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
 pub use expr::{emit_expr, parse_expr};
 pub use report::{csv_header, csv_row, known_fault_filter, PlanReport, JOBS_FILE, REPORT_FILE};

@@ -7,7 +7,7 @@ use drivefi_fault::{CorruptionGrid, FaultKind, FaultSpace, ScalarFaultModel};
 use drivefi_plan::{
     emit_campaign_plan, emit_expr, emit_scenario_spec, parse_campaign_plan, parse_expr,
     parse_scenario_spec, CampaignKind, CampaignPlan, OutputSpec, ScenarioSelection, SimSection,
-    SinkChoice,
+    SinkChoice, SubmitSection,
 };
 use drivefi_world::spec::{
     ActorTemplate, EgoSpec, Expr, KeyframeProgram, LaneChangeTemplate, ManeuverTemplate, RoadSpec,
@@ -257,6 +257,9 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
         shards: rng.random_range(1..32u32),
         checkpoint_every: rng.random_range(1..10_000u64),
     });
+    let submit = SubmitSection {
+        weight: if rng.random::<bool>() { 1 } else { rng.random_range(1..=64u32) },
+    };
     CampaignPlan {
         name: format!("fuzz-{}", rng.random_range(0..1000u32)),
         kind,
@@ -267,6 +270,7 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
         faults,
         sim,
         output,
+        submit,
     }
 }
 

@@ -565,6 +565,55 @@ mod tests {
     }
 
     #[test]
+    fn budget_slices_compose_to_the_full_run() {
+        // The fair-share scheduling primitive: repeatedly granting the
+        // engine small budget slices over a growing done-set must
+        // execute every job exactly once and, per job, produce the same
+        // report as one unbounded pass — regardless of slice size. This
+        // is what lets a daemon interleave many campaigns' slices
+        // without perturbing any campaign's results.
+        let engine = CampaignEngine::new(SimConfig::default()).with_workers(2);
+        let jobs: Vec<_> = (0..7u64)
+            .map(|i| if i % 2 == 0 { golden_job(i, i) } else { faulted_job(i, i, 25) })
+            .collect();
+        let mut reference = Vec::new();
+        engine.run_skipping_budget(jobs.clone(), |_| false, None, &mut |_, r: CampaignResult| {
+            reference.push((r.id, r.report.outcome, r.report.min_delta_lon))
+        });
+        reference.sort_by_key(|&(id, ..)| id);
+
+        for slice in [1u64, 2, 3, 5] {
+            let mut done = BTreeSet::new();
+            let mut sliced = Vec::new();
+            loop {
+                let mut executed = Vec::new();
+                let ran = {
+                    let done = &done;
+                    engine.run_skipping_budget(
+                        jobs.clone(),
+                        |id| done.contains(&id),
+                        Some(slice),
+                        &mut |_, r: CampaignResult| {
+                            executed.push((r.id, r.report.outcome, r.report.min_delta_lon))
+                        },
+                    )
+                };
+                assert_eq!(ran, executed.len() as u64);
+                assert!(ran <= slice);
+                for &(id, ..) in &executed {
+                    assert!(done.insert(id), "slice {slice}: job {id} executed twice");
+                }
+                sliced.extend(executed);
+                if ran == 0 {
+                    break;
+                }
+            }
+            sliced.sort_by_key(|&(id, ..)| id);
+            assert_eq!(sliced, reference, "slice {slice} diverged from the unbounded pass");
+        }
+    }
+
+    #[test]
     fn trace_sink_collects_in_order() {
         let config =
             SimConfig { record_trace: true, stop_on_collision: false, ..SimConfig::default() };

@@ -24,23 +24,31 @@
 //!   one that created it.
 //! * [`StoreSink`] — the [`CampaignSink`](drivefi_sim::CampaignSink)
 //!   adapter: streams engine results straight to disk.
+//! * [`lease`] — per-writer shard leases (lock files with a heartbeat
+//!   mtime and stale-lease takeover), so N processes append to disjoint
+//!   shard ranges of one store concurrently and the merged read equals
+//!   the single-writer result. [`compact_store`] and [`seal_store`]
+//!   claim every lease first, so neither races a live writer.
 //!
 //! Reads merge the shards deterministically by job index, so a resumed
 //! campaign reconstructs exactly the record sequence an uninterrupted
 //! run would have produced — `drivefi-plan` builds its byte-identical
 //! round-trip reports on that guarantee.
 
+pub mod lease;
 pub mod log;
 pub mod record;
 pub mod sink;
 pub mod store;
 pub mod trace;
 
+pub use lease::{default_owner, lease_path, LeaseInfo, LeaseSet, DEFAULT_LEASE_TIMEOUT};
 pub use record::{CampaignRecord, PAYLOAD_LEN};
 pub use sink::{RecordMeta, StoreSink};
 pub use store::{
-    compact_store, fingerprint64, open_store, open_store_with_traces, read_manifest, read_store,
-    read_traces, StoreMeta, StoreState, StoreWriter, MANIFEST_FILE,
+    compact_store, fingerprint64, open_store, open_store_opts, open_store_with_traces,
+    read_manifest, read_store, read_traces, seal_store, StoreMeta, StoreOptions, StoreState,
+    StoreWriter, MANIFEST_FILE,
 };
 pub use trace::{rebuild_traces, scan_trace_shard, TraceRecord, TRACE_BASE_LEN};
 

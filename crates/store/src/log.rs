@@ -137,8 +137,17 @@ pub fn scan_shard_with<T>(
     shard_index: u32,
     mut decode: impl FnMut(&[u8]) -> Result<T, StoreError>,
 ) -> Result<(Vec<T>, u64, bool), StoreError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| StoreError::new(format!("reading {}: {e}", path.display())))?;
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        // A shard file that was never created: a store written by
+        // scoped writers whose ranges didn't cover this shard (yet), or
+        // a crash between manifest and shard creation. Same contract as
+        // whole-shard loss — those jobs just aren't persisted.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), 0, false));
+        }
+        Err(e) => return Err(StoreError::new(format!("reading {}: {e}", path.display()))),
+    };
     if bytes.len() < HEADER_LEN as usize {
         // A crash while creating the shard: nothing usable, rewrite from
         // scratch.

@@ -32,6 +32,7 @@ fn mine_plan(dir: &Path) -> CampaignPlan {
         scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
         faults: drivefi::fault::FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 2,

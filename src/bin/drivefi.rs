@@ -1,5 +1,5 @@
 //! The `drivefi` campaign CLI: run, resume, mine, report on, compact,
-//! and query plan-file campaigns with a persistent store.
+//! query, and *serve* plan-file campaigns with a persistent store.
 //!
 //! ```text
 //! drivefi run     <plan.toml> [--max-jobs N] [--output-dir DIR]
@@ -9,6 +9,9 @@
 //! drivefi compact <plan.toml|store-dir> [--output-dir DIR]
 //! drivefi query   <plan.toml|store-dir> [--outcome safe|hazard|collision]
 //!                 [--scenario ID] [--fault SUBSTR] [--limit N] [--output-dir DIR]
+//! drivefi serve   <root> [--slice N] [--poll-ms N] [--drain] [--max-rounds N]
+//! drivefi submit  <root> <plan.toml>
+//! drivefi status  <root>
 //! ```
 //!
 //! * `run` executes the plan; with an `[output]` section results stream
@@ -32,6 +35,12 @@
 //!   running one plan into several stores); the campaign fingerprint
 //!   deliberately excludes the output section, so overriding it never
 //!   invalidates a resume.
+//! * `serve` runs the campaign daemon over a serve root: plans
+//!   `submit`ted into `<root>/spool/` are claimed, scheduled
+//!   fair-share (one `--slice`-sized job budget per `[submit] weight`
+//!   unit per round), and report into `<root>/campaigns/<id>/`;
+//!   `status` prints every campaign's live progress. `--drain` exits
+//!   once everything submitted has finished.
 //!
 //! Relative `[output] dir` paths are resolved against the plan file's
 //! directory, so `drivefi run plans/foo.toml` works from anywhere. For
@@ -40,19 +49,25 @@
 
 use drivefi::plan::{
     campaign_fingerprint, known_fault_filter, run_plan_budget, CampaignKind, CampaignPlan,
-    OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR,
+    OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
+use drivefi::serve::{serve, submit_plan, CampaignStatus, ServeConfig, CAMPAIGNS_DIR, SPOOL_DIR};
 use drivefi::store::{compact_store, read_store, MANIFEST_FILE};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: drivefi <run|resume|mine|report|compact|query> <plan.toml|store-dir> \
                      [--max-jobs N] [--output-dir DIR] [--partial] \
                      [--outcome safe|hazard|collision] [--scenario ID] [--fault SUBSTR] \
-                     [--limit N]";
+                     [--limit N]\n       \
+                     drivefi serve <root> [--slice N] [--poll-ms N] [--drain] [--max-rounds N]\n       \
+                     drivefi submit <root> <plan.toml>\n       \
+                     drivefi status <root>";
 
 struct Args {
     command: String,
     target: String,
+    /// Second positional operand (`submit`'s plan path).
+    extra: Option<String>,
     max_jobs: Option<u64>,
     output_dir: Option<String>,
     partial: bool,
@@ -60,6 +75,10 @@ struct Args {
     scenario: Option<u32>,
     fault: Option<String>,
     limit: Option<usize>,
+    slice: Option<u64>,
+    poll_ms: Option<u64>,
+    drain: bool,
+    max_rounds: Option<u64>,
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -74,6 +93,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         command,
         target,
+        extra: None,
         max_jobs: None,
         output_dir: None,
         partial: false,
@@ -81,6 +101,10 @@ fn parse_args() -> Args {
         scenario: None,
         fault: None,
         limit: None,
+        slice: None,
+        poll_ms: None,
+        drain: false,
+        max_rounds: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -126,6 +150,32 @@ fn parse_args() -> Args {
                     value("--limit").parse().unwrap_or_else(|_| fail("--limit needs an integer")),
                 )
             }
+            "--slice" => {
+                let slice: u64 =
+                    value("--slice").parse().unwrap_or_else(|_| fail("--slice needs an integer"));
+                if slice == 0 {
+                    fail("--slice must be at least 1");
+                }
+                parsed.slice = Some(slice)
+            }
+            "--poll-ms" => {
+                parsed.poll_ms = Some(
+                    value("--poll-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--poll-ms needs an integer")),
+                )
+            }
+            "--drain" => parsed.drain = true,
+            "--max-rounds" => {
+                parsed.max_rounds = Some(
+                    value("--max-rounds")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-rounds needs an integer")),
+                )
+            }
+            other if !other.starts_with('-') && parsed.extra.is_none() => {
+                parsed.extra = Some(other.to_string())
+            }
             other => fail(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -152,6 +202,39 @@ fn load_plan(path: &str, output_dir: Option<&str>) -> CampaignPlan {
         plan.output = Some(OutputSpec { dir: dir.into(), ..spec });
     }
     plan
+}
+
+/// For a `<store-dir>` target with no manifest: a hint listing the
+/// pipeline stage sub-stores available at or near the target, so a
+/// mistyped stage name (`store/valdate`) or a bare pipeline root names
+/// what the user probably meant instead of "no such store".
+fn sub_store_hint(target: &Path) -> Option<String> {
+    let list = |dir: &Path| -> Vec<String> {
+        [GOLDEN_SUBDIR, VALIDATE_SUBDIR, SWEEP_SUBDIR]
+            .iter()
+            .filter(|stage| dir.join(stage).join(MANIFEST_FILE).is_file())
+            .map(|stage| format!("{}/", dir.join(stage).display()))
+            .collect()
+    };
+    let here = list(target);
+    if !here.is_empty() {
+        return Some(format!(
+            "{} is a pipeline root, not a store — pick a stage sub-store: {}",
+            target.display(),
+            here.join(", ")
+        ));
+    }
+    if !target.exists() {
+        let near = list(target.parent()?);
+        if !near.is_empty() {
+            return Some(format!(
+                "{} does not exist — available stage sub-stores: {}",
+                target.display(),
+                near.join(", ")
+            ));
+        }
+    }
+    None
 }
 
 fn store_dir(plan: &CampaignPlan) -> &str {
@@ -255,6 +338,11 @@ fn cmd_report(args: &Args) {
             report_dir = golden;
         }
     }
+    if !dir.join(MANIFEST_FILE).is_file() {
+        if let Some(hint) = sub_store_hint(&dir) {
+            fail(hint);
+        }
+    }
     let (meta, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
     let expected = campaign_fingerprint(&plan);
     if meta.fingerprint != expected {
@@ -292,6 +380,9 @@ fn cmd_compact(args: &Args) {
     let dirs: Vec<PathBuf> = if target.join(MANIFEST_FILE).is_file() {
         vec![target.to_path_buf()]
     } else {
+        if let Some(hint) = sub_store_hint(target) {
+            fail(hint);
+        }
         let plan = load_plan(&args.target, args.output_dir.as_deref());
         let root = PathBuf::from(store_dir(&plan));
         match plan.kind.store_subdir() {
@@ -322,6 +413,9 @@ fn cmd_query(args: &Args) {
     let dir: PathBuf = if target.join(MANIFEST_FILE).is_file() {
         target.to_path_buf()
     } else {
+        if let Some(hint) = sub_store_hint(target) {
+            fail(hint);
+        }
         records_dir(&load_plan(&args.target, args.output_dir.as_deref()))
     };
     let (_, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
@@ -358,6 +452,88 @@ fn cmd_query(args: &Args) {
     eprintln!("{matched} of {} records matched", records.len());
 }
 
+fn cmd_serve(args: &Args) {
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        slice: args.slice.unwrap_or(defaults.slice),
+        poll_ms: args.poll_ms.unwrap_or(defaults.poll_ms),
+        drain: args.drain,
+        max_rounds: args.max_rounds,
+    };
+    let summary = serve(Path::new(&args.target), &config).unwrap_or_else(|e| fail(e));
+    println!(
+        "serve: {} campaign(s) over {} round(s): {} done, {} failed",
+        summary.admitted, summary.rounds, summary.done, summary.failed
+    );
+    if summary.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_submit(args: &Args) {
+    let plan =
+        args.extra.as_deref().unwrap_or_else(|| fail(format!("submit needs a plan file\n{USAGE}")));
+    let id = submit_plan(Path::new(&args.target), Path::new(plan)).unwrap_or_else(|e| fail(e));
+    println!(
+        "submitted as {id} (spooled under {})",
+        Path::new(&args.target).join(SPOOL_DIR).display()
+    );
+}
+
+fn cmd_status(args: &Args) {
+    let root = Path::new(&args.target);
+    let campaigns = root.join(CAMPAIGNS_DIR);
+    let mut dirs: Vec<PathBuf> = match std::fs::read_dir(&campaigns) {
+        Ok(entries) => entries.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+        Err(_) => Vec::new(),
+    };
+    dirs.sort();
+    let mut shown = 0;
+    for dir in dirs {
+        let id = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        match CampaignStatus::load(&dir) {
+            Ok(status) => {
+                let eta = status.eta_seconds.map(|s| format!("  eta {s}s")).unwrap_or_default();
+                let error =
+                    status.error.as_deref().map(|e| format!("  error: {e}")).unwrap_or_default();
+                println!(
+                    "{id}: {} [{}] {}/{} jobs  safe={} hazards={} collisions={} slices={}{eta}{error}",
+                    status.state.name(),
+                    status.stage,
+                    status.done,
+                    status.total,
+                    status.safe,
+                    status.hazards,
+                    status.collisions,
+                    status.slices,
+                );
+                shown += 1;
+            }
+            Err(_) => {
+                println!("{id}: claimed, no status yet");
+                shown += 1;
+            }
+        }
+    }
+    let spooled = std::fs::read_dir(root.join(SPOOL_DIR))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    !name.starts_with('.') && name.ends_with(".toml")
+                })
+                .count()
+        })
+        .unwrap_or(0);
+    if shown == 0 && spooled == 0 {
+        println!("no campaigns under {}", root.display());
+    } else if spooled > 0 {
+        println!("{spooled} submission(s) waiting in the spool");
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -367,6 +543,9 @@ fn main() {
         "report" => cmd_report(&args),
         "compact" => cmd_compact(&args),
         "query" => cmd_query(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
         other => fail(format!("unknown command `{other}`\n{USAGE}")),
     }
 }

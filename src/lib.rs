@@ -25,6 +25,9 @@
 //! * [`store`] — persistent campaign store: sharded CRC-framed result
 //!   logs, checkpoint manifests, crash-tolerant resume, and the
 //!   round-trip report artifacts behind the `drivefi` CLI.
+//! * [`serve`] — the campaign daemon: a spool of submitted plans
+//!   scheduled fair-share across a shared worker pool, with live
+//!   `status.toml` progress and crash-equivalent restart.
 //! * [`genfi`] — the engine generalized to arbitrary safety-critical
 //!   systems (with a surgical-robot instantiation).
 //!
@@ -51,6 +54,7 @@ pub use drivefi_perception as perception;
 pub use drivefi_plan as plan;
 pub use drivefi_planner as planner;
 pub use drivefi_sensors as sensors;
+pub use drivefi_serve as serve;
 pub use drivefi_sim as sim;
 pub use drivefi_store as store;
 pub use drivefi_world as world;

@@ -25,6 +25,7 @@ fn plan_into(dir: &Path) -> CampaignPlan {
         scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
         faults: FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 3,
@@ -178,6 +179,7 @@ fn mine_plan_into(dir: &Path) -> CampaignPlan {
         scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
         faults: FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 2,
@@ -346,6 +348,7 @@ fn golden_plan_persists_and_resumes() {
         scenarios: ScenarioSelection::Paper { count: 3, seed: 42 },
         faults: FaultSpace::default(),
         sim: SimSection::default(),
+        submit: Default::default(),
         output: Some(OutputSpec::new(out.to_string_lossy().into_owned())),
     };
 
