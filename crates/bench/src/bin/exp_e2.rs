@@ -28,6 +28,7 @@ fn main() {
         faults: FaultSpace::default(),
         sim: SimSection::default(),
         submit: Default::default(),
+        control: Default::default(),
         output: None,
     };
 

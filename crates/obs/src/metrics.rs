@@ -1,0 +1,308 @@
+//! Process-wide metrics registry: fixed-name atomic counters, gauges,
+//! and power-of-two-bucketed histograms.
+//!
+//! The registry is a static table of atomics — no locks, no
+//! allocation, no registration step — so emission sites can update it
+//! unconditionally at per-job granularity without perturbing the
+//! simulator's allocation-free hot path. Metrics are process-local and
+//! volatile; durable telemetry goes through [`crate::events`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotone counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Campaign jobs completed (any outcome).
+    JobsCompleted,
+    /// Simulation frames advanced, summed per job.
+    FramesSimulated,
+    /// Jobs that ended safe.
+    OutcomeSafe,
+    /// Jobs that ended in a non-collision hazard.
+    OutcomeHazard,
+    /// Jobs that ended in a collision.
+    OutcomeCollision,
+    /// Store checkpoints written.
+    Checkpoints,
+    /// Store recoveries that resumed prior records.
+    Resumes,
+    /// Stale shard leases taken over.
+    LeaseTakeovers,
+    /// Stores compacted.
+    Compactions,
+    /// Stores sealed.
+    Seals,
+    /// Control jobs executed.
+    ControlJobs,
+    /// Serve scheduling slices granted.
+    ServeSlices,
+}
+
+impl Counter {
+    /// Every counter, in stable emission order.
+    pub const ALL: [Counter; 12] = [
+        Counter::JobsCompleted,
+        Counter::FramesSimulated,
+        Counter::OutcomeSafe,
+        Counter::OutcomeHazard,
+        Counter::OutcomeCollision,
+        Counter::Checkpoints,
+        Counter::Resumes,
+        Counter::LeaseTakeovers,
+        Counter::Compactions,
+        Counter::Seals,
+        Counter::ControlJobs,
+        Counter::ServeSlices,
+    ];
+
+    /// Stable snake_case name, as written into metrics events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::FramesSimulated => "frames_simulated",
+            Counter::OutcomeSafe => "outcome_safe",
+            Counter::OutcomeHazard => "outcome_hazard",
+            Counter::OutcomeCollision => "outcome_collision",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Resumes => "resumes",
+            Counter::LeaseTakeovers => "lease_takeovers",
+            Counter::Compactions => "compactions",
+            Counter::Seals => "seals",
+            Counter::ControlJobs => "control_jobs",
+            Counter::ServeSlices => "serve_slices",
+        }
+    }
+}
+
+/// Last-write-wins gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Campaigns currently admitted to the serve scheduler.
+    ServeQueueDepth,
+    /// Jobs remaining in the currently running stage.
+    StageJobsRemaining,
+}
+
+impl Gauge {
+    /// Every gauge, in stable emission order.
+    pub const ALL: [Gauge; 2] = [Gauge::ServeQueueDepth, Gauge::StageJobsRemaining];
+
+    /// Stable snake_case name, as written into metrics events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ServeQueueDepth => "serve_queue_depth",
+            Gauge::StageJobsRemaining => "stage_jobs_remaining",
+        }
+    }
+}
+
+/// Histograms over non-negative microsecond samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hist {
+    /// Store checkpoint latency, µs per checkpoint.
+    CheckpointLatencyUs,
+    /// Wall time per completed job, µs.
+    JobLatencyUs,
+}
+
+impl Hist {
+    /// Every histogram, in stable emission order.
+    pub const ALL: [Hist; 2] = [Hist::CheckpointLatencyUs, Hist::JobLatencyUs];
+
+    /// Stable snake_case name, as written into metrics events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::CheckpointLatencyUs => "checkpoint_latency_us",
+            Hist::JobLatencyUs => "job_latency_us",
+        }
+    }
+}
+
+/// Power-of-two histogram buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero.
+pub const HIST_BUCKETS: usize = 40;
+
+const NC: usize = Counter::ALL.len();
+const NG: usize = Gauge::ALL.len();
+const NH: usize = Hist::ALL.len();
+
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+static COUNTERS: [AtomicU64; NC] = [const { AtomicU64::new(0) }; NC];
+static GAUGES: [AtomicI64; NG] = [const { AtomicI64::new(0) }; NG];
+static HISTS: [HistCell; NH] = [const {
+    HistCell {
+        buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        max: AtomicU64::new(0),
+    }
+}; NH];
+
+/// Adds `n` to a counter. A no-op while observability is disabled.
+pub fn counter_add(counter: Counter, n: u64) {
+    if crate::enabled() {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a counter.
+pub fn counter_get(counter: Counter) -> u64 {
+    COUNTERS[counter as usize].load(Ordering::Relaxed)
+}
+
+/// Sets a gauge. A no-op while observability is disabled.
+pub fn gauge_set(gauge: Gauge, value: i64) {
+    if crate::enabled() {
+        GAUGES[gauge as usize].store(value, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a gauge.
+pub fn gauge_get(gauge: Gauge) -> i64 {
+    GAUGES[gauge as usize].load(Ordering::Relaxed)
+}
+
+fn bucket_of(sample: u64) -> usize {
+    ((64 - sample.leading_zeros()) as usize).saturating_sub(1).min(HIST_BUCKETS - 1)
+}
+
+/// Records one sample into a histogram. A no-op while disabled.
+pub fn hist_record(hist: Hist, sample: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = &HISTS[hist as usize];
+    cell.buckets[bucket_of(sample)].fetch_add(1, Ordering::Relaxed);
+    cell.count.fetch_add(1, Ordering::Relaxed);
+    cell.sum.fetch_add(sample, Ordering::Relaxed);
+    cell.max.fetch_max(sample, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of one histogram's aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Mean sample value, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, indexed like [`Counter::ALL`].
+    pub counters: [u64; NC],
+    /// Gauge values, indexed like [`Gauge::ALL`].
+    pub gauges: [i64; NG],
+    /// Histogram aggregates, indexed like [`Hist::ALL`].
+    pub hists: [HistSnapshot; NH],
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter in this snapshot.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Value of one gauge in this snapshot.
+    pub fn gauge(&self, gauge: Gauge) -> i64 {
+        self.gauges[gauge as usize]
+    }
+
+    /// Aggregates of one histogram in this snapshot.
+    pub fn hist(&self, hist: Hist) -> HistSnapshot {
+        self.hists[hist as usize]
+    }
+}
+
+/// Copies the registry's current values.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters = [0u64; NC];
+    for (slot, cell) in counters.iter_mut().zip(COUNTERS.iter()) {
+        *slot = cell.load(Ordering::Relaxed);
+    }
+    let mut gauges = [0i64; NG];
+    for (slot, cell) in gauges.iter_mut().zip(GAUGES.iter()) {
+        *slot = cell.load(Ordering::Relaxed);
+    }
+    let mut hists = [HistSnapshot { count: 0, sum: 0, max: 0 }; NH];
+    for (slot, cell) in hists.iter_mut().zip(HISTS.iter()) {
+        *slot = HistSnapshot {
+            count: cell.count.load(Ordering::Relaxed),
+            sum: cell.sum.load(Ordering::Relaxed),
+            max: cell.max.load(Ordering::Relaxed),
+        };
+    }
+    MetricsSnapshot { counters, gauges, hists }
+}
+
+/// Zeroes the whole registry. Test-only by intent: metrics are
+/// process-global, so concurrent campaigns in one process share them.
+pub fn reset() {
+    for cell in &COUNTERS {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in &GAUGES {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in &HISTS {
+        for b in &cell.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        cell.count.store(0, Ordering::Relaxed);
+        cell.sum.store(0, Ordering::Relaxed);
+        cell.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_sample_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_gates_on_enabled() {
+        let _guard = crate::test_lock();
+        crate::force_enabled(false);
+        counter_add(Counter::Seals, 5);
+        hist_record(Hist::CheckpointLatencyUs, 100);
+        crate::force_enabled(true);
+        counter_add(Counter::Seals, 2);
+        counter_add(Counter::Seals, 3);
+        gauge_set(Gauge::ServeQueueDepth, 7);
+        hist_record(Hist::CheckpointLatencyUs, 10);
+        hist_record(Hist::CheckpointLatencyUs, 30);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::Seals), 5);
+        assert_eq!(snap.gauge(Gauge::ServeQueueDepth), 7);
+        let h = snap.hist(Hist::CheckpointLatencyUs);
+        assert_eq!((h.count, h.sum, h.max, h.mean()), (2, 40, 30, 20));
+        reset();
+        crate::clear_force();
+        assert_eq!(snapshot().counter(Counter::Seals), 0);
+    }
+}

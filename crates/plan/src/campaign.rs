@@ -47,7 +47,10 @@ use drivefi_core::{
     BayesianMiner, ExhaustiveReport, MinerConfig, RandomCampaignConfig, RandomCampaignStats,
 };
 use drivefi_fault::{CorruptionGrid, FaultSpace, ScalarFaultModel};
-use drivefi_sim::{CampaignEngine, CampaignJob, Outcome, RunningStats, SimConfig, Tee, Trace};
+use drivefi_obs::{EventLog, Field};
+use drivefi_sim::{
+    CampaignEngine, CampaignJob, Outcome, RunningStats, SimConfig, Simulation, Tee, Trace,
+};
 use drivefi_store::{open_store, open_store_with_traces, read_store, RecordMeta, StoreSink};
 use drivefi_world::spec::ScenarioSpec;
 use drivefi_world::ScenarioSuite;
@@ -305,6 +308,156 @@ impl Default for SubmitSection {
     }
 }
 
+/// The `[control]` plan section: the unfaulted control job every
+/// random/mine campaign runs before injecting anything. A campaign
+/// whose baseline scenario is not survivable *without* faults cannot
+/// attribute its hazards to injection — the control point catches that
+/// before any injection budget is spent. Pure policy, like `[submit]`:
+/// stripped from [`campaign_fingerprint`], so toggling the assertion
+/// never invalidates a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlSection {
+    /// Fail the campaign when the control job is not survivable
+    /// (`assert = false` / `--no-assert-control` downgrades the failed
+    /// control to a recorded verdict).
+    pub assert_survivable: bool,
+}
+
+impl Default for ControlSection {
+    fn default() -> Self {
+        ControlSection { assert_survivable: true }
+    }
+}
+
+/// File the control verdict persists to, inside the `[output]` dir.
+pub const CONTROL_FILE: &str = "control.toml";
+
+/// The recorded verdict of a campaign's unfaulted control job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlVerdict {
+    /// Scenario the control job drove (the suite's first).
+    pub scenario_id: u32,
+    /// Its family name.
+    pub scenario_name: String,
+    /// Outcome name (`"safe"`, `"hazard"`, `"collision"`).
+    pub outcome: String,
+    /// Whether the unfaulted run ended safe.
+    pub survivable: bool,
+}
+
+impl ControlVerdict {
+    /// The verdict as a TOML document string.
+    pub fn to_toml(&self) -> String {
+        emit_document(&Map::from([
+            ("scenario_id".into(), Toml::Int(i64::from(self.scenario_id))),
+            ("scenario_name".into(), Toml::Str(self.scenario_name.clone())),
+            ("outcome".into(), Toml::Str(self.outcome.clone())),
+            ("survivable".into(), Toml::Bool(self.survivable)),
+        ]))
+    }
+
+    /// Parses a verdict document produced by [`Self::to_toml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] on malformed TOML or missing fields.
+    pub fn parse(src: &str) -> Result<ControlVerdict, PlanError> {
+        let doc = parse_document(src)?;
+        let what = "control verdict";
+        Ok(ControlVerdict {
+            scenario_id: as_uint(get(&doc, what, "scenario_id")?, "`scenario_id`")? as u32,
+            scenario_name: as_str(get(&doc, what, "scenario_name")?, "`scenario_name`")?.to_owned(),
+            outcome: as_str(get(&doc, what, "outcome")?, "`outcome`")?.to_owned(),
+            survivable: as_bool(get(&doc, what, "survivable")?, "`survivable`")?,
+        })
+    }
+
+    /// Loads the verdict persisted in output directory `dir`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when the file exists but is malformed.
+    pub fn load(dir: &std::path::Path) -> Result<Option<ControlVerdict>, PlanError> {
+        let path = dir.join(CONTROL_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(src) => Self::parse(&src)
+                .map(Some)
+                .map_err(|e| PlanError::new(format!("{}: {e}", path.display()))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(PlanError::new(format!("reading {}: {e}", path.display()))),
+        }
+    }
+
+    fn save(&self, dir: &std::path::Path) -> Result<(), PlanError> {
+        let path = dir.join(CONTROL_FILE);
+        let tmp = dir.join(format!(".{CONTROL_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_toml())
+            .map_err(|e| PlanError::new(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| PlanError::new(format!("replacing {}: {e}", path.display())))
+    }
+}
+
+/// Runs (or recalls) the campaign's control point: one unfaulted
+/// simulation of the suite's first scenario under the plan's `[sim]`
+/// ablations. The verdict persists to [`CONTROL_FILE`] in the output
+/// dir (when there is one), so resumed and daemon-sliced campaigns
+/// never re-pay the control job; it is also emitted as a
+/// `control_verdict` event when observability is on.
+///
+/// Returns an error when the control job is not survivable and the plan
+/// asserts it (`[control] assert`, default true).
+fn run_control_point(
+    plan: &CampaignPlan,
+    sim: &SimConfig,
+    suite: &ScenarioSuite,
+) -> Result<Option<ControlVerdict>, PlanError> {
+    let dir = plan.output.as_ref().map(|o| std::path::PathBuf::from(&o.dir));
+    let verdict = match dir.as_deref().map(ControlVerdict::load).transpose()?.flatten() {
+        Some(verdict) => verdict,
+        None => {
+            let Some(scenario) = suite.scenarios.first() else {
+                return Ok(None); // An empty suite has nothing to control.
+            };
+            let control_sim = SimConfig { record_trace: false, ..*sim };
+            let report = Simulation::new(control_sim, scenario).run();
+            drivefi_obs::metrics::counter_add(drivefi_obs::metrics::Counter::ControlJobs, 1);
+            let verdict = ControlVerdict {
+                scenario_id: scenario.id,
+                scenario_name: scenario.name.clone(),
+                outcome: report.outcome.to_string(),
+                survivable: report.outcome.is_safe(),
+            };
+            if let Some(dir) = dir.as_deref() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| PlanError::new(format!("creating {}: {e}", dir.display())))?;
+                verdict.save(dir)?;
+                drivefi_obs::emit_event(
+                    dir,
+                    "control_verdict",
+                    &[
+                        ("scenario", Field::Int(i64::from(verdict.scenario_id))),
+                        ("family", Field::Str(verdict.scenario_name.clone())),
+                        ("outcome", Field::Str(verdict.outcome.clone())),
+                        ("survivable", Field::Bool(verdict.survivable)),
+                    ],
+                );
+            }
+            verdict
+        }
+    };
+    if plan.control.assert_survivable && !verdict.survivable {
+        return Err(PlanError::new(format!(
+            "control job failed: the unfaulted run of scenario {} (`{}`) ended in {} — the \
+             baseline is not survivable, so injected hazards would be unattributable. Fix the \
+             scenario, or run with `--no-assert-control` / `[control] assert = false` to record \
+             the verdict and proceed",
+            verdict.scenario_id, verdict.scenario_name, verdict.outcome
+        )));
+    }
+    Ok(Some(verdict))
+}
+
 /// A complete, serializable campaign description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPlan {
@@ -337,6 +490,9 @@ pub struct CampaignPlan {
     /// Daemon scheduling metadata (`[submit]` section; defaults =
     /// weight 1).
     pub submit: SubmitSection,
+    /// Control-point policy (`[control]` section; defaults = assert the
+    /// unfaulted control job survivable).
+    pub control: ControlSection,
 }
 
 /// The campaign identity a persistent store is locked to: the plan with
@@ -355,6 +511,7 @@ pub fn campaign_fingerprint(plan: &CampaignPlan) -> u64 {
     identity.workers = None;
     identity.sim.batch = None;
     identity.submit = SubmitSection::default();
+    identity.control = ControlSection::default();
     if let ScenarioSelection::Files { specs, count, seed, .. } = &plan.scenarios {
         identity.scenarios =
             ScenarioSelection::Inline { specs: specs.clone(), count: *count, seed: *seed };
@@ -422,6 +579,23 @@ pub fn run_plan_budget(plan: &CampaignPlan, budget: Option<u64>) -> Result<PlanR
     let sim = plan.sim.sim_config();
     let suite = plan.scenarios.build_suite();
     let workers = plan.workers.unwrap_or_else(drivefi_sim::default_workers);
+
+    // The parser rejects this combination; catch hand-built plans too
+    // rather than silently dropping the sink choice — and before the
+    // control point, so an invalid plan never writes `control.toml`.
+    if plan.output.is_some() && plan.sink == SinkChoice::Outcomes {
+        return Err(PlanError::new(
+            "`sink = \"outcomes\"` cannot be combined with an [output] store — the per-job \
+             outcomes are the store's jobs.csv"
+                .into(),
+        ));
+    }
+
+    // The control point gates every injecting campaign kind — before
+    // the store opens, so a failed control never creates or touches one.
+    if matches!(plan.kind, CampaignKind::Random { .. } | CampaignKind::Mine { .. }) {
+        run_control_point(plan, &sim, &suite)?;
+    }
 
     if let Some(output) = &plan.output {
         return run_persisted(plan, output, sim, &suite, workers, budget);
@@ -493,16 +667,6 @@ fn run_persisted(
 ) -> Result<PlanResult, PlanError> {
     let store_err = |e: drivefi_store::StoreError| PlanError::new(format!("[output] store: {e}"));
 
-    // The parser rejects this combination; catch hand-built plans too
-    // rather than silently dropping the sink choice.
-    if plan.sink == SinkChoice::Outcomes {
-        return Err(PlanError::new(
-            "`sink = \"outcomes\"` cannot be combined with an [output] store — the per-job \
-             outcomes are the store's jobs.csv"
-                .into(),
-        ));
-    }
-
     // The two-stage pipeline kinds run through their own driver.
     if matches!(plan.kind, CampaignKind::Mine { .. } | CampaignKind::Exhaustive { .. }) {
         return run_pipeline(plan, output, sim, suite, workers, budget);
@@ -550,10 +714,35 @@ fn run_persisted(
 
     let total = metas.len() as u64;
     let fingerprint = campaign_fingerprint(plan);
+    let mut events = open_campaign_log(std::path::Path::new(&output.dir));
+    events.emit(
+        "campaign_start",
+        &[
+            ("name", Field::Str(plan.name.clone())),
+            ("campaign_kind", Field::Str(plan.kind.name().into())),
+            ("fingerprint", Field::Str(format!("{fingerprint:016x}"))),
+            ("total_jobs", Field::Int(total as i64)),
+        ],
+    );
     let open = if traces { open_store_with_traces } else { open_store };
     let (mut writer, state) =
         open(&output.dir, fingerprint, total, output.shards, output.checkpoint_every)
             .map_err(store_err)?;
+
+    let done_before = state.records();
+    if done_before < total {
+        events.emit(
+            "stage_start",
+            &[
+                ("stage", Field::Str("main".into())),
+                ("pending", Field::Int((total - done_before) as i64)),
+            ],
+        );
+        drivefi_obs::metrics::gauge_set(
+            drivefi_obs::metrics::Gauge::StageJobsRemaining,
+            (total - done_before) as i64,
+        );
+    }
 
     let engine = plan_engine(plan, sim, workers);
     let fresh = state.records() == 0;
@@ -592,7 +781,56 @@ fn run_persisted(
         }
     }
     report.save(&output.dir)?;
+    emit_stage_finish(&mut events, "main", done_before, total, report.complete());
+    emit_campaign_end(&mut events, done_before, total, report.complete());
     Ok(PlanResult::Persisted(report))
+}
+
+/// Opens the campaign-level event log at `dir`, creating the directory
+/// first so a fresh campaign's `campaign_start` isn't dropped for lack
+/// of one. Inert (no directory touched) while observability is off.
+fn open_campaign_log(dir: &std::path::Path) -> EventLog {
+    if drivefi_obs::enabled() {
+        std::fs::create_dir_all(dir).ok();
+        EventLog::open(dir)
+    } else {
+        EventLog::disabled()
+    }
+}
+
+/// Emits a stage's `stage_finish` exactly on the invocation that
+/// *transitioned* it to complete (`done_before < total` on entry,
+/// complete on exit) — so interrupt/resume cycles never duplicate a
+/// stage's finish event.
+fn emit_stage_finish(
+    events: &mut EventLog,
+    stage: &str,
+    done_before: u64,
+    total: u64,
+    complete: bool,
+) {
+    drivefi_obs::metrics::gauge_set(
+        drivefi_obs::metrics::Gauge::StageJobsRemaining,
+        if complete { 0 } else { (total - done_before) as i64 },
+    );
+    if complete && done_before < total {
+        events.emit(
+            "stage_finish",
+            &[("stage", Field::Str(stage.into())), ("records", Field::Int(total as i64))],
+        );
+    }
+}
+
+/// Emits the end-of-invocation campaign event: `campaign_finish` on the
+/// invocation that completed the final stage, `campaign_pause` when it
+/// ended with work left, nothing for a re-run of an already-complete
+/// campaign.
+fn emit_campaign_end(events: &mut EventLog, done_before: u64, total: u64, complete: bool) {
+    if complete && done_before < total {
+        events.emit("campaign_finish", &[("complete", Field::Bool(true))]);
+    } else if !complete {
+        events.emit("campaign_pause", &[("total", Field::Int(total as i64))]);
+    }
 }
 
 /// The store-backed two-stage pipelines: `kind = "mine"` (the paper's
@@ -628,6 +866,16 @@ fn run_pipeline(
     let fingerprint = campaign_fingerprint(plan);
     let shared = suite.shared();
 
+    let mut events = open_campaign_log(root);
+    events.emit(
+        "campaign_start",
+        &[
+            ("name", Field::Str(plan.name.clone())),
+            ("campaign_kind", Field::Str(plan.kind.name().into())),
+            ("fingerprint", Field::Str(format!("{fingerprint:016x}"))),
+        ],
+    );
+
     // Stage 1: golden collection, traces persisted alongside outcomes.
     let golden_dir = root.join(GOLDEN_SUBDIR);
     let golden_total = shared.len() as u64;
@@ -639,6 +887,16 @@ fn run_pipeline(
         output.checkpoint_every,
     )
     .map_err(store_err)?;
+    let golden_before = state.records();
+    if golden_before < golden_total {
+        events.emit(
+            "stage_start",
+            &[
+                ("stage", Field::Str(GOLDEN_SUBDIR.into())),
+                ("pending", Field::Int((golden_total - golden_before) as i64)),
+            ],
+        );
+    }
     let golden_sim = SimConfig { record_trace: true, stop_on_collision: false, ..sim };
     let golden_metas = golden_record_metas(suite);
     let golden_jobs: Vec<CampaignJob> = shared
@@ -667,8 +925,16 @@ fn run_pipeline(
     let golden_report =
         PlanReport::new(plan.name.clone(), plan.kind.name(), fingerprint, golden_total, records);
     golden_report.save(&golden_dir)?;
+    emit_stage_finish(
+        &mut events,
+        GOLDEN_SUBDIR,
+        golden_before,
+        golden_total,
+        golden_meta.complete,
+    );
     if !golden_meta.complete {
         // Budget exhausted mid-golden: hand back how far the stage got.
+        emit_campaign_end(&mut events, golden_before, golden_total, false);
         return Ok(PlanResult::Persisted(golden_report));
     }
     let remaining = budget.map(|b| b.saturating_sub(ran));
@@ -698,6 +964,16 @@ fn run_pipeline(
     let (mut writer, state) =
         open_store(&sweep_dir, fingerprint, total, output.shards, output.checkpoint_every)
             .map_err(store_err)?;
+    let sweep_before = state.records();
+    if sweep_before < total {
+        events.emit(
+            "stage_start",
+            &[
+                ("stage", Field::Str(subdir.into())),
+                ("pending", Field::Int((total - sweep_before) as i64)),
+            ],
+        );
+    }
     let sweep_jobs: Vec<CampaignJob> = candidates
         .iter()
         .enumerate()
@@ -721,6 +997,8 @@ fn run_pipeline(
     let (_, records) = read_store(&sweep_dir).map_err(store_err)?;
     let report = PlanReport::new(plan.name.clone(), plan.kind.name(), fingerprint, total, records);
     report.save(root)?;
+    emit_stage_finish(&mut events, subdir, sweep_before, total, report.complete());
+    emit_campaign_end(&mut events, sweep_before, total, report.complete());
     Ok(PlanResult::Persisted(report))
 }
 
@@ -949,6 +1227,12 @@ pub fn campaign_plan_to_toml(plan: &CampaignPlan) -> Map {
             Toml::Table(Map::from([("weight".into(), Toml::Int(i64::from(plan.submit.weight)))])),
         );
     }
+    if plan.control != ControlSection::default() {
+        doc.insert(
+            "control".into(),
+            Toml::Table(Map::from([("assert".into(), Toml::Bool(plan.control.assert_survivable))])),
+        );
+    }
     doc
 }
 
@@ -1059,7 +1343,7 @@ fn campaign_plan_from_toml(
     expect_keys(
         doc,
         "campaign plan",
-        &["name", "campaign", "scenarios", "faults", "sim", "output", "submit"],
+        &["name", "campaign", "scenarios", "faults", "sim", "output", "submit", "control"],
     )?;
     let name = as_str(get(doc, "campaign plan", "name")?, "`name`")?.to_owned();
 
@@ -1224,7 +1508,33 @@ fn campaign_plan_from_toml(
         Some(value) => submit_section_from_toml(as_table(value, "[submit]")?)?,
     };
 
-    Ok(CampaignPlan { name, kind, seed, workers, sink, scenarios, faults, sim, output, submit })
+    let control = match doc.get("control") {
+        None => ControlSection::default(),
+        Some(value) => control_section_from_toml(as_table(value, "[control]")?)?,
+    };
+
+    Ok(CampaignPlan {
+        name,
+        kind,
+        seed,
+        workers,
+        sink,
+        scenarios,
+        faults,
+        sim,
+        output,
+        submit,
+        control,
+    })
+}
+
+fn control_section_from_toml(table: &Map) -> Result<ControlSection, PlanError> {
+    expect_keys(table, "[control]", &["assert"])?;
+    let assert_survivable = match table.get("assert") {
+        None => ControlSection::default().assert_survivable,
+        Some(v) => as_bool(v, "`assert`")?,
+    };
+    Ok(ControlSection { assert_survivable })
 }
 
 fn submit_section_from_toml(table: &Map) -> Result<SubmitSection, PlanError> {
@@ -1373,6 +1683,7 @@ mod tests {
             faults: FaultSpace::default(),
             sim: SimSection::default(),
             submit: Default::default(),
+            control: Default::default(),
             output: None,
         }
     }
@@ -1395,6 +1706,7 @@ mod tests {
                 faults: FaultSpace::default(),
                 sim: SimSection::default(),
                 submit: Default::default(),
+                control: Default::default(),
                 output: None,
             },
             CampaignPlan {
@@ -1424,6 +1736,7 @@ mod tests {
                 },
                 sim: SimSection::default(),
                 submit: Default::default(),
+                control: Default::default(),
                 output: None,
             },
             CampaignPlan {
@@ -1443,6 +1756,7 @@ mod tests {
                 faults: FaultSpace::default(),
                 sim: SimSection::default(),
                 submit: Default::default(),
+                control: Default::default(),
                 output: None,
             },
         ];
@@ -1648,6 +1962,7 @@ mod tests {
             faults: FaultSpace::default(),
             sim: SimSection::default(),
             submit: Default::default(),
+            control: Default::default(),
             output: Some(OutputSpec::new("out/mine")),
         };
         let text = emit_campaign_plan(&plan);
@@ -1774,9 +2089,11 @@ mod tests {
         let mut plan = tiny_random_plan();
         plan.sink = SinkChoice::Outcomes;
         plan.output = Some(OutputSpec::new("out/x"));
-        // Hand-built plans error at run time...
+        // Hand-built plans error at run time, before anything — the
+        // control point included — touches the output directory...
         let err = run_plan(&plan).expect_err("outcomes + output");
         assert!(err.to_string().contains("jobs.csv"), "got: {err}");
+        assert!(!std::path::Path::new("out/x").exists(), "invalid plan must not create its store");
         // ...and plan files at parse time.
         let text = "name = \"x\"\n\n[campaign]\nkind = \"random\"\nruns = 2\n\
                     sink = \"outcomes\"\n\n[scenarios]\nsource = \"paper\"\ncount = 1\n\
@@ -1797,6 +2114,7 @@ mod tests {
             faults: FaultSpace::default(),
             sim: SimSection::default(),
             submit: Default::default(),
+            control: Default::default(),
             output: None,
         };
         let text = emit_campaign_plan(&plan);
@@ -1826,6 +2144,7 @@ mod tests {
             faults: FaultSpace::default(),
             sim: SimSection::default(),
             submit: Default::default(),
+            control: Default::default(),
             output: None,
         };
         let PlanResult::Golden(traces) = run_plan(&plan).unwrap() else {

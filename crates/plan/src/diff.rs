@@ -1,0 +1,295 @@
+//! Campaign-to-campaign comparison (`drivefi diff <store> <store>`).
+//!
+//! Two stores over the same scenario × fault space rarely need a full
+//! re-read of both CSVs to answer the question that matters in CI:
+//! *did the candidate run get worse?* This module aggregates each
+//! store's records into per-`(scenario, fault)` cells, compares the
+//! cells, and classifies the result:
+//!
+//! * **regressed** cells — the worst outcome got more severe
+//!   (safe → hazard, hazard → collision), including hazards *appearing*
+//!   in cells the baseline had as safe or never ran;
+//! * **improved** cells — severity dropped, including hazards that
+//!   disappeared outright;
+//! * **jobs-to-find** — how many jobs each campaign needed before its
+//!   first hazardous record, the paper's headline efficiency metric
+//!   (DriveFI's Bayesian miner finds its critical faults orders of
+//!   magnitude earlier than random injection).
+//!
+//! [`StoreDiff::has_regression`] drives the CLI exit code: `0` clean,
+//! nonzero on regression, so a pipeline can gate merges on
+//! `drivefi diff baseline/ candidate/`.
+
+use crate::PlanError;
+use drivefi_sim::Outcome;
+use drivefi_store::{read_store, CampaignRecord};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Outcome severity for cell comparison: collisions are worse than
+/// hazards are worse than safe.
+fn severity(outcome: &Outcome) -> u8 {
+    match outcome {
+        Outcome::Safe => 0,
+        Outcome::Hazard { .. } => 1,
+        Outcome::Collision { .. } => 2,
+    }
+}
+
+fn severity_name(severity: u8) -> &'static str {
+    match severity {
+        0 => "safe",
+        1 => "hazard",
+        _ => "collision",
+    }
+}
+
+/// One `(scenario, fault)` cell's aggregate in a single store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    /// Worst outcome severity across the cell's jobs.
+    worst: u8,
+    /// Number of jobs aggregated into the cell.
+    jobs: u64,
+}
+
+/// A per-cell severity change between the two stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellDelta {
+    /// Scenario id (shared across both stores — same plan space).
+    pub scenario_id: u32,
+    /// Fault-kind name (`none` for golden jobs).
+    pub fault: String,
+    /// Baseline worst outcome (`"absent"` when the cell is new).
+    pub before: String,
+    /// Candidate worst outcome (`"absent"` when the cell vanished).
+    pub after: String,
+    /// Whether this delta is a regression (severity increased or a
+    /// hazardous cell appeared).
+    pub regressed: bool,
+}
+
+impl CellDelta {
+    /// `scenario 3 / plan.throttle:max: safe -> collision`-style line,
+    /// with the family name substituted when `names` has one.
+    pub fn describe(&self, names: &BTreeMap<u32, String>) -> String {
+        let scenario = names
+            .get(&self.scenario_id)
+            .map(|name| format!("{name} (scenario {})", self.scenario_id))
+            .unwrap_or_else(|| format!("scenario {}", self.scenario_id));
+        format!("{scenario} / {}: {} -> {}", self.fault, self.before, self.after)
+    }
+}
+
+/// The comparison between a baseline store and a candidate store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreDiff {
+    /// Cells in the baseline store.
+    pub baseline_cells: usize,
+    /// Cells in the candidate store.
+    pub candidate_cells: usize,
+    /// Cells whose severity increased (incl. newly-appearing hazards).
+    pub regressed: Vec<CellDelta>,
+    /// Cells whose severity decreased (incl. disappearing hazards).
+    pub improved: Vec<CellDelta>,
+    /// Jobs the baseline ran before its first hazardous record (`None`
+    /// when it never found one).
+    pub baseline_jobs_to_hazard: Option<u64>,
+    /// Jobs the candidate ran before its first hazardous record.
+    pub candidate_jobs_to_hazard: Option<u64>,
+}
+
+impl StoreDiff {
+    /// Whether the candidate regressed relative to the baseline — the
+    /// CI gate. Jobs-to-find is reported but never gates: it is a
+    /// sampling-efficiency metric, not a safety outcome.
+    pub fn has_regression(&self) -> bool {
+        !self.regressed.is_empty()
+    }
+}
+
+fn cells(records: &[CampaignRecord]) -> BTreeMap<(u32, String), Cell> {
+    let mut map: BTreeMap<(u32, String), Cell> = BTreeMap::new();
+    for record in records {
+        let key = (record.scenario_id, record.fault_name());
+        let entry = map.entry(key).or_insert(Cell { worst: 0, jobs: 0 });
+        entry.worst = entry.worst.max(severity(&record.outcome));
+        entry.jobs += 1;
+    }
+    map
+}
+
+/// Jobs executed before the first hazardous record, in job order.
+fn jobs_to_first_hazard(records: &[CampaignRecord]) -> Option<u64> {
+    let mut ordered: Vec<(u64, u8)> =
+        records.iter().map(|r| (r.job, severity(&r.outcome))).collect();
+    ordered.sort_unstable_by_key(|(job, _)| *job);
+    ordered.iter().position(|(_, severity)| *severity > 0).map(|position| position as u64 + 1)
+}
+
+/// Compares two record sets cell-by-cell. Exposed separately from
+/// [`diff_stores`] so tests (and future in-memory callers) can diff
+/// without a disk store.
+pub fn diff_records(baseline: &[CampaignRecord], candidate: &[CampaignRecord]) -> StoreDiff {
+    let before = cells(baseline);
+    let after = cells(candidate);
+    let mut diff = StoreDiff {
+        baseline_cells: before.len(),
+        candidate_cells: after.len(),
+        baseline_jobs_to_hazard: jobs_to_first_hazard(baseline),
+        candidate_jobs_to_hazard: jobs_to_first_hazard(candidate),
+        ..StoreDiff::default()
+    };
+    for (key, cell) in &after {
+        let (scenario_id, fault) = key;
+        match before.get(key) {
+            Some(base) if cell.worst > base.worst => diff.regressed.push(CellDelta {
+                scenario_id: *scenario_id,
+                fault: fault.clone(),
+                before: severity_name(base.worst).into(),
+                after: severity_name(cell.worst).into(),
+                regressed: true,
+            }),
+            Some(base) if cell.worst < base.worst => diff.improved.push(CellDelta {
+                scenario_id: *scenario_id,
+                fault: fault.clone(),
+                before: severity_name(base.worst).into(),
+                after: severity_name(cell.worst).into(),
+                regressed: false,
+            }),
+            Some(_) => {}
+            // A cell the baseline never ran: hazardous is a regression
+            // (a new way to get hurt), safe is unremarkable coverage.
+            None if cell.worst > 0 => diff.regressed.push(CellDelta {
+                scenario_id: *scenario_id,
+                fault: fault.clone(),
+                before: "absent".into(),
+                after: severity_name(cell.worst).into(),
+                regressed: true,
+            }),
+            None => {}
+        }
+    }
+    for (key, base) in &before {
+        if after.contains_key(key) || base.worst == 0 {
+            continue;
+        }
+        // A hazardous baseline cell the candidate never ran at all.
+        diff.improved.push(CellDelta {
+            scenario_id: key.0,
+            fault: key.1.clone(),
+            before: severity_name(base.worst).into(),
+            after: "absent".into(),
+            regressed: false,
+        });
+    }
+    diff
+}
+
+/// Reads and diffs two store directories (baseline first).
+///
+/// # Errors
+///
+/// Propagates store read failures as [`PlanError`].
+pub fn diff_stores(
+    baseline: impl AsRef<Path>,
+    candidate: impl AsRef<Path>,
+) -> Result<StoreDiff, PlanError> {
+    let read = |dir: &Path| {
+        read_store(dir)
+            .map(|(_, records)| records)
+            .map_err(|e| PlanError::new(format!("{}: {e}", dir.display())))
+    };
+    let baseline = read(baseline.as_ref())?;
+    let candidate = read(candidate.as_ref())?;
+    Ok(diff_records(&baseline, &candidate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_fault::{FaultKind, FaultSpec, WindowSpec};
+
+    fn record(
+        job: u64,
+        scenario_id: u32,
+        fault: Option<FaultSpec>,
+        outcome: Outcome,
+    ) -> CampaignRecord {
+        CampaignRecord {
+            job,
+            scenario_id,
+            scenario_seed: 3,
+            fault,
+            outcome,
+            injections: u64::from(fault.is_some()),
+            scenes: 100,
+            min_delta_lon: 2.0,
+            min_delta_lat: 0.5,
+        }
+    }
+
+    fn hang(scene: u64) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::ModuleHang { stage: drivefi_ads::Stage::Planning },
+            window: WindowSpec::burst(scene, 3),
+        }
+    }
+
+    #[test]
+    fn identical_stores_diff_clean() {
+        let records = vec![
+            record(0, 0, None, Outcome::Safe),
+            record(1, 0, Some(hang(5)), Outcome::Hazard { scene: 20 }),
+        ];
+        let diff = diff_records(&records, &records);
+        assert!(!diff.has_regression());
+        assert!(diff.regressed.is_empty() && diff.improved.is_empty());
+        assert_eq!(diff.baseline_jobs_to_hazard, Some(2));
+        assert_eq!(diff.candidate_jobs_to_hazard, Some(2));
+    }
+
+    #[test]
+    fn appearing_hazard_regresses_and_names_the_cell() {
+        let baseline = vec![record(0, 2, Some(hang(5)), Outcome::Safe)];
+        let candidate =
+            vec![record(0, 2, Some(hang(5)), Outcome::Collision { scene: 44, actor: 1 })];
+        let diff = diff_records(&baseline, &candidate);
+        assert!(diff.has_regression());
+        assert_eq!(diff.regressed.len(), 1);
+        let delta = &diff.regressed[0];
+        assert_eq!(delta.fault, "planning.hang");
+        assert_eq!((delta.before.as_str(), delta.after.as_str()), ("safe", "collision"));
+        let mut names = BTreeMap::new();
+        names.insert(2, "cut_in".to_string());
+        assert_eq!(
+            delta.describe(&names),
+            "cut_in (scenario 2) / planning.hang: safe -> collision"
+        );
+    }
+
+    #[test]
+    fn disappearing_hazard_improves_without_gating() {
+        let baseline = vec![record(0, 1, Some(hang(2)), Outcome::Hazard { scene: 9 })];
+        let candidate = vec![record(0, 1, Some(hang(2)), Outcome::Safe)];
+        let diff = diff_records(&baseline, &candidate);
+        assert!(!diff.has_regression());
+        assert_eq!(diff.improved.len(), 1);
+        assert_eq!(diff.improved[0].after, "safe");
+
+        // Candidate dropped the cell entirely: still an improvement.
+        let diff = diff_records(&baseline, &[]);
+        assert!(!diff.has_regression());
+        assert_eq!(diff.improved[0].after, "absent");
+    }
+
+    #[test]
+    fn new_safe_coverage_is_not_a_regression() {
+        let baseline = vec![record(0, 0, None, Outcome::Safe)];
+        let candidate =
+            vec![record(0, 0, None, Outcome::Safe), record(1, 7, Some(hang(1)), Outcome::Safe)];
+        let diff = diff_records(&baseline, &candidate);
+        assert!(!diff.has_regression());
+        assert_eq!(diff.candidate_cells, 2);
+    }
+}

@@ -33,17 +33,25 @@
 //! ```
 
 pub mod campaign;
+pub mod diff;
 pub mod expr;
+pub mod render;
 pub mod report;
 pub mod scenario;
 pub mod toml;
 
 pub use campaign::{
     campaign_fingerprint, campaign_plan_to_toml, emit_campaign_plan, parse_campaign_plan, run_plan,
-    run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult, ScenarioSelection,
-    SimSection, SinkChoice, SubmitSection, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
+    run_plan_budget, CampaignKind, CampaignPlan, ControlSection, ControlVerdict, OutputSpec,
+    PlanResult, ScenarioSelection, SimSection, SinkChoice, SubmitSection, CONTROL_FILE,
+    GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
+pub use diff::{diff_records, diff_stores, CellDelta, StoreDiff};
 pub use expr::{emit_expr, parse_expr};
+pub use render::{
+    ads_profile_rows, report_document, to_html, to_markdown, Document, RenderContext, Section,
+    Table,
+};
 pub use report::{csv_header, csv_row, known_fault_filter, PlanReport, JOBS_FILE, REPORT_FILE};
 pub use scenario::{
     emit_scenario_spec, load_scenario_spec, parse_scenario_spec, save_scenario_spec,

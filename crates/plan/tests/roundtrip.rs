@@ -6,8 +6,8 @@ use drivefi_ads::Signal;
 use drivefi_fault::{CorruptionGrid, FaultKind, FaultSpace, ScalarFaultModel};
 use drivefi_plan::{
     emit_campaign_plan, emit_expr, emit_scenario_spec, parse_campaign_plan, parse_expr,
-    parse_scenario_spec, CampaignKind, CampaignPlan, OutputSpec, ScenarioSelection, SimSection,
-    SinkChoice, SubmitSection,
+    parse_scenario_spec, CampaignKind, CampaignPlan, ControlSection, OutputSpec, ScenarioSelection,
+    SimSection, SinkChoice, SubmitSection,
 };
 use drivefi_world::spec::{
     ActorTemplate, EgoSpec, Expr, KeyframeProgram, LaneChangeTemplate, ManeuverTemplate, RoadSpec,
@@ -260,6 +260,7 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
     let submit = SubmitSection {
         weight: if rng.random::<bool>() { 1 } else { rng.random_range(1..=64u32) },
     };
+    let control = ControlSection { assert_survivable: rng.random::<bool>() };
     CampaignPlan {
         name: format!("fuzz-{}", rng.random_range(0..1000u32)),
         kind,
@@ -271,6 +272,7 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
         sim,
         output,
         submit,
+        control,
     }
 }
 

@@ -27,12 +27,29 @@
 use crate::spool::{claim_submissions, CAMPAIGNS_DIR, PLAN_FILE, SPOOL_DIR};
 use crate::status::{CampaignState, CampaignStatus};
 use crate::ServeError;
+use drivefi_obs::metrics::{counter_add, gauge_set, Counter, Gauge};
 use drivefi_plan::{
     run_plan_budget, CampaignPlan, OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR,
 };
 use drivefi_store::{compact_store, read_manifest, MANIFEST_FILE};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Unix wall-clock milliseconds, for the status file's `updated_ms`.
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Stamps the status's freshness and writes it — every scheduler-side
+/// status write goes through here so `drivefi status` can always tell
+/// how long ago the daemon last touched a campaign.
+fn save_status(status: &mut CampaignStatus, dir: &Path) {
+    status.updated_ms = Some(wall_ms());
+    status.save(dir).ok();
+}
 
 /// Store directory name inside a campaign directory.
 pub const STORE_DIR: &str = "store";
@@ -120,6 +137,9 @@ fn stage_dirs(plan: &CampaignPlan) -> Vec<PathBuf> {
 fn admit(dir: PathBuf) -> Campaign {
     let prior = CampaignStatus::load(&dir).ok();
     let slices = prior.as_ref().map_or(0, |s| s.slices);
+    // The previous daemon's observed rate survives the restart so the
+    // first slice of this session already carries a sane ETA.
+    let prior_rate = prior.as_ref().and_then(|s| s.rate_millijobs_per_s);
 
     let mut plan = match CampaignPlan::load(dir.join(PLAN_FILE)) {
         Ok(plan) => plan,
@@ -128,7 +148,7 @@ fn admit(dir: PathBuf) -> Campaign {
                 prior.unwrap_or_else(|| CampaignStatus::queued(dir_id(&dir), "unknown"));
             status.state = CampaignState::Failed;
             status.error = Some(e.to_string());
-            status.save(&dir).ok();
+            save_status(&mut status, &dir);
             return Campaign { dir, plan: None, status, session: None };
         }
     };
@@ -136,6 +156,7 @@ fn admit(dir: PathBuf) -> Campaign {
 
     let mut status = CampaignStatus::queued(plan.name.clone(), plan.kind.name());
     status.slices = slices;
+    status.rate_millijobs_per_s = prior_rate;
     // A deterministic failure would fail again on every retry; trust
     // the persisted verdict (delete status.toml to retry).
     if let Some(prior) = prior {
@@ -152,7 +173,7 @@ fn admit(dir: PathBuf) -> Campaign {
             apply_report(&mut status, &plan, &report);
         }
     }
-    status.save(&dir).ok();
+    save_status(&mut status, &dir);
     Campaign { dir, plan: Some(plan), status, session: None }
 }
 
@@ -193,6 +214,7 @@ fn run_slice(campaign: &mut Campaign, slice: u64) {
     let Some(plan) = &campaign.plan else { return };
     let budget = slice.saturating_mul(u64::from(plan.submit.weight)).max(1);
     campaign.status.slices += 1;
+    counter_add(Counter::ServeSlices, 1);
     match run_plan_budget(plan, Some(budget)) {
         Ok(PlanResult::Persisted(report)) => {
             apply_report(&mut campaign.status, plan, &report);
@@ -206,11 +228,22 @@ fn run_slice(campaign: &mut Campaign, slice: u64) {
                         let elapsed = since.elapsed().as_secs_f64();
                         let rate = progressed as f64 / elapsed.max(1e-6);
                         campaign.status.eta_seconds = Some((remaining as f64 / rate).ceil() as u64);
+                        campaign.status.rate_millijobs_per_s = Some((rate * 1000.0).ceil() as u64);
                     }
                 }
                 _ => {
                     campaign.session =
                         Some((campaign.status.stage.clone(), campaign.status.done, Instant::now()));
+                    // No observations this session yet — seed the ETA
+                    // from the rate a previous daemon persisted.
+                    let remaining = campaign.status.total.saturating_sub(campaign.status.done);
+                    if campaign.status.state == CampaignState::Running && remaining > 0 {
+                        if let Some(rate) = campaign.status.rate_millijobs_per_s.filter(|r| *r > 0)
+                        {
+                            campaign.status.eta_seconds =
+                                Some(remaining.saturating_mul(1000).div_ceil(rate));
+                        }
+                    }
                 }
             }
         }
@@ -225,7 +258,7 @@ fn run_slice(campaign: &mut Campaign, slice: u64) {
             campaign.status.error = Some(e.to_string());
         }
     }
-    campaign.status.save(&campaign.dir).ok();
+    save_status(&mut campaign.status, &campaign.dir);
 }
 
 /// Compacts at most one sealed, not-yet-compacted stage store across
@@ -313,6 +346,7 @@ pub fn serve(root: &Path, config: &ServeConfig) -> Result<ServeSummary, ServeErr
             campaigns.push(admit(dir));
         }
         rounds += 1;
+        gauge_set(Gauge::ServeQueueDepth, campaigns.iter().filter(|c| c.active()).count() as i64);
 
         let mut sliced = false;
         for campaign in &mut campaigns {

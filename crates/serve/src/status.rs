@@ -81,6 +81,13 @@ pub struct CampaignStatus {
     /// Estimated seconds to stage completion at the observed rate, once
     /// one is observable.
     pub eta_seconds: Option<u64>,
+    /// Observed completion rate in milli-jobs per second (integer so the
+    /// TOML subset can carry it). Persisted so a restarted daemon shows
+    /// a sane ETA from its very first slice instead of a blank one.
+    pub rate_millijobs_per_s: Option<u64>,
+    /// Unix milliseconds of the last status write — how `drivefi
+    /// status` tells a live campaign from one whose daemon died.
+    pub updated_ms: Option<u64>,
     /// What went wrong, when `state` is failed.
     pub error: Option<String>,
 }
@@ -100,6 +107,8 @@ impl CampaignStatus {
             collisions: 0,
             slices: 0,
             eta_seconds: None,
+            rate_millijobs_per_s: None,
+            updated_ms: None,
             error: None,
         }
     }
@@ -120,6 +129,12 @@ impl CampaignStatus {
         ]);
         if let Some(eta) = self.eta_seconds {
             root.insert("eta_seconds".into(), Toml::Int(eta as i64));
+        }
+        if let Some(rate) = self.rate_millijobs_per_s {
+            root.insert("rate_millijobs_per_s".into(), Toml::Int(rate as i64));
+        }
+        if let Some(updated) = self.updated_ms {
+            root.insert("updated_ms".into(), Toml::Int(updated as i64));
         }
         if let Some(error) = &self.error {
             root.insert("error".into(), Toml::Str(error.clone()));
@@ -169,6 +184,14 @@ impl CampaignStatus {
             eta_seconds: match doc.get("eta_seconds") {
                 None => None,
                 Some(_) => Some(int_field("eta_seconds")?),
+            },
+            rate_millijobs_per_s: match doc.get("rate_millijobs_per_s") {
+                None => None,
+                Some(_) => Some(int_field("rate_millijobs_per_s")?),
+            },
+            updated_ms: match doc.get("updated_ms") {
+                None => None,
+                Some(_) => Some(int_field("updated_ms")?),
             },
             error: match doc.get("error") {
                 None => None,
@@ -220,12 +243,20 @@ mod tests {
         status.collisions = 1;
         status.slices = 3;
         status.eta_seconds = Some(42);
+        status.rate_millijobs_per_s = Some(385);
+        status.updated_ms = Some(1_700_000_000_123);
         assert_eq!(CampaignStatus::parse(&status.to_toml()).unwrap(), status);
 
-        // Optional fields stay absent from the document when unset.
+        // Optional fields stay absent from the document when unset —
+        // and a pre-observability document (no rate/updated fields)
+        // still parses.
         let fresh = CampaignStatus::queued("x", "random");
         let doc = fresh.to_toml();
         assert!(!doc.contains("eta_seconds") && !doc.contains("error"), "doc:\n{doc}");
+        assert!(
+            !doc.contains("rate_millijobs_per_s") && !doc.contains("updated_ms"),
+            "doc:\n{doc}"
+        );
         assert_eq!(CampaignStatus::parse(&doc).unwrap(), fresh);
 
         let mut failed = fresh.clone();

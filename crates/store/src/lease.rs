@@ -127,6 +127,52 @@ fn examine(path: &Path, shard: u32, timeout: Duration) -> LeaseCheck {
     LeaseCheck::Fresh(format!("{holder}{age}"))
 }
 
+/// Externally observable state of one shard's lease lock, for status
+/// displays and diagnostics. A read-only probe: unlike
+/// [`LeaseSet::acquire`] it never claims, steals, or touches the lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseState {
+    /// No lock file — no writer holds the shard.
+    Unheld,
+    /// Held by a live writer (pid alive, heartbeat current).
+    Live {
+        /// Holder description, e.g. `` `serve-batch7` (pid 4242) ``.
+        holder: String,
+    },
+    /// A lock left behind by a dead or timed-out writer.
+    Stale {
+        /// Holder description of the departed writer.
+        holder: String,
+    },
+}
+
+/// Reports the lease state of shard `index` of the store at `dir`,
+/// using the same staleness rules as acquisition (dead holder pid, or
+/// heartbeat older than `timeout`).
+pub fn probe_lease(dir: &Path, index: u32, timeout: Duration) -> LeaseState {
+    let path = lease_path(dir, index);
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LeaseState::Unheld,
+        Err(_) => String::new(),
+    };
+    let age = std::fs::metadata(&path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| mtime.elapsed().ok());
+    let info = LeaseInfo::parse(index, &src);
+    let dead = info.as_ref().is_some_and(|info| pid_alive(info.pid) == Some(false));
+    let holder = info.map_or_else(
+        || "an unreadable holder".to_string(),
+        |info| format!("`{}` (pid {})", info.owner, info.pid),
+    );
+    if dead || age.is_some_and(|age| age > timeout) {
+        LeaseState::Stale { holder }
+    } else {
+        LeaseState::Live { holder }
+    }
+}
+
 /// The set of shard leases one writer holds over a store directory.
 /// Acquired by [`LeaseSet::acquire`]; heartbeated at every checkpoint;
 /// released (lock files removed) by [`LeaseSet::release`] or on drop.
@@ -198,8 +244,30 @@ impl LeaseSet {
                                 .dir
                                 .join(format!("lease-{shard:03}.stale.{}", std::process::id()));
                             if std::fs::rename(&path, &grave).is_ok() {
+                                let prev = std::fs::read_to_string(&grave)
+                                    .ok()
+                                    .and_then(|src| LeaseInfo::parse(shard, &src));
                                 std::fs::remove_file(&grave)
                                     .map_err(|e| io_err("removing", &grave, e))?;
+                                drivefi_obs::metrics::counter_add(
+                                    drivefi_obs::metrics::Counter::LeaseTakeovers,
+                                    1,
+                                );
+                                drivefi_obs::emit_event(
+                                    &self.dir,
+                                    "lease_takeover",
+                                    &[
+                                        ("shard", drivefi_obs::Field::Int(i64::from(shard))),
+                                        (
+                                            "from",
+                                            drivefi_obs::Field::Str(prev.map_or_else(
+                                                || "unreadable".to_string(),
+                                                |p| p.owner,
+                                            )),
+                                        ),
+                                        ("to", drivefi_obs::Field::Str(self.owner.clone())),
+                                    ],
+                                );
                             }
                         }
                     }

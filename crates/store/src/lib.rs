@@ -42,13 +42,15 @@ pub mod sink;
 pub mod store;
 pub mod trace;
 
-pub use lease::{default_owner, lease_path, LeaseInfo, LeaseSet, DEFAULT_LEASE_TIMEOUT};
+pub use lease::{
+    default_owner, lease_path, probe_lease, LeaseInfo, LeaseSet, LeaseState, DEFAULT_LEASE_TIMEOUT,
+};
 pub use record::{CampaignRecord, PAYLOAD_LEN};
 pub use sink::{RecordMeta, StoreSink};
 pub use store::{
     compact_store, fingerprint64, open_store, open_store_opts, open_store_with_traces,
-    read_manifest, read_store, read_traces, seal_store, StoreMeta, StoreOptions, StoreState,
-    StoreWriter, MANIFEST_FILE,
+    read_manifest, read_store, read_traces, seal_store, shard_progress, ShardProgress, StoreMeta,
+    StoreOptions, StoreState, StoreWriter, MANIFEST_FILE,
 };
 pub use trace::{rebuild_traces, scan_trace_shard, TraceRecord, TRACE_BASE_LEN};
 

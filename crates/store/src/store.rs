@@ -27,12 +27,13 @@ use crate::log::{
 use crate::record::CampaignRecord;
 use crate::trace::{rebuild_traces, scan_trace_shard, TraceRecord};
 use crate::StoreError;
+use drivefi_obs::{metrics, EventLog, Field};
 use std::collections::{BTreeSet, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.toml";
@@ -237,6 +238,11 @@ pub struct StoreWriter {
     persisted: u64,
     since_checkpoint: u64,
     checkpoint_every: u64,
+    /// Lifecycle event sink beside the manifest. Strictly best-effort
+    /// telemetry: inert unless `DRIVEFI_OBS` is set, and never consulted
+    /// by recovery or reads — the store's behavior is byte-identical
+    /// with observability on or off.
+    events: EventLog,
 }
 
 fn shard_path(dir: &Path, index: u32) -> PathBuf {
@@ -497,6 +503,7 @@ impl StoreWriter {
             persisted: 0,
             since_checkpoint: 0,
             checkpoint_every,
+            events: EventLog::open(dir),
         };
         writer.checkpoint()?;
         Ok(writer)
@@ -649,7 +656,19 @@ impl StoreWriter {
             persisted: state.records,
             since_checkpoint: 0,
             checkpoint_every,
+            events: EventLog::open(dir),
         };
+        metrics::counter_add(metrics::Counter::Resumes, 1);
+        writer.events.emit(
+            "resume",
+            &[
+                ("records", Field::Int(state.records as i64)),
+                ("total_jobs", Field::Int(expected.total_jobs as i64)),
+                ("shard_start", Field::Int(i64::from(writer.range.start))),
+                ("shard_end", Field::Int(i64::from(writer.range.end))),
+                ("torn", Field::Bool(state.torn)),
+            ],
+        );
         writer.checkpoint()?;
         Ok((writer, state))
     }
@@ -744,6 +763,7 @@ impl StoreWriter {
     ///
     /// Returns a [`StoreError`] on I/O failure.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let began = Instant::now();
         // Trace shards flush before outcome shards: a crash between the
         // two leaves traces without their outcome record (the job just
         // reruns), never a record claiming a trace that isn't there.
@@ -766,6 +786,12 @@ impl StoreWriter {
         // keeps persisting keeps its shards.
         self.leases.heartbeat()?;
         self.since_checkpoint = 0;
+        metrics::counter_add(metrics::Counter::Checkpoints, 1);
+        metrics::hist_record(
+            metrics::Hist::CheckpointLatencyUs,
+            began.elapsed().as_micros() as u64,
+        );
+        self.events.emit("checkpoint", &[("records", Field::Int(self.persisted as i64))]);
         Ok(())
     }
 
@@ -817,6 +843,8 @@ pub fn seal_store(dir: impl AsRef<Path>) -> Result<StoreMeta, StoreError> {
     let sealed = StoreMeta { checkpoint_records: records.len() as u64, complete: true, ..meta };
     write_manifest(dir, &sealed)?;
     leases.release()?;
+    metrics::counter_add(metrics::Counter::Seals, 1);
+    drivefi_obs::emit_event(dir, "seal", &[("records", Field::Int(records.len() as i64))]);
     Ok(sealed)
 }
 
@@ -840,6 +868,60 @@ pub fn read_store(dir: impl AsRef<Path>) -> Result<(StoreMeta, Vec<CampaignRecor
     records.sort_by_key(|r| r.job);
     records.dedup_by_key(|r| r.job);
     Ok((meta, records))
+}
+
+/// Per-shard completion picture of a store, for diagnostics: how many
+/// distinct jobs each shard holds versus how many it should, and the
+/// state of the shard's lease lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardProgress {
+    /// Shard index.
+    pub shard: u32,
+    /// Distinct jobs persisted in the shard.
+    pub records: u64,
+    /// Jobs the shard holds when the campaign is complete.
+    pub expected: u64,
+    /// The shard's lease lock state at probe time.
+    pub lease: crate::lease::LeaseState,
+}
+
+impl ShardProgress {
+    /// Whether every job of the shard is persisted.
+    pub fn complete(&self) -> bool {
+        self.records >= self.expected
+    }
+}
+
+/// Surveys every shard of the store at `dir`: distinct persisted jobs,
+/// expected jobs, and lease state. Read-only — no leases are claimed,
+/// no torn tails truncated — so it is safe to run against a store with
+/// live writers (counts are then a snapshot, not a barrier).
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] when the directory is not a store or a
+/// shard fails to scan.
+pub fn shard_progress(dir: impl AsRef<Path>) -> Result<Vec<ShardProgress>, StoreError> {
+    let dir = dir.as_ref();
+    let meta = read_manifest(dir)?;
+    let mut progress = Vec::with_capacity(meta.shards as usize);
+    for index in 0..meta.shards {
+        let mut jobs: Vec<u64> =
+            scan_shard(&shard_path(dir, index), index)?.records.iter().map(|r| r.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        // Jobs fan out by `job % shards`, so shard `i` owns
+        // ceil((total - i) / shards) jobs.
+        let expected = (meta.total_jobs + u64::from(meta.shards) - 1 - u64::from(index))
+            / u64::from(meta.shards);
+        progress.push(ShardProgress {
+            shard: index,
+            records: jobs.len() as u64,
+            expected,
+            lease: crate::lease::probe_lease(dir, index, DEFAULT_LEASE_TIMEOUT),
+        });
+    }
+    Ok(progress)
 }
 
 /// Reads and parses a store directory's manifest.
@@ -952,6 +1034,14 @@ pub fn compact_store(dir: impl AsRef<Path>) -> Result<StoreMeta, StoreError> {
         .map_err(|e| StoreError::new(format!("refusing to compact under a live writer: {e}")))?;
     let result = compact_locked(dir);
     leases.release()?;
+    if let Ok(compacted) = &result {
+        metrics::counter_add(metrics::Counter::Compactions, 1);
+        drivefi_obs::emit_event(
+            dir,
+            "compact",
+            &[("records", Field::Int(compacted.checkpoint_records as i64))],
+        );
+    }
     result
 }
 

@@ -33,6 +33,7 @@ fn mine_plan(dir: &Path) -> CampaignPlan {
         faults: drivefi::fault::FaultSpace::default(),
         sim: SimSection::default(),
         submit: Default::default(),
+        control: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 2,

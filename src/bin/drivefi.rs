@@ -2,13 +2,15 @@
 //! query, and *serve* plan-file campaigns with a persistent store.
 //!
 //! ```text
-//! drivefi run     <plan.toml> [--max-jobs N] [--output-dir DIR]
-//! drivefi resume  <plan.toml> [--output-dir DIR]
-//! drivefi mine    <plan.toml> [--max-jobs N] [--output-dir DIR]
-//! drivefi report  <plan.toml> [--partial] [--output-dir DIR]
+//! drivefi run     <plan.toml> [--max-jobs N] [--output-dir DIR] [--no-assert-control]
+//! drivefi resume  <plan.toml> [--output-dir DIR] [--no-assert-control]
+//! drivefi mine    <plan.toml> [--max-jobs N] [--output-dir DIR] [--no-assert-control]
+//! drivefi report  <plan.toml> [--partial] [--output-dir DIR] [--format toml|md|html]
 //! drivefi compact <plan.toml|store-dir> [--output-dir DIR]
 //! drivefi query   <plan.toml|store-dir> [--outcome safe|hazard|collision]
 //!                 [--scenario ID] [--fault SUBSTR] [--limit N] [--output-dir DIR]
+//!                 [--format csv|jsonl]
+//! drivefi diff    <baseline-store> <candidate-store> [--plan plan.toml]
 //! drivefi serve   <root> [--slice N] [--poll-ms N] [--drain] [--max-rounds N]
 //! drivefi submit  <root> <plan.toml>
 //! drivefi status  <root>
@@ -25,7 +27,19 @@
 //! * `report` rebuilds `report.toml` + `jobs.csv` from the store
 //!   without running any jobs. An interrupted store needs `--partial` —
 //!   a partial report is otherwise indistinguishable from a finished
-//!   run's at a glance.
+//!   run's at a glance; the refusal surveys the shards and says *which*
+//!   of them (and whose leases) are incomplete. `--format md|html`
+//!   additionally renders `report.md`/`report.html` with per-fault and
+//!   per-family breakdowns plus whatever `DRIVEFI_OBS` lifecycle events
+//!   and `DRIVEFI_PROFILE` tick timings the run left behind.
+//! * `diff` compares two stores cell-by-cell (scenario × fault): exit 0
+//!   when the candidate holds no new or worsened hazards, exit 3 when
+//!   it regressed — the CI safety gate. `--plan` maps scenario ids to
+//!   family names in the listing.
+//! * `run`/`resume`/`mine` on random and mine plans first execute an
+//!   unfaulted *control job* and assert it survivable (a hazardous
+//!   baseline means faulted outcomes prove nothing); opt out with
+//!   `--no-assert-control` or `[control] assert = false`.
 //! * `compact` rewrites a store's shards in pure job order (torn tails
 //!   and duplicate records dropped); `read_store` results are unchanged.
 //! * `query` prints matching per-job records as CSV on stdout. Filter
@@ -48,17 +62,20 @@
 //! `query` read the sweep-stage sub-store (`validate/` / `sweep/`).
 
 use drivefi::plan::{
-    campaign_fingerprint, known_fault_filter, run_plan_budget, CampaignKind, CampaignPlan,
-    OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
+    ads_profile_rows, campaign_fingerprint, diff_stores, known_fault_filter, report_document,
+    run_plan_budget, to_html, to_markdown, CampaignKind, CampaignPlan, ControlVerdict, OutputSpec,
+    PlanReport, PlanResult, RenderContext, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
 use drivefi::serve::{serve, submit_plan, CampaignStatus, ServeConfig, CAMPAIGNS_DIR, SPOOL_DIR};
-use drivefi::store::{compact_store, read_store, MANIFEST_FILE};
+use drivefi::store::{compact_store, read_store, shard_progress, LeaseState, MANIFEST_FILE};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: drivefi <run|resume|mine|report|compact|query> <plan.toml|store-dir> \
-                     [--max-jobs N] [--output-dir DIR] [--partial] \
+                     [--max-jobs N] [--output-dir DIR] [--partial] [--no-assert-control] \
                      [--outcome safe|hazard|collision] [--scenario ID] [--fault SUBSTR] \
-                     [--limit N]\n       \
+                     [--limit N] [--format toml|md|html|csv|jsonl]\n       \
+                     drivefi diff <baseline-store> <candidate-store> [--plan plan.toml]\n       \
                      drivefi serve <root> [--slice N] [--poll-ms N] [--drain] [--max-rounds N]\n       \
                      drivefi submit <root> <plan.toml>\n       \
                      drivefi status <root>";
@@ -79,6 +96,10 @@ struct Args {
     poll_ms: Option<u64>,
     drain: bool,
     max_rounds: Option<u64>,
+    format: Option<String>,
+    no_assert_control: bool,
+    /// `diff --plan`: the plan whose suite names scenario families.
+    plan: Option<String>,
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -105,6 +126,9 @@ fn parse_args() -> Args {
         poll_ms: None,
         drain: false,
         max_rounds: None,
+        format: None,
+        no_assert_control: false,
+        plan: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -166,6 +190,18 @@ fn parse_args() -> Args {
                 )
             }
             "--drain" => parsed.drain = true,
+            "--format" => {
+                let format = value("--format");
+                if !matches!(format.as_str(), "toml" | "md" | "html" | "csv" | "jsonl") {
+                    fail(format!(
+                        "--format must be toml, md, or html (report) or csv or jsonl (query), \
+                         got `{format}`"
+                    ));
+                }
+                parsed.format = Some(format)
+            }
+            "--no-assert-control" => parsed.no_assert_control = true,
+            "--plan" => parsed.plan = Some(value("--plan")),
             "--max-rounds" => {
                 parsed.max_rounds = Some(
                     value("--max-rounds")
@@ -295,7 +331,10 @@ fn print_summary(result: &PlanResult) {
 }
 
 fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
-    let plan = load_plan(&args.target, args.output_dir.as_deref());
+    let mut plan = load_plan(&args.target, args.output_dir.as_deref());
+    if args.no_assert_control {
+        plan.control.assert_survivable = false;
+    }
     if require_mine && !matches!(plan.kind, CampaignKind::Mine { .. }) {
         fail(format!(
             "`drivefi mine` needs a `kind = \"mine\"` plan, got `kind = \"{}\"` \
@@ -317,6 +356,14 @@ fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
     }
     let result = run_plan_budget(&plan, args.max_jobs).unwrap_or_else(|e| fail(e));
     print_summary(&result);
+    // `run --format md|html` renders right here, in the process that
+    // just simulated — the one place the `DRIVEFI_PROFILE` tick table
+    // has samples to show.
+    if let (Some("md" | "html"), PlanResult::Persisted(report), Some(output)) =
+        (args.format.as_deref(), &result, &plan.output)
+    {
+        render_report(args, &plan, report, Path::new(&output.dir));
+    }
 }
 
 fn cmd_report(args: &Args) {
@@ -361,16 +408,96 @@ fn cmd_report(args: &Args) {
         records,
     );
     if !report.complete() && !args.partial {
-        fail(format!(
-            "store under {} holds {} of {} job records — an interrupted campaign; resume it \
-             with `drivefi resume`, or pass --partial to report on it as-is",
-            dir.display(),
-            report.jobs.len(),
-            report.total_jobs
-        ));
+        fail(incomplete_store_message(&dir, &report));
     }
     report.save(&report_dir).unwrap_or_else(|e| fail(e));
+    match args.format.as_deref() {
+        None | Some("toml") => {}
+        Some("md" | "html") => render_report(args, &plan, &report, &report_dir),
+        Some(other) => fail(format!("report --format must be toml, md, or html, got `{other}`")),
+    }
     print_summary(&PlanResult::Persisted(report));
+}
+
+/// Renders `report.md` / `report.html` next to the store artifacts.
+fn render_report(args: &Args, plan: &CampaignPlan, report: &PlanReport, report_dir: &Path) {
+    let context = render_context(plan, report_dir);
+    let document = report_document(report, &context);
+    let (rendered, file) = match args.format.as_deref() {
+        Some("md") => (to_markdown(&document), "report.md"),
+        _ => (to_html(&document), "report.html"),
+    };
+    let path = report_dir.join(file);
+    std::fs::write(&path, rendered).unwrap_or_else(|e| fail(format!("{}: {e}", path.display())));
+    println!("rendered {}", path.display());
+}
+
+/// Everything the renderer can use beyond the report itself: the plan
+/// suite's family names, the control verdict, and — when `DRIVEFI_OBS`
+/// was on during the run — the campaign's lifecycle events. All
+/// best-effort: a store with none of it still renders.
+fn render_context(plan: &CampaignPlan, report_dir: &Path) -> RenderContext {
+    let mut context = RenderContext {
+        control: ControlVerdict::load(report_dir).unwrap_or(None),
+        profile: ads_profile_rows(),
+        ..RenderContext::default()
+    };
+    for scenario in plan.scenarios.build_suite().scenarios {
+        context.family_names.insert(scenario.id, scenario.name);
+    }
+    // Single-stage campaigns log everything into one root events.jsonl;
+    // pipeline stages also log into their sub-stores. Merge in seq
+    // order (the sequence counter is process-global).
+    let mut events = drivefi::obs::read_events(report_dir).unwrap_or_default();
+    for stage in [GOLDEN_SUBDIR, VALIDATE_SUBDIR, SWEEP_SUBDIR] {
+        events.extend(drivefi::obs::read_events(&report_dir.join(stage)).unwrap_or_default());
+    }
+    events.sort_by_key(|event| event.seq);
+    events.dedup_by_key(|event| event.seq);
+    context.events = events;
+    context
+}
+
+/// The `report` refusal for an interrupted store: survey the shards so
+/// the message says *which* of them are short and whether a writer
+/// still holds (or abandoned) them — an actively-running campaign, a
+/// crashed one, and a scoped serve writer that finished its range but
+/// never sealed all read differently.
+fn incomplete_store_message(dir: &Path, report: &PlanReport) -> String {
+    use std::fmt::Write;
+    let mut message = format!(
+        "store under {} holds {} of {} job records — an interrupted campaign; resume it \
+         with `drivefi resume`, or pass --partial to report on it as-is",
+        dir.display(),
+        report.jobs.len(),
+        report.total_jobs
+    );
+    let Ok(progress) = shard_progress(dir) else { return message };
+    let all_shards_full = progress.iter().all(|shard| shard.complete());
+    message.push_str("\n  incomplete shards:");
+    if all_shards_full {
+        // Every shard has all its records but the manifest never went
+        // complete: a scoped writer (serve slice / --max-jobs range)
+        // finished its range without sealing the store.
+        message.push_str(
+            "\n    none — every shard is fully persisted, but no writer sealed the store \
+             (a scoped writer finished its range); `drivefi resume` will seal it",
+        );
+        return message;
+    }
+    for shard in progress.iter().filter(|shard| !shard.complete()) {
+        let lease = match &shard.lease {
+            LeaseState::Unheld => "no writer holds it — interrupted".to_string(),
+            LeaseState::Live { holder } => format!("held live by {holder} — still running"),
+            LeaseState::Stale { holder } => format!("stale lease from {holder} — crashed"),
+        };
+        let _ = write!(
+            message,
+            "\n    shard {:03}: {} of {} records; {lease}",
+            shard.shard, shard.records, shard.expected
+        );
+    }
+    message
 }
 
 fn cmd_compact(args: &Args) {
@@ -420,9 +547,16 @@ fn cmd_query(args: &Args) {
     };
     let (_, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
 
+    let jsonl = match args.format.as_deref() {
+        None | Some("csv") => false,
+        Some("jsonl") => true,
+        Some(other) => fail(format!("query --format must be csv or jsonl, got `{other}`")),
+    };
     let mut out = String::new();
-    out.push_str(drivefi::plan::csv_header());
-    out.push('\n');
+    if !jsonl {
+        out.push_str(drivefi::plan::csv_header());
+        out.push('\n');
+    }
     let mut matched = 0usize;
     for record in &records {
         if args.limit.is_some_and(|limit| matched >= limit) {
@@ -445,11 +579,103 @@ fn cmd_query(args: &Args) {
                 continue;
             }
         }
-        drivefi::plan::csv_row(record, &mut out);
+        if jsonl {
+            jsonl_row(record, outcome_name, &mut out);
+        } else {
+            drivefi::plan::csv_row(record, &mut out);
+        }
         matched += 1;
     }
     print!("{out}");
     eprintln!("{matched} of {} records matched", records.len());
+}
+
+/// One record as a flat JSON object line — the same fields as the CSV,
+/// with nulls where the CSV leaves cells empty. Fault names and outcome
+/// names come from closed vocabularies (no quoting needed beyond `"`).
+fn jsonl_row(record: &drivefi::store::CampaignRecord, outcome_name: &str, out: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"job\":{},\"scenario_id\":{},\"scenario_seed\":{},",
+        record.job, record.scenario_id, record.scenario_seed
+    );
+    match record.fault {
+        Some(spec) => {
+            let _ = write!(
+                out,
+                "\"fault\":\"{}\",\"fault_scene\":{},\"fault_scenes\":{},",
+                spec.kind.name(),
+                spec.window.scene,
+                spec.window.scenes
+            );
+        }
+        None => out.push_str("\"fault\":null,\"fault_scene\":null,\"fault_scenes\":null,"),
+    }
+    let _ = write!(out, "\"outcome\":\"{outcome_name}\",");
+    match record.outcome {
+        drivefi::sim::Outcome::Safe => out.push_str("\"scene\":null,\"actor\":null,"),
+        drivefi::sim::Outcome::Hazard { scene } => {
+            let _ = write!(out, "\"scene\":{scene},\"actor\":null,");
+        }
+        drivefi::sim::Outcome::Collision { scene, actor } => {
+            let _ = write!(out, "\"scene\":{scene},\"actor\":{actor},");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\"injections\":{},\"scenes\":{},\"min_delta_lon\":{},\"min_delta_lat\":{}}}",
+        record.injections, record.scenes, record.min_delta_lon, record.min_delta_lat
+    );
+}
+
+/// `drivefi diff <baseline> <candidate>`: exit 0 when the candidate
+/// holds no new or worsened hazard cells, 3 when it regressed.
+fn cmd_diff(args: &Args) {
+    let candidate = args
+        .extra
+        .as_deref()
+        .unwrap_or_else(|| fail(format!("diff needs two store directories\n{USAGE}")));
+    let names: BTreeMap<u32, String> = match &args.plan {
+        Some(path) => load_plan(path, None)
+            .scenarios
+            .build_suite()
+            .scenarios
+            .into_iter()
+            .map(|scenario| (scenario.id, scenario.name))
+            .collect(),
+        None => BTreeMap::new(),
+    };
+    let diff = diff_stores(&args.target, candidate).unwrap_or_else(|e| fail(e));
+    println!(
+        "diff: {} baseline cell(s) vs {} candidate cell(s): {} regressed, {} improved",
+        diff.baseline_cells,
+        diff.candidate_cells,
+        diff.regressed.len(),
+        diff.improved.len()
+    );
+    for delta in &diff.regressed {
+        println!("  REGRESSED {}", delta.describe(&names));
+    }
+    for delta in &diff.improved {
+        println!("  improved  {}", delta.describe(&names));
+    }
+    let jobs_to_find = |jobs: Option<u64>| match jobs {
+        Some(jobs) => format!("{jobs} job(s)"),
+        None => "never".to_string(),
+    };
+    println!(
+        "jobs to first hazard: baseline {}, candidate {}",
+        jobs_to_find(diff.baseline_jobs_to_hazard),
+        jobs_to_find(diff.candidate_jobs_to_hazard)
+    );
+    if diff.has_regression() {
+        eprintln!(
+            "drivefi: candidate regressed in {} cell(s) relative to the baseline",
+            diff.regressed.len()
+        );
+        std::process::exit(3);
+    }
 }
 
 fn cmd_serve(args: &Args) {
@@ -494,10 +720,22 @@ fn cmd_status(args: &Args) {
         match CampaignStatus::load(&dir) {
             Ok(status) => {
                 let eta = status.eta_seconds.map(|s| format!("  eta {s}s")).unwrap_or_default();
+                // How long since the daemon last touched this campaign —
+                // the difference between "running" and "daemon died".
+                let age = status
+                    .updated_ms
+                    .map(|updated| {
+                        let now = std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.as_millis() as u64)
+                            .unwrap_or(0);
+                        format!("  updated {}s ago", now.saturating_sub(updated) / 1000)
+                    })
+                    .unwrap_or_default();
                 let error =
                     status.error.as_deref().map(|e| format!("  error: {e}")).unwrap_or_default();
                 println!(
-                    "{id}: {} [{}] {}/{} jobs  safe={} hazards={} collisions={} slices={}{eta}{error}",
+                    "{id}: {} [{}] {}/{} jobs  safe={} hazards={} collisions={} slices={}{eta}{age}{error}",
                     status.state.name(),
                     status.stage,
                     status.done,
@@ -543,6 +781,7 @@ fn main() {
         "report" => cmd_report(&args),
         "compact" => cmd_compact(&args),
         "query" => cmd_query(&args),
+        "diff" => cmd_diff(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "status" => cmd_status(&args),

@@ -28,6 +28,9 @@
 //! * [`serve`] — the campaign daemon: a spool of submitted plans
 //!   scheduled fair-share across a shared worker pool, with live
 //!   `status.toml` progress and crash-equivalent restart.
+//! * [`obs`] — campaign observability: the metrics registry and the
+//!   append-only `events.jsonl` lifecycle log, fingerprint-neutral by
+//!   construction.
 //! * [`genfi`] — the engine generalized to arbitrary safety-critical
 //!   systems (with a surgical-robot instantiation).
 //!
@@ -50,6 +53,7 @@ pub use drivefi_core as core;
 pub use drivefi_fault as fault;
 pub use drivefi_genfi as genfi;
 pub use drivefi_kinematics as kinematics;
+pub use drivefi_obs as obs;
 pub use drivefi_perception as perception;
 pub use drivefi_plan as plan;
 pub use drivefi_planner as planner;

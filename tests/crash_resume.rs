@@ -26,6 +26,7 @@ fn plan_into(dir: &Path) -> CampaignPlan {
         faults: FaultSpace::default(),
         sim: SimSection::default(),
         submit: Default::default(),
+        control: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 3,
@@ -180,6 +181,7 @@ fn mine_plan_into(dir: &Path) -> CampaignPlan {
         faults: FaultSpace::default(),
         sim: SimSection::default(),
         submit: Default::default(),
+        control: Default::default(),
         output: Some(OutputSpec {
             dir: dir.to_string_lossy().into_owned(),
             shards: 2,
@@ -349,6 +351,7 @@ fn golden_plan_persists_and_resumes() {
         faults: FaultSpace::default(),
         sim: SimSection::default(),
         submit: Default::default(),
+        control: Default::default(),
         output: Some(OutputSpec::new(out.to_string_lossy().into_owned())),
     };
 
