@@ -102,7 +102,7 @@ const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
 
 impl Bencher {
     /// Measures `routine`, adapting iterations per sample to
-    /// [`TARGET_SAMPLE_TIME`].
+    /// `TARGET_SAMPLE_TIME`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibrate: one untimed warm-up call, then estimate cost.
         let t0 = Instant::now();

@@ -1,0 +1,47 @@
+//! Acquisition-loop scoring: the per-round, non-simulation overhead of
+//! `kind = "adaptive"` campaigns — fitting the per-group Beta
+//! posteriors over a full candidate space, and re-ranking that space
+//! after a round of observed outcomes. Both are normalized per
+//! candidate; the loop pays each once per round, so they must stay
+//! negligible next to the simulation jobs they steer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drivefi_core::{
+    collect_golden_traces, AcquisitionConfig, BayesianMiner, CandidateScorer, MinerConfig,
+};
+use drivefi_sim::SimConfig;
+use drivefi_world::ScenarioSuite;
+use std::hint::black_box;
+
+fn bench_scoring(c: &mut Criterion) {
+    let suite = ScenarioSuite::generate(8, 42);
+    let traces = collect_golden_traces(&SimConfig::default(), &suite, 8);
+    // Stride 16 matches the mining_throughput bench's candidate space.
+    let config = MinerConfig { scene_stride: 16, ..MinerConfig::default() };
+    let miner = BayesianMiner::fit(&traces, config).unwrap();
+    let predictions = miner.predict_deltas(&traces);
+    let candidates = predictions.len();
+
+    let mut group = c.benchmark_group("candidate_scoring");
+    group.throughput(Throughput::Elements(candidates as u64));
+    group.bench_function("fit_posteriors", |b| {
+        b.iter(|| {
+            black_box(CandidateScorer::new(black_box(&predictions), AcquisitionConfig::default()))
+        })
+    });
+    group.bench_function("select_after_round", |b| {
+        let mut scorer = CandidateScorer::new(&predictions, AcquisitionConfig::default());
+        let mut explored = vec![false; candidates];
+        // One round's worth of folded-in evidence, so scores are not the
+        // flat prior and ties are rare — the realistic mid-loop shape.
+        for (index, seen) in explored.iter_mut().enumerate().take(candidates.min(64)) {
+            scorer.observe(index, index % 3 == 0);
+            *seen = true;
+        }
+        b.iter(|| black_box(scorer.select(black_box(&explored), 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! Posterior-guided candidate acquisition: which faults to inject next.
+//!
+//! The miner's δ̂ ranks candidates by *predicted* severity, but a ranking
+//! alone over-commits to the model: the TBN is fitted on golden traces
+//! only, so its forecasts are exactly wrong where they are most
+//! interesting. The acquisition loop treats injection outcomes as
+//! evidence instead — candidates are pooled into groups of like
+//! predictions (same signal, same corruption model, same δ̂ severity
+//! bin), each group carries a Beta posterior over its hazard
+//! probability seeded from the miner's forecast, and every validated
+//! outcome sharpens it. The score of a candidate is its group's
+//! posterior hazard mean plus an exploration bonus proportional to the
+//! expected information gain of one more observation — so the loop
+//! exploits groups known to produce hazards while still paying for
+//! observations that teach it the most (a Bayesian
+//! exploration/exploitation trade, the paper's "the fitted network
+//! tells you where to inject next" closed into a feedback loop).
+//!
+//! Everything here is deterministic: group ids come from a sorted map,
+//! scores are pure arithmetic over the posterior state, and ties break
+//! by candidate index — so an interrupted acquisition campaign replays
+//! its picks exactly.
+
+use crate::miner::CandidateFault;
+use std::collections::BTreeMap;
+
+/// Scoring knobs of the acquisition loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcquisitionConfig {
+    /// Weight of the expected-information-gain exploration bonus
+    /// relative to the posterior hazard mean.
+    pub explore_weight: f64,
+    /// Pseudo-observation count of each group's Beta prior (how much
+    /// real evidence it takes to overrule the miner's forecast).
+    pub prior_strength: f64,
+    /// Length scale \[m\] of the δ̂ → prior-hazard-probability squash:
+    /// smaller = sharper trust in the sign of the predicted margin.
+    pub delta_scale: f64,
+}
+
+impl Default for AcquisitionConfig {
+    fn default() -> Self {
+        AcquisitionConfig { explore_weight: 0.5, prior_strength: 2.0, delta_scale: 1.0 }
+    }
+}
+
+/// The severity bin of a predicted margin: candidates forecast to
+/// violate safety (δ̂ ≤ 0) pool separately from near-misses and from
+/// comfortably-safe forecasts, so one group's outcomes only speak for
+/// like predictions.
+fn delta_bin(delta_hat: f64) -> usize {
+    if delta_hat <= 0.0 {
+        0
+    } else if delta_hat <= 1.0 {
+        1
+    } else if delta_hat <= 3.0 {
+        2
+    } else {
+        3
+    }
+}
+
+/// One group's Beta posterior over its hazard probability.
+#[derive(Debug, Clone, Copy)]
+struct Posterior {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Posterior {
+    fn mean(self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Expected information gain (in nats) about the group's hazard
+    /// probability from one more observed injection:
+    /// `I(X; θ) = h(E[θ]) − E[h(θ)]` with `h` the binary entropy, the
+    /// Beta expectation in closed form via the digamma function.
+    fn info_gain(self) -> f64 {
+        let Posterior { alpha, beta } = self;
+        let mu = self.mean();
+        let expected_entropy = digamma(alpha + beta + 1.0)
+            - mu * digamma(alpha + 1.0)
+            - (1.0 - mu) * digamma(beta + 1.0);
+        binary_entropy(mu) - expected_entropy
+    }
+}
+
+/// Binary entropy in nats; 0 at the (unreachable for a Beta mean)
+/// endpoints.
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.ln()) - (1.0 - p) * (1.0 - p).ln()
+}
+
+/// Digamma ψ(x) for x > 0: recurrence ψ(x) = ψ(x+1) − 1/x to push the
+/// argument past 10 (where the truncated asymptotic series is good to
+/// ~4e-11), then the series itself — plenty for the ≤ 1e-10 absolute
+/// error this scoring needs, with no special-function dependency.
+fn digamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma needs a positive argument");
+    let mut acc = 0.0;
+    while x < 10.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0)))
+}
+
+/// Deterministic hazard-information scorer over a fixed candidate list
+/// (one [`CandidateFault`] prediction per candidate, in
+/// [`crate::exhaustive::candidate_specs`] order).
+#[derive(Debug, Clone)]
+pub struct CandidateScorer {
+    config: AcquisitionConfig,
+    /// Candidate index → group index.
+    group_of: Vec<usize>,
+    /// Group label, `"signal:model:binN"` (sorted, so ids are stable).
+    labels: Vec<String>,
+    posteriors: Vec<Posterior>,
+}
+
+impl CandidateScorer {
+    /// Builds the scorer: groups the predictions by
+    /// `(signal, model, δ̂ bin)` and seeds each group's Beta prior from
+    /// the group's mean predicted margin — a margin well below zero
+    /// squashes to a hazard probability near 1, a comfortable margin to
+    /// near 0, with `prior_strength` pseudo-observations either way.
+    pub fn new(predictions: &[CandidateFault], config: AcquisitionConfig) -> CandidateScorer {
+        let mut keyed: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        let key = |p: &CandidateFault| {
+            format!("{}:{}:bin{}", p.signal.name(), p.model.name(), delta_bin(p.predicted_delta))
+        };
+        for p in predictions {
+            let entry = keyed.entry(key(p)).or_insert((0.0, 0));
+            entry.0 += p.predicted_delta;
+            entry.1 += 1;
+        }
+        let labels: Vec<String> = keyed.keys().cloned().collect();
+        let posteriors: Vec<Posterior> = keyed
+            .values()
+            .map(|&(delta_sum, n)| {
+                let mean_delta = delta_sum / n as f64;
+                // Logistic squash of the predicted margin: δ̂ ≤ 0 means
+                // "the model expects a violation".
+                let p0 = (1.0 / (1.0 + (mean_delta / config.delta_scale).exp())).clamp(0.01, 0.99);
+                Posterior {
+                    alpha: p0 * config.prior_strength,
+                    beta: (1.0 - p0) * config.prior_strength,
+                }
+            })
+            .collect();
+        let index_of: BTreeMap<&str, usize> =
+            labels.iter().enumerate().map(|(i, l)| (l.as_str(), i)).collect();
+        let group_of = predictions.iter().map(|p| index_of[key(p).as_str()]).collect();
+        CandidateScorer { config, group_of, labels, posteriors }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Group labels, in group-index order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Folds one observed injection outcome into the candidate's group
+    /// posterior.
+    pub fn observe(&mut self, candidate: usize, hazardous: bool) {
+        let p = &mut self.posteriors[self.group_of[candidate]];
+        if hazardous {
+            p.alpha += 1.0;
+        } else {
+            p.beta += 1.0;
+        }
+    }
+
+    /// The posterior hazard mean of a candidate's group.
+    pub fn hazard_mean(&self, candidate: usize) -> f64 {
+        self.posteriors[self.group_of[candidate]].mean()
+    }
+
+    /// The acquisition score: posterior hazard mean plus the weighted
+    /// expected information gain of observing this candidate's group
+    /// once more.
+    pub fn score(&self, candidate: usize) -> f64 {
+        let p = self.posteriors[self.group_of[candidate]];
+        p.mean() + self.config.explore_weight * p.info_gain()
+    }
+
+    /// Per-group posterior hazard means, in group-index order — the
+    /// convergence signal: when one more round of observations no
+    /// longer moves any group's mean, the loop has learned what it can.
+    pub fn posterior_means(&self) -> Vec<f64> {
+        self.posteriors.iter().map(|p| p.mean()).collect()
+    }
+
+    /// Selects the top-`k` unexplored candidates by score, ties broken
+    /// by candidate index — deterministic, so an interrupted campaign
+    /// re-selects the same batch on resume.
+    pub fn select(&self, explored: &[bool], k: usize) -> Vec<usize> {
+        let mut ranked: Vec<(usize, f64)> = (0..self.group_of.len())
+            .filter(|&i| !explored[i])
+            .map(|i| (i, self.score(i)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite scores").then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivefi_ads::Signal;
+    use drivefi_fault::ScalarFaultModel;
+
+    fn prediction(signal: Signal, model: ScalarFaultModel, delta: f64) -> CandidateFault {
+        CandidateFault {
+            scenario_id: 0,
+            scene: 10,
+            signal,
+            model,
+            golden_delta: 5.0,
+            predicted_delta: delta,
+        }
+    }
+
+    fn tiny_predictions() -> Vec<CandidateFault> {
+        vec![
+            prediction(Signal::FinalBrake, ScalarFaultModel::StuckMin, -2.0),
+            prediction(Signal::FinalBrake, ScalarFaultModel::StuckMin, -1.0),
+            prediction(Signal::FinalThrottle, ScalarFaultModel::StuckMax, 0.5),
+            prediction(Signal::FinalThrottle, ScalarFaultModel::StuckMax, 4.0),
+        ]
+    }
+
+    #[test]
+    fn digamma_matches_reference_values() {
+        // ψ(1) = −γ, ψ(2) = 1 − γ, ψ(1/2) = −γ − 2 ln 2.
+        const GAMMA: f64 = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + GAMMA).abs() < 1e-10);
+        assert!((digamma(2.0) - (1.0 - GAMMA)).abs() < 1e-10);
+        assert!((digamma(0.5) + GAMMA + 2.0 * f64::ln(2.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn groups_pool_like_predictions_and_priors_follow_deltas() {
+        let scorer = CandidateScorer::new(&tiny_predictions(), AcquisitionConfig::default());
+        // (brake:min:bin0), (throttle:max:bin1), (throttle:max:bin3).
+        assert_eq!(scorer.group_count(), 3);
+        assert_eq!(scorer.group_of[0], scorer.group_of[1]);
+        assert_ne!(scorer.group_of[2], scorer.group_of[3]);
+        // Violating forecasts seed a higher hazard prior than safe ones.
+        assert!(scorer.hazard_mean(0) > scorer.hazard_mean(2));
+        assert!(scorer.hazard_mean(2) > scorer.hazard_mean(3));
+    }
+
+    #[test]
+    fn observations_move_the_posterior_and_selection_is_deterministic() {
+        let mut scorer = CandidateScorer::new(&tiny_predictions(), AcquisitionConfig::default());
+        let before = scorer.hazard_mean(2);
+        scorer.observe(2, true);
+        assert!(scorer.hazard_mean(2) > before, "a hazard raises the group mean");
+        let mut explored = vec![false; 4];
+        let first = scorer.select(&explored, 2);
+        assert_eq!(first, scorer.select(&explored, 2), "selection is a pure function");
+        explored[first[0]] = true;
+        let next = scorer.select(&explored, 4);
+        assert!(!next.contains(&first[0]), "explored candidates are never re-picked");
+        assert_eq!(next.len(), 3);
+    }
+
+    #[test]
+    fn information_gain_shrinks_as_a_group_saturates() {
+        let mut scorer = CandidateScorer::new(&tiny_predictions(), AcquisitionConfig::default());
+        let p0 = scorer.posteriors[scorer.group_of[0]];
+        let fresh_gain = p0.info_gain();
+        assert!(fresh_gain > 0.0);
+        for _ in 0..50 {
+            scorer.observe(0, true);
+        }
+        let saturated_gain = scorer.posteriors[scorer.group_of[0]].info_gain();
+        assert!(
+            saturated_gain < fresh_gain / 5.0,
+            "50 consistent observations should exhaust most of the information: \
+             {fresh_gain} → {saturated_gain}"
+        );
+    }
+}

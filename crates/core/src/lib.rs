@@ -38,6 +38,7 @@
 //! println!("|F_crit| = {}", critical.len());
 //! ```
 
+pub mod acquisition;
 pub mod exhaustive;
 pub mod golden;
 pub mod miner;
@@ -46,6 +47,7 @@ pub mod report;
 pub mod situations;
 pub mod tbn;
 
+pub use acquisition::{AcquisitionConfig, CandidateScorer};
 pub use exhaustive::{
     candidate_record_metas, candidate_specs, exhaustive_comparison, ExhaustiveReport,
 };

@@ -479,6 +479,70 @@ impl BayesianMiner {
         out
     }
 
+    /// The counterfactual δ̂ for **every** candidate over the traces, in
+    /// [`crate::exhaustive::candidate_specs`] order — the unfiltered
+    /// sibling of [`BayesianMiner::mine`], for acquisition loops that
+    /// need a prediction per candidate rather than only the critical
+    /// set. `predictions[i].fault_spec()` is exactly
+    /// `candidate_specs(miner, traces)[i].1`, so the two enumerations
+    /// index the same job space.
+    ///
+    /// Candidates [`BayesianMiner::mine`] skips as true no-ops (the
+    /// injected value equals the recorded one, or the bin cannot change)
+    /// keep their golden δ: injecting them would leave the run — and so
+    /// its safety margin — unchanged.
+    pub fn predict_deltas(&self, traces: &[Trace]) -> Vec<CandidateFault> {
+        let mut cache: HashMap<(SceneObs, SceneObs, usize, usize), ResponseForecast> =
+            HashMap::new();
+        let mut out = Vec::new();
+        for trace in traces {
+            for (k, signal, var, model) in self.candidates(trace) {
+                let value = match model {
+                    ScalarFaultModel::StuckMin => signal.range().min,
+                    ScalarFaultModel::StuckMax => signal.range().max,
+                    other => {
+                        debug_assert!(false, "unexpected mining model {other:?}");
+                        continue;
+                    }
+                };
+                let golden_delta =
+                    trace.frames[k].delta_true.longitudinal.min(trace.frames[k].delta_true.lateral);
+                let category = self.model.category_of(var, value);
+                let obs0 = self.model.observe(&trace.frames[k - 1]);
+                let obs1 = self.model.observe(&trace.frames[k]);
+                // Same no-op test as mine(): exact-override channels
+                // compare injected to recorded values, the rest compare
+                // bins. A no-op's forecast is the golden margin itself.
+                let noop = if Self::overrides_exact(signal) {
+                    recorded_value(&trace.frames[k], signal)
+                        .is_some_and(|r| (r - value).abs() < 1e-9)
+                } else {
+                    self.model.obs_category(var, &obs1) == category
+                };
+                let predicted_delta = if noop {
+                    golden_delta
+                } else {
+                    let mut response =
+                        *cache.entry((obs0, obs1, var.index(), category)).or_insert_with(|| {
+                            self.forecast(&obs0, &obs1, var, category)
+                                .expect("inference on fitted model")
+                        });
+                    Self::apply_exact_value(signal, value, &mut response);
+                    self.delta_hat_from_forecast(&trace.frames[k], &response)
+                };
+                out.push(CandidateFault {
+                    scenario_id: trace.scenario_id,
+                    scene: trace.frames[k].scene,
+                    signal,
+                    model,
+                    golden_delta,
+                    predicted_delta,
+                });
+            }
+        }
+        out
+    }
+
     /// Total number of candidate faults over the traces — the size of
     /// the exhaustive campaign the miner replaces (paper: 98 400).
     pub fn candidate_count(&self, traces: &[Trace]) -> usize {

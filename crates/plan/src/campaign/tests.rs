@@ -1,0 +1,780 @@
+use super::*;
+use drivefi_ads::Signal;
+use drivefi_fault::{CorruptionGrid, ScalarFaultModel};
+
+fn tiny_random_plan() -> CampaignPlan {
+    CampaignPlan {
+        name: "tiny".into(),
+        kind: CampaignKind::Random { runs: 6 },
+        seed: 3,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: None,
+    }
+}
+
+fn tiny_adaptive_plan() -> CampaignPlan {
+    CampaignPlan {
+        name: "adaptive".into(),
+        kind: CampaignKind::Adaptive {
+            scene_stride: 30,
+            adaptive: AdaptiveSection { batch: 4, max_rounds: 5, converge_eps: 0.1 },
+        },
+        seed: 0,
+        workers: Some(2),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: Some(OutputSpec::new("out/adaptive")),
+    }
+}
+
+#[test]
+fn plans_round_trip_through_toml() {
+    let plans = vec![
+        tiny_random_plan(),
+        CampaignPlan {
+            name: "exhaustive".into(),
+            kind: CampaignKind::Exhaustive { scene_stride: 40 },
+            seed: 0,
+            workers: Some(8),
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Families {
+                names: vec!["cut_in".into(), "tailgater".into()],
+                count: 3,
+                seed: 7,
+            },
+            faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            submit: Default::default(),
+            control: Default::default(),
+            output: None,
+        },
+        CampaignPlan {
+            name: "custom-space".into(),
+            kind: CampaignKind::Random { runs: 40 },
+            seed: 0,
+            workers: None,
+            sink: SinkChoice::Outcomes,
+            scenarios: ScenarioSelection::Families {
+                names: vec!["cut_in".into(), "tailgater".into()],
+                count: 3,
+                seed: 7,
+            },
+            faults: FaultSpace {
+                scalars: CorruptionGrid::new(
+                    vec![Signal::RawThrottle, Signal::FinalBrake],
+                    vec![
+                        ScalarFaultModel::StuckMax,
+                        ScalarFaultModel::Offset(-0.5),
+                        ScalarFaultModel::BitFlip(62),
+                    ],
+                ),
+                modules: vec![drivefi_fault::FaultKind::ClearWorldModel],
+                first_scene: 10,
+                tail_margin: 20,
+                window_scenes: 6,
+            },
+            sim: SimSection::default(),
+            submit: Default::default(),
+            control: Default::default(),
+            output: None,
+        },
+        CampaignPlan {
+            name: "inline".into(),
+            kind: CampaignKind::Random { runs: 4 },
+            seed: 9,
+            workers: None,
+            sink: SinkChoice::Stats,
+            scenarios: ScenarioSelection::Inline {
+                specs: vec![drivefi_world::FamilyRegistry::builtin()
+                    .get("debris_field")
+                    .unwrap()
+                    .clone()],
+                count: 2,
+                seed: 5,
+            },
+            faults: FaultSpace::default(),
+            sim: SimSection::default(),
+            submit: Default::default(),
+            control: Default::default(),
+            output: None,
+        },
+        tiny_adaptive_plan(),
+    ];
+    for plan in plans {
+        let text = emit_campaign_plan(&plan);
+        let parsed =
+            parse_campaign_plan(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", plan.name));
+        assert_eq!(parsed, plan, "{} drifted through TOML", plan.name);
+    }
+}
+
+#[test]
+fn malformed_plans_are_rejected() {
+    let base = emit_campaign_plan(&tiny_random_plan());
+    assert!(parse_campaign_plan(&base).is_ok());
+    // `base` with the whole [faults] section removed (sections emit
+    // alphabetically, so [scenarios] follows [faults]).
+    let without_faults = {
+        let start = base.find("\n[faults]").expect("base has a [faults] section");
+        let end = base.find("\n[scenarios]").expect("base has a [scenarios] section");
+        format!("{}{}", &base[..start], &base[end..])
+    };
+    for (mutation, needle) in [
+        (base.replace("kind = \"random\"", "kind = \"chaos\""), "unknown campaign kind"),
+        (base.replace("runs = 6", "runs = 0"), "runs"),
+        (base.replace("source = \"paper\"", "source = \"imaginary\""), "unknown scenario source"),
+        (base.replace("signals = \"all\"", "signals = [\"plan.warp\"]"), "unknown signal"),
+        (
+            base.replace("models = [\"min\", \"max\"]", "models = [\"warp(2)\"]"),
+            "unknown fault model",
+        ),
+        (base.replace("window_scenes = 1", "window_scenes = 0"), "window_scenes"),
+        (base.replace("seed = 3", "velocity = 3"), "unknown key"),
+        (base.replace("count = 2", "count = 0"), "count"),
+        // An exhaustive campaign cannot carry a [faults] section or
+        // a sink — rejected rather than silently ignored.
+        (
+            base.replace("kind = \"random\"\nruns = 6", "kind = \"exhaustive\"")
+                .replace("sink = \"stats\"\n", ""),
+            "`[faults]` section is only valid for random",
+        ),
+        (
+            without_faults.replace("kind = \"random\"\nruns = 6", "kind = \"exhaustive\""),
+            "`sink` is only valid for random",
+        ),
+    ] {
+        let err =
+            parse_campaign_plan(&mutation).expect_err(&format!("mutation should fail: {needle}"));
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+}
+
+#[test]
+fn adaptive_plans_round_trip_and_enforce_their_schema() {
+    let plan = tiny_adaptive_plan();
+    let text = emit_campaign_plan(&plan);
+    assert!(text.contains("[adaptive]"), "non-default [adaptive] must emit:\n{text}");
+    assert!(!text.contains("sink"), "adaptive plans carry no sink:\n{text}");
+    assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+    assert_eq!(plan.kind.store_subdir(), None, "rounds aggregate, no single sub-store");
+    assert!(plan.kind.is_staged());
+
+    // A default [adaptive] section is omitted, not emitted as noise —
+    // and parses back to the default.
+    let mut defaulted = plan.clone();
+    defaulted.kind =
+        CampaignKind::Adaptive { scene_stride: 30, adaptive: AdaptiveSection::default() };
+    let default_text = emit_campaign_plan(&defaulted);
+    assert!(!default_text.contains("[adaptive]"), "{default_text}");
+    assert_eq!(parse_campaign_plan(&default_text).unwrap(), defaulted);
+
+    // An adaptive plan without an [output] store is rejected at parse
+    // time...
+    let start = text.find("\n[output]").expect("adaptive plan has an [output] section");
+    let end = text.find("\n[scenarios]").expect("sections emit alphabetically");
+    let without_output = format!("{}{}", &text[..start], &text[end..]);
+    let err = parse_campaign_plan(&without_output).expect_err("adaptive without [output]");
+    assert!(err.to_string().contains("[output]"), "got: {err}");
+    // ...and at run time for hand-built plans.
+    let mut no_output = plan.clone();
+    no_output.output = None;
+    let err = run_plan(&no_output).expect_err("adaptive without output store");
+    assert!(err.to_string().contains("[output]"), "got: {err}");
+
+    // Invalid knobs and misplaced sections are rejected, not ignored.
+    for (mutation, needle) in [
+        (text.replace("batch = 4", "batch = 0"), "`batch` must be at least 1"),
+        (text.replace("max_rounds = 5", "max_rounds = 0"), "max_rounds"),
+        (
+            text.replace("converge_eps = 0.1", "converge_eps = -0.5"),
+            "`converge_eps` must be a finite value >= 0",
+        ),
+        (text.replace("batch = 4", "exploration_bonus = 2"), "unknown key"),
+        (
+            text.replace("kind = \"adaptive\"", "kind = \"adaptive\"\nruns = 4"),
+            "`runs` is not valid for adaptive",
+        ),
+        (
+            text.replace("kind = \"adaptive\"", "kind = \"adaptive\"\nsink = \"stats\""),
+            "`sink` is not valid for adaptive",
+        ),
+        (
+            format!("{text}\n[faults]\nmodules = [\"world.clear\"]\n"),
+            "not valid for adaptive campaigns",
+        ),
+    ] {
+        let err = parse_campaign_plan(&mutation).expect_err(needle);
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+
+    // An [adaptive] section on a non-adaptive kind is a parse error.
+    let misplaced = format!("{}\n[adaptive]\nbatch = 4\n", emit_campaign_plan(&tiny_random_plan()));
+    let err = parse_campaign_plan(&misplaced).expect_err("[adaptive] on random");
+    assert!(err.to_string().contains("only valid for adaptive campaigns"), "got: {err}");
+}
+
+#[test]
+fn adaptive_progress_round_trips_and_round_dirs_sort() {
+    let progress = AdaptiveProgress {
+        rounds: vec![
+            RoundSummary {
+                round: 0,
+                jobs: 4,
+                hazards: 1,
+                cumulative_hazards: 1,
+                top_score: 0.75,
+                max_shift: 0.2,
+            },
+            RoundSummary {
+                round: 1,
+                jobs: 4,
+                hazards: 0,
+                cumulative_hazards: 1,
+                top_score: 0.5,
+                max_shift: 0.01,
+            },
+        ],
+        candidates: 96,
+        converged: true,
+        exhausted: false,
+        jobs_to_first_hazard: Some(3),
+        exhaustive_upper_bound: Some(17),
+        random_estimate: 48.5,
+    };
+    assert_eq!(AdaptiveProgress::parse(&progress.to_toml()).unwrap(), progress);
+    // The optional baselines stay optional through the round trip.
+    let mut hazardless = progress.clone();
+    hazardless.jobs_to_first_hazard = None;
+    hazardless.exhaustive_upper_bound = None;
+    let text = hazardless.to_toml();
+    assert!(!text.contains("jobs_to_first_hazard"), "{text}");
+    assert_eq!(AdaptiveProgress::parse(&text).unwrap(), hazardless);
+    // Unknown keys are rejected, like every other schema here.
+    let err = AdaptiveProgress::parse(&format!("{}\nvibes = 1\n", progress.to_toml()))
+        .expect_err("unknown key");
+    assert!(err.to_string().contains("unknown key"), "got: {err}");
+
+    assert_eq!(round_subdir(0), "round-000");
+    assert_eq!(round_subdir(12), "round-012");
+    assert!(round_subdir(12).starts_with(ROUND_PREFIX));
+    // round_dirs picks up exactly the round stores, in round order.
+    let dir = std::env::temp_dir().join(format!("drivefi-round-dirs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    for name in ["round-001", "round-000", "round-x", "golden", "rounds"] {
+        std::fs::create_dir_all(dir.join(name)).unwrap();
+    }
+    assert_eq!(round_dirs(&dir), vec![dir.join("round-000"), dir.join("round-001")]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn files_selection_survives_load_then_save() {
+    // source = "files" keeps its file references: loading a plan and
+    // re-saving it must emit the paths, not an inline copy of the
+    // specs.
+    let dir = std::env::temp_dir().join(format!("drivefi-plan-test-{}", std::process::id()));
+    let scenario_dir = dir.join("scenarios");
+    std::fs::create_dir_all(&scenario_dir).unwrap();
+    let spec = drivefi_world::FamilyRegistry::builtin().get("tailgater").unwrap();
+    crate::scenario::save_scenario_spec(scenario_dir.join("tailgater.toml"), spec).unwrap();
+
+    let text = "name = \"files-test\"\n\n[campaign]\nkind = \"random\"\nruns = 2\nseed = 1\n\n\
+                [scenarios]\nsource = \"files\"\nfiles = [\"scenarios/tailgater.toml\"]\n\
+                count = 2\nseed = 5\n";
+    let plan_path = dir.join("plan.toml");
+    std::fs::write(&plan_path, text).unwrap();
+
+    let loaded = CampaignPlan::load(&plan_path).unwrap();
+    let ScenarioSelection::Files { files, specs, .. } = &loaded.scenarios else {
+        panic!("files selection degraded to {:?}", loaded.scenarios);
+    };
+    assert_eq!(files, &vec![String::from("scenarios/tailgater.toml")]);
+    assert_eq!(&specs[0], spec);
+
+    let resaved = plan_path.with_file_name("resaved.toml");
+    loaded.save(&resaved).unwrap();
+    let emitted = std::fs::read_to_string(&resaved).unwrap();
+    assert!(emitted.contains("source = \"files\""), "degraded to inline:\n{emitted}");
+    assert!(emitted.contains("scenarios/tailgater.toml"));
+    assert_eq!(CampaignPlan::load(&resaved).unwrap(), loaded);
+
+    // Without a base directory the source is rejected, not guessed.
+    assert!(parse_campaign_plan(text).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_section_defaults_mirror_ads_config() {
+    let section = SimSection::default();
+    let ads = drivefi_ads::AdsConfig::default();
+    assert_eq!(section.planner_divisor, ads.planner_divisor);
+    assert_eq!(section.kalman_fusion, ads.kalman_fusion);
+    assert_eq!(section.pid_smoothing, ads.pid_smoothing);
+    assert_eq!(section.watchdog, ads.watchdog);
+    // apply() round-trips the switches into a SimConfig.
+    let mut config = SimConfig::default();
+    SimSection {
+        planner_divisor: 4,
+        kalman_fusion: false,
+        pid_smoothing: false,
+        watchdog: false,
+        batch: None,
+    }
+    .apply(&mut config);
+    assert_eq!(config.ads.planner_divisor, 4);
+    assert!(!config.ads.kalman_fusion && !config.ads.pid_smoothing && !config.ads.watchdog);
+}
+
+#[test]
+fn sim_and_output_sections_round_trip() {
+    let mut plan = tiny_random_plan();
+    plan.sim = SimSection {
+        planner_divisor: 3,
+        kalman_fusion: false,
+        pid_smoothing: true,
+        watchdog: false,
+        batch: Some(16),
+    };
+    plan.output = Some(OutputSpec { dir: "out/tiny".into(), shards: 7, checkpoint_every: 99 });
+    let text = emit_campaign_plan(&plan);
+    assert!(text.contains("[sim]") && text.contains("[output]"), "{text}");
+    assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+
+    // The default [sim] is omitted, not emitted as noise.
+    let default_text = emit_campaign_plan(&tiny_random_plan());
+    assert!(!default_text.contains("[sim]"), "{default_text}");
+}
+
+#[test]
+fn sim_section_rejects_unknown_keys_and_bad_values() {
+    let base = {
+        let mut plan = tiny_random_plan();
+        plan.sim = SimSection { kalman_fusion: false, ..SimSection::default() };
+        emit_campaign_plan(&plan)
+    };
+    assert!(parse_campaign_plan(&base).is_ok());
+    for (mutation, needle) in [
+        // Unknown keys in [sim] are rejected, not ignored.
+        (base.replace("kalman_fusion = false", "kalman_fuzion = false"), "unknown key"),
+        (
+            base.replace("kalman_fusion = false", "kalman_fusion = false\nturbo_mode = true"),
+            "unknown key `turbo_mode`",
+        ),
+        // Type and range violations.
+        (base.replace("kalman_fusion = false", "kalman_fusion = 1"), "must be a boolean"),
+        (
+            base.replace("kalman_fusion = false", "kalman_fusion = false\nplanner_divisor = 0"),
+            "planner_divisor",
+        ),
+        (
+            base.replace("kalman_fusion = false", "kalman_fusion = false\nbatch = 0"),
+            "`batch` must be at least 1",
+        ),
+        (base.replace("kalman_fusion = false", "kalman_fusion = false\nbatch = \"wide\""), "batch"),
+    ] {
+        let err =
+            parse_campaign_plan(&mutation).expect_err(&format!("mutation should fail: {needle}"));
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+}
+
+#[test]
+fn output_sections_are_validated() {
+    // Store-backed exhaustive plans are legal (the sweep persists
+    // under dir/sweep/) — only the bad [output] values are rejected.
+    let text = "name = \"x\"\n\n[campaign]\nkind = \"exhaustive\"\n\n[scenarios]\n\
+                source = \"paper\"\ncount = 1\nseed = 0\n\n[output]\ndir = \"out/x\"\n";
+    let plan = parse_campaign_plan(text).expect("[output] on exhaustive is store-backed");
+    assert_eq!(plan.kind, CampaignKind::Exhaustive { scene_stride: 1 });
+    assert_eq!(plan.kind.store_subdir(), Some(SWEEP_SUBDIR));
+    let base = {
+        let mut plan = tiny_random_plan();
+        plan.output = Some(OutputSpec::new("out/tiny"));
+        emit_campaign_plan(&plan)
+    };
+    for (mutation, needle) in [
+        (base.replace("dir = \"out/tiny\"", "dir = \"\""), "dir"),
+        (base.replace("shards = 4", "shards = 0"), "shards"),
+        (base.replace("checkpoint_every = 256", "checkpoint_every = 0"), "checkpoint_every"),
+    ] {
+        let err = parse_campaign_plan(&mutation).expect_err(needle);
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+}
+
+#[test]
+fn mine_plans_round_trip_and_enforce_their_schema() {
+    let plan = CampaignPlan {
+        name: "mine".into(),
+        kind: CampaignKind::Mine { scene_stride: 25 },
+        seed: 0,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: Some(OutputSpec::new("out/mine")),
+    };
+    let text = emit_campaign_plan(&plan);
+    assert!(!text.contains("sink"), "mine plans carry no sink:\n{text}");
+    assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+    assert_eq!(plan.kind.store_subdir(), Some(VALIDATE_SUBDIR));
+
+    // A mine plan without an [output] store is rejected at parse time
+    // (the pipeline is resumable-from-disk by definition)...
+    let start = text.find("\n[output]").expect("mine plan has an [output] section");
+    let end = text.find("\n[scenarios]").expect("sections emit alphabetically");
+    let without_output = format!("{}{}", &text[..start], &text[end..]);
+    let err = parse_campaign_plan(&without_output).expect_err("mine without [output]");
+    assert!(err.to_string().contains("[output]"), "got: {err}");
+    // ...and at run time for hand-built plans.
+    let mut no_output = plan.clone();
+    no_output.output = None;
+    let err = run_plan(&no_output).expect_err("mine without output store");
+    assert!(err.to_string().contains("[output]"), "got: {err}");
+
+    // runs / sink / [faults] are rejected rather than ignored.
+    for (mutation, needle) in [
+        (
+            text.replace("kind = \"mine\"", "kind = \"mine\"\nruns = 4"),
+            "`runs` is not valid for mine",
+        ),
+        (
+            text.replace("kind = \"mine\"", "kind = \"mine\"\nsink = \"stats\""),
+            "`sink` is not valid for mine",
+        ),
+        (
+            text.replace("scene_stride = 25", "scene_stride = 0"),
+            "`scene_stride` must be at least 1",
+        ),
+        (format!("{text}\n[faults]\nmodules = [\"world.clear\"]\n"), "mine"),
+    ] {
+        let err = parse_campaign_plan(&mutation).expect_err(needle);
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+}
+
+#[test]
+fn fingerprint_ignores_scheduling_knobs_but_not_computation() {
+    let base = tiny_random_plan();
+    let fp = campaign_fingerprint(&base);
+    // Pure scheduling/destination knobs: same identity.
+    let mut rescheduled = base.clone();
+    rescheduled.workers = Some(64);
+    rescheduled.output = Some(OutputSpec::new("somewhere/else"));
+    assert_eq!(campaign_fingerprint(&rescheduled), fp);
+    let mut no_workers = base.clone();
+    no_workers.workers = None;
+    assert_eq!(campaign_fingerprint(&no_workers), fp);
+    // The batch width is scheduling too: rebatching never
+    // invalidates a store resume.
+    let mut rebatched = base.clone();
+    rebatched.sim.batch = Some(1);
+    assert_eq!(campaign_fingerprint(&rebatched), fp);
+    // Daemon scheduling metadata: reweighting a submission never
+    // invalidates a store resume either.
+    let mut reweighted = base.clone();
+    reweighted.submit = SubmitSection { weight: 8 };
+    assert_eq!(campaign_fingerprint(&reweighted), fp);
+    // Anything the campaign computes: different identity.
+    for mutate in [
+        |p: &mut CampaignPlan| p.seed += 1,
+        |p: &mut CampaignPlan| p.kind = CampaignKind::Random { runs: 7 },
+        |p: &mut CampaignPlan| p.scenarios = ScenarioSelection::Paper { count: 3, seed: 42 },
+        |p: &mut CampaignPlan| p.sim.watchdog = false,
+    ] {
+        let mut changed = base.clone();
+        mutate(&mut changed);
+        assert_ne!(campaign_fingerprint(&changed), fp);
+    }
+}
+
+#[test]
+fn fingerprint_exclusion_table_is_exhaustive() {
+    // One mutation per FINGERPRINT_EXCLUDED row, same order as the
+    // table: each must leave the fingerprint unchanged, and the list
+    // length must equal the table's — so adding an exclusion to
+    // `strip_fingerprint_excluded` without documenting it here (or vice
+    // versa) fails this test.
+    let registry = drivefi_world::FamilyRegistry::builtin();
+    let spec = registry.get("tailgater").unwrap().clone();
+    let base = CampaignPlan {
+        scenarios: ScenarioSelection::Files {
+            files: vec!["x/tailgater.toml".into()],
+            specs: vec![spec],
+            count: 2,
+            seed: 5,
+        },
+        ..tiny_adaptive_plan()
+    };
+    let fp = campaign_fingerprint(&base);
+    type Mutation = fn(&mut CampaignPlan);
+    let excluded_mutations: Vec<(&str, Mutation)> = vec![
+        ("[campaign] workers", |p| p.workers = Some(64)),
+        ("[sim] batch", |p| p.sim.batch = Some(2)),
+        ("[output]", |p| {
+            p.output = Some(OutputSpec { dir: "elsewhere".into(), shards: 9, checkpoint_every: 7 })
+        }),
+        ("[submit] weight", |p| p.submit = SubmitSection { weight: 8 }),
+        ("[control] assert", |p| p.control = ControlSection { assert_survivable: false }),
+        ("[scenarios] files", |p| {
+            let ScenarioSelection::Files { files, .. } = &mut p.scenarios else { unreachable!() };
+            files[0] = "y/renamed.toml".into();
+        }),
+        ("[adaptive] max_rounds", |p| {
+            let CampaignKind::Adaptive { adaptive, .. } = &mut p.kind else { unreachable!() };
+            adaptive.max_rounds += 10;
+        }),
+        ("[adaptive] converge_eps", |p| {
+            let CampaignKind::Adaptive { adaptive, .. } = &mut p.kind else { unreachable!() };
+            adaptive.converge_eps = 0.5;
+        }),
+    ];
+    assert_eq!(
+        excluded_mutations.len(),
+        FINGERPRINT_EXCLUDED.len(),
+        "the mutation list must cover the documented table exactly"
+    );
+    for ((key, why), (mutated_key, mutate)) in FINGERPRINT_EXCLUDED.iter().zip(&excluded_mutations)
+    {
+        assert_eq!(key, mutated_key, "table and mutation list must stay in the same order");
+        assert!(!why.is_empty(), "every exclusion documents its why");
+        let mut changed = base.clone();
+        mutate(&mut changed);
+        assert_eq!(campaign_fingerprint(&changed), fp, "`{key}` must not change the fingerprint");
+    }
+    // The batch size is identity, not scheduling: each round's
+    // selection depends on how many outcomes the previous one saw.
+    let mut rebatched = base.clone();
+    let CampaignKind::Adaptive { adaptive, .. } = &mut rebatched.kind else { unreachable!() };
+    adaptive.batch += 1;
+    assert_ne!(campaign_fingerprint(&rebatched), fp, "[adaptive] batch is identity");
+}
+
+#[test]
+fn files_selections_fingerprint_spec_contents_not_paths() {
+    let registry = drivefi_world::FamilyRegistry::builtin();
+    let spec_a = registry.get("tailgater").unwrap().clone();
+    let spec_b = registry.get("debris_field").unwrap().clone();
+    let files_plan = |files: Vec<String>, specs: Vec<ScenarioSpec>| CampaignPlan {
+        scenarios: ScenarioSelection::Files { files, specs, count: 2, seed: 5 },
+        ..tiny_random_plan()
+    };
+    // Same contents under a different path: same identity (a moved
+    // store keeps resuming).
+    let a = files_plan(vec!["x/tailgater.toml".into()], vec![spec_a.clone()]);
+    let moved = files_plan(vec!["y/renamed.toml".into()], vec![spec_a.clone()]);
+    assert_eq!(campaign_fingerprint(&a), campaign_fingerprint(&moved));
+    // Same path, edited contents: different identity (an edited spec
+    // refuses to append to the old shards).
+    let edited = files_plan(vec!["x/tailgater.toml".into()], vec![spec_b]);
+    assert_ne!(campaign_fingerprint(&a), campaign_fingerprint(&edited));
+}
+
+#[test]
+fn submit_section_parses_validates_and_round_trips() {
+    let text = "name = \"weighted\"\n\n[campaign]\nkind = \"random\"\nruns = 2\n\n\
+                [scenarios]\nsource = \"paper\"\ncount = 1\nseed = 0\n\n[submit]\nweight = 3\n";
+    let plan = parse_campaign_plan(text).unwrap();
+    assert_eq!(plan.submit, SubmitSection { weight: 3 });
+    // Emit → parse round-trips, and a default weight emits no
+    // [submit] section at all.
+    let reparsed = parse_campaign_plan(&emit_campaign_plan(&plan)).unwrap();
+    assert_eq!(reparsed.submit, plan.submit);
+    let mut unweighted = plan;
+    unweighted.submit = SubmitSection::default();
+    assert!(!emit_campaign_plan(&unweighted).contains("submit"));
+    // Out-of-range and unknown keys are parse errors.
+    let err = parse_campaign_plan(&text.replace("weight = 3", "weight = 0")).expect_err("weight 0");
+    assert!(err.to_string().contains("weight"), "got: {err}");
+    let err =
+        parse_campaign_plan(&text.replace("weight = 3", "weight = 65")).expect_err("weight 65");
+    assert!(err.to_string().contains("weight"), "got: {err}");
+    let err = parse_campaign_plan(&text.replace("weight = 3", "velocity = 3"))
+        .expect_err("unknown submit key");
+    assert!(err.to_string().contains("velocity"), "got: {err}");
+}
+
+#[test]
+fn outcome_sink_cannot_combine_with_an_output_store() {
+    let mut plan = tiny_random_plan();
+    plan.sink = SinkChoice::Outcomes;
+    plan.output = Some(OutputSpec::new("out/x"));
+    // Hand-built plans error at run time, before anything — the
+    // control point included — touches the output directory...
+    let err = run_plan(&plan).expect_err("outcomes + output");
+    assert!(err.to_string().contains("jobs.csv"), "got: {err}");
+    assert!(!std::path::Path::new("out/x").exists(), "invalid plan must not create its store");
+    // ...and plan files at parse time.
+    let text = "name = \"x\"\n\n[campaign]\nkind = \"random\"\nruns = 2\n\
+                sink = \"outcomes\"\n\n[scenarios]\nsource = \"paper\"\ncount = 1\n\
+                seed = 0\n\n[output]\ndir = \"out/x\"\n";
+    let err = parse_campaign_plan(text).expect_err("outcomes + output parses");
+    assert!(err.to_string().contains("outcomes"), "got: {err}");
+}
+
+#[test]
+fn golden_plans_round_trip_and_reject_fault_config() {
+    let plan = CampaignPlan {
+        name: "golden".into(),
+        kind: CampaignKind::Golden,
+        seed: 0,
+        workers: Some(2),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: None,
+    };
+    let text = emit_campaign_plan(&plan);
+    assert!(!text.contains("sink"), "golden plans carry no sink:\n{text}");
+    assert_eq!(parse_campaign_plan(&text).unwrap(), plan);
+    for (extra, needle) in
+        [("runs = 4", "`runs` is not valid"), ("sink = \"stats\"", "`sink` is not valid")]
+    {
+        let mutated = text.replace("kind = \"golden\"", &format!("kind = \"golden\"\n{extra}"));
+        let err = parse_campaign_plan(&mutated).expect_err(needle);
+        assert!(err.to_string().contains(needle), "wanted `{needle}`, got: {err}");
+    }
+    let with_faults = format!("{text}\n[faults]\nmodules = [\"world.clear\"]\n");
+    let err = parse_campaign_plan(&with_faults).expect_err("[faults] on golden");
+    assert!(err.to_string().contains("golden"), "got: {err}");
+}
+
+#[test]
+fn golden_plans_collect_the_suite_traces() {
+    let plan = CampaignPlan {
+        name: "golden".into(),
+        kind: CampaignKind::Golden,
+        seed: 0,
+        workers: Some(2),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: None,
+    };
+    let PlanResult::Golden(traces) = run_plan(&plan).unwrap() else {
+        panic!("golden plan must produce traces");
+    };
+    let typed = collect_golden_traces(&SimConfig::default(), &ScenarioSuite::generate(2, 42), 2);
+    assert_eq!(traces.len(), 2);
+    for (plan_trace, typed_trace) in traces.iter().zip(&typed) {
+        assert_eq!(plan_trace.scenario_id, typed_trace.scenario_id);
+        assert_eq!(plan_trace.frames.len(), typed_trace.frames.len());
+    }
+}
+
+#[test]
+fn persisted_random_plan_matches_in_memory_stats() {
+    let dir = std::env::temp_dir().join(format!("drivefi-plan-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut plan = tiny_random_plan();
+    plan.output = Some(OutputSpec::new(dir.to_string_lossy().into_owned()));
+    let PlanResult::Persisted(report) = run_plan(&plan).unwrap() else {
+        panic!("output plans persist");
+    };
+    assert!(report.complete());
+    assert_eq!(report.kind, "random");
+
+    plan.output = None;
+    let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
+        panic!("expected random stats");
+    };
+    assert_eq!(report.jobs.len(), stats.runs);
+    assert_eq!(report.safe(), stats.safe as u64);
+    assert_eq!(report.hazards(), stats.hazards as u64);
+    assert_eq!(report.collisions(), stats.collisions as u64);
+    assert_eq!(report.effective_injections(), stats.effective_injections as u64);
+    // The saved artifact loads back equal.
+    assert_eq!(crate::report::PlanReport::load(&dir).unwrap(), report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_capped_run_resumes_to_the_same_report() {
+    let dir = std::env::temp_dir().join(format!("drivefi-plan-resume-{}", std::process::id()));
+    let full_dir = dir.join("full");
+    let part_dir = dir.join("part");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut plan = tiny_random_plan();
+    plan.output = Some(OutputSpec::new(full_dir.to_string_lossy().into_owned()));
+    let PlanResult::Persisted(full) = run_plan(&plan).unwrap() else { panic!() };
+
+    plan.output = Some(OutputSpec::new(part_dir.to_string_lossy().into_owned()));
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(2)).unwrap() else { panic!() };
+    assert_eq!(partial.jobs.len(), 2);
+    assert!(!partial.complete());
+    let PlanResult::Persisted(resumed) = run_plan(&plan).unwrap() else { panic!() };
+    assert!(resumed.complete());
+    assert_eq!(resumed.jobs, full.jobs);
+    for file in [crate::report::REPORT_FILE, crate::report::JOBS_FILE] {
+        let a = std::fs::read(full_dir.join(file)).unwrap();
+        let b = std::fs::read(part_dir.join(file)).unwrap();
+        assert_eq!(a, b, "{file} differs between full and resumed runs");
+    }
+
+    // A different plan refuses to adopt the store.
+    plan.seed += 1;
+    let err = run_plan(&plan).expect_err("fingerprint mismatch");
+    assert!(err.to_string().contains("fingerprint"), "got: {err}");
+    // A budget without a store is an error, not a silent no-op.
+    plan.output = None;
+    assert!(run_plan_budget(&plan, Some(1)).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_plan_matches_typed_random_campaign() {
+    let plan = tiny_random_plan();
+    let PlanResult::Random(from_plan) = run_plan(&plan).unwrap() else {
+        panic!("expected random stats");
+    };
+    let suite = ScenarioSuite::generate(2, 42);
+    let typed = random_space_campaign(
+        &SimConfig::default(),
+        &suite,
+        &FaultSpace::default(),
+        &RandomCampaignConfig { runs: 6, seed: 3, workers: 4 },
+    );
+    assert_eq!(from_plan.runs, typed.runs);
+    assert_eq!(from_plan.safe, typed.safe);
+    assert_eq!(from_plan.hazards, typed.hazards);
+    assert_eq!(from_plan.collisions, typed.collisions);
+    assert_eq!(from_plan.effective_injections, typed.effective_injections);
+    assert_eq!(from_plan.hazard_details, typed.hazard_details);
+}
+
+#[test]
+fn outcome_sink_agrees_with_stats_sink() {
+    let mut plan = tiny_random_plan();
+    plan.sink = SinkChoice::Outcomes;
+    let PlanResult::RandomOutcomes { running, outcomes } = run_plan(&plan).unwrap() else {
+        panic!("expected outcome list");
+    };
+    assert_eq!(outcomes.len(), 6);
+    let hazardous = outcomes.iter().filter(|o| o.is_hazardous()).count();
+    assert_eq!(hazardous, running.hazards + running.collisions);
+    plan.sink = SinkChoice::Stats;
+    let PlanResult::Random(stats) = run_plan(&plan).unwrap() else {
+        panic!("expected random stats");
+    };
+    assert_eq!(stats.hazards + stats.collisions, hazardous);
+}

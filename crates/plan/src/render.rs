@@ -20,7 +20,7 @@
 //! GitHub-flavoured Markdown or a dependency-free standalone HTML page,
 //! so the two formats cannot drift apart structurally.
 
-use crate::campaign::ControlVerdict;
+use crate::campaign::{AdaptiveProgress, ControlVerdict};
 use crate::report::PlanReport;
 use drivefi_obs::Event;
 use drivefi_store::CampaignRecord;
@@ -65,6 +65,9 @@ pub struct RenderContext {
     pub family_names: BTreeMap<u32, String>,
     /// The control-point verdict, when `control.toml` exists.
     pub control: Option<ControlVerdict>,
+    /// The adaptive acquisition summary, when `rounds.toml` exists
+    /// (adaptive campaigns only).
+    pub adaptive: Option<AdaptiveProgress>,
     /// Replayed lifecycle events (`events.jsonl`), oldest first.
     pub events: Vec<Event>,
     /// ADS tick-profiler rows as `(phase, samples, total_ns)`, for when
@@ -180,6 +183,61 @@ fn family_section(report: &PlanReport, names: &BTreeMap<u32, String>) -> Section
             rows: by_family
                 .iter()
                 .map(|(name, records)| outcome_row(format!("`{name}`"), records))
+                .collect(),
+        }),
+    }
+}
+
+/// The adaptive campaign's acquisition story: the per-round table plus
+/// the jobs-to-first-`F_crit` headline against the random and
+/// exhaustive baselines.
+fn adaptive_section(progress: &AdaptiveProgress) -> Section {
+    let mut paragraphs = vec![format!(
+        "Acquisition over {} candidate(s): {} round(s) run{}{}.",
+        progress.candidates,
+        progress.rounds.len(),
+        if progress.converged { ", posterior converged" } else { "" },
+        if progress.exhausted { ", candidate space exhausted" } else { "" },
+    )];
+    paragraphs.push(match progress.jobs_to_first_hazard {
+        Some(jobs) => {
+            let exhaustive = match progress.exhaustive_upper_bound {
+                Some(bound) => format!("an exhaustive sweep would have paid at most {bound}"),
+                None => "no exhaustive bound available".to_string(),
+            };
+            format!(
+                "Jobs to first `F_crit`: **{jobs}** — uniform random sampling would expect \
+                 ~{:.1}, {exhaustive}.",
+                progress.random_estimate
+            )
+        }
+        None => "No hazardous injection found yet.".to_string(),
+    });
+    Section {
+        title: "Adaptive acquisition".into(),
+        paragraphs,
+        table: Some(Table {
+            header: vec![
+                "round".into(),
+                "jobs".into(),
+                "hazards".into(),
+                "cumulative".into(),
+                "top score".into(),
+                "max shift".into(),
+            ],
+            rows: progress
+                .rounds
+                .iter()
+                .map(|round| {
+                    vec![
+                        format!("`round-{:03}`", round.round),
+                        round.jobs.to_string(),
+                        round.hazards.to_string(),
+                        round.cumulative_hazards.to_string(),
+                        format!("{:.3}", round.top_score),
+                        format!("{:.3}", round.max_shift),
+                    ]
+                })
                 .collect(),
         }),
     }
@@ -336,6 +394,9 @@ pub fn report_document(report: &PlanReport, context: &RenderContext) -> Document
         fault_section(report),
         family_section(report, &context.family_names),
     ];
+    if let Some(progress) = &context.adaptive {
+        sections.push(adaptive_section(progress));
+    }
     if let Some(verdict) = &context.control {
         sections.push(control_section(verdict));
     }
@@ -548,6 +609,39 @@ mod tests {
         // Obs-off: no lifecycle or profile sections.
         assert!(!md.contains("## Lifecycle"));
         assert!(!md.contains("## ADS tick profile"));
+    }
+
+    #[test]
+    fn adaptive_section_renders_rounds_and_baselines() {
+        let context = RenderContext {
+            adaptive: Some(AdaptiveProgress {
+                rounds: vec![crate::campaign::RoundSummary {
+                    round: 0,
+                    jobs: 4,
+                    hazards: 2,
+                    cumulative_hazards: 2,
+                    top_score: 0.8125,
+                    max_shift: 0.25,
+                }],
+                candidates: 96,
+                converged: true,
+                exhausted: false,
+                jobs_to_first_hazard: Some(2),
+                exhaustive_upper_bound: Some(17),
+                random_estimate: 32.333,
+            }),
+            ..RenderContext::default()
+        };
+        let md = to_markdown(&report_document(&sample_report(), &context));
+        assert!(md.contains("## Adaptive acquisition"), "{md}");
+        assert!(md.contains("`round-000`"), "{md}");
+        assert!(md.contains("posterior converged"), "{md}");
+        assert!(md.contains("Jobs to first `F_crit`: **2**"), "{md}");
+        assert!(md.contains("~32.3"), "{md}");
+        assert!(md.contains("at most 17"), "{md}");
+        // Without progress the section is absent, not empty.
+        let bare = to_markdown(&report_document(&sample_report(), &RenderContext::default()));
+        assert!(!bare.contains("Adaptive acquisition"));
     }
 
     #[test]

@@ -6,8 +6,8 @@ use drivefi_ads::Signal;
 use drivefi_fault::{CorruptionGrid, FaultKind, FaultSpace, ScalarFaultModel};
 use drivefi_plan::{
     emit_campaign_plan, emit_expr, emit_scenario_spec, parse_campaign_plan, parse_expr,
-    parse_scenario_spec, CampaignKind, CampaignPlan, ControlSection, OutputSpec, ScenarioSelection,
-    SimSection, SinkChoice, SubmitSection,
+    parse_scenario_spec, AdaptiveSection, CampaignKind, CampaignPlan, ControlSection, OutputSpec,
+    ScenarioSelection, SimSection, SinkChoice, SubmitSection,
 };
 use drivefi_world::spec::{
     ActorTemplate, EgoSpec, Expr, KeyframeProgram, LaneChangeTemplate, ManeuverTemplate, RoadSpec,
@@ -219,9 +219,23 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
             seed: rng.random::<u64>() >> 1,
         },
     };
-    let kind = match rng.random_range(0..3u32) {
+    let kind = match rng.random_range(0..4u32) {
         0 => CampaignKind::Random { runs: rng.random_range(1..5000usize) },
         1 => CampaignKind::Exhaustive { scene_stride: rng.random_range(1..100usize) },
+        2 => CampaignKind::Adaptive {
+            scene_stride: rng.random_range(1..100usize),
+            // Half the time the default section (emitted as nothing at
+            // all), half the time fully fuzzed knobs.
+            adaptive: if rng.random::<bool>() {
+                AdaptiveSection::default()
+            } else {
+                AdaptiveSection {
+                    batch: rng.random_range(1..64usize),
+                    max_rounds: rng.random_range(1..40u32),
+                    converge_eps: rng.random_range(0.0..1.0),
+                }
+            },
+        },
         _ => CampaignKind::Golden,
     };
     // Only random campaigns carry a custom fault space or sink choice:
@@ -246,12 +260,13 @@ fn arb_plan(rng: &mut StdRng) -> CampaignPlan {
             batch: if rng.random() { Some(rng.random_range(1..64usize)) } else { None },
         }
     };
-    // Exhaustive campaigns reject [output], and an outcome sink cannot
-    // combine with one (the store's jobs.csv subsumes it); the rest
-    // fuzz it.
-    let output = (!matches!(kind, CampaignKind::Exhaustive { .. })
-        && sink != SinkChoice::Outcomes
-        && rng.random::<bool>())
+    // Exhaustive campaigns reject [output], adaptive ones require it,
+    // and an outcome sink cannot combine with one (the store's jobs.csv
+    // subsumes it); the rest fuzz it.
+    let output = (matches!(kind, CampaignKind::Adaptive { .. })
+        || (!matches!(kind, CampaignKind::Exhaustive { .. })
+            && sink != SinkChoice::Outcomes
+            && rng.random::<bool>()))
     .then(|| OutputSpec {
         dir: format!("out/fuzz-{}", rng.random_range(0..100u32)),
         shards: rng.random_range(1..32u32),
@@ -326,10 +341,11 @@ fn every_registered_spec_round_trips() {
 }
 
 /// The headline rejection cases the plan schema must catch: malformed
-/// TOML, unknown keys, inverted ranges, unknown signals.
+/// TOML, unknown keys, inverted ranges, unknown signals, and bad
+/// `[adaptive]` sections.
 #[test]
 fn malformed_inputs_are_rejected() {
-    let cases: [(&str, &str); 6] = [
+    let cases: [(&str, &str); 9] = [
         // Broken syntax.
         ("name = \"x\"\n[campaign\nkind = \"random\"\n", "unterminated"),
         // Bad keys.
@@ -368,6 +384,29 @@ fn malformed_inputs_are_rejected() {
              [[scenarios.spec]]\nname = \"s\"\nfamily_key = 1\nduration = 10.0\n\
              [[scenarios.spec.program]]\nstmt = \"let\"\nvar = \"x\"\nexpr = \"1 +\"\n",
             "expression",
+        ),
+        // An empty acquisition batch could never make progress.
+        (
+            "name = \"x\"\n[campaign]\nkind = \"adaptive\"\nscene_stride = 10\n\
+             [adaptive]\nbatch = 0\n\
+             [scenarios]\nsource = \"paper\"\ncount = 1\nseed = 0\n\
+             [output]\ndir = \"out/x\"\n",
+            "`batch` must be at least 1",
+        ),
+        // A negative convergence threshold could never be met.
+        (
+            "name = \"x\"\n[campaign]\nkind = \"adaptive\"\nscene_stride = 10\n\
+             [adaptive]\nconverge_eps = -0.5\n\
+             [scenarios]\nsource = \"paper\"\ncount = 1\nseed = 0\n\
+             [output]\ndir = \"out/x\"\n",
+            "`converge_eps` must be a finite value >= 0",
+        ),
+        // `[adaptive]` knobs on a kind with no acquisition loop.
+        (
+            "name = \"x\"\n[campaign]\nkind = \"random\"\nruns = 1\n\
+             [adaptive]\nbatch = 4\n\
+             [scenarios]\nsource = \"paper\"\ncount = 1\nseed = 0\n",
+            "only valid for adaptive campaigns",
         ),
     ];
     for (src, needle) in cases {

@@ -29,7 +29,7 @@ use crate::status::{CampaignState, CampaignStatus};
 use crate::ServeError;
 use drivefi_obs::metrics::{counter_add, gauge_set, Counter, Gauge};
 use drivefi_plan::{
-    run_plan_budget, CampaignPlan, OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR,
+    round_dirs, run_plan_budget, CampaignPlan, OutputSpec, PlanReport, PlanResult, GOLDEN_SUBDIR,
 };
 use drivefi_store::{compact_store, read_manifest, MANIFEST_FILE};
 use std::path::{Path, PathBuf};
@@ -126,6 +126,10 @@ fn stage_dirs(plan: &CampaignPlan) -> Vec<PathBuf> {
     let root = PathBuf::from(&plan.output.as_ref().expect("serve plans always have output").dir);
     match plan.kind.store_subdir() {
         Some(subdir) => vec![root.join(GOLDEN_SUBDIR), root.join(subdir)],
+        // Adaptive: golden plus every acquisition round swept so far.
+        None if plan.kind.is_staged() => {
+            std::iter::once(root.join(GOLDEN_SUBDIR)).chain(round_dirs(&root)).collect()
+        }
         None => vec![root],
     }
 }
@@ -192,6 +196,19 @@ fn apply_report(status: &mut CampaignStatus, plan: &CampaignPlan, report: &PlanR
     status.hazards = report.hazards();
     status.collisions = report.collisions();
     status.stage = match plan.kind.store_subdir() {
+        // Adaptive: golden until it seals, then whichever acquisition
+        // round is newest on disk — `round-000`, `round-001`, … walk by
+        // in `drivefi status` as the loop progresses.
+        None if plan.kind.is_staged() => {
+            let root = PathBuf::from(&plan.output.as_ref().expect("serve plan").dir);
+            match read_manifest(root.join(GOLDEN_SUBDIR)) {
+                Ok(meta) if meta.complete => round_dirs(&root)
+                    .last()
+                    .and_then(|dir| dir.file_name())
+                    .map_or_else(|| GOLDEN_SUBDIR.into(), |n| n.to_string_lossy().into_owned()),
+                _ => GOLDEN_SUBDIR.into(),
+            }
+        }
         None => "main".into(),
         Some(subdir) => {
             let golden =

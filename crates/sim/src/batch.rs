@@ -13,7 +13,7 @@
 //!
 //! Every lane reproduces the scalar path bit-for-bit: the world sweep is
 //! op-identical (pinned in `drivefi-world`), and scene accounting goes
-//! through the same [`Simulation::eval_scene`]. A lane *retires* exactly
+//! through the same `Simulation::eval_scene`. A lane *retires* exactly
 //! where `Simulation::run_with` would have returned — end of scenario, or
 //! the first collision under `stop_on_collision`. With early exit
 //! disabled (test mode), finished lanes keep stepping to full length with
@@ -25,7 +25,7 @@
 //! A faulted job is bitwise identical to the golden (fault-free) run of
 //! its scenario until the injector first acts — and the injector is a
 //! strict no-op before `start_frame − 1` (the Freeze/Hang capture
-//! lookahead). [`ChunkRunner`] exploits this: per scenario it drives one
+//! lookahead). `ChunkRunner` exploits this: per scenario it drives one
 //! golden *pilot*, snapshots the simulation at the scene boundaries where
 //! jobs diverge, and forks each job from its snapshot instead of
 //! re-simulating the shared prefix. Golden jobs take the pilot's result

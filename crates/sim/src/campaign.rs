@@ -9,7 +9,7 @@
 //! jobs of one scenario), and streams [`CampaignResult`]s into a
 //! [`CampaignSink`] as chunks complete. Every job is fully deterministic
 //! (scenario seed + sensor seed) and the batched path is bit-identical to
-//! a scalar [`Simulation::run_with`], so campaign results are
+//! a scalar `Simulation::run_with`, so campaign results are
 //! reproducible regardless of scheduling, worker count, or batch width.
 
 use crate::batch::{ChunkRunner, Chunks, DEFAULT_BATCH};

@@ -8,7 +8,8 @@
 //! the store is the layer everything above the engine writes into:
 //!
 //! * [`CampaignRecord`] — one fixed-layout binary record per campaign
-//!   job: job index, scenario identity, the armed [`FaultSpec`], the
+//!   job: job index, scenario identity, the armed
+//!   [`FaultSpec`](drivefi_fault::FaultSpec), the
 //!   [`Outcome`](drivefi_sim::Outcome), injection count, and the hazard
 //!   metrics (min ground-truth δ).
 //! * [`log`] — the append-only record log: CRC-framed records in
@@ -19,7 +20,7 @@
 //!   records fan out over `shards` files by `job % shards` (a pure
 //!   function of the job index, so layout never depends on worker
 //!   scheduling), periodic checkpoint [`manifests`](StoreMeta) mark
-//!   progress, and [`StoreWriter::recover`] reopens an interrupted
+//!   progress, and `StoreWriter::recover` reopens an interrupted
 //!   store for append after validating that the resuming plan is the
 //!   one that created it.
 //! * [`StoreSink`] — the [`CampaignSink`](drivefi_sim::CampaignSink)

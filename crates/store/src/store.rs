@@ -300,7 +300,7 @@ pub fn open_store(
 /// [`open_store`] for a store that also persists per-scene golden
 /// traces: every outcome record appended through
 /// [`StoreSink`](crate::StoreSink) must be preceded by its run's
-/// [`TraceRecord`](crate::TraceRecord)s, and recovery treats a job as
+/// [`TraceRecord`]s, and recovery treats a job as
 /// done only when its outcome record **and** its full trace survive —
 /// so a crash that outran the trace buffer demotes the job instead of
 /// leaving the miner a silently truncated training set.

@@ -200,7 +200,7 @@ impl ScenarioSuite {
         Self::generate(24, seed)
     }
 
-    /// An extended corpus cycling [`EXTENDED_MIX`]: the paper families
+    /// An extended corpus cycling `EXTENDED_MIX`: the paper families
     /// plus every post-paper family (on-ramp merges, stop-and-go
     /// congestion, aggressive tailgaters, multi-lane weaves, stopped
     /// debris, shockwaves with crossing pedestrians).

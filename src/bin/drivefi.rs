@@ -22,8 +22,10 @@
 //!   this invocation executes (the budget-cap interrupt CI exercises).
 //! * `resume` is `run` that insists a store already exists — a typo'd
 //!   directory fails instead of silently starting over.
-//! * `mine` is `run` that insists the plan is `kind = "mine"` — the
-//!   store-backed golden → fit → mine → validate pipeline.
+//! * `mine` is `run` that insists the plan is a Bayesian-pipeline kind
+//!   (`kind = "mine"`: golden → fit → mine → validate, or
+//!   `kind = "adaptive"`: the posterior-guided acquisition loop over
+//!   per-round sub-stores `round-000/`, `round-001/`, …).
 //! * `report` rebuilds `report.toml` + `jobs.csv` from the store
 //!   without running any jobs. An interrupted store needs `--partial` —
 //!   a partial report is otherwise indistinguishable from a finished
@@ -63,8 +65,9 @@
 
 use drivefi::plan::{
     ads_profile_rows, campaign_fingerprint, diff_stores, known_fault_filter, report_document,
-    run_plan_budget, to_html, to_markdown, CampaignKind, CampaignPlan, ControlVerdict, OutputSpec,
-    PlanReport, PlanResult, RenderContext, GOLDEN_SUBDIR, SWEEP_SUBDIR, VALIDATE_SUBDIR,
+    round_dirs, run_plan_budget, to_html, to_markdown, AdaptiveProgress, CampaignKind,
+    CampaignPlan, ControlVerdict, OutputSpec, PlanReport, PlanResult, RenderContext, GOLDEN_SUBDIR,
+    SWEEP_SUBDIR, VALIDATE_SUBDIR,
 };
 use drivefi::serve::{serve, submit_plan, CampaignStatus, ServeConfig, CAMPAIGNS_DIR, SPOOL_DIR};
 use drivefi::store::{compact_store, read_store, shard_progress, LeaseState, MANIFEST_FILE};
@@ -248,8 +251,10 @@ fn sub_store_hint(target: &Path) -> Option<String> {
     let list = |dir: &Path| -> Vec<String> {
         [GOLDEN_SUBDIR, VALIDATE_SUBDIR, SWEEP_SUBDIR]
             .iter()
-            .filter(|stage| dir.join(stage).join(MANIFEST_FILE).is_file())
-            .map(|stage| format!("{}/", dir.join(stage).display()))
+            .map(|stage| dir.join(stage))
+            .chain(round_dirs(dir))
+            .filter(|stage| stage.join(MANIFEST_FILE).is_file())
+            .map(|stage| format!("{}/", stage.display()))
             .collect()
     };
     let here = list(target);
@@ -282,7 +287,9 @@ fn store_dir(plan: &CampaignPlan) -> &str {
 
 /// The directory holding the plan's final per-job records: the store
 /// itself for single-stage kinds, the sweep-stage sub-store
-/// (`validate/` / `sweep/`) for pipeline kinds.
+/// (`validate/` / `sweep/`) for two-stage pipeline kinds. Adaptive
+/// campaigns have no single records dir — their report concatenates
+/// every `round-*/` sub-store ([`adaptive_records`]).
 fn records_dir(plan: &CampaignPlan) -> PathBuf {
     let root = Path::new(store_dir(plan));
     match plan.kind.store_subdir() {
@@ -335,10 +342,12 @@ fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
     if args.no_assert_control {
         plan.control.assert_survivable = false;
     }
-    if require_mine && !matches!(plan.kind, CampaignKind::Mine { .. }) {
+    if require_mine
+        && !matches!(plan.kind, CampaignKind::Mine { .. } | CampaignKind::Adaptive { .. })
+    {
         fail(format!(
-            "`drivefi mine` needs a `kind = \"mine\"` plan, got `kind = \"{}\"` \
-             (use `drivefi run` for other kinds)",
+            "`drivefi mine` needs a `kind = \"mine\"` or `kind = \"adaptive\"` plan, got \
+             `kind = \"{}\"` (use `drivefi run` for other kinds)",
             plan.kind.name()
         ));
     }
@@ -346,9 +355,10 @@ fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
         // Pipeline kinds create their golden sub-store first, so that is
         // what an interrupted run is guaranteed to have left behind.
         let dir = store_dir(&plan);
-        let first_store = match plan.kind.store_subdir() {
-            Some(_) => Path::new(dir).join(GOLDEN_SUBDIR),
-            None => PathBuf::from(dir),
+        let first_store = if plan.kind.is_staged() {
+            Path::new(dir).join(GOLDEN_SUBDIR)
+        } else {
+            PathBuf::from(dir)
         };
         if !first_store.join(MANIFEST_FILE).is_file() {
             fail(format!("nothing to resume: no store manifest under {}", first_store.display()));
@@ -368,6 +378,9 @@ fn cmd_run(args: &Args, require_store: bool, require_mine: bool) {
 
 fn cmd_report(args: &Args) {
     let plan = load_plan(&args.target, args.output_dir.as_deref());
+    if matches!(plan.kind, CampaignKind::Adaptive { .. }) {
+        return cmd_report_adaptive(args, &plan);
+    }
     let mut dir = records_dir(&plan);
     // Pipeline reports live at the output root, next to the sub-stores.
     let mut report_dir = PathBuf::from(store_dir(&plan));
@@ -392,14 +405,7 @@ fn cmd_report(args: &Args) {
     }
     let (meta, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
     let expected = campaign_fingerprint(&plan);
-    if meta.fingerprint != expected {
-        fail(format!(
-            "store under {} was created by a different plan \
-             (fingerprint 0x{:016x}, plan is 0x{expected:016x})",
-            dir.display(),
-            meta.fingerprint
-        ));
-    }
+    check_fingerprint(&dir, meta.fingerprint, expected);
     let report = PlanReport::new(
         plan.name.clone(),
         plan.kind.name(),
@@ -414,6 +420,106 @@ fn cmd_report(args: &Args) {
     match args.format.as_deref() {
         None | Some("toml") => {}
         Some("md" | "html") => render_report(args, &plan, &report, &report_dir),
+        Some(other) => fail(format!("report --format must be toml, md, or html, got `{other}`")),
+    }
+    print_summary(&PlanResult::Persisted(report));
+}
+
+/// Fails unless the store under `dir` was written by this plan.
+fn check_fingerprint(dir: &Path, found: u64, expected: u64) {
+    if found != expected {
+        fail(format!(
+            "store under {} was created by a different plan \
+             (fingerprint 0x{found:016x}, plan is 0x{expected:016x})",
+            dir.display()
+        ));
+    }
+}
+
+/// Reads and concatenates every `round-*/` sub-store under an adaptive
+/// campaign's output root, renumbering each round's store-local job ids
+/// by the planned jobs before it — the exact record stream the
+/// acquisition loop itself reports. Returns the records, the campaign's
+/// planned job total so far, and the first incomplete round, if any.
+fn adaptive_records(
+    root: &Path,
+    expected: u64,
+) -> (Vec<drivefi::store::CampaignRecord>, u64, Option<PathBuf>) {
+    let mut base = 0u64;
+    let mut partial = None;
+    let mut all = Vec::new();
+    for dir in round_dirs(root) {
+        if !dir.join(MANIFEST_FILE).is_file() {
+            continue; // swept but never started — nothing persisted yet
+        }
+        let (meta, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
+        check_fingerprint(&dir, meta.fingerprint, expected);
+        if !meta.complete && partial.is_none() {
+            partial = Some(dir.clone());
+        }
+        for mut record in records {
+            record.job += base;
+            all.push(record);
+        }
+        base += meta.total_jobs;
+    }
+    (all, base, partial)
+}
+
+/// `report` for an adaptive plan: the report concatenates every
+/// `round-*/` sub-store at the output root (where the acquisition loop
+/// saves its own), falling back to the golden stage when the campaign
+/// was interrupted before its first round.
+fn cmd_report_adaptive(args: &Args, plan: &CampaignPlan) {
+    let root = PathBuf::from(store_dir(plan));
+    let expected = campaign_fingerprint(plan);
+    let (records, total, partial) = adaptive_records(&root, expected);
+    if total == 0 {
+        let golden = root.join(GOLDEN_SUBDIR);
+        if !golden.join(MANIFEST_FILE).is_file() {
+            fail(format!(
+                "nothing to report: no round sub-store or golden stage under {}",
+                root.display()
+            ));
+        }
+        eprintln!(
+            "drivefi: note: acquisition loop interrupted before its first round — reporting on \
+             the golden stage under {}",
+            golden.display()
+        );
+        let (meta, records) = read_store(&golden).unwrap_or_else(|e| fail(e));
+        check_fingerprint(&golden, meta.fingerprint, expected);
+        let report = PlanReport::new(
+            plan.name.clone(),
+            plan.kind.name(),
+            expected,
+            meta.total_jobs,
+            records,
+        );
+        if !report.complete() && !args.partial {
+            fail(incomplete_store_message(&golden, &report));
+        }
+        report.save(&golden).unwrap_or_else(|e| fail(e));
+        if matches!(args.format.as_deref(), Some("md" | "html")) {
+            render_report(args, plan, &report, &golden);
+        }
+        return print_summary(&PlanResult::Persisted(report));
+    }
+    let report = PlanReport::new(plan.name.clone(), plan.kind.name(), expected, total, records);
+    if !report.complete() && !args.partial {
+        let dir = partial.unwrap_or_else(|| root.clone());
+        fail(format!(
+            "adaptive round under {} is incomplete ({} of {} campaign job records persisted) — \
+             resume it with `drivefi resume`, or pass --partial to report on it as-is",
+            dir.display(),
+            report.jobs.len(),
+            report.total_jobs
+        ));
+    }
+    report.save(&root).unwrap_or_else(|e| fail(e));
+    match args.format.as_deref() {
+        None | Some("toml") => {}
+        Some("md" | "html") => render_report(args, plan, &report, &root),
         Some(other) => fail(format!("report --format must be toml, md, or html, got `{other}`")),
     }
     print_summary(&PlanResult::Persisted(report));
@@ -439,6 +545,7 @@ fn render_report(args: &Args, plan: &CampaignPlan, report: &PlanReport, report_d
 fn render_context(plan: &CampaignPlan, report_dir: &Path) -> RenderContext {
     let mut context = RenderContext {
         control: ControlVerdict::load(report_dir).unwrap_or(None),
+        adaptive: AdaptiveProgress::load(report_dir).unwrap_or(None),
         profile: ads_profile_rows(),
         ..RenderContext::default()
     };
@@ -451,6 +558,9 @@ fn render_context(plan: &CampaignPlan, report_dir: &Path) -> RenderContext {
     let mut events = drivefi::obs::read_events(report_dir).unwrap_or_default();
     for stage in [GOLDEN_SUBDIR, VALIDATE_SUBDIR, SWEEP_SUBDIR] {
         events.extend(drivefi::obs::read_events(&report_dir.join(stage)).unwrap_or_default());
+    }
+    for round in round_dirs(report_dir) {
+        events.extend(drivefi::obs::read_events(&round).unwrap_or_default());
     }
     events.sort_by_key(|event| event.seq);
     events.dedup_by_key(|event| event.seq);
@@ -514,6 +624,10 @@ fn cmd_compact(args: &Args) {
         let root = PathBuf::from(store_dir(&plan));
         match plan.kind.store_subdir() {
             Some(subdir) => vec![root.join(GOLDEN_SUBDIR), root.join(subdir)],
+            // Adaptive: golden plus every round that has run so far.
+            None if plan.kind.is_staged() => {
+                std::iter::once(root.join(GOLDEN_SUBDIR)).chain(round_dirs(&root)).collect()
+            }
             None => vec![root],
         }
     };
@@ -537,15 +651,20 @@ fn cmd_query(args: &Args) {
     // Accept either a plan file (query its [output] store) or a store
     // directory directly.
     let target = Path::new(&args.target);
-    let dir: PathBuf = if target.join(MANIFEST_FILE).is_file() {
-        target.to_path_buf()
+    let records: Vec<drivefi::store::CampaignRecord> = if target.join(MANIFEST_FILE).is_file() {
+        read_store(target).unwrap_or_else(|e| fail(e)).1
     } else {
         if let Some(hint) = sub_store_hint(target) {
             fail(hint);
         }
-        records_dir(&load_plan(&args.target, args.output_dir.as_deref()))
+        let plan = load_plan(&args.target, args.output_dir.as_deref());
+        if matches!(plan.kind, CampaignKind::Adaptive { .. }) {
+            let root = PathBuf::from(store_dir(&plan));
+            adaptive_records(&root, campaign_fingerprint(&plan)).0
+        } else {
+            read_store(records_dir(&plan)).unwrap_or_else(|e| fail(e)).1
+        }
     };
-    let (_, records) = read_store(&dir).unwrap_or_else(|e| fail(e));
 
     let jsonl = match args.format.as_deref() {
         None | Some("csv") => false,
@@ -669,6 +788,17 @@ fn cmd_diff(args: &Args) {
         jobs_to_find(diff.baseline_jobs_to_hazard),
         jobs_to_find(diff.candidate_jobs_to_hazard)
     );
+    // When exactly one side ever found a hazard, say so outright — the
+    // summary line above leaves the reader to infer it from `never`.
+    match (diff.baseline_jobs_to_hazard, diff.candidate_jobs_to_hazard) {
+        (None, Some(jobs)) => {
+            println!("  baseline hazard-free → candidate's first hazard at job {jobs}");
+        }
+        (Some(jobs), None) => {
+            println!("  candidate hazard-free → baseline's first hazard at job {jobs}");
+        }
+        _ => {}
+    }
     if diff.has_regression() {
         eprintln!(
             "drivefi: candidate regressed in {} cell(s) relative to the baseline",

@@ -5,9 +5,9 @@
 
 use drivefi::fault::FaultSpace;
 use drivefi::plan::{
-    run_plan, run_plan_budget, CampaignKind, CampaignPlan, OutputSpec, PlanResult,
-    ScenarioSelection, SimSection, SinkChoice, GOLDEN_SUBDIR, JOBS_FILE, REPORT_FILE,
-    VALIDATE_SUBDIR,
+    round_dirs, run_plan, run_plan_budget, AdaptiveSection, CampaignKind, CampaignPlan, OutputSpec,
+    PlanResult, ScenarioSelection, SimSection, SinkChoice, GOLDEN_SUBDIR, JOBS_FILE, REPORT_FILE,
+    ROUNDS_FILE, VALIDATE_SUBDIR,
 };
 use drivefi::store::{compact_store, read_store, read_traces, MANIFEST_FILE};
 use proptest::prelude::*;
@@ -291,6 +291,93 @@ fn mine_plan_resumes_every_stage_to_byte_identical_reports() {
     let PlanResult::Persisted(after) = run_plan(&plan).unwrap() else { panic!() };
     assert_eq!(after, resumed);
     assert_eq!(report_bytes(&part_dir), full_bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn adaptive_plan_into(dir: &Path) -> CampaignPlan {
+    CampaignPlan {
+        name: "adaptive-resume".into(),
+        kind: CampaignKind::Adaptive {
+            scene_stride: 25,
+            adaptive: AdaptiveSection { batch: 6, max_rounds: 8, converge_eps: 0.02 },
+        },
+        seed: 0,
+        workers: Some(4),
+        sink: SinkChoice::Stats,
+        scenarios: ScenarioSelection::Paper { count: 2, seed: 42 },
+        faults: FaultSpace::default(),
+        sim: SimSection::default(),
+        submit: Default::default(),
+        control: Default::default(),
+        output: Some(OutputSpec {
+            dir: dir.to_string_lossy().into_owned(),
+            shards: 2,
+            checkpoint_every: 4,
+        }),
+    }
+}
+
+/// The acquisition loop's resume contract: a `kind = "adaptive"` plan
+/// interrupted mid-golden and (twice) mid-round replays its posterior
+/// from the round stores on disk, re-selects the half-finished round's
+/// exact batch, and resumes — without re-simulating completed jobs — to
+/// a report **and** acquisition trajectory (`rounds.toml`)
+/// byte-identical to an uninterrupted run's.
+#[test]
+fn adaptive_plan_resumes_mid_round_to_byte_identical_reports() {
+    let dir = std::env::temp_dir().join(format!("drivefi-crash-adaptive-{}", std::process::id()));
+    let full_dir = dir.join("full");
+    let part_dir = dir.join("part");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Uninterrupted reference run.
+    let PlanResult::Persisted(full) = run_plan(&adaptive_plan_into(&full_dir)).unwrap() else {
+        panic!()
+    };
+    assert!(full.complete());
+    assert_eq!(full.kind, "adaptive");
+    let full_rounds = round_dirs(&full_dir);
+    assert!(full_rounds.len() >= 2, "need at least two rounds to interrupt one mid-way");
+    let full_bytes = report_bytes(&full_dir);
+    let full_trajectory = std::fs::read(full_dir.join(ROUNDS_FILE)).unwrap();
+
+    // Interrupt 1: mid-golden — no round swept yet, the progress report
+    // lands inside the golden sub-store.
+    let plan = adaptive_plan_into(&part_dir);
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(1)).unwrap() else { panic!() };
+    assert!(!partial.complete());
+    assert!(part_dir.join(GOLDEN_SUBDIR).join(REPORT_FILE).is_file());
+    assert!(round_dirs(&part_dir).is_empty(), "no acquisition round may start mid-golden");
+
+    // Interrupt 2: mid-round-001 (golden done at 2, round-000 done at
+    // 8, three jobs into the second round's six).
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(10)).unwrap() else {
+        panic!()
+    };
+    assert!(!partial.complete());
+    assert_eq!(round_dirs(&part_dir).len(), 2, "round-001 is on disk, half-finished");
+    let golden_after = log_bytes(&part_dir.join(GOLDEN_SUBDIR));
+    let round0_after = log_bytes(&round_dirs(&part_dir)[0]);
+
+    // Interrupt 3: still mid-round-001 — the resumed posterior replay
+    // must re-select the same batch and extend the same round store.
+    let PlanResult::Persisted(partial) = run_plan_budget(&plan, Some(2)).unwrap() else { panic!() };
+    assert!(!partial.complete());
+    assert_eq!(round_dirs(&part_dir).len(), 2, "a resumed round must not fork a new one");
+
+    // Final resume: byte-identical report and trajectory; neither the
+    // golden logs nor round-000's were touched (nothing re-simulated).
+    let PlanResult::Persisted(resumed) = run_plan(&plan).unwrap() else { panic!() };
+    assert!(resumed.complete());
+    assert_eq!(resumed.jobs, full.jobs);
+    assert_eq!(log_bytes(&part_dir.join(GOLDEN_SUBDIR)), golden_after, "golden re-simulated");
+    assert_eq!(log_bytes(&round_dirs(&part_dir)[0]), round0_after, "round-000 re-simulated");
+    assert_eq!(report_bytes(&part_dir), full_bytes, "report drifted across interruptions");
+    assert_eq!(
+        std::fs::read(part_dir.join(ROUNDS_FILE)).unwrap(),
+        full_trajectory,
+        "rounds.toml drifted across interruptions"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
